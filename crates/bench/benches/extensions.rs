@@ -1,0 +1,66 @@
+//! Wall-clock benchmarks of the Section VII extensions: multi-mode
+//! dimension-tree reuse, sparse kernels, and Tucker/TTM.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mttkrp_bench::setup_problem;
+use mttkrp_core::multi::{mttkrp_all_modes_naive, mttkrp_all_modes_tree};
+use mttkrp_core::tucker::st_hosvd;
+use mttkrp_tensor::{sparse_mttkrp, CooTensor, Matrix, Shape};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_all_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("all_modes_mttkrp");
+    group.sample_size(15);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+    for order in [3usize, 4, 5] {
+        let dim = (16384f64.powf(1.0 / order as f64)).round() as usize;
+        let dims = vec![dim; order];
+        let (x, factors) = setup_problem(&dims, 8, 1);
+        let refs: Vec<&Matrix> = factors.iter().collect();
+        group.bench_with_input(BenchmarkId::new("tree", order), &(), |b, _| {
+            b.iter(|| black_box(mttkrp_all_modes_tree(&x, &refs)))
+        });
+        group.bench_with_input(BenchmarkId::new("naive", order), &(), |b, _| {
+            b.iter(|| black_box(mttkrp_all_modes_naive(&x, &refs)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_sparse_kernel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sparse_mttkrp_density");
+    group.sample_size(15);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+    let shape = Shape::new(&[32, 32, 32]);
+    let factors: Vec<Matrix> = (0..3).map(|k| Matrix::random(32, 8, k)).collect();
+    let refs: Vec<&Matrix> = factors.iter().collect();
+    for density in [0.01f64, 0.1, 0.5] {
+        let coo = CooTensor::random(shape.clone(), density, 7);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{density}")),
+            &(),
+            |b, _| b.iter(|| black_box(sparse_mttkrp(&coo, &refs, 0))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_tucker(c: &mut Criterion) {
+    let mut group = c.benchmark_group("st_hosvd");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+    let x = mttkrp_tensor::DenseTensor::random(Shape::new(&[24, 24, 24]), 9);
+    for r in [2usize, 6, 12] {
+        group.bench_with_input(BenchmarkId::from_parameter(r), &r, |b, &r| {
+            b.iter(|| black_box(st_hosvd(&x, &[r, r, r])))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_all_modes, bench_sparse_kernel, bench_tucker);
+criterion_main!(benches);

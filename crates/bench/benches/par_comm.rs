@@ -1,0 +1,51 @@
+//! Benchmarks of the parallel algorithms running on the distributed-machine
+//! simulator (Section VI-B's comparison, per Figure 4 / TAB-PAR).
+//!
+//! As with `seq_io`, the communication *counts* are deterministic and
+//! asserted elsewhere; these benches track end-to-end simulator throughput
+//! (thread spawn + real data movement + reduction).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mttkrp_bench::setup_problem;
+use mttkrp_core::par;
+use mttkrp_tensor::Matrix;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_par_algorithms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("par_comm_p8");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+    let (x, factors) = setup_problem(&[16, 16, 16], 8, 5);
+    let refs: Vec<&Matrix> = factors.iter().collect();
+
+    group.bench_function("alg3_stationary_2x2x2", |b| {
+        b.iter(|| black_box(par::mttkrp_stationary(&x, &refs, 0, &[2, 2, 2])))
+    });
+    group.bench_function("alg4_general_p0_2", |b| {
+        b.iter(|| black_box(par::mttkrp_general(&x, &refs, 0, 2, &[2, 2, 1])))
+    });
+    group.bench_function("matmul_1d", |b| {
+        b.iter(|| black_box(par::mttkrp_par_matmul(&x, &refs, 0, 8)))
+    });
+    group.finish();
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("alg3_scaling");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+    let (x, factors) = setup_problem(&[16, 16, 16], 4, 6);
+    let refs: Vec<&Matrix> = factors.iter().collect();
+    for (p, grid) in [(1usize, [1usize, 1, 1]), (4, [2, 2, 1]), (8, [2, 2, 2]), (16, [4, 2, 2])] {
+        group.bench_with_input(BenchmarkId::from_parameter(p), &grid, |b, grid| {
+            b.iter(|| black_box(par::mttkrp_stationary(&x, &refs, 0, grid)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_par_algorithms, bench_scaling);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Benchmarks of the sequential algorithms running on the strict two-level
+//! memory simulator (Section VI-A's comparison, per figure/table TAB-SEQ).
+//!
+//! Criterion measures the simulator's wall-clock; the I/O *counts* (the
+//! paper's metric) are deterministic and are asserted/reported by the
+//! `table_seq` and `validate_model` binaries. Benchmarking here tracks that
+//! the simulators stay fast enough to sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mttkrp_bench::setup_problem;
+use mttkrp_core::seq;
+use mttkrp_tensor::Matrix;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_seq_algorithms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("seq_io");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+    let (x, factors) = setup_problem(&[12, 12, 12], 4, 3);
+    let refs: Vec<&Matrix> = factors.iter().collect();
+    let m = 128;
+
+    group.bench_function("alg1_unblocked", |b| {
+        b.iter(|| black_box(seq::mttkrp_unblocked(&x, &refs, 0, m)))
+    });
+    let bs = seq::choose_block_size(m, 3);
+    group.bench_function(BenchmarkId::new("alg2_blocked", bs), |b| {
+        b.iter(|| black_box(seq::mttkrp_blocked(&x, &refs, 0, m, bs)))
+    });
+    group.bench_function("matmul_baseline", |b| {
+        b.iter(|| black_box(seq::mttkrp_seq_matmul(&x, &refs, 0, m)))
+    });
+    group.finish();
+}
+
+fn bench_block_sizes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("alg2_block_size");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+    let (x, factors) = setup_problem(&[16, 16, 16], 4, 4);
+    let refs: Vec<&Matrix> = factors.iter().collect();
+    for &bs in &[1usize, 2, 4] {
+        let m = bs.pow(3) + 3 * bs + 4;
+        group.bench_with_input(BenchmarkId::from_parameter(bs), &bs, |b, &bs| {
+            b.iter(|| black_box(seq::mttkrp_blocked(&x, &refs, 0, m, bs)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_seq_algorithms, bench_block_sizes);
+criterion_main!(benches);

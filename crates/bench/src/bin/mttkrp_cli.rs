@@ -1,0 +1,285 @@
+//! Command-line driver: run any of the repository's MTTKRP algorithms on a
+//! synthetic problem and report measured communication next to the paper's
+//! bounds and models.
+//!
+//! ```text
+//! USAGE:
+//!   mttkrp_cli --dims 16x16x16 --rank 8 --mode 0 [--seed 1] <algorithm>
+//!
+//! algorithms:
+//!   alg1 --memory M            sequential unblocked (Algorithm 1)
+//!   alg2 --memory M [--block b]  sequential blocked (Algorithm 2)
+//!   seqmm --memory M           sequential matmul baseline
+//!   alg3 --grid 2x2x2          parallel stationary (Algorithm 3)
+//!   alg4 --p0 2 --grid 2x2x1   parallel general (Algorithm 4)
+//!   parmm --procs 8            parallel 1D matmul baseline
+//!   bounds --memory M --procs P  print all lower bounds, no execution
+//! ```
+//!
+//! Example: `cargo run --release -p mttkrp-bench --bin mttkrp_cli -- \
+//!            --dims 16x16x16 --rank 8 --mode 0 alg3 --grid 2x2x2`
+
+use mttkrp_bench::setup_problem;
+use mttkrp_core::{bounds, model, par, seq, Problem};
+use mttkrp_tensor::{mttkrp_reference, Matrix};
+use std::process::ExitCode;
+
+#[derive(Default, Debug)]
+struct Args {
+    dims: Vec<usize>,
+    rank: usize,
+    mode: usize,
+    seed: u64,
+    memory: Option<usize>,
+    block: Option<usize>,
+    grid: Option<Vec<usize>>,
+    p0: Option<usize>,
+    procs: Option<usize>,
+    algorithm: Option<String>,
+}
+
+fn parse_dims(s: &str) -> Result<Vec<usize>, String> {
+    s.split(['x', ','])
+        .map(|t| t.parse::<usize>().map_err(|e| format!("bad dims '{s}': {e}")))
+        .collect()
+}
+
+fn parse(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        rank: 4,
+        seed: 1,
+        ..Default::default()
+    };
+    let mut it = argv.iter().peekable();
+    while let Some(tok) = it.next() {
+        let mut next = |name: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("missing value for {name}"))
+        };
+        match tok.as_str() {
+            "--dims" => args.dims = parse_dims(&next("--dims")?)?,
+            "--rank" => args.rank = next("--rank")?.parse().map_err(|e| format!("{e}"))?,
+            "--mode" => args.mode = next("--mode")?.parse().map_err(|e| format!("{e}"))?,
+            "--seed" => args.seed = next("--seed")?.parse().map_err(|e| format!("{e}"))?,
+            "--memory" => args.memory = Some(next("--memory")?.parse().map_err(|e| format!("{e}"))?),
+            "--block" => args.block = Some(next("--block")?.parse().map_err(|e| format!("{e}"))?),
+            "--grid" => args.grid = Some(parse_dims(&next("--grid")?)?),
+            "--p0" => args.p0 = Some(next("--p0")?.parse().map_err(|e| format!("{e}"))?),
+            "--procs" => args.procs = Some(next("--procs")?.parse().map_err(|e| format!("{e}"))?),
+            "--help" | "-h" => return Err("help".to_string()),
+            other if !other.starts_with('-') && args.algorithm.is_none() => {
+                args.algorithm = Some(other.to_string());
+            }
+            other => return Err(format!("unrecognized argument '{other}'")),
+        }
+    }
+    if args.dims.len() < 2 {
+        return Err("need --dims with at least two modes (e.g. --dims 16x16x16)".into());
+    }
+    if args.mode >= args.dims.len() {
+        return Err(format!(
+            "--mode {} out of range for an order-{} tensor",
+            args.mode,
+            args.dims.len()
+        ));
+    }
+    if args.algorithm.is_none() {
+        return Err("no algorithm given (alg1|alg2|seqmm|alg3|alg4|parmm|bounds)".into());
+    }
+    Ok(args)
+}
+
+fn usage() {
+    eprintln!(
+        "usage: mttkrp_cli --dims I1xI2x... --rank R --mode n [--seed s] ALGORITHM [options]\n\
+         \n  alg1  --memory M             Algorithm 1 (sequential unblocked)\
+         \n  alg2  --memory M [--block b] Algorithm 2 (sequential blocked)\
+         \n  seqmm --memory M             sequential matmul baseline\
+         \n  alg3  --grid P1xP2x...       Algorithm 3 (parallel stationary)\
+         \n  alg4  --p0 P0 --grid ...     Algorithm 4 (parallel general)\
+         \n  parmm --procs P              parallel 1D matmul baseline\
+         \n  bounds [--memory M] [--procs P]  print lower bounds only"
+    );
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse(&argv) {
+        Ok(a) => a,
+        Err(e) => {
+            if e != "help" {
+                eprintln!("error: {e}\n");
+            }
+            usage();
+            return ExitCode::from(2);
+        }
+    };
+
+    let problem = Problem::new(
+        &args.dims.iter().map(|&d| d as u64).collect::<Vec<u64>>(),
+        args.rank as u64,
+    );
+    let n = args.mode;
+    println!(
+        "problem: dims {:?}, R = {}, mode n = {n}, I = {}, seed {}",
+        args.dims,
+        args.rank,
+        problem.tensor_entries(),
+        args.seed
+    );
+
+    let alg = args.algorithm.as_deref().unwrap();
+    // `bounds` is formula-only: never materialize the (possibly huge) tensor.
+    let materialized = if alg == "bounds" {
+        None
+    } else {
+        if problem.tensor_entries() > (1u128 << 26) {
+            eprintln!(
+                "error: refusing to materialize {} tensor entries for an executed run \
+                 (use `bounds` for model-scale problems)",
+                problem.tensor_entries()
+            );
+            return ExitCode::from(2);
+        }
+        Some(setup_problem(&args.dims, args.rank, args.seed))
+    };
+    let (x, factors) = match &materialized {
+        Some((x, f)) => (x, f),
+        None => {
+            // `bounds` path: handled below without operands.
+            return run_bounds_only(&args, &problem);
+        }
+    };
+    let refs: Vec<&Matrix> = factors.iter().collect();
+    match alg {
+        "alg1" | "alg2" | "seqmm" => {
+            let m = match args.memory {
+                Some(m) => m,
+                None => {
+                    eprintln!("error: {alg} needs --memory M");
+                    return ExitCode::from(2);
+                }
+            };
+            let (label, run) = match alg {
+                "alg1" => ("Algorithm 1 (unblocked)", seq::mttkrp_unblocked(x, &refs, n, m)),
+                "alg2" => {
+                    let b = args
+                        .block
+                        .unwrap_or_else(|| seq::choose_block_size(m, args.dims.len()));
+                    println!("block size b = {b}");
+                    ("Algorithm 2 (blocked)", seq::mttkrp_blocked(x, &refs, n, m, b))
+                }
+                _ => (
+                    "sequential matmul baseline",
+                    seq::mttkrp_seq_matmul(x, &refs, n, m).into_seq_run(),
+                ),
+            };
+            let oracle = mttkrp_reference(x, &refs, n);
+            println!("{label}: W = {} words (loads {}, stores {})", run.stats.total(), run.stats.loads, run.stats.stores);
+            println!("peak fast memory: {} / {m} words", run.peak_fast);
+            println!(
+                "lower bounds: Thm 4.1 = {:.0}, Fact 4.1 = {:.0}",
+                bounds::seq_memory_dependent(&problem, m as u64),
+                bounds::seq_trivial(&problem, m as u64)
+            );
+            println!("oracle check: max |diff| = {:.2e}", run.output.max_abs_diff(&oracle));
+        }
+        "alg3" | "alg4" | "parmm" => {
+            let run = match alg {
+                "alg3" => {
+                    let grid = match &args.grid {
+                        Some(g) if g.len() == args.dims.len() => g.clone(),
+                        _ => {
+                            eprintln!("error: alg3 needs --grid with one factor per mode");
+                            return ExitCode::from(2);
+                        }
+                    };
+                    par::mttkrp_stationary(x, &refs, n, &grid)
+                }
+                "alg4" => {
+                    let grid = match &args.grid {
+                        Some(g) if g.len() == args.dims.len() => g.clone(),
+                        _ => {
+                            eprintln!("error: alg4 needs --grid with one factor per mode");
+                            return ExitCode::from(2);
+                        }
+                    };
+                    par::mttkrp_general(x, &refs, n, args.p0.unwrap_or(1), &grid)
+                }
+                _ => {
+                    let procs = match args.procs {
+                        Some(p) => p,
+                        None => {
+                            eprintln!("error: parmm needs --procs P");
+                            return ExitCode::from(2);
+                        }
+                    };
+                    par::mttkrp_par_matmul(x, &refs, n, procs)
+                }
+            };
+            let procs = run.stats.len() as u64;
+            let oracle = mttkrp_reference(x, &refs, n);
+            println!(
+                "P = {procs}: max {} words/rank received ({} sent); machine total {}",
+                run.max_recv_words(),
+                run.max_sent_words(),
+                run.summary.total_words
+            );
+            if alg == "alg3" {
+                if let Some(g) = &args.grid {
+                    let g64: Vec<u64> = g.iter().map(|&v| v as u64).collect();
+                    println!("Eq. (14) model: {:.0} words", model::alg3_cost(&problem, &g64));
+                }
+            }
+            println!(
+                "lower bounds: Thm 4.2 = {:.0}, Thm 4.3 = {:.0}",
+                bounds::par_mi_thm42(&problem, procs, 1.0, 1.0),
+                bounds::par_mi_thm43(&problem, procs, 1.0, 1.0)
+            );
+            println!("oracle check: max |diff| = {:.2e}", run.output.max_abs_diff(&oracle));
+        }
+        other => {
+            eprintln!("error: unknown algorithm '{other}'");
+            usage();
+            return ExitCode::from(2);
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// The `bounds` subcommand: formula-only, works at any (e.g. Figure 4)
+/// scale because no tensor is ever materialized.
+fn run_bounds_only(args: &Args, problem: &Problem) -> ExitCode {
+    if let Some(m) = args.memory {
+        println!(
+            "sequential (M = {m}): Thm 4.1 = {:.0}, Fact 4.1 = {:.0}",
+            bounds::seq_memory_dependent(problem, m as u64),
+            bounds::seq_trivial(problem, m as u64)
+        );
+    }
+    if let Some(p) = args.procs {
+        println!(
+            "parallel (P = {p}): Thm 4.2 = {:.0}, Thm 4.3 = {:.0}, Cor 4.2 = {:.0}",
+            bounds::par_mi_thm42(problem, p as u64, 1.0, 1.0),
+            bounds::par_mi_thm43(problem, p as u64, 1.0, 1.0),
+            bounds::par_combined_cor42(problem, p as u64)
+        );
+        if let Some(m) = args.memory {
+            println!(
+                "parallel memory-dependent (Cor 4.1): {:.0}",
+                bounds::par_memory_dependent(problem, p as u64, m as u64)
+            );
+        }
+        println!(
+            "matmul baseline model (CARMA, mode {}): {:.0}",
+            args.mode,
+            model::mm_baseline_cost(problem, args.mode, p as u64)
+        );
+    }
+    if args.memory.is_none() && args.procs.is_none() {
+        eprintln!("error: bounds needs --memory and/or --procs");
+        return ExitCode::from(2);
+    }
+    ExitCode::SUCCESS
+}

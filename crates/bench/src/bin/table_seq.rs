@@ -1,0 +1,97 @@
+//! **TAB-SEQ**: the sequential optimality table implied by Theorem 6.1 —
+//! Algorithm 2's communication (exact model, cross-checked by execution at
+//! small sizes) over the best lower bound `max(W_lb1, W_lb2)`
+//! (Theorem 4.1 / Fact 4.1), swept over fast-memory sizes, tensor orders,
+//! and ranks. Theorem 6.1 says this ratio is bounded by a constant whenever
+//! `M` is large relative to `N` and small relative to the `I_k`.
+//!
+//! Run with: `cargo run --release -p mttkrp-bench --bin table_seq`
+
+use mttkrp_bench::{eng, header, row, setup_problem};
+use mttkrp_core::{bounds, model, seq, Problem};
+use mttkrp_tensor::Matrix;
+
+fn ratio_row(p: &Problem, m: u64) -> (u64, f64, f64) {
+    let b = seq::choose_block_size(m as usize, p.order()) as u64;
+    let wub = model::alg2_cost_exact(p, 0, b) as f64;
+    let wlb = bounds::seq_best(p, m).max(1.0);
+    (b, wub, wub / wlb)
+}
+
+fn main() {
+    println!("# TAB-SEQ: Algorithm 2 vs sequential lower bounds (Theorem 6.1)\n");
+
+    println!("## Model-scale sweep (cubical, N = 3, I_k = 2^12, R = 64)\n");
+    header(&["M", "b", "W_alg2", "W_lb", "ratio"]);
+    let p = Problem::cubical(3, 1 << 12, 64);
+    for &log_m in &[6u32, 8, 10, 12, 14, 16, 18] {
+        let m = 1u64 << log_m;
+        let (b, wub, ratio) = ratio_row(&p, m);
+        let wlb = bounds::seq_best(&p, m);
+        row(&[
+            format!("2^{log_m}"),
+            format!("{b}"),
+            eng(wub),
+            eng(wlb),
+            format!("{ratio:.2}"),
+        ]);
+    }
+
+    println!("\n## Order sweep (I = 2^24 total, R = 32, M = 2^12)\n");
+    header(&["N", "I_k", "b", "W_alg2", "W_lb", "ratio"]);
+    for &order in &[2usize, 3, 4, 6] {
+        let dim = 1u64 << (24 / order as u32);
+        let p = Problem::cubical(order, dim, 32);
+        let m = 1u64 << 12;
+        let (b, wub, ratio) = ratio_row(&p, m);
+        let wlb = bounds::seq_best(&p, m);
+        row(&[
+            format!("{order}"),
+            format!("2^{}", 24 / order),
+            format!("{b}"),
+            eng(wub),
+            eng(wlb),
+            format!("{ratio:.2}"),
+        ]);
+    }
+
+    println!("\n## Rank sweep (N = 3, I_k = 2^10, M = 2^10)\n");
+    header(&["R", "W_alg2", "W_lb", "ratio"]);
+    for &r in &[1u64, 4, 16, 64, 256, 1024] {
+        let p = Problem::cubical(3, 1 << 10, r);
+        let (_, wub, ratio) = ratio_row(&p, 1 << 10);
+        let wlb = bounds::seq_best(&p, 1 << 10);
+        row(&[format!("{r}"), eng(wub), eng(wlb), format!("{ratio:.2}")]);
+    }
+
+    println!("\n## Executed cross-check (simulator measured == exact model)\n");
+    header(&["dims", "R", "M", "b", "measured", "model", "match"]);
+    for (dims, r, m) in [
+        (vec![8usize, 8, 8], 4usize, 64usize),
+        (vec![12, 8, 10], 3, 100),
+        (vec![6, 6, 6, 6], 2, 96),
+    ] {
+        let (x, factors) = setup_problem(&dims, r, 11);
+        let refs: Vec<&Matrix> = factors.iter().collect();
+        let b = seq::choose_block_size(m, dims.len());
+        let run = seq::mttkrp_blocked(&x, &refs, 0, m, b);
+        let p = Problem::new(
+            &dims.iter().map(|&d| d as u64).collect::<Vec<u64>>(),
+            r as u64,
+        );
+        let modeled = model::alg2_cost_exact(&p, 0, b as u64);
+        let ok = run.stats.total() as u128 == modeled;
+        row(&[
+            format!("{dims:?}"),
+            format!("{r}"),
+            format!("{m}"),
+            format!("{b}"),
+            format!("{}", run.stats.total()),
+            format!("{modeled}"),
+            format!("{ok}"),
+        ]);
+        assert!(ok, "measured I/O diverged from the exact model");
+    }
+    println!("\nTheorem 6.1: ratios stay O(1) across the sweeps (rising only when");
+    println!("M approaches the problem size and the bounds go vacuous).");
+}

@@ -1,0 +1,242 @@
+//! Sequential CP-ALS: the optimization algorithm whose bottleneck is
+//! MTTKRP (paper Section II-A).
+//!
+//! Each sweep updates every factor matrix in turn by solving the normal
+//! equations `A^(n) * V = MTTKRP(X, {A}, n)` with
+//! `V = hadamard_{k != n} (A^(k)T A^(k))`. The relative fit is computed
+//! without materializing the model, using the standard identity
+//! `|X - Xhat|^2 = |X|^2 - 2 <B^(n), A^(n) Lambda> + |Xhat|^2`
+//! evaluated with the final mode's MTTKRP output.
+
+use crate::kernels::local_mttkrp;
+use mttkrp_tensor::{solve_spd_right, DenseTensor, KruskalTensor, Matrix};
+
+/// Options for CP-ALS.
+#[derive(Clone, Debug)]
+pub struct CpAlsOptions {
+    /// Maximum number of sweeps over all modes.
+    pub max_iters: usize,
+    /// Stop when the fit improves by less than this between sweeps.
+    pub tol: f64,
+    /// Seed for the random initial factors.
+    pub seed: u64,
+}
+
+impl Default for CpAlsOptions {
+    fn default() -> Self {
+        CpAlsOptions {
+            max_iters: 50,
+            tol: 1e-8,
+            seed: 0,
+        }
+    }
+}
+
+/// Result of a CP-ALS run.
+#[derive(Debug)]
+pub struct CpAlsRun {
+    /// The fitted CP model (unit-norm factor columns, weights absorbed).
+    pub model: KruskalTensor,
+    /// Fit `1 - |X - Xhat|_F / |X|_F` after each sweep.
+    pub fit_history: Vec<f64>,
+    /// Number of sweeps performed.
+    pub iterations: usize,
+    /// Whether the tolerance was reached before `max_iters`.
+    pub converged: bool,
+}
+
+/// Runs CP-ALS to fit a rank-`r` model to `x`.
+pub fn cp_als(x: &DenseTensor, r: usize, opts: &CpAlsOptions) -> CpAlsRun {
+    assert!(r >= 1, "rank must be positive");
+    let shape = x.shape().clone();
+    let order = shape.order();
+    let norm_x_sq = x.data().iter().map(|&v| v * v).sum::<f64>();
+    let norm_x = norm_x_sq.sqrt();
+    assert!(norm_x > 0.0, "cannot fit a CP model to the zero tensor");
+
+    let mut factors: Vec<Matrix> = (0..order)
+        .map(|k| {
+            let mut f = Matrix::random(shape.dim(k), r, opts.seed.wrapping_add(k as u64));
+            f.normalize_cols();
+            f
+        })
+        .collect();
+    let mut grams: Vec<Matrix> = factors.iter().map(Matrix::gram).collect();
+    let mut weights = vec![1.0f64; r];
+
+    let mut fit_history = Vec::new();
+    let mut prev_fit = f64::NEG_INFINITY;
+    let mut converged = false;
+    let mut iterations = 0;
+
+    for _sweep in 0..opts.max_iters {
+        iterations += 1;
+        let mut last_mttkrp = None;
+        for n in 0..order {
+            let refs: Vec<&Matrix> = factors.iter().collect();
+            let b = local_mttkrp(x, &refs, n);
+            let other_grams: Vec<&Matrix> = grams
+                .iter()
+                .enumerate()
+                .filter(|&(k, _)| k != n)
+                .map(|(_, g)| g)
+                .collect();
+            let mut v = Matrix::from_fn(r, r, |_, _| 1.0);
+            for g in other_grams {
+                v = v.hadamard(g);
+            }
+            let mut a_new = solve_spd_right(&b, &v).expect("normal equations solve failed");
+            weights = a_new.normalize_cols();
+            // Columns that collapsed to zero: keep zero weight, unit dummy.
+            for (j, w) in weights.iter().enumerate() {
+                if *w == 0.0 {
+                    // Reseed a degenerate column to the first basis vector
+                    // so the Gram stays nonsingular-ish.
+                    a_new[(0, j)] = 1.0;
+                }
+            }
+            grams[n] = a_new.gram();
+            factors[n] = a_new;
+            if n == order - 1 {
+                last_mttkrp = Some(b);
+            }
+        }
+
+        // Fit via the normal-equations identity, using the last mode's
+        // MTTKRP (computed with the final values of all other factors).
+        let b = last_mttkrp.expect("at least one mode updated");
+        let a_last = &factors[order - 1];
+        let mut inner = 0.0;
+        for i in 0..a_last.rows() {
+            let (br, ar) = (b.row(i), a_last.row(i));
+            for c in 0..r {
+                inner += br[c] * ar[c] * weights[c];
+            }
+        }
+        let mut vall = Matrix::from_fn(r, r, |_, _| 1.0);
+        for g in &grams {
+            vall = vall.hadamard(g);
+        }
+        let mut model_norm_sq = 0.0;
+        for a in 0..r {
+            for bb in 0..r {
+                model_norm_sq += weights[a] * vall[(a, bb)] * weights[bb];
+            }
+        }
+        let resid_sq = (norm_x_sq - 2.0 * inner + model_norm_sq).max(0.0);
+        let fit = 1.0 - resid_sq.sqrt() / norm_x;
+        fit_history.push(fit);
+
+        if (fit - prev_fit).abs() < opts.tol {
+            converged = true;
+            break;
+        }
+        prev_fit = fit;
+    }
+
+    let mut model = KruskalTensor::from_factors(factors);
+    model.weights = weights;
+    CpAlsRun {
+        model,
+        fit_history,
+        iterations,
+        converged,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mttkrp_tensor::Shape;
+
+    #[test]
+    fn recovers_exact_low_rank_tensor() {
+        // A random rank-2 tensor should be fit (almost) exactly by rank-2
+        // ALS.
+        let truth = KruskalTensor::random(&Shape::new(&[6, 5, 4]), 2, 42);
+        let x = truth.full();
+        let run = cp_als(
+            &x,
+            2,
+            &CpAlsOptions {
+                max_iters: 400,
+                tol: 1e-12,
+                seed: 7,
+            },
+        );
+        let final_fit = *run.fit_history.last().unwrap();
+        assert!(final_fit > 0.9999, "fit = {final_fit}");
+        // Cross-check the internal fit formula against a materialized one.
+        let direct_fit = run.model.fit_to(&x);
+        assert!((direct_fit - final_fit).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fit_is_monotone_nondecreasing() {
+        // ALS never increases the residual; allow tiny float slack.
+        let x = DenseTensor::random(Shape::new(&[5, 6, 4]), 3);
+        let run = cp_als(
+            &x,
+            3,
+            &CpAlsOptions {
+                max_iters: 25,
+                tol: 0.0,
+                seed: 1,
+            },
+        );
+        for w in run.fit_history.windows(2) {
+            assert!(w[1] >= w[0] - 1e-10, "fit decreased: {:?}", w);
+        }
+    }
+
+    #[test]
+    fn converges_and_reports() {
+        let truth = KruskalTensor::random(&Shape::new(&[4, 4, 4]), 1, 5);
+        let x = truth.full();
+        let run = cp_als(
+            &x,
+            1,
+            &CpAlsOptions {
+                max_iters: 200,
+                tol: 1e-10,
+                seed: 2,
+            },
+        );
+        assert!(run.converged);
+        assert!(run.iterations < 200);
+    }
+
+    #[test]
+    fn unit_norm_columns_after_fit() {
+        let x = DenseTensor::random(Shape::new(&[4, 5, 3]), 9);
+        let run = cp_als(&x, 2, &CpAlsOptions::default());
+        for f in &run.model.factors {
+            for norm in f.col_norms() {
+                assert!((norm - 1.0).abs() < 1e-9, "column norm {norm}");
+            }
+        }
+    }
+
+    #[test]
+    fn order_4_tensor_fits() {
+        let truth = KruskalTensor::random(&Shape::new(&[3, 4, 3, 3]), 2, 11);
+        let x = truth.full();
+        let run = cp_als(
+            &x,
+            3, // over-parameterized: should still reach high fit
+            &CpAlsOptions {
+                max_iters: 300,
+                tol: 1e-11,
+                seed: 3,
+            },
+        );
+        assert!(*run.fit_history.last().unwrap() > 0.999);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero tensor")]
+    fn zero_tensor_rejected() {
+        let x = DenseTensor::zeros(Shape::new(&[3, 3]));
+        let _ = cp_als(&x, 1, &CpAlsOptions::default());
+    }
+}

@@ -1,0 +1,207 @@
+//! Fast in-memory MTTKRP kernels (no I/O simulation).
+//!
+//! These are the "local computation" building blocks of the parallel
+//! algorithms (Line 6 of Algorithm 3, Line 7 of Algorithm 4) and of CP-ALS.
+//! Two variants:
+//! - [`local_mttkrp`]: respects the atomic `N`-ary multiply structure of
+//!   Definition 2.1 (one fused product per iteration point);
+//! - [`local_mttkrp_twostep`]: the arithmetic-saving variant the paper
+//!   mentions in Section V-C3, which breaks atomicity by forming the local
+//!   Khatri-Rao product explicitly and calling matrix multiplication.
+//!
+//! A Rayon-parallel shared-memory variant is provided for wall-clock
+//! benchmarking; it splits over output rows so no synchronization is needed.
+
+use mttkrp_tensor::{khatri_rao_colex, matricize, DenseTensor, Matrix};
+use rayon::prelude::*;
+
+/// Atomic-multiply local MTTKRP: `B(i_n, r) += X(i) * prod_{k != n} A^(k)(i_k, r)`.
+///
+/// `factors[n]` is ignored. Cost: `|X| * R * (N-1)` multiplies, streaming
+/// once through the tensor.
+pub fn local_mttkrp(x: &DenseTensor, factors: &[&Matrix], n: usize) -> Matrix {
+    let r = mttkrp_tensor::validate_operands(x, factors, n);
+    let shape = x.shape();
+    let order = shape.order();
+    let mut b = Matrix::zeros(shape.dim(n), r);
+    let mut idx = vec![0usize; order];
+    let mut tmp = vec![0.0f64; r];
+    for (lin, &xv) in x.data().iter().enumerate() {
+        shape.delinearize_into(lin, &mut idx);
+        // tmp = X(i) * hadamard of the participating factor rows.
+        for t in tmp.iter_mut() {
+            *t = xv;
+        }
+        for (k, f) in factors.iter().enumerate() {
+            if k == n {
+                continue;
+            }
+            let row = f.row(idx[k]);
+            for (t, &a) in tmp.iter_mut().zip(row) {
+                *t *= a;
+            }
+        }
+        let out = b.row_mut(idx[n]);
+        for (o, &t) in out.iter_mut().zip(&tmp) {
+            *o += t;
+        }
+    }
+    b
+}
+
+/// Two-step local MTTKRP (paper Section V-C3, Eq. (17)): forms the explicit
+/// Khatri-Rao product and multiplies, `B = X_(n) * KRP`. Breaks the atomic
+/// `N`-ary multiply assumption but computes the same values with
+/// `~2 |X| R` flops instead of `N |X| R`.
+pub fn local_mttkrp_twostep(x: &DenseTensor, factors: &[&Matrix], n: usize) -> Matrix {
+    mttkrp_tensor::validate_operands(x, factors, n);
+    let unfolded = matricize(x, n);
+    let others: Vec<&Matrix> = factors
+        .iter()
+        .enumerate()
+        .filter(|&(k, _)| k != n)
+        .map(|(_, &f)| f)
+        .collect();
+    let krp = khatri_rao_colex(&others);
+    unfolded.matmul(&krp)
+}
+
+/// Rayon-parallel atomic-multiply MTTKRP over output rows.
+///
+/// Iterates mode `n` in the outer (parallel) loop; each task owns one output
+/// row, so the accumulation is race-free by construction.
+pub fn local_mttkrp_par(x: &DenseTensor, factors: &[&Matrix], n: usize) -> Matrix {
+    let r = mttkrp_tensor::validate_operands(x, factors, n);
+    let shape = x.shape();
+    let order = shape.order();
+    let i_n = shape.dim(n);
+    let stride_n: usize = (0..n).map(|k| shape.dim(k)).product();
+    let other_count: usize = shape.num_entries() / i_n;
+
+    // Strides for enumerating the complement of mode n.
+    let other_dims: Vec<usize> = (0..order).filter(|&k| k != n).map(|k| shape.dim(k)).collect();
+    let tensor_strides = shape.strides();
+    let other_strides: Vec<usize> = (0..order)
+        .filter(|&k| k != n)
+        .map(|k| tensor_strides[k])
+        .collect();
+
+    let rows: Vec<Vec<f64>> = (0..i_n)
+        .into_par_iter()
+        .map(|in_| {
+            let mut row = vec![0.0f64; r];
+            let mut tmp = vec![0.0f64; r];
+            let mut other_idx = vec![0usize; other_dims.len()];
+            let base = in_ * stride_n;
+            for mut c in 0..other_count {
+                // Delinearize c over the complement modes and rebuild the
+                // tensor linear index.
+                let mut lin = base;
+                for (s, &d) in other_dims.iter().enumerate() {
+                    other_idx[s] = c % d;
+                    lin += other_idx[s] * other_strides[s];
+                    c /= d;
+                }
+                let xv = x.data()[lin];
+                for t in tmp.iter_mut() {
+                    *t = xv;
+                }
+                let mut s = 0usize;
+                for (k, f) in factors.iter().enumerate() {
+                    if k == n {
+                        continue;
+                    }
+                    let frow = f.row(other_idx[s]);
+                    for (t, &a) in tmp.iter_mut().zip(frow) {
+                        *t *= a;
+                    }
+                    s += 1;
+                }
+                for (o, &t) in row.iter_mut().zip(&tmp) {
+                    *o += t;
+                }
+            }
+            row
+        })
+        .collect();
+
+    let mut b = Matrix::zeros(i_n, r);
+    for (i, row) in rows.into_iter().enumerate() {
+        b.row_mut(i).copy_from_slice(&row);
+    }
+    b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mttkrp_tensor::{mttkrp_reference, Shape};
+
+    fn setup(dims: &[usize], r: usize, seed: u64) -> (DenseTensor, Vec<Matrix>) {
+        let shape = Shape::new(dims);
+        let x = DenseTensor::random(shape.clone(), seed);
+        let factors = dims
+            .iter()
+            .enumerate()
+            .map(|(k, &d)| Matrix::random(d, r, seed + 20 + k as u64))
+            .collect();
+        (x, factors)
+    }
+
+    #[test]
+    fn fast_kernel_matches_oracle() {
+        let (x, factors) = setup(&[5, 4, 3], 3, 1);
+        let refs: Vec<&Matrix> = factors.iter().collect();
+        for n in 0..3 {
+            let fast = local_mttkrp(&x, &refs, n);
+            let slow = mttkrp_reference(&x, &refs, n);
+            assert!(fast.max_abs_diff(&slow) < 1e-11, "mode {n}");
+        }
+    }
+
+    #[test]
+    fn twostep_matches_oracle() {
+        let (x, factors) = setup(&[4, 3, 5, 2], 2, 2);
+        let refs: Vec<&Matrix> = factors.iter().collect();
+        for n in 0..4 {
+            let two = local_mttkrp_twostep(&x, &refs, n);
+            let slow = mttkrp_reference(&x, &refs, n);
+            assert!(two.max_abs_diff(&slow) < 1e-10, "mode {n}");
+        }
+    }
+
+    #[test]
+    fn parallel_kernel_matches_oracle() {
+        let (x, factors) = setup(&[6, 5, 4], 3, 3);
+        let refs: Vec<&Matrix> = factors.iter().collect();
+        for n in 0..3 {
+            let par = local_mttkrp_par(&x, &refs, n);
+            let slow = mttkrp_reference(&x, &refs, n);
+            assert!(par.max_abs_diff(&slow) < 1e-11, "mode {n}");
+        }
+    }
+
+    #[test]
+    fn parallel_kernel_4way() {
+        let (x, factors) = setup(&[3, 4, 2, 5], 2, 4);
+        let refs: Vec<&Matrix> = factors.iter().collect();
+        for n in 0..4 {
+            let par = local_mttkrp_par(&x, &refs, n);
+            let fast = local_mttkrp(&x, &refs, n);
+            assert!(par.max_abs_diff(&fast) < 1e-11, "mode {n}");
+        }
+    }
+
+    #[test]
+    fn order2_kernels_agree() {
+        let (x, factors) = setup(&[7, 6], 4, 5);
+        let refs: Vec<&Matrix> = factors.iter().collect();
+        for n in 0..2 {
+            let a = local_mttkrp(&x, &refs, n);
+            let b = local_mttkrp_twostep(&x, &refs, n);
+            let c = local_mttkrp_par(&x, &refs, n);
+            assert!(a.max_abs_diff(&b) < 1e-11);
+            assert!(a.max_abs_diff(&c) < 1e-11);
+        }
+    }
+}

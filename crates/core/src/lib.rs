@@ -1,0 +1,67 @@
+//! # mttkrp-core
+//!
+//! Reproduction of *"Communication Lower Bounds for Matricized Tensor Times
+//! Khatri-Rao Product"* (Grey Ballard, Nicholas Knight, Kathryn Rouse;
+//! IPDPS 2018): the paper's communication lower bounds, its
+//! communication-optimal sequential and parallel MTTKRP algorithms, the
+//! matmul-based baselines it compares against, and the analytic cost models
+//! behind its Figure 4 — all executable on strict machine-model simulators
+//! that count every word moved.
+//!
+//! ## Map from the paper
+//!
+//! | Paper | Here |
+//! |---|---|
+//! | Definition 2.1 (MTTKRP) | [`mttkrp_tensor::mttkrp_reference`] (oracle), [`kernels`] (fast) |
+//! | Lemmas 4.1-4.4, Figure 1 | [`hbl`] |
+//! | Theorem 4.1, Fact 4.1, Corollary 4.1 | [`bounds`] |
+//! | Theorems 4.2, 4.3, Corollary 4.2 | [`bounds`] |
+//! | Algorithm 1 (sequential unblocked) | [`seq::mttkrp_unblocked`] |
+//! | Algorithm 2 (sequential blocked) | [`seq::mttkrp_blocked`] |
+//! | Algorithm 3 (parallel stationary) | [`par::mttkrp_stationary`] |
+//! | Algorithm 4 (parallel general) | [`par::mttkrp_general`] |
+//! | Matmul baselines (Sections III-B, VI) | [`seq::mttkrp_seq_matmul`], [`par::mttkrp_par_matmul`], [`model::carma_cost`] |
+//! | Eq. (12), (14), (18) cost expressions | [`model`] |
+//! | Grid prescriptions (Sections V-C/V-D) | [`grid_opt`] |
+//! | CP-ALS context (Section II-A) | [`cp_als()`](cp_als::cp_als), [`par::dist_cp_als`] |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use mttkrp_core::{bounds, seq, Problem};
+//! use mttkrp_tensor::{DenseTensor, Matrix, Shape};
+//!
+//! let shape = Shape::new(&[8, 8, 8]);
+//! let x = DenseTensor::random(shape.clone(), 0);
+//! let factors: Vec<Matrix> = (0..3).map(|k| Matrix::random(8, 4, k)).collect();
+//! let refs: Vec<&Matrix> = factors.iter().collect();
+//!
+//! let m = 64; // fast memory words
+//! let b = seq::choose_block_size(m, 3);
+//! let run = seq::mttkrp_blocked(&x, &refs, 0, m, b);
+//!
+//! let problem = Problem::from_shape(&shape, 4);
+//! let lb = bounds::seq_best(&problem, m as u64);
+//! assert!(run.stats.total() as f64 >= lb);
+//! ```
+
+// Index-based loops are the clearest way to express the mode/rank loop
+// nests of the paper's pseudocode (one index addressing several arrays);
+// iterator rewrites would obscure the correspondence.
+#![allow(clippy::needless_range_loop)]
+
+pub mod arith;
+pub mod bounds;
+pub mod cp_als;
+pub mod grid_opt;
+pub mod hbl;
+pub mod kernels;
+pub mod model;
+pub mod multi;
+pub mod par;
+pub mod problem;
+pub mod seq;
+pub mod tucker;
+
+pub use cp_als::{cp_als, CpAlsOptions, CpAlsRun};
+pub use problem::Problem;

@@ -1,0 +1,266 @@
+//! Algorithm 4 of the paper: the parallel *general* MTTKRP, which
+//! parallelizes over all `N+1` dimensions of the iteration space.
+//!
+//! Processors form an `(N+1)`-way grid `P = P_0 * P_1 * ... * P_N`; the new
+//! dimension `P_0` partitions the rank (factor-column) dimension `[R]` into
+//! parts `T_{p_0}`. Unlike Algorithm 3, the tensor *is* communicated:
+//! processor `p` initially owns only a `1/P_0` part of its subtensor, and
+//! Line 3 All-Gathers the full subtensor across the grid fiber along
+//! dimension 0.
+//!
+//! With `p_0 = 1` the algorithm reduces exactly to Algorithm 3. With the
+//! optimal `P_0 ~ (NR)^(N/(2N-1)) / (I/P)^((N-1)/(2N-1))` its cost attains
+//! Theorem 4.2's bound (the large-`P` regime of Corollary 4.2).
+
+use super::dist::{split_range, split_sizes};
+use super::ParRun;
+use crate::kernels::local_mttkrp;
+use mttkrp_netsim::{collectives, CommSummary, ProcessorGrid, SimMachine};
+use mttkrp_tensor::{DenseTensor, Matrix};
+
+/// Per-rank output: global row range, global column range, row-major chunk.
+type BlockChunk = (usize, usize, usize, usize, Vec<f64>);
+
+fn assemble_block_chunks(rows: usize, cols: usize, chunks: &[BlockChunk]) -> Matrix {
+    let mut out = Matrix::zeros(rows, cols);
+    let mut covered = vec![false; rows * cols];
+    for (r0, r1, c0, c1, data) in chunks {
+        let w = c1 - c0;
+        assert_eq!(data.len(), (r1 - r0) * w, "chunk size mismatch");
+        for (li, row) in (*r0..*r1).enumerate() {
+            for (lj, col) in (*c0..*c1).enumerate() {
+                let cell = row * cols + col;
+                assert!(!covered[cell], "entry ({row},{col}) produced twice");
+                covered[cell] = true;
+                out[(row, col)] = data[li * w + lj];
+            }
+        }
+    }
+    assert!(covered.iter().all(|&c| c), "some output entries missing");
+    out
+}
+
+/// Runs Algorithm 4 on the simulated machine.
+///
+/// `p0` partitions the rank dimension (must divide `R`); `grid` gives
+/// `(P_1, ..., P_N)` and every `P_k` must divide `I_k`. `factors[n]` is
+/// ignored. With `p0 == 1` this is Algorithm 3 with extra bookkeeping.
+pub fn mttkrp_general(
+    x: &DenseTensor,
+    factors: &[&Matrix],
+    n: usize,
+    p0: usize,
+    grid: &[usize],
+) -> ParRun {
+    let r = mttkrp_tensor::validate_operands(x, factors, n);
+    let shape = x.shape().clone();
+    let order = shape.order();
+    assert_eq!(grid.len(), order, "need one grid dimension per mode");
+    assert!(p0 >= 1 && r.is_multiple_of(p0), "P_0 = {p0} must divide R = {r}");
+    for (k, (&g, d)) in grid.iter().zip(shape.dims()).enumerate() {
+        assert!(
+            g >= 1 && d % g == 0,
+            "grid dim {k} = {g} must divide I_{k} = {d}"
+        );
+    }
+    // Grid layout: dimension 0 is the rank dimension p_0; dimension k+1 is
+    // the tensor mode k.
+    let mut gdims = Vec::with_capacity(order + 1);
+    gdims.push(p0);
+    gdims.extend_from_slice(grid);
+    let pgrid = ProcessorGrid::new(&gdims);
+    let machine = SimMachine::new(pgrid.num_ranks());
+    let cols_per_part = r / p0;
+
+    let result = machine.run(|rank| -> BlockChunk {
+        let me = rank.world_rank();
+        let coords = pgrid.coords(me);
+        let my_p0 = coords[0];
+
+        // Tensor index ranges S^(k); rank-dimension column range T_{p_0}.
+        let ranges: Vec<(usize, usize)> = (0..order)
+            .map(|k| {
+                let rows = shape.dim(k) / grid[k];
+                (coords[k + 1] * rows, (coords[k + 1] + 1) * rows)
+            })
+            .collect();
+        let (c_lo, c_hi) = (my_p0 * cols_per_part, (my_p0 + 1) * cols_per_part);
+
+        // Line 3: All-Gather the subtensor across the fiber along grid
+        // dimension 0 (the P_0 ranks sharing this subtensor).
+        let fiber = pgrid.fiber_comm(me, 0);
+        let my_fiber_idx = fiber.local_index(me).expect("member of own fiber");
+        let sub_full = x.subtensor(&ranges); // reference data (colex layout)
+        let sub_len = sub_full.num_entries();
+        let (t_lo, t_hi) = split_range(sub_len, fiber.size(), my_fiber_idx);
+        let my_part = &sub_full.data()[t_lo..t_hi];
+        let gathered_tensor = collectives::all_gather(rank, &fiber, my_part);
+        assert_eq!(gathered_tensor.len(), sub_len);
+        let x_local = DenseTensor::from_vec(sub_full.shape().clone(), gathered_tensor);
+
+        // Line 5: All-Gather factor chunks A^(k)(S^(k), T_{p_0}) across the
+        // slice {p' : p'_0 = p_0, p'_k = p_k}.
+        let mut gathered: Vec<Matrix> = Vec::with_capacity(order);
+        for k in 0..order {
+            let block_rows = ranges[k].1 - ranges[k].0;
+            if k == n {
+                gathered.push(Matrix::zeros(block_rows, cols_per_part));
+                continue;
+            }
+            let varying: Vec<usize> = (0..=order).filter(|&j| j != 0 && j != k + 1).collect();
+            let comm = pgrid.slice_comm(me, &varying);
+            let my_idx = comm.local_index(me).expect("member of own slice");
+            let (lo, hi) = split_range(block_rows, comm.size(), my_idx);
+            let mut chunk = Vec::with_capacity((hi - lo) * cols_per_part);
+            for row in lo..hi {
+                let full_row = factors[k].row(ranges[k].0 + row);
+                chunk.extend_from_slice(&full_row[c_lo..c_hi]);
+            }
+            let full = collectives::all_gather(rank, &comm, &chunk);
+            assert_eq!(full.len(), block_rows * cols_per_part);
+            gathered.push(Matrix::from_rows_vec(block_rows, cols_per_part, full));
+        }
+
+        // Line 7: local MTTKRP over the gathered subtensor and the T_{p_0}
+        // columns of the gathered factor blocks.
+        let refs: Vec<&Matrix> = gathered.iter().collect();
+        let c_local = local_mttkrp(&x_local, &refs, n);
+
+        // Line 8: Reduce-Scatter across {p' : p'_0 = p_0, p'_n = p_n}.
+        let varying: Vec<usize> = (0..=order).filter(|&j| j != 0 && j != n + 1).collect();
+        let comm_n = pgrid.slice_comm(me, &varying);
+        let my_idx = comm_n.local_index(me).expect("member of own slice");
+        let block_rows = ranges[n].1 - ranges[n].0;
+        let counts: Vec<usize> = split_sizes(block_rows, comm_n.size())
+            .into_iter()
+            .map(|rows| rows * cols_per_part)
+            .collect();
+        let mine = collectives::reduce_scatter(rank, &comm_n, c_local.data(), &counts);
+        let (lo, hi) = split_range(block_rows, comm_n.size(), my_idx);
+        (ranges[n].0 + lo, ranges[n].0 + hi, c_lo, c_hi, mine)
+    });
+
+    let output = assemble_block_chunks(shape.dim(n), r, &result.outputs);
+    let summary = CommSummary::from_ranks(&result.stats);
+    ParRun {
+        output,
+        stats: result.stats,
+        summary,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model;
+    use crate::par::mttkrp_stationary;
+    use crate::problem::Problem;
+    use mttkrp_tensor::{mttkrp_reference, Shape};
+
+    fn setup(dims: &[usize], r: usize, seed: u64) -> (DenseTensor, Vec<Matrix>) {
+        let shape = Shape::new(dims);
+        let x = DenseTensor::random(shape.clone(), seed);
+        let factors = dims
+            .iter()
+            .enumerate()
+            .map(|(k, &d)| Matrix::random(d, r, seed + 70 + k as u64))
+            .collect();
+        (x, factors)
+    }
+
+    #[test]
+    fn p0_equals_1_matches_stationary_exactly() {
+        let (x, factors) = setup(&[4, 6, 4], 4, 1);
+        let refs: Vec<&Matrix> = factors.iter().collect();
+        for n in 0..3 {
+            let gen = mttkrp_general(&x, &refs, n, 1, &[2, 1, 2]);
+            let stat = mttkrp_stationary(&x, &refs, n, &[2, 1, 2]);
+            assert!(gen.output.max_abs_diff(&stat.output) < 1e-12, "mode {n}");
+            // Same communication volume, too (the degenerate fiber
+            // all-gather is free).
+            assert_eq!(gen.summary.total_words, stat.summary.total_words);
+        }
+    }
+
+    #[test]
+    fn correct_with_rank_partitioning() {
+        let (x, factors) = setup(&[4, 4, 6], 6, 2);
+        let refs: Vec<&Matrix> = factors.iter().collect();
+        for n in 0..3 {
+            let run = mttkrp_general(&x, &refs, n, 3, &[2, 2, 1]);
+            let expect = mttkrp_reference(&x, &refs, n);
+            assert!(
+                run.output.max_abs_diff(&expect) < 1e-10,
+                "mode {n}: {}",
+                run.output.max_abs_diff(&expect)
+            );
+        }
+    }
+
+    #[test]
+    fn correct_with_pure_rank_parallelism() {
+        // P = P_0 only: each group of columns computed independently;
+        // the tensor is replicated via the fiber all-gather.
+        let (x, factors) = setup(&[3, 4, 5], 8, 3);
+        let refs: Vec<&Matrix> = factors.iter().collect();
+        let run = mttkrp_general(&x, &refs, 1, 4, &[1, 1, 1]);
+        let expect = mttkrp_reference(&x, &refs, 1);
+        assert!(run.output.max_abs_diff(&expect) < 1e-10);
+    }
+
+    #[test]
+    fn measured_words_match_eq18_even_case() {
+        // dims 8^3, R = 8, P0 = 2, grid 2x2x2 (P = 16).
+        // Tensor term: (P0-1) * I/P = 1 * 32 = 32 per rank.
+        // Factor terms k != n: q = P/(P0 Pk) = 4, w = Ik R/P = 4:
+        //   (4-1)*4 = 12 each; reduce-scatter same.
+        let (x, factors) = setup(&[8, 8, 8], 8, 4);
+        let refs: Vec<&Matrix> = factors.iter().collect();
+        let run = mttkrp_general(&x, &refs, 0, 2, &[2, 2, 2]);
+        let p = Problem::new(&[8, 8, 8], 8);
+        let modeled = model::alg4_cost(&p, 2, &[2, 2, 2]);
+        assert_eq!(modeled, 32.0 + 3.0 * 12.0);
+        for st in &run.stats {
+            assert_eq!(st.words_received as f64, modeled);
+            assert_eq!(st.words_sent as f64, modeled);
+        }
+        let expect = mttkrp_reference(&x, &refs, 0);
+        assert!(run.output.max_abs_diff(&expect) < 1e-10);
+    }
+
+    #[test]
+    fn rank_partitioning_reduces_factor_traffic_when_r_large() {
+        // R large relative to I/P: Algorithm 4 with P0 > 1 should move
+        // fewer words than Algorithm 3 on the same processor count.
+        let (x, factors) = setup(&[4, 4, 4], 32, 5);
+        let refs: Vec<&Matrix> = factors.iter().collect();
+        let stat = mttkrp_stationary(&x, &refs, 0, &[4, 2, 2]);
+        let gen = mttkrp_general(&x, &refs, 0, 4, &[2, 2, 1]);
+        assert!(
+            gen.summary.max_words < stat.summary.max_words,
+            "alg4 {} !< alg3 {}",
+            gen.summary.max_words,
+            stat.summary.max_words
+        );
+        let expect = mttkrp_reference(&x, &refs, 0);
+        assert!(gen.output.max_abs_diff(&expect) < 1e-10);
+        assert!(stat.output.max_abs_diff(&expect) < 1e-10);
+    }
+
+    #[test]
+    fn order4_with_p0() {
+        let (x, factors) = setup(&[4, 2, 4, 2], 4, 6);
+        let refs: Vec<&Matrix> = factors.iter().collect();
+        let run = mttkrp_general(&x, &refs, 2, 2, &[2, 1, 2, 1]);
+        let expect = mttkrp_reference(&x, &refs, 2);
+        assert!(run.output.max_abs_diff(&expect) < 1e-10);
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide R")]
+    fn p0_not_dividing_rank_rejected() {
+        let (x, factors) = setup(&[4, 4, 4], 5, 7);
+        let refs: Vec<&Matrix> = factors.iter().collect();
+        let _ = mttkrp_general(&x, &refs, 0, 2, &[1, 1, 1]);
+    }
+}

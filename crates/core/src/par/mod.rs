@@ -1,0 +1,46 @@
+//! Parallel MTTKRP algorithms, executed on the distributed-machine
+//! simulator so that per-rank communication can be measured exactly.
+
+pub mod cp_als;
+pub mod dist;
+pub mod general;
+pub mod matmul;
+pub mod multi;
+pub mod sparse;
+pub mod stationary;
+pub mod ttm;
+
+use mttkrp_netsim::{CommStats, CommSummary};
+use mttkrp_tensor::Matrix;
+
+/// Result of a simulated parallel MTTKRP run.
+#[derive(Debug)]
+pub struct ParRun {
+    /// The assembled global output `B^(n)` (`I_n x R`).
+    pub output: Matrix,
+    /// Per-rank communication counters.
+    pub stats: Vec<CommStats>,
+    /// Aggregate summary (max/total words).
+    pub summary: CommSummary,
+}
+
+impl ParRun {
+    /// Maximum over ranks of words *received* — the one-way per-processor
+    /// bandwidth cost that the paper's cost expressions (Eqs. 14, 18) count.
+    pub fn max_recv_words(&self) -> u64 {
+        self.stats.iter().map(|s| s.words_received).max().unwrap_or(0)
+    }
+
+    /// Maximum over ranks of words *sent*.
+    pub fn max_sent_words(&self) -> u64 {
+        self.stats.iter().map(|s| s.words_sent).max().unwrap_or(0)
+    }
+}
+
+pub use cp_als::{dist_cp_als, dist_cp_als_jacobi, DistCpAlsRun};
+pub use general::mttkrp_general;
+pub use matmul::mttkrp_par_matmul;
+pub use multi::{mttkrp_all_modes_stationary, AllModesRun};
+pub use sparse::mttkrp_sparse_stationary;
+pub use stationary::mttkrp_stationary;
+pub use ttm::{ttm_compress_stationary, ParTtmRun};

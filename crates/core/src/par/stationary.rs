@@ -1,0 +1,286 @@
+//! Algorithm 3 of the paper: the parallel *stationary-tensor* MTTKRP.
+//!
+//! Processors form an `N`-way grid `P = P_1 * ... * P_N`; processor
+//! `p = (p_1, ..., p_N)` owns the subtensor `X(S^(1)_{p_1}, ..., S^(N)_{p_N})`
+//! (never communicated — hence "stationary") and, for each mode `k`, a
+//! chunk of the block row `A^(k)(S^(k)_{p_k}, :)`, which is partitioned by
+//! rows across the hyperslice `{p' : p'_k = p_k}`.
+//!
+//! The algorithm (pseudocode in the paper):
+//! 1. for `k != n`: **All-Gather** the factor chunks across the mode-`k`
+//!    hyperslice, materializing `A^(k)_{p_k}` (Line 4);
+//! 2. **local MTTKRP** on the stationary subtensor (Line 6);
+//! 3. **Reduce-Scatter** the local contribution across the mode-`n`
+//!    hyperslice, leaving each processor with its chunk of `B^(n)` (Line 7).
+//!
+//! Measured per-rank words match Eq. (14); with an optimal grid this is
+//! `O(N R (I/P)^(1/N))`, attaining Theorem 4.3's bound (small-`P` regime).
+
+use super::dist::{split_range, split_sizes};
+use super::ParRun;
+use crate::kernels::local_mttkrp;
+use mttkrp_netsim::{collectives, CommSummary, ProcessorGrid, SimMachine};
+use mttkrp_tensor::{DenseTensor, Matrix};
+
+/// Per-rank output: the global row range `[row_start, row_end)` of `B^(n)`
+/// this rank owns, and the row-major chunk data.
+pub(crate) type RowChunk = (usize, usize, Vec<f64>);
+
+/// Assembles row chunks (rows x `r` each) into a full `rows x r` matrix.
+pub(crate) fn assemble_row_chunks(rows: usize, r: usize, chunks: &[RowChunk]) -> Matrix {
+    let mut out = Matrix::zeros(rows, r);
+    let mut covered = vec![false; rows];
+    for (start, end, data) in chunks {
+        assert_eq!(data.len(), (end - start) * r, "chunk size mismatch");
+        for (local, row) in (*start..*end).enumerate() {
+            assert!(!covered[row], "row {row} produced by two ranks");
+            covered[row] = true;
+            out.row_mut(row)
+                .copy_from_slice(&data[local * r..(local + 1) * r]);
+        }
+    }
+    assert!(covered.iter().all(|&c| c), "some output rows missing");
+    out
+}
+
+/// Runs Algorithm 3 on the simulated machine.
+///
+/// `grid` gives `(P_1, ..., P_N)`; every `P_k` must divide `I_k` (block
+/// data distribution). `factors[n]` is ignored.
+pub fn mttkrp_stationary(
+    x: &DenseTensor,
+    factors: &[&Matrix],
+    n: usize,
+    grid: &[usize],
+) -> ParRun {
+    let r = mttkrp_tensor::validate_operands(x, factors, n);
+    let shape = x.shape().clone();
+    let order = shape.order();
+    assert_eq!(grid.len(), order, "need one grid dimension per mode");
+    for (k, (&g, d)) in grid.iter().zip(shape.dims()).enumerate() {
+        assert!(
+            g >= 1 && d % g == 0,
+            "grid dim {k} = {g} must divide I_{k} = {d}"
+        );
+    }
+    let pgrid = ProcessorGrid::new(grid);
+    let procs = pgrid.num_ranks();
+    let machine = SimMachine::new(procs);
+
+    let result = machine.run(|rank| -> RowChunk {
+        let me = rank.world_rank();
+        let coords = pgrid.coords(me);
+
+        // Index ranges S^(k)_{p_k} of the owned subtensor.
+        let ranges: Vec<(usize, usize)> = (0..order)
+            .map(|k| {
+                let rows = shape.dim(k) / grid[k];
+                (coords[k] * rows, (coords[k] + 1) * rows)
+            })
+            .collect();
+        let x_local = x.subtensor(&ranges);
+
+        // Line 4: All-Gather each input factor's block row across the
+        // mode-k hyperslice {p' : p'_k = p_k}.
+        let mut gathered: Vec<Matrix> = Vec::with_capacity(order);
+        for k in 0..order {
+            let block_rows = ranges[k].1 - ranges[k].0;
+            if k == n {
+                // Placeholder with the right shape; ignored by the kernel.
+                gathered.push(Matrix::zeros(block_rows, r));
+                continue;
+            }
+            let comm = pgrid.hyperslice_comm(me, k);
+            let my_idx = comm.local_index(me).expect("member of own hyperslice");
+            let (lo, hi) = split_range(block_rows, comm.size(), my_idx);
+            let mut chunk = Vec::with_capacity((hi - lo) * r);
+            for row in lo..hi {
+                chunk.extend_from_slice(factors[k].row(ranges[k].0 + row));
+            }
+            let full = collectives::all_gather(rank, &comm, &chunk);
+            assert_eq!(full.len(), block_rows * r);
+            gathered.push(Matrix::from_rows_vec(block_rows, r, full));
+        }
+
+        // Line 6: local MTTKRP (atomic N-ary multiplies).
+        let refs: Vec<&Matrix> = gathered.iter().collect();
+        let c_local = local_mttkrp(&x_local, &refs, n);
+
+        // Line 7: Reduce-Scatter across the mode-n hyperslice; each member
+        // keeps its row chunk of B^(n)(S^(n)_{p_n}, :).
+        let comm_n = pgrid.hyperslice_comm(me, n);
+        let my_idx = comm_n.local_index(me).expect("member of own hyperslice");
+        let block_rows = ranges[n].1 - ranges[n].0;
+        let counts: Vec<usize> = split_sizes(block_rows, comm_n.size())
+            .into_iter()
+            .map(|rows| rows * r)
+            .collect();
+        let mine = collectives::reduce_scatter(rank, &comm_n, c_local.data(), &counts);
+        let (lo, hi) = split_range(block_rows, comm_n.size(), my_idx);
+        (ranges[n].0 + lo, ranges[n].0 + hi, mine)
+    });
+
+    let output = assemble_row_chunks(shape.dim(n), r, &result.outputs);
+    let summary = CommSummary::from_ranks(&result.stats);
+    ParRun {
+        output,
+        stats: result.stats,
+        summary,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model;
+    use crate::problem::Problem;
+    use mttkrp_tensor::{mttkrp_reference, Shape};
+
+    fn setup(dims: &[usize], r: usize, seed: u64) -> (DenseTensor, Vec<Matrix>) {
+        let shape = Shape::new(dims);
+        let x = DenseTensor::random(shape.clone(), seed);
+        let factors = dims
+            .iter()
+            .enumerate()
+            .map(|(k, &d)| Matrix::random(d, r, seed + 60 + k as u64))
+            .collect();
+        (x, factors)
+    }
+
+    #[test]
+    fn single_processor_no_communication() {
+        let (x, factors) = setup(&[4, 3, 5], 2, 1);
+        let refs: Vec<&Matrix> = factors.iter().collect();
+        let run = mttkrp_stationary(&x, &refs, 0, &[1, 1, 1]);
+        let expect = mttkrp_reference(&x, &refs, 0);
+        assert!(run.output.max_abs_diff(&expect) < 1e-11);
+        assert_eq!(run.summary.total_words, 0);
+    }
+
+    #[test]
+    fn correct_on_2x2x2_grid_all_modes() {
+        let (x, factors) = setup(&[4, 6, 8], 3, 2);
+        let refs: Vec<&Matrix> = factors.iter().collect();
+        for n in 0..3 {
+            let run = mttkrp_stationary(&x, &refs, n, &[2, 2, 2]);
+            let expect = mttkrp_reference(&x, &refs, n);
+            assert!(
+                run.output.max_abs_diff(&expect) < 1e-10,
+                "mode {n}: {}",
+                run.output.max_abs_diff(&expect)
+            );
+        }
+    }
+
+    #[test]
+    fn correct_on_skewed_grids() {
+        let (x, factors) = setup(&[8, 4, 6], 2, 3);
+        let refs: Vec<&Matrix> = factors.iter().collect();
+        for grid in [[4, 1, 2], [2, 4, 1], [1, 2, 3], [8, 1, 1]] {
+            for n in 0..3 {
+                let run = mttkrp_stationary(&x, &refs, n, &grid);
+                let expect = mttkrp_reference(&x, &refs, n);
+                assert!(
+                    run.output.max_abs_diff(&expect) < 1e-10,
+                    "grid {grid:?} mode {n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn measured_words_match_eq14_even_case() {
+        // I_k = 8, R = 4, grid 2x2x2 (P = 8): every rank owns I_k R / P = 4
+        // factor words per mode; hyperslices have q = 4 members; so each
+        // collective moves (q-1)*w = 3*4 = 12 words each way per rank and
+        // the total per rank is 36 = Eq. (14).
+        let (x, factors) = setup(&[8, 8, 8], 4, 4);
+        let refs: Vec<&Matrix> = factors.iter().collect();
+        let run = mttkrp_stationary(&x, &refs, 1, &[2, 2, 2]);
+        let p = Problem::new(&[8, 8, 8], 4);
+        let modeled = model::alg3_cost(&p, &[2, 2, 2]);
+        assert_eq!(modeled, 36.0);
+        for st in &run.stats {
+            assert_eq!(st.words_received as f64, modeled);
+            assert_eq!(st.words_sent as f64, modeled);
+        }
+    }
+
+    #[test]
+    fn measured_words_match_eq14_skewed_grid() {
+        // Chosen so every hyperslice chunk split is even: q_k divides the
+        // block-row count I_k/P_k for every mode.
+        let dims = [8usize, 8, 16];
+        let grid = [2usize, 1, 4];
+        let (x, factors) = setup(&dims, 2, 5);
+        let refs: Vec<&Matrix> = factors.iter().collect();
+        let run = mttkrp_stationary(&x, &refs, 2, &grid);
+        let p = Problem::new(&[8, 8, 16], 2);
+        let modeled = model::alg3_cost(&p, &[2, 1, 4]);
+        // Even distribution holds (block rows divide hyperslice sizes), so
+        // every rank matches the model exactly.
+        for st in &run.stats {
+            assert_eq!(st.words_received as f64, modeled);
+        }
+        let expect = mttkrp_reference(&x, &refs, 2);
+        assert!(run.output.max_abs_diff(&expect) < 1e-10);
+    }
+
+    #[test]
+    fn tensor_is_never_communicated() {
+        // Communication is only factor rows: total words should not depend
+        // on making the tensor entries bigger... verify stationarity by
+        // checking the measured volume equals the factor-only model even
+        // when I >> sum I_k R.
+        let (x, factors) = setup(&[16, 16, 16], 1, 6);
+        let refs: Vec<&Matrix> = factors.iter().collect();
+        let run = mttkrp_stationary(&x, &refs, 0, &[2, 2, 2]);
+        let p = Problem::new(&[16, 16, 16], 1);
+        let modeled = model::alg3_cost(&p, &[2, 2, 2]);
+        assert_eq!(run.max_recv_words() as f64, modeled);
+        // Far less than shipping any tensor chunk (I/P = 512 words).
+        assert!((run.max_recv_words() as usize) < 512);
+    }
+
+    #[test]
+    fn order4_grid_correct() {
+        let (x, factors) = setup(&[4, 4, 2, 6], 2, 7);
+        let refs: Vec<&Matrix> = factors.iter().collect();
+        let run = mttkrp_stationary(&x, &refs, 3, &[2, 2, 1, 3]);
+        let expect = mttkrp_reference(&x, &refs, 3);
+        assert!(run.output.max_abs_diff(&expect) < 1e-10);
+    }
+
+    #[test]
+    fn uneven_row_chunks_still_correct() {
+        // Block rows (I_k/P_k = 3) smaller than hyperslice size (q = 4):
+        // some ranks own zero rows of a block; all-gather still works.
+        let (x, factors) = setup(&[6, 6, 6], 2, 8);
+        let refs: Vec<&Matrix> = factors.iter().collect();
+        let run = mttkrp_stationary(&x, &refs, 0, &[2, 2, 2]);
+        let expect = mttkrp_reference(&x, &refs, 0);
+        assert!(run.output.max_abs_diff(&expect) < 1e-10);
+    }
+
+    #[test]
+    fn message_counts_match_latency_model() {
+        // Bucket collectives: q-1 messages per rank per collective.
+        let (x, factors) = setup(&[8, 8, 8], 4, 10);
+        let refs: Vec<&Matrix> = factors.iter().collect();
+        let run = mttkrp_stationary(&x, &refs, 0, &[2, 2, 2]);
+        let p = Problem::new(&[8, 8, 8], 4);
+        let modeled = model::alg3_messages(&p, &[2, 2, 2]);
+        for st in &run.stats {
+            assert_eq!(st.messages_sent, modeled);
+        }
+        assert_eq!(run.summary.max_messages, modeled);
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide")]
+    fn non_dividing_grid_rejected() {
+        let (x, factors) = setup(&[5, 4, 4], 2, 9);
+        let refs: Vec<&Matrix> = factors.iter().collect();
+        let _ = mttkrp_stationary(&x, &refs, 0, &[2, 2, 2]);
+    }
+}

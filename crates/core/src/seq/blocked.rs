@@ -1,0 +1,452 @@
+//! Algorithm 2 of the paper: the sequential *blocked* MTTKRP.
+//!
+//! The iteration space is tiled into `b x ... x b` tensor blocks. Each block
+//! of `X` is loaded once; then for each column `r`, the participating factor
+//! *subvectors* (`b` words each) and the output subvector are loaded, the
+//! whole block's contribution is accumulated, and the output subvector is
+//! stored. Correctness of the residency discipline requires (Eq. (11))
+//! `b^N + N*b <= M`, which the strict simulator enforces by construction.
+//!
+//! Communication cost (Eq. (12)):
+//! `W <= I + ceil(I_1/b) ... ceil(I_N/b) * R * (N+1) * b`,
+//! and with `b ~ (alpha*M)^(1/N)` this is `O(I + N*I*R / M^(1-1/N))` —
+//! matching the memory-dependent lower bound (Theorem 6.1).
+
+use super::SeqRun;
+use mttkrp_memsim::TwoLevelMemory;
+use mttkrp_tensor::{DenseTensor, Matrix, Shape};
+
+/// The largest block size `b` satisfying Eq. (11): `b^N + N*b <= m`.
+///
+/// # Panics
+/// Panics if even `b = 1` does not fit (`m < N + 1`).
+pub fn choose_block_size(m: usize, order: usize) -> usize {
+    assert!(
+        m > order,
+        "fast memory of {m} words cannot support even b = 1 (need N+1 = {})",
+        order + 1
+    );
+    let fits = |b: usize| -> bool {
+        // Compute b^N with overflow care.
+        let mut pow = 1usize;
+        for _ in 0..order {
+            match pow.checked_mul(b) {
+                Some(v) => pow = v,
+                None => return false,
+            }
+        }
+        pow.checked_add(order * b).is_some_and(|tot| tot <= m)
+    };
+    let mut lo = 1usize; // fits
+    let mut hi = m + 1; // does not fit (b^N >= b > m)
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if fits(mid) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+/// Runs Algorithm 2 with block size `b` on a machine with fast capacity `m`.
+///
+/// `factors[n]` is ignored. Returns the output and the exact I/O counts.
+///
+/// # Panics
+/// Panics if `b` violates Eq. (11) for this `m` (checked up front, and
+/// independently enforced by the simulator's capacity checks).
+pub fn mttkrp_blocked(
+    x: &DenseTensor,
+    factors: &[&Matrix],
+    n: usize,
+    m: usize,
+    b: usize,
+) -> SeqRun {
+    let r = mttkrp_tensor::validate_operands(x, factors, n);
+    let shape = x.shape().clone();
+    let order = shape.order();
+    assert!(b >= 1, "block size must be positive");
+    {
+        let mut pow = 1usize;
+        for _ in 0..order {
+            pow = pow
+                .checked_mul(b)
+                .expect("block size overflow computing b^N");
+        }
+        assert!(
+            pow + order * b <= m,
+            "block size {b} violates Eq. (11): b^N + N*b = {} > M = {m}",
+            pow + order * b
+        );
+    }
+
+    let mut mem = TwoLevelMemory::new(m);
+    let x_id = mem.alloc(x.data().to_vec());
+    let a_ids: Vec<_> = factors.iter().map(|f| mem.alloc(f.data().to_vec())).collect();
+    let b_id = mem.alloc_zeros(shape.dim(n) * r);
+
+    // Block grid: numbers of blocks per mode.
+    let nblocks: Vec<usize> = (0..order).map(|k| shape.dim(k).div_ceil(b)).collect();
+    let block_grid = Shape::new(&nblocks);
+
+    let mut block_coord = vec![0usize; order];
+    let mut idx = vec![0usize; order];
+    for bl in 0..block_grid.num_entries() {
+        block_grid.delinearize_into(bl, &mut block_coord);
+        // Half-open index ranges of this block (Line 5: Jk = min(Ik, jk+b-1)).
+        let ranges: Vec<(usize, usize)> = (0..order)
+            .map(|k| {
+                let lo = block_coord[k] * b;
+                (lo, (lo + b).min(shape.dim(k)))
+            })
+            .collect();
+        let block_shape = Shape::new(
+            &ranges
+                .iter()
+                .map(|&(lo, hi)| hi - lo)
+                .collect::<Vec<usize>>(),
+        );
+
+        // Line 6: load the tensor block.
+        let mut block_lins = Vec::with_capacity(block_shape.num_entries());
+        let mut local = vec![0usize; order];
+        for bl_lin in 0..block_shape.num_entries() {
+            block_shape.delinearize_into(bl_lin, &mut local);
+            for (k, (&l, &(lo, _))) in local.iter().zip(&ranges).enumerate() {
+                idx[k] = lo + l;
+            }
+            let lin = shape.linearize(&idx);
+            mem.load(x_id, lin);
+            block_lins.push(lin);
+        }
+
+        for rr in 0..r {
+            // Line 8: load factor subvectors A^(k)(jk:Jk, r), k != n.
+            for (k, f) in factors.iter().enumerate() {
+                if k == n {
+                    continue;
+                }
+                for i in ranges[k].0..ranges[k].1 {
+                    mem.load(a_ids[k], i * f.cols() + rr);
+                }
+            }
+            // Line 9: load output subvector B^(n)(jn:Jn, r).
+            for i in ranges[n].0..ranges[n].1 {
+                mem.load(b_id, i * r + rr);
+            }
+
+            // Lines 10-16: accumulate the whole block's contribution.
+            for (bl_lin, &lin) in block_lins.iter().enumerate() {
+                block_shape.delinearize_into(bl_lin, &mut local);
+                for (k, (&l, &(lo, _))) in local.iter().zip(&ranges).enumerate() {
+                    idx[k] = lo + l;
+                }
+                let mut prod = mem.get(x_id, lin);
+                for (k, f) in factors.iter().enumerate() {
+                    if k != n {
+                        prod *= mem.get(a_ids[k], idx[k] * f.cols() + rr);
+                    }
+                }
+                let b_off = idx[n] * r + rr;
+                let updated = mem.get(b_id, b_off) + prod;
+                mem.set(b_id, b_off, updated);
+                mem.note_iteration();
+            }
+
+            // Line 17: store the output subvector; release the subvectors.
+            for i in ranges[n].0..ranges[n].1 {
+                mem.store_evict(b_id, i * r + rr);
+            }
+            for (k, f) in factors.iter().enumerate() {
+                if k == n {
+                    continue;
+                }
+                for i in ranges[k].0..ranges[k].1 {
+                    mem.evict(a_ids[k], i * f.cols() + rr);
+                }
+            }
+        }
+
+        for &lin in &block_lins {
+            mem.evict(x_id, lin);
+        }
+    }
+
+    let output = Matrix::from_rows_vec(shape.dim(n), r, mem.slow_data(b_id).to_vec());
+    SeqRun {
+        output,
+        stats: mem.stats(),
+        peak_fast: mem.peak_fast(),
+        segments: mem.segments().to_vec(),
+    }
+}
+
+/// Loop-order ablation: Algorithm 2 with the rank loop *outermost*
+/// (`for r { for blocks { ... } }`), so the tensor block is reloaded for
+/// every column. Cost `R*I + (Eq.(12) factor terms)` — strictly worse than
+/// [`mttkrp_blocked`]'s `I + ...` whenever `R > 1`, which is exactly why
+/// the paper's Algorithm 2 nests `r` *inside* the block loops.
+pub fn mttkrp_blocked_r_outer(
+    x: &DenseTensor,
+    factors: &[&Matrix],
+    n: usize,
+    m: usize,
+    b: usize,
+) -> SeqRun {
+    let r = mttkrp_tensor::validate_operands(x, factors, n);
+    let shape = x.shape().clone();
+    let order = shape.order();
+    assert!(b >= 1, "block size must be positive");
+    {
+        let mut pow = 1usize;
+        for _ in 0..order {
+            pow = pow.checked_mul(b).expect("block size overflow");
+        }
+        assert!(
+            pow + order * b <= m,
+            "block size {b} violates Eq. (11): b^N + N*b = {} > M = {m}",
+            pow + order * b
+        );
+    }
+
+    let mut mem = TwoLevelMemory::new(m);
+    let x_id = mem.alloc(x.data().to_vec());
+    let a_ids: Vec<_> = factors.iter().map(|f| mem.alloc(f.data().to_vec())).collect();
+    let b_id = mem.alloc_zeros(shape.dim(n) * r);
+
+    let nblocks: Vec<usize> = (0..order).map(|k| shape.dim(k).div_ceil(b)).collect();
+    let block_grid = Shape::new(&nblocks);
+    let mut block_coord = vec![0usize; order];
+    let mut idx = vec![0usize; order];
+
+    for rr in 0..r {
+        for bl in 0..block_grid.num_entries() {
+            block_grid.delinearize_into(bl, &mut block_coord);
+            let ranges: Vec<(usize, usize)> = (0..order)
+                .map(|k| {
+                    let lo = block_coord[k] * b;
+                    (lo, (lo + b).min(shape.dim(k)))
+                })
+                .collect();
+            let block_shape = Shape::new(
+                &ranges
+                    .iter()
+                    .map(|&(lo, hi)| hi - lo)
+                    .collect::<Vec<usize>>(),
+            );
+
+            // Tensor block reloaded for THIS column (the design flaw).
+            let mut block_lins = Vec::with_capacity(block_shape.num_entries());
+            let mut local = vec![0usize; order];
+            for bl_lin in 0..block_shape.num_entries() {
+                block_shape.delinearize_into(bl_lin, &mut local);
+                for (k, (&l, &(lo, _))) in local.iter().zip(&ranges).enumerate() {
+                    idx[k] = lo + l;
+                }
+                let lin = shape.linearize(&idx);
+                mem.load(x_id, lin);
+                block_lins.push(lin);
+            }
+            for (k, f) in factors.iter().enumerate() {
+                if k == n {
+                    continue;
+                }
+                for i in ranges[k].0..ranges[k].1 {
+                    mem.load(a_ids[k], i * f.cols() + rr);
+                }
+            }
+            for i in ranges[n].0..ranges[n].1 {
+                mem.load(b_id, i * r + rr);
+            }
+            for (bl_lin, &lin) in block_lins.iter().enumerate() {
+                block_shape.delinearize_into(bl_lin, &mut local);
+                for (k, (&l, &(lo, _))) in local.iter().zip(&ranges).enumerate() {
+                    idx[k] = lo + l;
+                }
+                let mut prod = mem.get(x_id, lin);
+                for (k, f) in factors.iter().enumerate() {
+                    if k != n {
+                        prod *= mem.get(a_ids[k], idx[k] * f.cols() + rr);
+                    }
+                }
+                let b_off = idx[n] * r + rr;
+                let updated = mem.get(b_id, b_off) + prod;
+                mem.set(b_id, b_off, updated);
+                mem.note_iteration();
+            }
+            for i in ranges[n].0..ranges[n].1 {
+                mem.store_evict(b_id, i * r + rr);
+            }
+            for (k, f) in factors.iter().enumerate() {
+                if k == n {
+                    continue;
+                }
+                for i in ranges[k].0..ranges[k].1 {
+                    mem.evict(a_ids[k], i * f.cols() + rr);
+                }
+            }
+            for &lin in &block_lins {
+                mem.evict(x_id, lin);
+            }
+        }
+    }
+
+    let output = Matrix::from_rows_vec(shape.dim(n), r, mem.slow_data(b_id).to_vec());
+    SeqRun {
+        output,
+        stats: mem.stats(),
+        peak_fast: mem.peak_fast(),
+        segments: mem.segments().to_vec(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model;
+    use crate::problem::Problem;
+    use mttkrp_tensor::mttkrp_reference;
+
+    fn setup(dims: &[usize], r: usize, seed: u64) -> (DenseTensor, Vec<Matrix>) {
+        let shape = Shape::new(dims);
+        let x = DenseTensor::random(shape.clone(), seed);
+        let factors = dims
+            .iter()
+            .enumerate()
+            .map(|(k, &d)| Matrix::random(d, r, seed + 40 + k as u64))
+            .collect();
+        (x, factors)
+    }
+
+    #[test]
+    fn choose_block_size_respects_eq11() {
+        // N=3, M=100: b=4 gives 64+12=76 <= 100; b=5 gives 125+15 > 100.
+        assert_eq!(choose_block_size(100, 3), 4);
+        // Minimal memory: b = 1.
+        assert_eq!(choose_block_size(4, 3), 1);
+        // Large memory.
+        let b = choose_block_size(1 << 20, 3);
+        assert!(b.pow(3) + 3 * b <= 1 << 20);
+        assert!((b + 1).pow(3) + 3 * (b + 1) > 1 << 20);
+    }
+
+    #[test]
+    fn computes_correct_result_all_modes() {
+        let (x, factors) = setup(&[5, 4, 6], 3, 1);
+        let refs: Vec<&Matrix> = factors.iter().collect();
+        for n in 0..3 {
+            let run = mttkrp_blocked(&x, &refs, n, 64, 3);
+            let expect = mttkrp_reference(&x, &refs, n);
+            assert!(run.output.max_abs_diff(&expect) < 1e-11, "mode {n}");
+        }
+    }
+
+    #[test]
+    fn io_matches_exact_model_even_division() {
+        let dims = [4usize, 4, 4];
+        let (x, factors) = setup(&dims, 2, 2);
+        let refs: Vec<&Matrix> = factors.iter().collect();
+        let run = mttkrp_blocked(&x, &refs, 1, 32, 2);
+        let p = Problem::new(&[4, 4, 4], 2);
+        assert_eq!(
+            run.stats.total() as u128,
+            model::alg2_cost_exact(&p, 1, 2)
+        );
+    }
+
+    #[test]
+    fn io_matches_exact_model_ragged_blocks() {
+        // Dimensions not divisible by b: edge blocks are smaller.
+        let dims = [5usize, 3, 7];
+        let (x, factors) = setup(&dims, 3, 3);
+        let refs: Vec<&Matrix> = factors.iter().collect();
+        for n in 0..3 {
+            let run = mttkrp_blocked(&x, &refs, n, 64, 3);
+            let p = Problem::new(&[5, 3, 7], 3);
+            assert_eq!(
+                run.stats.total() as u128,
+                model::alg2_cost_exact(&p, n, 3),
+                "mode {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn b_equals_1_reduces_to_unblocked_cost() {
+        let (x, factors) = setup(&[3, 3, 3], 2, 4);
+        let refs: Vec<&Matrix> = factors.iter().collect();
+        let run = mttkrp_blocked(&x, &refs, 0, 8, 1);
+        let p = Problem::new(&[3, 3, 3], 2);
+        assert_eq!(run.stats.total() as u128, model::alg1_cost(&p));
+    }
+
+    #[test]
+    fn peak_fast_respects_eq11() {
+        let (x, factors) = setup(&[6, 6, 6], 2, 5);
+        let refs: Vec<&Matrix> = factors.iter().collect();
+        let b = 3;
+        let m = b * b * b + 3 * b; // exactly Eq. (11) with equality
+        let run = mttkrp_blocked(&x, &refs, 2, m, b);
+        assert!(run.peak_fast <= m);
+        let expect = mttkrp_reference(&x, &refs, 2);
+        assert!(run.output.max_abs_diff(&expect) < 1e-11);
+    }
+
+    #[test]
+    fn blocking_reduces_io() {
+        let (x, factors) = setup(&[8, 8, 8], 4, 6);
+        let refs: Vec<&Matrix> = factors.iter().collect();
+        let unblocked = mttkrp_blocked(&x, &refs, 0, 80, 1);
+        let blocked = mttkrp_blocked(&x, &refs, 0, 80, 4);
+        assert!(
+            blocked.stats.total() < unblocked.stats.total() / 2,
+            "b=4 should cut factor traffic ~4x: {} vs {}",
+            blocked.stats.total(),
+            unblocked.stats.total()
+        );
+    }
+
+    #[test]
+    fn r_outer_variant_correct_but_costlier() {
+        let (x, factors) = setup(&[6, 6, 6], 4, 10);
+        let refs: Vec<&Matrix> = factors.iter().collect();
+        let good = mttkrp_blocked(&x, &refs, 0, 64, 3);
+        let bad = mttkrp_blocked_r_outer(&x, &refs, 0, 64, 3);
+        let expect = mttkrp_reference(&x, &refs, 0);
+        assert!(bad.output.max_abs_diff(&expect) < 1e-11);
+        // Cost: R*I + (factor terms of the exact model).
+        let p = Problem::new(&[6, 6, 6], 4);
+        let factor_terms = model::alg2_cost_exact(&p, 0, 3) - 216;
+        assert_eq!(bad.stats.total() as u128, 4 * 216 + factor_terms);
+        assert!(bad.stats.total() > good.stats.total());
+    }
+
+    #[test]
+    fn r_outer_equals_blocked_when_r_is_1() {
+        let (x, factors) = setup(&[5, 4, 6], 1, 11);
+        let refs: Vec<&Matrix> = factors.iter().collect();
+        let a = mttkrp_blocked(&x, &refs, 1, 40, 2);
+        let b = mttkrp_blocked_r_outer(&x, &refs, 1, 40, 2);
+        assert_eq!(a.stats.total(), b.stats.total());
+        assert!(a.output.max_abs_diff(&b.output) < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "Eq. (11)")]
+    fn oversized_block_rejected() {
+        let (x, factors) = setup(&[4, 4, 4], 2, 7);
+        let refs: Vec<&Matrix> = factors.iter().collect();
+        let _ = mttkrp_blocked(&x, &refs, 0, 30, 3); // 27 + 9 > 30
+    }
+
+    #[test]
+    fn order4_blocked_correct() {
+        let (x, factors) = setup(&[3, 4, 3, 2], 2, 8);
+        let refs: Vec<&Matrix> = factors.iter().collect();
+        let run = mttkrp_blocked(&x, &refs, 3, 32, 2);
+        let expect = mttkrp_reference(&x, &refs, 3);
+        assert!(run.output.max_abs_diff(&expect) < 1e-11);
+    }
+}

@@ -1,0 +1,157 @@
+//! Algorithm 1 of the paper: the sequential *unblocked* MTTKRP.
+//!
+//! For every tensor entry `X(i)` (loaded once) and every column `r`, the
+//! algorithm loads the `N-1` participating factor entries and the output
+//! entry, performs one atomic `N`-ary multiply-accumulate, and stores the
+//! output entry back. Communication cost (paper Section V-A):
+//! `W <= I + I*R*(N+1)`.
+//!
+//! The only memory requirement is `M >= N + 1` (the `N` multiply operands
+//! plus the accumulator).
+
+use super::SeqRun;
+use mttkrp_memsim::TwoLevelMemory;
+use mttkrp_tensor::{DenseTensor, Matrix};
+
+/// Runs Algorithm 1 on a machine with fast-memory capacity `m`.
+///
+/// `factors[n]` is ignored. Returns the output and the exact I/O counts.
+///
+/// # Panics
+/// Panics if `m < N + 1` (the model cannot evaluate an `N`-ary multiply) or
+/// if operands are malformed.
+pub fn mttkrp_unblocked(
+    x: &DenseTensor,
+    factors: &[&Matrix],
+    n: usize,
+    m: usize,
+) -> SeqRun {
+    let r = mttkrp_tensor::validate_operands(x, factors, n);
+    let shape = x.shape().clone();
+    let order = shape.order();
+    assert!(
+        m > order,
+        "fast memory must hold at least N+1 = {} words",
+        order + 1
+    );
+
+    let mut mem = TwoLevelMemory::new(m);
+    let x_id = mem.alloc(x.data().to_vec());
+    let a_ids: Vec<_> = factors.iter().map(|f| mem.alloc(f.data().to_vec())).collect();
+    let b_id = mem.alloc_zeros(shape.dim(n) * r);
+
+    let mut idx = vec![0usize; order];
+    for lin in 0..shape.num_entries() {
+        shape.delinearize_into(lin, &mut idx);
+        mem.load(x_id, lin); // Line 5: load X(i1, ..., iN)
+        let xv = mem.get(x_id, lin);
+        for rr in 0..r {
+            // Line 7: load A^(k)(ik, r) for k != n.
+            let mut prod = xv;
+            for (k, f) in factors.iter().enumerate() {
+                if k == n {
+                    continue;
+                }
+                let off = idx[k] * f.cols() + rr;
+                mem.load(a_ids[k], off);
+                prod *= mem.get(a_ids[k], off);
+            }
+            // Lines 8-10: load, accumulate, store B^(n)(in, r).
+            let b_off = idx[n] * r + rr;
+            mem.load(b_id, b_off);
+            let updated = mem.get(b_id, b_off) + prod;
+            mem.set(b_id, b_off, updated);
+            mem.note_iteration();
+            mem.store_evict(b_id, b_off);
+            for (k, f) in factors.iter().enumerate() {
+                if k != n {
+                    mem.evict(a_ids[k], idx[k] * f.cols() + rr);
+                }
+            }
+        }
+        mem.evict(x_id, lin);
+    }
+
+    let output = Matrix::from_rows_vec(shape.dim(n), r, mem.slow_data(b_id).to_vec());
+    SeqRun {
+        output,
+        stats: mem.stats(),
+        peak_fast: mem.peak_fast(),
+        segments: mem.segments().to_vec(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model;
+    use crate::problem::Problem;
+    use mttkrp_tensor::{mttkrp_reference, Shape};
+
+    fn setup(dims: &[usize], r: usize, seed: u64) -> (DenseTensor, Vec<Matrix>) {
+        let shape = Shape::new(dims);
+        let x = DenseTensor::random(shape.clone(), seed);
+        let factors = dims
+            .iter()
+            .enumerate()
+            .map(|(k, &d)| Matrix::random(d, r, seed + 30 + k as u64))
+            .collect();
+        (x, factors)
+    }
+
+    #[test]
+    fn computes_correct_result() {
+        let (x, factors) = setup(&[4, 3, 5], 2, 1);
+        let refs: Vec<&Matrix> = factors.iter().collect();
+        for n in 0..3 {
+            let run = mttkrp_unblocked(&x, &refs, n, 16);
+            let expect = mttkrp_reference(&x, &refs, n);
+            assert!(run.output.max_abs_diff(&expect) < 1e-11, "mode {n}");
+        }
+    }
+
+    #[test]
+    fn io_count_matches_closed_form() {
+        // W = I (tensor loads) + I*R*(N-1) (factor loads) + I*R (B loads)
+        //   + I*R (B stores) = I + I*R*(N+1).
+        let (x, factors) = setup(&[3, 4, 2], 3, 2);
+        let refs: Vec<&Matrix> = factors.iter().collect();
+        let run = mttkrp_unblocked(&x, &refs, 1, 8);
+        let p = Problem::from_shape(x.shape(), 3);
+        assert_eq!(run.stats.total() as u128, model::alg1_cost(&p));
+        let i = 24u64;
+        assert_eq!(run.stats.loads, i + i * 3 * 3);
+        assert_eq!(run.stats.stores, i * 3);
+    }
+
+    #[test]
+    fn runs_in_minimal_memory() {
+        // N = 3 needs only M = 4 words.
+        let (x, factors) = setup(&[3, 3, 3], 2, 3);
+        let refs: Vec<&Matrix> = factors.iter().collect();
+        let run = mttkrp_unblocked(&x, &refs, 0, 4);
+        let expect = mttkrp_reference(&x, &refs, 0);
+        assert!(run.output.max_abs_diff(&expect) < 1e-11);
+        assert_eq!(run.peak_fast, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "fast memory must hold")]
+    fn too_small_memory_rejected() {
+        let (x, factors) = setup(&[2, 2, 2], 1, 4);
+        let refs: Vec<&Matrix> = factors.iter().collect();
+        let _ = mttkrp_unblocked(&x, &refs, 0, 3);
+    }
+
+    #[test]
+    fn order4_correct_and_counted() {
+        let (x, factors) = setup(&[2, 3, 2, 2], 2, 5);
+        let refs: Vec<&Matrix> = factors.iter().collect();
+        let run = mttkrp_unblocked(&x, &refs, 2, 8);
+        let expect = mttkrp_reference(&x, &refs, 2);
+        assert!(run.output.max_abs_diff(&expect) < 1e-11);
+        let i = 24u64;
+        // N = 4: W = I + I*R*(N+1) = 24 + 24*2*5.
+        assert_eq!(run.stats.total(), i + i * 2 * 5);
+    }
+}

@@ -1,0 +1,219 @@
+//! Tucker decomposition — the "other decompositions" extension of
+//! Section VII. The bottleneck kernels here are TTM chains (the analog of
+//! MTTKRP for Tucker), and the same lower-bound machinery applies to them;
+//! we provide the sequential algorithms (ST-HOSVD and HOOI) so the
+//! repository covers the full kernel family the paper situates itself in.
+//!
+//! Factor matrices are computed from the *Gram* of each unfolding
+//! (`X_(n) X_(n)^T`, an `I_n x I_n` symmetric eigenproblem) rather than an
+//! SVD of the unfolding — numerically adequate at these scales and
+//! self-contained.
+
+use mttkrp_tensor::{leading_eigvecs, matricize, ttm, ttm_chain, DenseTensor, Matrix, Shape};
+
+/// A Tucker tensor: a core of shape `R_1 x ... x R_N` plus orthonormal
+/// factor matrices `U^(k)` of shape `I_k x R_k`.
+#[derive(Clone, Debug)]
+pub struct TuckerTensor {
+    /// The core tensor `G`.
+    pub core: DenseTensor,
+    /// Orthonormal factors, one per mode (`I_k x R_k`).
+    pub factors: Vec<Matrix>,
+}
+
+impl TuckerTensor {
+    /// Shape of the represented (full-size) tensor.
+    pub fn shape(&self) -> Shape {
+        Shape::new(
+            &self
+                .factors
+                .iter()
+                .map(Matrix::rows)
+                .collect::<Vec<usize>>(),
+        )
+    }
+
+    /// Multilinear ranks `(R_1, ..., R_N)`.
+    pub fn ranks(&self) -> Vec<usize> {
+        self.factors.iter().map(Matrix::cols).collect()
+    }
+
+    /// Materializes the full tensor `G x_1 U^(1) ... x_N U^(N)`.
+    pub fn full(&self) -> DenseTensor {
+        let us: Vec<(usize, &Matrix)> = self.factors.iter().enumerate().collect();
+        ttm_chain(&self.core, &us)
+    }
+
+    /// Relative fit `1 - |X - full|_F / |X|_F`.
+    pub fn fit_to(&self, x: &DenseTensor) -> f64 {
+        1.0 - self.full().frob_dist(x) / x.frob_norm()
+    }
+}
+
+/// Sequentially truncated HOSVD (ST-HOSVD): for each mode in order,
+/// compute the `R_k` leading left singular vectors of the *current*
+/// partially-compressed tensor's unfolding (via the Gram eigenproblem) and
+/// immediately compress that mode. Cheaper than classical HOSVD and with
+/// the same error guarantees.
+///
+/// # Panics
+/// Panics if `ranks` has the wrong arity or any `R_k` exceeds `I_k` or is 0.
+pub fn st_hosvd(x: &DenseTensor, ranks: &[usize]) -> TuckerTensor {
+    let order = x.order();
+    assert_eq!(ranks.len(), order, "need one rank per mode");
+    for (k, (&r, &d)) in ranks.iter().zip(x.shape().dims()).enumerate() {
+        assert!(r >= 1 && r <= d, "rank {r} invalid for mode {k} of size {d}");
+    }
+    let mut core = x.clone();
+    let mut factors = Vec::with_capacity(order);
+    for n in 0..order {
+        let unfolded = matricize(&core, n);
+        let gram = unfolded.matmul(&unfolded.transpose()); // I_n x I_n
+        let u = leading_eigvecs(&gram, ranks[n]); // I_n x R_n
+        // Compress mode n now: core <- U^T x_n core.
+        core = ttm(&core, &u.transpose(), n);
+        factors.push(u);
+    }
+    TuckerTensor { core, factors }
+}
+
+/// Higher-Order Orthogonal Iteration: alternating refinement of the
+/// ST-HOSVD initialization. Each mode update forms the multi-TTM with all
+/// *other* factors transposed (the Tucker analog of MTTKRP) and takes the
+/// leading eigenvectors of its unfolding Gram.
+pub fn hooi(x: &DenseTensor, ranks: &[usize], max_iters: usize) -> TuckerTensor {
+    let order = x.order();
+    let mut t = st_hosvd(x, ranks);
+    for _ in 0..max_iters {
+        for n in 0..order {
+            // Y = X x_{k != n} U^(k)T  (the TTM-chain bottleneck kernel).
+            let transposed: Vec<Matrix> = t
+                .factors
+                .iter()
+                .enumerate()
+                .filter(|&(k, _)| k != n)
+                .map(|(_, u)| u.transpose())
+                .collect();
+            let mut chain: Vec<(usize, &Matrix)> = Vec::with_capacity(order - 1);
+            let mut idx = 0;
+            for k in 0..order {
+                if k != n {
+                    chain.push((k, &transposed[idx]));
+                    idx += 1;
+                }
+            }
+            let y = ttm_chain(x, &chain);
+            let unfolded = matricize(&y, n);
+            let gram = unfolded.matmul(&unfolded.transpose());
+            t.factors[n] = leading_eigvecs(&gram, ranks[n]);
+        }
+        // Refresh the core with the final factors of this sweep.
+        let transposed: Vec<Matrix> = t.factors.iter().map(Matrix::transpose).collect();
+        let chain: Vec<(usize, &Matrix)> = transposed.iter().enumerate().collect();
+        t.core = ttm_chain(x, &chain);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A tensor with exact multilinear ranks: core expanded by random
+    /// orthonormal-ish factors (orthonormalized via HOSVD of the product).
+    fn low_rank_tensor(dims: &[usize], ranks: &[usize], seed: u64) -> DenseTensor {
+        let core = DenseTensor::random(Shape::new(ranks), seed);
+        let us: Vec<Matrix> = dims
+            .iter()
+            .zip(ranks)
+            .enumerate()
+            .map(|(k, (&d, &r))| Matrix::random(d, r, seed + 40 + k as u64))
+            .collect();
+        let chain: Vec<(usize, &Matrix)> = us.iter().enumerate().collect();
+        ttm_chain(&core, &chain)
+    }
+
+    #[test]
+    fn full_rank_hosvd_is_exact() {
+        let x = DenseTensor::random(Shape::new(&[4, 3, 5]), 1);
+        let t = st_hosvd(&x, &[4, 3, 5]);
+        assert!(t.fit_to(&x) > 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn exact_low_rank_recovered() {
+        let x = low_rank_tensor(&[6, 7, 5], &[2, 3, 2], 2);
+        let t = st_hosvd(&x, &[2, 3, 2]);
+        assert!(
+            t.fit_to(&x) > 1.0 - 1e-7,
+            "fit = {}",
+            t.fit_to(&x)
+        );
+        assert_eq!(t.core.shape().dims(), &[2, 3, 2]);
+    }
+
+    #[test]
+    fn factors_are_orthonormal() {
+        let x = DenseTensor::random(Shape::new(&[5, 6, 4]), 3);
+        let t = st_hosvd(&x, &[2, 3, 2]);
+        for u in &t.factors {
+            let utu = u.transpose().matmul(u);
+            assert!(utu.max_abs_diff(&Matrix::identity(u.cols())) < 1e-8);
+        }
+    }
+
+    #[test]
+    fn core_norm_bounded_by_tensor_norm() {
+        // Orthonormal compression cannot increase the Frobenius norm.
+        let x = DenseTensor::random(Shape::new(&[5, 4, 4]), 4);
+        let t = st_hosvd(&x, &[3, 2, 3]);
+        assert!(t.core.frob_norm() <= x.frob_norm() + 1e-10);
+    }
+
+    #[test]
+    fn hooi_does_not_degrade_hosvd() {
+        let x = DenseTensor::random(Shape::new(&[6, 5, 4]), 5);
+        let ranks = [3usize, 2, 2];
+        let h = st_hosvd(&x, &ranks);
+        let better = hooi(&x, &ranks, 4);
+        assert!(
+            better.fit_to(&x) >= h.fit_to(&x) - 1e-9,
+            "HOOI {} < HOSVD {}",
+            better.fit_to(&x),
+            h.fit_to(&x)
+        );
+    }
+
+    #[test]
+    fn hooi_exact_on_exact_rank() {
+        let x = low_rank_tensor(&[5, 5, 5], &[2, 2, 2], 6);
+        let t = hooi(&x, &[2, 2, 2], 3);
+        assert!(t.fit_to(&x) > 1.0 - 1e-7);
+    }
+
+    #[test]
+    fn order_4_tucker() {
+        let x = low_rank_tensor(&[4, 3, 4, 3], &[2, 2, 2, 2], 7);
+        let t = st_hosvd(&x, &[2, 2, 2, 2]);
+        assert!(t.fit_to(&x) > 1.0 - 1e-7);
+        assert_eq!(t.ranks(), vec![2, 2, 2, 2]);
+        assert_eq!(t.shape().dims(), &[4, 3, 4, 3]);
+    }
+
+    #[test]
+    fn truncation_error_monotone_in_rank() {
+        let x = DenseTensor::random(Shape::new(&[6, 6, 6]), 8);
+        let f1 = st_hosvd(&x, &[2, 2, 2]).fit_to(&x);
+        let f2 = st_hosvd(&x, &[4, 4, 4]).fit_to(&x);
+        let f3 = st_hosvd(&x, &[6, 6, 6]).fit_to(&x);
+        assert!(f1 <= f2 + 1e-9 && f2 <= f3 + 1e-9, "{f1} {f2} {f3}");
+        assert!(f3 > 1.0 - 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid for mode")]
+    fn oversized_rank_rejected() {
+        let x = DenseTensor::random(Shape::new(&[3, 3]), 9);
+        let _ = st_hosvd(&x, &[4, 2]);
+    }
+}

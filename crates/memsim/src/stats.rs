@@ -1,0 +1,55 @@
+//! Load/store accounting for the two-level memory model.
+
+/// Counts of slow-memory traffic, in words (one word = one `f64`).
+///
+/// In the paper's sequential model (Section II-C), communication consists of
+/// *loads* (slow -> fast) and *stores* (fast -> slow); the communication cost
+/// `W` of an algorithm is `loads + stores`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IoStats {
+    /// Words moved from slow to fast memory.
+    pub loads: u64,
+    /// Words moved from fast to slow memory.
+    pub stores: u64,
+}
+
+impl IoStats {
+    /// Total communication `W = loads + stores`.
+    pub fn total(&self) -> u64 {
+        self.loads + self.stores
+    }
+}
+
+impl std::ops::Add for IoStats {
+    type Output = IoStats;
+    fn add(self, rhs: IoStats) -> IoStats {
+        IoStats {
+            loads: self.loads + rhs.loads,
+            stores: self.stores + rhs.stores,
+        }
+    }
+}
+
+impl std::ops::Sub for IoStats {
+    type Output = IoStats;
+    fn sub(self, rhs: IoStats) -> IoStats {
+        IoStats {
+            loads: self.loads - rhs.loads,
+            stores: self.stores - rhs.stores,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_and_arithmetic() {
+        let a = IoStats { loads: 3, stores: 2 };
+        let b = IoStats { loads: 1, stores: 1 };
+        assert_eq!(a.total(), 5);
+        assert_eq!((a + b).total(), 7);
+        assert_eq!((a - b), IoStats { loads: 2, stores: 1 });
+    }
+}

@@ -1,0 +1,138 @@
+//! Property-based tests for the two-level memory simulator: accounting
+//! exactness, capacity enforcement, and LRU behavior under random access
+//! patterns.
+
+use mttkrp_memsim::{LruMemory, TwoLevelMemory};
+use proptest::prelude::*;
+use std::collections::{HashMap, VecDeque};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn explicit_load_store_counts_are_exact(ops in prop::collection::vec((0usize..16, any::<bool>()), 0..60)) {
+        // Random load/store-evict sequences against one 16-word array with
+        // a large fast memory: counts must equal the issued operations.
+        let mut mem = TwoLevelMemory::new(64);
+        let a = mem.alloc((0..16).map(|i| i as f64).collect());
+        let mut loads = 0u64;
+        let mut stores = 0u64;
+        let mut resident: Vec<bool> = vec![false; 16];
+        for (off, do_store) in ops {
+            if do_store && resident[off] {
+                mem.store(a, off);
+                stores += 1;
+            } else {
+                mem.load(a, off);
+                resident[off] = true;
+                loads += 1;
+            }
+        }
+        prop_assert_eq!(mem.stats().loads, loads);
+        prop_assert_eq!(mem.stats().stores, stores);
+    }
+
+    #[test]
+    fn store_persists_last_written_value(values in prop::collection::vec(-10.0f64..10.0, 1..20)) {
+        let n = values.len();
+        let mut mem = TwoLevelMemory::new(n + 1);
+        let a = mem.alloc_zeros(n);
+        for (i, &v) in values.iter().enumerate() {
+            mem.load(a, i);
+            mem.set(a, i, v);
+            mem.store_evict(a, i);
+        }
+        prop_assert_eq!(mem.slow_data(a), &values[..]);
+    }
+
+    #[test]
+    fn peak_never_exceeds_capacity(cap in 1usize..8, pattern in prop::collection::vec(0usize..8, 0..40)) {
+        // A well-behaved client that evicts before exceeding capacity:
+        // peak tracking never exceeds the capacity.
+        let mut mem = TwoLevelMemory::new(cap);
+        let a = mem.alloc_zeros(8);
+        let mut resident: VecDeque<usize> = VecDeque::new();
+        for off in pattern {
+            if resident.contains(&off) {
+                continue;
+            }
+            if resident.len() == cap {
+                let victim = resident.pop_front().unwrap();
+                mem.evict(a, victim);
+            }
+            mem.load(a, off);
+            resident.push_back(off);
+        }
+        prop_assert!(mem.peak_fast() <= cap);
+        prop_assert!(mem.fast_used() <= cap);
+    }
+
+    #[test]
+    fn lru_matches_reference_simulation(cap in 1usize..6, pattern in prop::collection::vec((0usize..10, any::<bool>()), 0..80)) {
+        // The LRU cache's load/store counts must equal a straightforward
+        // reference LRU simulation (write-back, write-allocate).
+        let mut mem = LruMemory::new(cap);
+        let a = mem.alloc_zeros(10);
+
+        // Reference simulator.
+        let mut ref_loads = 0u64;
+        let mut ref_stores = 0u64;
+        let mut cache: Vec<usize> = Vec::new(); // most recent at back
+        let mut dirty: HashMap<usize, bool> = HashMap::new();
+
+        for (off, is_write) in pattern {
+            // Reference.
+            if let Some(pos) = cache.iter().position(|&o| o == off) {
+                cache.remove(pos);
+            } else {
+                if cache.len() == cap {
+                    let victim = cache.remove(0);
+                    if dirty.remove(&victim).unwrap_or(false) {
+                        ref_stores += 1;
+                    }
+                }
+                ref_loads += 1;
+            }
+            cache.push(off);
+            if is_write {
+                dirty.insert(off, true);
+            }
+
+            // System under test.
+            if is_write {
+                mem.write(a, off, 1.0);
+            } else {
+                let _ = mem.read(a, off);
+            }
+        }
+        prop_assert_eq!(mem.stats().loads, ref_loads);
+        prop_assert_eq!(mem.stats().stores, ref_stores);
+    }
+
+    #[test]
+    fn lru_flush_makes_slow_memory_match_writes(cap in 1usize..5, writes in prop::collection::vec((0usize..6, -5.0f64..5.0), 1..30)) {
+        let mut mem = LruMemory::new(cap);
+        let a = mem.alloc_zeros(6);
+        let mut expect = [0.0f64; 6];
+        for &(off, v) in &writes {
+            mem.write(a, off, v);
+            expect[off] = v;
+        }
+        mem.flush();
+        prop_assert_eq!(mem.slow_data(a), &expect[..]);
+    }
+
+    #[test]
+    fn lru_hit_rate_perfect_when_cache_fits_working_set(cap in 4usize..8, rounds in 1usize..6) {
+        // Working set of `cap` words scanned repeatedly: only cold misses.
+        let mut mem = LruMemory::new(cap);
+        let a = mem.alloc_zeros(cap);
+        for _ in 0..rounds {
+            for off in 0..cap {
+                let _ = mem.read(a, off);
+            }
+        }
+        prop_assert_eq!(mem.stats().loads, cap as u64);
+        prop_assert_eq!(mem.stats().stores, 0);
+    }
+}

@@ -1,0 +1,34 @@
+//! # mttkrp-netsim
+//!
+//! A simulator of the distributed-memory parallel machine model used by the
+//! paper (Section II-C): `P` processors, each with its own local memory,
+//! communicating by sends and receives over a network. The simulator runs
+//! one OS thread per rank, moves real data over channels, and counts every
+//! word (one word = one `f64`) sent and received by each rank — the exact
+//! quantity the paper's communication lower bounds govern.
+//!
+//! Collectives use the *bucket* (ring) algorithms the paper assumes, so the
+//! measured per-rank cost of an All-Gather or Reduce-Scatter over `q`
+//! balanced blocks of `w` words is exactly `(q-1)·w` each way.
+//!
+//! ```
+//! use mttkrp_netsim::{SimMachine, collectives};
+//!
+//! let machine = SimMachine::new(4);
+//! let result = machine.run(|rank| {
+//!     let world = rank.world();
+//!     collectives::all_reduce(rank, &world, &[rank.world_rank() as f64])
+//! });
+//! assert_eq!(result.outputs[0], vec![6.0]); // 0+1+2+3
+//! ```
+
+pub mod collectives;
+pub mod comm;
+pub mod grid;
+pub mod machine;
+pub mod stats;
+
+pub use comm::{Comm, Rank};
+pub use grid::ProcessorGrid;
+pub use machine::{RunResult, SimMachine};
+pub use stats::{CommStats, CommSummary};

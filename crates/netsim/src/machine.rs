@@ -1,0 +1,167 @@
+//! The simulated distributed-memory machine: `P` ranks, one OS thread each.
+
+use crate::comm::{Machinery, Rank};
+use crate::stats::{CommStats, CommSummary};
+use crossbeam::channel::unbounded;
+use std::sync::Arc;
+
+/// Result of running a rank program on all `P` ranks.
+#[derive(Debug)]
+pub struct RunResult<T> {
+    /// Per-rank return values, indexed by world rank.
+    pub outputs: Vec<T>,
+    /// Per-rank communication counters, indexed by world rank.
+    pub stats: Vec<CommStats>,
+}
+
+impl<T> RunResult<T> {
+    /// Aggregated communication summary (max/total words over ranks).
+    pub fn summary(&self) -> CommSummary {
+        CommSummary::from_ranks(&self.stats)
+    }
+}
+
+/// A `P`-processor distributed-memory machine.
+///
+/// [`SimMachine::run`] executes the same rank program (an SPMD closure) on
+/// every rank concurrently, each on its own OS thread, and collects the
+/// outputs and exact per-rank communication counts. A rank program that
+/// panics propagates the panic to the caller.
+pub struct SimMachine {
+    p: usize,
+}
+
+impl SimMachine {
+    /// Creates a machine with `p >= 1` processors.
+    pub fn new(p: usize) -> SimMachine {
+        assert!(p >= 1, "need at least one processor");
+        SimMachine { p }
+    }
+
+    /// Number of processors `P`.
+    pub fn num_ranks(&self) -> usize {
+        self.p
+    }
+
+    /// Runs `program` on every rank and waits for all of them.
+    ///
+    /// The closure receives the rank handle; its return value and the
+    /// rank's communication counters are collected into the [`RunResult`].
+    /// Quiescence (no undelivered messages) is asserted on every rank.
+    pub fn run<T, F>(&self, program: F) -> RunResult<T>
+    where
+        T: Send,
+        F: Fn(&mut Rank) -> T + Send + Sync,
+    {
+        let p = self.p;
+        let mut senders = Vec::with_capacity(p);
+        let mut receivers = Vec::with_capacity(p);
+        for _ in 0..p {
+            let (s, r) = unbounded();
+            senders.push(s);
+            receivers.push(r);
+        }
+        let machinery = Arc::new(Machinery { senders });
+        let program = &program;
+
+        let mut results: Vec<Option<(T, CommStats)>> = (0..p).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(p);
+            for (world_rank, receiver) in receivers.into_iter().enumerate() {
+                let machinery = Arc::clone(&machinery);
+                handles.push(scope.spawn(move || {
+                    let mut rank = Rank::new(world_rank, p, machinery, receiver);
+                    let out = program(&mut rank);
+                    rank.assert_quiescent();
+                    (out, rank.stats())
+                }));
+            }
+            for (world_rank, handle) in handles.into_iter().enumerate() {
+                match handle.join() {
+                    Ok(pair) => results[world_rank] = Some(pair),
+                    Err(payload) => std::panic::resume_unwind(payload),
+                }
+            }
+        });
+
+        let mut outputs = Vec::with_capacity(p);
+        let mut stats = Vec::with_capacity(p);
+        for r in results {
+            let (out, st) = r.expect("rank produced no result");
+            outputs.push(out);
+            stats.push(st);
+        }
+        RunResult { outputs, stats }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_see_their_ids() {
+        let machine = SimMachine::new(4);
+        let res = machine.run(|rank| rank.world_rank() * 10);
+        assert_eq!(res.outputs, vec![0, 10, 20, 30]);
+        assert_eq!(res.summary().total_words, 0);
+    }
+
+    #[test]
+    fn ring_shift_moves_data_and_counts() {
+        let p = 5;
+        let machine = SimMachine::new(p);
+        let res = machine.run(|rank| {
+            let world = rank.world();
+            let me = rank.world_rank();
+            let right = (me + 1) % p;
+            let left = (me + p - 1) % p;
+            let got = rank.sendrecv(&world, right, &[me as f64, me as f64], left);
+            got[0]
+        });
+        for (me, &got) in res.outputs.iter().enumerate() {
+            assert_eq!(got as usize, (me + p - 1) % p);
+        }
+        let s = res.summary();
+        assert_eq!(s.max_words, 4); // 2 sent + 2 received per rank
+        assert_eq!(s.total_words, (4 * p) as u64);
+    }
+
+    #[test]
+    fn single_rank_machine_runs() {
+        let machine = SimMachine::new(1);
+        let res = machine.run(|rank| rank.num_ranks());
+        assert_eq!(res.outputs, vec![1]);
+    }
+
+    #[test]
+    fn rank_panic_propagates() {
+        let machine = SimMachine::new(2);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            machine.run(|rank| {
+                if rank.world_rank() == 1 {
+                    panic!("deliberate failure injection");
+                }
+                // Rank 0 must not deadlock waiting: it just returns.
+                0
+            });
+        }));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn stats_are_per_rank() {
+        let machine = SimMachine::new(3);
+        let res = machine.run(|rank| {
+            let world = rank.world();
+            if rank.world_rank() == 0 {
+                rank.send(&world, 1, &[1.0, 2.0]);
+            } else if rank.world_rank() == 1 {
+                let _ = rank.recv(&world, 0);
+            }
+        });
+        assert_eq!(res.stats[0].words_sent, 2);
+        assert_eq!(res.stats[1].words_received, 2);
+        assert_eq!(res.stats[2].total_words(), 0);
+    }
+}

@@ -1,0 +1,264 @@
+//! Dense `N`-way tensors stored contiguously in colexicographic order.
+
+use crate::matrix::Matrix;
+use crate::shape::Shape;
+use rand::distributions::{Distribution, Uniform};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A dense `N`-way tensor of `f64` values.
+///
+/// Storage is colexicographic (mode 0 fastest), matching
+/// [`Shape::linearize`]; see the `shape` module for the convention.
+#[derive(Clone, PartialEq)]
+pub struct DenseTensor {
+    shape: Shape,
+    data: Vec<f64>,
+}
+
+impl fmt::Debug for DenseTensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "DenseTensor({}, {} entries, |X|_F = {:.4})",
+            self.shape,
+            self.data.len(),
+            self.frob_norm()
+        )
+    }
+}
+
+impl DenseTensor {
+    /// All-zeros tensor of the given shape.
+    pub fn zeros(shape: Shape) -> Self {
+        let n = shape.num_entries();
+        DenseTensor {
+            shape,
+            data: vec![0.0; n],
+        }
+    }
+
+    /// Builds a tensor from a closure over multi-indices.
+    pub fn from_fn(shape: Shape, mut f: impl FnMut(&[usize]) -> f64) -> Self {
+        let mut t = DenseTensor::zeros(shape.clone());
+        let mut idx = vec![0usize; shape.order()];
+        for lin in 0..shape.num_entries() {
+            shape.delinearize_into(lin, &mut idx);
+            t.data[lin] = f(&idx);
+        }
+        t
+    }
+
+    /// Wraps an existing colexicographic data vector.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != shape.num_entries()`.
+    pub fn from_vec(shape: Shape, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), shape.num_entries(), "data length mismatch");
+        DenseTensor { shape, data }
+    }
+
+    /// Uniform random tensor in `[-1, 1)` with a fixed seed (deterministic).
+    pub fn random(shape: Shape, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dist = Uniform::new(-1.0, 1.0);
+        let data = (0..shape.num_entries())
+            .map(|_| dist.sample(&mut rng))
+            .collect();
+        DenseTensor { shape, data }
+    }
+
+    #[inline]
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    #[inline]
+    pub fn order(&self) -> usize {
+        self.shape.order()
+    }
+
+    #[inline]
+    pub fn num_entries(&self) -> usize {
+        self.data.len()
+    }
+
+    #[inline]
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Entry at a multi-index.
+    #[inline]
+    pub fn get(&self, index: &[usize]) -> f64 {
+        self.data[self.shape.linearize(index)]
+    }
+
+    /// Sets the entry at a multi-index.
+    #[inline]
+    pub fn set(&mut self, index: &[usize], value: f64) {
+        let lin = self.shape.linearize(index);
+        self.data[lin] = value;
+    }
+
+    /// Frobenius norm.
+    pub fn frob_norm(&self) -> f64 {
+        self.data.iter().map(|&x| x * x).sum::<f64>().sqrt()
+    }
+
+    /// Frobenius norm of `self - other`.
+    pub fn frob_dist(&self, other: &DenseTensor) -> f64 {
+        assert_eq!(self.shape, other.shape, "shape mismatch");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(&a, &b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// Extracts the sub-tensor with mode-`k` indices in `ranges[k] = (lo, hi)`
+    /// (half-open). Used by the blocked and distributed algorithms.
+    pub fn subtensor(&self, ranges: &[(usize, usize)]) -> DenseTensor {
+        assert_eq!(ranges.len(), self.order(), "range arity mismatch");
+        for (k, &(lo, hi)) in ranges.iter().enumerate() {
+            assert!(
+                lo < hi && hi <= self.shape.dim(k),
+                "bad range {lo}..{hi} for mode {k} of size {}",
+                self.shape.dim(k)
+            );
+        }
+        let sub_shape = Shape::new(
+            &ranges
+                .iter()
+                .map(|&(lo, hi)| hi - lo)
+                .collect::<Vec<usize>>(),
+        );
+        let mut out = DenseTensor::zeros(sub_shape.clone());
+        let mut sub_idx = vec![0usize; self.order()];
+        let mut full_idx = vec![0usize; self.order()];
+        for lin in 0..sub_shape.num_entries() {
+            sub_shape.delinearize_into(lin, &mut sub_idx);
+            for (k, (&si, &(lo, _))) in sub_idx.iter().zip(ranges).enumerate() {
+                full_idx[k] = lo + si;
+            }
+            out.data[lin] = self.get(&full_idx);
+        }
+        out
+    }
+
+    /// Interprets an order-2 tensor as a [`Matrix`] (rows = mode 0).
+    pub fn to_matrix(&self) -> Matrix {
+        assert_eq!(self.order(), 2, "to_matrix requires an order-2 tensor");
+        let (rows, cols) = (self.shape.dim(0), self.shape.dim(1));
+        // Colexicographic tensor storage is column-major; Matrix is
+        // row-major, so transpose the layout while copying.
+        Matrix::from_fn(rows, cols, |i, j| self.data[i + j * rows])
+    }
+}
+
+impl Index<&[usize]> for DenseTensor {
+    type Output = f64;
+    #[inline]
+    fn index(&self, index: &[usize]) -> &f64 {
+        &self.data[self.shape.linearize(index)]
+    }
+}
+
+impl IndexMut<&[usize]> for DenseTensor {
+    #[inline]
+    fn index_mut(&mut self, index: &[usize]) -> &mut f64 {
+        let lin = self.shape.linearize(index);
+        &mut self.data[lin]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_fn_and_get_agree() {
+        let shape = Shape::new(&[3, 4, 2]);
+        let t = DenseTensor::from_fn(shape.clone(), |idx| {
+            (idx[0] * 100 + idx[1] * 10 + idx[2]) as f64
+        });
+        assert_eq!(t.get(&[2, 3, 1]), 231.0);
+        assert_eq!(t[&[1, 0, 1][..]], 101.0);
+    }
+
+    #[test]
+    fn set_then_get() {
+        let mut t = DenseTensor::zeros(Shape::new(&[2, 2]));
+        t.set(&[1, 0], 5.0);
+        assert_eq!(t.get(&[1, 0]), 5.0);
+        assert_eq!(t.get(&[0, 1]), 0.0);
+    }
+
+    #[test]
+    fn subtensor_extracts_block() {
+        let shape = Shape::new(&[4, 5]);
+        let t = DenseTensor::from_fn(shape, |idx| (idx[0] * 10 + idx[1]) as f64);
+        let sub = t.subtensor(&[(1, 3), (2, 5)]);
+        assert_eq!(sub.shape().dims(), &[2, 3]);
+        assert_eq!(sub.get(&[0, 0]), 12.0);
+        assert_eq!(sub.get(&[1, 2]), 24.0);
+    }
+
+    #[test]
+    fn subtensor_full_range_is_identity() {
+        let t = DenseTensor::random(Shape::new(&[3, 2, 4]), 9);
+        let sub = t.subtensor(&[(0, 3), (0, 2), (0, 4)]);
+        assert_eq!(sub, t);
+    }
+
+    #[test]
+    fn to_matrix_layout() {
+        // Tensor entries X(i,j) stored colexicographically must land at
+        // Matrix (i,j).
+        let t = DenseTensor::from_fn(Shape::new(&[2, 3]), |idx| (idx[0] * 10 + idx[1]) as f64);
+        let m = t.to_matrix();
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 3);
+        for i in 0..2 {
+            for j in 0..3 {
+                assert_eq!(m[(i, j)], (i * 10 + j) as f64);
+            }
+        }
+    }
+
+    #[test]
+    fn frob_norm_simple() {
+        let t = DenseTensor::from_vec(Shape::new(&[2, 2]), vec![1.0, 2.0, 2.0, 4.0]);
+        assert!((t.frob_norm() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_deterministic() {
+        let a = DenseTensor::random(Shape::new(&[3, 3]), 1);
+        let b = DenseTensor::random(Shape::new(&[3, 3]), 1);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic]
+    fn subtensor_bad_range_panics() {
+        let t = DenseTensor::zeros(Shape::new(&[3, 3]));
+        let _ = t.subtensor(&[(0, 4), (0, 3)]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn frob_dist_shape_mismatch_panics() {
+        let a = DenseTensor::zeros(Shape::new(&[2, 3]));
+        let b = DenseTensor::zeros(Shape::new(&[3, 2]));
+        let _ = a.frob_dist(&b);
+    }
+}

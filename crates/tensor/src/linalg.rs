@@ -1,0 +1,345 @@
+//! Small dense linear-algebra kernels: Cholesky factorization and
+//! symmetric-positive-definite solves.
+//!
+//! CP-ALS needs to solve `A^(n) V = B` for `A^(n)`, where
+//! `V = hadamard_k (A^(k)T A^(k))` is `R x R` symmetric positive
+//! (semi-)definite and `B` is the `I_n x R` MTTKRP output. `R` is small, so
+//! an unblocked Cholesky is plenty.
+
+use crate::matrix::Matrix;
+
+/// Error type for factorization failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinalgError {
+    /// The matrix was not (numerically) positive definite; contains the
+    /// pivot index where factorization broke down.
+    NotPositiveDefinite(usize),
+    /// The matrix was not square.
+    NotSquare,
+}
+
+impl std::fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LinalgError::NotPositiveDefinite(k) => {
+                write!(f, "matrix not positive definite (pivot {k})")
+            }
+            LinalgError::NotSquare => write!(f, "matrix not square"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+/// Lower-triangular Cholesky factor `L` with `L L^T = A`.
+///
+/// `A` must be symmetric positive definite; only the lower triangle is read.
+pub fn cholesky(a: &Matrix) -> Result<Matrix, LinalgError> {
+    if a.rows() != a.cols() {
+        return Err(LinalgError::NotSquare);
+    }
+    let n = a.rows();
+    let mut l = Matrix::zeros(n, n);
+    for j in 0..n {
+        let mut d = a[(j, j)];
+        for k in 0..j {
+            d -= l[(j, k)] * l[(j, k)];
+        }
+        if d <= 0.0 || !d.is_finite() {
+            return Err(LinalgError::NotPositiveDefinite(j));
+        }
+        let djj = d.sqrt();
+        l[(j, j)] = djj;
+        for i in (j + 1)..n {
+            let mut s = a[(i, j)];
+            for k in 0..j {
+                s -= l[(i, k)] * l[(j, k)];
+            }
+            l[(i, j)] = s / djj;
+        }
+    }
+    Ok(l)
+}
+
+/// Solves `L y = b` (forward substitution) for one right-hand side in place.
+fn forward_sub(l: &Matrix, b: &mut [f64]) {
+    let n = l.rows();
+    for i in 0..n {
+        let mut s = b[i];
+        for k in 0..i {
+            s -= l[(i, k)] * b[k];
+        }
+        b[i] = s / l[(i, i)];
+    }
+}
+
+/// Solves `L^T x = y` (backward substitution) for one right-hand side in place.
+fn backward_sub_t(l: &Matrix, b: &mut [f64]) {
+    let n = l.rows();
+    for i in (0..n).rev() {
+        let mut s = b[i];
+        for k in (i + 1)..n {
+            s -= l[(k, i)] * b[k];
+        }
+        b[i] = s / l[(i, i)];
+    }
+}
+
+/// Solves the SPD system `A X = B` column-by-column via Cholesky.
+pub fn solve_spd(a: &Matrix, b: &Matrix) -> Result<Matrix, LinalgError> {
+    assert_eq!(a.rows(), b.rows(), "dimension mismatch in solve_spd");
+    let l = cholesky(a)?;
+    let n = a.rows();
+    let mut x = Matrix::zeros(b.rows(), b.cols());
+    let mut col = vec![0.0; n];
+    for j in 0..b.cols() {
+        for i in 0..n {
+            col[i] = b[(i, j)];
+        }
+        forward_sub(&l, &mut col);
+        backward_sub_t(&l, &mut col);
+        for i in 0..n {
+            x[(i, j)] = col[i];
+        }
+    }
+    Ok(x)
+}
+
+/// Solves `X A = B` for `X` (`B` is `m x n`, `A` is `n x n` SPD), the shape
+/// that appears in the CP-ALS update `A^(n) = MTTKRP / V`.
+///
+/// If `A` is singular (positive semi-definite), a small ridge
+/// (`eps * trace/n`) is added, which is the standard CP-ALS safeguard.
+pub fn solve_spd_right(b: &Matrix, a: &Matrix) -> Result<Matrix, LinalgError> {
+    assert_eq!(a.rows(), a.cols(), "A must be square");
+    assert_eq!(b.cols(), a.rows(), "dimension mismatch in solve_spd_right");
+    // X A = B  <=>  A X^T = B^T (A symmetric).
+    match solve_spd(a, &b.transpose()) {
+        Ok(xt) => Ok(xt.transpose()),
+        Err(LinalgError::NotPositiveDefinite(_)) => {
+            let n = a.rows();
+            let trace: f64 = (0..n).map(|i| a[(i, i)]).sum();
+            let ridge = 1e-12 * (trace / n as f64).max(1e-300);
+            let mut a2 = a.clone();
+            for i in 0..n {
+                a2[(i, i)] += ridge;
+            }
+            let xt = solve_spd(&a2, &b.transpose())?;
+            Ok(xt.transpose())
+        }
+        Err(e) => Err(e),
+    }
+}
+
+/// Symmetric eigendecomposition by the cyclic Jacobi method.
+///
+/// Returns `(eigenvalues, V)` with eigenvalues in *descending* order and
+/// the corresponding eigenvectors as the **columns** of `V`
+/// (`A = V * diag(vals) * V^T`). Intended for the small Gram matrices that
+/// appear in HOSVD/HOOI; `O(n^3)` per sweep, a handful of sweeps suffice.
+///
+/// # Panics
+/// Panics if `a` is not square. Only the symmetric part of `a` is used.
+pub fn sym_eig(a: &Matrix) -> (Vec<f64>, Matrix) {
+    assert_eq!(a.rows(), a.cols(), "sym_eig requires a square matrix");
+    let n = a.rows();
+    // Work on the symmetrized copy.
+    let mut m = Matrix::from_fn(n, n, |i, j| 0.5 * (a[(i, j)] + a[(j, i)]));
+    let mut v = Matrix::identity(n);
+
+    let off = |m: &Matrix| -> f64 {
+        let mut s = 0.0;
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    s += m[(i, j)] * m[(i, j)];
+                }
+            }
+        }
+        s
+    };
+    let scale: f64 = m.frob_norm().max(1e-300);
+    for _sweep in 0..60 {
+        if off(&m).sqrt() <= 1e-14 * scale {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m[(p, q)];
+                if apq.abs() <= 1e-300 {
+                    continue;
+                }
+                let (app, aqq) = (m[(p, p)], m[(q, q)]);
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+                // Apply the rotation G(p,q) on both sides of m and
+                // accumulate into v.
+                for k in 0..n {
+                    let (mkp, mkq) = (m[(k, p)], m[(k, q)]);
+                    m[(k, p)] = c * mkp - s * mkq;
+                    m[(k, q)] = s * mkp + c * mkq;
+                }
+                for k in 0..n {
+                    let (mpk, mqk) = (m[(p, k)], m[(q, k)]);
+                    m[(p, k)] = c * mpk - s * mqk;
+                    m[(q, k)] = s * mpk + c * mqk;
+                }
+                for k in 0..n {
+                    let (vkp, vkq) = (v[(k, p)], v[(k, q)]);
+                    v[(k, p)] = c * vkp - s * vkq;
+                    v[(k, q)] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+
+    // Sort eigenpairs by descending eigenvalue.
+    let mut order: Vec<usize> = (0..n).collect();
+    let vals: Vec<f64> = (0..n).map(|i| m[(i, i)]).collect();
+    order.sort_by(|&a, &b| vals[b].partial_cmp(&vals[a]).unwrap());
+    let sorted_vals: Vec<f64> = order.iter().map(|&i| vals[i]).collect();
+    let sorted_v = Matrix::from_fn(n, n, |i, j| v[(i, order[j])]);
+    (sorted_vals, sorted_v)
+}
+
+/// The `r` leading eigenvectors (columns) of a symmetric matrix.
+pub fn leading_eigvecs(a: &Matrix, r: usize) -> Matrix {
+    assert!(r >= 1 && r <= a.rows(), "bad eigenvector count {r}");
+    let (_, v) = sym_eig(a);
+    v.col_block(0, r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd(n: usize, seed: u64) -> Matrix {
+        // A = G^T G + n*I is SPD for random G.
+        let g = Matrix::random(n + 2, n, seed);
+        let mut a = g.gram();
+        for i in 0..n {
+            a[(i, i)] += n as f64;
+        }
+        a
+    }
+
+    #[test]
+    fn cholesky_reconstructs() {
+        let a = spd(6, 1);
+        let l = cholesky(&a).unwrap();
+        let back = l.matmul(&l.transpose());
+        assert!(back.max_abs_diff(&a) < 1e-10);
+    }
+
+    #[test]
+    fn cholesky_of_identity_is_identity() {
+        let l = cholesky(&Matrix::identity(5)).unwrap();
+        assert!(l.max_abs_diff(&Matrix::identity(5)) < 1e-15);
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let mut a = Matrix::identity(3);
+        a[(2, 2)] = -1.0;
+        assert_eq!(cholesky(&a), Err(LinalgError::NotPositiveDefinite(2)));
+    }
+
+    #[test]
+    fn cholesky_rejects_nonsquare() {
+        let a = Matrix::zeros(2, 3);
+        assert_eq!(cholesky(&a), Err(LinalgError::NotSquare));
+    }
+
+    #[test]
+    fn solve_spd_recovers_solution() {
+        let a = spd(5, 2);
+        let x_true = Matrix::random(5, 3, 3);
+        let b = a.matmul(&x_true);
+        let x = solve_spd(&a, &b).unwrap();
+        assert!(x.max_abs_diff(&x_true) < 1e-9);
+    }
+
+    #[test]
+    fn solve_spd_right_recovers_solution() {
+        let a = spd(4, 4);
+        let x_true = Matrix::random(7, 4, 5);
+        let b = x_true.matmul(&a);
+        let x = solve_spd_right(&b, &a).unwrap();
+        assert!(x.max_abs_diff(&x_true) < 1e-9);
+    }
+
+    #[test]
+    fn sym_eig_reconstructs() {
+        let a = spd(6, 7);
+        let (vals, v) = sym_eig(&a);
+        // A == V diag(vals) V^T.
+        let mut d = Matrix::zeros(6, 6);
+        for (i, &val) in vals.iter().enumerate() {
+            d[(i, i)] = val;
+        }
+        let back = v.matmul(&d).matmul(&v.transpose());
+        assert!(back.max_abs_diff(&a) < 1e-9 * (1.0 + a.frob_norm()));
+    }
+
+    #[test]
+    fn sym_eig_values_descending_and_orthonormal() {
+        let a = spd(5, 8);
+        let (vals, v) = sym_eig(&a);
+        for w in vals.windows(2) {
+            assert!(w[0] >= w[1] - 1e-12);
+        }
+        let vtv = v.transpose().matmul(&v);
+        assert!(vtv.max_abs_diff(&Matrix::identity(5)) < 1e-10);
+    }
+
+    #[test]
+    fn sym_eig_diagonal_matrix() {
+        let mut a = Matrix::zeros(3, 3);
+        a[(0, 0)] = 1.0;
+        a[(1, 1)] = 5.0;
+        a[(2, 2)] = 3.0;
+        let (vals, _) = sym_eig(&a);
+        assert!((vals[0] - 5.0).abs() < 1e-12);
+        assert!((vals[1] - 3.0).abs() < 1e-12);
+        assert!((vals[2] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sym_eig_trace_preserved() {
+        let a = spd(7, 9);
+        let (vals, _) = sym_eig(&a);
+        let trace: f64 = (0..7).map(|i| a[(i, i)]).sum();
+        let sum: f64 = vals.iter().sum();
+        assert!((trace - sum).abs() < 1e-9 * trace);
+    }
+
+    #[test]
+    fn leading_eigvecs_shape_and_invariance() {
+        let a = spd(5, 10);
+        let u = leading_eigvecs(&a, 2);
+        assert_eq!((u.rows(), u.cols()), (5, 2));
+        // A u_i = lambda_i u_i for the leading pair.
+        let (vals, _) = sym_eig(&a);
+        let au = a.matmul(&u);
+        for j in 0..2 {
+            for i in 0..5 {
+                assert!((au[(i, j)] - vals[j] * u[(i, j)]).abs() < 1e-8 * (1.0 + vals[j].abs()));
+            }
+        }
+    }
+
+    #[test]
+    fn solve_spd_right_handles_semidefinite_with_ridge() {
+        // Rank-deficient A (rank 1): the ridge fallback should still produce
+        // a finite solution X with X A ~= B for consistent B.
+        let v = Matrix::from_rows_vec(2, 1, vec![1.0, 2.0]);
+        let a = v.matmul(&v.transpose()); // 2x2 rank-1
+        let x_true = Matrix::random(3, 2, 6);
+        let b = x_true.matmul(&a);
+        let x = solve_spd_right(&b, &a).unwrap();
+        let back = x.matmul(&a);
+        assert!(back.max_abs_diff(&b) < 1e-5);
+    }
+}

@@ -1,0 +1,432 @@
+//! Dense row-major matrices and the small set of BLAS-like kernels the
+//! MTTKRP algorithms and CP-ALS need.
+//!
+//! This is deliberately a minimal, well-tested substrate — not a general
+//! linear-algebra library. Entry `(i, j)` of an `m x n` matrix lives at
+//! `data[i * n + j]` (row-major), which keeps a factor-matrix *row* —
+//! the unit of communication in the parallel algorithms — contiguous.
+
+use rand::distributions::{Distribution, Uniform};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A dense row-major `f64` matrix.
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        let show = self.rows.min(8);
+        for i in 0..show {
+            write!(f, "  ")?;
+            for j in 0..self.cols.min(8) {
+                write!(f, "{:10.4} ", self[(i, j)])?;
+            }
+            writeln!(f, "{}", if self.cols > 8 { "..." } else { "" })?;
+        }
+        if self.rows > 8 {
+            writeln!(f, "  ...")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl Matrix {
+    /// All-zeros `rows x cols` matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Identity matrix of size `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Builds a matrix from a closure over `(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut m = Matrix::zeros(rows, cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                m[(i, j)] = f(i, j);
+            }
+        }
+        m
+    }
+
+    /// Builds a matrix from a row-major data vector.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_rows_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "data length mismatch");
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
+        Matrix { rows, cols, data }
+    }
+
+    /// Uniform random matrix in `[-1, 1)` with a fixed seed (deterministic).
+    pub fn random(rows: usize, cols: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dist = Uniform::new(-1.0, 1.0);
+        let data = (0..rows * cols).map(|_| dist.sample(&mut rng)).collect();
+        Matrix { rows, cols, data }
+    }
+
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Row-major backing storage.
+    #[inline]
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable row-major backing storage.
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Row `i` as a contiguous slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        debug_assert!(i < self.rows);
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutable row `i`.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        debug_assert!(i < self.rows);
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Copy of column `j`.
+    pub fn col(&self, j: usize) -> Vec<f64> {
+        (0..self.rows).map(|i| self[(i, j)]).collect()
+    }
+
+    /// A sub-block of rows `[r0, r1)` as a new matrix.
+    pub fn row_block(&self, r0: usize, r1: usize) -> Matrix {
+        assert!(r0 < r1 && r1 <= self.rows, "bad row range {r0}..{r1}");
+        Matrix::from_rows_vec(
+            r1 - r0,
+            self.cols,
+            self.data[r0 * self.cols..r1 * self.cols].to_vec(),
+        )
+    }
+
+    /// A sub-block of columns `[c0, c1)` as a new matrix.
+    pub fn col_block(&self, c0: usize, c1: usize) -> Matrix {
+        assert!(c0 < c1 && c1 <= self.cols, "bad col range {c0}..{c1}");
+        Matrix::from_fn(self.rows, c1 - c0, |i, j| self[(i, c0 + j)])
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> Matrix {
+        Matrix::from_fn(self.cols, self.rows, |i, j| self[(j, i)])
+    }
+
+    /// Classical matrix multiplication `self * other` (i-k-j loop order, so
+    /// the inner loop streams contiguously through both operands).
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul dimension mismatch: {}x{} * {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut c = Matrix::zeros(self.rows, other.cols);
+        let n = other.cols;
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            let c_row = &mut c.data[i * n..(i + 1) * n];
+            for (k, &aik) in a_row.iter().enumerate() {
+                let b_row = &other.data[k * n..(k + 1) * n];
+                for (cij, &bkj) in c_row.iter_mut().zip(b_row) {
+                    *cij += aik * bkj;
+                }
+            }
+        }
+        c
+    }
+
+    /// Gram matrix `self^T * self` (`cols x cols`), exploiting symmetry.
+    pub fn gram(&self) -> Matrix {
+        let n = self.cols;
+        let mut g = Matrix::zeros(n, n);
+        for i in 0..self.rows {
+            let r = self.row(i);
+            for a in 0..n {
+                let ra = r[a];
+                for b in a..n {
+                    g[(a, b)] += ra * r[b];
+                }
+            }
+        }
+        for a in 0..n {
+            for b in 0..a {
+                g[(a, b)] = g[(b, a)];
+            }
+        }
+        g
+    }
+
+    /// Entrywise (Hadamard) product.
+    pub fn hadamard(&self, other: &Matrix) -> Matrix {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(&a, &b)| a * b)
+            .collect();
+        Matrix::from_rows_vec(self.rows, self.cols, data)
+    }
+
+    /// `self += alpha * other`.
+    pub fn axpy(&mut self, alpha: f64, other: &Matrix) {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Scales all entries by `alpha`.
+    pub fn scale(&mut self, alpha: f64) {
+        for a in &mut self.data {
+            *a *= alpha;
+        }
+    }
+
+    /// Frobenius norm.
+    pub fn frob_norm(&self) -> f64 {
+        self.data.iter().map(|&x| x * x).sum::<f64>().sqrt()
+    }
+
+    /// Frobenius norm of `self - other`.
+    pub fn frob_dist(&self, other: &Matrix) -> f64 {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(&a, &b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// Maximum absolute entry difference (`inf` norm of the difference).
+    pub fn max_abs_diff(&self, other: &Matrix) -> f64 {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(&a, &b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Euclidean norms of each column.
+    pub fn col_norms(&self) -> Vec<f64> {
+        let mut norms = vec![0.0; self.cols];
+        for i in 0..self.rows {
+            for (j, &v) in self.row(i).iter().enumerate() {
+                norms[j] += v * v;
+            }
+        }
+        for n in &mut norms {
+            *n = n.sqrt();
+        }
+        norms
+    }
+
+    /// Normalizes each column to unit 2-norm, returning the former norms.
+    /// Columns with zero norm are left untouched (their reported norm is 0).
+    pub fn normalize_cols(&mut self) -> Vec<f64> {
+        let norms = self.col_norms();
+        for i in 0..self.rows {
+            let row = &mut self.data[i * self.cols..(i + 1) * self.cols];
+            for (j, v) in row.iter_mut().enumerate() {
+                if norms[j] > 0.0 {
+                    *v /= norms[j];
+                }
+            }
+        }
+        norms
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx_eq(a: f64, b: f64) -> bool {
+        (a - b).abs() <= 1e-12 * (1.0 + a.abs().max(b.abs()))
+    }
+
+    #[test]
+    fn identity_matmul_is_noop() {
+        let a = Matrix::random(4, 6, 1);
+        let i4 = Matrix::identity(4);
+        let i6 = Matrix::identity(6);
+        assert!(i4.matmul(&a).max_abs_diff(&a) < 1e-15);
+        assert!(a.matmul(&i6).max_abs_diff(&a) < 1e-15);
+    }
+
+    #[test]
+    fn matmul_matches_naive_triple_loop() {
+        let a = Matrix::random(5, 7, 2);
+        let b = Matrix::random(7, 3, 3);
+        let c = a.matmul(&b);
+        for i in 0..5 {
+            for j in 0..3 {
+                let mut s = 0.0;
+                for k in 0..7 {
+                    s += a[(i, k)] * b[(k, j)];
+                }
+                assert!(approx_eq(c[(i, j)], s));
+            }
+        }
+    }
+
+    #[test]
+    fn gram_matches_transpose_matmul() {
+        let a = Matrix::random(9, 4, 4);
+        let g = a.gram();
+        let g2 = a.transpose().matmul(&a);
+        assert!(g.max_abs_diff(&g2) < 1e-12);
+    }
+
+    #[test]
+    fn gram_is_symmetric() {
+        let a = Matrix::random(6, 5, 5);
+        let g = a.gram();
+        for i in 0..5 {
+            for j in 0..5 {
+                assert_eq!(g[(i, j)], g[(j, i)]);
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Matrix::random(3, 8, 6);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn hadamard_and_axpy() {
+        let a = Matrix::from_fn(2, 2, |i, j| (i + j) as f64);
+        let b = Matrix::from_fn(2, 2, |i, j| (i * 2 + j) as f64);
+        let h = a.hadamard(&b);
+        assert_eq!(h[(1, 1)], 2.0 * 3.0);
+        let mut c = a.clone();
+        c.axpy(2.0, &b);
+        assert_eq!(c[(1, 0)], 1.0 + 2.0 * 2.0);
+    }
+
+    #[test]
+    fn row_and_col_blocks() {
+        let a = Matrix::from_fn(4, 3, |i, j| (i * 10 + j) as f64);
+        let rb = a.row_block(1, 3);
+        assert_eq!(rb.rows(), 2);
+        assert_eq!(rb[(0, 2)], 12.0);
+        let cb = a.col_block(1, 3);
+        assert_eq!(cb.cols(), 2);
+        assert_eq!(cb[(3, 0)], 31.0);
+    }
+
+    #[test]
+    fn normalize_cols_unit_norm() {
+        let mut a = Matrix::random(10, 3, 7);
+        let norms = a.normalize_cols();
+        assert!(norms.iter().all(|&n| n > 0.0));
+        for (j, _) in norms.iter().enumerate() {
+            let col_norm: f64 = a.col(j).iter().map(|&x| x * x).sum::<f64>().sqrt();
+            assert!(approx_eq(col_norm, 1.0));
+        }
+    }
+
+    #[test]
+    fn normalize_zero_column_is_safe() {
+        let mut a = Matrix::zeros(4, 2);
+        a[(0, 1)] = 3.0;
+        let norms = a.normalize_cols();
+        assert_eq!(norms[0], 0.0);
+        assert_eq!(norms[1], 3.0);
+        assert_eq!(a[(0, 0)], 0.0);
+        assert_eq!(a[(0, 1)], 1.0);
+    }
+
+    #[test]
+    fn frob_norms() {
+        let a = Matrix::from_rows_vec(1, 2, vec![3.0, 4.0]);
+        assert!(approx_eq(a.frob_norm(), 5.0));
+        let b = Matrix::zeros(1, 2);
+        assert!(approx_eq(a.frob_dist(&b), 5.0));
+    }
+
+    #[test]
+    fn random_is_deterministic() {
+        let a = Matrix::random(5, 5, 42);
+        let b = Matrix::random(5, 5, 42);
+        assert_eq!(a, b);
+        let c = Matrix::random(5, 5, 43);
+        assert!(a.max_abs_diff(&c) > 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn matmul_dim_mismatch_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn col_norms_match_cols() {
+        let a = Matrix::random(7, 4, 11);
+        let norms = a.col_norms();
+        for j in 0..4 {
+            let expect: f64 = a.col(j).iter().map(|&x| x * x).sum::<f64>().sqrt();
+            assert!(approx_eq(norms[j], expect));
+        }
+    }
+}

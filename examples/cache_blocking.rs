@@ -1,0 +1,56 @@
+//! The sequential story of the paper, measured: how blocking (Algorithm 2)
+//! drives MTTKRP I/O down to the lower bound as fast memory grows, while
+//! the unblocked Algorithm 1 cannot exploit memory at all.
+//!
+//! Run with: `cargo run --release -p mttkrp-core --example cache_blocking`
+
+use mttkrp_core::{bounds, seq, Problem};
+use mttkrp_tensor::{DenseTensor, Matrix, Shape};
+
+fn main() {
+    let dims = [24usize, 24, 24];
+    let rank = 6;
+    let n = 1;
+    let shape = Shape::new(&dims);
+    let x = DenseTensor::random(shape.clone(), 5);
+    let factors: Vec<Matrix> = dims
+        .iter()
+        .enumerate()
+        .map(|(k, &d)| Matrix::random(d, rank, 200 + k as u64))
+        .collect();
+    let refs: Vec<&Matrix> = factors.iter().collect();
+    let problem = Problem::from_shape(&shape, rank);
+    let oracle = mttkrp_tensor::mttkrp_reference(&x, &refs, n);
+
+    println!("cache blocking sweep: X is 24^3 (I = {}), R = {rank}", 24 * 24 * 24);
+    println!(
+        "{:>7} {:>3} {:>12} {:>12} {:>12} {:>12} {:>8}",
+        "M", "b", "alg1 words", "alg2 words", "matmul", "lower bnd", "alg2/lb"
+    );
+
+    for &m in &[8usize, 32, 128, 512, 2048, 8192] {
+        let b = seq::choose_block_size(m, 3);
+        let a1 = seq::mttkrp_unblocked(&x, &refs, n, m);
+        let a2 = seq::mttkrp_blocked(&x, &refs, n, m, b);
+        let mm = seq::mttkrp_seq_matmul(&x, &refs, n, m);
+        assert!(a1.output.max_abs_diff(&oracle) < 1e-10);
+        assert!(a2.output.max_abs_diff(&oracle) < 1e-10);
+        assert!(mm.output.max_abs_diff(&oracle) < 1e-10);
+
+        let lb = bounds::seq_best(&problem, m as u64).max(1.0);
+        println!(
+            "{:>7} {:>3} {:>12} {:>12} {:>12} {:>12.0} {:>8.2}",
+            m,
+            b,
+            a1.stats.total(),
+            a2.stats.total(),
+            mm.total_stats().total(),
+            lb,
+            a2.stats.total() as f64 / lb
+        );
+    }
+
+    println!("\nAlgorithm 1's traffic is flat in M; Algorithm 2 tracks the lower");
+    println!("bound within a constant factor (Theorem 6.1), and beats the matmul");
+    println!("baseline once the factor-matrix traffic dominates (NR vs M^(1-1/N)).");
+}

@@ -1,0 +1,85 @@
+//! CP decomposition of a synthetic signal tensor via CP-ALS — the workload
+//! whose bottleneck motivates the whole paper (Section II-A).
+//!
+//! We build a rank-3 ground-truth tensor (three separable "sources"), add
+//! noise, and recover the sources with sequential CP-ALS; then run the
+//! *distributed* CP-ALS (Algorithm 3 inside every mode update) on a
+//! simulated 8-processor machine and report how many words each sweep
+//! moved.
+//!
+//! Run with: `cargo run --release -p mttkrp-core --example cp_als_demo`
+
+use mttkrp_core::{cp_als, par::dist_cp_als, CpAlsOptions};
+use mttkrp_tensor::{DenseTensor, KruskalTensor, Matrix, Shape};
+
+fn main() {
+    // Ground truth: a 16 x 12 x 8 rank-3 tensor with smooth factor columns
+    // (sinusoids of different frequencies), mimicking a multichannel signal.
+    let dims = [16usize, 12, 8];
+    let rank = 3;
+    let factors: Vec<Matrix> = dims
+        .iter()
+        .map(|&d| {
+            Matrix::from_fn(d, rank, |i, r| {
+                let t = i as f64 / d as f64;
+                ((r + 1) as f64 * std::f64::consts::PI * t).sin() + 1.5
+            })
+        })
+        .collect();
+    let truth = KruskalTensor::from_factors(factors);
+    let clean = truth.full();
+
+    // Add 1% relative noise.
+    let noise = DenseTensor::random(Shape::new(&dims), 7);
+    let sigma = 0.01 * clean.frob_norm() / noise.frob_norm();
+    let x = DenseTensor::from_vec(
+        clean.shape().clone(),
+        clean
+            .data()
+            .iter()
+            .zip(noise.data())
+            .map(|(&c, &n)| c + sigma * n)
+            .collect(),
+    );
+
+    println!("CP-ALS demo: {}, rank {rank}, 1% noise\n", clean.shape());
+
+    // Sequential fit.
+    let opts = CpAlsOptions {
+        max_iters: 60,
+        tol: 1e-9,
+        seed: 3,
+    };
+    let run = cp_als(&x, rank, &opts);
+    println!("sequential CP-ALS:");
+    for (it, fit) in run.fit_history.iter().enumerate() {
+        if it < 5 || it + 1 == run.fit_history.len() {
+            println!("  sweep {:>2}: fit = {:.6}", it + 1, fit);
+        } else if it == 5 {
+            println!("  ...");
+        }
+    }
+    let final_fit = *run.fit_history.last().unwrap();
+    println!(
+        "  converged = {} after {} sweeps; final fit {:.4} (noise floor ~0.99)\n",
+        run.converged, run.iterations, final_fit
+    );
+    assert!(final_fit > 0.98, "should fit to the noise floor");
+
+    // Distributed fit on a 2 x 2 x 2 simulated machine.
+    let drun = dist_cp_als(&x, rank, &[2, 2, 2], &opts);
+    let dfit = *drun.fit_history.last().unwrap();
+    println!("distributed CP-ALS (P = 8, grid 2x2x2):");
+    println!(
+        "  final fit {:.4} after {} sweeps (matches sequential: {})",
+        dfit,
+        drun.iterations,
+        (dfit - final_fit).abs() < 1e-3
+    );
+    println!(
+        "  communication: max {} words on one rank, {} words machine-wide",
+        drun.summary.max_words, drun.summary.total_words
+    );
+    let per_sweep = drun.summary.max_words as f64 / drun.iterations as f64;
+    println!("  ~{per_sweep:.0} words/rank/sweep across all {} modes", dims.len());
+}

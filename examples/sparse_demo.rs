@@ -1,0 +1,71 @@
+//! Sparse MTTKRP (Section VII of the paper): same stationary-tensor
+//! distribution and collectives as Algorithm 3, COO storage and
+//! nonzero-only arithmetic locally.
+//!
+//! The demo builds a sparse synthetic "user x item x time" interaction
+//! tensor, runs the medium-grained parallel sparse MTTKRP, and shows that
+//! (a) results match the dense oracle, (b) communication equals the dense
+//! algorithm's (block distributions are structure-oblivious), while
+//! (c) local arithmetic scales with nnz, not I.
+//!
+//! Run with: `cargo run --release -p mttkrp-core --example sparse_demo`
+
+use mttkrp_core::par::{mttkrp_sparse_stationary, mttkrp_stationary};
+use mttkrp_tensor::{mttkrp_reference, CooTensor, Matrix, Shape};
+
+fn main() {
+    // A 32 x 24 x 16 interaction tensor at 2% density.
+    let dims = [32usize, 24, 16];
+    let rank = 4;
+    let n = 0;
+    let shape = Shape::new(&dims);
+    let x = CooTensor::random(shape.clone(), 0.02, 9);
+    let dense = x.to_dense();
+    let total: usize = dims.iter().product();
+    println!(
+        "sparse MTTKRP demo: {}x{}x{} tensor, nnz = {} ({:.1}% dense), R = {rank}\n",
+        dims[0],
+        dims[1],
+        dims[2],
+        x.nnz(),
+        100.0 * x.nnz() as f64 / total as f64
+    );
+
+    let factors: Vec<Matrix> = dims
+        .iter()
+        .enumerate()
+        .map(|(k, &d)| Matrix::random(d, rank, 60 + k as u64))
+        .collect();
+    let refs: Vec<&Matrix> = factors.iter().collect();
+
+    let grid = [2usize, 2, 2];
+    let sparse_run = mttkrp_sparse_stationary(&x, &refs, n, &grid);
+    let dense_run = mttkrp_stationary(&dense, &refs, n, &grid);
+    let oracle = mttkrp_reference(&dense, &refs, n);
+
+    println!("parallel run on a 2x2x2 grid (P = 8):");
+    println!(
+        "  sparse result vs oracle: max |diff| = {:.2e}",
+        sparse_run.output.max_abs_diff(&oracle)
+    );
+    assert!(sparse_run.output.max_abs_diff(&oracle) < 1e-10);
+    println!(
+        "  communication: sparse {} words/rank, dense {} words/rank (equal: {})",
+        sparse_run.summary.max_words,
+        dense_run.summary.max_words,
+        sparse_run.summary.max_words == dense_run.summary.max_words
+    );
+
+    // Arithmetic comparison: nonzero-only multiplies.
+    let sparse_muls = x.nnz() * rank * (dims.len() - 1);
+    let dense_muls = total * rank * (dims.len() - 1);
+    println!("\nlocal arithmetic (whole machine):");
+    println!("  dense kernel:  {dense_muls:>9} multiplies");
+    println!(
+        "  sparse kernel: {sparse_muls:>9} multiplies ({:.0}x fewer)",
+        dense_muls as f64 / sparse_muls as f64
+    );
+    println!("\nblock distributions are structure-oblivious: sparsity saves");
+    println!("arithmetic but not words; structure-aware (hypergraph) partitioning");
+    println!("— the paper's cited future work — is what would cut communication.");
+}

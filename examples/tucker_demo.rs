@@ -1,0 +1,59 @@
+//! Tucker decomposition demo (Section VII: "other decompositions"):
+//! compress a smooth synthetic field with ST-HOSVD and refine with HOOI.
+//! The bottleneck kernel here is the TTM chain — the Tucker analog of
+//! MTTKRP that the paper's lower-bound machinery extends to.
+//!
+//! Run with: `cargo run --release -p mttkrp-core --example tucker_demo`
+
+use mttkrp_core::tucker::{hooi, st_hosvd};
+use mttkrp_tensor::{DenseTensor, Shape};
+
+fn main() {
+    // A smooth separable-plus-noise field: low multilinear rank by
+    // construction (three slowly-varying harmonics per mode).
+    let dims = [20usize, 18, 16];
+    let shape = Shape::new(&dims);
+    let smooth = DenseTensor::from_fn(shape.clone(), |idx| {
+        let t0 = idx[0] as f64 / dims[0] as f64;
+        let t1 = idx[1] as f64 / dims[1] as f64;
+        let t2 = idx[2] as f64 / dims[2] as f64;
+        (std::f64::consts::PI * t0).sin() * (2.0 * std::f64::consts::PI * t1).cos()
+            + 0.5 * (2.0 * std::f64::consts::PI * t0).cos() * (std::f64::consts::PI * t2).sin()
+            + 0.25 * t1 * t2
+    });
+    let noise = DenseTensor::random(shape.clone(), 4);
+    let sigma = 0.02 * smooth.frob_norm() / noise.frob_norm();
+    let x = DenseTensor::from_vec(
+        shape.clone(),
+        smooth
+            .data()
+            .iter()
+            .zip(noise.data())
+            .map(|(&s, &n)| s + sigma * n)
+            .collect(),
+    );
+
+    println!("Tucker demo: {} field, 2% noise\n", shape);
+    println!(
+        "{:>12} {:>10} {:>12} {:>12} {:>12}",
+        "ranks", "core size", "compression", "HOSVD fit", "HOOI fit"
+    );
+    let total: usize = dims.iter().product();
+    for ranks in [[2usize, 2, 2], [3, 3, 3], [5, 5, 5], [8, 8, 8]] {
+        let t = st_hosvd(&x, &ranks);
+        let h = hooi(&x, &ranks, 2);
+        let stored: usize = ranks.iter().product::<usize>()
+            + dims.iter().zip(&ranks).map(|(&d, &r)| d * r).sum::<usize>();
+        println!(
+            "{:>12} {:>10} {:>11.1}x {:>12.5} {:>12.5}",
+            format!("{}x{}x{}", ranks[0], ranks[1], ranks[2]),
+            ranks.iter().product::<usize>(),
+            total as f64 / stored as f64,
+            t.fit_to(&x),
+            h.fit_to(&x)
+        );
+    }
+    println!("\nthe 3x3x3 core already captures the smooth field (fit ~ noise");
+    println!("floor); HOOI refines HOSVD slightly. The multi-TTM inside each");
+    println!("HOOI sweep is the Tucker analog of MTTKRP.");
+}

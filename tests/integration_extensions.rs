@@ -1,0 +1,111 @@
+#![allow(clippy::needless_range_loop)]
+
+//! Integration: the Section VII extensions working together — multi-mode
+//! reuse inside CP-ALS-shaped workloads, sparse + dense parity across the
+//! parallel stack, and Tucker/TTM on top of the same substrates.
+
+use mttkrp_bench::setup_problem;
+use mttkrp_core::multi::{mttkrp_all_modes_naive, mttkrp_all_modes_tree};
+use mttkrp_core::par::{
+    mttkrp_sparse_stationary, mttkrp_stationary, ttm_compress_stationary,
+};
+use mttkrp_core::tucker::{hooi, st_hosvd};
+use mttkrp_tensor::{
+    mttkrp_reference, ttm_chain, CooTensor, DenseTensor, Matrix, Shape,
+};
+
+#[test]
+fn tree_outputs_feed_cp_als_normal_equations() {
+    // A full CP-ALS sweep computed with the dimension tree produces the
+    // same mode updates as oracle MTTKRPs (Jacobi-style: all B's from the
+    // same factor snapshot).
+    let dims = [6usize, 5, 4];
+    let (x, factors) = setup_problem(&dims, 3, 1);
+    let refs: Vec<&Matrix> = factors.iter().collect();
+    let (tree, _) = mttkrp_all_modes_tree(&x, &refs);
+    for n in 0..3 {
+        let oracle = mttkrp_reference(&x, &refs, n);
+        assert!(tree[n].max_abs_diff(&oracle) < 1e-10);
+    }
+}
+
+#[test]
+fn tree_and_naive_agree_bitwise_tolerance_on_many_shapes() {
+    for dims in [vec![2usize, 2], vec![3, 4, 5], vec![2, 3, 2, 4], vec![2, 2, 2, 2, 3]] {
+        let (x, factors) = setup_problem(&dims, 2, 2);
+        let refs: Vec<&Matrix> = factors.iter().collect();
+        let (tree, tf) = mttkrp_all_modes_tree(&x, &refs);
+        let (naive, nf) = mttkrp_all_modes_naive(&x, &refs);
+        for (t, v) in tree.iter().zip(&naive) {
+            assert!(t.max_abs_diff(v) < 1e-9 * (1.0 + v.frob_norm()));
+        }
+        if dims.len() >= 4 {
+            assert!(tf.muls < nf.muls, "{dims:?}");
+        }
+    }
+}
+
+#[test]
+fn sparse_and_dense_parallel_agree_on_sparsified_tensor() {
+    let shape = Shape::new(&[8, 8, 8]);
+    let coo = CooTensor::random(shape.clone(), 0.15, 3);
+    let dense = coo.to_dense();
+    let factors: Vec<Matrix> = (0..3).map(|k| Matrix::random(8, 3, 40 + k)).collect();
+    let refs: Vec<&Matrix> = factors.iter().collect();
+    for n in 0..3 {
+        let s = mttkrp_sparse_stationary(&coo, &refs, n, &[2, 2, 2]);
+        let d = mttkrp_stationary(&dense, &refs, n, &[2, 2, 2]);
+        assert!(s.output.max_abs_diff(&d.output) < 1e-10, "mode {n}");
+        assert_eq!(s.summary.total_words, d.summary.total_words);
+    }
+}
+
+#[test]
+fn parallel_ttm_reproduces_hooi_inner_kernel() {
+    // The HOOI mode update's multi-TTM, computed in parallel, matches the
+    // sequential chain used by the `tucker` module.
+    let dims = [6usize, 6, 4];
+    let x = DenseTensor::random(Shape::new(&dims), 4);
+    let t = st_hosvd(&x, &[2, 3, 2]);
+    let refs: Vec<&Matrix> = t.factors.iter().collect();
+    for n in 0..3 {
+        let run = ttm_compress_stationary(&x, &refs, n, &[2, 3, 2]);
+        let transposed: Vec<(usize, Matrix)> = (0..3)
+            .filter(|&k| k != n)
+            .map(|k| (k, t.factors[k].transpose()))
+            .collect();
+        let chain: Vec<(usize, &Matrix)> = transposed.iter().map(|(k, m)| (*k, m)).collect();
+        let oracle = ttm_chain(&x, &chain);
+        assert!(
+            run.output.frob_dist(&oracle) < 1e-9 * (1.0 + oracle.frob_norm()),
+            "mode {n}"
+        );
+    }
+}
+
+#[test]
+fn tucker_on_cp_structured_data() {
+    // A rank-R CP tensor has multilinear ranks <= R in every mode, so a
+    // Tucker-(R,R,R) decomposition must capture it exactly.
+    let kt = mttkrp_tensor::KruskalTensor::random(&Shape::new(&[7, 6, 5]), 2, 5);
+    let x = kt.full();
+    let t = st_hosvd(&x, &[2, 2, 2]);
+    assert!(t.fit_to(&x) > 1.0 - 1e-7, "fit {}", t.fit_to(&x));
+    let h = hooi(&x, &[2, 2, 2], 2);
+    assert!(h.fit_to(&x) > 1.0 - 1e-7);
+}
+
+#[test]
+fn ttm_traffic_cheaper_than_mttkrp_for_small_tucker_ranks() {
+    // Tucker factors are I_k x R_k with small R_k: the stationary TTM
+    // should move fewer words than MTTKRP with CP rank R = prod-ish.
+    let dims = [8usize, 8, 8];
+    let x = DenseTensor::random(Shape::new(&dims), 6);
+    let us: Vec<Matrix> = (0..3).map(|k| Matrix::random(8, 2, 50 + k)).collect();
+    let urefs: Vec<&Matrix> = us.iter().collect();
+    let cp_factors: Vec<Matrix> = (0..3).map(|k| Matrix::random(8, 8, 60 + k)).collect();
+    let crefs: Vec<&Matrix> = cp_factors.iter().collect();
+    let ttm_run = ttm_compress_stationary(&x, &urefs, 0, &[2, 2, 2]);
+    let mttkrp_run = mttkrp_stationary(&x, &crefs, 0, &[2, 2, 2]);
+    assert!(ttm_run.summary.max_words < mttkrp_run.summary.max_words);
+}

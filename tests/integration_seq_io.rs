@@ -1,0 +1,156 @@
+//! Integration: the sequential algorithms, the memory simulator, and the
+//! cost models agree end-to-end — and the paper's Section VI-A comparison
+//! (Algorithm 2 vs the matmul approach) reproduces at executable scale.
+
+use mttkrp_bench::setup_problem;
+use mttkrp_core::{model, seq, Problem};
+use mttkrp_memsim::LruMemory;
+use mttkrp_tensor::{mttkrp_reference, Matrix};
+
+#[test]
+fn all_sequential_algorithms_agree_with_oracle_across_shapes() {
+    for (dims, r) in [
+        (vec![2usize, 2], 1usize),
+        (vec![5, 3], 4),
+        (vec![4, 5, 3], 2),
+        (vec![3, 3, 3, 3], 3),
+        (vec![2, 3, 2, 3, 2], 2),
+    ] {
+        let (x, factors) = setup_problem(&dims, r, 7);
+        let refs: Vec<&Matrix> = factors.iter().collect();
+        let order = dims.len();
+        let m = 3usize.pow(order as u32) + order * 3 + 8;
+        for n in 0..order {
+            let oracle = mttkrp_reference(&x, &refs, n);
+            let a1 = seq::mttkrp_unblocked(&x, &refs, n, m);
+            let a2 = seq::mttkrp_blocked(&x, &refs, n, m, 2);
+            let mm = seq::mttkrp_seq_matmul(&x, &refs, n, m);
+            assert!(a1.output.max_abs_diff(&oracle) < 1e-10, "{dims:?} n={n} alg1");
+            assert!(a2.output.max_abs_diff(&oracle) < 1e-10, "{dims:?} n={n} alg2");
+            assert!(mm.output.max_abs_diff(&oracle) < 1e-10, "{dims:?} n={n} mm");
+        }
+    }
+}
+
+#[test]
+fn measured_io_equals_models_everywhere() {
+    for (dims, r) in [(vec![6usize, 9, 4], 3usize), (vec![5, 5, 5, 5], 2)] {
+        let (x, factors) = setup_problem(&dims, r, 8);
+        let refs: Vec<&Matrix> = factors.iter().collect();
+        let p = Problem::new(
+            &dims.iter().map(|&d| d as u64).collect::<Vec<u64>>(),
+            r as u64,
+        );
+        let order = dims.len();
+        for n in 0..order {
+            let a1 = seq::mttkrp_unblocked(&x, &refs, n, order + 1);
+            assert_eq!(a1.stats.total() as u128, model::alg1_cost(&p));
+            for b in [1usize, 2, 3] {
+                let m = b.pow(order as u32) + order * b;
+                let a2 = seq::mttkrp_blocked(&x, &refs, n, m, b);
+                assert_eq!(
+                    a2.stats.total() as u128,
+                    model::alg2_cost_exact(&p, n, b as u64),
+                    "{dims:?} n={n} b={b}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn blocked_beats_matmul_when_factor_traffic_dominates() {
+    // Section VI-A: when N*R = Omega(M^{1-1/N}), Algorithm 2 communicates
+    // less than the matmul approach. Take R large, M small.
+    let dims = vec![12usize, 12, 12];
+    let r = 32;
+    let m = 76; // b = 4: 64 + 12 = 76
+    let (x, factors) = setup_problem(&dims, r, 9);
+    let refs: Vec<&Matrix> = factors.iter().collect();
+    let a2 = seq::mttkrp_blocked(&x, &refs, 0, m, 4);
+    let mm = seq::mttkrp_seq_matmul(&x, &refs, 0, m);
+    assert!(
+        a2.stats.total() < mm.total_stats().total(),
+        "alg2 {} !< matmul {}",
+        a2.stats.total(),
+        mm.total_stats().total()
+    );
+}
+
+#[test]
+fn matmul_competitive_when_tensor_traffic_dominates() {
+    // Section VI-A, other regime: R small relative to sqrt(M) -- both
+    // approaches are dominated by the I term; they should be within ~2x.
+    let dims = vec![12usize, 12, 12];
+    let r = 2;
+    let m = 300;
+    let (x, factors) = setup_problem(&dims, r, 10);
+    let refs: Vec<&Matrix> = factors.iter().collect();
+    let b = seq::choose_block_size(m, 3);
+    let a2 = seq::mttkrp_blocked(&x, &refs, 0, m, b);
+    let mm = seq::mttkrp_seq_matmul(&x, &refs, 0, m);
+    let ratio = mm.total_stats().total() as f64 / a2.stats.total() as f64;
+    assert!(
+        (0.5..=2.5).contains(&ratio),
+        "expected comparable costs, ratio = {ratio:.2}"
+    );
+}
+
+#[test]
+fn lru_cache_runs_plain_loop_nest_with_more_io_than_blocked() {
+    // An unannotated Algorithm-1-style loop nest on an automatically
+    // managed (LRU) fast memory: correct, but far more traffic than the
+    // explicitly blocked algorithm with the same capacity.
+    let dims = [6usize, 6, 6];
+    let r = 4;
+    let (x, factors) = setup_problem(&dims, r, 11);
+    let refs: Vec<&Matrix> = factors.iter().collect();
+    let n = 0;
+    let m = 39; // b=3 fits: 27 + 9 = 36 <= 39
+
+    let mut mem = LruMemory::new(m);
+    let x_id = mem.alloc(x.data().to_vec());
+    let a_ids: Vec<_> = factors.iter().map(|f| mem.alloc(f.data().to_vec())).collect();
+    let b_id = mem.alloc_zeros(dims[n] * r);
+    let shape = x.shape().clone();
+    let mut idx = vec![0usize; 3];
+    for lin in 0..shape.num_entries() {
+        shape.delinearize_into(lin, &mut idx);
+        let xv = mem.read(x_id, lin);
+        for rr in 0..r {
+            let mut prod = xv;
+            for (k, f) in factors.iter().enumerate() {
+                if k != n {
+                    prod *= mem.read(a_ids[k], idx[k] * f.cols() + rr);
+                }
+            }
+            let off = idx[n] * r + rr;
+            let cur = mem.read(b_id, off);
+            mem.write(b_id, off, cur + prod);
+        }
+    }
+    mem.flush();
+    let lru_io = mem.stats().total();
+
+    // Correctness of the LRU run.
+    let oracle = mttkrp_reference(&x, &refs, n);
+    let got = Matrix::from_rows_vec(dims[n], r, mem.slow_data(b_id).to_vec());
+    assert!(got.max_abs_diff(&oracle) < 1e-10);
+
+    let blocked = seq::mttkrp_blocked(&x, &refs, n, m, 3);
+    assert!(
+        blocked.stats.total() * 2 < lru_io,
+        "explicit blocking {} should be far below LRU streaming {lru_io}",
+        blocked.stats.total()
+    );
+}
+
+#[test]
+fn unblocked_io_is_memory_insensitive() {
+    let dims = vec![8usize, 8, 8];
+    let (x, factors) = setup_problem(&dims, 4, 12);
+    let refs: Vec<&Matrix> = factors.iter().collect();
+    let small = seq::mttkrp_unblocked(&x, &refs, 0, 4);
+    let large = seq::mttkrp_unblocked(&x, &refs, 0, 4096);
+    assert_eq!(small.stats.total(), large.stats.total());
+}
