@@ -1,0 +1,46 @@
+//! Criterion benchmark for the execution subsystem: the rayon-parallel
+//! native backend against the same kernel pinned to one thread, on the
+//! acceptance configuration (64x64x64, R = 32), plus the planner itself.
+//!
+//! Run with `cargo bench -p mttkrp-bench --bench exec_backends`. With four
+//! or more cores the multithreaded path should beat the single-threaded
+//! one by well over 2x.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mttkrp_bench::setup_problem;
+use mttkrp_core::Problem;
+use mttkrp_exec::{MachineSpec, NativeBackend, Planner};
+use mttkrp_tensor::Matrix;
+
+fn bench_native_scaling(c: &mut Criterion) {
+    let (x, factors) = setup_problem(&[64, 64, 64], 32, 7);
+    let refs: Vec<&Matrix> = factors.iter().collect();
+    let cores = MachineSpec::detect_threads();
+
+    let mut group = c.benchmark_group("native_mttkrp_64x64x64_r32");
+    // Always measure 1/2/4 workers (plus all cores when there are more):
+    // on a host with >= 4 cores the 4-thread row comes in >= 2x under the
+    // 1-thread row. On fewer cores the extra rows just document overhead.
+    let mut widths = vec![1usize, 2, 4];
+    if cores > 4 {
+        widths.push(cores);
+    }
+    for &threads in &widths {
+        let backend = NativeBackend::new(threads, mttkrp_exec::DEFAULT_CACHE_WORDS);
+        group.bench_with_input(BenchmarkId::new("threads", threads), &threads, |b, _| {
+            b.iter(|| backend.run(&x, &refs, 0))
+        });
+    }
+    group.finish();
+}
+
+fn bench_planner(c: &mut Criterion) {
+    // Planning is pure model evaluation; it must be cheap enough to run per
+    // request. Figure 4 scale, P = 2^20.
+    let p = Problem::cubical(3, 1 << 15, 1 << 15);
+    let planner = Planner::new(MachineSpec::distributed(1 << 20));
+    c.bench_function("planner_fig4_p2e20", |b| b.iter(|| planner.plan(&p, 0)));
+}
+
+criterion_group!(benches, bench_native_scaling, bench_planner);
+criterion_main!(benches);

@@ -39,7 +39,12 @@ fn bench_scaling(c: &mut Criterion) {
     group.measurement_time(Duration::from_secs(1));
     let (x, factors) = setup_problem(&[16, 16, 16], 4, 6);
     let refs: Vec<&Matrix> = factors.iter().collect();
-    for (p, grid) in [(1usize, [1usize, 1, 1]), (4, [2, 2, 1]), (8, [2, 2, 2]), (16, [4, 2, 2])] {
+    for (p, grid) in [
+        (1usize, [1usize, 1, 1]),
+        (4, [2, 2, 1]),
+        (8, [2, 2, 2]),
+        (16, [4, 2, 2]),
+    ] {
         group.bench_with_input(BenchmarkId::from_parameter(p), &grid, |b, grid| {
             b.iter(|| black_box(par::mttkrp_stationary(&x, &refs, 0, grid)))
         });

@@ -118,7 +118,13 @@ fn main() {
 
     // ------------------------------------------------------------------
     println!("\n## 5. Loop order, Algorithm 2: rank loop inside vs outside\n");
-    header(&["R", "b", "r-inner (Alg 2) words", "r-outer words", "penalty"]);
+    header(&[
+        "R",
+        "b",
+        "r-inner (Alg 2) words",
+        "r-outer words",
+        "penalty",
+    ]);
     let dims3 = [12usize, 12, 12];
     for r in [1usize, 4, 16] {
         let (x3, factors3) = setup_problem(&dims3, r, 3);
@@ -130,7 +136,10 @@ fn main() {
             "4".into(),
             format!("{}", good.stats.total()),
             format!("{}", bad.stats.total()),
-            format!("{:.2}x", bad.stats.total() as f64 / good.stats.total() as f64),
+            format!(
+                "{:.2}x",
+                bad.stats.total() as f64 / good.stats.total() as f64
+            ),
         ]);
     }
     println!("\n(Nesting r inside the block loops loads each tensor block once");

@@ -24,7 +24,12 @@ fn main() {
 
     // Factor-matrix projections phi_j, j in [N]: (i_j, r) grids of 15 x 4.
     for j in 0..order {
-        println!("\nphi_{}(F)  — entries of factor A^({}) touched (rows i_{}, cols r):", j + 1, j + 1, j + 1);
+        println!(
+            "\nphi_{}(F)  — entries of factor A^({}) touched (rows i_{}, cols r):",
+            j + 1,
+            j + 1,
+            j + 1
+        );
         let mut grid = vec![[' '; 4]; 15];
         for (l, p) in labels.iter().zip(&points) {
             grid[p[j] - 1][p[3] - 1] = l.chars().next().unwrap();
@@ -54,14 +59,21 @@ fn main() {
     println!("\nprojection sizes |phi_j(F)| = {sizes:?}");
     println!(
         "optimal exponents s* = ({:.3}, {:.3}, {:.3}, {:.3}), sum = {:.3} = 2 - 1/N",
-        s[0], s[1], s[2], s[3],
+        s[0],
+        s[1],
+        s[2],
+        s[3],
         s.iter().sum::<f64>()
     );
     println!(
         "Lemma 4.1: |F| = {} <= prod |phi_j|^(s*_j) = {:.3}  ({})",
         points.len(),
         bound,
-        if (points.len() as f64) <= bound { "holds" } else { "VIOLATED" }
+        if (points.len() as f64) <= bound {
+            "holds"
+        } else {
+            "VIOLATED"
+        }
     );
     assert!((points.len() as f64) <= bound);
 }

@@ -13,7 +13,10 @@ use mttkrp_tensor::Matrix;
 fn main() {
     let dims = [9usize, 9, 9];
     let (r, n, b, m) = (2usize, 1usize, 3usize, 64usize);
-    println!("# Figure 2: sequential blocked algorithm (N = 3, n = {}, b = {b})\n", n + 1);
+    println!(
+        "# Figure 2: sequential blocked algorithm (N = 3, n = {}, b = {b})\n",
+        n + 1
+    );
 
     // ASCII sketch of one iteration: block (j1, j2, j3) = (1, 1, 1)
     // (0-based (0,0,0)) touching X block and the three subvectors.
@@ -24,7 +27,14 @@ fn main() {
         let b2 = if i < b { "===" } else { "   " };
         let x = if i < b { "[###......]" } else { "[.........]" };
         let a3 = if i < b { "|#|" } else { "| |" };
-        println!("    {a1}                   {x}                  {a3}   {}", if i == 0 { format!("B^(2)(j2:J2, r) = {b2}") } else { String::new() });
+        println!(
+            "    {a1}                   {x}                  {a3}   {}",
+            if i == 0 {
+                format!("B^(2)(j2:J2, r) = {b2}")
+            } else {
+                String::new()
+            }
+        );
     }
     println!("\n(# = loaded this step; the X block is loaded once, the factor");
     println!("subvectors once per rank-column r, and B's subvector is loaded");
@@ -42,7 +52,11 @@ fn main() {
     println!("  loads + stores  = {}", run.stats.total());
     println!("  exact model     = {exact}");
     println!("  Eq. (12) upper  = {upper:.0}");
-    println!("  peak fast usage = {} (Eq. (11) cap: b^N + N*b = {})", run.peak_fast, b.pow(3) + 3 * b);
+    println!(
+        "  peak fast usage = {} (Eq. (11) cap: b^N + N*b = {})",
+        run.peak_fast,
+        b.pow(3) + 3 * b
+    );
     assert_eq!(run.stats.total() as u128, exact);
     assert!(run.peak_fast <= b.pow(3) + 3 * b);
     println!("\nmeasured == model: the blocked walk moves exactly the words Eq. (12) counts");

@@ -85,9 +85,7 @@ fn main() {
         let block_rows = ranges[n].1 - ranges[n].0;
         let base = block_rows / q;
         let rem = block_rows % q;
-        let counts: Vec<usize> = (0..q)
-            .map(|i| (base + usize::from(i < rem)) * r)
-            .collect();
+        let counts: Vec<usize> = (0..q).map(|i| (base + usize::from(i < rem)) * r).collect();
         let mine = collectives::reduce_scatter(rank, &comm_n, c_local.data(), &counts);
         snapshot(rank, &mut phase_words, &mut last);
 
@@ -97,7 +95,10 @@ fn main() {
     });
 
     println!("measured words received per rank and phase:\n");
-    println!("{:>5} {:>8} {:>14} {:>14} {:>9} {:>16}", "rank", "coords", "AG A^(2) (b)", "AG A^(3) (c)", "comp (d)", "Red-Scat (e)");
+    println!(
+        "{:>5} {:>8} {:>14} {:>14} {:>9} {:>16}",
+        "rank", "coords", "AG A^(2) (b)", "AG A^(3) (c)", "comp (d)", "Red-Scat (e)"
+    );
     for (rank, (phases, _, _, _)) in result.outputs.iter().enumerate() {
         let c = pgrid.coords(rank);
         println!(
@@ -116,7 +117,8 @@ fn main() {
     for (_, lo, hi, data) in &result.outputs {
         for (li, row) in (*lo..*hi).enumerate() {
             if data.len() >= (li + 1) * r {
-                out.row_mut(row).copy_from_slice(&data[li * r..(li + 1) * r]);
+                out.row_mut(row)
+                    .copy_from_slice(&data[li * r..(li + 1) * r]);
             }
         }
     }

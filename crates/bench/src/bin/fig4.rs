@@ -48,10 +48,14 @@ fn best_alg4(p: &Problem, procs: u64) -> (f64, u64) {
 
 fn main() {
     let problem = Problem::cubical(3, 1 << 15, 1 << 15);
-    println!(
-        "# Figure 4: modeled strong scaling, I = 2^45 (I_k = 2^15), R = 2^15\n"
-    );
-    header(&["log2 P", "matmul (words)", "alg 3 (words)", "alg 4 (words)", "alg4 P0"]);
+    println!("# Figure 4: modeled strong scaling, I = 2^45 (I_k = 2^15), R = 2^15\n");
+    header(&[
+        "log2 P",
+        "matmul (words)",
+        "alg 3 (words)",
+        "alg 4 (words)",
+        "alg4 P0",
+    ]);
 
     let mut mm_series = Vec::new();
     let mut a3_series = Vec::new();

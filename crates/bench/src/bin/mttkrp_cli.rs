@@ -14,6 +14,9 @@
 //!   alg4 --p0 2 --grid 2x2x1   parallel general (Algorithm 4)
 //!   parmm --procs 8            parallel 1D matmul baseline
 //!   bounds --memory M --procs P  print all lower bounds, no execution
+//!   exec [--backend native|sim] [--threads T] [--memory M] [--procs P]
+//!                              plan with the paper's cost models, then
+//!                              execute on the chosen backend
 //! ```
 //!
 //! Example: `cargo run --release -p mttkrp-bench --bin mttkrp_cli -- \
@@ -35,12 +38,17 @@ struct Args {
     grid: Option<Vec<usize>>,
     p0: Option<usize>,
     procs: Option<usize>,
+    backend: Option<String>,
+    threads: Option<usize>,
     algorithm: Option<String>,
 }
 
 fn parse_dims(s: &str) -> Result<Vec<usize>, String> {
     s.split(['x', ','])
-        .map(|t| t.parse::<usize>().map_err(|e| format!("bad dims '{s}': {e}")))
+        .map(|t| {
+            t.parse::<usize>()
+                .map_err(|e| format!("bad dims '{s}': {e}"))
+        })
         .collect()
 }
 
@@ -62,11 +70,17 @@ fn parse(argv: &[String]) -> Result<Args, String> {
             "--rank" => args.rank = next("--rank")?.parse().map_err(|e| format!("{e}"))?,
             "--mode" => args.mode = next("--mode")?.parse().map_err(|e| format!("{e}"))?,
             "--seed" => args.seed = next("--seed")?.parse().map_err(|e| format!("{e}"))?,
-            "--memory" => args.memory = Some(next("--memory")?.parse().map_err(|e| format!("{e}"))?),
+            "--memory" => {
+                args.memory = Some(next("--memory")?.parse().map_err(|e| format!("{e}"))?)
+            }
             "--block" => args.block = Some(next("--block")?.parse().map_err(|e| format!("{e}"))?),
             "--grid" => args.grid = Some(parse_dims(&next("--grid")?)?),
             "--p0" => args.p0 = Some(next("--p0")?.parse().map_err(|e| format!("{e}"))?),
             "--procs" => args.procs = Some(next("--procs")?.parse().map_err(|e| format!("{e}"))?),
+            "--backend" => args.backend = Some(next("--backend")?),
+            "--threads" => {
+                args.threads = Some(next("--threads")?.parse().map_err(|e| format!("{e}"))?)
+            }
             "--help" | "-h" => return Err("help".to_string()),
             other if !other.starts_with('-') && args.algorithm.is_none() => {
                 args.algorithm = Some(other.to_string());
@@ -85,7 +99,7 @@ fn parse(argv: &[String]) -> Result<Args, String> {
         ));
     }
     if args.algorithm.is_none() {
-        return Err("no algorithm given (alg1|alg2|seqmm|alg3|alg4|parmm|bounds)".into());
+        return Err("no algorithm given (alg1|alg2|seqmm|alg3|alg4|parmm|bounds|exec)".into());
     }
     Ok(args)
 }
@@ -99,7 +113,9 @@ fn usage() {
          \n  alg3  --grid P1xP2x...       Algorithm 3 (parallel stationary)\
          \n  alg4  --p0 P0 --grid ...     Algorithm 4 (parallel general)\
          \n  parmm --procs P              parallel 1D matmul baseline\
-         \n  bounds [--memory M] [--procs P]  print lower bounds only"
+         \n  bounds [--memory M] [--procs P]  print lower bounds only\
+         \n  exec  [--backend native|sim] [--threads T] [--memory M] [--procs P]\
+         \n                               cost-model-driven plan + execution"
     );
 }
 
@@ -162,13 +178,19 @@ fn main() -> ExitCode {
                 }
             };
             let (label, run) = match alg {
-                "alg1" => ("Algorithm 1 (unblocked)", seq::mttkrp_unblocked(x, &refs, n, m)),
+                "alg1" => (
+                    "Algorithm 1 (unblocked)",
+                    seq::mttkrp_unblocked(x, &refs, n, m),
+                ),
                 "alg2" => {
                     let b = args
                         .block
                         .unwrap_or_else(|| seq::choose_block_size(m, args.dims.len()));
                     println!("block size b = {b}");
-                    ("Algorithm 2 (blocked)", seq::mttkrp_blocked(x, &refs, n, m, b))
+                    (
+                        "Algorithm 2 (blocked)",
+                        seq::mttkrp_blocked(x, &refs, n, m, b),
+                    )
                 }
                 _ => (
                     "sequential matmul baseline",
@@ -176,14 +198,22 @@ fn main() -> ExitCode {
                 ),
             };
             let oracle = mttkrp_reference(x, &refs, n);
-            println!("{label}: W = {} words (loads {}, stores {})", run.stats.total(), run.stats.loads, run.stats.stores);
+            println!(
+                "{label}: W = {} words (loads {}, stores {})",
+                run.stats.total(),
+                run.stats.loads,
+                run.stats.stores
+            );
             println!("peak fast memory: {} / {m} words", run.peak_fast);
             println!(
                 "lower bounds: Thm 4.1 = {:.0}, Fact 4.1 = {:.0}",
                 bounds::seq_memory_dependent(&problem, m as u64),
                 bounds::seq_trivial(&problem, m as u64)
             );
-            println!("oracle check: max |diff| = {:.2e}", run.output.max_abs_diff(&oracle));
+            println!(
+                "oracle check: max |diff| = {:.2e}",
+                run.output.max_abs_diff(&oracle)
+            );
         }
         "alg3" | "alg4" | "parmm" => {
             let run = match alg {
@@ -229,7 +259,10 @@ fn main() -> ExitCode {
             if alg == "alg3" {
                 if let Some(g) = &args.grid {
                     let g64: Vec<u64> = g.iter().map(|&v| v as u64).collect();
-                    println!("Eq. (14) model: {:.0} words", model::alg3_cost(&problem, &g64));
+                    println!(
+                        "Eq. (14) model: {:.0} words",
+                        model::alg3_cost(&problem, &g64)
+                    );
                 }
             }
             println!(
@@ -237,14 +270,104 @@ fn main() -> ExitCode {
                 bounds::par_mi_thm42(&problem, procs, 1.0, 1.0),
                 bounds::par_mi_thm43(&problem, procs, 1.0, 1.0)
             );
-            println!("oracle check: max |diff| = {:.2e}", run.output.max_abs_diff(&oracle));
+            println!(
+                "oracle check: max |diff| = {:.2e}",
+                run.output.max_abs_diff(&oracle)
+            );
         }
+        "exec" => return run_exec(&args, &problem, x, &refs),
         other => {
             eprintln!("error: unknown algorithm '{other}'");
             usage();
             return ExitCode::from(2);
         }
     }
+    ExitCode::SUCCESS
+}
+
+/// The `exec` subcommand: let the paper's cost models pick the algorithm,
+/// then run it on the requested backend (default: the plan's natural one).
+fn run_exec(
+    args: &Args,
+    problem: &Problem,
+    x: &mttkrp_tensor::DenseTensor,
+    refs: &[&Matrix],
+) -> ExitCode {
+    use mttkrp_exec::{Backend, ExecCost, MachineSpec, NativeBackend, Planner, SimBackend};
+
+    if args.threads == Some(0) {
+        eprintln!("error: --threads must be at least 1");
+        return ExitCode::from(2);
+    }
+    let threads = args.threads.unwrap_or_else(MachineSpec::detect_threads);
+    let machine = MachineSpec {
+        threads,
+        fast_memory_words: args.memory.unwrap_or(mttkrp_exec::DEFAULT_CACHE_WORDS),
+        ranks: args.procs.unwrap_or(1),
+    };
+    if args.block.is_some() {
+        println!("note: exec chooses the block size from the cost model; --block is ignored");
+    }
+    let plan = Planner::new(machine).plan_executable(problem, args.mode);
+    println!("{plan}");
+
+    // Resolve the backend up front (default: the plan's natural target) so
+    // the "flag ignored" notes reflect what actually runs, not flag text.
+    let use_native = match args.backend.as_deref() {
+        Some("native") => true,
+        Some("sim") => false,
+        None => plan.algorithm.is_sequential(),
+        Some(other) => {
+            eprintln!("error: unknown backend '{other}' (native|sim)");
+            return ExitCode::from(2);
+        }
+    };
+    if !use_native && args.threads.is_some() {
+        println!("note: the sim backend counts words, not time; --threads is ignored there");
+    }
+    let report = if use_native {
+        if !plan.algorithm.is_sequential() {
+            println!(
+                "note: the native backend runs its shared-memory kernel; the plan's \
+                 distributed schedule ({}) applies to the sim backend",
+                plan.algorithm
+            );
+        }
+        NativeBackend::new(threads, plan.machine.fast_memory_words).execute(&plan, x, refs)
+    } else {
+        SimBackend::new().execute(&plan, x, refs)
+    };
+    match &report.cost {
+        ExecCost::SeqIo {
+            loads,
+            stores,
+            peak_fast,
+        } => println!(
+            "[{}] W = {} words (loads {loads}, stores {stores}), peak fast {peak_fast}",
+            report.backend,
+            loads + stores
+        ),
+        ExecCost::ParComm {
+            max_recv_words,
+            max_sent_words,
+            total_words,
+            ranks,
+        } => println!(
+            "[{}] P = {ranks}: max {max_recv_words} words/rank received \
+             ({max_sent_words} sent); machine total {total_words}",
+            report.backend
+        ),
+        ExecCost::Native { elapsed, threads } => println!(
+            "[{}] {:.3} ms on {threads} thread(s)",
+            report.backend,
+            elapsed.as_secs_f64() * 1e3
+        ),
+    }
+    let oracle = mttkrp_reference(x, refs, args.mode);
+    println!(
+        "oracle check: max |diff| = {:.2e}",
+        report.output.max_abs_diff(&oracle)
+    );
     ExitCode::SUCCESS
 }
 

@@ -58,7 +58,15 @@ fn main() {
     }
 
     println!("\n## Executed cross-check (measured == Eq. (14)/(18) model, even cases)\n");
-    header(&["algorithm", "dims", "R", "grid", "measured w/rank", "model", "match"]);
+    header(&[
+        "algorithm",
+        "dims",
+        "R",
+        "grid",
+        "measured w/rank",
+        "model",
+        "match",
+    ]);
 
     // Algorithm 3, even case.
     {

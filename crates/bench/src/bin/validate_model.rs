@@ -15,7 +15,16 @@ fn main() {
     println!("# VAL: measured vs modeled communication\n");
 
     println!("## Sequential: Algorithm 1 (exact) and Algorithm 2 (exact)\n");
-    header(&["algorithm", "dims", "R", "n", "b/M", "measured", "model", "ok"]);
+    header(&[
+        "algorithm",
+        "dims",
+        "R",
+        "n",
+        "b/M",
+        "measured",
+        "model",
+        "ok",
+    ]);
     for (dims, r) in [
         (vec![4usize, 5, 6], 2usize),
         (vec![8, 8, 8], 3),
@@ -125,7 +134,10 @@ fn main() {
             let run = par::mttkrp_general(&x, &refs, n, p0, grid);
             let modeled = model::alg4_cost(&p, p0 as u64, &g64);
             let ok = run.stats.iter().all(|s| s.words_received as f64 == modeled);
-            assert!(ok, "alg4 mismatch dims {dims:?} p0 {p0} grid {grid:?} n {n}");
+            assert!(
+                ok,
+                "alg4 mismatch dims {dims:?} p0 {p0} grid {grid:?} n {n}"
+            );
             checked += 1;
             if n == 0 {
                 row(&[

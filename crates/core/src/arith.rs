@@ -41,9 +41,9 @@ pub fn alg4_arith(p: &Problem, n: usize, p0: u64, grid: &[u64]) -> f64 {
     assert_eq!(grid.len(), p.order());
     let procs: u128 = grid.iter().map(|&g| g as u128).product::<u128>() * p0 as u128;
     // Local: N * |T_{p0}| * prod |S_k| = N * (R/P0) * I * P0 / P.
-    let local = p.order() as f64 * (p.rank as f64 / p0 as f64) * p.tensor_entries() as f64
-        * p0 as f64
-        / procs as f64;
+    let local =
+        p.order() as f64 * (p.rank as f64 / p0 as f64) * p.tensor_entries() as f64 * p0 as f64
+            / procs as f64;
     let q_n = procs / (p0 as u128 * grid[n] as u128);
     let reduce = (q_n as f64 - 1.0) * p.dims[n] as f64 * p.rank as f64 / procs as f64;
     local + reduce
@@ -53,21 +53,13 @@ pub fn alg4_arith(p: &Problem, n: usize, p0: u64, grid: &[u64]) -> f64 {
 /// and `|X| R` additions (exactly what [`crate::kernels::local_mttkrp`]
 /// performs).
 pub fn atomic_kernel_flops(tensor_entries: u64, rank: u64, order: u64) -> (u64, u64) {
-    (
-        tensor_entries * rank * (order - 1),
-        tensor_entries * rank,
-    )
+    (tensor_entries * rank * (order - 1), tensor_entries * rank)
 }
 
 /// Counted two-step local MTTKRP costs: forming the Khatri-Rao product
 /// takes `(I/I_n) R (N-2)` multiplies; the matmul takes `I R` multiplies
 /// and `I R` additions.
-pub fn twostep_kernel_flops(
-    tensor_entries: u64,
-    i_n: u64,
-    rank: u64,
-    order: u64,
-) -> (u64, u64) {
+pub fn twostep_kernel_flops(tensor_entries: u64, i_n: u64, rank: u64, order: u64) -> (u64, u64) {
     let krp_rows = tensor_entries / i_n;
     let krp_muls = krp_rows * rank * order.saturating_sub(2);
     (krp_muls + tensor_entries * rank, tensor_entries * rank)
@@ -113,7 +105,7 @@ mod tests {
         let p = Problem::new(&[8, 8, 8], 8);
         let a1 = alg4_arith(&p, 0, 1, &[2, 2, 2]); // P = 8
         let a2 = alg4_arith(&p, 0, 2, &[2, 2, 1]); // P = 8 with P0 = 2
-        // Local terms: both N*I*R/P = 3*512*8/8 = 1536; reduce terms differ.
+                                                   // Local terms: both N*I*R/P = 3*512*8/8 = 1536; reduce terms differ.
         assert!((a1 - 1536.0) <= 3.0 * 8.0 * 8.0 / 8.0 * 4.0);
         assert!((a2 - 1536.0) <= 3.0 * 8.0 * 8.0 / 8.0 * 4.0);
     }
@@ -137,10 +129,7 @@ mod tests {
         use mttkrp_tensor::{DenseTensor, Matrix, Shape};
         let dims = [4usize, 3, 5];
         let x = DenseTensor::random(Shape::new(&dims), 1);
-        let factors: Vec<Matrix> = dims
-            .iter()
-            .map(|&d| Matrix::random(d, 2, 2))
-            .collect();
+        let factors: Vec<Matrix> = dims.iter().map(|&d| Matrix::random(d, 2, 2)).collect();
         let refs: Vec<&Matrix> = factors.iter().collect();
         let (_, fc) = crate::multi::mttkrp_all_modes_naive(&x, &refs);
         let (m1, a1) = atomic_kernel_flops(60, 2, 3);

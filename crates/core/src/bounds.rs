@@ -62,8 +62,8 @@ pub fn par_mi_thm43(p: &Problem, procs: u64, gamma: f64, delta: f64) -> f64 {
     let i = p.tensor_entries() as f64;
     let r = p.rank as f64;
     let fe = p.factor_entries() as f64;
-    let case_small = (2.0 / (3.0 * gamma)).sqrt() * n * r * (i / procs).powf(1.0 / n)
-        - delta * fe / procs;
+    let case_small =
+        (2.0 / (3.0 * gamma)).sqrt() * n * r * (i / procs).powf(1.0 / n) - delta * fe / procs;
     let case_large = gamma * i / (2.0 * procs);
     case_small.min(case_large)
 }
@@ -122,7 +122,8 @@ mod tests {
         // W >= 3*2^21 / (3^(5/3) * (2^10)^(2/3)) - 2^10.
         let p = cubical();
         let m = 1u64 << 10;
-        let expect = 3.0 * (1u64 << 21) as f64 / (3f64.powf(5.0 / 3.0) * ((1u64 << 10) as f64).powf(2.0 / 3.0))
+        let expect = 3.0 * (1u64 << 21) as f64
+            / (3f64.powf(5.0 / 3.0) * ((1u64 << 10) as f64).powf(2.0 / 3.0))
             - (1u64 << 10) as f64;
         let got = seq_memory_dependent(&p, m);
         assert!((got - expect).abs() < 1e-6 * expect.abs());
@@ -238,9 +239,7 @@ mod tests {
         // overestimates the true bound at very large P; see the doc note
         // on [`par_combined_cor42`].)
         let p = Problem::cubical(3, 1 << 15, 1 << 15);
-        let term42 = |procs: u64| {
-            (3.0 * p.iteration_space() as f64 / procs as f64).powf(0.6)
-        };
+        let term42 = |procs: u64| (3.0 * p.iteration_space() as f64 / procs as f64).powf(0.6);
         let term43 = |procs: u64| {
             3.0 * p.rank as f64 * (p.tensor_entries() as f64 / procs as f64).powf(1.0 / 3.0)
         };
@@ -254,7 +253,10 @@ mod tests {
         // sits below the sum form.
         let real = par_best_mi(&p, large);
         assert!(real <= par_combined_cor42(&p, large));
-        assert!(real >= term42(large) * 0.9, "Thm 4.2 should bind at large P");
+        assert!(
+            real >= term42(large) * 0.9,
+            "Thm 4.2 should bind at large P"
+        );
     }
 
     #[test]

@@ -74,7 +74,9 @@ pub fn projection_size(points: &[Point], order: usize, j: usize) -> usize {
 
 /// All `N+1` projection sizes of a set of iteration points.
 pub fn projection_sizes(points: &[Point], order: usize) -> Vec<usize> {
-    (0..=order).map(|j| projection_size(points, order, j)).collect()
+    (0..=order)
+        .map(|j| projection_size(points, order, j))
+        .collect()
 }
 
 /// The Hölder-Brascamp-Lieb upper bound `prod_j |phi_j(F)|^{s_j}` for the
@@ -253,7 +255,10 @@ mod tests {
         let bound = hbl_upper_bound(&pts, order);
         let count = pts.len() as f64;
         assert!(count <= bound + 1e-9);
-        assert!((bound - count).abs() < 1e-9, "bound should be tight on blocks");
+        assert!(
+            (bound - count).abs() < 1e-9,
+            "bound should be tight on blocks"
+        );
     }
 
     #[test]
@@ -300,10 +305,7 @@ mod tests {
         let s = [1.0 / 3.0, 1.0 / 3.0, 1.0 / 3.0, 2.0 / 3.0];
         let c = 7.0;
         let total: f64 = s.iter().sum();
-        let val: f64 = s
-            .iter()
-            .map(|&sj| (c * sj / total).powf(sj))
-            .product();
+        let val: f64 = s.iter().map(|&sj| (c * sj / total).powf(sj)).product();
         assert!((val - lemma43_max_product(&s, c)).abs() < 1e-9 * val);
     }
 

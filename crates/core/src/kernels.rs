@@ -79,7 +79,10 @@ pub fn local_mttkrp_par(x: &DenseTensor, factors: &[&Matrix], n: usize) -> Matri
     let other_count: usize = shape.num_entries() / i_n;
 
     // Strides for enumerating the complement of mode n.
-    let other_dims: Vec<usize> = (0..order).filter(|&k| k != n).map(|k| shape.dim(k)).collect();
+    let other_dims: Vec<usize> = (0..order)
+        .filter(|&k| k != n)
+        .map(|k| shape.dim(k))
+        .collect();
     let tensor_strides = shape.strides();
     let other_strides: Vec<usize> = (0..order)
         .filter(|&k| k != n)

@@ -44,6 +44,28 @@
 //! let lb = bounds::seq_best(&problem, m as u64);
 //! assert!(run.stats.total() as f64 >= lb);
 //! ```
+//!
+//! ## Running at hardware speed
+//!
+//! The simulators above count every word — that is their job — but they run
+//! far below hardware speed. The `mttkrp-exec` crate turns this crate's
+//! cost models into a *runtime decision procedure*: its `Planner` evaluates
+//! [`model`] (Eqs. 12/14/18) and [`grid_opt`] to pick an algorithm, block
+//! size, and processor grid, and its `NativeBackend` then executes the plan
+//! as a cache-tiled, rayon-parallel kernel at full speed — while its
+//! `SimBackend` can replay the *same plan* on the simulators to verify that
+//! the predicted word counts are exact:
+//!
+//! ```ignore
+//! use mttkrp_exec::{plan_and_execute, MachineSpec};
+//!
+//! let machine = MachineSpec::detect(); // cores + cache of this host
+//! let (plan, report) = plan_and_execute(&machine, &x, &refs, 0);
+//! println!("{plan}");                  // explainable: every candidate + cost
+//! ```
+//!
+//! See `mttkrp_exec`'s crate docs, the `native_vs_sim` example, and the
+//! `mttkrp_cli` subcommand `exec` for the full story.
 
 // Index-based loops are the clearest way to express the mode/rank loop
 // nests of the paper's pseudocode (one index addressing several arrays);

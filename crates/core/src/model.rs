@@ -27,7 +27,11 @@ pub fn alg1_cost(p: &Problem) -> u128 {
 pub fn alg2_cost_exact(p: &Problem, n: usize, b: u64) -> u128 {
     assert!(n < p.order(), "mode out of range");
     assert!(b >= 1);
-    let nb: Vec<u128> = p.dims.iter().map(|&d| (d as u128).div_ceil(b as u128)).collect();
+    let nb: Vec<u128> = p
+        .dims
+        .iter()
+        .map(|&d| (d as u128).div_ceil(b as u128))
+        .collect();
     let total_blocks: u128 = nb.iter().product();
     let r = p.rank as u128;
     let mut factor_words: u128 = 0;
@@ -46,16 +50,39 @@ pub fn alg2_cost_upper(p: &Problem, b: u64) -> f64 {
         .iter()
         .map(|&d| (d as u128).div_ceil(b as u128))
         .product();
-    p.tensor_entries() as f64
-        + nb as f64 * p.rank as f64 * (p.order() as f64 + 1.0) * b as f64
+    p.tensor_entries() as f64 + nb as f64 * p.rank as f64 * (p.order() as f64 + 1.0) * b as f64
 }
 
 /// Algorithm 2 asymptotic form, Eq. (13): `O(I + N*I*R / M^(1-1/N))`
 /// (constant 1 on each term).
 pub fn alg2_cost_asymptotic(p: &Problem, m: u64) -> f64 {
     let n = p.order() as f64;
-    p.tensor_entries() as f64
-        + n * p.iteration_space() as f64 / (m as f64).powf(1.0 - 1.0 / n)
+    p.tensor_entries() as f64 + n * p.iteration_space() as f64 / (m as f64).powf(1.0 - 1.0 / n)
+}
+
+/// The cost-minimizing Algorithm 2 block size for a fast memory of `m`
+/// words: scans every feasible `b` up to the Eq. (11) limit
+/// ([`crate::seq::choose_block_size`]) and returns `(b, exact_cost)` with
+/// the smallest [`alg2_cost_exact`]. Ragged edge blocks make the exact cost
+/// non-monotone in `b`, so the largest feasible block is not always best —
+/// this is the entry point the execution planner uses.
+pub fn alg2_best_block(p: &Problem, n: usize, m: u64) -> (u64, u128) {
+    let order = p.order();
+    if m as usize <= order {
+        // Eq. (11) admits no block at all; b = 1 degenerates to Algorithm 1.
+        return (1, alg2_cost_exact(p, n, 1));
+    }
+    let b_max = (crate::seq::choose_block_size(m as usize, order) as u64)
+        .min(p.dims.iter().copied().max().unwrap_or(1))
+        .max(1);
+    let mut best = (1u64, alg2_cost_exact(p, n, 1));
+    for b in 2..=b_max {
+        let cost = alg2_cost_exact(p, n, b);
+        if cost < best.1 {
+            best = (b, cost);
+        }
+    }
+    best
 }
 
 /// Model of the sequential matmul baseline's I/O
@@ -365,6 +392,26 @@ mod tests {
         let above = limit * 4.0;
         assert!(md(below) > mi(below));
         assert!(md(above) < mi(above));
+    }
+
+    #[test]
+    fn best_block_beats_every_alternative() {
+        let p = Problem::new(&[13, 24, 7], 5);
+        let m = 600;
+        let (b, cost) = alg2_best_block(&p, 1, m);
+        assert!(b >= 1);
+        let b_max = crate::seq::choose_block_size(m as usize, 3) as u64;
+        for alt in 1..=b_max.min(24) {
+            assert!(cost <= alg2_cost_exact(&p, 1, alt), "beaten by b = {alt}");
+        }
+    }
+
+    #[test]
+    fn best_block_degenerates_with_tiny_memory() {
+        let p = Problem::new(&[8, 8, 8], 2);
+        let (b, cost) = alg2_best_block(&p, 0, 3);
+        assert_eq!(b, 1);
+        assert_eq!(cost, alg1_cost(&p));
     }
 
     #[test]

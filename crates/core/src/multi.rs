@@ -107,10 +107,13 @@ fn contract_partial(
     flops: &mut FlopCount,
 ) -> Partial {
     let r = parent.rank;
-    let dims: Vec<usize> = keep.iter().map(|&k| {
-        let pos = parent.modes.iter().position(|&m| m == k).expect("keep ⊆ S");
-        parent.dims[pos]
-    }).collect();
+    let dims: Vec<usize> = keep
+        .iter()
+        .map(|&k| {
+            let pos = parent.modes.iter().position(|&m| m == k).expect("keep ⊆ S");
+            parent.dims[pos]
+        })
+        .collect();
     let mode_space: usize = dims.iter().product();
     let parent_space = parent.mode_space();
     let mut data = vec![0.0f64; mode_space * r];
@@ -271,7 +274,10 @@ mod tests {
             let (outs, _) = mttkrp_all_modes_tree(&x, &refs);
             for n in 0..dims.len() {
                 let oracle = mttkrp_reference(&x, &refs, n);
-                assert!(outs[n].max_abs_diff(&oracle) < 1e-10, "dims {dims:?} mode {n}");
+                assert!(
+                    outs[n].max_abs_diff(&oracle) < 1e-10,
+                    "dims {dims:?} mode {n}"
+                );
             }
         }
     }

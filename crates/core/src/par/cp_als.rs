@@ -44,12 +44,7 @@ type FactorChunk = (usize, usize, usize, Vec<f64>);
 /// Runs distributed CP-ALS on the simulated machine.
 ///
 /// `grid` gives `(P_1, ..., P_N)`; every `P_k` must divide `I_k`.
-pub fn dist_cp_als(
-    x: &DenseTensor,
-    r: usize,
-    grid: &[usize],
-    opts: &CpAlsOptions,
-) -> DistCpAlsRun {
+pub fn dist_cp_als(x: &DenseTensor, r: usize, grid: &[usize], opts: &CpAlsOptions) -> DistCpAlsRun {
     assert!(r >= 1, "rank must be positive");
     let shape = x.shape().clone();
     let order = shape.order();
@@ -391,7 +386,11 @@ pub fn dist_cp_als_jacobi(
                 .map(|k| {
                     let block_rows = ranges[k].1 - ranges[k].0;
                     let comm = pgrid.hyperslice_comm(me, k);
-                    let chunk_data: &[f64] = if chunk_empty[k] { &[] } else { chunks[k].data() };
+                    let chunk_data: &[f64] = if chunk_empty[k] {
+                        &[]
+                    } else {
+                        chunks[k].data()
+                    };
                     let full = collectives::all_gather(rank, &comm, chunk_data);
                     Matrix::from_rows_vec(block_rows, r, full)
                 })
@@ -643,7 +642,10 @@ mod tests {
         let fit = *run.fit_history.last().unwrap();
         assert!(fit > 0.999, "Jacobi fit = {fit}");
         let direct = run.model.fit_to(&x);
-        assert!((direct - fit).abs() < 1e-5, "assembled fit {direct} vs {fit}");
+        assert!(
+            (direct - fit).abs() < 1e-5,
+            "assembled fit {direct} vs {fit}"
+        );
     }
 
     #[test]

@@ -56,7 +56,10 @@ pub fn mttkrp_general(
     let shape = x.shape().clone();
     let order = shape.order();
     assert_eq!(grid.len(), order, "need one grid dimension per mode");
-    assert!(p0 >= 1 && r.is_multiple_of(p0), "P_0 = {p0} must divide R = {r}");
+    assert!(
+        p0 >= 1 && r.is_multiple_of(p0),
+        "P_0 = {p0} must divide R = {r}"
+    );
     for (k, (&g, d)) in grid.iter().zip(shape.dims()).enumerate() {
         assert!(
             g >= 1 && d % g == 0,

@@ -27,12 +27,7 @@ use mttkrp_tensor::{DenseTensor, Matrix};
 /// The contraction dimension (all modes except `n`, linearized) is split by
 /// slabs of the *last* non-`n` mode, which must be divisible by `procs`.
 /// `factors[n]` is ignored.
-pub fn mttkrp_par_matmul(
-    x: &DenseTensor,
-    factors: &[&Matrix],
-    n: usize,
-    procs: usize,
-) -> ParRun {
+pub fn mttkrp_par_matmul(x: &DenseTensor, factors: &[&Matrix], n: usize, procs: usize) -> ParRun {
     let r = mttkrp_tensor::validate_operands(x, factors, n);
     let shape = x.shape().clone();
     let order = shape.order();

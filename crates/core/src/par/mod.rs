@@ -28,7 +28,11 @@ impl ParRun {
     /// Maximum over ranks of words *received* — the one-way per-processor
     /// bandwidth cost that the paper's cost expressions (Eqs. 14, 18) count.
     pub fn max_recv_words(&self) -> u64 {
-        self.stats.iter().map(|s| s.words_received).max().unwrap_or(0)
+        self.stats
+            .iter()
+            .map(|s| s.words_received)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Maximum over ranks of words *sent*.

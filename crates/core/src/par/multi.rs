@@ -193,7 +193,11 @@ mod tests {
         let refs: Vec<&Matrix> = factors.iter().collect();
         let all = mttkrp_all_modes_stationary(&x, &refs, &[2, 2, 2]);
         let per_mode_total: u64 = (0..3)
-            .map(|n| mttkrp_stationary(&x, &refs, n, &[2, 2, 2]).summary.max_words)
+            .map(|n| {
+                mttkrp_stationary(&x, &refs, n, &[2, 2, 2])
+                    .summary
+                    .max_words
+            })
             .sum();
         assert!(
             all.summary.max_words * 3 == per_mode_total * 2,

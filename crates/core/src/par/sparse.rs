@@ -150,10 +150,7 @@ mod tests {
         let refs: Vec<&Matrix> = factors.iter().collect();
         let sparse_run = mttkrp_sparse_stationary(&x, &refs, 0, &[2, 2, 2]);
         let dense_run = mttkrp_stationary(&dense, &refs, 0, &[2, 2, 2]);
-        assert_eq!(
-            sparse_run.summary.max_words,
-            dense_run.summary.max_words
-        );
+        assert_eq!(sparse_run.summary.max_words, dense_run.summary.max_words);
         assert_eq!(
             sparse_run.summary.total_words,
             dense_run.summary.total_words
@@ -163,10 +160,7 @@ mod tests {
     #[test]
     fn very_sparse_tensor_works() {
         let shape = Shape::new(&[4, 4, 4]);
-        let x = CooTensor::from_entries(
-            shape,
-            &[(vec![0, 0, 0], 2.0), (vec![3, 3, 3], -1.0)],
-        );
+        let x = CooTensor::from_entries(shape, &[(vec![0, 0, 0], 2.0), (vec![3, 3, 3], -1.0)]);
         let factors: Vec<Matrix> = (0..3).map(|k| Matrix::random(4, 2, k)).collect();
         let refs: Vec<&Matrix> = factors.iter().collect();
         let run = mttkrp_sparse_stationary(&x, &refs, 1, &[2, 2, 2]);

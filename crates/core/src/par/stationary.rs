@@ -47,12 +47,7 @@ pub(crate) fn assemble_row_chunks(rows: usize, r: usize, chunks: &[RowChunk]) ->
 ///
 /// `grid` gives `(P_1, ..., P_N)`; every `P_k` must divide `I_k` (block
 /// data distribution). `factors[n]` is ignored.
-pub fn mttkrp_stationary(
-    x: &DenseTensor,
-    factors: &[&Matrix],
-    n: usize,
-    grid: &[usize],
-) -> ParRun {
+pub fn mttkrp_stationary(x: &DenseTensor, factors: &[&Matrix], n: usize, grid: &[usize]) -> ParRun {
     let r = mttkrp_tensor::validate_operands(x, factors, n);
     let shape = x.shape().clone();
     let order = shape.order();

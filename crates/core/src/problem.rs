@@ -64,7 +64,10 @@ impl Problem {
     /// Total factor-matrix entries `sum_k I_k * R` (including mode `n`'s
     /// output matrix, as in the paper's bounds).
     pub fn factor_entries(&self) -> u128 {
-        self.dims.iter().map(|&d| d as u128 * self.rank as u128).sum()
+        self.dims
+            .iter()
+            .map(|&d| d as u128 * self.rank as u128)
+            .sum()
     }
 
     /// Whether the problem is cubical (`I_k` all equal).

@@ -21,11 +21,17 @@ use mttkrp_tensor::{DenseTensor, Matrix, Shape};
 /// # Panics
 /// Panics if even `b = 1` does not fit (`m < N + 1`).
 pub fn choose_block_size(m: usize, order: usize) -> usize {
-    assert!(
-        m > order,
-        "fast memory of {m} words cannot support even b = 1 (need N+1 = {})",
-        order + 1
-    );
+    choose_block_size_with_rank(m, order, 1)
+}
+
+/// Rank-aware generalization of [`choose_block_size`]: the largest `b >= 1`
+/// with `b^N + N*b*rank <= m`, for residency disciplines that keep one
+/// `b x rank` factor sub-block per mode resident (the native execution
+/// backend's cache tiles). `rank = 1` recovers Eq. (11) exactly.
+///
+/// # Panics
+/// Panics if even `b = 1` does not fit (`m < 1 + N*rank`).
+pub fn choose_block_size_with_rank(m: usize, order: usize, rank: usize) -> usize {
     let fits = |b: usize| -> bool {
         // Compute b^N with overflow care.
         let mut pow = 1usize;
@@ -35,8 +41,17 @@ pub fn choose_block_size(m: usize, order: usize) -> usize {
                 None => return false,
             }
         }
-        pow.checked_add(order * b).is_some_and(|tot| tot <= m)
+        order
+            .checked_mul(b)
+            .and_then(|f| f.checked_mul(rank))
+            .and_then(|f| pow.checked_add(f))
+            .is_some_and(|tot| tot <= m)
     };
+    assert!(
+        fits(1),
+        "fast memory of {m} words cannot support even b = 1 (need 1 + N*rank = {})",
+        1 + order * rank
+    );
     let mut lo = 1usize; // fits
     let mut hi = m + 1; // does not fit (b^N >= b > m)
     while hi - lo > 1 {
@@ -84,7 +99,10 @@ pub fn mttkrp_blocked(
 
     let mut mem = TwoLevelMemory::new(m);
     let x_id = mem.alloc(x.data().to_vec());
-    let a_ids: Vec<_> = factors.iter().map(|f| mem.alloc(f.data().to_vec())).collect();
+    let a_ids: Vec<_> = factors
+        .iter()
+        .map(|f| mem.alloc(f.data().to_vec()))
+        .collect();
     let b_id = mem.alloc_zeros(shape.dim(n) * r);
 
     // Block grid: numbers of blocks per mode.
@@ -213,7 +231,10 @@ pub fn mttkrp_blocked_r_outer(
 
     let mut mem = TwoLevelMemory::new(m);
     let x_id = mem.alloc(x.data().to_vec());
-    let a_ids: Vec<_> = factors.iter().map(|f| mem.alloc(f.data().to_vec())).collect();
+    let a_ids: Vec<_> = factors
+        .iter()
+        .map(|f| mem.alloc(f.data().to_vec()))
+        .collect();
     let b_id = mem.alloc_zeros(shape.dim(n) * r);
 
     let nblocks: Vec<usize> = (0..order).map(|k| shape.dim(k).div_ceil(b)).collect();
@@ -350,10 +371,7 @@ mod tests {
         let refs: Vec<&Matrix> = factors.iter().collect();
         let run = mttkrp_blocked(&x, &refs, 1, 32, 2);
         let p = Problem::new(&[4, 4, 4], 2);
-        assert_eq!(
-            run.stats.total() as u128,
-            model::alg2_cost_exact(&p, 1, 2)
-        );
+        assert_eq!(run.stats.total() as u128, model::alg2_cost_exact(&p, 1, 2));
     }
 
     #[test]

@@ -57,12 +57,7 @@ impl MatmulRun {
 /// # Panics
 /// Panics if `m < max(N, 3)` (phase 1 needs `N` words resident, phase 2
 /// needs one word of each operand).
-pub fn mttkrp_seq_matmul(
-    x: &DenseTensor,
-    factors: &[&Matrix],
-    n: usize,
-    m: usize,
-) -> MatmulRun {
+pub fn mttkrp_seq_matmul(x: &DenseTensor, factors: &[&Matrix], n: usize, m: usize) -> MatmulRun {
     let r = mttkrp_tensor::validate_operands(x, factors, n);
     let shape = x.shape().clone();
     let order = shape.order();
@@ -74,7 +69,10 @@ pub fn mttkrp_seq_matmul(
 
     let mut mem = TwoLevelMemory::new(m);
     let x_id = mem.alloc(x.data().to_vec());
-    let a_ids: Vec<_> = factors.iter().map(|f| mem.alloc(f.data().to_vec())).collect();
+    let a_ids: Vec<_> = factors
+        .iter()
+        .map(|f| mem.alloc(f.data().to_vec()))
+        .collect();
     let krows = shape.num_entries() / shape.dim(n);
     let k_id = mem.alloc_zeros(krows * r); // K stored row-major
     let b_id = mem.alloc_zeros(shape.dim(n) * r);
@@ -171,8 +169,8 @@ pub fn mttkrp_seq_matmul(
                     for j in jb..je {
                         let mut acc = mem.get(b_id, i * r + j);
                         for kk in kb..ke {
-                            acc += mem.get(x_id, xn_lin(i, kk, &mut idx))
-                                * mem.get(k_id, kk * r + j);
+                            acc +=
+                                mem.get(x_id, xn_lin(i, kk, &mut idx)) * mem.get(k_id, kk * r + j);
                         }
                         mem.set(b_id, i * r + j, acc);
                     }

@@ -25,6 +25,8 @@ pub struct SeqRun {
     pub segments: Vec<u64>,
 }
 
-pub use blocked::{choose_block_size, mttkrp_blocked, mttkrp_blocked_r_outer};
+pub use blocked::{
+    choose_block_size, choose_block_size_with_rank, mttkrp_blocked, mttkrp_blocked_r_outer,
+};
 pub use matmul::mttkrp_seq_matmul;
 pub use unblocked::mttkrp_unblocked;

@@ -20,12 +20,7 @@ use mttkrp_tensor::{DenseTensor, Matrix};
 /// # Panics
 /// Panics if `m < N + 1` (the model cannot evaluate an `N`-ary multiply) or
 /// if operands are malformed.
-pub fn mttkrp_unblocked(
-    x: &DenseTensor,
-    factors: &[&Matrix],
-    n: usize,
-    m: usize,
-) -> SeqRun {
+pub fn mttkrp_unblocked(x: &DenseTensor, factors: &[&Matrix], n: usize, m: usize) -> SeqRun {
     let r = mttkrp_tensor::validate_operands(x, factors, n);
     let shape = x.shape().clone();
     let order = shape.order();
@@ -37,7 +32,10 @@ pub fn mttkrp_unblocked(
 
     let mut mem = TwoLevelMemory::new(m);
     let x_id = mem.alloc(x.data().to_vec());
-    let a_ids: Vec<_> = factors.iter().map(|f| mem.alloc(f.data().to_vec())).collect();
+    let a_ids: Vec<_> = factors
+        .iter()
+        .map(|f| mem.alloc(f.data().to_vec()))
+        .collect();
     let b_id = mem.alloc_zeros(shape.dim(n) * r);
 
     let mut idx = vec![0usize; order];

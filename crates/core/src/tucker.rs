@@ -62,7 +62,10 @@ pub fn st_hosvd(x: &DenseTensor, ranks: &[usize]) -> TuckerTensor {
     let order = x.order();
     assert_eq!(ranks.len(), order, "need one rank per mode");
     for (k, (&r, &d)) in ranks.iter().zip(x.shape().dims()).enumerate() {
-        assert!(r >= 1 && r <= d, "rank {r} invalid for mode {k} of size {d}");
+        assert!(
+            r >= 1 && r <= d,
+            "rank {r} invalid for mode {k} of size {d}"
+        );
     }
     let mut core = x.clone();
     let mut factors = Vec::with_capacity(order);
@@ -70,7 +73,7 @@ pub fn st_hosvd(x: &DenseTensor, ranks: &[usize]) -> TuckerTensor {
         let unfolded = matricize(&core, n);
         let gram = unfolded.matmul(&unfolded.transpose()); // I_n x I_n
         let u = leading_eigvecs(&gram, ranks[n]); // I_n x R_n
-        // Compress mode n now: core <- U^T x_n core.
+                                                  // Compress mode n now: core <- U^T x_n core.
         core = ttm(&core, &u.transpose(), n);
         factors.push(u);
     }
@@ -144,11 +147,7 @@ mod tests {
     fn exact_low_rank_recovered() {
         let x = low_rank_tensor(&[6, 7, 5], &[2, 3, 2], 2);
         let t = st_hosvd(&x, &[2, 3, 2]);
-        assert!(
-            t.fit_to(&x) > 1.0 - 1e-7,
-            "fit = {}",
-            t.fit_to(&x)
-        );
+        assert!(t.fit_to(&x) > 1.0 - 1e-7, "fit = {}", t.fit_to(&x));
         assert_eq!(t.core.shape().dims(), &[2, 3, 2]);
     }
 

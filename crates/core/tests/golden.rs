@@ -23,7 +23,10 @@ fn golden_sequential_costs() {
 fn golden_parallel_costs() {
     let p = Problem::new(&[8, 8, 8], 4);
     assert_eq!(model::alg3_cost(&p, &[2, 2, 2]), 36.0);
-    assert_eq!(model::alg3_cost(&p, &[8, 1, 1]), 4.0 * 0.0 + 7.0 * 4.0 + 7.0 * 4.0);
+    assert_eq!(
+        model::alg3_cost(&p, &[8, 1, 1]),
+        4.0 * 0.0 + 7.0 * 4.0 + 7.0 * 4.0
+    );
     let p8 = Problem::new(&[8, 8, 8], 8);
     assert_eq!(model::alg4_cost(&p8, 2, &[2, 2, 2]), 68.0);
     assert_eq!(model::alg3_messages(&p, &[2, 2, 2]), 9);

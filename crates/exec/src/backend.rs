@@ -1,0 +1,70 @@
+//! The backend abstraction: one trait, many execution targets.
+
+use crate::plan::Plan;
+use mttkrp_tensor::{DenseTensor, Matrix};
+use std::time::Duration;
+
+/// What an execution cost: the simulator backends report exact word counts
+/// (the quantity the paper's bounds govern), the native backend reports
+/// wall-clock time.
+#[derive(Clone, Debug)]
+pub enum ExecCost {
+    /// Sequential simulator: exact two-level-memory traffic.
+    SeqIo {
+        loads: u64,
+        stores: u64,
+        peak_fast: usize,
+    },
+    /// Parallel simulator: exact per-rank network traffic.
+    ParComm {
+        max_recv_words: u64,
+        max_sent_words: u64,
+        total_words: u64,
+        ranks: usize,
+    },
+    /// Native hardware execution.
+    Native { elapsed: Duration, threads: usize },
+}
+
+impl ExecCost {
+    /// A single scalar for quick comparisons: words moved for the
+    /// simulators (max per-rank received for parallel runs), seconds for
+    /// native runs. Units differ by variant — only compare like with like.
+    pub fn headline(&self) -> f64 {
+        match self {
+            ExecCost::SeqIo { loads, stores, .. } => (loads + stores) as f64,
+            ExecCost::ParComm { max_recv_words, .. } => *max_recv_words as f64,
+            ExecCost::Native { elapsed, .. } => elapsed.as_secs_f64(),
+        }
+    }
+}
+
+/// The result of running a plan on some backend.
+#[derive(Debug)]
+pub struct ExecReport {
+    /// The computed MTTKRP output `B^(n)` (`I_n x R`).
+    pub output: Matrix,
+    /// Which backend produced it.
+    pub backend: &'static str,
+    /// What it cost there.
+    pub cost: ExecCost,
+}
+
+/// A uniform execution target for MTTKRP plans.
+///
+/// Implementations must compute exactly the MTTKRP the plan describes
+/// (validated against [`mttkrp_tensor::mttkrp_reference`] in the test
+/// suite); they differ only in *where* it runs and *what cost* is observed:
+///
+/// - [`crate::SimBackend`] replays the plan on the strict machine-model
+///   simulators and reports exact word counts;
+/// - [`crate::NativeBackend`] runs a cache-tiled rayon kernel at hardware
+///   speed and reports wall-clock time.
+pub trait Backend {
+    /// Short stable name, e.g. `"sim"` or `"native"`.
+    fn name(&self) -> &'static str;
+
+    /// Executes `plan` for the given operands. `factors[plan.mode]` is
+    /// ignored, as everywhere in the workspace.
+    fn execute(&self, plan: &Plan, x: &DenseTensor, factors: &[&Matrix]) -> ExecReport;
+}

@@ -1,0 +1,61 @@
+//! # mttkrp-exec
+//!
+//! The execution subsystem of the MTTKRP workspace: where the paper's
+//! analytic cost models stop being figure generators and start *driving
+//! execution*.
+//!
+//! Three layers:
+//!
+//! 1. **[`Backend`]** — one trait, many targets. [`SimBackend`] replays a
+//!    plan on the strict machine-model simulators (exact word counts, the
+//!    quantity the paper's lower bounds govern); [`NativeBackend`] runs a
+//!    cache-tiled, rayon-parallel dense MTTKRP at hardware speed (per-slab
+//!    parallelism over the output mode, per-thread accumulators, no
+//!    `unsafe`).
+//! 2. **[`Planner`]** — given a [`Problem`](mttkrp_core::Problem) and a
+//!    [`MachineSpec`], evaluates Eqs. (12)/(14)/(18) and the `grid_opt`
+//!    searches to choose algorithm, block size, and processor grid, and
+//!    returns an explainable [`Plan`] listing every candidate it weighed.
+//! 3. **[`Executor`]** — the front door:
+//!    [`execute(plan, tensor, factors, mode)`](execute) runs a plan on its
+//!    natural backend; [`plan_and_execute`] does both steps in one call.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use mttkrp_exec::{plan_and_execute, MachineSpec};
+//! use mttkrp_tensor::{mttkrp_reference, DenseTensor, Matrix, Shape};
+//!
+//! let shape = Shape::new(&[16, 16, 16]);
+//! let x = DenseTensor::random(shape.clone(), 0);
+//! let factors: Vec<Matrix> = (0..3).map(|k| Matrix::random(16, 8, k)).collect();
+//! let refs: Vec<&Matrix> = factors.iter().collect();
+//!
+//! let machine = MachineSpec::shared(2, 1 << 16);
+//! let (plan, report) = plan_and_execute(&machine, &x, &refs, 0);
+//! println!("{plan}");
+//! let oracle = mttkrp_reference(&x, &refs, 0);
+//! assert!(report.output.max_abs_diff(&oracle) < 1e-10);
+//! ```
+//!
+//! The planner never materializes a tensor, so it also works at model scale
+//! (the paper's Figure 4 instance, `I = 2^45`): ask it for a plan and read
+//! the explanation instead of executing.
+
+#![allow(clippy::needless_range_loop)]
+
+pub mod backend;
+pub mod executor;
+pub mod machine;
+pub mod native;
+pub mod plan;
+pub mod planner;
+pub mod sim;
+
+pub use backend::{Backend, ExecCost, ExecReport};
+pub use executor::{execute, plan_and_execute, Executor};
+pub use machine::{MachineSpec, DEFAULT_CACHE_WORDS};
+pub use native::{mttkrp_native, native_tile, NativeBackend};
+pub use plan::{Algorithm, Candidate, Plan};
+pub use planner::Planner;
+pub use sim::SimBackend;

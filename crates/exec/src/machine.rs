@@ -1,0 +1,101 @@
+//! Machine descriptions the planner optimizes for.
+
+/// Default planner cache capacity when nothing better is known: 2^21 words
+/// (16 MiB of `f64`), a typical shared last-level cache slice.
+pub const DEFAULT_CACHE_WORDS: usize = 1 << 21;
+
+/// A description of the execution target, in the vocabulary of the paper's
+/// two machine models:
+///
+/// - `fast_memory_words` is the capacity `M` of the sequential model's fast
+///   memory (for the native backend: the cache level the tiling targets);
+/// - `ranks` is the processor count `P` of the distributed model. With
+///   `ranks == 1` the planner compares the *sequential* algorithms
+///   (Algorithms 1/2, matmul baseline); with `ranks > 1` it compares the
+///   *parallel* ones (Algorithms 3/4, CARMA baseline);
+/// - `threads` is the shared-memory parallelism the native backend may use.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MachineSpec {
+    /// Shared-memory threads available to the native backend.
+    pub threads: usize,
+    /// Fast-memory capacity `M` in words (`f64`s).
+    pub fast_memory_words: usize,
+    /// Distributed ranks `P` to plan for (1 = sequential planning).
+    pub ranks: usize,
+}
+
+impl MachineSpec {
+    /// The host's available core count (1 if detection fails) — the single
+    /// source of truth for "how many threads does this machine have".
+    pub fn detect_threads() -> usize {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+
+    /// Detects the host: all available cores, default cache size, one rank.
+    pub fn detect() -> MachineSpec {
+        MachineSpec {
+            threads: MachineSpec::detect_threads(),
+            fast_memory_words: DEFAULT_CACHE_WORDS,
+            ranks: 1,
+        }
+    }
+
+    /// A sequential machine with fast memory of `m` words.
+    pub fn sequential(m: usize) -> MachineSpec {
+        MachineSpec {
+            threads: 1,
+            fast_memory_words: m,
+            ranks: 1,
+        }
+    }
+
+    /// A shared-memory machine: `threads` cores over a cache of
+    /// `cache_words` words.
+    pub fn shared(threads: usize, cache_words: usize) -> MachineSpec {
+        assert!(threads >= 1, "need at least one thread");
+        MachineSpec {
+            threads,
+            fast_memory_words: cache_words,
+            ranks: 1,
+        }
+    }
+
+    /// A distributed machine with `ranks` processors (planned against the
+    /// paper's parallel cost models; executed on the network simulator).
+    pub fn distributed(ranks: usize) -> MachineSpec {
+        assert!(ranks >= 1, "need at least one rank");
+        MachineSpec {
+            threads: 1,
+            fast_memory_words: DEFAULT_CACHE_WORDS,
+            ranks,
+        }
+    }
+}
+
+impl Default for MachineSpec {
+    fn default() -> Self {
+        MachineSpec::detect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detect_is_sane() {
+        let m = MachineSpec::detect();
+        assert!(m.threads >= 1);
+        assert!(m.fast_memory_words > 0);
+        assert_eq!(m.ranks, 1);
+    }
+
+    #[test]
+    fn constructors() {
+        assert_eq!(MachineSpec::sequential(64).threads, 1);
+        assert_eq!(MachineSpec::shared(8, 1 << 10).threads, 8);
+        assert_eq!(MachineSpec::distributed(16).ranks, 16);
+    }
+}

@@ -1,0 +1,349 @@
+//! The native backend: cache-tiled dense MTTKRP on a rayon thread pool.
+//!
+//! Parallel decomposition: the tensor is split into contiguous *last-mode
+//! slabs* (disjoint `&[f64]` slices, handed out by the unsafe-free
+//! [`DenseTensor::par_last_mode_slabs`] accessor). When the output mode *is*
+//! the last mode, slabs map to disjoint output row chunks
+//! ([`Matrix::par_row_chunks_mut`]) and threads write their rows directly;
+//! otherwise each rayon fold keeps a per-thread accumulator matrix and the
+//! partials are summed in the reduce step — no locks, no `unsafe`.
+//!
+//! Cache tiling: within a slab, the iteration space is walked in `b`-edge
+//! tensor blocks in the spirit of Algorithm 2 / `seq::choose_block_size`,
+//! with the Eq. (11) residency constraint made rank-aware
+//! (`b^N + N*b*R <= M`, since a factor sub-block is `b x R` words here).
+//! Mode-0 runs inside a block stream contiguously through the tensor.
+//!
+//! Known limitation: the parallel grain is the last-mode extent `I_N` —
+//! contiguity of slabs is what makes the decomposition unsafe-free — so a
+//! tensor whose *last* mode is smaller than the thread count underuses the
+//! pool (e.g. `512 x 512 x 2` yields at most two slabs). Splitting over
+//! the largest non-output mode is tracked in the ROADMAP.
+
+use crate::backend::{Backend, ExecCost, ExecReport};
+use crate::machine::DEFAULT_CACHE_WORDS;
+use crate::plan::Plan;
+use mttkrp_core::seq;
+use mttkrp_tensor::{DenseTensor, Matrix};
+use rayon::prelude::*;
+use std::time::Instant;
+
+/// The largest block edge `b >= 1` with `b^order + order*b*rank <= m`
+/// ([`seq::choose_block_size_with_rank`], the rank-aware analogue of
+/// Eq. (11)): each of the `order` factor sub-blocks held in cache is
+/// `b x rank` words. Unlike the core helper this never panics — a cache
+/// too small for any tile just degrades to `b = 1`.
+pub fn native_tile(m: usize, order: usize, rank: usize) -> usize {
+    match order.checked_mul(rank).and_then(|f| f.checked_add(1)) {
+        Some(min_words) if m >= min_words => seq::choose_block_size_with_rank(m, order, rank),
+        _ => 1,
+    }
+}
+
+/// The per-slab kernel parameters shared by every worker: the operands,
+/// output mode, tile edge, and rank.
+struct SlabKernel<'a> {
+    x: &'a DenseTensor,
+    factors: &'a [&'a Matrix],
+    n: usize,
+    tile: usize,
+    r: usize,
+}
+
+impl SlabKernel<'_> {
+    /// Accumulates the MTTKRP contribution of one contiguous last-mode slab
+    /// (last-mode indices `[j0, j0 + depth)`) into `out`, a row-major
+    /// `r`-column buffer indexed by `global_output_row - out_row0`.
+    fn accumulate(&self, j0: usize, slab: &[f64], out: &mut [f64], out_row0: usize) {
+        let (x, factors, n, r) = (self.x, self.factors, self.n, self.r);
+        let shape = x.shape();
+        let order = shape.order();
+        let last = order - 1;
+        let strides = shape.strides();
+        let depth = slab.len() / x.last_mode_slab_len();
+        let tile = self.tile.max(1);
+
+        // Extents of this slab's iteration space (full in every mode but the
+        // last) and the per-mode tile counts.
+        let mut ext: Vec<usize> = shape.dims().to_vec();
+        ext[last] = depth;
+        let ntiles: Vec<usize> = ext.iter().map(|&e| e.div_ceil(tile)).collect();
+        let total_tiles: usize = ntiles.iter().product();
+
+        let mut lo = vec![0usize; order];
+        let mut hi = vec![0usize; order];
+        let mut idx = vec![0usize; order];
+        let mut w = vec![0.0f64; r];
+
+        for t in 0..total_tiles {
+            let mut tt = t;
+            for k in 0..order {
+                let tk = tt % ntiles[k];
+                tt /= ntiles[k];
+                lo[k] = tk * tile;
+                hi[k] = (lo[k] + tile).min(ext[k]);
+            }
+            idx.copy_from_slice(&lo);
+            loop {
+                // w = Hadamard product of the participating factor rows for
+                // modes 1..N (mode 0 is handled in the inner streaming loop).
+                w.iter_mut().for_each(|v| *v = 1.0);
+                for (k, f) in factors.iter().enumerate().skip(1) {
+                    if k == n {
+                        continue;
+                    }
+                    let gi = if k == last { j0 + idx[k] } else { idx[k] };
+                    for (wv, &a) in w.iter_mut().zip(f.row(gi)) {
+                        *wv *= a;
+                    }
+                }
+                // Linear offset (within the slab) of (0, idx[1], ..., idx[N-1]).
+                let base: usize = (1..order).map(|k| idx[k] * strides[k]).sum();
+
+                if n == 0 {
+                    for i0 in lo[0]..hi[0] {
+                        let xv = slab[base + i0];
+                        let o = (i0 - out_row0) * r;
+                        for (ov, &wv) in out[o..o + r].iter_mut().zip(&w) {
+                            *ov += xv * wv;
+                        }
+                    }
+                } else {
+                    let gn = if n == last { j0 + idx[n] } else { idx[n] };
+                    let o = (gn - out_row0) * r;
+                    let (orow, f0) = (&mut out[o..o + r], factors[0]);
+                    for i0 in lo[0]..hi[0] {
+                        let xv = slab[base + i0];
+                        let a0 = f0.row(i0);
+                        for c in 0..r {
+                            orow[c] += xv * a0[c] * w[c];
+                        }
+                    }
+                }
+
+                // Odometer over modes 1..N within the tile.
+                let mut k = 1;
+                while k < order {
+                    idx[k] += 1;
+                    if idx[k] < hi[k] {
+                        break;
+                    }
+                    idx[k] = lo[k];
+                    k += 1;
+                }
+                if k >= order {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+/// Cache-tiled parallel MTTKRP on the given rayon pool. `tile` is the block
+/// edge (see [`native_tile`]); `factors[n]` is ignored.
+pub fn mttkrp_native(
+    x: &DenseTensor,
+    factors: &[&Matrix],
+    n: usize,
+    tile: usize,
+    pool: &rayon::ThreadPool,
+) -> Matrix {
+    let r = mttkrp_tensor::validate_operands(x, factors, n);
+    let shape = x.shape();
+    let order = shape.order();
+    let last = order - 1;
+    let i_n = shape.dim(n);
+    let i_last = shape.dim(last);
+    let threads = pool.current_num_threads().max(1);
+    // Enough slabs for load balance (4 per thread), but never empty ones.
+    let depth = i_last.div_ceil(4 * threads).max(1);
+
+    let kernel = SlabKernel {
+        x,
+        factors,
+        n,
+        tile,
+        r,
+    };
+    pool.install(|| {
+        if n == last {
+            // Slabs own disjoint output rows: write in place, no reduction.
+            let mut b = Matrix::zeros(i_n, r);
+            b.par_row_chunks_mut(depth)
+                .zip(x.par_last_mode_slabs(depth))
+                .for_each(|((row0, rows), (j0, slab))| {
+                    debug_assert_eq!(row0, j0);
+                    kernel.accumulate(j0, slab, rows, j0);
+                });
+            b
+        } else {
+            // Per-thread accumulators, summed pairwise in the reduction.
+            x.par_last_mode_slabs(depth)
+                .fold(
+                    || Matrix::zeros(i_n, r),
+                    |mut acc, (j0, slab)| {
+                        kernel.accumulate(j0, slab, acc.data_mut(), 0);
+                        acc
+                    },
+                )
+                .reduce(
+                    || Matrix::zeros(i_n, r),
+                    |mut a, b| {
+                        a.axpy(1.0, &b);
+                        a
+                    },
+                )
+        }
+    })
+}
+
+/// Executes MTTKRP at hardware speed on a rayon thread pool.
+pub struct NativeBackend {
+    pool: rayon::ThreadPool,
+    threads: usize,
+    cache_words: usize,
+}
+
+impl NativeBackend {
+    /// A backend with its own pool of exactly `threads` workers, tiling for
+    /// a cache of `cache_words` words.
+    pub fn new(threads: usize, cache_words: usize) -> NativeBackend {
+        assert!(threads >= 1, "need at least one thread");
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("failed to build rayon thread pool");
+        NativeBackend {
+            pool,
+            threads,
+            cache_words: cache_words.max(1),
+        }
+    }
+
+    /// All available cores, default cache size.
+    pub fn with_all_cores() -> NativeBackend {
+        NativeBackend::new(crate::MachineSpec::detect_threads(), DEFAULT_CACHE_WORDS)
+    }
+
+    /// A single-threaded baseline (same kernel, no parallelism) — the
+    /// comparison point for speedup measurements.
+    pub fn single_threaded() -> NativeBackend {
+        NativeBackend::new(1, DEFAULT_CACHE_WORDS)
+    }
+
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs the tiled kernel directly (no plan needed), choosing the tile
+    /// from this backend's cache size.
+    pub fn run(&self, x: &DenseTensor, factors: &[&Matrix], mode: usize) -> Matrix {
+        let tile = native_tile(self.cache_words, x.order(), factors[0].cols());
+        mttkrp_native(x, factors, mode, tile, &self.pool)
+    }
+}
+
+impl Backend for NativeBackend {
+    fn name(&self) -> &'static str {
+        "native"
+    }
+
+    /// Runs the plan's MTTKRP on this backend's thread pool.
+    ///
+    /// The native backend has exactly one execution strategy — the
+    /// cache-tiled shared-memory kernel — so only the plan's *mode*, *tile*
+    /// and problem are honored. A distributed plan (Algorithm 3/4, parallel
+    /// matmul) computes the same values here, but its processor grid and
+    /// communication schedule describe the [`crate::SimBackend`], not this
+    /// execution; callers forcing a distributed plan onto the native
+    /// backend should say so to their users (the CLI prints a note).
+    fn execute(&self, plan: &Plan, x: &DenseTensor, factors: &[&Matrix]) -> ExecReport {
+        let tile = plan.native_tile();
+        let start = Instant::now();
+        let output = mttkrp_native(x, factors, plan.mode, tile, &self.pool);
+        let elapsed = start.elapsed();
+        ExecReport {
+            output,
+            backend: self.name(),
+            cost: ExecCost::Native {
+                elapsed,
+                threads: self.threads,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mttkrp_tensor::{mttkrp_reference, Shape};
+
+    fn setup(dims: &[usize], r: usize, seed: u64) -> (DenseTensor, Vec<Matrix>) {
+        let shape = Shape::new(dims);
+        let x = DenseTensor::random(shape.clone(), seed);
+        let factors = dims
+            .iter()
+            .enumerate()
+            .map(|(k, &d)| Matrix::random(d, r, seed + 50 + k as u64))
+            .collect();
+        (x, factors)
+    }
+
+    #[test]
+    fn native_tile_respects_budget() {
+        // b^3 + 3*b*8 <= 1000: b = 8 gives 512 + 192 = 704, b = 9 gives 945.
+        assert_eq!(native_tile(1000, 3, 8), 9);
+        assert_eq!(native_tile(4, 3, 8), 1); // nothing fits: degenerate tile
+        assert!(native_tile(1 << 21, 3, 32) >= 64);
+    }
+
+    #[test]
+    fn matches_oracle_all_modes_3way() {
+        let (x, factors) = setup(&[7, 5, 6], 4, 1);
+        let refs: Vec<&Matrix> = factors.iter().collect();
+        let be = NativeBackend::new(3, 1 << 12);
+        for n in 0..3 {
+            let got = be.run(&x, &refs, n);
+            let want = mttkrp_reference(&x, &refs, n);
+            assert!(got.max_abs_diff(&want) < 1e-12, "mode {n}");
+        }
+    }
+
+    #[test]
+    fn matches_oracle_4way_tiny_tile() {
+        let (x, factors) = setup(&[4, 3, 5, 2], 3, 2);
+        let refs: Vec<&Matrix> = factors.iter().collect();
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(2)
+            .build()
+            .unwrap();
+        for n in 0..4 {
+            for tile in [1, 2, 7] {
+                let got = mttkrp_native(&x, &refs, n, tile, &pool);
+                let want = mttkrp_reference(&x, &refs, n);
+                assert!(got.max_abs_diff(&want) < 1e-12, "mode {n}, tile {tile}");
+            }
+        }
+    }
+
+    #[test]
+    fn matches_oracle_order2() {
+        let (x, factors) = setup(&[9, 8], 5, 3);
+        let refs: Vec<&Matrix> = factors.iter().collect();
+        let be = NativeBackend::new(2, 64);
+        for n in 0..2 {
+            let got = be.run(&x, &refs, n);
+            let want = mttkrp_reference(&x, &refs, n);
+            assert!(got.max_abs_diff(&want) < 1e-12, "mode {n}");
+        }
+    }
+
+    #[test]
+    fn single_and_multi_thread_agree() {
+        let (x, factors) = setup(&[12, 10, 8], 6, 4);
+        let refs: Vec<&Matrix> = factors.iter().collect();
+        let one = NativeBackend::single_threaded().run(&x, &refs, 1);
+        let many = NativeBackend::new(4, DEFAULT_CACHE_WORDS).run(&x, &refs, 1);
+        assert!(one.max_abs_diff(&many) < 1e-12);
+    }
+}

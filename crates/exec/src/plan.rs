@@ -1,0 +1,195 @@
+//! Explainable execution plans: what the planner chose and what it was
+//! offered.
+
+use crate::machine::MachineSpec;
+use mttkrp_core::Problem;
+use std::fmt;
+
+/// One of the paper's MTTKRP algorithms, fully parameterized so a backend
+/// can execute it without re-deriving anything.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Algorithm {
+    /// Algorithm 1: sequential unblocked, fast memory of `memory` words.
+    SeqUnblocked { memory: usize },
+    /// Algorithm 2: sequential blocked with block edge `block`.
+    SeqBlocked { memory: usize, block: usize },
+    /// Sequential matmul baseline (Section VI-A).
+    SeqMatmul { memory: usize },
+    /// Algorithm 3: parallel stationary over the processor grid
+    /// `P_1 x ... x P_N`.
+    ParStationary { grid: Vec<usize> },
+    /// Algorithm 4: parallel general with rank-dimension cut `p0` and grid
+    /// `P_1 x ... x P_N` (total procs `p0 * prod grid`).
+    ParGeneral { p0: usize, grid: Vec<usize> },
+    /// Parallel matmul baseline (CARMA model, 1D execution).
+    ParMatmul { procs: usize },
+}
+
+impl Algorithm {
+    /// Whether this is one of the sequential (single-rank) algorithms.
+    pub fn is_sequential(&self) -> bool {
+        matches!(
+            self,
+            Algorithm::SeqUnblocked { .. }
+                | Algorithm::SeqBlocked { .. }
+                | Algorithm::SeqMatmul { .. }
+        )
+    }
+
+    /// Short human label, e.g. `alg2(b=16)`.
+    pub fn label(&self) -> String {
+        match self {
+            Algorithm::SeqUnblocked { .. } => "alg1".to_string(),
+            Algorithm::SeqBlocked { block, .. } => format!("alg2(b={block})"),
+            Algorithm::SeqMatmul { .. } => "seq-matmul".to_string(),
+            Algorithm::ParStationary { grid } => format!("alg3(grid={})", fmt_grid(grid)),
+            Algorithm::ParGeneral { p0, grid } => {
+                format!("alg4(p0={p0}, grid={})", fmt_grid(grid))
+            }
+            Algorithm::ParMatmul { procs } => format!("par-matmul(P={procs})"),
+        }
+    }
+}
+
+fn fmt_grid(grid: &[usize]) -> String {
+    grid.iter()
+        .map(|g| g.to_string())
+        .collect::<Vec<_>>()
+        .join("x")
+}
+
+impl fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+/// A candidate the planner evaluated: the fully parameterized algorithm and
+/// its modeled communication cost (words; per-processor for the parallel
+/// models).
+#[derive(Clone, Debug)]
+pub struct Candidate {
+    pub algorithm: Algorithm,
+    pub modeled_cost: f64,
+}
+
+/// An explainable execution plan: the chosen algorithm, its predicted cost,
+/// and every alternative the planner weighed — so "why this plan?" is always
+/// answerable from the plan itself.
+#[derive(Clone, Debug)]
+pub struct Plan {
+    /// The problem the plan was made for.
+    pub problem: Problem,
+    /// Output mode `n`.
+    pub mode: usize,
+    /// The machine the planner optimized for.
+    pub machine: MachineSpec,
+    /// The winning algorithm, fully parameterized.
+    pub algorithm: Algorithm,
+    /// Modeled cost of the winner (words moved; per-processor for parallel).
+    pub predicted_cost: f64,
+    /// Every candidate that was considered, in evaluation order.
+    pub candidates: Vec<Candidate>,
+    /// Planner commentary a user needs to understand a surprising choice
+    /// (e.g. why a distributed request fell back to a sequential plan).
+    pub note: Option<String>,
+}
+
+impl Plan {
+    /// The native backend's cache-tile edge. Algorithm 2's block size is
+    /// chosen for the simulator's per-column residency (`b^N + N*b`); the
+    /// native kernel keeps whole `b x R` factor sub-blocks resident, so the
+    /// plan's block is additionally capped by the rank-aware Eq. (11)
+    /// analogue ([`crate::native::native_tile`]) to stay inside the
+    /// machine's cache budget.
+    pub fn native_tile(&self) -> usize {
+        let rank_aware = crate::native::native_tile(
+            self.machine.fast_memory_words,
+            self.problem.order(),
+            self.problem.rank as usize,
+        );
+        match &self.algorithm {
+            Algorithm::SeqBlocked { block, .. } => (*block).max(1).min(rank_aware),
+            _ => rank_aware,
+        }
+    }
+
+    /// Multi-line explanation: problem, machine, candidate table, winner.
+    pub fn explain(&self) -> String {
+        let mut s = format!(
+            "plan for dims {:?}, R = {}, mode {} on {} thread(s) / {} rank(s), M = {} words\n",
+            self.problem.dims,
+            self.problem.rank,
+            self.mode,
+            self.machine.threads,
+            self.machine.ranks,
+            self.machine.fast_memory_words,
+        );
+        for c in &self.candidates {
+            let marker = if c.algorithm == self.algorithm {
+                "->"
+            } else {
+                "  "
+            };
+            s.push_str(&format!(
+                "{marker} {:<32} modeled cost {:.4e} words\n",
+                c.algorithm.label(),
+                c.modeled_cost
+            ));
+        }
+        s.push_str(&format!(
+            "chosen: {} (predicted {:.4e} words)",
+            self.algorithm.label(),
+            self.predicted_cost
+        ));
+        if let Some(note) = &self.note {
+            s.push_str(&format!("\nnote: {note}"));
+        }
+        s
+    }
+}
+
+impl fmt::Display for Plan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.explain())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_descriptive() {
+        assert_eq!(Algorithm::SeqUnblocked { memory: 64 }.label(), "alg1");
+        assert_eq!(
+            Algorithm::SeqBlocked {
+                memory: 64,
+                block: 4
+            }
+            .label(),
+            "alg2(b=4)"
+        );
+        assert_eq!(
+            Algorithm::ParStationary {
+                grid: vec![2, 2, 4]
+            }
+            .label(),
+            "alg3(grid=2x2x4)"
+        );
+        assert_eq!(
+            Algorithm::ParGeneral {
+                p0: 2,
+                grid: vec![2, 1, 1]
+            }
+            .label(),
+            "alg4(p0=2, grid=2x1x1)"
+        );
+    }
+
+    #[test]
+    fn sequential_classification() {
+        assert!(Algorithm::SeqMatmul { memory: 9 }.is_sequential());
+        assert!(!Algorithm::ParMatmul { procs: 4 }.is_sequential());
+    }
+}

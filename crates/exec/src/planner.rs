@@ -1,0 +1,329 @@
+//! The cost-model-driven planner: turns the paper's analytic cost
+//! expressions (Eqs. 12/14/18 and the `grid_opt` searches) into a runtime
+//! decision procedure.
+
+use crate::machine::MachineSpec;
+use crate::plan::{Algorithm, Candidate, Plan};
+use mttkrp_core::{grid_opt, model, Problem};
+
+/// Chooses, for a given [`Problem`] and [`MachineSpec`], the algorithm /
+/// block size / processor grid with the smallest modeled communication
+/// cost, and records every alternative it weighed in the returned [`Plan`].
+///
+/// Planning is pure model evaluation — no tensor is ever materialized — so
+/// it works at any scale, including the paper's Figure 4 instance
+/// (`I = 2^45`, `R = 2^15`, `P` up to `2^30`).
+#[derive(Clone, Debug)]
+pub struct Planner {
+    machine: MachineSpec,
+}
+
+impl Planner {
+    pub fn new(machine: MachineSpec) -> Planner {
+        Planner { machine }
+    }
+
+    pub fn machine(&self) -> &MachineSpec {
+        &self.machine
+    }
+
+    /// Produces the cost-minimizing plan for MTTKRP mode `mode`.
+    ///
+    /// With `ranks == 1` the candidates are the sequential algorithms
+    /// (Algorithm 1, Algorithm 2 at its best block size, and the sequential
+    /// matmul baseline); with `ranks > 1` they are the parallel ones
+    /// (Algorithm 3 / Algorithm 4 at their `grid_opt`-optimal grids, and
+    /// the CARMA matmul baseline).
+    ///
+    /// The grids here are *model-optimal* and need not divide the tensor
+    /// dimensions, so a parallel plan from this method may not be runnable
+    /// on the simulator (whose data distributions require even division) —
+    /// it is the right call for model-scale analysis (e.g. Figure 4). To
+    /// *execute* a parallel plan, use [`Planner::plan_executable`], which
+    /// restricts the search to runnable distributions.
+    pub fn plan(&self, problem: &Problem, mode: usize) -> Plan {
+        assert!(mode < problem.order(), "mode out of range");
+        let candidates = if self.machine.ranks <= 1 {
+            self.sequential_candidates(problem, mode)
+        } else {
+            self.parallel_candidates(problem, mode)
+        };
+        let best = candidates
+            .iter()
+            .min_by(|a, b| a.modeled_cost.total_cmp(&b.modeled_cost))
+            .expect("at least one candidate is always offered")
+            .clone();
+        Plan {
+            problem: problem.clone(),
+            mode,
+            machine: self.machine.clone(),
+            algorithm: best.algorithm,
+            predicted_cost: best.modeled_cost,
+            candidates,
+            note: None,
+        }
+    }
+
+    fn sequential_candidates(&self, problem: &Problem, mode: usize) -> Vec<Candidate> {
+        // The sequential algorithms need at least N + 1 resident words
+        // (one tensor entry plus one row element per factor); plan for the
+        // smallest machine that can actually run, so every sequential plan
+        // is executable on the strict simulator.
+        let m = self.machine.fast_memory_words.max(problem.order() + 1);
+        let (block, blocked_cost) = model::alg2_best_block(problem, mode, m as u64);
+        vec![
+            Candidate {
+                algorithm: Algorithm::SeqUnblocked { memory: m },
+                modeled_cost: model::alg1_cost(problem) as f64,
+            },
+            Candidate {
+                algorithm: Algorithm::SeqBlocked {
+                    memory: m,
+                    block: block as usize,
+                },
+                modeled_cost: blocked_cost as f64,
+            },
+            Candidate {
+                algorithm: Algorithm::SeqMatmul { memory: m },
+                modeled_cost: model::seq_matmul_cost(problem, mode, m as u64),
+            },
+        ]
+    }
+
+    fn parallel_candidates(&self, problem: &Problem, mode: usize) -> Vec<Candidate> {
+        let procs = self.machine.ranks as u64;
+        let mut out = Vec::with_capacity(3);
+
+        let (grid3, cost3) = grid_opt::optimize_alg3_grid(problem, procs);
+        out.push(Candidate {
+            algorithm: Algorithm::ParStationary {
+                grid: grid3.iter().map(|&g| g as usize).collect(),
+            },
+            modeled_cost: cost3,
+        });
+
+        let (p0, grid4, cost4) = grid_opt::optimize_alg4_grid(problem, procs);
+        out.push(Candidate {
+            algorithm: Algorithm::ParGeneral {
+                p0: p0 as usize,
+                grid: grid4.iter().map(|&g| g as usize).collect(),
+            },
+            modeled_cost: cost4,
+        });
+
+        out.push(Candidate {
+            algorithm: Algorithm::ParMatmul {
+                procs: procs as usize,
+            },
+            modeled_cost: model::mm_baseline_cost(problem, mode, procs),
+        });
+        out
+    }
+
+    /// Like [`Planner::plan`], but restricts the parallel grids to
+    /// factorizations that evenly divide the tensor dimensions (and `P_0`
+    /// the rank), which is what the network simulator's data distributions
+    /// require. When *no* algorithm admits a clean distribution at this
+    /// rank count (every dividing grid search comes up empty and the 1D
+    /// matmul slab does not divide either), the problem cannot be
+    /// distributed at all and the planner falls back to a *sequential*
+    /// plan (`ranks = 1`), which every backend can execute.
+    pub fn plan_executable(&self, problem: &Problem, mode: usize) -> Plan {
+        let plan = self.plan(problem, mode);
+        if self.machine.ranks <= 1 {
+            return plan;
+        }
+        let procs = self.machine.ranks as u64;
+        // The 1D matmul baseline slabs the highest-index mode other than
+        // `mode`; its simulator requires the rank count to divide that
+        // extent.
+        let mm_slab_mode = (0..problem.order()).rev().find(|&k| k != mode).unwrap();
+        let mm_ok = problem.dims[mm_slab_mode].is_multiple_of(procs);
+        let dividing_ok = |alg: &Algorithm| match alg {
+            Algorithm::ParStationary { grid } => grid
+                .iter()
+                .zip(&problem.dims)
+                .all(|(&g, &d)| d % g as u64 == 0),
+            Algorithm::ParGeneral { p0, grid } => {
+                problem.rank.is_multiple_of(*p0 as u64)
+                    && grid
+                        .iter()
+                        .zip(&problem.dims)
+                        .all(|(&g, &d)| d % g as u64 == 0)
+            }
+            Algorithm::ParMatmul { .. } => mm_ok,
+            _ => true,
+        };
+        if dividing_ok(&plan.algorithm) {
+            return plan;
+        }
+        // Re-run the grid searches under the divisibility constraint.
+        let mut candidates = Vec::new();
+        if let Some((grid3, cost3)) = grid_opt::optimize_alg3_grid_dividing(problem, procs) {
+            candidates.push(Candidate {
+                algorithm: Algorithm::ParStationary {
+                    grid: grid3.iter().map(|&g| g as usize).collect(),
+                },
+                modeled_cost: cost3,
+            });
+        }
+        if let Some((p0, grid4, cost4)) = grid_opt::optimize_alg4_grid_dividing(problem, procs) {
+            candidates.push(Candidate {
+                algorithm: Algorithm::ParGeneral {
+                    p0: p0 as usize,
+                    grid: grid4.iter().map(|&g| g as usize).collect(),
+                },
+                modeled_cost: cost4,
+            });
+        }
+        if mm_ok {
+            candidates.push(Candidate {
+                algorithm: Algorithm::ParMatmul {
+                    procs: procs as usize,
+                },
+                modeled_cost: model::mm_baseline_cost(problem, mode, procs),
+            });
+        }
+        if candidates.is_empty() {
+            // No clean data distribution exists for this rank count at all:
+            // fall back to a sequential plan, which every backend can run —
+            // and say so on the plan, since the user asked for `procs` ranks.
+            let sequential = Planner::new(MachineSpec {
+                ranks: 1,
+                ..self.machine.clone()
+            });
+            let mut plan = sequential.plan(problem, mode);
+            plan.machine = self.machine.clone();
+            plan.note = Some(format!(
+                "no algorithm admits an even data distribution over P = {procs} ranks \
+                 for this problem (no dividing grid, P0 does not divide R, and the 1D \
+                 matmul slab is indivisible); falling back to sequential execution"
+            ));
+            return plan;
+        }
+        let best = candidates
+            .iter()
+            .min_by(|a, b| a.modeled_cost.total_cmp(&b.modeled_cost))
+            .expect("checked non-empty above")
+            .clone();
+        Plan {
+            problem: problem.clone(),
+            mode,
+            machine: self.machine.clone(),
+            algorithm: best.algorithm,
+            predicted_cost: best.modeled_cost,
+            candidates,
+            note: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_plan_prefers_blocked_when_memory_is_scarce() {
+        // M far below I*R: Algorithm 2's M^(1-1/N) saving dominates.
+        let p = Problem::cubical(3, 64, 16);
+        let planner = Planner::new(MachineSpec::sequential(512));
+        let plan = planner.plan(&p, 0);
+        assert!(
+            matches!(plan.algorithm, Algorithm::SeqBlocked { .. }),
+            "got {}",
+            plan.algorithm
+        );
+        assert_eq!(plan.candidates.len(), 3);
+    }
+
+    #[test]
+    fn plan_is_never_dominated_by_an_offered_candidate() {
+        let p = Problem::new(&[32, 16, 8], 4);
+        for machine in [
+            MachineSpec::sequential(100),
+            MachineSpec::sequential(1 << 14),
+            MachineSpec::distributed(8),
+            MachineSpec::distributed(12),
+        ] {
+            let plan = Planner::new(machine).plan(&p, 1);
+            for c in &plan.candidates {
+                assert!(
+                    plan.predicted_cost <= c.modeled_cost + 1e-12,
+                    "{} dominated by {}",
+                    plan.algorithm,
+                    c.algorithm
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_plan_grid_multiplies_to_ranks() {
+        // High rank relative to I/P: the tensor-aware algorithms beat the
+        // matmul baseline (Figure 4 regime), and the grid covers all ranks.
+        let p = Problem::cubical(3, 1 << 10, 1 << 10);
+        let plan = Planner::new(MachineSpec::distributed(256)).plan(&p, 0);
+        match &plan.algorithm {
+            Algorithm::ParStationary { grid } => {
+                assert_eq!(grid.iter().product::<usize>(), 256)
+            }
+            Algorithm::ParGeneral { p0, grid } => {
+                assert_eq!(p0 * grid.iter().product::<usize>(), 256)
+            }
+            other => panic!("unexpected parallel plan {other}"),
+        }
+    }
+
+    #[test]
+    fn small_rank_small_p_prefers_matmul_baseline() {
+        // The crossover the paper discusses: with tiny rank the CARMA
+        // baseline's model cost can undercut Algorithm 3/4, and the planner
+        // must follow its models rather than play favorites.
+        let p = Problem::cubical(3, 64, 8);
+        let plan = Planner::new(MachineSpec::distributed(16)).plan(&p, 0);
+        assert!(
+            matches!(plan.algorithm, Algorithm::ParMatmul { .. }),
+            "got {}",
+            plan.algorithm
+        );
+    }
+
+    #[test]
+    fn executable_plan_divides_dimensions() {
+        // P = 6 over a 6x10x15 tensor: the unrestricted optimum need not
+        // divide, the executable one must.
+        let p = Problem::new(&[6, 10, 15], 4);
+        let plan = Planner::new(MachineSpec::distributed(6)).plan_executable(&p, 0);
+        if let Algorithm::ParStationary { grid } = &plan.algorithm {
+            for (g, d) in grid.iter().zip(&p.dims) {
+                assert_eq!(d % *g as u64, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn native_tile_stays_inside_rank_aware_cache_budget() {
+        // Algorithm 2's block is sized for b^N + N*b residency; the native
+        // kernel keeps b x R sub-blocks resident, so Plan::native_tile must
+        // cap the block at the rank-aware budget.
+        let p = Problem::cubical(3, 32, 64);
+        let plan = Planner::new(MachineSpec::sequential(2048)).plan(&p, 0);
+        assert!(matches!(plan.algorithm, Algorithm::SeqBlocked { .. }));
+        let tile = plan.native_tile();
+        assert!(
+            tile.pow(3) + 3 * tile * 64 <= 2048,
+            "tile {tile} overflows the planned cache budget"
+        );
+    }
+
+    #[test]
+    fn explanation_mentions_every_candidate() {
+        let p = Problem::cubical(3, 16, 4);
+        let plan = Planner::new(MachineSpec::sequential(128)).plan(&p, 2);
+        let text = plan.explain();
+        assert!(text.contains("alg1"));
+        assert!(text.contains("alg2"));
+        assert!(text.contains("seq-matmul"));
+        assert!(text.contains("chosen:"));
+    }
+}

@@ -126,10 +126,7 @@ impl TwoLevelMemory {
             "offset {offset} out of bounds for array {:?}",
             a
         );
-        Loc {
-            array: a.0,
-            offset,
-        }
+        Loc { array: a.0, offset }
     }
 
     /// Loads one word from slow to fast memory (cost: 1 load).
@@ -213,10 +210,7 @@ impl TwoLevelMemory {
     /// slow-memory values.
     #[inline]
     pub fn get(&self, a: ArrayId, offset: usize) -> f64 {
-        let loc = Loc {
-            array: a.0,
-            offset,
-        };
+        let loc = Loc { array: a.0, offset };
         *self
             .fast
             .get(&loc)
@@ -239,10 +233,7 @@ impl TwoLevelMemory {
 
     /// Whether a word is resident in fast memory.
     pub fn is_resident(&self, a: ArrayId, offset: usize) -> bool {
-        self.fast.contains_key(&Loc {
-            array: a.0,
-            offset,
-        })
+        self.fast.contains_key(&Loc { array: a.0, offset })
     }
 
     /// Evicts everything from fast memory without write-back. Useful between
@@ -267,7 +258,13 @@ mod tests {
         assert_eq!(mem.slow_data(a)[1], 2.0);
         mem.store(a, 1);
         assert_eq!(mem.slow_data(a)[1], 5.0);
-        assert_eq!(mem.stats(), IoStats { loads: 1, stores: 1 });
+        assert_eq!(
+            mem.stats(),
+            IoStats {
+                loads: 1,
+                stores: 1
+            }
+        );
     }
 
     #[test]
@@ -311,7 +308,13 @@ mod tests {
         assert_eq!(mem.stats().total(), 0);
         mem.store_evict(a, 0);
         assert_eq!(mem.slow_data(a)[0], 9.0);
-        assert_eq!(mem.stats(), IoStats { loads: 0, stores: 1 });
+        assert_eq!(
+            mem.stats(),
+            IoStats {
+                loads: 0,
+                stores: 1
+            }
+        );
     }
 
     #[test]

@@ -46,10 +46,22 @@ mod tests {
 
     #[test]
     fn total_and_arithmetic() {
-        let a = IoStats { loads: 3, stores: 2 };
-        let b = IoStats { loads: 1, stores: 1 };
+        let a = IoStats {
+            loads: 3,
+            stores: 2,
+        };
+        let b = IoStats {
+            loads: 1,
+            stores: 1,
+        };
         assert_eq!(a.total(), 5);
         assert_eq!((a + b).total(), 7);
-        assert_eq!((a - b), IoStats { loads: 2, stores: 1 });
+        assert_eq!(
+            (a - b),
+            IoStats {
+                loads: 2,
+                stores: 1
+            }
+        );
     }
 }

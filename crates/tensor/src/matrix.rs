@@ -9,6 +9,7 @@
 use rand::distributions::{Distribution, Uniform};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use rayon::prelude::*;
 use std::fmt;
 use std::ops::{Index, IndexMut};
 
@@ -142,6 +143,39 @@ impl Matrix {
     pub fn col_block(&self, c0: usize, c1: usize) -> Matrix {
         assert!(c0 < c1 && c1 <= self.cols, "bad col range {c0}..{c1}");
         Matrix::from_fn(self.rows, c1 - c0, |i, j| self[(i, c0 + j)])
+    }
+
+    /// Splits the rows into consecutive chunks of at most `chunk_rows` rows
+    /// each, yielding `(first_row, rows_data)` pairs where `rows_data` is the
+    /// contiguous row-major storage of that chunk. The chunks are disjoint,
+    /// so this is the safe (unsafe-free) way to hand different row ranges to
+    /// different workers.
+    pub fn row_chunks_mut(
+        &mut self,
+        chunk_rows: usize,
+    ) -> impl Iterator<Item = (usize, &mut [f64])> + '_ {
+        assert!(chunk_rows > 0, "chunk_rows must be positive");
+        let cols = self.cols;
+        self.data
+            .chunks_mut(chunk_rows * cols)
+            .enumerate()
+            .map(move |(c, chunk)| (c * chunk_rows, chunk))
+    }
+
+    /// Rayon-parallel version of [`Matrix::row_chunks_mut`]: an indexed
+    /// parallel iterator over disjoint `(first_row, rows_data)` chunks.
+    /// Because the chunks partition the backing storage, concurrent mutation
+    /// is race-free by construction — no `unsafe` anywhere.
+    pub fn par_row_chunks_mut(
+        &mut self,
+        chunk_rows: usize,
+    ) -> impl IndexedParallelIterator<Item = (usize, &mut [f64])> + '_ {
+        assert!(chunk_rows > 0, "chunk_rows must be positive");
+        let cols = self.cols;
+        self.data
+            .par_chunks_mut(chunk_rows * cols)
+            .enumerate()
+            .map(move |(c, chunk)| (c * chunk_rows, chunk))
     }
 
     /// Transpose.
@@ -418,6 +452,33 @@ mod tests {
         let a = Matrix::zeros(2, 3);
         let b = Matrix::zeros(2, 3);
         let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn row_chunks_mut_partition_rows() {
+        let mut a = Matrix::from_fn(7, 3, |i, j| (i * 10 + j) as f64);
+        let chunks: Vec<(usize, usize)> = a
+            .row_chunks_mut(3)
+            .map(|(r0, data)| (r0, data.len() / 3))
+            .collect();
+        assert_eq!(chunks, vec![(0, 3), (3, 3), (6, 1)]);
+    }
+
+    #[test]
+    fn par_row_chunks_mut_matches_serial() {
+        let mut a = Matrix::from_fn(9, 4, |i, j| (i + j) as f64);
+        let mut b = a.clone();
+        for (r0, chunk) in a.row_chunks_mut(2) {
+            for v in chunk.iter_mut() {
+                *v += r0 as f64;
+            }
+        }
+        b.par_row_chunks_mut(2).for_each(|(r0, chunk)| {
+            for v in chunk.iter_mut() {
+                *v += r0 as f64;
+            }
+        });
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -162,7 +162,11 @@ mod tests {
         let b2 = mttkrp_reference(&x2, &refs, 1);
         let sum = DenseTensor::from_vec(
             x1.shape().clone(),
-            x1.data().iter().zip(x2.data()).map(|(a, b)| a + b).collect(),
+            x1.data()
+                .iter()
+                .zip(x2.data())
+                .map(|(a, b)| a + b)
+                .collect(),
         );
         let bsum = mttkrp_reference(&sum, &refs, 1);
         let mut expect = b1.clone();

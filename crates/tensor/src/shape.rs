@@ -225,10 +225,7 @@ mod tests {
     fn colexicographic_order_mode0_fastest() {
         let s = Shape::new(&[2, 2]);
         let all: Vec<Vec<usize>> = s.indices().collect();
-        assert_eq!(
-            all,
-            vec![vec![0, 0], vec![1, 0], vec![0, 1], vec![1, 1]]
-        );
+        assert_eq!(all, vec![vec![0, 0], vec![1, 0], vec![0, 1], vec![1, 1]]);
     }
 
     #[test]

@@ -123,7 +123,10 @@ impl CooTensor {
 
     /// Iterates `(linear index, value)` pairs in ascending index order.
     pub fn iter(&self) -> impl Iterator<Item = (usize, f64)> + '_ {
-        self.indices.iter().copied().zip(self.values.iter().copied())
+        self.indices
+            .iter()
+            .copied()
+            .zip(self.values.iter().copied())
     }
 
     /// Extracts the nonzeros falling inside an axis-aligned box
@@ -154,7 +157,11 @@ impl CooTensor {
                 .zip(ranges)
                 .all(|(&i, &(lo, hi))| i >= lo && i < hi)
             {
-                let local: Vec<usize> = idx.iter().zip(ranges).map(|(&i, &(lo, _))| i - lo).collect();
+                let local: Vec<usize> = idx
+                    .iter()
+                    .zip(ranges)
+                    .map(|(&i, &(lo, _))| i - lo)
+                    .collect();
                 entries.push((local, v));
             }
         }

@@ -1,11 +1,11 @@
 //! Property-based tests for the dense tensor substrate: algebraic
 //! identities that must hold for arbitrary shapes and data.
 
-use proptest::prelude::*;
 use mttkrp_tensor::{
     fold, gram_hadamard, khatri_rao, khatri_rao_colex, matricize, mttkrp_reference,
     mttkrp_via_matmul, DenseTensor, KruskalTensor, Matrix, Shape,
 };
+use proptest::prelude::*;
 
 /// Strategy: a small tensor shape (2-4 modes, dims 1-5).
 fn shape_strategy() -> impl Strategy<Value = Vec<usize>> {

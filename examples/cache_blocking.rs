@@ -22,7 +22,10 @@ fn main() {
     let problem = Problem::from_shape(&shape, rank);
     let oracle = mttkrp_tensor::mttkrp_reference(&x, &refs, n);
 
-    println!("cache blocking sweep: X is 24^3 (I = {}), R = {rank}", 24 * 24 * 24);
+    println!(
+        "cache blocking sweep: X is 24^3 (I = {}), R = {rank}",
+        24 * 24 * 24
+    );
     println!(
         "{:>7} {:>3} {:>12} {:>12} {:>12} {:>12} {:>8}",
         "M", "b", "alg1 words", "alg2 words", "matmul", "lower bnd", "alg2/lb"

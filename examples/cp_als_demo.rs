@@ -81,5 +81,8 @@ fn main() {
         drun.summary.max_words, drun.summary.total_words
     );
     let per_sweep = drun.summary.max_words as f64 / drun.iterations as f64;
-    println!("  ~{per_sweep:.0} words/rank/sweep across all {} modes", dims.len());
+    println!(
+        "  ~{per_sweep:.0} words/rank/sweep across all {} modes",
+        dims.len()
+    );
 }

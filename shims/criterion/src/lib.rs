@@ -1,0 +1,277 @@
+//! Offline stand-in for the subset of `criterion` this workspace uses.
+//!
+//! Real timing, simple statistics: each benchmark is auto-calibrated so a
+//! sample takes a measurable slice of the measurement budget, then
+//! `sample_size` samples are taken and mean / min / max per-iteration times
+//! are printed. No HTML reports, no outlier analysis, no state directory —
+//! just honest numbers on stdout, which is what the workspace's benches are
+//! read for.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Benchmark identifier: `function_id/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_id: impl Display, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{function_id}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId { id: s }
+    }
+}
+
+/// The timing loop handed to benchmark closures.
+pub struct Bencher {
+    /// Iterations per sample (set by calibration before the closure runs).
+    iters_per_sample: u64,
+    samples: usize,
+    /// Mean per-iteration times of each sample, filled by `iter`.
+    sample_means: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times `routine`, keeping its output alive so the optimizer cannot
+    /// delete the work.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        self.sample_means.clear();
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                std::hint::black_box(routine());
+            }
+            let dt = start.elapsed().as_secs_f64();
+            self.sample_means.push(dt / self.iters_per_sample as f64);
+        }
+    }
+}
+
+fn format_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} us", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Settings {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Settings {
+    fn default() -> Settings {
+        Settings {
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(1),
+        }
+    }
+}
+
+fn run_benchmark(full_id: &str, settings: &Settings, f: &mut dyn FnMut(&mut Bencher)) {
+    // Calibration doubles as warm-up: run single iterations until the
+    // warm-up budget is spent, estimating the per-iteration time.
+    let calib_start = Instant::now();
+    let mut calib_iters = 0u64;
+    let mut bench = Bencher {
+        iters_per_sample: 1,
+        samples: 1,
+        sample_means: Vec::new(),
+    };
+    let mut per_iter = 0.0f64;
+    while calib_start.elapsed() < settings.warm_up_time && calib_iters < 1_000_000 {
+        f(&mut bench);
+        per_iter = bench.sample_means.first().copied().unwrap_or(0.0);
+        calib_iters += 1;
+        if per_iter > settings.warm_up_time.as_secs_f64() {
+            break; // one iteration already exceeds the budget
+        }
+    }
+    let per_sample_budget = settings.measurement_time.as_secs_f64() / settings.sample_size as f64;
+    let iters = if per_iter > 0.0 {
+        ((per_sample_budget / per_iter).round() as u64).clamp(1, 10_000_000)
+    } else {
+        1
+    };
+
+    bench.iters_per_sample = iters;
+    bench.samples = settings.sample_size;
+    f(&mut bench);
+
+    let n = bench.sample_means.len().max(1) as f64;
+    let mean = bench.sample_means.iter().sum::<f64>() / n;
+    let min = bench
+        .sample_means
+        .iter()
+        .copied()
+        .fold(f64::INFINITY, f64::min);
+    let max = bench.sample_means.iter().copied().fold(0.0f64, f64::max);
+    println!(
+        "bench {full_id:<48} mean {:>12}  (min {}, max {}, {} samples x {} iters)",
+        format_time(mean),
+        format_time(min),
+        format_time(max),
+        bench.samples,
+        iters
+    );
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    settings: Settings,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.settings.sample_size = n;
+        self
+    }
+
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.warm_up_time = d;
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.measurement_time = d;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into().id);
+        run_benchmark(&full, &self.settings, &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.id);
+        run_benchmark(&full, &self.settings, &mut |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// The benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            settings: Settings::default(),
+            _criterion: self,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&id.into().id, &Settings::default(), &mut f);
+        self
+    }
+
+    /// Kept for API compatibility with `criterion_group!`'s expansion.
+    pub fn configure_from_args(self) -> Criterion {
+        self
+    }
+}
+
+/// Re-export of `std::hint::black_box`, criterion-style.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $(
+                $target(&mut criterion);
+            )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $(
+                $group();
+            )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim_selftest");
+        group.sample_size(3);
+        group.warm_up_time(Duration::from_millis(5));
+        group.measurement_time(Duration::from_millis(20));
+        let mut ran = false;
+        group.bench_function("noop", |b| {
+            b.iter(|| std::hint::black_box(1 + 1));
+            ran = true;
+        });
+        group.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::new("f", 3).id, "f/3");
+        assert_eq!(BenchmarkId::from_parameter("x").id, "x");
+    }
+}

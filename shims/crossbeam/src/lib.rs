@@ -1,0 +1,213 @@
+//! Offline stand-in for the subset of `crossbeam` this workspace uses:
+//! `channel::{unbounded, Sender, Receiver}` with blocking `recv`,
+//! non-blocking `try_recv`, and disconnect detection — built on
+//! `Mutex<VecDeque>` + `Condvar`.
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct Inner<T> {
+        queue: Mutex<VecDeque<T>>,
+        ready: Condvar,
+        senders: AtomicUsize,
+        receivers: AtomicUsize,
+    }
+
+    /// Creates an unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let inner = Arc::new(Inner {
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            senders: AtomicUsize::new(1),
+            receivers: AtomicUsize::new(1),
+        });
+        (
+            Sender {
+                inner: Arc::clone(&inner),
+            },
+            Receiver { inner },
+        )
+    }
+
+    pub struct Sender<T> {
+        inner: Arc<Inner<T>>,
+    }
+
+    pub struct Receiver<T> {
+        inner: Arc<Inner<T>>,
+    }
+
+    /// Send on a channel with no receivers left; carries the message back.
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "SendError(..)")
+        }
+    }
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "sending on a disconnected channel")
+        }
+    }
+
+    /// Blocking receive on an empty channel with no senders left.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "receiving on an empty, disconnected channel")
+        }
+    }
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        Empty,
+        Disconnected,
+    }
+
+    impl<T> Sender<T> {
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            if self.inner.receivers.load(Ordering::Acquire) == 0 {
+                return Err(SendError(value));
+            }
+            self.inner
+                .queue
+                .lock()
+                .expect("channel mutex poisoned")
+                .push_back(value);
+            self.inner.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Sender<T> {
+            self.inner.senders.fetch_add(1, Ordering::AcqRel);
+            Sender {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            if self.inner.senders.fetch_sub(1, Ordering::AcqRel) == 1 {
+                // Last sender gone: wake blocked receivers so they observe
+                // the disconnect. The notify must happen while holding the
+                // queue mutex — otherwise a receiver that has already read
+                // senders > 0 but not yet parked in wait() misses the
+                // wakeup and blocks forever (classic lost-wakeup race).
+                let _guard = self.inner.queue.lock().expect("channel mutex poisoned");
+                self.inner.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut queue = self.inner.queue.lock().expect("channel mutex poisoned");
+            loop {
+                if let Some(v) = queue.pop_front() {
+                    return Ok(v);
+                }
+                if self.inner.senders.load(Ordering::Acquire) == 0 {
+                    return Err(RecvError);
+                }
+                queue = self
+                    .inner
+                    .ready
+                    .wait(queue)
+                    .expect("channel mutex poisoned");
+            }
+        }
+
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut queue = self.inner.queue.lock().expect("channel mutex poisoned");
+            match queue.pop_front() {
+                Some(v) => Ok(v),
+                None if self.inner.senders.load(Ordering::Acquire) == 0 => {
+                    Err(TryRecvError::Disconnected)
+                }
+                None => Err(TryRecvError::Empty),
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Receiver<T> {
+            self.inner.receivers.fetch_add(1, Ordering::AcqRel);
+            Receiver {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.inner.receivers.fetch_sub(1, Ordering::AcqRel);
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn send_recv_in_order() {
+            let (s, r) = unbounded();
+            s.send(1).unwrap();
+            s.send(2).unwrap();
+            assert_eq!(r.recv(), Ok(1));
+            assert_eq!(r.recv(), Ok(2));
+            assert_eq!(r.try_recv(), Err(TryRecvError::Empty));
+        }
+
+        #[test]
+        fn disconnect_detected() {
+            let (s, r) = unbounded::<i32>();
+            drop(s);
+            assert_eq!(r.recv(), Err(RecvError));
+            assert_eq!(r.try_recv(), Err(TryRecvError::Disconnected));
+
+            let (s2, r2) = unbounded::<i32>();
+            drop(r2);
+            assert!(s2.send(5).is_err());
+        }
+
+        #[test]
+        fn blocking_recv_wakes_on_send() {
+            let (s, r) = unbounded();
+            let t = std::thread::spawn(move || r.recv().unwrap());
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            s.send(42u64).unwrap();
+            assert_eq!(t.join().unwrap(), 42);
+        }
+
+        #[test]
+        fn cloned_senders_all_feed_one_receiver() {
+            let (s, r) = unbounded();
+            let handles: Vec<_> = (0..4u64)
+                .map(|i| {
+                    let s = s.clone();
+                    std::thread::spawn(move || s.send(i).unwrap())
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            drop(s);
+            let mut got = Vec::new();
+            while let Ok(v) = r.recv() {
+                got.push(v);
+            }
+            got.sort_unstable();
+            assert_eq!(got, vec![0, 1, 2, 3]);
+        }
+    }
+}

@@ -1,0 +1,618 @@
+//! Offline stand-in for the subset of `rayon` this workspace uses.
+//!
+//! Real multithreading, simple machinery: every parallel iterator here is
+//! *indexed* (knows its length and can split at an index). Driving an
+//! iterator splits it into one contiguous piece per worker and runs the
+//! pieces on `std::thread::scope` threads, preserving piece order for
+//! order-sensitive operations (`collect`, `zip`). That reproduces rayon's
+//! semantics (including `fold`/`reduce` per-piece accumulators) for the
+//! combinators used in this workspace, without work stealing.
+//!
+//! Threads are spawned per driven call rather than pooled; for the
+//! millisecond-scale kernels this workspace parallelizes, the ~tens of
+//! microseconds of spawn overhead is noise.
+
+use std::cell::Cell;
+use std::sync::Arc;
+
+pub mod prelude {
+    pub use crate::{
+        FromParallelIterator, IndexedParallelIterator, IntoParallelIterator, ParallelSlice,
+        ParallelSliceMut,
+    };
+}
+
+// ---------------------------------------------------------------------------
+// Thread-count plumbing
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    static INSTALLED_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// The worker count the current context would use: the innermost
+/// [`ThreadPool::install`] if any, otherwise all available cores.
+pub fn current_num_threads() -> usize {
+    INSTALLED_THREADS.with(|c| c.get()).unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// Error building a [`ThreadPool`] (never actually produced by the shim;
+/// kept for signature compatibility).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "failed to build thread pool")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// A scoped worker count: [`ThreadPool::install`] makes parallel calls in
+/// the closure use exactly this many workers.
+#[derive(Debug)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    pub fn current_num_threads(&self) -> usize {
+        self.threads
+    }
+
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        INSTALLED_THREADS.with(|c| {
+            let prev = c.replace(Some(self.threads));
+            let out = f();
+            c.set(prev);
+            out
+        })
+    }
+}
+
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> ThreadPoolBuilder {
+        ThreadPoolBuilder::default()
+    }
+
+    /// `0` means "default" (all cores), as in real rayon.
+    pub fn num_threads(mut self, n: usize) -> ThreadPoolBuilder {
+        self.threads = Some(n);
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let threads = match self.threads {
+            None | Some(0) => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            Some(n) => n,
+        };
+        Ok(ThreadPool { threads })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The parallel-iterator trait and the drive machinery
+// ---------------------------------------------------------------------------
+
+/// An indexed (splittable, length-aware) parallel iterator. One trait plays
+/// the role of rayon's `ParallelIterator` + `IndexedParallelIterator` pair;
+/// only the combinators this workspace uses are provided.
+pub trait IndexedParallelIterator: Sized + Send {
+    type Item: Send;
+
+    /// Number of items.
+    fn len(&self) -> usize;
+
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Splits into `[0, index)` and `[index, len)`.
+    fn split_at(self, index: usize) -> (Self, Self);
+
+    /// A sequential iterator over the items (runs on whichever worker owns
+    /// this piece).
+    fn seq_iter(self) -> impl Iterator<Item = Self::Item>;
+
+    // -- combinators -------------------------------------------------------
+
+    fn map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        U: Send,
+        F: Fn(Self::Item) -> U + Sync + Send,
+    {
+        Map {
+            base: self,
+            f: Arc::new(f),
+        }
+    }
+
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate {
+            base: self,
+            offset: 0,
+        }
+    }
+
+    fn zip<B>(self, other: B) -> Zip<Self, B>
+    where
+        B: IndexedParallelIterator,
+    {
+        Zip { a: self, b: other }
+    }
+
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync + Send,
+    {
+        run_pieces(self, &|piece: Self| piece.seq_iter().for_each(&f));
+    }
+
+    /// Per-piece accumulators, rayon-style: each worker folds its
+    /// contiguous piece starting from `identity()`. Combine the partials
+    /// with [`Fold::reduce`].
+    fn fold<A, ID, F>(self, identity: ID, fold_op: F) -> Fold<Self, ID, F>
+    where
+        A: Send,
+        ID: Fn() -> A + Sync + Send,
+        F: Fn(A, Self::Item) -> A + Sync + Send,
+    {
+        Fold {
+            base: self,
+            identity,
+            fold_op,
+        }
+    }
+
+    fn reduce<ID, OP>(self, identity: ID, op: OP) -> Self::Item
+    where
+        ID: Fn() -> Self::Item + Sync + Send,
+        OP: Fn(Self::Item, Self::Item) -> Self::Item + Sync + Send,
+    {
+        let partials = run_pieces(self, &|piece: Self| piece.seq_iter().fold(identity(), &op));
+        partials.into_iter().fold(identity(), op)
+    }
+
+    fn sum<S>(self) -> S
+    where
+        S: Send + std::iter::Sum<Self::Item> + std::iter::Sum<S>,
+    {
+        run_pieces(self, &|piece: Self| piece.seq_iter().sum::<S>())
+            .into_iter()
+            .sum()
+    }
+
+    fn collect<C>(self) -> C
+    where
+        C: FromParallelIterator<Self::Item>,
+    {
+        C::from_par_iter(self)
+    }
+}
+
+/// Splits `it` into at most `k` non-empty contiguous pieces of near-equal
+/// length, in order.
+fn split_pieces<I: IndexedParallelIterator>(it: I, k: usize, out: &mut Vec<I>) {
+    if k <= 1 || it.len() <= 1 {
+        out.push(it);
+        return;
+    }
+    let k1 = k / 2;
+    let mid = it.len() * k1 / k;
+    if mid == 0 || mid == it.len() {
+        out.push(it);
+        return;
+    }
+    let (a, b) = it.split_at(mid);
+    split_pieces(a, k1, out);
+    split_pieces(b, k - k1, out);
+}
+
+/// Runs `worker` over the pieces of `it` on scoped threads, returning the
+/// per-piece results in piece order.
+fn run_pieces<I, R>(it: I, worker: &(dyn Fn(I) -> R + Sync)) -> Vec<R>
+where
+    I: IndexedParallelIterator,
+    R: Send,
+{
+    let threads = current_num_threads();
+    let mut pieces = Vec::new();
+    split_pieces(it, threads, &mut pieces);
+    if threads <= 1 || pieces.len() <= 1 {
+        return pieces.into_iter().map(worker).collect();
+    }
+    let n = pieces.len();
+    let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    std::thread::scope(|s| {
+        for (slot, piece) in results.iter_mut().zip(pieces) {
+            s.spawn(move || {
+                *slot = Some(worker(piece));
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("worker thread panicked"))
+        .collect()
+}
+
+/// Conversion out of a parallel iterator (rayon's `FromParallelIterator`).
+pub trait FromParallelIterator<T: Send>: Sized {
+    fn from_par_iter<I>(it: I) -> Self
+    where
+        I: IndexedParallelIterator<Item = T>;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter<I>(it: I) -> Vec<T>
+    where
+        I: IndexedParallelIterator<Item = T>,
+    {
+        let chunks = run_pieces(it, &|piece: I| piece.seq_iter().collect::<Vec<T>>());
+        let mut out = Vec::with_capacity(chunks.iter().map(Vec::len).sum());
+        for c in chunks {
+            out.extend(c);
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sources
+// ---------------------------------------------------------------------------
+
+/// `IntoParallelIterator` for ranges (and anything else added later).
+pub trait IntoParallelIterator {
+    type Item: Send;
+    type Iter: IndexedParallelIterator<Item = Self::Item>;
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// Parallel iterator over `Range<usize>`.
+pub struct RangeIter {
+    range: std::ops::Range<usize>,
+}
+
+impl IndexedParallelIterator for RangeIter {
+    type Item = usize;
+
+    fn len(&self) -> usize {
+        self.range.len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let mid = self.range.start + index;
+        (
+            RangeIter {
+                range: self.range.start..mid,
+            },
+            RangeIter {
+                range: mid..self.range.end,
+            },
+        )
+    }
+
+    fn seq_iter(self) -> impl Iterator<Item = usize> {
+        self.range
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    type Iter = RangeIter;
+    fn into_par_iter(self) -> RangeIter {
+        RangeIter { range: self }
+    }
+}
+
+/// `slice.par_chunks(n)`.
+pub trait ParallelSlice<T: Sync> {
+    fn par_chunks(&self, chunk_size: usize) -> Chunks<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> Chunks<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        Chunks {
+            slice: self,
+            chunk_size,
+        }
+    }
+}
+
+/// `slice.par_chunks_mut(n)`.
+pub trait ParallelSliceMut<T: Send> {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ChunksMut<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ChunksMut {
+            slice: self,
+            chunk_size,
+        }
+    }
+}
+
+pub struct Chunks<'a, T> {
+    slice: &'a [T],
+    chunk_size: usize,
+}
+
+impl<'a, T: Sync> IndexedParallelIterator for Chunks<'a, T> {
+    type Item = &'a [T];
+
+    fn len(&self) -> usize {
+        self.slice.len().div_ceil(self.chunk_size)
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let pos = (index * self.chunk_size).min(self.slice.len());
+        let (a, b) = self.slice.split_at(pos);
+        (
+            Chunks {
+                slice: a,
+                chunk_size: self.chunk_size,
+            },
+            Chunks {
+                slice: b,
+                chunk_size: self.chunk_size,
+            },
+        )
+    }
+
+    fn seq_iter(self) -> impl Iterator<Item = &'a [T]> {
+        self.slice.chunks(self.chunk_size)
+    }
+}
+
+pub struct ChunksMut<'a, T> {
+    slice: &'a mut [T],
+    chunk_size: usize,
+}
+
+impl<'a, T: Send> IndexedParallelIterator for ChunksMut<'a, T> {
+    type Item = &'a mut [T];
+
+    fn len(&self) -> usize {
+        self.slice.len().div_ceil(self.chunk_size)
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let pos = (index * self.chunk_size).min(self.slice.len());
+        let (a, b) = self.slice.split_at_mut(pos);
+        (
+            ChunksMut {
+                slice: a,
+                chunk_size: self.chunk_size,
+            },
+            ChunksMut {
+                slice: b,
+                chunk_size: self.chunk_size,
+            },
+        )
+    }
+
+    fn seq_iter(self) -> impl Iterator<Item = &'a mut [T]> {
+        self.slice.chunks_mut(self.chunk_size)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Combinator types
+// ---------------------------------------------------------------------------
+
+pub struct Map<I, F: ?Sized> {
+    base: I,
+    f: Arc<F>,
+}
+
+impl<I, U, F> IndexedParallelIterator for Map<I, F>
+where
+    I: IndexedParallelIterator,
+    U: Send,
+    F: Fn(I::Item) -> U + Sync + Send,
+{
+    type Item = U;
+
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (a, b) = self.base.split_at(index);
+        (
+            Map {
+                base: a,
+                f: Arc::clone(&self.f),
+            },
+            Map { base: b, f: self.f },
+        )
+    }
+
+    fn seq_iter(self) -> impl Iterator<Item = U> {
+        let f = self.f;
+        self.base.seq_iter().map(move |x| f(x))
+    }
+}
+
+pub struct Enumerate<I> {
+    base: I,
+    offset: usize,
+}
+
+impl<I> IndexedParallelIterator for Enumerate<I>
+where
+    I: IndexedParallelIterator,
+{
+    type Item = (usize, I::Item);
+
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (a, b) = self.base.split_at(index);
+        (
+            Enumerate {
+                base: a,
+                offset: self.offset,
+            },
+            Enumerate {
+                base: b,
+                offset: self.offset + index,
+            },
+        )
+    }
+
+    fn seq_iter(self) -> impl Iterator<Item = (usize, I::Item)> {
+        let offset = self.offset;
+        self.base
+            .seq_iter()
+            .enumerate()
+            .map(move |(i, x)| (offset + i, x))
+    }
+}
+
+pub struct Zip<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A, B> IndexedParallelIterator for Zip<A, B>
+where
+    A: IndexedParallelIterator,
+    B: IndexedParallelIterator,
+{
+    type Item = (A::Item, B::Item);
+
+    fn len(&self) -> usize {
+        self.a.len().min(self.b.len())
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (a1, a2) = self.a.split_at(index);
+        let (b1, b2) = self.b.split_at(index);
+        (Zip { a: a1, b: b1 }, Zip { a: a2, b: b2 })
+    }
+
+    fn seq_iter(self) -> impl Iterator<Item = (A::Item, B::Item)> {
+        self.a.seq_iter().zip(self.b.seq_iter())
+    }
+}
+
+/// The pending state of `.fold(id, f)`: finish it with [`Fold::reduce`].
+pub struct Fold<I, ID, F> {
+    base: I,
+    identity: ID,
+    fold_op: F,
+}
+
+impl<I, A, ID, F> Fold<I, ID, F>
+where
+    I: IndexedParallelIterator,
+    A: Send,
+    ID: Fn() -> A + Sync + Send,
+    F: Fn(A, I::Item) -> A + Sync + Send,
+{
+    /// Folds each contiguous piece on its own worker, then combines the
+    /// per-piece accumulators with `op` on the calling thread.
+    pub fn reduce<ID2, OP>(self, identity2: ID2, op: OP) -> A
+    where
+        ID2: Fn() -> A + Sync + Send,
+        OP: Fn(A, A) -> A + Sync + Send,
+    {
+        let (id, f) = (&self.identity, &self.fold_op);
+        let partials = run_pieces(self.base, &|piece: I| piece.seq_iter().fold(id(), f));
+        partials.into_iter().fold(identity2(), op)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn range_map_collect_preserves_order() {
+        let v: Vec<usize> = (0..1000).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(v, (0..1000).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_chunks_mut_disjoint_writes() {
+        let mut data = vec![0u64; 103];
+        data.par_chunks_mut(10).enumerate().for_each(|(c, chunk)| {
+            for v in chunk.iter_mut() {
+                *v = c as u64;
+            }
+        });
+        for (i, &v) in data.iter().enumerate() {
+            assert_eq!(v, (i / 10) as u64);
+        }
+    }
+
+    #[test]
+    fn zip_aligns_same_split() {
+        let a = vec![1.0f64; 64];
+        let mut b = vec![0.0f64; 64];
+        b.par_chunks_mut(8)
+            .zip(a.par_chunks(8))
+            .for_each(|(dst, src)| dst.copy_from_slice(src));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fold_reduce_sums() {
+        let total: u64 = (0..10_000usize)
+            .into_par_iter()
+            .map(|i| i as u64)
+            .fold(|| 0u64, |a, b| a + b)
+            .reduce(|| 0u64, |a, b| a + b);
+        assert_eq!(total, 9999 * 10_000 / 2);
+    }
+
+    #[test]
+    fn reduce_direct() {
+        let m = (0..257usize).into_par_iter().reduce(|| 0, |a, b| a.max(b));
+        assert_eq!(m, 256);
+    }
+
+    #[test]
+    fn pool_install_controls_width() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.current_num_threads(), 3);
+        let n = pool.install(current_num_threads);
+        assert_eq!(n, 3);
+    }
+
+    #[test]
+    fn parallelism_actually_engages_multiple_threads() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let ids = Mutex::new(HashSet::new());
+        pool.install(|| {
+            (0..64usize).into_par_iter().for_each(|_| {
+                ids.lock().unwrap().insert(std::thread::current().id());
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            });
+        });
+        // With 4 requested workers and 64 sleepy items, more than one OS
+        // thread must have participated.
+        assert!(ids.lock().unwrap().len() > 1);
+    }
+}

@@ -1,0 +1,21 @@
+//! # mttkrp
+//!
+//! Umbrella crate for the Ballard/Knight/Rouse (IPDPS 2018) MTTKRP
+//! reproduction. It re-exports the workspace crates so the repository-level
+//! integration tests (`tests/`) and examples (`examples/`) have a single
+//! front door, and so downstream users can depend on one crate:
+//!
+//! - [`tensor`](mttkrp_tensor) — dense tensors, matrices, the MTTKRP oracle;
+//! - [`memsim`](mttkrp_memsim) — strict two-level memory simulator;
+//! - [`netsim`](mttkrp_netsim) — distributed machine simulator;
+//! - [`core`](mttkrp_core) — the paper's bounds, algorithms, and cost models;
+//! - [`exec`](mttkrp_exec) — the execution subsystem: cost-model-driven
+//!   planner plus simulator and native (rayon) backends;
+//! - [`bench`](mttkrp_bench) — benchmark helpers and the CLI driver.
+
+pub use mttkrp_bench as bench;
+pub use mttkrp_core as core;
+pub use mttkrp_exec as exec;
+pub use mttkrp_memsim as memsim;
+pub use mttkrp_netsim as netsim;
+pub use mttkrp_tensor as tensor;

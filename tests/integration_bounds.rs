@@ -106,7 +106,10 @@ fn modeled_optimal_grids_sit_between_bounds_and_2x_bounds_figure4_scale() {
         let (_, _, cost) = grid_opt::optimize_alg4_grid(&p, procs);
         let lb = bounds::par_best_mi(&p, procs);
         if lb > 0.0 {
-            assert!(cost >= lb * 0.49, "P=2^{log_p}: cost {cost:.3e} far below bound {lb:.3e}");
+            assert!(
+                cost >= lb * 0.49,
+                "P=2^{log_p}: cost {cost:.3e} far below bound {lb:.3e}"
+            );
             assert!(
                 cost <= 8.0 * bounds::par_combined_cor42(&p, procs),
                 "P=2^{log_p}: cost {cost:.3e} too far above Cor 4.2"
@@ -138,10 +141,15 @@ fn executed_segments_respect_theorem_41_proof_bound() {
             ] {
                 assert!(!run.segments.is_empty());
                 let total: u64 = run.segments.iter().sum();
-                assert_eq!(total as u128, Problem::new(
-                    &dims.iter().map(|&d| d as u64).collect::<Vec<u64>>(),
-                    r as u64,
-                ).iteration_space(), "all iterations accounted");
+                assert_eq!(
+                    total as u128,
+                    Problem::new(
+                        &dims.iter().map(|&d| d as u64).collect::<Vec<u64>>(),
+                        r as u64,
+                    )
+                    .iteration_space(),
+                    "all iterations accounted"
+                );
                 for (s, &iters) in run.segments.iter().enumerate() {
                     assert!(
                         (iters as f64) <= cap + 1e-9,
@@ -186,7 +194,10 @@ fn model_asymptotics_agree_with_exact_models() {
         let grid = vec![side; 3];
         let exact = model::alg3_cost(&p, &grid);
         let asym = model::alg3_cost_asymptotic(&p, procs);
-        assert!(exact <= asym, "exact {exact} should be below asymptotic {asym}");
+        assert!(
+            exact <= asym,
+            "exact {exact} should be below asymptotic {asym}"
+        );
         assert!(exact >= asym * 0.4, "exact {exact} too far below {asym}");
     }
 }

@@ -73,15 +73,13 @@ fn per_sweep_communication_tracks_mttkrp_model() {
     let p = Problem::new(&[8, 8, 8], r as u64);
     let per_mode = model::alg3_cost(&p, &[2, 2, 2]); // one-way words
     let mttkrp_words = 3.0 * per_mode * sweeps as f64;
-    let max_received = run
-        .stats
-        .iter()
-        .map(|s| s.words_received)
-        .max()
-        .unwrap() as f64;
+    let max_received = run.stats.iter().map(|s| s.words_received).max().unwrap() as f64;
     // Received >= the MTTKRP traffic, and the overhead (grams, norms,
     // fit scalars, initial setup) stays within ~3x for this tiny R.
-    assert!(max_received >= mttkrp_words, "{max_received} < {mttkrp_words}");
+    assert!(
+        max_received >= mttkrp_words,
+        "{max_received} < {mttkrp_words}"
+    );
     assert!(
         max_received < 4.0 * mttkrp_words,
         "overhead too large: {max_received} vs {mttkrp_words}"

@@ -6,13 +6,9 @@
 
 use mttkrp_bench::setup_problem;
 use mttkrp_core::multi::{mttkrp_all_modes_naive, mttkrp_all_modes_tree};
-use mttkrp_core::par::{
-    mttkrp_sparse_stationary, mttkrp_stationary, ttm_compress_stationary,
-};
+use mttkrp_core::par::{mttkrp_sparse_stationary, mttkrp_stationary, ttm_compress_stationary};
 use mttkrp_core::tucker::{hooi, st_hosvd};
-use mttkrp_tensor::{
-    mttkrp_reference, ttm_chain, CooTensor, DenseTensor, Matrix, Shape,
-};
+use mttkrp_tensor::{mttkrp_reference, ttm_chain, CooTensor, DenseTensor, Matrix, Shape};
 
 #[test]
 fn tree_outputs_feed_cp_als_normal_equations() {
@@ -31,7 +27,12 @@ fn tree_outputs_feed_cp_als_normal_equations() {
 
 #[test]
 fn tree_and_naive_agree_bitwise_tolerance_on_many_shapes() {
-    for dims in [vec![2usize, 2], vec![3, 4, 5], vec![2, 3, 2, 4], vec![2, 2, 2, 2, 3]] {
+    for dims in [
+        vec![2usize, 2],
+        vec![3, 4, 5],
+        vec![2, 3, 2, 4],
+        vec![2, 2, 2, 2, 3],
+    ] {
         let (x, factors) = setup_problem(&dims, 2, 2);
         let refs: Vec<&Matrix> = factors.iter().collect();
         let (tree, tf) = mttkrp_all_modes_tree(&x, &refs);

@@ -93,9 +93,15 @@ fn strong_scaling_reduces_per_rank_words() {
     let r = 8usize;
     let (x, factors) = setup_problem(&dims, r, 16);
     let refs: Vec<&Matrix> = factors.iter().collect();
-    let w2 = par::mttkrp_stationary(&x, &refs, 0, &[2, 1, 1]).summary.max_words;
-    let w8 = par::mttkrp_stationary(&x, &refs, 0, &[2, 2, 2]).summary.max_words;
-    let w64 = par::mttkrp_stationary(&x, &refs, 0, &[4, 4, 4]).summary.max_words;
+    let w2 = par::mttkrp_stationary(&x, &refs, 0, &[2, 1, 1])
+        .summary
+        .max_words;
+    let w8 = par::mttkrp_stationary(&x, &refs, 0, &[2, 2, 2])
+        .summary
+        .max_words;
+    let w64 = par::mttkrp_stationary(&x, &refs, 0, &[4, 4, 4])
+        .summary
+        .max_words;
     assert!(w64 < w8, "P=64 ({w64}) should be below P=8 ({w8})");
     assert!(w64 < w2, "P=64 ({w64}) should be below P=2 ({w2})");
 }
@@ -134,7 +140,10 @@ fn matmul_baseline_flat_vs_stationary_falling() {
     // Stationary: per-rank words fall with P.
     let st64 = par::mttkrp_stationary(&x, &refs, 0, &[4, 4, 4]).max_recv_words();
     assert_eq!(st64, 3 * 15 * 4, "even-case Eq. (14) value");
-    assert!(st64 < mm64, "stationary {st64} should beat executed 1D {mm64}");
+    assert!(
+        st64 < mm64,
+        "stationary {st64} should beat executed 1D {mm64}"
+    );
 
     // ... and beats even the best modeled CARMA regime at this scale.
     let mm64_model = model::mm_baseline_cost(&Problem::new(&[64, 64, 64], 4), 0, 64);

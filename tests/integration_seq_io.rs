@@ -25,8 +25,14 @@ fn all_sequential_algorithms_agree_with_oracle_across_shapes() {
             let a1 = seq::mttkrp_unblocked(&x, &refs, n, m);
             let a2 = seq::mttkrp_blocked(&x, &refs, n, m, 2);
             let mm = seq::mttkrp_seq_matmul(&x, &refs, n, m);
-            assert!(a1.output.max_abs_diff(&oracle) < 1e-10, "{dims:?} n={n} alg1");
-            assert!(a2.output.max_abs_diff(&oracle) < 1e-10, "{dims:?} n={n} alg2");
+            assert!(
+                a1.output.max_abs_diff(&oracle) < 1e-10,
+                "{dims:?} n={n} alg1"
+            );
+            assert!(
+                a2.output.max_abs_diff(&oracle) < 1e-10,
+                "{dims:?} n={n} alg2"
+            );
             assert!(mm.output.max_abs_diff(&oracle) < 1e-10, "{dims:?} n={n} mm");
         }
     }
@@ -110,7 +116,10 @@ fn lru_cache_runs_plain_loop_nest_with_more_io_than_blocked() {
 
     let mut mem = LruMemory::new(m);
     let x_id = mem.alloc(x.data().to_vec());
-    let a_ids: Vec<_> = factors.iter().map(|f| mem.alloc(f.data().to_vec())).collect();
+    let a_ids: Vec<_> = factors
+        .iter()
+        .map(|f| mem.alloc(f.data().to_vec()))
+        .collect();
     let b_id = mem.alloc_zeros(dims[n] * r);
     let shape = x.shape().clone();
     let mut idx = vec![0usize; 3];
