@@ -1,0 +1,71 @@
+//! Criterion benchmark for the serving layer: a repeated-shape workload
+//! pushed through the plan-cached batch server, against the same requests
+//! issued one-by-one through the unbatched `plan_and_execute` front door.
+//!
+//! Run with `cargo bench -p mttkrp-bench --bench serve_throughput`. The
+//! server amortizes planning (one cache miss per shape, ever) and backend
+//! setup (one executor per batch); the direct loop re-plans and rebuilds
+//! per request.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mttkrp_bench::setup_problem;
+use mttkrp_exec::{plan_and_execute, MachineSpec};
+use mttkrp_serve::{MttkrpRequest, Server, ServerConfig};
+use mttkrp_tensor::{DenseTensor, Matrix};
+use std::sync::Arc;
+
+const DIMS: [usize; 3] = [24, 24, 24];
+const RANK: usize = 8;
+const REQUESTS: usize = 32;
+
+fn workload() -> (Arc<DenseTensor>, Arc<Vec<Matrix>>, MachineSpec) {
+    let (x, factors) = setup_problem(&DIMS, RANK, 11);
+    (
+        Arc::new(x),
+        Arc::new(factors),
+        MachineSpec::shared(2, 1 << 14),
+    )
+}
+
+fn bench_direct(c: &mut Criterion) {
+    let (x, factors, machine) = workload();
+    let refs: Vec<&Matrix> = factors.iter().collect();
+    c.bench_function("direct_plan_and_execute_x32", |b| {
+        b.iter(|| {
+            for _ in 0..REQUESTS {
+                let (_, report) = plan_and_execute(&machine, &x, &refs, 0);
+                criterion::black_box(report.output);
+            }
+        })
+    });
+}
+
+fn bench_served(c: &mut Criterion) {
+    let (x, factors, machine) = workload();
+    // One long-lived server across iterations, as in real serving: the plan
+    // cache is warm after the first batch and stays warm.
+    let server = Server::start(ServerConfig {
+        machine,
+        workers: 2,
+        cache_capacity: 16,
+        max_batch: REQUESTS,
+    });
+    c.bench_function("served_batched_x32", |b| {
+        b.iter(|| {
+            let handles: Vec<_> = (0..REQUESTS)
+                .map(|_| server.submit(MttkrpRequest::new(x.clone(), factors.clone(), 0)))
+                .collect();
+            for h in handles {
+                criterion::black_box(h.wait().report.output);
+            }
+        })
+    });
+    let stats = server.shutdown();
+    assert!(
+        stats.cache.hit_rate() > 0.9,
+        "warm serving must be nearly all cache hits"
+    );
+}
+
+criterion_group!(benches, bench_direct, bench_served);
+criterion_main!(benches);

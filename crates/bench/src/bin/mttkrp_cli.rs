@@ -17,6 +17,11 @@
 //!   exec [--backend native|sim] [--threads T] [--memory M] [--procs P]
 //!                              plan with the paper's cost models, then
 //!                              execute on the chosen backend
+//!   serve --bench [--requests N] [--shapes K] [--workers W]
+//!         [--batch B] [--cache C] [--threads T] [--memory M] [--procs P]
+//!                              replay a synthetic mixed-shape workload
+//!                              through the batch serving layer and print
+//!                              its stats table
 //! ```
 //!
 //! Example: `cargo run --release -p mttkrp-bench --bin mttkrp_cli -- \
@@ -41,6 +46,13 @@ struct Args {
     backend: Option<String>,
     threads: Option<usize>,
     algorithm: Option<String>,
+    // `serve` options.
+    bench: bool,
+    requests: Option<usize>,
+    shapes: Option<usize>,
+    workers: Option<usize>,
+    batch: Option<usize>,
+    cache: Option<usize>,
 }
 
 fn parse_dims(s: &str) -> Result<Vec<usize>, String> {
@@ -81,11 +93,33 @@ fn parse(argv: &[String]) -> Result<Args, String> {
             "--threads" => {
                 args.threads = Some(next("--threads")?.parse().map_err(|e| format!("{e}"))?)
             }
+            "--bench" => args.bench = true,
+            "--requests" => {
+                args.requests = Some(next("--requests")?.parse().map_err(|e| format!("{e}"))?)
+            }
+            "--shapes" => {
+                args.shapes = Some(next("--shapes")?.parse().map_err(|e| format!("{e}"))?)
+            }
+            "--workers" => {
+                args.workers = Some(next("--workers")?.parse().map_err(|e| format!("{e}"))?)
+            }
+            "--batch" => args.batch = Some(next("--batch")?.parse().map_err(|e| format!("{e}"))?),
+            "--cache" => args.cache = Some(next("--cache")?.parse().map_err(|e| format!("{e}"))?),
             "--help" | "-h" => return Err("help".to_string()),
             other if !other.starts_with('-') && args.algorithm.is_none() => {
                 args.algorithm = Some(other.to_string());
             }
             other => return Err(format!("unrecognized argument '{other}'")),
+        }
+    }
+    // `serve` generates its own mixed-shape workload; --dims (if given) only
+    // seeds the base shape, so it may be omitted.
+    if args.algorithm.as_deref() == Some("serve") {
+        if args.dims.is_empty() {
+            args.dims = vec![16, 16, 16];
+        }
+        if args.dims.len() < 2 {
+            return Err("serve needs --dims with at least two modes when given".into());
         }
     }
     if args.dims.len() < 2 {
@@ -99,7 +133,9 @@ fn parse(argv: &[String]) -> Result<Args, String> {
         ));
     }
     if args.algorithm.is_none() {
-        return Err("no algorithm given (alg1|alg2|seqmm|alg3|alg4|parmm|bounds|exec)".into());
+        return Err(
+            "no algorithm given (alg1|alg2|seqmm|alg3|alg4|parmm|bounds|exec|serve)".into(),
+        );
     }
     Ok(args)
 }
@@ -115,7 +151,11 @@ fn usage() {
          \n  parmm --procs P              parallel 1D matmul baseline\
          \n  bounds [--memory M] [--procs P]  print lower bounds only\
          \n  exec  [--backend native|sim] [--threads T] [--memory M] [--procs P]\
-         \n                               cost-model-driven plan + execution"
+         \n                               cost-model-driven plan + execution\
+         \n  serve --bench [--requests N] [--shapes K] [--workers W] [--batch B]\
+         \n        [--cache C] [--threads T] [--memory M] [--procs P]\
+         \n                               replay a synthetic workload through the\
+         \n                               plan-cached batch serving layer"
     );
 }
 
@@ -146,6 +186,10 @@ fn main() -> ExitCode {
     );
 
     let alg = args.algorithm.as_deref().unwrap();
+    // `serve` builds its own mixed-shape workload from the base dims.
+    if alg == "serve" {
+        return run_serve(&args);
+    }
     // `bounds` is formula-only: never materialize the (possibly huge) tensor.
     let materialized = if alg == "bounds" {
         None
@@ -368,6 +412,159 @@ fn run_exec(
         "oracle check: max |diff| = {:.2e}",
         report.output.max_abs_diff(&oracle)
     );
+    ExitCode::SUCCESS
+}
+
+/// The `serve --bench` subcommand: replay a synthetic mixed-shape workload
+/// through the plan-cached batch serving layer and print its stats table.
+///
+/// The workload cycles `K` distinct shapes (derived from the base `--dims`)
+/// over `N` requests, submitted in waves so the batcher actually coalesces.
+/// Afterwards it cross-checks one response per shape against an unbatched
+/// `plan_and_execute` (bit-identical) and fails if the plan-cache hit rate
+/// is not above 90% — the whole point of serving repeated shapes.
+fn run_serve(args: &Args) -> ExitCode {
+    use mttkrp_exec::{plan_and_execute, MachineSpec};
+    use mttkrp_serve::{MttkrpRequest, Server, ServerConfig};
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    if !args.bench {
+        eprintln!(
+            "error: only the --bench replay is implemented; a network transport in \
+             front of the batch queue is tracked in ROADMAP.md"
+        );
+        return ExitCode::from(2);
+    }
+    for (flag, value) in [
+        ("--threads", args.threads),
+        ("--requests", args.requests),
+        ("--shapes", args.shapes),
+        ("--workers", args.workers),
+        ("--batch", args.batch),
+        ("--cache", args.cache),
+    ] {
+        if value == Some(0) {
+            eprintln!("error: {flag} must be at least 1");
+            return ExitCode::from(2);
+        }
+    }
+    let machine = MachineSpec {
+        threads: args.threads.unwrap_or_else(MachineSpec::detect_threads),
+        fast_memory_words: args.memory.unwrap_or(mttkrp_exec::DEFAULT_CACHE_WORDS),
+        ranks: args.procs.unwrap_or(1),
+    };
+    let total = args.requests.unwrap_or(400);
+    let shapes = args.shapes.unwrap_or(4);
+    let workers = args.workers.unwrap_or(2);
+    // Default the cache to hold the whole working set; an explicit smaller
+    // --cache would guarantee LRU thrash on the cycling workload and fail
+    // the hit-rate gate for a configuration reason, so reject it up front.
+    let cache_capacity = args.cache.unwrap_or_else(|| 64.max(shapes));
+    if cache_capacity < shapes {
+        eprintln!(
+            "error: --cache {cache_capacity} cannot hold {shapes} cycling shapes; the \
+             replay would thrash the LRU cache by construction (need --cache >= --shapes)"
+        );
+        return ExitCode::from(2);
+    }
+    // The >90% gate below counts hit rate per *batch lookup*, and batching
+    // coalesces ~5 same-shape requests per lookup — so a short replay can
+    // report a low rate even when the cache worked perfectly (one miss per
+    // shape, ever). Require enough requests for the rate to be meaningful.
+    if total < 100 * shapes {
+        eprintln!(
+            "error: --requests {total} is too small for {shapes} shapes; the batched \
+             hit-rate gate needs --requests >= {} (100 per shape)",
+            100 * shapes
+        );
+        return ExitCode::from(2);
+    }
+
+    // K distinct shapes: stretch the base dims' first mode so every shape is
+    // a different planning problem but stays cheap to materialize.
+    let workload: Vec<(Arc<mttkrp_tensor::DenseTensor>, Arc<Vec<Matrix>>)> = (0..shapes)
+        .map(|s| {
+            let mut dims = args.dims.clone();
+            dims[0] += 2 * s;
+            let (x, factors) = setup_problem(&dims, args.rank, args.seed + s as u64);
+            (Arc::new(x), Arc::new(factors))
+        })
+        .collect();
+    println!(
+        "serve bench: {total} requests over {shapes} shapes (base dims {:?}, R = {}), \
+         {workers} worker(s), machine {} thread(s) / {} rank(s)",
+        args.dims, args.rank, machine.threads, machine.ranks
+    );
+
+    let server = Server::start(ServerConfig {
+        machine: machine.clone(),
+        workers,
+        cache_capacity,
+        max_batch: args.batch.unwrap_or(32),
+    });
+
+    // Submit in waves of 5 requests per shape: large enough that same-shape
+    // requests coalesce, small enough that plan lookups dominate misses.
+    let wave = 5 * shapes;
+    let start = Instant::now();
+    let mut served = 0usize;
+    while served < total {
+        let count = wave.min(total - served);
+        let handles: Vec<_> = (0..count)
+            .map(|i| {
+                let (x, f) = &workload[(served + i) % shapes];
+                server.submit(MttkrpRequest::new(x.clone(), f.clone(), args.mode))
+            })
+            .collect();
+        for h in handles {
+            h.wait();
+        }
+        served += count;
+    }
+    let elapsed = start.elapsed();
+
+    // Replay check: the served path must be bit-identical to the unbatched
+    // front door for every shape in the workload.
+    let mut identical = true;
+    for (x, f) in &workload {
+        let refs: Vec<&Matrix> = f.iter().collect();
+        let (_, direct) = plan_and_execute(&machine, x, &refs, args.mode);
+        let response = server.call(MttkrpRequest::new(x.clone(), f.clone(), args.mode));
+        if response.report.output.data() != direct.output.data() {
+            identical = false;
+        }
+    }
+
+    let stats = server.shutdown();
+    println!("\n{stats}");
+    println!(
+        "throughput           {:.0} requests/s ({} requests in {:.3} s)",
+        total as f64 / elapsed.as_secs_f64(),
+        total,
+        elapsed.as_secs_f64()
+    );
+    println!(
+        "replay check         batched outputs {} unbatched plan_and_execute",
+        if identical {
+            "bit-identical to"
+        } else {
+            "DIFFER from"
+        }
+    );
+
+    let hit_rate = stats.cache.hit_rate();
+    if !identical {
+        eprintln!("error: served results differ from direct execution");
+        return ExitCode::FAILURE;
+    }
+    if hit_rate <= 0.9 {
+        eprintln!(
+            "error: plan-cache hit rate {:.1}% is below the 90% serving target",
+            100.0 * hit_rate
+        );
+        return ExitCode::FAILURE;
+    }
     ExitCode::SUCCESS
 }
 

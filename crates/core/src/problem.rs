@@ -9,7 +9,7 @@ use mttkrp_tensor::Shape;
 /// execute on the simulators) and *model-scale* problems (e.g. the paper's
 /// Figure 4 instance `I = 2^45`, `R = 2^15`), so derived quantities are
 /// provided in `u128` and `f64`.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct Problem {
     /// Tensor dimensions `I_1, ..., I_N`.
     pub dims: Vec<u64>,

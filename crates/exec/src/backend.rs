@@ -11,19 +11,31 @@ use std::time::Duration;
 pub enum ExecCost {
     /// Sequential simulator: exact two-level-memory traffic.
     SeqIo {
+        /// Words loaded from slow to fast memory.
         loads: u64,
+        /// Words stored from fast to slow memory.
         stores: u64,
+        /// Peak fast-memory residency observed, in words.
         peak_fast: usize,
     },
     /// Parallel simulator: exact per-rank network traffic.
     ParComm {
+        /// Maximum words received by any single rank.
         max_recv_words: u64,
+        /// Maximum words sent by any single rank.
         max_sent_words: u64,
+        /// Total words moved across the whole machine.
         total_words: u64,
+        /// Number of ranks that executed.
         ranks: usize,
     },
     /// Native hardware execution.
-    Native { elapsed: Duration, threads: usize },
+    Native {
+        /// Wall-clock time of the kernel.
+        elapsed: Duration,
+        /// Worker threads the kernel ran on.
+        threads: usize,
+    },
 }
 
 impl ExecCost {

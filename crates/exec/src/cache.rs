@@ -1,0 +1,358 @@
+//! The plan cache: amortizing the planner's candidate sweep across
+//! repeated problem shapes.
+//!
+//! Planning is pure model evaluation, but it is not free — the `grid_opt`
+//! searches enumerate processor-count factorizations — and a serving
+//! workload asks for the *same* handful of shapes over and over. The cache
+//! maps `(`[`ProblemKey`]`, `[`MachineSpec`]`)` (bundled as a [`PlanKey`])
+//! to a shared, immutable [`Plan`], evicts least-recently-used entries
+//! beyond a fixed capacity, and counts hits and misses so a server can
+//! report its cache hit rate.
+//!
+//! All methods take `&self` (a mutex guards the map internally), so one
+//! cache can be shared across threads behind an `Arc`.
+
+use crate::machine::MachineSpec;
+use crate::plan::Plan;
+use mttkrp_core::Problem;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// The shape-level identity of an MTTKRP request: tensor dimensions, CP
+/// rank, and output mode. Two requests with equal keys are the *same
+/// planning problem* (their data may differ), so they can share a plan and
+/// be batched together.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct ProblemKey {
+    /// Tensor dimensions `I_1, ..., I_N`.
+    pub dims: Vec<u64>,
+    /// CP rank `R`.
+    pub rank: u64,
+    /// Output mode `n`.
+    pub mode: usize,
+}
+
+impl ProblemKey {
+    /// The key of `problem` at output mode `mode`.
+    pub fn new(problem: &Problem, mode: usize) -> ProblemKey {
+        assert!(mode < problem.order(), "mode out of range");
+        ProblemKey {
+            dims: problem.dims.clone(),
+            rank: problem.rank,
+            mode,
+        }
+    }
+
+    /// Reconstructs the [`Problem`] descriptor this key identifies.
+    pub fn problem(&self) -> Problem {
+        Problem::new(&self.dims, self.rank)
+    }
+}
+
+/// A full plan-cache key: the problem shape *and* the machine it was
+/// planned for. The same shape planned for a different machine is a
+/// different plan (different `M`, different `P`, different winner).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct PlanKey {
+    /// What is being computed.
+    pub problem: ProblemKey,
+    /// Where it will run.
+    pub machine: MachineSpec,
+}
+
+impl PlanKey {
+    /// Builds the cache key for `problem` at `mode` on `machine`.
+    pub fn new(problem: &Problem, mode: usize, machine: &MachineSpec) -> PlanKey {
+        PlanKey {
+            problem: ProblemKey::new(problem, mode),
+            machine: machine.clone(),
+        }
+    }
+}
+
+/// A point-in-time snapshot of a [`PlanCache`]'s accounting.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found a cached plan.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries evicted to make room (LRU order).
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub len: usize,
+    /// Maximum resident entries.
+    pub capacity: usize,
+}
+
+impl CacheStats {
+    /// Hits as a fraction of all lookups (`0.0` when there were none).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct Entry {
+    plan: Arc<Plan>,
+    /// Logical timestamp of the last hit or insertion; the entry with the
+    /// smallest stamp is the least recently used.
+    stamp: u64,
+}
+
+struct Inner {
+    map: HashMap<PlanKey, Entry>,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+/// A thread-safe LRU cache of [`Plan`]s keyed by [`PlanKey`].
+///
+/// Plans are stored as `Arc<Plan>`, so a hit is a clone of a pointer, not
+/// of the plan's candidate table. Use [`PlanCache::get`] / `insert`
+/// directly, or go through [`crate::Planner::plan_cached`] which does the
+/// lookup-or-plan-and-insert dance in one call.
+///
+/// ```
+/// use mttkrp_core::Problem;
+/// use mttkrp_exec::{MachineSpec, PlanCache, Planner};
+///
+/// let cache = PlanCache::new(64);
+/// let planner = Planner::new(MachineSpec::sequential(512));
+/// let problem = Problem::cubical(3, 64, 16);
+///
+/// let first = planner.plan_cached(&problem, 0, &cache); // miss: plans
+/// let again = planner.plan_cached(&problem, 0, &cache); // hit: shared Arc
+/// assert!(std::sync::Arc::ptr_eq(&first, &again));
+///
+/// let stats = cache.stats();
+/// assert_eq!((stats.hits, stats.misses), (1, 1));
+/// assert_eq!(stats.hit_rate(), 0.5);
+/// ```
+pub struct PlanCache {
+    inner: Mutex<Inner>,
+    capacity: usize,
+}
+
+impl PlanCache {
+    /// A cache holding at most `capacity` plans (at least one).
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> PlanCache {
+        assert!(capacity >= 1, "cache capacity must be at least 1");
+        PlanCache {
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                clock: 0,
+                hits: 0,
+                misses: 0,
+                evictions: 0,
+            }),
+            capacity,
+        }
+    }
+
+    /// Looks up `key`, counting a hit (and refreshing the entry's LRU
+    /// position) or a miss.
+    pub fn get(&self, key: &PlanKey) -> Option<Arc<Plan>> {
+        let mut inner = self.inner.lock().expect("plan cache mutex poisoned");
+        inner.clock += 1;
+        let clock = inner.clock;
+        match inner.map.get_mut(key) {
+            Some(entry) => {
+                entry.stamp = clock;
+                let plan = Arc::clone(&entry.plan);
+                inner.hits += 1;
+                Some(plan)
+            }
+            None => {
+                inner.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts (or replaces) the plan for `key`, evicting the least
+    /// recently used entry if the cache is full.
+    pub fn insert(&self, key: PlanKey, plan: Arc<Plan>) {
+        let mut inner = self.inner.lock().expect("plan cache mutex poisoned");
+        inner.clock += 1;
+        let clock = inner.clock;
+        if !inner.map.contains_key(&key) && inner.map.len() >= self.capacity {
+            // Evict the minimum-stamp (least recently used) entry.
+            if let Some(lru) = inner
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.stamp)
+                .map(|(k, _)| k.clone())
+            {
+                inner.map.remove(&lru);
+                inner.evictions += 1;
+            }
+        }
+        inner.map.insert(key, Entry { plan, stamp: clock });
+    }
+
+    /// Whether `key` is resident, *without* touching the hit/miss counters
+    /// or the LRU order (a pure observation, for callers that want to know
+    /// whether an upcoming [`PlanCache::get`] will hit).
+    pub fn contains(&self, key: &PlanKey) -> bool {
+        self.inner
+            .lock()
+            .expect("plan cache mutex poisoned")
+            .map
+            .contains_key(key)
+    }
+
+    /// Number of resident plans.
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .expect("plan cache mutex poisoned")
+            .map
+            .len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Maximum number of resident plans.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Snapshot of the accounting counters.
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.inner.lock().expect("plan cache mutex poisoned");
+        CacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            evictions: inner.evictions,
+            len: inner.map.len(),
+            capacity: self.capacity,
+        }
+    }
+}
+
+impl std::fmt::Debug for PlanCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let stats = self.stats();
+        f.debug_struct("PlanCache")
+            .field("len", &stats.len)
+            .field("capacity", &stats.capacity)
+            .field("hits", &stats.hits)
+            .field("misses", &stats.misses)
+            .field("evictions", &stats.evictions)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::planner::Planner;
+
+    fn key(dim: u64, mode: usize) -> PlanKey {
+        PlanKey::new(
+            &Problem::cubical(3, dim, 4),
+            mode,
+            &MachineSpec::sequential(256),
+        )
+    }
+
+    fn plan_for(k: &PlanKey) -> Arc<Plan> {
+        Arc::new(Planner::new(k.machine.clone()).plan(&k.problem.problem(), k.problem.mode))
+    }
+
+    #[test]
+    fn hit_and_miss_accounting() {
+        let cache = PlanCache::new(4);
+        let k = key(8, 0);
+        assert!(cache.get(&k).is_none());
+        cache.insert(k.clone(), plan_for(&k));
+        assert!(cache.get(&k).is_some());
+        assert!(cache.get(&k).is_some());
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.len), (2, 1, 1));
+        assert!((s.hit_rate() - 2.0 / 3.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn lru_eviction_evicts_least_recently_used() {
+        let cache = PlanCache::new(2);
+        let (a, b, c) = (key(8, 0), key(8, 1), key(8, 2));
+        cache.insert(a.clone(), plan_for(&a));
+        cache.insert(b.clone(), plan_for(&b));
+        // Touch `a`, making `b` the LRU entry.
+        assert!(cache.get(&a).is_some());
+        cache.insert(c.clone(), plan_for(&c));
+        assert!(cache.contains(&a), "recently used entry must survive");
+        assert!(!cache.contains(&b), "LRU entry must be evicted");
+        assert!(cache.contains(&c));
+        assert_eq!(cache.stats().evictions, 1);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn reinsert_does_not_evict() {
+        let cache = PlanCache::new(2);
+        let (a, b) = (key(8, 0), key(8, 1));
+        cache.insert(a.clone(), plan_for(&a));
+        cache.insert(b.clone(), plan_for(&b));
+        // Replacing a resident key must not evict anything.
+        cache.insert(a.clone(), plan_for(&a));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().evictions, 0);
+    }
+
+    #[test]
+    fn machine_is_part_of_the_key() {
+        let p = Problem::cubical(3, 8, 4);
+        let k1 = PlanKey::new(&p, 0, &MachineSpec::sequential(64));
+        let k2 = PlanKey::new(&p, 0, &MachineSpec::sequential(128));
+        assert_ne!(k1, k2);
+        let cache = PlanCache::new(4);
+        cache.insert(k1.clone(), plan_for(&k1));
+        assert!(
+            cache.get(&k2).is_none(),
+            "different machine, different plan"
+        );
+    }
+
+    #[test]
+    fn contains_does_not_touch_counters_or_order() {
+        let cache = PlanCache::new(2);
+        let (a, b, c) = (key(8, 0), key(8, 1), key(8, 2));
+        cache.insert(a.clone(), plan_for(&a));
+        cache.insert(b.clone(), plan_for(&b));
+        // `contains(a)` must NOT refresh `a`: `a` stays LRU and is evicted.
+        assert!(cache.contains(&a));
+        cache.insert(c.clone(), plan_for(&c));
+        assert!(!cache.contains(&a));
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses), (0, 0));
+    }
+
+    #[test]
+    fn problem_key_roundtrip() {
+        let p = Problem::new(&[4, 6, 8], 3);
+        let k = ProblemKey::new(&p, 1);
+        assert_eq!(k.problem(), p);
+        assert_eq!(k.mode, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_rejected() {
+        let _ = PlanCache::new(0);
+    }
+}

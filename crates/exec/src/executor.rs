@@ -19,6 +19,7 @@ pub struct Executor {
 }
 
 impl Executor {
+    /// An executor pinned to the given backend.
     pub fn new(backend: Box<dyn Backend>) -> Executor {
         Executor { backend }
     }
@@ -37,6 +38,7 @@ impl Executor {
         }
     }
 
+    /// The short stable name of the backend this executor runs on.
     pub fn backend_name(&self) -> &'static str {
         self.backend.name()
     }
@@ -67,7 +69,25 @@ impl Executor {
     }
 }
 
-/// One-call front door: run `plan` on its natural backend.
+/// One-call front door: run `plan` on its natural backend (native hardware
+/// for sequential plans, the word-exact simulator for distributed ones).
+///
+/// ```
+/// use mttkrp_core::Problem;
+/// use mttkrp_exec::{execute, MachineSpec, Planner};
+/// use mttkrp_tensor::{mttkrp_reference, DenseTensor, Matrix, Shape};
+///
+/// let shape = Shape::new(&[8, 8, 8]);
+/// let x = DenseTensor::random(shape.clone(), 1);
+/// let factors: Vec<Matrix> = (0..3).map(|k| Matrix::random(8, 4, k)).collect();
+/// let refs: Vec<&Matrix> = factors.iter().collect();
+///
+/// let problem = Problem::from_shape(&shape, 4);
+/// let plan = Planner::new(MachineSpec::shared(2, 1 << 12)).plan_executable(&problem, 0);
+/// let report = execute(&plan, &x, &refs, 0);
+/// assert_eq!(report.backend, "native");
+/// assert!(report.output.max_abs_diff(&mttkrp_reference(&x, &refs, 0)) < 1e-12);
+/// ```
 pub fn execute(plan: &Plan, x: &DenseTensor, factors: &[&Matrix], mode: usize) -> ExecReport {
     Executor::for_plan(plan).execute(plan, x, factors, mode)
 }

@@ -20,6 +20,10 @@
 //!    [`execute(plan, tensor, factors, mode)`](execute) runs a plan on its
 //!    natural backend; [`plan_and_execute`] does both steps in one call.
 //!
+//! For repeated shapes there is a fourth piece: [`PlanCache`] plus
+//! [`Planner::plan_cached`] amortize the candidate sweep across requests —
+//! the seam the `mttkrp-serve` crate's batch server is built on.
+//!
 //! ## Quickstart
 //!
 //! ```
@@ -43,8 +47,10 @@
 //! the explanation instead of executing.
 
 #![allow(clippy::needless_range_loop)]
+#![deny(missing_docs)]
 
 pub mod backend;
+pub mod cache;
 pub mod executor;
 pub mod machine;
 pub mod native;
@@ -53,6 +59,7 @@ pub mod planner;
 pub mod sim;
 
 pub use backend::{Backend, ExecCost, ExecReport};
+pub use cache::{CacheStats, PlanCache, PlanKey, ProblemKey};
 pub use executor::{execute, plan_and_execute, Executor};
 pub use machine::{MachineSpec, DEFAULT_CACHE_WORDS};
 pub use native::{mttkrp_native, native_tile, NativeBackend};

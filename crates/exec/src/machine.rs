@@ -14,7 +14,7 @@ pub const DEFAULT_CACHE_WORDS: usize = 1 << 21;
 ///   (Algorithms 1/2, matmul baseline); with `ranks > 1` it compares the
 ///   *parallel* ones (Algorithms 3/4, CARMA baseline);
 /// - `threads` is the shared-memory parallelism the native backend may use.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct MachineSpec {
     /// Shared-memory threads available to the native backend.
     pub threads: usize,

@@ -231,6 +231,7 @@ impl NativeBackend {
         NativeBackend::new(1, DEFAULT_CACHE_WORDS)
     }
 
+    /// The worker count of this backend's pool.
     pub fn threads(&self) -> usize {
         self.threads
     }

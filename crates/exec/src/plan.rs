@@ -10,19 +10,41 @@ use std::fmt;
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Algorithm {
     /// Algorithm 1: sequential unblocked, fast memory of `memory` words.
-    SeqUnblocked { memory: usize },
+    SeqUnblocked {
+        /// Fast-memory capacity `M` in words.
+        memory: usize,
+    },
     /// Algorithm 2: sequential blocked with block edge `block`.
-    SeqBlocked { memory: usize, block: usize },
+    SeqBlocked {
+        /// Fast-memory capacity `M` in words.
+        memory: usize,
+        /// Block edge `b` (Eq. (11) residency constraint).
+        block: usize,
+    },
     /// Sequential matmul baseline (Section VI-A).
-    SeqMatmul { memory: usize },
+    SeqMatmul {
+        /// Fast-memory capacity `M` in words.
+        memory: usize,
+    },
     /// Algorithm 3: parallel stationary over the processor grid
     /// `P_1 x ... x P_N`.
-    ParStationary { grid: Vec<usize> },
+    ParStationary {
+        /// Processor grid `P_1 x ... x P_N` (one factor per mode).
+        grid: Vec<usize>,
+    },
     /// Algorithm 4: parallel general with rank-dimension cut `p0` and grid
     /// `P_1 x ... x P_N` (total procs `p0 * prod grid`).
-    ParGeneral { p0: usize, grid: Vec<usize> },
+    ParGeneral {
+        /// Rank-dimension cut `P_0`.
+        p0: usize,
+        /// Processor grid `P_1 x ... x P_N` (one factor per mode).
+        grid: Vec<usize>,
+    },
     /// Parallel matmul baseline (CARMA model, 1D execution).
-    ParMatmul { procs: usize },
+    ParMatmul {
+        /// Total processor count `P`.
+        procs: usize,
+    },
 }
 
 impl Algorithm {
@@ -69,7 +91,10 @@ impl fmt::Display for Algorithm {
 /// models).
 #[derive(Clone, Debug)]
 pub struct Candidate {
+    /// The fully parameterized algorithm that was considered.
     pub algorithm: Algorithm,
+    /// Its modeled communication cost in words (per-processor for the
+    /// parallel models).
     pub modeled_cost: f64,
 }
 
@@ -115,6 +140,23 @@ impl Plan {
     }
 
     /// Multi-line explanation: problem, machine, candidate table, winner.
+    ///
+    /// "Why this plan?" is always answerable from the plan itself — every
+    /// candidate the planner weighed appears in the table, the winner is
+    /// marked with `->`, and any fallback commentary is appended as a note.
+    ///
+    /// ```
+    /// use mttkrp_core::Problem;
+    /// use mttkrp_exec::{MachineSpec, Planner};
+    ///
+    /// let plan = Planner::new(MachineSpec::sequential(128))
+    ///     .plan(&Problem::cubical(3, 16, 4), 2);
+    /// let text = plan.explain();
+    /// assert!(text.contains("alg1"));       // every candidate is listed...
+    /// assert!(text.contains("alg2"));
+    /// assert!(text.contains("seq-matmul"));
+    /// assert!(text.contains("chosen:"));    // ...and the winner is named
+    /// ```
     pub fn explain(&self) -> String {
         let mut s = format!(
             "plan for dims {:?}, R = {}, mode {} on {} thread(s) / {} rank(s), M = {} words\n",

@@ -2,9 +2,11 @@
 //! expressions (Eqs. 12/14/18 and the `grid_opt` searches) into a runtime
 //! decision procedure.
 
+use crate::cache::{PlanCache, PlanKey};
 use crate::machine::MachineSpec;
 use crate::plan::{Algorithm, Candidate, Plan};
 use mttkrp_core::{grid_opt, model, Problem};
+use std::sync::Arc;
 
 /// Chooses, for a given [`Problem`] and [`MachineSpec`], the algorithm /
 /// block size / processor grid with the smallest modeled communication
@@ -19,10 +21,12 @@ pub struct Planner {
 }
 
 impl Planner {
+    /// A planner that optimizes for `machine`.
     pub fn new(machine: MachineSpec) -> Planner {
         Planner { machine }
     }
 
+    /// The machine this planner optimizes for.
     pub fn machine(&self) -> &MachineSpec {
         &self.machine
     }
@@ -34,6 +38,17 @@ impl Planner {
     /// matmul baseline); with `ranks > 1` they are the parallel ones
     /// (Algorithm 3 / Algorithm 4 at their `grid_opt`-optimal grids, and
     /// the CARMA matmul baseline).
+    ///
+    /// ```
+    /// use mttkrp_core::Problem;
+    /// use mttkrp_exec::{Algorithm, MachineSpec, Planner};
+    ///
+    /// // Memory far below I*R: Algorithm 2's blocked reuse wins.
+    /// let planner = Planner::new(MachineSpec::sequential(512));
+    /// let plan = planner.plan(&Problem::cubical(3, 64, 16), 0);
+    /// assert!(matches!(plan.algorithm, Algorithm::SeqBlocked { .. }));
+    /// assert_eq!(plan.candidates.len(), 3); // every alternative is recorded
+    /// ```
     ///
     /// The grids here are *model-optimal* and need not divide the tensor
     /// dimensions, so a parallel plan from this method may not be runnable
@@ -215,6 +230,51 @@ impl Planner {
             candidates,
             note: None,
         }
+    }
+
+    /// Like [`Planner::plan_executable`], but consults `cache` first and
+    /// stores the plan it computes on a miss — the entry point a serving
+    /// layer uses to amortize the candidate sweep across repeated shapes.
+    ///
+    /// The cache key is the full [`PlanKey`]: problem shape, mode, *and*
+    /// this planner's machine (the same shape planned for a different
+    /// machine is a different plan). Returns a shared `Arc<Plan>`, so a hit
+    /// costs a pointer clone, not a re-plan.
+    ///
+    /// ```
+    /// use mttkrp_core::Problem;
+    /// use mttkrp_exec::{MachineSpec, PlanCache, Planner};
+    ///
+    /// let cache = PlanCache::new(16);
+    /// let planner = Planner::new(MachineSpec::sequential(512));
+    /// let p = Problem::cubical(3, 32, 8);
+    /// let a = planner.plan_cached(&p, 0, &cache); // miss: runs the sweep
+    /// let b = planner.plan_cached(&p, 0, &cache); // hit: same Arc back
+    /// assert!(std::sync::Arc::ptr_eq(&a, &b));
+    /// assert_eq!(cache.stats().hits, 1);
+    /// ```
+    pub fn plan_cached(&self, problem: &Problem, mode: usize, cache: &PlanCache) -> Arc<Plan> {
+        self.plan_cached_with_status(problem, mode, cache).0
+    }
+
+    /// Like [`Planner::plan_cached`], additionally reporting whether the
+    /// plan came out of the cache (`true`) or was computed by this call
+    /// (`false`). The flag comes from the same lookup that updates the
+    /// cache's hit/miss ledger, so it always agrees with
+    /// [`PlanCache::stats`].
+    pub fn plan_cached_with_status(
+        &self,
+        problem: &Problem,
+        mode: usize,
+        cache: &PlanCache,
+    ) -> (Arc<Plan>, bool) {
+        let key = PlanKey::new(problem, mode, &self.machine);
+        if let Some(plan) = cache.get(&key) {
+            return (plan, true);
+        }
+        let plan = Arc::new(self.plan_executable(problem, mode));
+        cache.insert(key, Arc::clone(&plan));
+        (plan, false)
     }
 }
 

@@ -14,6 +14,7 @@ use mttkrp_tensor::{DenseTensor, Matrix};
 pub struct SimBackend;
 
 impl SimBackend {
+    /// A simulator backend (stateless; all state lives in the plan).
     pub fn new() -> SimBackend {
         SimBackend
     }

@@ -1,0 +1,263 @@
+//! The batching queue: accepts requests on a channel and coalesces
+//! same-shape requests into batches.
+
+use crate::request::{MttkrpRequest, MttkrpResponse};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use mttkrp_exec::{MachineSpec, ProblemKey};
+use std::time::Instant;
+
+/// What makes two requests batchable: the same planning problem (shape,
+/// rank, mode) on the same machine. One batch shares one plan.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct BatchKey {
+    /// Shape-level identity of the requests (dims, rank, mode).
+    pub problem: ProblemKey,
+    /// The machine the batch will be planned for.
+    pub machine: MachineSpec,
+}
+
+/// A request in flight: the request itself, its reply channel, and when it
+/// was submitted (for queue-latency accounting).
+#[derive(Debug)]
+pub struct Pending {
+    /// The request as submitted.
+    pub request: MttkrpRequest,
+    /// The machine it resolved to (request override or server default).
+    pub machine: MachineSpec,
+    pub(crate) reply: Sender<MttkrpResponse>,
+    pub(crate) submitted: Instant,
+}
+
+/// A group of same-shape requests that will execute under one shared plan.
+#[derive(Debug)]
+pub struct Batch {
+    /// The shape/machine identity every member shares.
+    pub key: BatchKey,
+    /// The coalesced requests, in arrival order.
+    pub requests: Vec<Pending>,
+}
+
+impl Batch {
+    /// Number of requests in the batch.
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// Whether the batch is empty (never true for batches the queue emits).
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+}
+
+/// The submission side of a [`BatchQueue`]: cheap to clone, safe to use
+/// from many threads.
+#[derive(Clone)]
+pub struct Submitter {
+    tx: Sender<Pending>,
+    default_machine: MachineSpec,
+}
+
+impl Submitter {
+    /// Submits a request and returns a handle on which its response will
+    /// arrive. Returns `None` if the queue has already been torn down.
+    pub fn submit(&self, request: MttkrpRequest) -> Option<ResponseHandle> {
+        let (reply, rx) = unbounded();
+        let machine = request
+            .machine
+            .clone()
+            .unwrap_or_else(|| self.default_machine.clone());
+        let pending = Pending {
+            request,
+            machine,
+            reply,
+            submitted: Instant::now(),
+        };
+        match self.tx.send(pending) {
+            Ok(()) => Some(ResponseHandle { rx }),
+            Err(_) => None,
+        }
+    }
+}
+
+/// Where a submitted request's response arrives.
+#[derive(Debug)]
+pub struct ResponseHandle {
+    rx: Receiver<MttkrpResponse>,
+}
+
+impl ResponseHandle {
+    /// Blocks until the response arrives.
+    ///
+    /// # Panics
+    /// Panics if the serving side was torn down without answering — which
+    /// graceful shutdown never does; every accepted request is answered.
+    pub fn wait(self) -> MttkrpResponse {
+        self.rx
+            .recv()
+            .expect("serving side dropped an accepted request without answering")
+    }
+
+    /// Non-blocking poll: the response if it has already arrived.
+    pub fn try_wait(&self) -> Option<MttkrpResponse> {
+        self.rx.try_recv().ok()
+    }
+}
+
+/// Coalesces requests arriving on a channel into same-shape [`Batch`]es.
+///
+/// The queue is the server's batching policy in isolation — no threads, no
+/// executors — which is what makes it unit-testable: push requests through
+/// a [`Submitter`], pull [`Batch`]es out, and inspect the grouping.
+/// [`crate::Server`] runs one of these on its batcher thread.
+///
+/// Batching is *opportunistic*: [`BatchQueue::next_batches`] blocks for the
+/// first request, then drains whatever else is already queued, groups by
+/// [`BatchKey`] preserving arrival order, and splits groups larger than
+/// `max_batch`. Under light load batches have size 1 (no added latency);
+/// under bursts same-shape requests share one plan lookup and one executor.
+///
+/// ```
+/// use mttkrp_exec::MachineSpec;
+/// use mttkrp_serve::{BatchQueue, MttkrpRequest};
+/// use mttkrp_tensor::{DenseTensor, Matrix, Shape};
+/// use std::sync::Arc;
+///
+/// let machine = MachineSpec::sequential(256);
+/// let (submitter, queue) = BatchQueue::new(machine, 32);
+///
+/// // Two 4x4x4 requests (same shape) and one 4x6 request.
+/// let cube = Arc::new(DenseTensor::random(Shape::new(&[4, 4, 4]), 1));
+/// let cube_f = Arc::new((0..3).map(|k| Matrix::random(4, 2, k)).collect::<Vec<_>>());
+/// let flat = Arc::new(DenseTensor::random(Shape::new(&[4, 6]), 2));
+/// let flat_f = Arc::new(vec![Matrix::random(4, 2, 7), Matrix::random(6, 2, 8)]);
+///
+/// submitter.submit(MttkrpRequest::new(cube.clone(), cube_f.clone(), 0));
+/// submitter.submit(MttkrpRequest::new(flat, flat_f, 0));
+/// submitter.submit(MttkrpRequest::new(cube, cube_f, 0));
+///
+/// let batches = queue.next_batches().unwrap();
+/// assert_eq!(batches.len(), 2); // cube requests coalesced, flat alone
+/// assert_eq!(batches[0].len(), 2);
+/// assert_eq!(batches[1].len(), 1);
+/// ```
+pub struct BatchQueue {
+    rx: Receiver<Pending>,
+    max_batch: usize,
+}
+
+impl BatchQueue {
+    /// A queue whose requests default to `default_machine`, emitting
+    /// batches of at most `max_batch` requests.
+    ///
+    /// # Panics
+    /// Panics if `max_batch` is zero.
+    pub fn new(default_machine: MachineSpec, max_batch: usize) -> (Submitter, BatchQueue) {
+        assert!(max_batch >= 1, "max_batch must be at least 1");
+        let (tx, rx) = unbounded();
+        (
+            Submitter {
+                tx,
+                default_machine,
+            },
+            BatchQueue { rx, max_batch },
+        )
+    }
+
+    /// Blocks for the next request, drains everything else already queued,
+    /// and returns the coalesced batches (first-arrival order). Returns
+    /// `None` when every [`Submitter`] is gone and the queue is drained —
+    /// the shutdown signal.
+    pub fn next_batches(&self) -> Option<Vec<Batch>> {
+        let first = self.rx.recv().ok()?;
+        let mut pending = vec![first];
+        while let Ok(p) = self.rx.try_recv() {
+            pending.push(p);
+        }
+        Some(self.coalesce(pending))
+    }
+
+    fn coalesce(&self, pending: Vec<Pending>) -> Vec<Batch> {
+        let mut batches: Vec<Batch> = Vec::new();
+        for p in pending {
+            let key = BatchKey {
+                problem: ProblemKey::new(&p.request.problem(), p.request.mode),
+                machine: p.machine.clone(),
+            };
+            match batches
+                .iter_mut()
+                .find(|b| b.key == key && b.len() < self.max_batch)
+            {
+                Some(batch) => batch.requests.push(p),
+                None => batches.push(Batch {
+                    key,
+                    requests: vec![p],
+                }),
+            }
+        }
+        batches
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mttkrp_tensor::{DenseTensor, Matrix, Shape};
+    use std::sync::Arc;
+
+    fn request(dims: &[usize], r: usize, mode: usize, seed: u64) -> MttkrpRequest {
+        let shape = Shape::new(dims);
+        let x = Arc::new(DenseTensor::random(shape, seed));
+        let factors = Arc::new(
+            dims.iter()
+                .enumerate()
+                .map(|(k, &d)| Matrix::random(d, r, seed + k as u64))
+                .collect::<Vec<_>>(),
+        );
+        MttkrpRequest::new(x, factors, mode)
+    }
+
+    #[test]
+    fn coalesces_by_shape_and_mode() {
+        let (s, q) = BatchQueue::new(MachineSpec::sequential(256), 32);
+        s.submit(request(&[4, 4, 4], 2, 0, 1)).unwrap();
+        s.submit(request(&[4, 4, 4], 2, 1, 2)).unwrap(); // different mode
+        s.submit(request(&[4, 4, 4], 2, 0, 3)).unwrap(); // coalesces with #1
+        s.submit(request(&[4, 4, 4], 3, 0, 4)).unwrap(); // different rank
+        let batches = q.next_batches().unwrap();
+        assert_eq!(batches.len(), 3);
+        assert_eq!(batches[0].len(), 2);
+        assert_eq!(batches[0].key.problem.mode, 0);
+        assert_eq!(batches[1].len(), 1);
+        assert_eq!(batches[2].len(), 1);
+    }
+
+    #[test]
+    fn machine_override_splits_batches() {
+        let (s, q) = BatchQueue::new(MachineSpec::sequential(256), 32);
+        s.submit(request(&[4, 4, 4], 2, 0, 1)).unwrap();
+        s.submit(request(&[4, 4, 4], 2, 0, 2).with_machine(MachineSpec::sequential(1024)))
+            .unwrap();
+        let batches = q.next_batches().unwrap();
+        assert_eq!(batches.len(), 2, "machine is part of the batch key");
+    }
+
+    #[test]
+    fn max_batch_splits_large_groups() {
+        let (s, q) = BatchQueue::new(MachineSpec::sequential(256), 2);
+        for seed in 0..5 {
+            s.submit(request(&[4, 4, 4], 2, 0, seed)).unwrap();
+        }
+        let batches = q.next_batches().unwrap();
+        let sizes: Vec<usize> = batches.iter().map(Batch::len).collect();
+        assert_eq!(sizes, vec![2, 2, 1]);
+    }
+
+    #[test]
+    fn disconnect_yields_none_after_drain() {
+        let (s, q) = BatchQueue::new(MachineSpec::sequential(256), 8);
+        s.submit(request(&[4, 4], 2, 0, 1)).unwrap();
+        drop(s);
+        assert_eq!(q.next_batches().map(|b| b.len()), Some(1));
+        assert!(q.next_batches().is_none());
+    }
+}

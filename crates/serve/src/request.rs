@@ -1,0 +1,120 @@
+//! Request and response types for the serving layer.
+
+use mttkrp_core::Problem;
+use mttkrp_exec::{ExecReport, MachineSpec, Plan};
+use mttkrp_tensor::{validate_operands, DenseTensor, Matrix};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// One MTTKRP to compute: operands, output mode, and (optionally) a machine
+/// override.
+///
+/// Operands are held behind `Arc` so a request is cheap to move across the
+/// server's channels and so many requests can share the same tensor or
+/// factor set without copying. Two requests with equal *shape* (dimensions,
+/// rank, mode, machine) are the same planning problem — the server batches
+/// them together and plans once — even when their data differ.
+#[derive(Clone, Debug)]
+pub struct MttkrpRequest {
+    /// The dense input tensor `X`.
+    pub tensor: Arc<DenseTensor>,
+    /// One `I_k x R` factor matrix per mode (`factors[mode]` is ignored, as
+    /// everywhere in the workspace).
+    pub factors: Arc<Vec<Matrix>>,
+    /// Output mode `n`.
+    pub mode: usize,
+    /// Machine to plan for; `None` means the server's default machine.
+    pub machine: Option<MachineSpec>,
+}
+
+impl MttkrpRequest {
+    /// A request for the server's default machine.
+    ///
+    /// # Panics
+    /// Panics if the operands are malformed (wrong factor count, mismatched
+    /// row counts or ranks, mode out of range) — validation happens here,
+    /// on the caller's thread, so the server's workers never see an
+    /// inconsistent request.
+    pub fn new(tensor: Arc<DenseTensor>, factors: Arc<Vec<Matrix>>, mode: usize) -> MttkrpRequest {
+        let refs: Vec<&Matrix> = factors.iter().collect();
+        validate_operands(&tensor, &refs, mode);
+        MttkrpRequest {
+            tensor,
+            factors,
+            mode,
+            machine: None,
+        }
+    }
+
+    /// The same request planned for an explicit machine instead of the
+    /// server's default.
+    pub fn with_machine(mut self, machine: MachineSpec) -> MttkrpRequest {
+        self.machine = Some(machine);
+        self
+    }
+
+    /// The planning-level [`Problem`] this request poses.
+    pub fn problem(&self) -> Problem {
+        Problem::from_shape(self.tensor.shape(), self.factors[0].cols())
+    }
+}
+
+/// Per-request latency breakdown, measured by the server.
+#[derive(Clone, Copy, Debug)]
+pub struct RequestTiming {
+    /// Time from submission until a worker started executing the request.
+    pub queued: Duration,
+    /// Time the kernel itself took on the backend.
+    pub exec: Duration,
+}
+
+/// What the server returns for one request.
+#[derive(Debug)]
+pub struct MttkrpResponse {
+    /// The backend's execution report (output matrix + observed cost).
+    pub report: ExecReport,
+    /// The shared plan the request ran under — "why this algorithm?" is
+    /// answerable from the response alone via [`Plan::explain`].
+    pub plan: Arc<Plan>,
+    /// Whether the plan came out of the plan cache (`false` exactly when
+    /// this batch triggered a fresh candidate sweep).
+    pub cache_hit: bool,
+    /// How many requests were coalesced into the batch this one rode in.
+    pub batch_size: usize,
+    /// Latency breakdown.
+    pub timing: RequestTiming,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mttkrp_tensor::Shape;
+
+    fn operands(dims: &[usize], r: usize) -> (Arc<DenseTensor>, Arc<Vec<Matrix>>) {
+        let shape = Shape::new(dims);
+        let x = Arc::new(DenseTensor::random(shape, 3));
+        let factors = Arc::new(
+            dims.iter()
+                .enumerate()
+                .map(|(k, &d)| Matrix::random(d, r, k as u64))
+                .collect::<Vec<_>>(),
+        );
+        (x, factors)
+    }
+
+    #[test]
+    fn problem_reflects_operands() {
+        let (x, f) = operands(&[4, 5, 6], 3);
+        let req = MttkrpRequest::new(x, f, 1);
+        assert_eq!(req.problem(), Problem::new(&[4, 5, 6], 3));
+        assert!(req.machine.is_none());
+    }
+
+    #[test]
+    #[should_panic]
+    fn malformed_operands_rejected_at_construction() {
+        let (x, _) = operands(&[4, 5, 6], 3);
+        let (_, wrong) = operands(&[4, 5], 3);
+        let _ = MttkrpRequest::new(x, wrong, 0);
+    }
+}

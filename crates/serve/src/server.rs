@@ -1,0 +1,313 @@
+//! The serving engine: a batcher thread, a worker pool, a shared plan
+//! cache, and a stats ledger.
+
+use crate::queue::{BatchQueue, Pending, ResponseHandle, Submitter};
+use crate::request::{MttkrpRequest, MttkrpResponse, RequestTiming};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use mttkrp_exec::{CacheStats, Executor, MachineSpec, Plan, PlanCache, Planner};
+use mttkrp_tensor::Matrix;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// How a [`Server`] is sized.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Default machine requests are planned for (a request can override it).
+    pub machine: MachineSpec,
+    /// Worker threads executing batches.
+    pub workers: usize,
+    /// Plan-cache capacity (plans, not bytes).
+    pub cache_capacity: usize,
+    /// Largest batch the queue will form.
+    pub max_batch: usize,
+}
+
+impl Default for ServerConfig {
+    /// Detected host machine, two workers, 128 cached plans, batches of up
+    /// to 32 requests.
+    fn default() -> ServerConfig {
+        ServerConfig {
+            machine: MachineSpec::detect(),
+            workers: 2,
+            cache_capacity: 128,
+            max_batch: 32,
+        }
+    }
+}
+
+/// Shared mutable counters, written by the batcher and the workers.
+#[derive(Default)]
+struct Counters {
+    submitted: AtomicU64,
+    served: AtomicU64,
+    batches: AtomicU64,
+    largest_batch: AtomicU64,
+    backend_runs: Mutex<HashMap<&'static str, u64>>,
+}
+
+/// A point-in-time snapshot of everything a [`Server`] has done.
+#[derive(Clone, Debug)]
+pub struct ServerStats {
+    /// Requests accepted by [`Server::submit`].
+    pub requests_submitted: u64,
+    /// Requests fully executed and answered.
+    pub requests_served: u64,
+    /// Batches dispatched to the worker pool.
+    pub batches: u64,
+    /// Size of the largest batch formed so far.
+    pub largest_batch: u64,
+    /// Plan-cache accounting (hits, misses, evictions, residency).
+    pub cache: CacheStats,
+    /// Executions per backend name (e.g. `native`, `sim`), sorted by name.
+    pub backend_runs: Vec<(String, u64)>,
+    /// Worker threads the server runs.
+    pub workers: usize,
+}
+
+impl ServerStats {
+    /// Mean requests per dispatched batch (`0.0` before the first batch).
+    pub fn mean_batch_size(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.requests_served as f64 / self.batches as f64
+        }
+    }
+}
+
+impl std::fmt::Display for ServerStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "requests submitted   {}", self.requests_submitted)?;
+        writeln!(f, "requests served      {}", self.requests_served)?;
+        writeln!(
+            f,
+            "batches formed       {} (mean size {:.2}, largest {})",
+            self.batches,
+            self.mean_batch_size(),
+            self.largest_batch
+        )?;
+        writeln!(
+            f,
+            "plan cache           {} hits / {} misses ({:.1}% hit rate), {}/{} resident, {} evicted",
+            self.cache.hits,
+            self.cache.misses,
+            100.0 * self.cache.hit_rate(),
+            self.cache.len,
+            self.cache.capacity,
+            self.cache.evictions
+        )?;
+        for (backend, runs) in &self.backend_runs {
+            writeln!(f, "backend {backend:<12} {runs} run(s)")?;
+        }
+        write!(f, "workers              {}", self.workers)
+    }
+}
+
+/// A batch with its plan resolved, ready for a worker.
+struct DispatchedBatch {
+    plan: Arc<Plan>,
+    cache_hit: bool,
+    requests: Vec<Pending>,
+}
+
+/// A long-lived MTTKRP service: submit requests, get
+/// [`MttkrpResponse`]s back.
+///
+/// Internally: a [`BatchQueue`] coalesces same-shape requests, one batcher
+/// thread resolves each batch's plan through a shared [`PlanCache`]
+/// (repeated shapes skip the planner's candidate sweep), and a pool of
+/// worker threads runs each batch on the plan's natural
+/// [`Executor`] — native hardware for sequential plans, the word-exact
+/// simulator for distributed ones. Results are *identical* to calling
+/// [`mttkrp_exec::plan_and_execute`] per request; batching changes where
+/// the work runs and what it costs to plan, never the numbers.
+///
+/// Shutdown is graceful: [`Server::shutdown`] (or drop) stops accepting
+/// new work, drains every queued request through the workers, answers all
+/// of them, and joins the threads.
+pub struct Server {
+    submitter: Option<Submitter>,
+    batcher: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    cache: Arc<PlanCache>,
+    counters: Arc<Counters>,
+    config: ServerConfig,
+}
+
+impl Server {
+    /// Starts the batcher and worker threads and returns the running server.
+    ///
+    /// # Panics
+    /// Panics if `workers` is zero (nothing would ever execute).
+    pub fn start(config: ServerConfig) -> Server {
+        assert!(config.workers >= 1, "need at least one worker");
+        let (submitter, queue) = BatchQueue::new(config.machine.clone(), config.max_batch);
+        let cache = Arc::new(PlanCache::new(config.cache_capacity));
+        let counters = Arc::new(Counters::default());
+        let (batch_tx, batch_rx) = unbounded::<DispatchedBatch>();
+
+        let batcher = {
+            let cache = Arc::clone(&cache);
+            let counters = Arc::clone(&counters);
+            std::thread::spawn(move || run_batcher(queue, batch_tx, cache, counters))
+        };
+        let workers = (0..config.workers)
+            .map(|_| {
+                let rx = batch_rx.clone();
+                let counters = Arc::clone(&counters);
+                std::thread::spawn(move || run_worker(rx, counters))
+            })
+            .collect();
+        drop(batch_rx);
+
+        Server {
+            submitter: Some(submitter),
+            batcher: Some(batcher),
+            workers,
+            cache,
+            counters,
+            config,
+        }
+    }
+
+    /// Submits a request; its response arrives on the returned handle.
+    pub fn submit(&self, request: MttkrpRequest) -> ResponseHandle {
+        // Count before handing off: the pipeline can serve the request
+        // before this thread resumes, and a stats() snapshot must never
+        // show served > submitted.
+        self.counters.submitted.fetch_add(1, Ordering::Relaxed);
+        self.submitter
+            .as_ref()
+            .expect("server already shut down")
+            .submit(request)
+            .expect("serving threads are alive while the server exists")
+    }
+
+    /// Submit-and-wait convenience: blocks until the response arrives.
+    pub fn call(&self, request: MttkrpRequest) -> MttkrpResponse {
+        self.submit(request).wait()
+    }
+
+    /// The shared plan cache (e.g. to warm it up before a burst).
+    pub fn cache(&self) -> &PlanCache {
+        &self.cache
+    }
+
+    /// Point-in-time snapshot of the server's accounting.
+    pub fn stats(&self) -> ServerStats {
+        let runs = self
+            .counters
+            .backend_runs
+            .lock()
+            .expect("backend-run map poisoned");
+        let mut backend_runs: Vec<(String, u64)> = runs
+            .iter()
+            .map(|(name, count)| (name.to_string(), *count))
+            .collect();
+        backend_runs.sort();
+        ServerStats {
+            requests_submitted: self.counters.submitted.load(Ordering::Relaxed),
+            requests_served: self.counters.served.load(Ordering::Relaxed),
+            batches: self.counters.batches.load(Ordering::Relaxed),
+            largest_batch: self.counters.largest_batch.load(Ordering::Relaxed),
+            cache: self.cache.stats(),
+            backend_runs,
+            workers: self.config.workers,
+        }
+    }
+
+    /// Graceful shutdown: stop accepting requests, drain and answer
+    /// everything already submitted, join all threads, and return the
+    /// final stats.
+    pub fn shutdown(mut self) -> ServerStats {
+        self.join_threads();
+        self.stats()
+    }
+
+    fn join_threads(&mut self) {
+        // Dropping the submitter disconnects the request channel; the
+        // batcher drains what is queued, then drops the batch channel; the
+        // workers drain the remaining batches, answer them, and exit.
+        self.submitter.take();
+        if let Some(b) = self.batcher.take() {
+            b.join().expect("batcher thread panicked");
+        }
+        for w in self.workers.drain(..) {
+            w.join().expect("worker thread panicked");
+        }
+    }
+}
+
+impl Drop for Server {
+    /// Dropping a running server performs the same graceful drain as
+    /// [`Server::shutdown`].
+    fn drop(&mut self) {
+        self.join_threads();
+    }
+}
+
+fn run_batcher(
+    queue: BatchQueue,
+    batch_tx: Sender<DispatchedBatch>,
+    cache: Arc<PlanCache>,
+    counters: Arc<Counters>,
+) {
+    while let Some(batches) = queue.next_batches() {
+        for batch in batches {
+            let problem = batch.key.problem.problem();
+            let mode = batch.key.problem.mode;
+            let planner = Planner::new(batch.key.machine.clone());
+            let (plan, cache_hit) = planner.plan_cached_with_status(&problem, mode, &cache);
+            counters.batches.fetch_add(1, Ordering::Relaxed);
+            counters
+                .largest_batch
+                .fetch_max(batch.requests.len() as u64, Ordering::Relaxed);
+            if batch_tx
+                .send(DispatchedBatch {
+                    plan,
+                    cache_hit,
+                    requests: batch.requests,
+                })
+                .is_err()
+            {
+                return; // workers are gone; nothing left to answer
+            }
+        }
+    }
+}
+
+fn run_worker(rx: Receiver<DispatchedBatch>, counters: Arc<Counters>) {
+    while let Ok(batch) = rx.recv() {
+        // One executor per batch: plan reuse also amortizes backend setup
+        // (e.g. the native backend's thread pool) across the whole batch.
+        let executor = Executor::for_plan(&batch.plan);
+        let batch_size = batch.requests.len();
+        for pending in batch.requests {
+            let refs: Vec<&Matrix> = pending.request.factors.iter().collect();
+            let queued = pending.submitted.elapsed();
+            let start = Instant::now();
+            let report =
+                executor.execute(&batch.plan, &pending.request.tensor, &refs, batch.plan.mode);
+            let exec = start.elapsed();
+            counters.served.fetch_add(1, Ordering::Relaxed);
+            *counters
+                .backend_runs
+                .lock()
+                .expect("backend-run map poisoned")
+                .entry(report.backend)
+                .or_insert(0) += 1;
+            // The submitter may have dropped its handle; that only means
+            // nobody is listening, not that the work was wasted.
+            let _ = pending.reply.send(MttkrpResponse {
+                report,
+                plan: Arc::clone(&batch.plan),
+                cache_hit: batch.cache_hit,
+                batch_size,
+                timing: RequestTiming { queued, exec },
+            });
+        }
+    }
+}

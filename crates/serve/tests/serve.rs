@@ -1,0 +1,208 @@
+//! Integration tests for the serving layer: batching must never change
+//! results, the plan cache must account honestly, and shutdown must drain.
+
+use mttkrp_exec::{plan_and_execute, MachineSpec};
+use mttkrp_serve::{MttkrpRequest, Server, ServerConfig};
+use mttkrp_tensor::{DenseTensor, Matrix, Shape};
+use std::sync::Arc;
+
+fn operands(dims: &[usize], r: usize, seed: u64) -> (Arc<DenseTensor>, Arc<Vec<Matrix>>) {
+    let shape = Shape::new(dims);
+    let x = Arc::new(DenseTensor::random(shape, seed));
+    let factors = Arc::new(
+        dims.iter()
+            .enumerate()
+            .map(|(k, &d)| Matrix::random(d, r, seed + 700 + k as u64))
+            .collect::<Vec<Matrix>>(),
+    );
+    (x, factors)
+}
+
+/// The load-bearing serving invariant: a batched, cached, worker-pool
+/// execution returns *bit-identical* output to a direct per-request
+/// `plan_and_execute` with the same operands and machine. Batching changes
+/// where work runs and what planning costs — never the numbers.
+#[test]
+fn batched_results_bit_identical_to_unbatched() {
+    let machine = MachineSpec::shared(2, 1 << 12);
+    let server = Server::start(ServerConfig {
+        machine: machine.clone(),
+        workers: 3,
+        cache_capacity: 16,
+        max_batch: 8,
+    });
+
+    // A mixed-shape workload: three shapes, several requests each, distinct
+    // data per request, submitted interleaved so batches actually form.
+    let shapes: [&[usize]; 3] = [&[8, 8, 8], &[6, 10, 4], &[12, 5]];
+    let ranks = [4usize, 3, 5];
+    let mut cases = Vec::new();
+    for round in 0..4u64 {
+        for (s, (&dims, &r)) in shapes.iter().zip(&ranks).enumerate() {
+            let (x, f) = operands(dims, r, 10 * round + s as u64);
+            let mode = (round as usize) % dims.len();
+            cases.push((x, f, mode));
+        }
+    }
+
+    let handles: Vec<_> = cases
+        .iter()
+        .map(|(x, f, mode)| server.submit(MttkrpRequest::new(x.clone(), f.clone(), *mode)))
+        .collect();
+
+    for (handle, (x, f, mode)) in handles.into_iter().zip(&cases) {
+        let response = handle.wait();
+        let refs: Vec<&Matrix> = f.iter().collect();
+        let (plan, direct) = plan_and_execute(&machine, x, &refs, *mode);
+        assert_eq!(
+            response.report.output.data(),
+            direct.output.data(),
+            "served output differs from direct execution"
+        );
+        assert_eq!(response.plan.algorithm, plan.algorithm);
+        assert_eq!(response.report.backend, direct.backend);
+    }
+    let stats = server.shutdown();
+    assert_eq!(stats.requests_served, 12);
+}
+
+/// Distributed plans go through the simulator backend and must be
+/// bit-identical too (the sim is exactly deterministic by construction).
+#[test]
+fn distributed_requests_served_on_sim_backend() {
+    let machine = MachineSpec::distributed(4);
+    let server = Server::start(ServerConfig {
+        machine: machine.clone(),
+        workers: 2,
+        cache_capacity: 8,
+        max_batch: 8,
+    });
+    let (x, f) = operands(&[8, 8, 8], 4, 42);
+    let response = server.call(MttkrpRequest::new(x.clone(), f.clone(), 1));
+    assert_eq!(response.report.backend, "sim");
+
+    let refs: Vec<&Matrix> = f.iter().collect();
+    let (_, direct) = plan_and_execute(&machine, &x, &refs, 1);
+    assert_eq!(response.report.output.data(), direct.output.data());
+
+    let stats = server.shutdown();
+    assert_eq!(stats.backend_runs, vec![("sim".to_string(), 1)]);
+}
+
+/// Repeated shapes must hit the plan cache: K distinct shapes over N >> K
+/// requests cost exactly K misses.
+#[test]
+fn repeated_shapes_hit_the_plan_cache() {
+    let server = Server::start(ServerConfig {
+        machine: MachineSpec::shared(1, 1 << 10),
+        workers: 2,
+        cache_capacity: 16,
+        max_batch: 4,
+    });
+    let workload = [operands(&[6, 6, 6], 3, 1), operands(&[4, 8, 2], 2, 2)];
+    // Closed loop (wait for each response before submitting the next): every
+    // request forms its own batch, so cache accounting is exact — one miss
+    // per distinct shape, a hit for everything after.
+    let mut cache_hits = 0;
+    for i in 0..20 {
+        let (x, f) = &workload[i % 2];
+        let response = server.call(MttkrpRequest::new(x.clone(), f.clone(), 0));
+        if response.cache_hit {
+            cache_hits += 1;
+        }
+    }
+    let stats = server.shutdown();
+    assert_eq!(
+        stats.cache.misses, 2,
+        "one planner sweep per distinct shape"
+    );
+    assert_eq!(stats.cache.hits, 18);
+    assert_eq!(stats.cache.hits + stats.cache.misses, stats.batches);
+    assert!(stats.cache.hit_rate() > 0.85);
+    assert_eq!(cache_hits, 18, "per-response flags agree with the ledger");
+}
+
+/// Graceful shutdown must drain: every request accepted before shutdown is
+/// answered, even though shutdown was called while they were in flight.
+#[test]
+fn shutdown_drains_in_flight_requests() {
+    let server = Server::start(ServerConfig {
+        machine: MachineSpec::shared(1, 1 << 10),
+        workers: 2,
+        cache_capacity: 8,
+        max_batch: 16,
+    });
+    let (x, f) = operands(&[10, 10, 10], 4, 9);
+    let handles: Vec<_> = (0..24)
+        .map(|_| server.submit(MttkrpRequest::new(x.clone(), f.clone(), 0)))
+        .collect();
+
+    // Shut down immediately: most of the 24 requests are still queued.
+    let stats = server.shutdown();
+    assert_eq!(stats.requests_submitted, 24);
+    assert_eq!(stats.requests_served, 24, "shutdown must answer everything");
+
+    // Every handle delivers a real response after the server is gone.
+    for h in handles {
+        let response = h.wait();
+        assert_eq!(response.report.output.rows(), 10);
+        assert_eq!(response.report.output.cols(), 4);
+    }
+}
+
+/// Dropping the server (instead of calling shutdown) drains the same way.
+#[test]
+fn drop_is_graceful() {
+    let server = Server::start(ServerConfig {
+        machine: MachineSpec::shared(1, 1 << 10),
+        workers: 1,
+        cache_capacity: 4,
+        max_batch: 8,
+    });
+    let (x, f) = operands(&[6, 6], 2, 5);
+    let handle = server.submit(MttkrpRequest::new(x, f, 0));
+    drop(server);
+    let response = handle.wait();
+    assert_eq!(response.report.output.rows(), 6);
+}
+
+/// Per-request machine overrides split batches and plan separately.
+#[test]
+fn machine_override_is_honored() {
+    let server = Server::start(ServerConfig {
+        machine: MachineSpec::shared(1, 1 << 10),
+        workers: 2,
+        cache_capacity: 8,
+        max_batch: 8,
+    });
+    let (x, f) = operands(&[8, 8, 8], 4, 3);
+    let sequential = server.submit(MttkrpRequest::new(x.clone(), f.clone(), 0));
+    let distributed = server.submit(
+        MttkrpRequest::new(x.clone(), f.clone(), 0).with_machine(MachineSpec::distributed(4)),
+    );
+    assert_eq!(sequential.wait().report.backend, "native");
+    assert_eq!(distributed.wait().report.backend, "sim");
+    let stats = server.shutdown();
+    assert_eq!(stats.cache.misses, 2, "two machines, two plans");
+}
+
+/// Timing and batch metadata on responses are populated sanely.
+#[test]
+fn response_metadata_is_sane() {
+    let server = Server::start(ServerConfig {
+        machine: MachineSpec::shared(1, 1 << 10),
+        workers: 1,
+        cache_capacity: 4,
+        max_batch: 8,
+    });
+    let (x, f) = operands(&[6, 6, 6], 3, 8);
+    let response = server.call(MttkrpRequest::new(x, f, 2));
+    assert_eq!(
+        response.batch_size, 1,
+        "a lone request rides a batch of one"
+    );
+    assert!(!response.cache_hit, "first sighting of the shape is a miss");
+    assert!(response.timing.queued > std::time::Duration::ZERO);
+    assert!(response.plan.explain().contains("chosen:"));
+    server.shutdown();
+}

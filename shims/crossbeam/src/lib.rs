@@ -40,6 +40,19 @@ pub mod channel {
         inner: Arc<Inner<T>>,
     }
 
+    // Match the real crate's opaque Debug output so user types can derive.
+    impl<T> fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "Sender {{ .. }}")
+        }
+    }
+
+    impl<T> fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "Receiver {{ .. }}")
+        }
+    }
+
     /// Send on a channel with no receivers left; carries the message back.
     pub struct SendError<T>(pub T);
 

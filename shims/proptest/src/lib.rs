@@ -127,7 +127,7 @@ pub mod collection {
     use super::{Strategy, TestRng};
     use rand::Rng;
 
-    /// Sizes accepted by [`vec`]: a fixed length or a (half-open or
+    /// Sizes accepted by [`vec()`]: a fixed length or a (half-open or
     /// inclusive) range of lengths.
     pub trait SizeRange {
         fn sample_len(&self, rng: &mut TestRng) -> usize;

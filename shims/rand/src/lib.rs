@@ -17,7 +17,7 @@ pub trait SeedableRng: Sized {
 
 /// Sampling conveniences, blanket-implemented for every [`RngCore`].
 pub trait Rng: RngCore {
-    /// A value of a [`Standard`]-samplable type (`f64` in `[0, 1)`, full
+    /// A value of a [`StandardSample`]-able type (`f64` in `[0, 1)`, full
     /// range integers, fair `bool`).
     fn gen<T: StandardSample>(&mut self) -> T
     where

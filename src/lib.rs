@@ -5,17 +5,20 @@
 //! integration tests (`tests/`) and examples (`examples/`) have a single
 //! front door, and so downstream users can depend on one crate:
 //!
-//! - [`tensor`](mttkrp_tensor) — dense tensors, matrices, the MTTKRP oracle;
-//! - [`memsim`](mttkrp_memsim) — strict two-level memory simulator;
-//! - [`netsim`](mttkrp_netsim) — distributed machine simulator;
-//! - [`core`](mttkrp_core) — the paper's bounds, algorithms, and cost models;
-//! - [`exec`](mttkrp_exec) — the execution subsystem: cost-model-driven
-//!   planner plus simulator and native (rayon) backends;
-//! - [`bench`](mttkrp_bench) — benchmark helpers and the CLI driver.
+//! - [`tensor`] — dense tensors, matrices, the MTTKRP oracle;
+//! - [`memsim`] — strict two-level memory simulator;
+//! - [`netsim`] — distributed machine simulator;
+//! - [`core`] — the paper's bounds, algorithms, and cost models;
+//! - [`exec`] — the execution subsystem: cost-model-driven planner plus
+//!   simulator and native (rayon) backends;
+//! - [`serve`] — plan-cached, request-batching serving layer over the
+//!   executor;
+//! - [`bench`](mod@bench) — benchmark helpers and the CLI driver.
 
 pub use mttkrp_bench as bench;
 pub use mttkrp_core as core;
 pub use mttkrp_exec as exec;
 pub use mttkrp_memsim as memsim;
 pub use mttkrp_netsim as netsim;
+pub use mttkrp_serve as serve;
 pub use mttkrp_tensor as tensor;
