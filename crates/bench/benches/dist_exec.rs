@@ -1,0 +1,40 @@
+//! Criterion benchmark for the sharded multi-rank runtime: the real
+//! message-passing execution (`mttkrp-dist`) against the netsim replay of
+//! the same plan, across rank counts.
+//!
+//! Run with `cargo bench -p mttkrp-bench --bench dist_exec`. The dist
+//! runtime pays thread spawns and real data movement; the interesting
+//! reading is how its overhead scales with `P` relative to the simulator
+//! (which moves the same words through the same ring schedule).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mttkrp_bench::setup_problem;
+use mttkrp_core::Problem;
+use mttkrp_dist::DistBackend;
+use mttkrp_exec::{Backend, MachineSpec, Planner, SimBackend};
+use mttkrp_tensor::Matrix;
+
+fn bench_dist_vs_sim(c: &mut Criterion) {
+    let (x, factors) = setup_problem(&[32, 32, 32], 16, 11);
+    let refs: Vec<&Matrix> = factors.iter().collect();
+    let problem = Problem::from_shape(x.shape(), 16);
+
+    let mut group = c.benchmark_group("dist_mttkrp_32x32x32_r16");
+    for ranks in [2usize, 4, 8] {
+        let plan =
+            Planner::new(MachineSpec::cluster(ranks, 1, 1 << 16)).plan_executable(&problem, 0);
+        assert!(!plan.algorithm.is_sequential());
+        let dist = DistBackend::new();
+        let sim = SimBackend::new();
+        group.bench_with_input(BenchmarkId::new("dist", ranks), &ranks, |b, _| {
+            b.iter(|| dist.execute(&plan, &x, &refs))
+        });
+        group.bench_with_input(BenchmarkId::new("sim", ranks), &ranks, |b, _| {
+            b.iter(|| sim.execute(&plan, &x, &refs))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dist_vs_sim);
+criterion_main!(benches);

@@ -4,7 +4,10 @@
 //!
 //! Run with `cargo bench -p mttkrp-bench --bench exec_backends`. With four
 //! or more cores the multithreaded path should beat the single-threaded
-//! one by well over 2x.
+//! one by well over 2x — a claim CI *asserts* (not merely demonstrates)
+//! via the `speedup_gate` binary, which replays this configuration and
+//! exits nonzero if the 4-thread/1-thread ratio drops below 2x on a
+//! >= 4-core runner.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mttkrp_bench::setup_problem;

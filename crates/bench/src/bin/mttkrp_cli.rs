@@ -17,6 +17,13 @@
 //!   exec [--backend native|sim] [--threads T] [--memory M] [--procs P]
 //!                              plan with the paper's cost models, then
 //!                              execute on the chosen backend
+//!   dist --ranks P [--threads T] [--memory M]
+//!                              plan for a P-rank cluster and execute on the
+//!                              sharded multi-rank runtime, self-gating:
+//!                              exits nonzero unless the output is
+//!                              bit-identical to the single-node executor
+//!                              and the measured per-rank traffic equals the
+//!                              netsim-predicted schedule
 //!   serve --bench [--requests N] [--shapes K] [--workers W]
 //!         [--batch B] [--cache C] [--threads T] [--memory M] [--procs P]
 //!                              replay a synthetic mixed-shape workload
@@ -45,6 +52,7 @@ struct Args {
     procs: Option<usize>,
     backend: Option<String>,
     threads: Option<usize>,
+    ranks: Option<usize>,
     algorithm: Option<String>,
     // `serve` options.
     bench: bool,
@@ -93,6 +101,7 @@ fn parse(argv: &[String]) -> Result<Args, String> {
             "--threads" => {
                 args.threads = Some(next("--threads")?.parse().map_err(|e| format!("{e}"))?)
             }
+            "--ranks" => args.ranks = Some(next("--ranks")?.parse().map_err(|e| format!("{e}"))?),
             "--bench" => args.bench = true,
             "--requests" => {
                 args.requests = Some(next("--requests")?.parse().map_err(|e| format!("{e}"))?)
@@ -134,7 +143,7 @@ fn parse(argv: &[String]) -> Result<Args, String> {
     }
     if args.algorithm.is_none() {
         return Err(
-            "no algorithm given (alg1|alg2|seqmm|alg3|alg4|parmm|bounds|exec|serve)".into(),
+            "no algorithm given (alg1|alg2|seqmm|alg3|alg4|parmm|bounds|exec|dist|serve)".into(),
         );
     }
     Ok(args)
@@ -152,6 +161,9 @@ fn usage() {
          \n  bounds [--memory M] [--procs P]  print lower bounds only\
          \n  exec  [--backend native|sim] [--threads T] [--memory M] [--procs P]\
          \n                               cost-model-driven plan + execution\
+         \n  dist  --ranks P [--threads T] [--memory M]\
+         \n                               sharded multi-rank execution with a\
+         \n                               self-gating schedule/bitwise check\
          \n  serve --bench [--requests N] [--shapes K] [--workers W] [--batch B]\
          \n        [--cache C] [--threads T] [--memory M] [--procs P]\
          \n                               replay a synthetic workload through the\
@@ -320,6 +332,7 @@ fn main() -> ExitCode {
             );
         }
         "exec" => return run_exec(&args, &problem, x, &refs),
+        "dist" => return run_dist(&args, &problem, x, &refs),
         other => {
             eprintln!("error: unknown algorithm '{other}'");
             usage();
@@ -412,6 +425,131 @@ fn run_exec(
         "oracle check: max |diff| = {:.2e}",
         report.output.max_abs_diff(&oracle)
     );
+    ExitCode::SUCCESS
+}
+
+/// The `dist` subcommand: plan for a `--ranks P` cluster, execute on the
+/// sharded multi-rank runtime, and *self-gate*: exit nonzero unless
+///
+/// 1. the dist output is bit-identical to the single-node executor
+///    (`plan_and_execute` on the same machine) for the same plan, and
+/// 2. each rank's measured traffic equals the netsim-predicted schedule,
+///    collective by collective.
+fn run_dist(
+    args: &Args,
+    problem: &Problem,
+    x: &mttkrp_tensor::DenseTensor,
+    refs: &[&Matrix],
+) -> ExitCode {
+    use mttkrp_dist::DistBackend;
+    use mttkrp_exec::{plan_and_execute, ExecCost, MachineSpec, Planner};
+
+    let ranks = match args.ranks.or(args.procs) {
+        Some(p) if p >= 1 => p,
+        Some(_) => {
+            eprintln!("error: --ranks must be at least 1");
+            return ExitCode::from(2);
+        }
+        None => {
+            eprintln!("error: dist needs --ranks P");
+            return ExitCode::from(2);
+        }
+    };
+    if args.threads == Some(0) {
+        eprintln!("error: --threads must be at least 1");
+        return ExitCode::from(2);
+    }
+    let machine = MachineSpec::cluster(
+        ranks,
+        args.threads.unwrap_or(1),
+        args.memory.unwrap_or(mttkrp_exec::DEFAULT_CACHE_WORDS),
+    );
+    let plan = Planner::new(machine.clone()).plan_executable(problem, args.mode);
+    println!("{plan}\n");
+
+    let out = DistBackend::new().run_instrumented(&plan, x, refs);
+    match &out.report.cost {
+        ExecCost::ParComm {
+            max_recv_words,
+            max_sent_words,
+            total_words,
+            ranks,
+        } => println!(
+            "[dist] P = {ranks}: max {max_recv_words} words/rank received \
+             ({max_sent_words} sent); machine total {total_words}"
+        ),
+        ExecCost::Native { elapsed, threads } => println!(
+            "[dist] sequential fallback: {:.3} ms on {threads} thread(s)",
+            elapsed.as_secs_f64() * 1e3
+        ),
+        other => println!("[dist] {other:?}"),
+    }
+
+    // Gate 1: against the single-node executor for the same plan. For a
+    // distributed plan the comparison is *bitwise* (the sharded runtime and
+    // the simulator share ring routing and reduction order, and the sim is
+    // deterministic). A sequential fallback runs the multithreaded native
+    // kernel on both sides, whose f64 reduction order is not guaranteed
+    // reproducible across independent runs — compare with a tolerance.
+    let (single_plan, single) = plan_and_execute(&machine, x, refs, args.mode);
+    if single_plan.algorithm != plan.algorithm {
+        eprintln!("error: single-node executor planned a different algorithm");
+        return ExitCode::FAILURE;
+    }
+    let identical = if plan.algorithm.is_sequential() {
+        let diff = out.report.output.max_abs_diff(&single.output);
+        println!(
+            "numeric check        dist (sequential fallback) vs single-node \
+             plan_and_execute ([{}]): max |diff| = {diff:.2e}",
+            single.backend
+        );
+        diff < 1e-12
+    } else {
+        let same = out.report.output.data() == single.output.data();
+        println!(
+            "bitwise check        dist output {} single-node plan_and_execute ([{}])",
+            if same {
+                "bit-identical to"
+            } else {
+                "DIFFERS from"
+            },
+            single.backend
+        );
+        same
+    };
+
+    // Gate 2: measured traffic == netsim-predicted schedule, collective by
+    // collective, on every rank.
+    let mut schedule_ok = true;
+    if let Some(predicted) = DistBackend::predicted_schedule(&plan) {
+        println!("\nper-rank traffic (measured == predicted, words sent/received):");
+        for (me, ledger) in out.ledgers.iter().enumerate() {
+            let ok = ledger.phases() == &predicted.ranks[me].phases[..];
+            schedule_ok &= ok;
+            let t = ledger.totals();
+            let p = predicted.ranks[me].totals();
+            println!(
+                "  rank {me:>3}: {:>8}/{:<8} predicted {:>8}/{:<8} over {} collective(s) {}",
+                t.words_sent,
+                t.words_received,
+                p.words_sent,
+                p.words_received,
+                ledger.phases().len(),
+                if ok { "ok" } else { "MISMATCH" }
+            );
+        }
+    } else {
+        println!("note: sequential plan — no communication schedule to check");
+    }
+
+    let oracle = mttkrp_reference(x, refs, args.mode);
+    let diff = out.report.output.max_abs_diff(&oracle);
+    println!("oracle check         max |diff| = {diff:.2e}");
+
+    if !identical || !schedule_ok || diff >= 1e-10 {
+        eprintln!("error: dist self-gate failed (bitwise {identical}, schedule {schedule_ok})");
+        return ExitCode::FAILURE;
+    }
     ExitCode::SUCCESS
 }
 

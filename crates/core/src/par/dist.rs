@@ -1,73 +1,10 @@
-//! Data-distribution helpers shared by the parallel algorithms: contiguous
-//! range splitting (block distributions) and chunked matrix rows.
+//! Data-distribution helpers shared by the parallel algorithms.
+//!
+//! The canonical definitions of the contiguous block splits live in
+//! [`mttkrp_netsim::schedule`] — the word-count predictions there are only
+//! valid if the simulator, the schedule, and any real runtime (the
+//! `mttkrp-dist` crate) split data identically, so there is exactly one
+//! implementation. This module re-exports them under their historical
+//! paths.
 
-/// Half-open sub-range `idx` of `[0, len)` split into `parts` contiguous
-/// pieces as evenly as possible (the first `len % parts` pieces get one
-/// extra element).
-///
-/// # Panics
-/// Panics if `parts == 0` or `idx >= parts`.
-pub fn split_range(len: usize, parts: usize, idx: usize) -> (usize, usize) {
-    assert!(parts > 0 && idx < parts, "bad split {idx}/{parts}");
-    let base = len / parts;
-    let rem = len % parts;
-    let start = idx * base + idx.min(rem);
-    let size = base + usize::from(idx < rem);
-    (start, start + size)
-}
-
-/// The sizes of all pieces of `split_range(len, parts, _)`.
-pub fn split_sizes(len: usize, parts: usize) -> Vec<usize> {
-    (0..parts)
-        .map(|i| {
-            let (a, b) = split_range(len, parts, i);
-            b - a
-        })
-        .collect()
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn even_split() {
-        assert_eq!(split_range(12, 4, 0), (0, 3));
-        assert_eq!(split_range(12, 4, 3), (9, 12));
-    }
-
-    #[test]
-    fn uneven_split_front_loaded() {
-        // 10 into 4: sizes 3,3,2,2.
-        assert_eq!(split_sizes(10, 4), vec![3, 3, 2, 2]);
-        assert_eq!(split_range(10, 4, 1), (3, 6));
-        assert_eq!(split_range(10, 4, 2), (6, 8));
-    }
-
-    #[test]
-    fn pieces_partition_the_range() {
-        for len in 0..20 {
-            for parts in 1..8 {
-                let mut covered = 0;
-                for i in 0..parts {
-                    let (a, b) = split_range(len, parts, i);
-                    assert_eq!(a, covered);
-                    covered = b;
-                }
-                assert_eq!(covered, len);
-            }
-        }
-    }
-
-    #[test]
-    fn more_parts_than_elements_gives_empty_tails() {
-        assert_eq!(split_sizes(2, 4), vec![1, 1, 0, 0]);
-        assert_eq!(split_range(2, 4, 3), (2, 2));
-    }
-
-    #[test]
-    #[should_panic]
-    fn bad_index_panics() {
-        let _ = split_range(5, 2, 2);
-    }
-}
+pub use mttkrp_netsim::schedule::{split_range, split_sizes};

@@ -19,9 +19,14 @@ use mttkrp_netsim::{collectives, CommSummary, ProcessorGrid, SimMachine};
 use mttkrp_tensor::{DenseTensor, Matrix};
 
 /// Per-rank output: global row range, global column range, row-major chunk.
-type BlockChunk = (usize, usize, usize, usize, Vec<f64>);
+///
+/// Public so real runtimes (the `mttkrp-dist` crate) can hand their rank
+/// outputs to the same assembler the simulator uses.
+pub type BlockChunk = (usize, usize, usize, usize, Vec<f64>);
 
-fn assemble_block_chunks(rows: usize, cols: usize, chunks: &[BlockChunk]) -> Matrix {
+/// Assembles rectangular chunks into a full `rows x cols` matrix, asserting
+/// that the chunks tile the output exactly (every entry produced once).
+pub fn assemble_block_chunks(rows: usize, cols: usize, chunks: &[BlockChunk]) -> Matrix {
     let mut out = Matrix::zeros(rows, cols);
     let mut covered = vec![false; rows * cols];
     for (r0, r1, c0, c1, data) in chunks {

@@ -42,9 +42,10 @@ impl ParRun {
 }
 
 pub use cp_als::{dist_cp_als, dist_cp_als_jacobi, DistCpAlsRun};
-pub use general::mttkrp_general;
+pub use general::{assemble_block_chunks, mttkrp_general, BlockChunk};
 pub use matmul::mttkrp_par_matmul;
 pub use multi::{mttkrp_all_modes_stationary, AllModesRun};
 pub use sparse::mttkrp_sparse_stationary;
 pub use stationary::mttkrp_stationary;
+pub use stationary::{assemble_row_chunks, RowChunk};
 pub use ttm::{ttm_compress_stationary, ParTtmRun};

@@ -24,10 +24,15 @@ use mttkrp_tensor::{DenseTensor, Matrix};
 
 /// Per-rank output: the global row range `[row_start, row_end)` of `B^(n)`
 /// this rank owns, and the row-major chunk data.
-pub(crate) type RowChunk = (usize, usize, Vec<f64>);
+///
+/// Public so real runtimes (the `mttkrp-dist` crate) can hand their rank
+/// outputs to the same assembler the simulator uses.
+pub type RowChunk = (usize, usize, Vec<f64>);
 
-/// Assembles row chunks (rows x `r` each) into a full `rows x r` matrix.
-pub(crate) fn assemble_row_chunks(rows: usize, r: usize, chunks: &[RowChunk]) -> Matrix {
+/// Assembles row chunks (rows x `r` each) into a full `rows x r` matrix,
+/// asserting that the chunks tile the output exactly (every row produced
+/// once).
+pub fn assemble_row_chunks(rows: usize, r: usize, chunks: &[RowChunk]) -> Matrix {
     let mut out = Matrix::zeros(rows, r);
     let mut covered = vec![false; rows];
     for (start, end, data) in chunks {

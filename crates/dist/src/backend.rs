@@ -1,0 +1,186 @@
+//! `DistBackend`: the sharded runtime behind the `mttkrp-exec` seam.
+
+use crate::runtime::{mttkrp_dist_general, mttkrp_dist_matmul, mttkrp_dist_stationary, DistRun};
+use crate::transport::TrafficLedger;
+use mttkrp_exec::{Algorithm, Backend, ExecCost, ExecReport, NativeBackend, Plan};
+use mttkrp_netsim::schedule::{self, CommSchedule};
+use mttkrp_tensor::{DenseTensor, Matrix};
+
+/// Executes parallel plans on the sharded multi-rank runtime: one thread
+/// per rank, each owning its data block, with every remote word crossing
+/// the instrumented transport.
+///
+/// The third [`Backend`] of the workspace, next to `mttkrp-exec`'s
+/// `SimBackend` and `NativeBackend`. Distributed plans (Algorithms 3/4,
+/// the parallel matmul baseline) run their real communication schedule; a
+/// *sequential* plan (including the planner's no-clean-distribution
+/// fallback) runs on a single node via the native shared-memory kernel,
+/// exactly as `plan_and_execute` would run it.
+#[derive(Clone, Debug, Default)]
+pub struct DistBackend;
+
+/// A [`DistBackend`] execution report plus the measured per-rank,
+/// per-collective traffic — what the tests compare against the netsim
+/// schedule prediction.
+#[derive(Debug)]
+pub struct DistReport {
+    /// The ordinary execution report (output, backend name, cost).
+    pub report: ExecReport,
+    /// Measured per-rank ledgers, indexed by world rank (empty for
+    /// sequential plans, which communicate nothing).
+    pub ledgers: Vec<TrafficLedger>,
+}
+
+impl DistBackend {
+    /// A dist backend (stateless; all state lives in the plan).
+    pub fn new() -> DistBackend {
+        DistBackend
+    }
+
+    /// The netsim-predicted communication schedule of `plan` — what a
+    /// faithful execution must send, collective by collective. `None` for
+    /// sequential plans (no communication).
+    pub fn predicted_schedule(plan: &Plan) -> Option<CommSchedule> {
+        let dims: Vec<usize> = plan.problem.dims.iter().map(|&d| d as usize).collect();
+        let r = plan.problem.rank as usize;
+        match &plan.algorithm {
+            Algorithm::ParStationary { grid } => {
+                Some(schedule::alg3_schedule(&dims, r, plan.mode, grid))
+            }
+            Algorithm::ParGeneral { p0, grid } => {
+                Some(schedule::alg4_schedule(&dims, r, plan.mode, *p0, grid))
+            }
+            Algorithm::ParMatmul { procs } => {
+                Some(schedule::par_matmul_schedule(&dims, r, plan.mode, *procs))
+            }
+            _ => None,
+        }
+    }
+
+    /// Executes `plan` and returns the report together with the measured
+    /// per-rank traffic ledgers.
+    pub fn run_instrumented(
+        &self,
+        plan: &Plan,
+        x: &DenseTensor,
+        factors: &[&Matrix],
+    ) -> DistReport {
+        let n = plan.mode;
+        let run: DistRun = match &plan.algorithm {
+            Algorithm::ParStationary { grid } => mttkrp_dist_stationary(x, factors, n, grid),
+            Algorithm::ParGeneral { p0, grid } => mttkrp_dist_general(x, factors, n, *p0, grid),
+            Algorithm::ParMatmul { procs } => mttkrp_dist_matmul(x, factors, n, *procs),
+            seq => {
+                // Sequential (single-node) plan: run the same native kernel
+                // `plan_and_execute` would use, sized to the plan's machine.
+                debug_assert!(seq.is_sequential());
+                let native =
+                    NativeBackend::new(plan.machine.threads, plan.machine.fast_memory_words);
+                let mut report = native.execute(plan, x, factors);
+                report.backend = "dist";
+                return DistReport {
+                    report,
+                    ledgers: Vec::new(),
+                };
+            }
+        };
+        let cost = ExecCost::ParComm {
+            max_recv_words: run.max_recv_words(),
+            max_sent_words: run.max_sent_words(),
+            total_words: run.summary.total_words,
+            ranks: run.stats.len(),
+        };
+        DistReport {
+            report: ExecReport {
+                output: run.output,
+                backend: "dist",
+                cost,
+            },
+            ledgers: run.ledgers,
+        }
+    }
+}
+
+impl Backend for DistBackend {
+    fn name(&self) -> &'static str {
+        "dist"
+    }
+
+    fn execute(&self, plan: &Plan, x: &DenseTensor, factors: &[&Matrix]) -> ExecReport {
+        self.run_instrumented(plan, x, factors).report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mttkrp_exec::{MachineSpec, Planner, SimBackend};
+    use mttkrp_tensor::{mttkrp_reference, Shape};
+
+    fn setup(dims: &[usize], r: usize, seed: u64) -> (DenseTensor, Vec<Matrix>) {
+        let shape = Shape::new(dims);
+        let x = DenseTensor::random(shape.clone(), seed);
+        let factors = dims
+            .iter()
+            .enumerate()
+            .map(|(k, &d)| Matrix::random(d, r, seed + 90 + k as u64))
+            .collect();
+        (x, factors)
+    }
+
+    #[test]
+    fn dist_backend_bitwise_matches_sim_backend() {
+        let (x, factors) = setup(&[8, 8, 8], 4, 1);
+        let refs: Vec<&Matrix> = factors.iter().collect();
+        let problem = mttkrp_core::Problem::from_shape(x.shape(), 4);
+        for ranks in [2usize, 4, 8] {
+            let plan = Planner::new(MachineSpec::distributed(ranks)).plan_executable(&problem, 0);
+            let dist = DistBackend::new().execute(&plan, &x, &refs);
+            let sim = SimBackend::new().execute(&plan, &x, &refs);
+            assert_eq!(dist.output.data(), sim.output.data(), "P = {ranks}");
+            assert_eq!(dist.backend, "dist");
+            match (&dist.cost, &sim.cost) {
+                (
+                    ExecCost::ParComm {
+                        max_recv_words: d, ..
+                    },
+                    ExecCost::ParComm {
+                        max_recv_words: s, ..
+                    },
+                ) => assert_eq!(d, s),
+                other => panic!("expected ParComm costs, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn measured_ledger_matches_predicted_schedule() {
+        let (x, factors) = setup(&[8, 8, 8], 8, 2);
+        let refs: Vec<&Matrix> = factors.iter().collect();
+        let problem = mttkrp_core::Problem::from_shape(x.shape(), 8);
+        let plan = Planner::new(MachineSpec::distributed(8)).plan_executable(&problem, 1);
+        let out = DistBackend::new().run_instrumented(&plan, &x, &refs);
+        let predicted = DistBackend::predicted_schedule(&plan).expect("parallel plan");
+        assert_eq!(out.ledgers.len(), predicted.num_ranks());
+        for (me, ledger) in out.ledgers.iter().enumerate() {
+            assert_eq!(
+                ledger.phases(),
+                &predicted.ranks[me].phases[..],
+                "rank {me}"
+            );
+        }
+    }
+
+    #[test]
+    fn sequential_plan_runs_on_one_node() {
+        let (x, factors) = setup(&[6, 5, 4], 3, 3);
+        let refs: Vec<&Matrix> = factors.iter().collect();
+        let problem = mttkrp_core::Problem::from_shape(x.shape(), 3);
+        let plan = Planner::new(MachineSpec::sequential(256)).plan(&problem, 0);
+        let out = DistBackend::new().run_instrumented(&plan, &x, &refs);
+        assert!(out.ledgers.is_empty());
+        assert_eq!(out.report.backend, "dist");
+        let oracle = mttkrp_reference(&x, &refs, 0);
+        assert!(out.report.output.max_abs_diff(&oracle) < 1e-12);
+    }
+}

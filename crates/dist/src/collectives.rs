@@ -1,0 +1,152 @@
+//! Ring collectives over the instrumented transport.
+//!
+//! There is exactly **one** implementation of the ring algorithms — the
+//! generic [`mttkrp_netsim::collectives`] rings, parameterized by the
+//! [`PeerExchange`] transport trait. This module implements the trait for
+//! the dist [`Endpoint`] and re-exposes the collectives under this
+//! crate's names, so the bitwise-identity contract between a real run and
+//! the simulator (same block routing, same deterministic reduction order)
+//! is structural: there is no second copy to drift.
+//!
+//! All collectives must be called by every member of the communicator
+//! (SPMD); block sizes may be uneven.
+
+use crate::transport::Endpoint;
+use mttkrp_netsim::collectives::{self, PeerExchange};
+use mttkrp_netsim::Comm;
+
+impl PeerExchange for Endpoint {
+    fn world_rank(&self) -> usize {
+        Endpoint::world_rank(self)
+    }
+
+    fn sendrecv(&mut self, comm: &Comm, dest: usize, data: &[f64], src: usize) -> Vec<f64> {
+        Endpoint::sendrecv(self, comm, dest, data, src)
+    }
+}
+
+/// Ring All-Gather: every rank contributes `local`; returns the
+/// concatenation of all contributions in local-index order. The shared
+/// ring of [`mttkrp_netsim::collectives::all_gather`], moving real words
+/// through the instrumented transport.
+pub fn all_gather(ep: &mut Endpoint, comm: &Comm, local: &[f64]) -> Vec<f64> {
+    collectives::all_gather(ep, comm, local)
+}
+
+/// Ring Reduce-Scatter: `data` is the concatenation of `q` segments with
+/// lengths `counts[0..q]` (in local-index order); every rank contributes a
+/// full copy of `data`, and rank `i` returns the element-wise sum of all
+/// contributions restricted to segment `i`. The shared ring of
+/// [`mttkrp_netsim::collectives::reduce_scatter`]; its deterministic
+/// reduction order makes results bitwise reproducible across runs *and*
+/// across backends.
+pub fn reduce_scatter(ep: &mut Endpoint, comm: &Comm, data: &[f64], counts: &[usize]) -> Vec<f64> {
+    collectives::reduce_scatter(ep, comm, data, counts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mttkrp_netsim::schedule::{all_gather_traffic, reduce_scatter_traffic, Phase};
+    use mttkrp_netsim::{collectives as simc, SimMachine};
+
+    /// Runs `program` SPMD over `p` dist ranks and collects outputs and
+    /// ledgers — the test-side analogue of `SimMachine::run`, sharing the
+    /// runtime's panic-safe rank driver.
+    fn run_dist<T: Send>(
+        p: usize,
+        program: impl Fn(&mut Endpoint) -> T + Send + Sync,
+    ) -> Vec<(T, crate::transport::TrafficLedger)> {
+        let (outs, ledgers) =
+            crate::runtime::run_ranks((0..p).map(|_| ()).collect(), |(), ep| program(ep));
+        outs.into_iter().zip(ledgers).collect()
+    }
+
+    #[test]
+    fn all_gather_bitwise_matches_netsim() {
+        let p = 4;
+        let mk_local = |me: usize| -> Vec<f64> {
+            (0..=me).map(|i| 0.1 + (me * 10 + i) as f64 / 7.0).collect()
+        };
+        let sim = SimMachine::new(p).run(|rank| {
+            let world = rank.world();
+            simc::all_gather(rank, &world, &mk_local(rank.world_rank()))
+        });
+        let dist = run_dist(p, |ep| {
+            ep.begin_phase(Phase::TensorAllGather);
+            let world = ep.world();
+            all_gather(ep, &world, &mk_local(ep.world_rank()))
+        });
+        for (me, (out, ledger)) in dist.iter().enumerate() {
+            assert_eq!(out, &sim.outputs[me], "rank {me} output");
+            let t = ledger.totals();
+            assert_eq!(t.words_sent, sim.stats[me].words_sent);
+            assert_eq!(t.words_received, sim.stats[me].words_received);
+            assert_eq!(t.messages_sent, sim.stats[me].messages_sent);
+        }
+    }
+
+    #[test]
+    fn reduce_scatter_bitwise_matches_netsim() {
+        let p = 5;
+        let counts = [2usize, 1, 3, 2, 1];
+        let total: usize = counts.iter().sum();
+        let mk_data = |me: usize| -> Vec<f64> {
+            (0..total)
+                .map(|i| ((me + 1) * (i + 3)) as f64 / 9.0)
+                .collect()
+        };
+        let sim = SimMachine::new(p).run(|rank| {
+            let world = rank.world();
+            simc::reduce_scatter(rank, &world, &mk_data(rank.world_rank()), &counts)
+        });
+        let dist = run_dist(p, |ep| {
+            ep.begin_phase(Phase::OutputReduceScatter);
+            let world = ep.world();
+            reduce_scatter(ep, &world, &mk_data(ep.world_rank()), &counts)
+        });
+        for (me, (out, ledger)) in dist.iter().enumerate() {
+            // Bitwise: the ring reduction order is identical.
+            assert_eq!(out, &sim.outputs[me], "rank {me} output");
+            assert_eq!(ledger.totals().words_sent, sim.stats[me].words_sent);
+        }
+    }
+
+    #[test]
+    fn measured_traffic_matches_schedule_prediction() {
+        let p = 4;
+        let sizes = [3usize, 1, 4, 2];
+        let dist = run_dist(p, |ep| {
+            let me = ep.world_rank();
+            let world = ep.world();
+            ep.begin_phase(Phase::FactorAllGather { mode: 1 });
+            let gathered = all_gather(ep, &world, &vec![1.0; sizes[me]]);
+            ep.begin_phase(Phase::OutputReduceScatter);
+            reduce_scatter(ep, &world, &gathered, &sizes)
+        });
+        for (me, (_, ledger)) in dist.iter().enumerate() {
+            let expect = [
+                all_gather_traffic(Phase::FactorAllGather { mode: 1 }, &sizes, me),
+                reduce_scatter_traffic(Phase::OutputReduceScatter, &sizes, me),
+            ];
+            assert_eq!(ledger.phases(), &expect, "rank {me}");
+        }
+    }
+
+    #[test]
+    fn singleton_collectives_move_nothing() {
+        let dist = run_dist(1, |ep| {
+            let world = ep.world();
+            ep.begin_phase(Phase::TensorAllGather);
+            let g = all_gather(ep, &world, &[1.0, 2.0]);
+            ep.begin_phase(Phase::OutputReduceScatter);
+            let r = reduce_scatter(ep, &world, &[3.0, 4.0], &[2]);
+            (g, r)
+        });
+        let ((g, r), ledger) = &dist[0];
+        assert_eq!(g, &[1.0, 2.0]);
+        assert_eq!(r, &[3.0, 4.0]);
+        assert_eq!(ledger.totals().words_sent, 0);
+        assert_eq!(ledger.totals().messages_sent, 0);
+    }
+}

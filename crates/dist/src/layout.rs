@@ -1,0 +1,366 @@
+//! Rank data layouts: what each rank *owns* before a run starts.
+//!
+//! The netsim executions in `mttkrp-core::par` are SPMD closures that may
+//! read the global operands directly (they only read what their rank owns,
+//! but nothing enforces it). Here the distribution is made physical: a
+//! sharder cuts the global tensor and factor matrices into per-rank shards
+//! — owned values, moved into the rank threads — following exactly the
+//! paper's data distributions over the [`ProcessorGrid`] layout. After
+//! sharding, the only way data crosses ranks is through the instrumented
+//! transport.
+//!
+//! The splits reuse [`mttkrp_netsim::schedule::split_range`], the same
+//! block distribution the simulator and the schedule predictions use, so
+//! all three agree word for word.
+
+use mttkrp_netsim::schedule::{check_grid, split_range, split_sizes};
+use mttkrp_netsim::ProcessorGrid;
+use mttkrp_tensor::{DenseTensor, Matrix};
+
+/// What one rank owns for Algorithm 3 (stationary tensor): its subtensor
+/// block and, for every mode `k`, its chunk of the block row
+/// `A^(k)(S^(k)_{p_k}, :)` (partitioned by rows across the mode-`k`
+/// hyperslice).
+#[derive(Clone, Debug)]
+pub struct Alg3Shard {
+    /// World rank this shard belongs to.
+    pub rank: usize,
+    /// Owned index ranges `S^(k)_{p_k}` per mode.
+    pub ranges: Vec<(usize, usize)>,
+    /// The owned (stationary) subtensor block.
+    pub x_local: DenseTensor,
+    /// Global factor row range owned per mode (also the rows of `B^(n)`
+    /// this rank ends up with after the reduce-scatter, for `k = n`).
+    pub factor_rows: Vec<(usize, usize)>,
+    /// Owned factor rows per mode, as row-major `rows x R` data (a rank
+    /// may own zero rows of a block when the hyperslice outnumbers them).
+    pub factor_chunks: Vec<Vec<f64>>,
+}
+
+/// Cuts the operands into one [`Alg3Shard`] per rank of `grid` (every
+/// `P_k` must divide `I_k`).
+pub fn shard_alg3(
+    x: &DenseTensor,
+    factors: &[&Matrix],
+    n: usize,
+    grid: &[usize],
+) -> Vec<Alg3Shard> {
+    let r = mttkrp_tensor::validate_operands(x, factors, n);
+    let shape = x.shape();
+    let order = shape.order();
+    check_grid(shape.dims(), grid);
+    let pgrid = ProcessorGrid::new(grid);
+    (0..pgrid.num_ranks())
+        .map(|me| {
+            let coords = pgrid.coords(me);
+            let ranges: Vec<(usize, usize)> = (0..order)
+                .map(|k| {
+                    let rows = shape.dim(k) / grid[k];
+                    (coords[k] * rows, (coords[k] + 1) * rows)
+                })
+                .collect();
+            let x_local = x.subtensor(&ranges);
+            let mut factor_rows = Vec::with_capacity(order);
+            let mut factor_chunks = Vec::with_capacity(order);
+            for k in 0..order {
+                let comm = pgrid.hyperslice_comm(me, k);
+                let my_idx = comm.local_index(me).expect("member of own hyperslice");
+                let block_rows = ranges[k].1 - ranges[k].0;
+                let (lo, hi) = split_range(block_rows, comm.size(), my_idx);
+                let (g0, g1) = (ranges[k].0 + lo, ranges[k].0 + hi);
+                factor_rows.push((g0, g1));
+                let mut chunk = Vec::with_capacity((g1 - g0) * r);
+                for row in g0..g1 {
+                    chunk.extend_from_slice(factors[k].row(row));
+                }
+                factor_chunks.push(chunk);
+            }
+            Alg3Shard {
+                rank: me,
+                ranges,
+                x_local,
+                factor_rows,
+                factor_chunks,
+            }
+        })
+        .collect()
+}
+
+/// What one rank owns for Algorithm 4 (general): a `1/P_0` part of its
+/// subtensor block (the tensor *is* communicated in Algorithm 4) and, for
+/// every mode, its row chunk of `A^(k)(S^(k), T_{p_0})` — the `T_{p_0}`
+/// column slice of the factor.
+#[derive(Clone, Debug)]
+pub struct Alg4Shard {
+    /// World rank this shard belongs to.
+    pub rank: usize,
+    /// Owned index ranges `S^(k)` per mode (shared by the `P_0` fiber).
+    pub ranges: Vec<(usize, usize)>,
+    /// Owned flat slice `[t_lo, t_hi)` of the subtensor's colex data.
+    pub part_range: (usize, usize),
+    /// The owned subtensor part (colex order within the block).
+    pub tensor_part: Vec<f64>,
+    /// Owned column range `T_{p_0} = [c_lo, c_hi)` of every factor.
+    pub col_range: (usize, usize),
+    /// Global factor row range owned per mode.
+    pub factor_rows: Vec<(usize, usize)>,
+    /// Owned factor chunks per mode, as row-major `rows x R/P_0` data.
+    pub factor_chunks: Vec<Vec<f64>>,
+}
+
+/// Cuts the operands into one [`Alg4Shard`] per rank of the `(N+1)`-way
+/// grid `P_0 x P_1 x ... x P_N` (`p0` must divide `R`; every `P_k` must
+/// divide `I_k`).
+pub fn shard_alg4(
+    x: &DenseTensor,
+    factors: &[&Matrix],
+    n: usize,
+    p0: usize,
+    grid: &[usize],
+) -> Vec<Alg4Shard> {
+    let r = mttkrp_tensor::validate_operands(x, factors, n);
+    let shape = x.shape();
+    let order = shape.order();
+    check_grid(shape.dims(), grid);
+    assert!(
+        p0 >= 1 && r.is_multiple_of(p0),
+        "P_0 = {p0} must divide R = {r}"
+    );
+    let mut gdims = Vec::with_capacity(order + 1);
+    gdims.push(p0);
+    gdims.extend_from_slice(grid);
+    let pgrid = ProcessorGrid::new(&gdims);
+    let cols_per_part = r / p0;
+
+    // Grid dimension 0 (the rank cut) is fastest in the colex rank
+    // linearization, so each run of `p0` consecutive world ranks shares one
+    // subtensor block — extract it once per fiber, not once per rank.
+    let mut sub_cache: Option<mttkrp_tensor::DenseTensor> = None;
+    (0..pgrid.num_ranks())
+        .map(|me| {
+            let coords = pgrid.coords(me);
+            let my_p0 = coords[0];
+            let ranges: Vec<(usize, usize)> = (0..order)
+                .map(|k| {
+                    let rows = shape.dim(k) / grid[k];
+                    (coords[k + 1] * rows, (coords[k + 1] + 1) * rows)
+                })
+                .collect();
+            let (c_lo, c_hi) = (my_p0 * cols_per_part, (my_p0 + 1) * cols_per_part);
+
+            // The owned 1/P_0 part of the subtensor's flat (colex) data.
+            let fiber = pgrid.fiber_comm(me, 0);
+            let my_fiber_idx = fiber.local_index(me).expect("member of own fiber");
+            if my_p0 == 0 {
+                sub_cache = Some(x.subtensor(&ranges));
+            }
+            let sub_full = sub_cache.as_ref().expect("fiber cache filled at p0 = 0");
+            let (t_lo, t_hi) = split_range(sub_full.num_entries(), fiber.size(), my_fiber_idx);
+            let tensor_part = sub_full.data()[t_lo..t_hi].to_vec();
+
+            let mut factor_rows = Vec::with_capacity(order);
+            let mut factor_chunks = Vec::with_capacity(order);
+            for k in 0..order {
+                let varying: Vec<usize> = (0..=order).filter(|&j| j != 0 && j != k + 1).collect();
+                let comm = pgrid.slice_comm(me, &varying);
+                let my_idx = comm.local_index(me).expect("member of own slice");
+                let block_rows = ranges[k].1 - ranges[k].0;
+                let (lo, hi) = split_range(block_rows, comm.size(), my_idx);
+                let (g0, g1) = (ranges[k].0 + lo, ranges[k].0 + hi);
+                factor_rows.push((g0, g1));
+                let mut chunk = Vec::with_capacity((g1 - g0) * cols_per_part);
+                for row in g0..g1 {
+                    chunk.extend_from_slice(&factors[k].row(row)[c_lo..c_hi]);
+                }
+                factor_chunks.push(chunk);
+            }
+            Alg4Shard {
+                rank: me,
+                ranges,
+                part_range: (t_lo, t_hi),
+                tensor_part,
+                col_range: (c_lo, c_hi),
+                factor_rows,
+                factor_chunks,
+            }
+        })
+        .collect()
+}
+
+/// What one rank owns for the 1D parallel matmul baseline: its slab of the
+/// contraction dimension (a contiguous range of the highest-index mode
+/// other than `n`) plus — per the paper's generous baseline assumptions —
+/// replicas of the non-slab factors.
+#[derive(Clone, Debug)]
+pub struct MatmulShard {
+    /// World rank this shard belongs to.
+    pub rank: usize,
+    /// The slabbed mode.
+    pub slab_mode: usize,
+    /// Owned slab range of the slab mode.
+    pub slab_range: (usize, usize),
+    /// The owned tensor slab.
+    pub x_local: DenseTensor,
+    /// Per-mode local factors: the slab rows for `slab_mode`, full replicas
+    /// otherwise (a zero placeholder for mode `n`).
+    pub local_factors: Vec<Matrix>,
+    /// Rows of `B^(n)` this rank keeps after the reduce-scatter.
+    pub out_rows: (usize, usize),
+}
+
+/// Cuts the operands into one [`MatmulShard`] per rank (`procs` must
+/// divide the slab-mode extent).
+pub fn shard_matmul(
+    x: &DenseTensor,
+    factors: &[&Matrix],
+    n: usize,
+    procs: usize,
+) -> Vec<MatmulShard> {
+    let r = mttkrp_tensor::validate_operands(x, factors, n);
+    let shape = x.shape();
+    let order = shape.order();
+    let slab_mode = (0..order).rev().find(|&k| k != n).expect("order >= 2");
+    assert!(
+        procs >= 1 && shape.dim(slab_mode).is_multiple_of(procs),
+        "processor count {procs} must divide the slab mode extent {}",
+        shape.dim(slab_mode)
+    );
+    let slab = shape.dim(slab_mode) / procs;
+    (0..procs)
+        .map(|me| {
+            let ranges: Vec<(usize, usize)> = (0..order)
+                .map(|k| {
+                    if k == slab_mode {
+                        (me * slab, (me + 1) * slab)
+                    } else {
+                        (0, shape.dim(k))
+                    }
+                })
+                .collect();
+            let x_local = x.subtensor(&ranges);
+            let local_factors: Vec<Matrix> = (0..order)
+                .map(|k| {
+                    if k == slab_mode {
+                        factors[k].row_block(me * slab, (me + 1) * slab)
+                    } else if k == n {
+                        Matrix::zeros(shape.dim(n), r)
+                    } else {
+                        factors[k].clone()
+                    }
+                })
+                .collect();
+            let out_rows = split_range(shape.dim(n), procs, me);
+            MatmulShard {
+                rank: me,
+                slab_mode,
+                slab_range: (me * slab, (me + 1) * slab),
+                x_local,
+                local_factors,
+                out_rows,
+            }
+        })
+        .collect()
+}
+
+/// The reduce-scatter segment sizes (in words) for distributing `rows`
+/// output rows of width `r` over a communicator of `q` ranks.
+pub fn output_counts(rows: usize, r: usize, q: usize) -> Vec<usize> {
+    split_sizes(rows, q).into_iter().map(|c| c * r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mttkrp_tensor::Shape;
+
+    fn setup(dims: &[usize], r: usize, seed: u64) -> (DenseTensor, Vec<Matrix>) {
+        let shape = Shape::new(dims);
+        let x = DenseTensor::random(shape.clone(), seed);
+        let factors = dims
+            .iter()
+            .enumerate()
+            .map(|(k, &d)| Matrix::random(d, r, seed + 40 + k as u64))
+            .collect();
+        (x, factors)
+    }
+
+    #[test]
+    fn alg3_shards_tile_tensor_and_factors() {
+        let (x, factors) = setup(&[4, 6, 8], 3, 1);
+        let refs: Vec<&Matrix> = factors.iter().collect();
+        let shards = shard_alg3(&x, &refs, 0, &[2, 2, 2]);
+        assert_eq!(shards.len(), 8);
+        // Subtensor blocks partition the entry count.
+        let total: usize = shards.iter().map(|s| s.x_local.num_entries()).sum();
+        assert_eq!(total, x.num_entries());
+        // Factor row chunks tile each factor exactly once: every mode-k
+        // hyperslice partitions its block row, and the P_k hyperslices
+        // cover the P_k disjoint block rows.
+        for (k, factor) in factors.iter().enumerate() {
+            let owned: usize = shards
+                .iter()
+                .map(|s| s.factor_rows[k].1 - s.factor_rows[k].0)
+                .sum();
+            assert_eq!(owned, factor.rows());
+        }
+        // Chunk values are the matching global rows.
+        for s in &shards {
+            for (k, factor) in factors.iter().enumerate() {
+                let (g0, g1) = s.factor_rows[k];
+                for (local, row) in (g0..g1).enumerate() {
+                    assert_eq!(
+                        &s.factor_chunks[k][local * 3..(local + 1) * 3],
+                        factor.row(row)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn alg4_shards_tile_the_fibered_tensor() {
+        let (x, factors) = setup(&[4, 4, 6], 6, 2);
+        let refs: Vec<&Matrix> = factors.iter().collect();
+        let p0 = 3;
+        let shards = shard_alg4(&x, &refs, 1, p0, &[2, 2, 1]);
+        assert_eq!(shards.len(), 12);
+        // Tensor parts over one fiber reassemble the subtensor exactly once:
+        // total owned entries = |X| (each block cut into p0 disjoint parts).
+        let total: usize = shards.iter().map(|s| s.tensor_part.len()).sum();
+        assert_eq!(total, x.num_entries());
+        // Column ranges tile [0, R) per fiber.
+        for s in &shards {
+            let cols = s.col_range.1 - s.col_range.0;
+            assert_eq!(cols, 6 / p0);
+            for (k, m) in s.factor_chunks.iter().enumerate() {
+                let rows = s.factor_rows[k].1 - s.factor_rows[k].0;
+                assert_eq!(m.len(), rows * cols);
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_shards_slab_the_right_mode() {
+        let (x, factors) = setup(&[4, 6, 8], 2, 3);
+        let refs: Vec<&Matrix> = factors.iter().collect();
+        // n = 2 (the last mode): the slab must use mode 1.
+        let shards = shard_matmul(&x, &refs, 2, 3);
+        assert_eq!(shards.len(), 3);
+        for s in &shards {
+            assert_eq!(s.slab_mode, 1);
+            assert_eq!(s.x_local.shape().dims(), &[4, 2, 8]);
+            assert_eq!(s.local_factors[1].rows(), 2);
+            assert_eq!(s.local_factors[0].rows(), 4);
+        }
+        let out_total: usize = shards.iter().map(|s| s.out_rows.1 - s.out_rows.0).sum();
+        assert_eq!(out_total, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide")]
+    fn non_dividing_grid_rejected() {
+        let (x, factors) = setup(&[5, 4, 4], 2, 4);
+        let refs: Vec<&Matrix> = factors.iter().collect();
+        let _ = shard_alg3(&x, &refs, 0, &[2, 2, 2]);
+    }
+}

@@ -1,0 +1,390 @@
+//! The sharded runtime: `P` rank threads executing the paper's parallel
+//! MTTKRP algorithms over the instrumented transport.
+//!
+//! Each entry point shards the operands ([`crate::layout`]), moves one
+//! shard into each rank thread, runs the algorithm's communication
+//! schedule with the real ring collectives ([`crate::collectives`]), and
+//! assembles the per-rank output chunks with the same assemblers the
+//! simulator uses. Because the shards, the collectives, and the local
+//! kernel are all identical to the netsim execution, the assembled output
+//! is **bitwise identical** to [`mttkrp_core::par`]'s simulated runs — and
+//! the measured per-rank traffic equals the predicted
+//! [`mttkrp_netsim::schedule::CommSchedule`] collective by collective.
+
+use crate::collectives::{all_gather, reduce_scatter};
+use crate::layout::{output_counts, shard_alg3, shard_alg4, shard_matmul};
+use crate::transport::{wire, Endpoint, TrafficLedger};
+use mttkrp_core::kernels::local_mttkrp;
+use mttkrp_core::par::{assemble_block_chunks, assemble_row_chunks, BlockChunk, RowChunk};
+use mttkrp_netsim::schedule::{split_range, Phase};
+use mttkrp_netsim::{CommStats, CommSummary, ProcessorGrid};
+use mttkrp_tensor::{DenseTensor, Matrix, Shape};
+
+/// Result of a sharded multi-rank MTTKRP run.
+#[derive(Debug)]
+pub struct DistRun {
+    /// The assembled global output `B^(n)` (`I_n x R`).
+    pub output: Matrix,
+    /// Measured per-rank communication totals, indexed by world rank.
+    pub stats: Vec<CommStats>,
+    /// Measured per-rank, per-collective traffic, indexed by world rank.
+    pub ledgers: Vec<TrafficLedger>,
+    /// Aggregate summary (max/total words over ranks).
+    pub summary: CommSummary,
+}
+
+impl DistRun {
+    /// Maximum over ranks of words received — the per-processor bandwidth
+    /// cost the paper's Eqs. (14)/(18) count.
+    pub fn max_recv_words(&self) -> u64 {
+        self.stats
+            .iter()
+            .map(|s| s.words_received)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Maximum over ranks of words sent.
+    pub fn max_sent_words(&self) -> u64 {
+        self.stats.iter().map(|s| s.words_sent).max().unwrap_or(0)
+    }
+}
+
+/// Runs `program` SPMD: one OS thread per shard, each with its endpoint.
+/// Outputs and ledgers are indexed by world rank.
+///
+/// A rank panic propagates *without deadlocking the machine*: the dying
+/// rank poisons every peer's mailbox ([`Endpoint::poison_all`]), so ranks
+/// blocked in a collective abort instead of waiting forever for messages
+/// that will never come; every thread is then joined (claiming all the
+/// chained panics) and the original payload is re-thrown.
+pub(crate) fn run_ranks<S: Send, T: Send>(
+    shards: Vec<S>,
+    program: impl Fn(S, &mut Endpoint) -> T + Send + Sync,
+) -> (Vec<T>, Vec<TrafficLedger>) {
+    let p = shards.len();
+    let endpoints = wire(p);
+    let program = &program;
+    let mut results: Vec<Result<(T, TrafficLedger), Box<dyn std::any::Any + Send>>> =
+        Vec::with_capacity(p);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(p);
+        for (shard, mut ep) in shards.into_iter().zip(endpoints) {
+            handles.push(scope.spawn(move || {
+                let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    program(shard, &mut ep)
+                }));
+                match out {
+                    Ok(out) => (out, ep.finish()),
+                    Err(payload) => {
+                        ep.poison_all();
+                        std::panic::resume_unwind(payload);
+                    }
+                }
+            }));
+        }
+        // Join *every* handle before propagating anything, so no panic is
+        // left unclaimed for the scope to trip over during unwinding.
+        for handle in handles {
+            results.push(handle.join());
+        }
+    });
+    if results.iter().any(Result::is_err) {
+        // Prefer an original panic over the chained "peer rank panicked"
+        // aborts it provoked on blocked ranks.
+        let mut errs: Vec<_> = results.into_iter().filter_map(Result::err).collect();
+        let original = errs
+            .iter()
+            .position(|p| match p.downcast_ref::<String>() {
+                Some(msg) => !msg.contains("panicked mid-run"),
+                None => true,
+            })
+            .unwrap_or(0);
+        std::panic::resume_unwind(errs.swap_remove(original));
+    }
+    let mut outputs = Vec::with_capacity(p);
+    let mut ledgers = Vec::with_capacity(p);
+    for res in results {
+        let Ok((out, ledger)) = res else {
+            unreachable!("error case handled above")
+        };
+        outputs.push(out);
+        ledgers.push(ledger);
+    }
+    (outputs, ledgers)
+}
+
+fn finish(output: Matrix, ledgers: Vec<TrafficLedger>) -> DistRun {
+    let stats: Vec<CommStats> = ledgers.iter().map(TrafficLedger::totals).collect();
+    let summary = CommSummary::from_ranks(&stats);
+    DistRun {
+        output,
+        stats,
+        ledgers,
+        summary,
+    }
+}
+
+/// Algorithm 3 (stationary tensor) on `P = prod(grid)` rank threads, each
+/// owning its shard. `factors[n]` is ignored; every `P_k` must divide
+/// `I_k`.
+pub fn mttkrp_dist_stationary(
+    x: &DenseTensor,
+    factors: &[&Matrix],
+    n: usize,
+    grid: &[usize],
+) -> DistRun {
+    let r = mttkrp_tensor::validate_operands(x, factors, n);
+    let order = x.order();
+    let shards = shard_alg3(x, factors, n, grid);
+    let pgrid = ProcessorGrid::new(grid);
+    let pgrid = &pgrid;
+
+    let (chunks, ledgers) = run_ranks(shards, move |shard, ep| -> RowChunk {
+        let me = shard.rank;
+        // Line 4: All-Gather each input factor's block row across the
+        // mode-k hyperslice from the per-rank owned chunks.
+        let mut gathered: Vec<Matrix> = Vec::with_capacity(order);
+        for k in 0..order {
+            let block_rows = shard.ranges[k].1 - shard.ranges[k].0;
+            if k == n {
+                gathered.push(Matrix::zeros(block_rows, r));
+                continue;
+            }
+            ep.begin_phase(Phase::FactorAllGather { mode: k });
+            let comm = pgrid.hyperslice_comm(me, k);
+            let full = all_gather(ep, &comm, &shard.factor_chunks[k]);
+            assert_eq!(full.len(), block_rows * r);
+            gathered.push(Matrix::from_rows_vec(block_rows, r, full));
+        }
+
+        // Line 6: local MTTKRP on the owned (stationary) subtensor.
+        let refs: Vec<&Matrix> = gathered.iter().collect();
+        let c_local = local_mttkrp(&shard.x_local, &refs, n);
+
+        // Line 7: Reduce-Scatter across the mode-n hyperslice.
+        ep.begin_phase(Phase::OutputReduceScatter);
+        let comm_n = pgrid.hyperslice_comm(me, n);
+        let block_rows = shard.ranges[n].1 - shard.ranges[n].0;
+        let counts = output_counts(block_rows, r, comm_n.size());
+        let mine = reduce_scatter(ep, &comm_n, c_local.data(), &counts);
+        let (g0, g1) = shard.factor_rows[n];
+        (g0, g1, mine)
+    });
+    finish(assemble_row_chunks(x.shape().dim(n), r, &chunks), ledgers)
+}
+
+/// Algorithm 4 (general) on `P = p0 * prod(grid)` rank threads. `p0` must
+/// divide `R`; every `P_k` must divide `I_k`; `factors[n]` is ignored.
+pub fn mttkrp_dist_general(
+    x: &DenseTensor,
+    factors: &[&Matrix],
+    n: usize,
+    p0: usize,
+    grid: &[usize],
+) -> DistRun {
+    let r = mttkrp_tensor::validate_operands(x, factors, n);
+    let order = x.order();
+    let cols_per_part = r / p0.max(1);
+    let shards = shard_alg4(x, factors, n, p0, grid);
+    let mut gdims = Vec::with_capacity(order + 1);
+    gdims.push(p0);
+    gdims.extend_from_slice(grid);
+    let pgrid = ProcessorGrid::new(&gdims);
+    let pgrid = &pgrid;
+
+    let (chunks, ledgers) = run_ranks(shards, move |shard, ep| -> BlockChunk {
+        let me = shard.rank;
+        // Line 3: All-Gather the subtensor parts across the rank-dimension
+        // fiber, materializing the full block.
+        ep.begin_phase(Phase::TensorAllGather);
+        let fiber = pgrid.fiber_comm(me, 0);
+        let gathered_tensor = all_gather(ep, &fiber, &shard.tensor_part);
+        let sub_dims: Vec<usize> = shard.ranges.iter().map(|&(a, b)| b - a).collect();
+        let sub_shape = Shape::new(&sub_dims);
+        assert_eq!(gathered_tensor.len(), sub_shape.num_entries());
+        let x_local = DenseTensor::from_vec(sub_shape, gathered_tensor);
+
+        // Line 5: All-Gather the factor chunks A^(k)(S^(k), T_{p0}) across
+        // the slice {p' : p'_0 = p_0, p'_k = p_k}.
+        let mut gathered: Vec<Matrix> = Vec::with_capacity(order);
+        for k in 0..order {
+            let block_rows = shard.ranges[k].1 - shard.ranges[k].0;
+            if k == n {
+                gathered.push(Matrix::zeros(block_rows, cols_per_part));
+                continue;
+            }
+            ep.begin_phase(Phase::FactorAllGather { mode: k });
+            let varying: Vec<usize> = (0..=order).filter(|&j| j != 0 && j != k + 1).collect();
+            let comm = pgrid.slice_comm(me, &varying);
+            let full = all_gather(ep, &comm, &shard.factor_chunks[k]);
+            assert_eq!(full.len(), block_rows * cols_per_part);
+            gathered.push(Matrix::from_rows_vec(block_rows, cols_per_part, full));
+        }
+
+        // Line 7: local MTTKRP over the gathered subtensor and the T_{p0}
+        // columns of the gathered factor blocks.
+        let refs: Vec<&Matrix> = gathered.iter().collect();
+        let c_local = local_mttkrp(&x_local, &refs, n);
+
+        // Line 8: Reduce-Scatter across {p' : p'_0 = p_0, p'_n = p_n}.
+        ep.begin_phase(Phase::OutputReduceScatter);
+        let varying: Vec<usize> = (0..=order).filter(|&j| j != 0 && j != n + 1).collect();
+        let comm_n = pgrid.slice_comm(me, &varying);
+        let block_rows = shard.ranges[n].1 - shard.ranges[n].0;
+        let counts = output_counts(block_rows, cols_per_part, comm_n.size());
+        let mine = reduce_scatter(ep, &comm_n, c_local.data(), &counts);
+        let (g0, g1) = shard.factor_rows[n];
+        (g0, g1, shard.col_range.0, shard.col_range.1, mine)
+    });
+    finish(assemble_block_chunks(x.shape().dim(n), r, &chunks), ledgers)
+}
+
+/// The 1D parallel matmul baseline on `procs` rank threads. `procs` must
+/// divide the slab-mode extent; `factors[n]` is ignored.
+pub fn mttkrp_dist_matmul(x: &DenseTensor, factors: &[&Matrix], n: usize, procs: usize) -> DistRun {
+    let r = mttkrp_tensor::validate_operands(x, factors, n);
+    let i_n = x.shape().dim(n);
+    let shards = shard_matmul(x, factors, n, procs);
+
+    let (chunks, ledgers) = run_ranks(shards, move |shard, ep| -> RowChunk {
+        // Local partial product over the owned slab.
+        let refs: Vec<&Matrix> = shard.local_factors.iter().collect();
+        let partial = local_mttkrp(&shard.x_local, &refs, n);
+
+        // Reduce-Scatter the I_n x R partials across all ranks.
+        ep.begin_phase(Phase::OutputReduceScatter);
+        let world = ep.world();
+        let counts = output_counts(i_n, r, procs);
+        let mine = reduce_scatter(ep, &world, partial.data(), &counts);
+        let (lo, hi) = split_range(i_n, procs, shard.rank);
+        (lo, hi, mine)
+    });
+    finish(assemble_row_chunks(i_n, r, &chunks), ledgers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mttkrp_core::par;
+    use mttkrp_netsim::schedule;
+    use mttkrp_tensor::mttkrp_reference;
+
+    fn setup(dims: &[usize], r: usize, seed: u64) -> (DenseTensor, Vec<Matrix>) {
+        let shape = Shape::new(dims);
+        let x = DenseTensor::random(shape.clone(), seed);
+        let factors = dims
+            .iter()
+            .enumerate()
+            .map(|(k, &d)| Matrix::random(d, r, seed + 40 + k as u64))
+            .collect();
+        (x, factors)
+    }
+
+    #[test]
+    fn stationary_bitwise_matches_netsim_and_oracle() {
+        let (x, factors) = setup(&[4, 6, 8], 3, 1);
+        let refs: Vec<&Matrix> = factors.iter().collect();
+        for n in 0..3 {
+            let dist = mttkrp_dist_stationary(&x, &refs, n, &[2, 2, 2]);
+            let sim = par::mttkrp_stationary(&x, &refs, n, &[2, 2, 2]);
+            // Bitwise: same shards, same ring order, same kernel.
+            assert_eq!(dist.output.data(), sim.output.data(), "mode {n}");
+            // And per-rank traffic identical to the simulator's counters.
+            assert_eq!(dist.stats, sim.stats, "mode {n}");
+            let oracle = mttkrp_reference(&x, &refs, n);
+            assert!(dist.output.max_abs_diff(&oracle) < 1e-10, "mode {n}");
+        }
+    }
+
+    #[test]
+    fn stationary_traffic_matches_schedule_phase_by_phase() {
+        let (x, factors) = setup(&[6, 6, 6], 2, 2);
+        let refs: Vec<&Matrix> = factors.iter().collect();
+        let dist = mttkrp_dist_stationary(&x, &refs, 0, &[2, 2, 2]);
+        let predicted = schedule::alg3_schedule(&[6, 6, 6], 2, 0, &[2, 2, 2]);
+        for (me, ledger) in dist.ledgers.iter().enumerate() {
+            assert_eq!(
+                ledger.phases(),
+                &predicted.ranks[me].phases[..],
+                "rank {me}"
+            );
+        }
+    }
+
+    #[test]
+    fn general_bitwise_matches_netsim_and_schedule() {
+        let (x, factors) = setup(&[4, 4, 6], 6, 3);
+        let refs: Vec<&Matrix> = factors.iter().collect();
+        for n in 0..3 {
+            let dist = mttkrp_dist_general(&x, &refs, n, 3, &[2, 2, 1]);
+            let sim = par::mttkrp_general(&x, &refs, n, 3, &[2, 2, 1]);
+            assert_eq!(dist.output.data(), sim.output.data(), "mode {n}");
+            assert_eq!(dist.stats, sim.stats, "mode {n}");
+            let predicted = schedule::alg4_schedule(&[4, 4, 6], 6, n, 3, &[2, 2, 1]);
+            for (me, ledger) in dist.ledgers.iter().enumerate() {
+                assert_eq!(ledger.phases(), &predicted.ranks[me].phases[..]);
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_baseline_bitwise_matches_netsim() {
+        let (x, factors) = setup(&[4, 6, 8], 3, 4);
+        let refs: Vec<&Matrix> = factors.iter().collect();
+        for n in 0..3 {
+            let dist = mttkrp_dist_matmul(&x, &refs, n, 2);
+            let sim = par::mttkrp_par_matmul(&x, &refs, n, 2);
+            assert_eq!(dist.output.data(), sim.output.data(), "mode {n}");
+            assert_eq!(dist.stats, sim.stats, "mode {n}");
+        }
+    }
+
+    #[test]
+    fn rank_panic_propagates_instead_of_deadlocking() {
+        // Rank 1 dies before its collective while every other rank blocks
+        // in the factor all-gather waiting for it. Without poisoning, the
+        // blocked ranks would wait forever and this test would hang; with
+        // it, the run aborts and the original panic propagates.
+        let result = std::panic::catch_unwind(|| {
+            run_ranks((0..4usize).collect(), |me, ep| {
+                let world = ep.world();
+                ep.begin_phase(Phase::TensorAllGather);
+                if me == 1 {
+                    panic!("deliberate failure injection");
+                }
+                crate::collectives::all_gather(ep, &world, &[me as f64])
+            })
+        });
+        let payload = result.expect_err("the rank panic must propagate");
+        let msg = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .map(str::to_owned)
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert!(
+            msg.contains("deliberate failure injection"),
+            "expected the original panic, got: {msg}"
+        );
+    }
+
+    #[test]
+    fn single_rank_runs_without_communication() {
+        let (x, factors) = setup(&[3, 4, 5], 2, 5);
+        let refs: Vec<&Matrix> = factors.iter().collect();
+        let run = mttkrp_dist_stationary(&x, &refs, 1, &[1, 1, 1]);
+        assert_eq!(run.summary.total_words, 0);
+        let oracle = mttkrp_reference(&x, &refs, 1);
+        assert!(run.output.max_abs_diff(&oracle) < 1e-10);
+    }
+
+    #[test]
+    fn order4_general_with_p0() {
+        let (x, factors) = setup(&[4, 2, 4, 2], 4, 6);
+        let refs: Vec<&Matrix> = factors.iter().collect();
+        let dist = mttkrp_dist_general(&x, &refs, 2, 2, &[2, 1, 2, 1]);
+        let sim = par::mttkrp_general(&x, &refs, 2, 2, &[2, 1, 2, 1]);
+        assert_eq!(dist.output.data(), sim.output.data());
+    }
+}

@@ -1,0 +1,338 @@
+//! The instrumented message transport between ranks.
+//!
+//! Unlike the netsim [`mttkrp_netsim::Rank`] — whose job is to *count*
+//! words on a simulated machine whose rank programs may freely read the
+//! global operands — this transport is the communication fabric of a
+//! runtime where each rank *owns* its shard and every remote word really
+//! crosses a channel. Messages are typed packets tagged with the sending
+//! rank and the [`Comm`] id (the same deterministic id the simulator
+//! computes), and a per-rank reorder buffer preserves the per-(sender,
+//! communicator) FIFO order MPI guarantees.
+//!
+//! Every send and receive is charged to the *current phase* of the rank's
+//! [`TrafficLedger`] — the collective the runtime is executing — so a
+//! finished run can be compared against the netsim-predicted
+//! [`mttkrp_netsim::schedule::CommSchedule`] collective by collective, not
+//! just in total.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use mttkrp_netsim::schedule::{sum_phase_traffic, Phase, PhaseTraffic};
+use mttkrp_netsim::{Comm, CommStats};
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+/// A typed message in flight: who sent it, on which communicator, and the
+/// payload words. A `poison` packet carries no data — it tells the
+/// receiver that the sending rank panicked, so blocking on further
+/// messages is hopeless and the receiver must abort too.
+struct Packet {
+    from: usize,
+    comm_id: u64,
+    payload: Vec<f64>,
+    poison: bool,
+}
+
+/// The shared wiring of the machine: one sender handle per rank.
+struct Wiring {
+    senders: Vec<Sender<Packet>>,
+}
+
+/// Measured per-collective traffic of one rank, accumulated by its
+/// [`Endpoint`] as the run executes.
+///
+/// The ledger is a sequence of [`PhaseTraffic`] records in execution order
+/// — the same vocabulary as the netsim schedule predictions, so a faithful
+/// run satisfies `ledger.phases() == predicted.phases` exactly.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TrafficLedger {
+    phases: Vec<PhaseTraffic>,
+}
+
+impl TrafficLedger {
+    /// The per-collective records, in execution order.
+    pub fn phases(&self) -> &[PhaseTraffic] {
+        &self.phases
+    }
+
+    /// Sum over all phases — directly comparable to a netsim
+    /// [`CommStats`], aggregated by the same
+    /// [`sum_phase_traffic`] the schedule predictions use.
+    pub fn totals(&self) -> CommStats {
+        sum_phase_traffic(&self.phases)
+    }
+
+    fn open(&mut self, phase: Phase) {
+        self.phases.push(PhaseTraffic {
+            phase,
+            words_sent: 0,
+            words_received: 0,
+            messages_sent: 0,
+        });
+    }
+
+    fn current(&mut self) -> &mut PhaseTraffic {
+        self.phases
+            .last_mut()
+            .expect("transport used outside a phase: call begin_phase first")
+    }
+}
+
+/// One rank's handle onto the transport: its identity, mailbox, reorder
+/// buffer, and traffic ledger. Created by [`wire`] and moved into the
+/// rank's thread.
+pub struct Endpoint {
+    world_rank: usize,
+    p: usize,
+    wiring: Arc<Wiring>,
+    receiver: Receiver<Packet>,
+    pending: HashMap<(usize, u64), VecDeque<Vec<f64>>>,
+    ledger: TrafficLedger,
+}
+
+/// Creates the wiring for `p` ranks and returns one [`Endpoint`] per rank,
+/// indexed by world rank.
+pub fn wire(p: usize) -> Vec<Endpoint> {
+    assert!(p >= 1, "need at least one rank");
+    let mut senders = Vec::with_capacity(p);
+    let mut receivers = Vec::with_capacity(p);
+    for _ in 0..p {
+        let (s, r) = unbounded();
+        senders.push(s);
+        receivers.push(r);
+    }
+    let wiring = Arc::new(Wiring { senders });
+    receivers
+        .into_iter()
+        .enumerate()
+        .map(|(world_rank, receiver)| Endpoint {
+            world_rank,
+            p,
+            wiring: Arc::clone(&wiring),
+            receiver,
+            pending: HashMap::new(),
+            ledger: TrafficLedger::default(),
+        })
+        .collect()
+}
+
+impl Endpoint {
+    /// This rank's world rank in `[0, P)`.
+    pub fn world_rank(&self) -> usize {
+        self.world_rank
+    }
+
+    /// Total number of ranks `P`.
+    pub fn num_ranks(&self) -> usize {
+        self.p
+    }
+
+    /// The world communicator.
+    pub fn world(&self) -> Comm {
+        Comm::world(self.p)
+    }
+
+    /// Opens a new ledger phase; subsequent traffic is charged to it.
+    pub fn begin_phase(&mut self, phase: Phase) {
+        self.ledger.open(phase);
+    }
+
+    /// The traffic recorded so far.
+    pub fn ledger(&self) -> &TrafficLedger {
+        &self.ledger
+    }
+
+    fn assert_member(&self, comm: &Comm) {
+        assert!(
+            comm.local_index(self.world_rank).is_some(),
+            "rank {} is not a member of this communicator",
+            self.world_rank
+        );
+    }
+
+    /// Sends `data` to the rank with local index `dest` in `comm`,
+    /// charging `data.len()` words to the current phase.
+    pub fn send(&mut self, comm: &Comm, dest: usize, data: &[f64]) {
+        self.assert_member(comm);
+        let dest_world = comm.world_rank(dest);
+        let t = self.ledger.current();
+        t.words_sent += data.len() as u64;
+        t.messages_sent += 1;
+        self.wiring.senders[dest_world]
+            .send(Packet {
+                from: self.world_rank,
+                comm_id: comm.id(),
+                payload: data.to_vec(),
+                poison: false,
+            })
+            .expect("transport closed unexpectedly");
+    }
+
+    /// Notifies every other rank that this rank is dying (panicked), so
+    /// peers blocked in [`Endpoint::recv`] abort instead of waiting
+    /// forever for messages that will never come. Called by the runtime's
+    /// panic handler; the resulting peer panics chain transitively, so the
+    /// whole machine winds down and the original panic can propagate.
+    pub fn poison_all(&self) {
+        for (dest, sender) in self.wiring.senders.iter().enumerate() {
+            if dest == self.world_rank {
+                continue;
+            }
+            // A dying peer may already be gone; ignore closed channels.
+            let _ = sender.send(Packet {
+                from: self.world_rank,
+                comm_id: 0,
+                payload: Vec::new(),
+                poison: true,
+            });
+        }
+    }
+
+    /// Receives the next message from local rank `src` on `comm`
+    /// (blocking), charging its length to the current phase.
+    pub fn recv(&mut self, comm: &Comm, src: usize) -> Vec<f64> {
+        self.assert_member(comm);
+        let src_world = comm.world_rank(src);
+        let key = (src_world, comm.id());
+        loop {
+            if let Some(queue) = self.pending.get_mut(&key) {
+                if let Some(data) = queue.pop_front() {
+                    self.ledger.current().words_received += data.len() as u64;
+                    return data;
+                }
+            }
+            let pkt = self
+                .receiver
+                .recv()
+                .expect("transport closed while waiting for a message");
+            assert!(
+                !pkt.poison,
+                "rank {} aborting: peer rank {} panicked mid-run",
+                self.world_rank, pkt.from
+            );
+            self.pending
+                .entry((pkt.from, pkt.comm_id))
+                .or_default()
+                .push_back(pkt.payload);
+        }
+    }
+
+    /// Simultaneous exchange: send to `dest`, then receive from `src`
+    /// (both local indices in `comm`). The unbounded mailboxes make the
+    /// send non-blocking, so this cannot deadlock.
+    pub fn sendrecv(&mut self, comm: &Comm, dest: usize, data: &[f64], src: usize) -> Vec<f64> {
+        self.send(comm, dest, data);
+        self.recv(comm, src)
+    }
+
+    /// Consumes the endpoint, asserting quiescence (no undelivered
+    /// messages), and returns its ledger.
+    pub fn finish(mut self) -> TrafficLedger {
+        while let Ok(pkt) = self.receiver.try_recv() {
+            // A poison from a dying peer after this rank already finished
+            // its program is not a protocol violation of *this* rank; the
+            // peer's own panic is already propagating.
+            if pkt.poison {
+                continue;
+            }
+            self.pending
+                .entry((pkt.from, pkt.comm_id))
+                .or_default()
+                .push_back(pkt.payload);
+        }
+        let leftover: usize = self.pending.values().map(|q| q.len()).sum();
+        assert_eq!(
+            leftover, 0,
+            "rank {} finished with {} unconsumed message(s)",
+            self.world_rank, leftover
+        );
+        self.ledger
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_recv_moves_data_and_charges_phase() {
+        let mut eps = wire(2);
+        let mut e1 = eps.pop().unwrap();
+        let mut e0 = eps.pop().unwrap();
+        let world = e0.world();
+        e0.begin_phase(Phase::TensorAllGather);
+        e1.begin_phase(Phase::TensorAllGather);
+        e0.send(&world, 1, &[1.0, 2.0, 3.0]);
+        assert_eq!(e1.recv(&world, 0), vec![1.0, 2.0, 3.0]);
+        let l0 = e0.finish();
+        let l1 = e1.finish();
+        assert_eq!(l0.phases()[0].words_sent, 3);
+        assert_eq!(l0.phases()[0].messages_sent, 1);
+        assert_eq!(l1.phases()[0].words_received, 3);
+        assert_eq!(l0.totals().words_sent, 3);
+    }
+
+    #[test]
+    fn traffic_lands_in_the_open_phase() {
+        let mut eps = wire(2);
+        let mut e1 = eps.pop().unwrap();
+        let mut e0 = eps.pop().unwrap();
+        let world = e0.world();
+        for phase in [
+            Phase::FactorAllGather { mode: 0 },
+            Phase::OutputReduceScatter,
+        ] {
+            e0.begin_phase(phase);
+            e1.begin_phase(phase);
+            e0.send(&world, 1, &[4.0]);
+            let _ = e1.recv(&world, 0);
+        }
+        let l0 = e0.finish();
+        let l1 = e1.finish();
+        assert_eq!(l0.phases().len(), 2);
+        assert_eq!(l0.phases()[0].phase, Phase::FactorAllGather { mode: 0 });
+        assert_eq!(l0.phases()[0].words_sent, 1);
+        assert_eq!(l0.phases()[1].phase, Phase::OutputReduceScatter);
+        assert_eq!(l0.phases()[1].words_sent, 1);
+        assert_eq!(l1.phases()[1].words_received, 1);
+    }
+
+    #[test]
+    fn messages_on_different_comms_do_not_mix() {
+        let mut eps = wire(2);
+        let mut e1 = eps.pop().unwrap();
+        let mut e0 = eps.pop().unwrap();
+        let world = e0.world();
+        let sub = Comm::subset(vec![0, 1], 99);
+        e0.begin_phase(Phase::TensorAllGather);
+        e1.begin_phase(Phase::TensorAllGather);
+        e0.send(&world, 1, &[1.0]);
+        e0.send(&sub, 1, &[2.0]);
+        // Receive in the opposite order of sending: selection by comm works.
+        assert_eq!(e1.recv(&sub, 0), vec![2.0]);
+        assert_eq!(e1.recv(&world, 0), vec![1.0]);
+        e0.finish();
+        e1.finish();
+    }
+
+    #[test]
+    #[should_panic(expected = "unconsumed")]
+    fn quiescence_check_catches_leftovers() {
+        let mut eps = wire(2);
+        let e1 = eps.pop().unwrap();
+        let mut e0 = eps.pop().unwrap();
+        let world = e0.world();
+        e0.begin_phase(Phase::TensorAllGather);
+        e0.send(&world, 1, &[1.0]);
+        e1.finish();
+    }
+
+    #[test]
+    #[should_panic(expected = "outside a phase")]
+    fn traffic_outside_a_phase_is_rejected() {
+        let mut eps = wire(2);
+        let _e1 = eps.pop().unwrap();
+        let mut e0 = eps.pop().unwrap();
+        let world = e0.world();
+        e0.send(&world, 1, &[1.0]);
+    }
+}

@@ -71,7 +71,10 @@ pub struct ExecReport {
 /// - [`crate::SimBackend`] replays the plan on the strict machine-model
 ///   simulators and reports exact word counts;
 /// - [`crate::NativeBackend`] runs a cache-tiled rayon kernel at hardware
-///   speed and reports wall-clock time.
+///   speed and reports wall-clock time;
+/// - `mttkrp-dist`'s `DistBackend` (a downstream crate) runs distributed
+///   plans on a sharded multi-rank runtime whose instrumented transport
+///   reports the words each rank actually sent.
 pub trait Backend {
     /// Short stable name, e.g. `"sim"` or `"native"`.
     fn name(&self) -> &'static str;

@@ -10,10 +10,11 @@ use mttkrp_core::Problem;
 use mttkrp_tensor::{DenseTensor, Matrix};
 
 /// Owns a backend and runs plans on it. Construct one explicitly
-/// ([`Executor::new`]) to pin a backend, or let [`Executor::for_plan`] pick
-/// the natural target for a plan: native hardware for the sequential
-/// (single-rank) algorithms, the network simulator for the distributed
-/// ones (which only exist as simulations in this workspace).
+/// ([`Executor::new`]) to pin a backend — e.g. `mttkrp-dist`'s
+/// `DistBackend`, which executes distributed plans on a real sharded
+/// runtime — or let [`Executor::for_plan`] pick the default target for a
+/// plan: native hardware for the sequential (single-rank) algorithms, the
+/// network simulator for the distributed ones.
 pub struct Executor {
     backend: Box<dyn Backend>,
 }

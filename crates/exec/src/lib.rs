@@ -11,7 +11,8 @@
 //!    quantity the paper's lower bounds govern); [`NativeBackend`] runs a
 //!    cache-tiled, rayon-parallel dense MTTKRP at hardware speed (per-slab
 //!    parallelism over the output mode, per-thread accumulators, no
-//!    `unsafe`).
+//!    `unsafe`); the `mttkrp-dist` crate adds a `DistBackend` that runs
+//!    distributed plans on a sharded multi-rank runtime for real.
 //! 2. **[`Planner`]** — given a [`Problem`](mttkrp_core::Problem) and a
 //!    [`MachineSpec`], evaluates Eqs. (12)/(14)/(18) and the `grid_opt`
 //!    searches to choose algorithm, block size, and processor grid, and
@@ -62,7 +63,7 @@ pub use backend::{Backend, ExecCost, ExecReport};
 pub use cache::{CacheStats, PlanCache, PlanKey, ProblemKey};
 pub use executor::{execute, plan_and_execute, Executor};
 pub use machine::{MachineSpec, DEFAULT_CACHE_WORDS};
-pub use native::{mttkrp_native, native_tile, NativeBackend};
+pub use native::{mttkrp_native, native_grain, native_tile, NativeBackend, ParGrain};
 pub use plan::{Algorithm, Candidate, Plan};
 pub use planner::Planner;
 pub use sim::SimBackend;

@@ -63,12 +63,31 @@ impl MachineSpec {
     }
 
     /// A distributed machine with `ranks` processors (planned against the
-    /// paper's parallel cost models; executed on the network simulator).
+    /// paper's parallel cost models; executed on the network simulator or
+    /// the `mttkrp-dist` sharded runtime).
     pub fn distributed(ranks: usize) -> MachineSpec {
         assert!(ranks >= 1, "need at least one rank");
         MachineSpec {
             threads: 1,
             fast_memory_words: DEFAULT_CACHE_WORDS,
+            ranks,
+        }
+    }
+
+    /// A multi-node machine: `ranks` distributed processors, each node
+    /// with `threads` shared-memory cores over a fast memory of
+    /// `cache_words` words. This is the machine a `mttkrp-dist` run
+    /// executes on — the planner costs the inter-rank communication
+    /// (Algorithms 3/4 and the matmul baseline) exactly as for
+    /// [`MachineSpec::distributed`], and the per-node parameters size the
+    /// local kernel (and the sequential fallback when no clean data
+    /// distribution exists).
+    pub fn cluster(ranks: usize, threads: usize, cache_words: usize) -> MachineSpec {
+        assert!(ranks >= 1, "need at least one rank");
+        assert!(threads >= 1, "need at least one thread per node");
+        MachineSpec {
+            threads,
+            fast_memory_words: cache_words.max(1),
             ranks,
         }
     }
@@ -97,5 +116,7 @@ mod tests {
         assert_eq!(MachineSpec::sequential(64).threads, 1);
         assert_eq!(MachineSpec::shared(8, 1 << 10).threads, 8);
         assert_eq!(MachineSpec::distributed(16).ranks, 16);
+        let cluster = MachineSpec::cluster(4, 2, 1 << 12);
+        assert_eq!((cluster.ranks, cluster.threads), (4, 2));
     }
 }

@@ -14,15 +14,19 @@
 //! (`b^N + N*b*R <= M`, since a factor sub-block is `b x R` words here).
 //! Mode-0 runs inside a block stream contiguously through the tensor.
 //!
-//! Known limitation: the parallel grain is the last-mode extent `I_N` —
-//! contiguity of slabs is what makes the decomposition unsafe-free — so a
-//! tensor whose *last* mode is smaller than the thread count underuses the
-//! pool (e.g. `512 x 512 x 2` yields at most two slabs). Splitting over
-//! the largest non-output mode is tracked in the ROADMAP.
+//! Parallel grain: last-mode slabs are the preferred decomposition (the
+//! slab data is contiguous and the tiled kernel walks it cache-friendly),
+//! but a tensor whose *last* mode is smaller than the pool (e.g.
+//! `512 x 512 x 2`) cannot feed every worker that way. [`native_grain`]
+//! detects this and switches to *flat entry ranges*: the tensor's colex
+//! data is split into `~4 x threads` contiguous chunks of entries —
+//! shape-independent, so the pool is always fed — and each chunk is
+//! accumulated into a per-thread output matrix, summed in the reduction.
 
 use crate::backend::{Backend, ExecCost, ExecReport};
 use crate::machine::DEFAULT_CACHE_WORDS;
 use crate::plan::Plan;
+use mttkrp_core::par::dist::split_range;
 use mttkrp_core::seq;
 use mttkrp_tensor::{DenseTensor, Matrix};
 use rayon::prelude::*;
@@ -37,6 +41,48 @@ pub fn native_tile(m: usize, order: usize, rank: usize) -> usize {
     match order.checked_mul(rank).and_then(|f| f.checked_add(1)) {
         Some(min_words) if m >= min_words => seq::choose_block_size_with_rank(m, order, rank),
         _ => 1,
+    }
+}
+
+/// How [`mttkrp_native`] splits work across the pool.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ParGrain {
+    /// Contiguous last-mode slabs of `depth` indices each (`count` slabs
+    /// in total); the cache-tiled kernel runs within each slab.
+    LastModeSlabs {
+        /// Last-mode indices per slab.
+        depth: usize,
+        /// Number of slabs handed to the pool.
+        count: usize,
+    },
+    /// `chunks` contiguous ranges of the tensor's flat entry space, each
+    /// accumulated into a per-thread output matrix. Used when the last
+    /// mode is too short to feed the pool with slabs.
+    FlatRanges {
+        /// Number of entry ranges handed to the pool.
+        chunks: usize,
+    },
+}
+
+/// Chooses the parallel decomposition for a tensor whose last-mode extent
+/// is `i_last` and entry count is `entries`, on `threads` workers.
+///
+/// Last-mode slabs (4 per thread for load balance) whenever the last mode
+/// can feed the pool; flat entry ranges when it cannot (`i_last` below
+/// `2 x threads`), so skinny-last-mode shapes like `512 x 512 x 2` still
+/// use every worker. Single-threaded runs always take one slab pass.
+pub fn native_grain(i_last: usize, entries: usize, threads: usize) -> ParGrain {
+    let threads = threads.max(1);
+    if threads > 1 && i_last < 2 * threads {
+        ParGrain::FlatRanges {
+            chunks: (4 * threads).min(entries).max(1),
+        }
+    } else {
+        let depth = i_last.div_ceil(4 * threads).max(1);
+        ParGrain::LastModeSlabs {
+            depth,
+            count: i_last.div_ceil(depth),
+        }
     }
 }
 
@@ -137,6 +183,56 @@ impl SlabKernel<'_> {
             }
         }
     }
+
+    /// Accumulates the MTTKRP contribution of the flat entry range
+    /// `[lo, hi)` of the tensor's colex data into `out`, a row-major
+    /// `I_n x r` buffer. Work is streamed in mode-0 runs: the Hadamard
+    /// product over modes `1..N` is computed once per run and reused for
+    /// all `I_0` entries of the run.
+    fn accumulate_flat(&self, lo: usize, hi: usize, out: &mut [f64]) {
+        let (x, factors, n, r) = (self.x, self.factors, self.n, self.r);
+        let shape = x.shape();
+        let order = shape.order();
+        let i0 = shape.dim(0);
+        let data = x.data();
+        let mut idx = vec![0usize; order];
+        let mut w = vec![0.0f64; r];
+
+        let mut lin = lo;
+        while lin < hi {
+            shape.delinearize_into(lin, &mut idx);
+            let run = (i0 - idx[0]).min(hi - lin);
+            // w = Hadamard product of the participating factor rows for
+            // modes 1..N (constant along the mode-0 run).
+            w.iter_mut().for_each(|v| *v = 1.0);
+            for (k, f) in factors.iter().enumerate().skip(1) {
+                if k == n {
+                    continue;
+                }
+                for (wv, &a) in w.iter_mut().zip(f.row(idx[k])) {
+                    *wv *= a;
+                }
+            }
+            if n == 0 {
+                for (off, &xv) in data[lin..lin + run].iter().enumerate() {
+                    let o = (idx[0] + off) * r;
+                    for (ov, &wv) in out[o..o + r].iter_mut().zip(&w) {
+                        *ov += xv * wv;
+                    }
+                }
+            } else {
+                let o = idx[n] * r;
+                let (orow, f0) = (&mut out[o..o + r], factors[0]);
+                for (off, &xv) in data[lin..lin + run].iter().enumerate() {
+                    let a0 = f0.row(idx[0] + off);
+                    for c in 0..r {
+                        orow[c] += xv * a0[c] * w[c];
+                    }
+                }
+            }
+            lin += run;
+        }
+    }
 }
 
 /// Cache-tiled parallel MTTKRP on the given rayon pool. `tile` is the block
@@ -155,8 +251,7 @@ pub fn mttkrp_native(
     let i_n = shape.dim(n);
     let i_last = shape.dim(last);
     let threads = pool.current_num_threads().max(1);
-    // Enough slabs for load balance (4 per thread), but never empty ones.
-    let depth = i_last.div_ceil(4 * threads).max(1);
+    let grain = native_grain(i_last, x.num_entries(), threads);
 
     let kernel = SlabKernel {
         x,
@@ -165,8 +260,8 @@ pub fn mttkrp_native(
         tile,
         r,
     };
-    pool.install(|| {
-        if n == last {
+    pool.install(|| match grain {
+        ParGrain::LastModeSlabs { depth, .. } if n == last => {
             // Slabs own disjoint output rows: write in place, no reduction.
             let mut b = Matrix::zeros(i_n, r);
             b.par_row_chunks_mut(depth)
@@ -176,13 +271,37 @@ pub fn mttkrp_native(
                     kernel.accumulate(j0, slab, rows, j0);
                 });
             b
-        } else {
+        }
+        ParGrain::LastModeSlabs { depth, .. } => {
             // Per-thread accumulators, summed pairwise in the reduction.
             x.par_last_mode_slabs(depth)
                 .fold(
                     || Matrix::zeros(i_n, r),
                     |mut acc, (j0, slab)| {
                         kernel.accumulate(j0, slab, acc.data_mut(), 0);
+                        acc
+                    },
+                )
+                .reduce(
+                    || Matrix::zeros(i_n, r),
+                    |mut a, b| {
+                        a.axpy(1.0, &b);
+                        a
+                    },
+                )
+        }
+        ParGrain::FlatRanges { chunks } => {
+            // Shape-independent decomposition: contiguous flat entry
+            // ranges with per-thread accumulators (every output row may be
+            // touched by any chunk, so no in-place path exists here).
+            let entries = x.num_entries();
+            (0..chunks)
+                .into_par_iter()
+                .fold(
+                    || Matrix::zeros(i_n, r),
+                    |mut acc, c| {
+                        let (lo, hi) = split_range(entries, chunks, c);
+                        kernel.accumulate_flat(lo, hi, acc.data_mut());
                         acc
                     },
                 )
@@ -336,6 +455,62 @@ mod tests {
             let got = be.run(&x, &refs, n);
             let want = mttkrp_reference(&x, &refs, n);
             assert!(got.max_abs_diff(&want) < 1e-12, "mode {n}");
+        }
+    }
+
+    #[test]
+    fn grain_feeds_the_pool_on_skinny_last_modes() {
+        // 512x512x2 on 8 threads: only 2 last-mode slabs exist, so the
+        // grain must switch to flat ranges with at least one chunk per
+        // worker (the regression the ROADMAP tracked).
+        match native_grain(2, 512 * 512 * 2, 8) {
+            ParGrain::FlatRanges { chunks } => assert!(chunks >= 8, "chunks = {chunks}"),
+            other => panic!("expected flat ranges, got {other:?}"),
+        }
+        // A long last mode keeps the slab decomposition.
+        match native_grain(64, 64 * 64 * 64, 8) {
+            ParGrain::LastModeSlabs { count, .. } => assert!(count >= 8),
+            other => panic!("expected slabs, got {other:?}"),
+        }
+        // Single-threaded runs never pay the accumulator reduction.
+        assert!(matches!(
+            native_grain(2, 1 << 12, 1),
+            ParGrain::LastModeSlabs { .. }
+        ));
+    }
+
+    #[test]
+    fn skinny_last_mode_matches_oracle_all_modes() {
+        // Regression: shapes like 512x512x2 previously underused the pool;
+        // the flat-range path must stay correct for every output mode.
+        let (x, factors) = setup(&[24, 20, 2], 5, 6);
+        let refs: Vec<&Matrix> = factors.iter().collect();
+        let be = NativeBackend::new(8, 1 << 12);
+        for n in 0..3 {
+            let got = be.run(&x, &refs, n);
+            let want = mttkrp_reference(&x, &refs, n);
+            assert!(got.max_abs_diff(&want) < 1e-12, "mode {n}");
+        }
+        // Order-4 with two skinny trailing modes.
+        let (x, factors) = setup(&[10, 9, 2, 2], 3, 7);
+        let refs: Vec<&Matrix> = factors.iter().collect();
+        for n in 0..4 {
+            let got = be.run(&x, &refs, n);
+            let want = mttkrp_reference(&x, &refs, n);
+            assert!(got.max_abs_diff(&want) < 1e-12, "mode {n}");
+        }
+    }
+
+    #[test]
+    fn flat_and_slab_paths_agree() {
+        // The same shape through both decompositions (1 thread forces
+        // slabs, 8 threads forces flat ranges on this skinny last mode).
+        let (x, factors) = setup(&[16, 12, 3], 4, 8);
+        let refs: Vec<&Matrix> = factors.iter().collect();
+        for n in 0..3 {
+            let slab = NativeBackend::single_threaded().run(&x, &refs, n);
+            let flat = NativeBackend::new(8, DEFAULT_CACHE_WORDS).run(&x, &refs, n);
+            assert!(slab.max_abs_diff(&flat) < 1e-12, "mode {n}");
         }
     }
 

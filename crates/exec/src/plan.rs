@@ -139,6 +139,29 @@ impl Plan {
         }
     }
 
+    /// One-line description of the parallel data distribution this plan
+    /// prescribes — e.g. `"4 ranks, 2x2x1 grid, Algorithm 4"` — or `None`
+    /// for a sequential plan. This is the layout a distributed executor
+    /// (the `mttkrp-dist` runtime, or the netsim replay) realizes.
+    pub fn distribution(&self) -> Option<String> {
+        match &self.algorithm {
+            Algorithm::ParStationary { grid } => Some(format!(
+                "{} ranks, {} grid, Algorithm 3 (stationary tensor)",
+                grid.iter().product::<usize>(),
+                fmt_grid(grid)
+            )),
+            Algorithm::ParGeneral { p0, grid } => Some(format!(
+                "{} ranks, {p0}x{} grid (rank cut P0={p0}), Algorithm 4",
+                p0 * grid.iter().product::<usize>(),
+                fmt_grid(grid)
+            )),
+            Algorithm::ParMatmul { procs } => Some(format!(
+                "{procs} ranks, 1D contraction slabs, parallel matmul baseline"
+            )),
+            _ => None,
+        }
+    }
+
     /// Multi-line explanation: problem, machine, candidate table, winner.
     ///
     /// "Why this plan?" is always answerable from the plan itself — every
@@ -184,6 +207,9 @@ impl Plan {
             self.algorithm.label(),
             self.predicted_cost
         ));
+        if let Some(dist) = self.distribution() {
+            s.push_str(&format!("\ndistribution: {dist}"));
+        }
         if let Some(note) = &self.note {
             s.push_str(&format!("\nnote: {note}"));
         }
@@ -233,5 +259,29 @@ mod tests {
     fn sequential_classification() {
         assert!(Algorithm::SeqMatmul { memory: 9 }.is_sequential());
         assert!(!Algorithm::ParMatmul { procs: 4 }.is_sequential());
+    }
+
+    #[test]
+    fn distribution_line_names_ranks_grid_and_algorithm() {
+        let mut plan = Plan {
+            problem: mttkrp_core::Problem::cubical(3, 8, 4),
+            mode: 0,
+            machine: MachineSpec::distributed(4),
+            algorithm: Algorithm::ParGeneral {
+                p0: 2,
+                grid: vec![2, 1, 1],
+            },
+            predicted_cost: 0.0,
+            candidates: vec![],
+            note: None,
+        };
+        let d = plan.distribution().unwrap();
+        assert!(d.contains("4 ranks"), "{d}");
+        assert!(d.contains("2x1x1"), "{d}");
+        assert!(d.contains("Algorithm 4"), "{d}");
+        assert!(plan.explain().contains("distribution: 4 ranks"));
+
+        plan.algorithm = Algorithm::SeqUnblocked { memory: 64 };
+        assert!(plan.distribution().is_none());
     }
 }

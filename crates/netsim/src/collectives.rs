@@ -7,8 +7,42 @@
 //!
 //! All collectives must be called by every member of the communicator
 //! (SPMD); block sizes may be uneven.
+//!
+//! The ring algorithms themselves are generic over the transport
+//! ([`PeerExchange`]): the simulator's [`Rank`] and any *real* runtime's
+//! endpoint (e.g. `mttkrp-dist`) run the exact same routing and the same
+//! deterministic reduction order — which is what makes a real execution
+//! bitwise identical to the simulated one. There is exactly one
+//! implementation of each ring; transports differ only in how a
+//! `sendrecv` moves the words.
 
 use crate::comm::{Comm, Rank};
+
+/// A transport the ring collectives can run over: an identity plus a
+/// simultaneous neighbor exchange. Implemented by the simulator's
+/// [`Rank`] and by real runtimes' endpoints (e.g. `mttkrp-dist`).
+///
+/// `sendrecv` must deliver per-(sender, communicator) FIFO and must not
+/// deadlock when every member of `comm` calls it concurrently (unbounded
+/// or sufficiently buffered sends).
+pub trait PeerExchange {
+    /// This participant's world rank.
+    fn world_rank(&self) -> usize;
+
+    /// Sends `data` to local rank `dest` in `comm` and receives the next
+    /// message from local rank `src`.
+    fn sendrecv(&mut self, comm: &Comm, dest: usize, data: &[f64], src: usize) -> Vec<f64>;
+}
+
+impl PeerExchange for Rank {
+    fn world_rank(&self) -> usize {
+        Rank::world_rank(self)
+    }
+
+    fn sendrecv(&mut self, comm: &Comm, dest: usize, data: &[f64], src: usize) -> Vec<f64> {
+        Rank::sendrecv(self, comm, dest, data, src)
+    }
+}
 
 /// Ring All-Gather: every rank contributes `local`; returns the
 /// concatenation of all contributions in local-index order.
@@ -16,7 +50,7 @@ use crate::comm::{Comm, Rank};
 /// Per-rank cost: sends `sum_{j != me} |block_j|`... more precisely each
 /// rank forwards `q - 1` blocks and receives `q - 1` blocks, whose total
 /// size is `total - |local|` words each way.
-pub fn all_gather(rank: &mut Rank, comm: &Comm, local: &[f64]) -> Vec<f64> {
+pub fn all_gather<T: PeerExchange>(rank: &mut T, comm: &Comm, local: &[f64]) -> Vec<f64> {
     let q = comm.size();
     let me = comm
         .local_index(rank.world_rank())
@@ -56,8 +90,13 @@ pub fn all_gather(rank: &mut Rank, comm: &Comm, local: &[f64]) -> Vec<f64> {
 /// contributions restricted to segment `i`.
 ///
 /// The reduction order along the ring is deterministic, so results are
-/// bitwise reproducible.
-pub fn reduce_scatter(rank: &mut Rank, comm: &Comm, data: &[f64], counts: &[usize]) -> Vec<f64> {
+/// bitwise reproducible — across runs *and* across transports.
+pub fn reduce_scatter<T: PeerExchange>(
+    rank: &mut T,
+    comm: &Comm,
+    data: &[f64],
+    counts: &[usize],
+) -> Vec<f64> {
     let q = comm.size();
     assert_eq!(counts.len(), q, "need one segment count per rank");
     let total: usize = counts.iter().sum();
@@ -105,7 +144,7 @@ pub fn reduce_scatter(rank: &mut Rank, comm: &Comm, data: &[f64], counts: &[usiz
 /// All-Reduce = Reduce-Scatter + All-Gather (both bucket algorithms), the
 /// standard bandwidth-optimal composition. Segment sizes are balanced as
 /// evenly as possible.
-pub fn all_reduce(rank: &mut Rank, comm: &Comm, data: &[f64]) -> Vec<f64> {
+pub fn all_reduce<T: PeerExchange>(rank: &mut T, comm: &Comm, data: &[f64]) -> Vec<f64> {
     let q = comm.size();
     let n = data.len();
     let base = n / q;

@@ -80,7 +80,11 @@ impl Comm {
         self.members[local]
     }
 
-    pub(crate) fn id(&self) -> u64 {
+    /// The deterministic communicator id (every member computes the same
+    /// value). Exposed so external transports — e.g. the `mttkrp-dist`
+    /// runtime — can tag messages with the same communicator identity the
+    /// simulator uses.
+    pub fn id(&self) -> u64 {
         self.id
     }
 }

@@ -26,9 +26,11 @@ pub mod collectives;
 pub mod comm;
 pub mod grid;
 pub mod machine;
+pub mod schedule;
 pub mod stats;
 
 pub use comm::{Comm, Rank};
 pub use grid::ProcessorGrid;
 pub use machine::{RunResult, SimMachine};
+pub use schedule::{CommSchedule, Phase, PhaseTraffic, RankSchedule};
 pub use stats::{CommStats, CommSummary};

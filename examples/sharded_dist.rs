@@ -1,0 +1,61 @@
+//! The sharded multi-rank runtime executing a planned MTTKRP for real.
+//!
+//! The planner picks the communication-optimal algorithm and grid for a
+//! 4-rank cluster; `mttkrp-dist` then shards the operands (each rank owns
+//! only its block), runs the schedule with real ring collectives over an
+//! instrumented transport, and the example cross-checks the measured
+//! per-rank traffic against the netsim-predicted schedule — collective by
+//! collective — and the output against the single-node executor, bit for
+//! bit.
+//!
+//! Run with: `cargo run --release --example sharded_dist`
+
+use mttkrp_core::Problem;
+use mttkrp_dist::DistBackend;
+use mttkrp_exec::{plan_and_execute, MachineSpec, Planner};
+use mttkrp_tensor::{DenseTensor, Matrix, Shape};
+
+fn main() {
+    let dims = [16usize, 16, 16];
+    let rank = 8;
+    let mode = 0;
+
+    let shape = Shape::new(&dims);
+    let x = DenseTensor::random(shape.clone(), 7);
+    let factors: Vec<Matrix> = dims
+        .iter()
+        .enumerate()
+        .map(|(k, &d)| Matrix::random(d, rank, 200 + k as u64))
+        .collect();
+    let refs: Vec<&Matrix> = factors.iter().collect();
+    let problem = Problem::from_shape(&shape, rank);
+
+    // Plan for a 4-rank cluster; the plan itself names the distribution.
+    let machine = MachineSpec::cluster(4, 1, 1 << 16);
+    let plan = Planner::new(machine.clone()).plan_executable(&problem, mode);
+    println!("{plan}\n");
+
+    // Execute for real: one thread per rank, owned shards, real messages.
+    let out = DistBackend::new().run_instrumented(&plan, &x, &refs);
+
+    // Each rank's measured traffic vs. the netsim-predicted schedule.
+    let predicted = DistBackend::predicted_schedule(&plan).expect("parallel plan");
+    println!("measured vs predicted per-rank traffic:");
+    for (me, ledger) in out.ledgers.iter().enumerate() {
+        print!("  rank {me}:");
+        for (got, want) in ledger.phases().iter().zip(&predicted.ranks[me].phases) {
+            assert_eq!(got, want, "rank {me} deviates from the schedule");
+            print!("  {} {}w", got.phase, got.words_sent);
+        }
+        println!();
+    }
+
+    // And the result is bit-identical to the single-node executor.
+    let (_, single) = plan_and_execute(&machine, &x, &refs, mode);
+    assert_eq!(
+        out.report.output.data(),
+        single.output.data(),
+        "dist output must be bit-identical to the single-node executor"
+    );
+    println!("\ndist output bit-identical to single-node execution; schedule word-exact");
+}
