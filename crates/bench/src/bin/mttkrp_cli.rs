@@ -17,13 +17,16 @@
 //!   exec [--backend native|sim] [--threads T] [--memory M] [--procs P]
 //!                              plan with the paper's cost models, then
 //!                              execute on the chosen backend
-//!   dist --ranks P [--threads T] [--memory M]
+//!   dist --ranks P [--transport channel|tcp] [--threads T] [--memory M]
 //!                              plan for a P-rank cluster and execute on the
-//!                              sharded multi-rank runtime, self-gating:
-//!                              exits nonzero unless the output is
-//!                              bit-identical to the single-node executor
-//!                              and the measured per-rank traffic equals the
-//!                              netsim-predicted schedule
+//!                              sharded multi-rank runtime — in-process
+//!                              channel ranks by default, or one real OS
+//!                              process per rank over TCP sockets with
+//!                              --transport tcp — self-gating: exits nonzero
+//!                              unless the output is bit-identical to the
+//!                              single-node executor and the measured
+//!                              per-rank traffic equals the netsim-predicted
+//!                              schedule
 //!   serve --bench [--requests N] [--shapes K] [--workers W]
 //!         [--batch B] [--cache C] [--threads T] [--memory M] [--procs P]
 //!                              replay a synthetic mixed-shape workload
@@ -53,7 +56,15 @@ struct Args {
     backend: Option<String>,
     threads: Option<usize>,
     ranks: Option<usize>,
+    transport: Option<String>,
     algorithm: Option<String>,
+    // Hidden `dist-rank` / fault-injection options (see `dist_tcp`).
+    world_rank: Option<usize>,
+    connect: Option<String>,
+    report: Option<String>,
+    stall_ms: Option<u64>,
+    kill_rank: Option<usize>,
+    timeout_secs: Option<u64>,
     // `serve` options.
     bench: bool,
     requests: Option<usize>,
@@ -102,6 +113,25 @@ fn parse(argv: &[String]) -> Result<Args, String> {
                 args.threads = Some(next("--threads")?.parse().map_err(|e| format!("{e}"))?)
             }
             "--ranks" => args.ranks = Some(next("--ranks")?.parse().map_err(|e| format!("{e}"))?),
+            "--transport" => args.transport = Some(next("--transport")?),
+            "--world-rank" => {
+                args.world_rank = Some(next("--world-rank")?.parse().map_err(|e| format!("{e}"))?)
+            }
+            "--connect" => args.connect = Some(next("--connect")?),
+            "--report" => args.report = Some(next("--report")?),
+            "--stall-ms" => {
+                args.stall_ms = Some(next("--stall-ms")?.parse().map_err(|e| format!("{e}"))?)
+            }
+            "--kill-rank" => {
+                args.kill_rank = Some(next("--kill-rank")?.parse().map_err(|e| format!("{e}"))?)
+            }
+            "--timeout-secs" => {
+                args.timeout_secs = Some(
+                    next("--timeout-secs")?
+                        .parse()
+                        .map_err(|e| format!("{e}"))?,
+                )
+            }
             "--bench" => args.bench = true,
             "--requests" => {
                 args.requests = Some(next("--requests")?.parse().map_err(|e| format!("{e}"))?)
@@ -161,9 +191,11 @@ fn usage() {
          \n  bounds [--memory M] [--procs P]  print lower bounds only\
          \n  exec  [--backend native|sim] [--threads T] [--memory M] [--procs P]\
          \n                               cost-model-driven plan + execution\
-         \n  dist  --ranks P [--threads T] [--memory M]\
-         \n                               sharded multi-rank execution with a\
-         \n                               self-gating schedule/bitwise check\
+         \n  dist  --ranks P [--transport channel|tcp] [--threads T] [--memory M]\
+         \n                               sharded multi-rank execution (channel\
+         \n                               threads, or one process per rank over\
+         \n                               TCP) with a self-gating\
+         \n                               schedule/bitwise check\
          \n  serve --bench [--requests N] [--shapes K] [--workers W] [--batch B]\
          \n        [--cache C] [--threads T] [--memory M] [--procs P]\
          \n                               replay a synthetic workload through the\
@@ -333,6 +365,7 @@ fn main() -> ExitCode {
         }
         "exec" => return run_exec(&args, &problem, x, &refs),
         "dist" => return run_dist(&args, &problem, x, &refs),
+        "dist-rank" => return run_dist_rank(&args, &problem, x, &refs),
         other => {
             eprintln!("error: unknown algorithm '{other}'");
             usage();
@@ -361,6 +394,7 @@ fn run_exec(
         threads,
         fast_memory_words: args.memory.unwrap_or(mttkrp_exec::DEFAULT_CACHE_WORDS),
         ranks: args.procs.unwrap_or(1),
+        transport: mttkrp_exec::TransportSpec::InProcess,
     };
     if args.block.is_some() {
         println!("note: exec chooses the block size from the cost model; --block is ignored");
@@ -441,9 +475,20 @@ fn run_dist(
     x: &mttkrp_tensor::DenseTensor,
     refs: &[&Matrix],
 ) -> ExitCode {
-    use mttkrp_dist::DistBackend;
-    use mttkrp_exec::{plan_and_execute, ExecCost, MachineSpec, Planner};
+    use mttkrp_bench::dist_tcp::{self, LaunchSpec};
+    use mttkrp_dist::{DistBackend, DistReport};
+    use mttkrp_exec::{
+        plan_and_execute, ExecCost, ExecReport, MachineSpec, Planner, TransportSpec,
+    };
 
+    let transport = match args.transport.as_deref() {
+        None | Some("channel") => TransportSpec::InProcess,
+        Some("tcp") => TransportSpec::Tcp,
+        Some(other) => {
+            eprintln!("error: unknown transport '{other}' (channel|tcp)");
+            return ExitCode::from(2);
+        }
+    };
     let ranks = match args.ranks.or(args.procs) {
         Some(p) if p >= 1 => p,
         Some(_) => {
@@ -463,11 +508,70 @@ fn run_dist(
         ranks,
         args.threads.unwrap_or(1),
         args.memory.unwrap_or(mttkrp_exec::DEFAULT_CACHE_WORDS),
-    );
+    )
+    .with_transport(transport);
     let plan = Planner::new(machine.clone()).plan_executable(problem, args.mode);
     println!("{plan}\n");
 
-    let out = DistBackend::new().run_instrumented(&plan, x, refs);
+    let out: DistReport = if transport == TransportSpec::Tcp && !plan.algorithm.is_sequential() {
+        // Launcher mode: one real OS process per rank on localhost, the
+        // identical rank programs, every word over actual sockets.
+        let exe = match std::env::current_exe() {
+            Ok(exe) => exe,
+            Err(e) => {
+                eprintln!("error: cannot locate my own binary to spawn ranks: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if args.kill_rank.is_some_and(|k| k >= ranks) {
+            eprintln!("error: --kill-rank must name a world rank below --ranks {ranks}");
+            return ExitCode::from(2);
+        }
+        let spec = LaunchSpec {
+            dims: args.dims.clone(),
+            rank: args.rank,
+            mode: args.mode,
+            seed: args.seed,
+            ranks,
+            threads: args.threads.unwrap_or(1),
+            memory: args.memory.unwrap_or(mttkrp_exec::DEFAULT_CACHE_WORDS),
+            timeout: std::time::Duration::from_secs(args.timeout_secs.unwrap_or(60)),
+            kill_rank: args.kill_rank,
+            stall_ms: args
+                .stall_ms
+                .unwrap_or(if args.kill_rank.is_some() { 10_000 } else { 0 }),
+        };
+        println!("[dist] spawning {ranks} rank process(es) on localhost (tcp transport)");
+        match dist_tcp::launch(&exe, &spec, &plan) {
+            Ok(outcome) => {
+                let stats: Vec<_> = outcome.ledgers.iter().map(|l| l.totals()).collect();
+                let cost = ExecCost::ParComm {
+                    max_recv_words: stats.iter().map(|s| s.words_received).max().unwrap_or(0),
+                    max_sent_words: stats.iter().map(|s| s.words_sent).max().unwrap_or(0),
+                    total_words: stats.iter().map(|s| s.words_sent).sum(),
+                    ranks,
+                };
+                DistReport {
+                    report: ExecReport {
+                        output: outcome.output,
+                        backend: "dist",
+                        cost,
+                    },
+                    ledgers: outcome.ledgers,
+                }
+            }
+            Err(e) => {
+                eprintln!("error: tcp launch failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        if args.kill_rank.is_some() {
+            eprintln!("error: --kill-rank is a tcp-launcher fault-injection flag");
+            return ExitCode::from(2);
+        }
+        DistBackend::new().run_instrumented(&plan, x, refs)
+    };
     match &out.report.cost {
         ExecCost::ParComm {
             max_recv_words,
@@ -524,7 +628,7 @@ fn run_dist(
     if let Some(predicted) = DistBackend::predicted_schedule(&plan) {
         println!("\nper-rank traffic (measured == predicted, words sent/received):");
         for (me, ledger) in out.ledgers.iter().enumerate() {
-            let ok = ledger.phases() == &predicted.ranks[me].phases[..];
+            let ok = ledger.matches(&predicted.ranks[me].phases);
             schedule_ok &= ok;
             let t = ledger.totals();
             let p = predicted.ranks[me].totals();
@@ -537,6 +641,11 @@ fn run_dist(
                 ledger.phases().len(),
                 if ok { "ok" } else { "MISMATCH" }
             );
+            if !ok {
+                // The per-phase predicted-vs-measured breakdown, so a
+                // schedule deviation is diagnosable from the CLI output.
+                print!("{}", ledger.diff_table(&predicted.ranks[me].phases));
+            }
         }
     } else {
         println!("note: sequential plan — no communication schedule to check");
@@ -551,6 +660,65 @@ fn run_dist(
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
+}
+
+/// The hidden `dist-rank` subcommand: one world rank of a multi-process
+/// TCP run, spawned by `dist --transport tcp`. Rebuilds the operands and
+/// the plan deterministically from the same flags the launcher used,
+/// joins the rendezvous, runs the rank program, and reports its chunk and
+/// ledger back to the launcher.
+fn run_dist_rank(
+    args: &Args,
+    problem: &Problem,
+    x: &mttkrp_tensor::DenseTensor,
+    refs: &[&Matrix],
+) -> ExitCode {
+    use mttkrp_bench::dist_tcp;
+    use mttkrp_exec::{MachineSpec, Planner, TransportSpec};
+
+    let (Some(world_rank), Some(ranks), Some(connect), Some(report)) = (
+        args.world_rank,
+        args.ranks,
+        args.connect.as_deref(),
+        args.report.as_deref(),
+    ) else {
+        eprintln!(
+            "error: dist-rank needs --world-rank, --ranks, --connect, and --report \
+             (it is spawned by `dist --transport tcp`, not invoked by hand)"
+        );
+        return ExitCode::from(2);
+    };
+    let machine = MachineSpec::cluster(
+        ranks,
+        args.threads.unwrap_or(1),
+        args.memory.unwrap_or(mttkrp_exec::DEFAULT_CACHE_WORDS),
+    )
+    .with_transport(TransportSpec::Tcp);
+    let plan = Planner::new(machine).plan_executable(problem, args.mode);
+    if plan.algorithm.is_sequential() {
+        eprintln!(
+            "error: dist-rank got a sequential plan; the launcher should not have spawned it"
+        );
+        return ExitCode::FAILURE;
+    }
+    let timeout = std::time::Duration::from_secs(args.timeout_secs.unwrap_or(60));
+    match dist_tcp::run_child_rank(
+        &plan,
+        x,
+        refs,
+        world_rank,
+        ranks,
+        connect,
+        report,
+        args.stall_ms.unwrap_or(0),
+        timeout,
+    ) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: rank {world_rank}: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 /// The `serve --bench` subcommand: replay a synthetic mixed-shape workload
@@ -591,6 +759,7 @@ fn run_serve(args: &Args) -> ExitCode {
         threads: args.threads.unwrap_or_else(MachineSpec::detect_threads),
         fast_memory_words: args.memory.unwrap_or(mttkrp_exec::DEFAULT_CACHE_WORDS),
         ranks: args.procs.unwrap_or(1),
+        transport: mttkrp_exec::TransportSpec::InProcess,
     };
     let total = args.requests.unwrap_or(400);
     let shapes = args.shapes.unwrap_or(4);

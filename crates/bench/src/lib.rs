@@ -1,6 +1,8 @@
 //! Shared helpers for the benchmark harness and the figure/table
 //! regenerator binaries.
 
+pub mod dist_tcp;
+
 use mttkrp_tensor::{DenseTensor, Matrix, Shape};
 
 /// Builds a random tensor and one random `I_k x R` factor per mode,

@@ -1,14 +1,19 @@
 //! `DistBackend`: the sharded runtime behind the `mttkrp-exec` seam.
 
-use crate::runtime::{mttkrp_dist_general, mttkrp_dist_matmul, mttkrp_dist_stationary, DistRun};
-use crate::transport::TrafficLedger;
-use mttkrp_exec::{Algorithm, Backend, ExecCost, ExecReport, NativeBackend, Plan};
+use crate::layout::{shard_alg3, shard_alg4, shard_matmul};
+use crate::runtime::{
+    general_rank, matmul_rank, mttkrp_dist_general_on, mttkrp_dist_matmul_on,
+    mttkrp_dist_stationary_on, stationary_rank, DistRun, OutputChunk, TransportKind,
+};
+use crate::transport::{TrafficLedger, Transport};
+use mttkrp_core::par::{assemble_block_chunks, assemble_row_chunks};
+use mttkrp_exec::{Algorithm, Backend, ExecCost, ExecReport, NativeBackend, Plan, TransportSpec};
 use mttkrp_netsim::schedule::{self, CommSchedule};
 use mttkrp_tensor::{DenseTensor, Matrix};
 
 /// Executes parallel plans on the sharded multi-rank runtime: one thread
 /// per rank, each owning its data block, with every remote word crossing
-/// the instrumented transport.
+/// an instrumented transport.
 ///
 /// The third [`Backend`] of the workspace, next to `mttkrp-exec`'s
 /// `SimBackend` and `NativeBackend`. Distributed plans (Algorithms 3/4,
@@ -16,8 +21,19 @@ use mttkrp_tensor::{DenseTensor, Matrix};
 /// *sequential* plan (including the planner's no-clean-distribution
 /// fallback) runs on a single node via the native shared-memory kernel,
 /// exactly as `plan_and_execute` would run it.
+///
+/// The fabric follows the plan's machine: a
+/// [`MachineSpec`](mttkrp_exec::MachineSpec) with
+/// [`TransportSpec::Tcp`] runs the very same rank programs over loopback
+/// TCP sockets instead of in-process channels (multi-*process* TCP runs
+/// are driven per rank via [`run_plan_rank`]). Word counts, ledgers, and
+/// the output bits are identical either way — that equality is what the
+/// test suite asserts.
 #[derive(Clone, Debug, Default)]
-pub struct DistBackend;
+pub struct DistBackend {
+    /// When set, overrides the plan's machine transport.
+    force_transport: Option<TransportKind>,
+}
 
 /// A [`DistBackend`] execution report plus the measured per-rank,
 /// per-collective traffic — what the tests compare against the netsim
@@ -32,9 +48,29 @@ pub struct DistReport {
 }
 
 impl DistBackend {
-    /// A dist backend (stateless; all state lives in the plan).
+    /// A dist backend that wires whatever fabric the plan's machine names
+    /// (in-process channels unless the machine says
+    /// [`TransportSpec::Tcp`]).
     pub fn new() -> DistBackend {
-        DistBackend
+        DistBackend {
+            force_transport: None,
+        }
+    }
+
+    /// A dist backend pinned to one fabric regardless of the plan.
+    pub fn with_transport(kind: TransportKind) -> DistBackend {
+        DistBackend {
+            force_transport: Some(kind),
+        }
+    }
+
+    /// The fabric this backend would use for `plan`.
+    pub fn transport_for(&self, plan: &Plan) -> TransportKind {
+        self.force_transport
+            .unwrap_or(match plan.machine.transport {
+                TransportSpec::InProcess => TransportKind::Channel,
+                TransportSpec::Tcp => TransportKind::Tcp,
+            })
     }
 
     /// The netsim-predicted communication schedule of `plan` — what a
@@ -66,10 +102,15 @@ impl DistBackend {
         factors: &[&Matrix],
     ) -> DistReport {
         let n = plan.mode;
+        let kind = self.transport_for(plan);
         let run: DistRun = match &plan.algorithm {
-            Algorithm::ParStationary { grid } => mttkrp_dist_stationary(x, factors, n, grid),
-            Algorithm::ParGeneral { p0, grid } => mttkrp_dist_general(x, factors, n, *p0, grid),
-            Algorithm::ParMatmul { procs } => mttkrp_dist_matmul(x, factors, n, *procs),
+            Algorithm::ParStationary { grid } => {
+                mttkrp_dist_stationary_on(kind, x, factors, n, grid)
+            }
+            Algorithm::ParGeneral { p0, grid } => {
+                mttkrp_dist_general_on(kind, x, factors, n, *p0, grid)
+            }
+            Algorithm::ParMatmul { procs } => mttkrp_dist_matmul_on(kind, x, factors, n, *procs),
             seq => {
                 // Sequential (single-node) plan: run the same native kernel
                 // `plan_and_execute` would use, sized to the plan's machine.
@@ -108,6 +149,80 @@ impl Backend for DistBackend {
 
     fn execute(&self, plan: &Plan, x: &DenseTensor, factors: &[&Matrix]) -> ExecReport {
         self.run_instrumented(plan, x, factors).report
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Single-rank plan execution (one rank of a multi-process machine)
+// ---------------------------------------------------------------------------
+
+/// Runs world rank `ep.world_rank()`'s program of `plan` on an already
+/// connected transport, sharding the rank's block locally from the global
+/// operands, and returns this rank's output chunk and measured ledger.
+///
+/// This is the per-process entry point of a multi-node run: every process
+/// regenerates the (deterministic) operands, takes its own shard, and
+/// drives the *identical* rank program the in-process runtime executes.
+/// The launcher collects the chunks with [`assemble_plan_output`] and
+/// checks the ledgers against [`DistBackend::predicted_schedule`].
+///
+/// Panics if `plan` is sequential (there is no rank program to run).
+pub fn run_plan_rank<T: Transport>(
+    plan: &Plan,
+    x: &DenseTensor,
+    factors: &[&Matrix],
+    mut ep: T,
+) -> (OutputChunk, TrafficLedger) {
+    let n = plan.mode;
+    let r = plan.problem.rank as usize;
+    let me = mttkrp_netsim::collectives::PeerExchange::world_rank(&ep);
+    let chunk = match &plan.algorithm {
+        Algorithm::ParStationary { grid } => {
+            let shard = shard_alg3(x, factors, n, grid).swap_remove(me);
+            OutputChunk::Row(stationary_rank(shard, grid, n, r, &mut ep))
+        }
+        Algorithm::ParGeneral { p0, grid } => {
+            let shard = shard_alg4(x, factors, n, *p0, grid).swap_remove(me);
+            OutputChunk::Block(general_rank(shard, *p0, grid, n, r, &mut ep))
+        }
+        Algorithm::ParMatmul { procs } => {
+            let shard = shard_matmul(x, factors, n, *procs).swap_remove(me);
+            let i_n = x.shape().dim(n);
+            OutputChunk::Row(matmul_rank(shard, *procs, n, r, i_n, &mut ep))
+        }
+        seq => panic!("run_plan_rank needs a distributed plan, got {seq}"),
+    };
+    (chunk, ep.finish())
+}
+
+/// Assembles the per-rank output chunks of a distributed `plan` (in world
+/// rank order) into the global `I_n x R` output — the same assemblers the
+/// in-process runtime and the simulator use.
+pub fn assemble_plan_output(plan: &Plan, chunks: &[OutputChunk]) -> Matrix {
+    let i_n = plan.problem.dims[plan.mode] as usize;
+    let r = plan.problem.rank as usize;
+    let rows: Vec<_> = chunks
+        .iter()
+        .filter_map(|c| match c {
+            OutputChunk::Row(rc) => Some(rc.clone()),
+            OutputChunk::Block(_) => None,
+        })
+        .collect();
+    let blocks: Vec<_> = chunks
+        .iter()
+        .filter_map(|c| match c {
+            OutputChunk::Block(bc) => Some(bc.clone()),
+            OutputChunk::Row(_) => None,
+        })
+        .collect();
+    assert!(
+        rows.is_empty() || blocks.is_empty(),
+        "chunks of one run are all rows or all blocks"
+    );
+    if blocks.is_empty() {
+        assemble_row_chunks(i_n, r, &rows)
+    } else {
+        assemble_block_chunks(i_n, r, &blocks)
     }
 }
 
@@ -154,6 +269,32 @@ mod tests {
     }
 
     #[test]
+    fn tcp_machine_runs_the_same_plan_bitwise() {
+        let (x, factors) = setup(&[8, 8, 8], 4, 4);
+        let refs: Vec<&Matrix> = factors.iter().collect();
+        let problem = mttkrp_core::Problem::from_shape(x.shape(), 4);
+        let tcp_machine = MachineSpec::cluster(4, 1, 1 << 16).with_transport(TransportSpec::Tcp);
+        let plan = Planner::new(tcp_machine).plan_executable(&problem, 0);
+        assert!(plan.explain().contains("transport: tcp sockets"));
+
+        let backend = DistBackend::new();
+        assert_eq!(backend.transport_for(&plan), TransportKind::Tcp);
+        let tcp = backend.run_instrumented(&plan, &x, &refs);
+        let chan =
+            DistBackend::with_transport(TransportKind::Channel).run_instrumented(&plan, &x, &refs);
+        assert_eq!(tcp.report.output.data(), chan.report.output.data());
+        assert_eq!(tcp.ledgers, chan.ledgers);
+        let predicted = DistBackend::predicted_schedule(&plan).unwrap();
+        for (me, ledger) in tcp.ledgers.iter().enumerate() {
+            assert!(
+                ledger.matches(&predicted.ranks[me].phases),
+                "rank {me}:\n{}",
+                ledger.diff_table(&predicted.ranks[me].phases)
+            );
+        }
+    }
+
+    #[test]
     fn measured_ledger_matches_predicted_schedule() {
         let (x, factors) = setup(&[8, 8, 8], 8, 2);
         let refs: Vec<&Matrix> = factors.iter().collect();
@@ -163,10 +304,10 @@ mod tests {
         let predicted = DistBackend::predicted_schedule(&plan).expect("parallel plan");
         assert_eq!(out.ledgers.len(), predicted.num_ranks());
         for (me, ledger) in out.ledgers.iter().enumerate() {
-            assert_eq!(
-                ledger.phases(),
-                &predicted.ranks[me].phases[..],
-                "rank {me}"
+            assert!(
+                ledger.matches(&predicted.ranks[me].phases),
+                "rank {me}:\n{}",
+                ledger.diff_table(&predicted.ranks[me].phases)
             );
         }
     }
@@ -182,5 +323,50 @@ mod tests {
         assert_eq!(out.report.backend, "dist");
         let oracle = mttkrp_reference(&x, &refs, 0);
         assert!(out.report.output.max_abs_diff(&oracle) < 1e-12);
+    }
+
+    #[test]
+    fn run_plan_rank_drives_one_rank_per_transport() {
+        use crate::transport::TcpTransport;
+        let (x, factors) = setup(&[8, 8, 8], 4, 7);
+        let refs: Vec<&Matrix> = factors.iter().collect();
+        let problem = mttkrp_core::Problem::from_shape(x.shape(), 4);
+        let plan = Planner::new(MachineSpec::cluster(4, 1, 1 << 16)).plan_executable(&problem, 0);
+        assert!(!plan.algorithm.is_sequential());
+
+        // Run each rank's program on its own TCP transport — the exact
+        // shape of a multi-process run, compressed into threads.
+        let eps = TcpTransport::wire_loopback(4, std::time::Duration::from_secs(30)).unwrap();
+        let mut results: Vec<(usize, OutputChunk, TrafficLedger)> = Vec::new();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for ep in eps {
+                let (plan, x, refs) = (&plan, &x, &refs);
+                handles.push(scope.spawn(move || {
+                    let me = ep.world_rank();
+                    let (chunk, ledger) = run_plan_rank(plan, x, refs, ep);
+                    (me, chunk, ledger)
+                }));
+            }
+            for h in handles {
+                results.push(h.join().unwrap());
+            }
+        });
+        results.sort_by_key(|(me, ..)| *me);
+        let chunks: Vec<OutputChunk> = results.iter().map(|(_, c, _)| c.clone()).collect();
+        let output = assemble_plan_output(&plan, &chunks);
+
+        // Bitwise equal to the whole-machine in-process run...
+        let whole = DistBackend::new().run_instrumented(&plan, &x, &refs);
+        assert_eq!(output.data(), whole.report.output.data());
+        // ...and every rank's ledger word-exact against the schedule.
+        let predicted = DistBackend::predicted_schedule(&plan).unwrap();
+        for (me, _, ledger) in &results {
+            assert!(
+                ledger.matches(&predicted.ranks[*me].phases),
+                "rank {me}:\n{}",
+                ledger.diff_table(&predicted.ranks[*me].phases)
+            );
+        }
     }
 }

@@ -1,35 +1,27 @@
-//! Ring collectives over the instrumented transport.
+//! Ring collectives over the instrumented transports.
 //!
 //! There is exactly **one** implementation of the ring algorithms — the
 //! generic [`mttkrp_netsim::collectives`] rings, parameterized by the
-//! [`PeerExchange`] transport trait. This module implements the trait for
-//! the dist [`Endpoint`] and re-exposes the collectives under this
-//! crate's names, so the bitwise-identity contract between a real run and
-//! the simulator (same block routing, same deterministic reduction order)
-//! is structural: there is no second copy to drift.
+//! [`PeerExchange`](mttkrp_netsim::collectives::PeerExchange) transport
+//! trait. Every dist [`Transport`] (channel endpoints and TCP sockets
+//! alike) is a `PeerExchange`, so this module only re-exposes the
+//! collectives under this crate's names: the bitwise-identity contract
+//! between a real run and the simulator (same block routing, same
+//! deterministic reduction order) is structural — there is no second copy
+//! to drift, on either fabric.
 //!
 //! All collectives must be called by every member of the communicator
 //! (SPMD); block sizes may be uneven.
 
-use crate::transport::Endpoint;
-use mttkrp_netsim::collectives::{self, PeerExchange};
+use crate::transport::Transport;
+use mttkrp_netsim::collectives;
 use mttkrp_netsim::Comm;
-
-impl PeerExchange for Endpoint {
-    fn world_rank(&self) -> usize {
-        Endpoint::world_rank(self)
-    }
-
-    fn sendrecv(&mut self, comm: &Comm, dest: usize, data: &[f64], src: usize) -> Vec<f64> {
-        Endpoint::sendrecv(self, comm, dest, data, src)
-    }
-}
 
 /// Ring All-Gather: every rank contributes `local`; returns the
 /// concatenation of all contributions in local-index order. The shared
 /// ring of [`mttkrp_netsim::collectives::all_gather`], moving real words
 /// through the instrumented transport.
-pub fn all_gather(ep: &mut Endpoint, comm: &Comm, local: &[f64]) -> Vec<f64> {
+pub fn all_gather<T: Transport>(ep: &mut T, comm: &Comm, local: &[f64]) -> Vec<f64> {
     collectives::all_gather(ep, comm, local)
 }
 
@@ -39,31 +31,45 @@ pub fn all_gather(ep: &mut Endpoint, comm: &Comm, local: &[f64]) -> Vec<f64> {
 /// contributions restricted to segment `i`. The shared ring of
 /// [`mttkrp_netsim::collectives::reduce_scatter`]; its deterministic
 /// reduction order makes results bitwise reproducible across runs *and*
-/// across backends.
-pub fn reduce_scatter(ep: &mut Endpoint, comm: &Comm, data: &[f64], counts: &[usize]) -> Vec<f64> {
+/// across backends — and across transports.
+pub fn reduce_scatter<T: Transport>(
+    ep: &mut T,
+    comm: &Comm,
+    data: &[f64],
+    counts: &[usize],
+) -> Vec<f64> {
     collectives::reduce_scatter(ep, comm, data, counts)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::transport::{Endpoint, TcpTransport, TrafficLedger};
     use mttkrp_netsim::schedule::{all_gather_traffic, reduce_scatter_traffic, Phase};
     use mttkrp_netsim::{collectives as simc, SimMachine};
+    use std::time::Duration;
 
-    /// Runs `program` SPMD over `p` dist ranks and collects outputs and
-    /// ledgers — the test-side analogue of `SimMachine::run`, sharing the
-    /// runtime's panic-safe rank driver.
-    fn run_dist<T: Send>(
-        p: usize,
-        program: impl Fn(&mut Endpoint) -> T + Send + Sync,
-    ) -> Vec<(T, crate::transport::TrafficLedger)> {
-        let (outs, ledgers) =
-            crate::runtime::run_ranks((0..p).map(|_| ()).collect(), |(), ep| program(ep));
+    /// Runs `program` SPMD over `p` dist ranks of either fabric and
+    /// collects outputs and ledgers — the test-side analogue of
+    /// `SimMachine::run`, sharing the runtime's panic-safe rank driver.
+    fn run_dist<T: Transport + 'static, O: Send>(
+        endpoints: Vec<T>,
+        program: impl Fn(&mut T) -> O + Send + Sync,
+    ) -> Vec<(O, TrafficLedger)> {
+        let (outs, ledgers) = crate::runtime::run_spmd(endpoints, program);
         outs.into_iter().zip(ledgers).collect()
     }
 
+    fn channel_eps(p: usize) -> Vec<Endpoint> {
+        crate::transport::wire(p)
+    }
+
+    fn tcp_eps(p: usize) -> Vec<TcpTransport> {
+        TcpTransport::wire_loopback(p, Duration::from_secs(30)).expect("loopback wiring")
+    }
+
     #[test]
-    fn all_gather_bitwise_matches_netsim() {
+    fn all_gather_bitwise_matches_netsim_on_both_transports() {
         let p = 4;
         let mk_local = |me: usize| -> Vec<f64> {
             (0..=me).map(|i| 0.1 + (me * 10 + i) as f64 / 7.0).collect()
@@ -72,22 +78,31 @@ mod tests {
             let world = rank.world();
             simc::all_gather(rank, &world, &mk_local(rank.world_rank()))
         });
-        let dist = run_dist(p, |ep| {
+        let check = |dist: Vec<(Vec<f64>, TrafficLedger)>| {
+            for (me, (out, ledger)) in dist.iter().enumerate() {
+                assert_eq!(out, &sim.outputs[me], "rank {me} output");
+                let t = ledger.totals();
+                assert_eq!(t.words_sent, sim.stats[me].words_sent);
+                assert_eq!(t.words_received, sim.stats[me].words_received);
+                assert_eq!(t.messages_sent, sim.stats[me].messages_sent);
+            }
+        };
+        check(run_dist(channel_eps(p), |ep| {
             ep.begin_phase(Phase::TensorAllGather);
             let world = ep.world();
-            all_gather(ep, &world, &mk_local(ep.world_rank()))
-        });
-        for (me, (out, ledger)) in dist.iter().enumerate() {
-            assert_eq!(out, &sim.outputs[me], "rank {me} output");
-            let t = ledger.totals();
-            assert_eq!(t.words_sent, sim.stats[me].words_sent);
-            assert_eq!(t.words_received, sim.stats[me].words_received);
-            assert_eq!(t.messages_sent, sim.stats[me].messages_sent);
-        }
+            let local = mk_local(ep.world_rank());
+            all_gather(ep, &world, &local)
+        }));
+        check(run_dist(tcp_eps(p), |ep| {
+            ep.begin_phase(Phase::TensorAllGather);
+            let world = ep.world();
+            let local = mk_local(ep.world_rank());
+            all_gather(ep, &world, &local)
+        }));
     }
 
     #[test]
-    fn reduce_scatter_bitwise_matches_netsim() {
+    fn reduce_scatter_bitwise_matches_netsim_on_both_transports() {
         let p = 5;
         let counts = [2usize, 1, 3, 2, 1];
         let total: usize = counts.iter().sum();
@@ -100,23 +115,32 @@ mod tests {
             let world = rank.world();
             simc::reduce_scatter(rank, &world, &mk_data(rank.world_rank()), &counts)
         });
-        let dist = run_dist(p, |ep| {
+        let check = |dist: Vec<(Vec<f64>, TrafficLedger)>| {
+            for (me, (out, ledger)) in dist.iter().enumerate() {
+                // Bitwise: the ring reduction order is identical.
+                assert_eq!(out, &sim.outputs[me], "rank {me} output");
+                assert_eq!(ledger.totals().words_sent, sim.stats[me].words_sent);
+            }
+        };
+        check(run_dist(channel_eps(p), |ep| {
             ep.begin_phase(Phase::OutputReduceScatter);
             let world = ep.world();
-            reduce_scatter(ep, &world, &mk_data(ep.world_rank()), &counts)
-        });
-        for (me, (out, ledger)) in dist.iter().enumerate() {
-            // Bitwise: the ring reduction order is identical.
-            assert_eq!(out, &sim.outputs[me], "rank {me} output");
-            assert_eq!(ledger.totals().words_sent, sim.stats[me].words_sent);
-        }
+            let data = mk_data(ep.world_rank());
+            reduce_scatter(ep, &world, &data, &counts)
+        }));
+        check(run_dist(tcp_eps(p), |ep| {
+            ep.begin_phase(Phase::OutputReduceScatter);
+            let world = ep.world();
+            let data = mk_data(ep.world_rank());
+            reduce_scatter(ep, &world, &data, &counts)
+        }));
     }
 
     #[test]
     fn measured_traffic_matches_schedule_prediction() {
         let p = 4;
         let sizes = [3usize, 1, 4, 2];
-        let dist = run_dist(p, |ep| {
+        let dist = run_dist(channel_eps(p), |ep| {
             let me = ep.world_rank();
             let world = ep.world();
             ep.begin_phase(Phase::FactorAllGather { mode: 1 });
@@ -129,13 +153,17 @@ mod tests {
                 all_gather_traffic(Phase::FactorAllGather { mode: 1 }, &sizes, me),
                 reduce_scatter_traffic(Phase::OutputReduceScatter, &sizes, me),
             ];
-            assert_eq!(ledger.phases(), &expect, "rank {me}");
+            assert!(
+                ledger.matches(&expect),
+                "rank {me}:\n{}",
+                ledger.diff_table(&expect)
+            );
         }
     }
 
     #[test]
     fn singleton_collectives_move_nothing() {
-        let dist = run_dist(1, |ep| {
+        let dist = run_dist(channel_eps(1), |ep| {
             let world = ep.world();
             ep.begin_phase(Phase::TensorAllGather);
             let g = all_gather(ep, &world, &[1.0, 2.0]);

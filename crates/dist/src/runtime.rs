@@ -1,24 +1,50 @@
-//! The sharded runtime: `P` rank threads executing the paper's parallel
-//! MTTKRP algorithms over the instrumented transport.
+//! The sharded runtime: `P` ranks executing the paper's parallel MTTKRP
+//! algorithms over an instrumented [`Transport`].
 //!
-//! Each entry point shards the operands ([`crate::layout`]), moves one
-//! shard into each rank thread, runs the algorithm's communication
-//! schedule with the real ring collectives ([`crate::collectives`]), and
-//! assembles the per-rank output chunks with the same assemblers the
-//! simulator uses. Because the shards, the collectives, and the local
-//! kernel are all identical to the netsim execution, the assembled output
-//! is **bitwise identical** to [`mttkrp_core::par`]'s simulated runs — and
-//! the measured per-rank traffic equals the predicted
+//! Each entry point shards the operands ([`crate::layout`]), hands one
+//! shard to each rank, runs the algorithm's communication schedule with
+//! the real ring collectives ([`crate::collectives`]), and assembles the
+//! per-rank output chunks with the same assemblers the simulator uses.
+//! The rank programs are generic over the transport — the channel fabric
+//! and loopback TCP run the *identical* code — so the two invariants hold
+//! on every fabric: the assembled output is **bitwise identical** to
+//! [`mttkrp_core::par`]'s simulated runs, and the measured per-rank
+//! traffic equals the predicted
 //! [`mttkrp_netsim::schedule::CommSchedule`] collective by collective.
+//!
+//! In-process, ranks are OS threads ([`run_spmd`]); across processes, a
+//! launcher runs one rank program per process (see
+//! [`crate::backend::run_plan_rank`]) — same programs, same schedule, same
+//! words.
 
 use crate::collectives::{all_gather, reduce_scatter};
-use crate::layout::{output_counts, shard_alg3, shard_alg4, shard_matmul};
-use crate::transport::{wire, Endpoint, TrafficLedger};
+use crate::layout::{
+    output_counts, shard_alg3, shard_alg4, shard_matmul, Alg3Shard, Alg4Shard, MatmulShard,
+};
+use crate::transport::{wire, Endpoint, TcpTransport, TrafficLedger, Transport};
 use mttkrp_core::kernels::local_mttkrp;
 use mttkrp_core::par::{assemble_block_chunks, assemble_row_chunks, BlockChunk, RowChunk};
 use mttkrp_netsim::schedule::{split_range, Phase};
 use mttkrp_netsim::{CommStats, CommSummary, ProcessorGrid};
 use mttkrp_tensor::{DenseTensor, Matrix, Shape};
+use std::time::Duration;
+
+/// Which fabric an in-process multi-rank run wires its ranks with.
+///
+/// Both run the identical rank programs; `Tcp` moves every word through
+/// real loopback sockets (wire codec, reader threads and all), which is
+/// exactly what a multi-node run does — only the addresses differ.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum TransportKind {
+    /// In-process channels ([`crate::transport::channel`]).
+    #[default]
+    Channel,
+    /// Loopback TCP sockets ([`crate::transport::tcp`]).
+    Tcp,
+}
+
+/// Default bound on every blocking TCP step in an in-process loopback run.
+const LOOPBACK_TIMEOUT: Duration = Duration::from_secs(60);
 
 /// Result of a sharded multi-rank MTTKRP run.
 #[derive(Debug)]
@@ -50,22 +76,45 @@ impl DistRun {
     }
 }
 
-/// Runs `program` SPMD: one OS thread per shard, each with its endpoint.
-/// Outputs and ledgers are indexed by world rank.
+/// One rank's share of the assembled output: either a row block of
+/// `B^(n)` (Algorithm 3, matmul baseline) or a row-and-column block
+/// (Algorithm 4). This is what a rank hands back — in-process by return
+/// value, across processes over the launcher's wire protocol
+/// ([`crate::transport::wire::encode_chunk`]).
+#[derive(Clone, Debug, PartialEq)]
+pub enum OutputChunk {
+    /// `(row_lo, row_hi, row-major data)` — full output width.
+    Row(RowChunk),
+    /// `(row_lo, row_hi, col_lo, col_hi, row-major data)`.
+    Block(BlockChunk),
+}
+
+/// Runs `program` SPMD: one OS thread per transport endpoint, indexed by
+/// world rank. Outputs and ledgers are returned in world-rank order.
 ///
 /// A rank panic propagates *without deadlocking the machine*: the dying
-/// rank poisons every peer's mailbox ([`Endpoint::poison_all`]), so ranks
-/// blocked in a collective abort instead of waiting forever for messages
-/// that will never come; every thread is then joined (claiming all the
-/// chained panics) and the original payload is re-thrown.
-pub(crate) fn run_ranks<S: Send, T: Send>(
+/// rank poisons every peer ([`Transport::poison_all`]), so ranks blocked
+/// in a collective abort instead of waiting forever for messages that
+/// will never come; every thread is then joined (claiming all the chained
+/// panics) and the original payload is re-thrown.
+pub fn run_spmd<T: Transport + 'static, O: Send>(
+    endpoints: Vec<T>,
+    program: impl Fn(&mut T) -> O + Send + Sync,
+) -> (Vec<O>, Vec<TrafficLedger>) {
+    let ranks: Vec<usize> = (0..endpoints.len()).collect();
+    run_ranks(ranks, endpoints, |_, ep| program(ep))
+}
+
+/// [`run_spmd`] with a per-rank owned shard moved into each rank thread.
+pub(crate) fn run_ranks<S: Send, T: Transport, O: Send>(
     shards: Vec<S>,
-    program: impl Fn(S, &mut Endpoint) -> T + Send + Sync,
-) -> (Vec<T>, Vec<TrafficLedger>) {
+    endpoints: Vec<T>,
+    program: impl Fn(S, &mut T) -> O + Send + Sync,
+) -> (Vec<O>, Vec<TrafficLedger>) {
     let p = shards.len();
-    let endpoints = wire(p);
+    assert_eq!(p, endpoints.len(), "one endpoint per shard");
     let program = &program;
-    let mut results: Vec<Result<(T, TrafficLedger), Box<dyn std::any::Any + Send>>> =
+    let mut results: Vec<Result<(O, TrafficLedger), Box<dyn std::any::Any + Send>>> =
         Vec::with_capacity(p);
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(p);
@@ -90,13 +139,14 @@ pub(crate) fn run_ranks<S: Send, T: Send>(
         }
     });
     if results.iter().any(Result::is_err) {
-        // Prefer an original panic over the chained "peer rank panicked"
-        // aborts it provoked on blocked ranks.
+        // Prefer an original panic over the chained aborts it provoked on
+        // blocked ranks (every transport-side abort message reads
+        // "rank N aborting: ...").
         let mut errs: Vec<_> = results.into_iter().filter_map(Result::err).collect();
         let original = errs
             .iter()
             .position(|p| match p.downcast_ref::<String>() {
-                Some(msg) => !msg.contains("panicked mid-run"),
+                Some(msg) => !msg.contains(" aborting:"),
                 None => true,
             })
             .unwrap_or(0);
@@ -114,6 +164,11 @@ pub(crate) fn run_ranks<S: Send, T: Send>(
     (outputs, ledgers)
 }
 
+/// Wires a loopback TCP machine for an in-process run.
+fn loopback(p: usize) -> Vec<TcpTransport> {
+    TcpTransport::wire_loopback(p, LOOPBACK_TIMEOUT).expect("loopback TCP wiring failed")
+}
+
 fn finish(output: Matrix, ledgers: Vec<TrafficLedger>) -> DistRun {
     let stats: Vec<CommStats> = ledgers.iter().map(TrafficLedger::totals).collect();
     let summary = CommSummary::from_ranks(&stats);
@@ -125,57 +180,174 @@ fn finish(output: Matrix, ledgers: Vec<TrafficLedger>) -> DistRun {
     }
 }
 
+/// One rank of Algorithm 3 (stationary tensor): the program PR 3 ran over
+/// channels, now drivable by any [`Transport`] — including a lone rank in
+/// its own process on a TCP machine.
+pub fn stationary_rank<T: Transport>(
+    shard: Alg3Shard,
+    grid: &[usize],
+    n: usize,
+    r: usize,
+    ep: &mut T,
+) -> RowChunk {
+    let pgrid = ProcessorGrid::new(grid);
+    let order = shard.ranges.len();
+    let me = shard.rank;
+    // Line 4: All-Gather each input factor's block row across the
+    // mode-k hyperslice from the per-rank owned chunks.
+    let mut gathered: Vec<Matrix> = Vec::with_capacity(order);
+    for k in 0..order {
+        let block_rows = shard.ranges[k].1 - shard.ranges[k].0;
+        if k == n {
+            gathered.push(Matrix::zeros(block_rows, r));
+            continue;
+        }
+        ep.begin_phase(Phase::FactorAllGather { mode: k });
+        let comm = pgrid.hyperslice_comm(me, k);
+        let full = all_gather(ep, &comm, &shard.factor_chunks[k]);
+        assert_eq!(full.len(), block_rows * r);
+        gathered.push(Matrix::from_rows_vec(block_rows, r, full));
+    }
+
+    // Line 6: local MTTKRP on the owned (stationary) subtensor.
+    let refs: Vec<&Matrix> = gathered.iter().collect();
+    let c_local = local_mttkrp(&shard.x_local, &refs, n);
+
+    // Line 7: Reduce-Scatter across the mode-n hyperslice.
+    ep.begin_phase(Phase::OutputReduceScatter);
+    let comm_n = pgrid.hyperslice_comm(me, n);
+    let block_rows = shard.ranges[n].1 - shard.ranges[n].0;
+    let counts = output_counts(block_rows, r, comm_n.size());
+    let mine = reduce_scatter(ep, &comm_n, c_local.data(), &counts);
+    let (g0, g1) = shard.factor_rows[n];
+    (g0, g1, mine)
+}
+
+/// One rank of Algorithm 4 (general). `cols_per_part = R / P_0`.
+pub fn general_rank<T: Transport>(
+    shard: Alg4Shard,
+    p0: usize,
+    grid: &[usize],
+    n: usize,
+    r: usize,
+    ep: &mut T,
+) -> BlockChunk {
+    let order = shard.ranges.len();
+    let cols_per_part = r / p0.max(1);
+    let mut gdims = Vec::with_capacity(order + 1);
+    gdims.push(p0);
+    gdims.extend_from_slice(grid);
+    let pgrid = ProcessorGrid::new(&gdims);
+    let me = shard.rank;
+
+    // Line 3: All-Gather the subtensor parts across the rank-dimension
+    // fiber, materializing the full block.
+    ep.begin_phase(Phase::TensorAllGather);
+    let fiber = pgrid.fiber_comm(me, 0);
+    let gathered_tensor = all_gather(ep, &fiber, &shard.tensor_part);
+    let sub_dims: Vec<usize> = shard.ranges.iter().map(|&(a, b)| b - a).collect();
+    let sub_shape = Shape::new(&sub_dims);
+    assert_eq!(gathered_tensor.len(), sub_shape.num_entries());
+    let x_local = DenseTensor::from_vec(sub_shape, gathered_tensor);
+
+    // Line 5: All-Gather the factor chunks A^(k)(S^(k), T_{p0}) across
+    // the slice {p' : p'_0 = p_0, p'_k = p_k}.
+    let mut gathered: Vec<Matrix> = Vec::with_capacity(order);
+    for k in 0..order {
+        let block_rows = shard.ranges[k].1 - shard.ranges[k].0;
+        if k == n {
+            gathered.push(Matrix::zeros(block_rows, cols_per_part));
+            continue;
+        }
+        ep.begin_phase(Phase::FactorAllGather { mode: k });
+        let varying: Vec<usize> = (0..=order).filter(|&j| j != 0 && j != k + 1).collect();
+        let comm = pgrid.slice_comm(me, &varying);
+        let full = all_gather(ep, &comm, &shard.factor_chunks[k]);
+        assert_eq!(full.len(), block_rows * cols_per_part);
+        gathered.push(Matrix::from_rows_vec(block_rows, cols_per_part, full));
+    }
+
+    // Line 7: local MTTKRP over the gathered subtensor and the T_{p0}
+    // columns of the gathered factor blocks.
+    let refs: Vec<&Matrix> = gathered.iter().collect();
+    let c_local = local_mttkrp(&x_local, &refs, n);
+
+    // Line 8: Reduce-Scatter across {p' : p'_0 = p_0, p'_n = p_n}.
+    ep.begin_phase(Phase::OutputReduceScatter);
+    let varying: Vec<usize> = (0..=order).filter(|&j| j != 0 && j != n + 1).collect();
+    let comm_n = pgrid.slice_comm(me, &varying);
+    let block_rows = shard.ranges[n].1 - shard.ranges[n].0;
+    let counts = output_counts(block_rows, cols_per_part, comm_n.size());
+    let mine = reduce_scatter(ep, &comm_n, c_local.data(), &counts);
+    let (g0, g1) = shard.factor_rows[n];
+    (g0, g1, shard.col_range.0, shard.col_range.1, mine)
+}
+
+/// One rank of the 1D parallel matmul baseline.
+pub fn matmul_rank<T: Transport>(
+    shard: MatmulShard,
+    procs: usize,
+    n: usize,
+    r: usize,
+    i_n: usize,
+    ep: &mut T,
+) -> RowChunk {
+    // Local partial product over the owned slab.
+    let refs: Vec<&Matrix> = shard.local_factors.iter().collect();
+    let partial = local_mttkrp(&shard.x_local, &refs, n);
+
+    // Reduce-Scatter the I_n x R partials across all ranks.
+    ep.begin_phase(Phase::OutputReduceScatter);
+    let world = ep.world();
+    let counts = output_counts(i_n, r, procs);
+    let mine = reduce_scatter(ep, &world, partial.data(), &counts);
+    let (lo, hi) = split_range(i_n, procs, shard.rank);
+    (lo, hi, mine)
+}
+
+// ---------------------------------------------------------------------------
+// Whole-machine entry points
+// ---------------------------------------------------------------------------
+
 /// Algorithm 3 (stationary tensor) on `P = prod(grid)` rank threads, each
-/// owning its shard. `factors[n]` is ignored; every `P_k` must divide
-/// `I_k`.
+/// owning its shard, over in-process channels. `factors[n]` is ignored;
+/// every `P_k` must divide `I_k`.
 pub fn mttkrp_dist_stationary(
     x: &DenseTensor,
     factors: &[&Matrix],
     n: usize,
     grid: &[usize],
 ) -> DistRun {
+    mttkrp_dist_stationary_on(TransportKind::Channel, x, factors, n, grid)
+}
+
+/// [`mttkrp_dist_stationary`] over the chosen fabric.
+pub fn mttkrp_dist_stationary_on(
+    kind: TransportKind,
+    x: &DenseTensor,
+    factors: &[&Matrix],
+    n: usize,
+    grid: &[usize],
+) -> DistRun {
     let r = mttkrp_tensor::validate_operands(x, factors, n);
-    let order = x.order();
     let shards = shard_alg3(x, factors, n, grid);
-    let pgrid = ProcessorGrid::new(grid);
-    let pgrid = &pgrid;
-
-    let (chunks, ledgers) = run_ranks(shards, move |shard, ep| -> RowChunk {
-        let me = shard.rank;
-        // Line 4: All-Gather each input factor's block row across the
-        // mode-k hyperslice from the per-rank owned chunks.
-        let mut gathered: Vec<Matrix> = Vec::with_capacity(order);
-        for k in 0..order {
-            let block_rows = shard.ranges[k].1 - shard.ranges[k].0;
-            if k == n {
-                gathered.push(Matrix::zeros(block_rows, r));
-                continue;
-            }
-            ep.begin_phase(Phase::FactorAllGather { mode: k });
-            let comm = pgrid.hyperslice_comm(me, k);
-            let full = all_gather(ep, &comm, &shard.factor_chunks[k]);
-            assert_eq!(full.len(), block_rows * r);
-            gathered.push(Matrix::from_rows_vec(block_rows, r, full));
+    let p = shards.len();
+    let (chunks, ledgers) = match kind {
+        TransportKind::Channel => run_ranks(shards, wire(p), move |shard, ep: &mut Endpoint| {
+            stationary_rank(shard, grid, n, r, ep)
+        }),
+        TransportKind::Tcp => {
+            run_ranks(shards, loopback(p), move |shard, ep: &mut TcpTransport| {
+                stationary_rank(shard, grid, n, r, ep)
+            })
         }
-
-        // Line 6: local MTTKRP on the owned (stationary) subtensor.
-        let refs: Vec<&Matrix> = gathered.iter().collect();
-        let c_local = local_mttkrp(&shard.x_local, &refs, n);
-
-        // Line 7: Reduce-Scatter across the mode-n hyperslice.
-        ep.begin_phase(Phase::OutputReduceScatter);
-        let comm_n = pgrid.hyperslice_comm(me, n);
-        let block_rows = shard.ranges[n].1 - shard.ranges[n].0;
-        let counts = output_counts(block_rows, r, comm_n.size());
-        let mine = reduce_scatter(ep, &comm_n, c_local.data(), &counts);
-        let (g0, g1) = shard.factor_rows[n];
-        (g0, g1, mine)
-    });
+    };
     finish(assemble_row_chunks(x.shape().dim(n), r, &chunks), ledgers)
 }
 
-/// Algorithm 4 (general) on `P = p0 * prod(grid)` rank threads. `p0` must
-/// divide `R`; every `P_k` must divide `I_k`; `factors[n]` is ignored.
+/// Algorithm 4 (general) on `P = p0 * prod(grid)` rank threads over
+/// in-process channels. `p0` must divide `R`; every `P_k` must divide
+/// `I_k`; `factors[n]` is ignored.
 pub fn mttkrp_dist_general(
     x: &DenseTensor,
     factors: &[&Matrix],
@@ -183,83 +355,63 @@ pub fn mttkrp_dist_general(
     p0: usize,
     grid: &[usize],
 ) -> DistRun {
+    mttkrp_dist_general_on(TransportKind::Channel, x, factors, n, p0, grid)
+}
+
+/// [`mttkrp_dist_general`] over the chosen fabric.
+pub fn mttkrp_dist_general_on(
+    kind: TransportKind,
+    x: &DenseTensor,
+    factors: &[&Matrix],
+    n: usize,
+    p0: usize,
+    grid: &[usize],
+) -> DistRun {
     let r = mttkrp_tensor::validate_operands(x, factors, n);
-    let order = x.order();
-    let cols_per_part = r / p0.max(1);
     let shards = shard_alg4(x, factors, n, p0, grid);
-    let mut gdims = Vec::with_capacity(order + 1);
-    gdims.push(p0);
-    gdims.extend_from_slice(grid);
-    let pgrid = ProcessorGrid::new(&gdims);
-    let pgrid = &pgrid;
-
-    let (chunks, ledgers) = run_ranks(shards, move |shard, ep| -> BlockChunk {
-        let me = shard.rank;
-        // Line 3: All-Gather the subtensor parts across the rank-dimension
-        // fiber, materializing the full block.
-        ep.begin_phase(Phase::TensorAllGather);
-        let fiber = pgrid.fiber_comm(me, 0);
-        let gathered_tensor = all_gather(ep, &fiber, &shard.tensor_part);
-        let sub_dims: Vec<usize> = shard.ranges.iter().map(|&(a, b)| b - a).collect();
-        let sub_shape = Shape::new(&sub_dims);
-        assert_eq!(gathered_tensor.len(), sub_shape.num_entries());
-        let x_local = DenseTensor::from_vec(sub_shape, gathered_tensor);
-
-        // Line 5: All-Gather the factor chunks A^(k)(S^(k), T_{p0}) across
-        // the slice {p' : p'_0 = p_0, p'_k = p_k}.
-        let mut gathered: Vec<Matrix> = Vec::with_capacity(order);
-        for k in 0..order {
-            let block_rows = shard.ranges[k].1 - shard.ranges[k].0;
-            if k == n {
-                gathered.push(Matrix::zeros(block_rows, cols_per_part));
-                continue;
-            }
-            ep.begin_phase(Phase::FactorAllGather { mode: k });
-            let varying: Vec<usize> = (0..=order).filter(|&j| j != 0 && j != k + 1).collect();
-            let comm = pgrid.slice_comm(me, &varying);
-            let full = all_gather(ep, &comm, &shard.factor_chunks[k]);
-            assert_eq!(full.len(), block_rows * cols_per_part);
-            gathered.push(Matrix::from_rows_vec(block_rows, cols_per_part, full));
+    let p = shards.len();
+    let (chunks, ledgers) = match kind {
+        TransportKind::Channel => run_ranks(shards, wire(p), move |shard, ep: &mut Endpoint| {
+            general_rank(shard, p0, grid, n, r, ep)
+        }),
+        TransportKind::Tcp => {
+            run_ranks(shards, loopback(p), move |shard, ep: &mut TcpTransport| {
+                general_rank(shard, p0, grid, n, r, ep)
+            })
         }
-
-        // Line 7: local MTTKRP over the gathered subtensor and the T_{p0}
-        // columns of the gathered factor blocks.
-        let refs: Vec<&Matrix> = gathered.iter().collect();
-        let c_local = local_mttkrp(&x_local, &refs, n);
-
-        // Line 8: Reduce-Scatter across {p' : p'_0 = p_0, p'_n = p_n}.
-        ep.begin_phase(Phase::OutputReduceScatter);
-        let varying: Vec<usize> = (0..=order).filter(|&j| j != 0 && j != n + 1).collect();
-        let comm_n = pgrid.slice_comm(me, &varying);
-        let block_rows = shard.ranges[n].1 - shard.ranges[n].0;
-        let counts = output_counts(block_rows, cols_per_part, comm_n.size());
-        let mine = reduce_scatter(ep, &comm_n, c_local.data(), &counts);
-        let (g0, g1) = shard.factor_rows[n];
-        (g0, g1, shard.col_range.0, shard.col_range.1, mine)
-    });
+    };
     finish(assemble_block_chunks(x.shape().dim(n), r, &chunks), ledgers)
 }
 
-/// The 1D parallel matmul baseline on `procs` rank threads. `procs` must
-/// divide the slab-mode extent; `factors[n]` is ignored.
+/// The 1D parallel matmul baseline on `procs` rank threads over
+/// in-process channels. `procs` must divide the slab-mode extent;
+/// `factors[n]` is ignored.
 pub fn mttkrp_dist_matmul(x: &DenseTensor, factors: &[&Matrix], n: usize, procs: usize) -> DistRun {
+    mttkrp_dist_matmul_on(TransportKind::Channel, x, factors, n, procs)
+}
+
+/// [`mttkrp_dist_matmul`] over the chosen fabric.
+pub fn mttkrp_dist_matmul_on(
+    kind: TransportKind,
+    x: &DenseTensor,
+    factors: &[&Matrix],
+    n: usize,
+    procs: usize,
+) -> DistRun {
     let r = mttkrp_tensor::validate_operands(x, factors, n);
     let i_n = x.shape().dim(n);
     let shards = shard_matmul(x, factors, n, procs);
-
-    let (chunks, ledgers) = run_ranks(shards, move |shard, ep| -> RowChunk {
-        // Local partial product over the owned slab.
-        let refs: Vec<&Matrix> = shard.local_factors.iter().collect();
-        let partial = local_mttkrp(&shard.x_local, &refs, n);
-
-        // Reduce-Scatter the I_n x R partials across all ranks.
-        ep.begin_phase(Phase::OutputReduceScatter);
-        let world = ep.world();
-        let counts = output_counts(i_n, r, procs);
-        let mine = reduce_scatter(ep, &world, partial.data(), &counts);
-        let (lo, hi) = split_range(i_n, procs, shard.rank);
-        (lo, hi, mine)
-    });
+    let p = shards.len();
+    let (chunks, ledgers) = match kind {
+        TransportKind::Channel => run_ranks(shards, wire(p), move |shard, ep: &mut Endpoint| {
+            matmul_rank(shard, procs, n, r, i_n, ep)
+        }),
+        TransportKind::Tcp => {
+            run_ranks(shards, loopback(p), move |shard, ep: &mut TcpTransport| {
+                matmul_rank(shard, procs, n, r, i_n, ep)
+            })
+        }
+    };
     finish(assemble_row_chunks(i_n, r, &chunks), ledgers)
 }
 
@@ -298,16 +450,46 @@ mod tests {
     }
 
     #[test]
+    fn stationary_over_tcp_is_bitwise_identical_to_channels() {
+        let (x, factors) = setup(&[4, 6, 8], 3, 9);
+        let refs: Vec<&Matrix> = factors.iter().collect();
+        let chan = mttkrp_dist_stationary_on(TransportKind::Channel, &x, &refs, 1, &[2, 2, 2]);
+        let tcp = mttkrp_dist_stationary_on(TransportKind::Tcp, &x, &refs, 1, &[2, 2, 2]);
+        assert_eq!(chan.output.data(), tcp.output.data());
+        assert_eq!(chan.stats, tcp.stats);
+        for (l_chan, l_tcp) in chan.ledgers.iter().zip(&tcp.ledgers) {
+            assert_eq!(l_chan, l_tcp);
+        }
+    }
+
+    #[test]
+    fn general_over_tcp_matches_schedule_word_for_word() {
+        let (x, factors) = setup(&[4, 4, 6], 6, 11);
+        let refs: Vec<&Matrix> = factors.iter().collect();
+        let dist = mttkrp_dist_general_on(TransportKind::Tcp, &x, &refs, 0, 3, &[2, 2, 1]);
+        let sim = par::mttkrp_general(&x, &refs, 0, 3, &[2, 2, 1]);
+        assert_eq!(dist.output.data(), sim.output.data());
+        let predicted = schedule::alg4_schedule(&[4, 4, 6], 6, 0, 3, &[2, 2, 1]);
+        for (me, ledger) in dist.ledgers.iter().enumerate() {
+            assert!(
+                ledger.matches(&predicted.ranks[me].phases),
+                "rank {me}:\n{}",
+                ledger.diff_table(&predicted.ranks[me].phases)
+            );
+        }
+    }
+
+    #[test]
     fn stationary_traffic_matches_schedule_phase_by_phase() {
         let (x, factors) = setup(&[6, 6, 6], 2, 2);
         let refs: Vec<&Matrix> = factors.iter().collect();
         let dist = mttkrp_dist_stationary(&x, &refs, 0, &[2, 2, 2]);
         let predicted = schedule::alg3_schedule(&[6, 6, 6], 2, 0, &[2, 2, 2]);
         for (me, ledger) in dist.ledgers.iter().enumerate() {
-            assert_eq!(
-                ledger.phases(),
-                &predicted.ranks[me].phases[..],
-                "rank {me}"
+            assert!(
+                ledger.matches(&predicted.ranks[me].phases),
+                "rank {me}:\n{}",
+                ledger.diff_table(&predicted.ranks[me].phases)
             );
         }
     }
@@ -343,17 +525,17 @@ mod tests {
     #[test]
     fn rank_panic_propagates_instead_of_deadlocking() {
         // Rank 1 dies before its collective while every other rank blocks
-        // in the factor all-gather waiting for it. Without poisoning, the
-        // blocked ranks would wait forever and this test would hang; with
-        // it, the run aborts and the original panic propagates.
+        // in the all-gather waiting for it. Without poisoning, the blocked
+        // ranks would wait forever and this test would hang; with it, the
+        // run aborts and the original panic propagates.
         let result = std::panic::catch_unwind(|| {
-            run_ranks((0..4usize).collect(), |me, ep| {
+            run_spmd(wire(4), |ep| {
                 let world = ep.world();
                 ep.begin_phase(Phase::TensorAllGather);
-                if me == 1 {
+                if ep.world_rank() == 1 {
                     panic!("deliberate failure injection");
                 }
-                crate::collectives::all_gather(ep, &world, &[me as f64])
+                crate::collectives::all_gather(ep, &world, &[ep.world_rank() as f64])
             })
         });
         let payload = result.expect_err("the rank panic must propagate");

@@ -1,24 +1,15 @@
-//! The instrumented message transport between ranks.
+//! The in-process channel transport: ranks are threads in one process and
+//! every message is an owned `Vec<f64>` moved over an unbounded channel.
 //!
-//! Unlike the netsim [`mttkrp_netsim::Rank`] — whose job is to *count*
-//! words on a simulated machine whose rank programs may freely read the
-//! global operands — this transport is the communication fabric of a
-//! runtime where each rank *owns* its shard and every remote word really
-//! crosses a channel. Messages are typed packets tagged with the sending
-//! rank and the [`Comm`] id (the same deterministic id the simulator
-//! computes), and a per-rank reorder buffer preserves the per-(sender,
-//! communicator) FIFO order MPI guarantees.
-//!
-//! Every send and receive is charged to the *current phase* of the rank's
-//! [`TrafficLedger`] — the collective the runtime is executing — so a
-//! finished run can be compared against the netsim-predicted
-//! [`mttkrp_netsim::schedule::CommSchedule`] collective by collective, not
-//! just in total.
+//! This is the original fabric of the sharded runtime — zero
+//! serialization, no sockets — and the reference implementation of the
+//! [`Transport`] contract the TCP transport must match word for word.
 
+use super::{ReorderBuffer, TrafficLedger, Transport};
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use mttkrp_netsim::schedule::{sum_phase_traffic, Phase, PhaseTraffic};
-use mttkrp_netsim::{Comm, CommStats};
-use std::collections::{HashMap, VecDeque};
+use mttkrp_netsim::collectives::PeerExchange;
+use mttkrp_netsim::schedule::Phase;
+use mttkrp_netsim::Comm;
 use std::sync::Arc;
 
 /// A typed message in flight: who sent it, on which communicator, and the
@@ -37,55 +28,15 @@ struct Wiring {
     senders: Vec<Sender<Packet>>,
 }
 
-/// Measured per-collective traffic of one rank, accumulated by its
-/// [`Endpoint`] as the run executes.
-///
-/// The ledger is a sequence of [`PhaseTraffic`] records in execution order
-/// — the same vocabulary as the netsim schedule predictions, so a faithful
-/// run satisfies `ledger.phases() == predicted.phases` exactly.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
-pub struct TrafficLedger {
-    phases: Vec<PhaseTraffic>,
-}
-
-impl TrafficLedger {
-    /// The per-collective records, in execution order.
-    pub fn phases(&self) -> &[PhaseTraffic] {
-        &self.phases
-    }
-
-    /// Sum over all phases — directly comparable to a netsim
-    /// [`CommStats`], aggregated by the same
-    /// [`sum_phase_traffic`] the schedule predictions use.
-    pub fn totals(&self) -> CommStats {
-        sum_phase_traffic(&self.phases)
-    }
-
-    fn open(&mut self, phase: Phase) {
-        self.phases.push(PhaseTraffic {
-            phase,
-            words_sent: 0,
-            words_received: 0,
-            messages_sent: 0,
-        });
-    }
-
-    fn current(&mut self) -> &mut PhaseTraffic {
-        self.phases
-            .last_mut()
-            .expect("transport used outside a phase: call begin_phase first")
-    }
-}
-
-/// One rank's handle onto the transport: its identity, mailbox, reorder
-/// buffer, and traffic ledger. Created by [`wire`] and moved into the
-/// rank's thread.
+/// One rank's handle onto the channel transport: its identity, mailbox,
+/// reorder buffer, and traffic ledger. Created by [`wire`] and moved into
+/// the rank's thread.
 pub struct Endpoint {
     world_rank: usize,
     p: usize,
     wiring: Arc<Wiring>,
     receiver: Receiver<Packet>,
-    pending: HashMap<(usize, u64), VecDeque<Vec<f64>>>,
+    pending: ReorderBuffer,
     ledger: TrafficLedger,
 }
 
@@ -109,7 +60,7 @@ pub fn wire(p: usize) -> Vec<Endpoint> {
             p,
             wiring: Arc::clone(&wiring),
             receiver,
-            pending: HashMap::new(),
+            pending: ReorderBuffer::default(),
             ledger: TrafficLedger::default(),
         })
         .collect()
@@ -121,26 +72,6 @@ impl Endpoint {
         self.world_rank
     }
 
-    /// Total number of ranks `P`.
-    pub fn num_ranks(&self) -> usize {
-        self.p
-    }
-
-    /// The world communicator.
-    pub fn world(&self) -> Comm {
-        Comm::world(self.p)
-    }
-
-    /// Opens a new ledger phase; subsequent traffic is charged to it.
-    pub fn begin_phase(&mut self, phase: Phase) {
-        self.ledger.open(phase);
-    }
-
-    /// The traffic recorded so far.
-    pub fn ledger(&self) -> &TrafficLedger {
-        &self.ledger
-    }
-
     fn assert_member(&self, comm: &Comm) {
         assert!(
             comm.local_index(self.world_rank).is_some(),
@@ -148,31 +79,82 @@ impl Endpoint {
             self.world_rank
         );
     }
+}
 
-    /// Sends `data` to the rank with local index `dest` in `comm`,
-    /// charging `data.len()` words to the current phase.
-    pub fn send(&mut self, comm: &Comm, dest: usize, data: &[f64]) {
+impl PeerExchange for Endpoint {
+    fn world_rank(&self) -> usize {
+        Endpoint::world_rank(self)
+    }
+
+    /// Simultaneous exchange: send to `dest`, then receive from `src`
+    /// (both local indices in `comm`). The unbounded mailboxes make the
+    /// send non-blocking, so this cannot deadlock.
+    fn sendrecv(&mut self, comm: &Comm, dest: usize, data: &[f64], src: usize) -> Vec<f64> {
+        Transport::send(self, comm, dest, data);
+        Transport::recv(self, comm, src)
+    }
+}
+
+impl Transport for Endpoint {
+    fn num_ranks(&self) -> usize {
+        self.p
+    }
+
+    fn begin_phase(&mut self, phase: Phase) {
+        self.ledger.open(phase);
+    }
+
+    fn ledger(&self) -> &TrafficLedger {
+        &self.ledger
+    }
+
+    fn send(&mut self, comm: &Comm, dest: usize, data: &[f64]) {
         self.assert_member(comm);
         let dest_world = comm.world_rank(dest);
         let t = self.ledger.current();
         t.words_sent += data.len() as u64;
         t.messages_sent += 1;
-        self.wiring.senders[dest_world]
+        if self.wiring.senders[dest_world]
             .send(Packet {
                 from: self.world_rank,
                 comm_id: comm.id(),
                 payload: data.to_vec(),
                 poison: false,
             })
-            .expect("transport closed unexpectedly");
+            .is_err()
+        {
+            // The peer's mailbox is gone: it panicked and was dropped
+            // mid-unwind. A chained abort, not an original failure.
+            panic!(
+                "rank {} aborting: send to peer rank {dest_world} failed mid-run (peer gone)",
+                self.world_rank
+            );
+        }
     }
 
-    /// Notifies every other rank that this rank is dying (panicked), so
-    /// peers blocked in [`Endpoint::recv`] abort instead of waiting
-    /// forever for messages that will never come. Called by the runtime's
-    /// panic handler; the resulting peer panics chain transitively, so the
-    /// whole machine winds down and the original panic can propagate.
-    pub fn poison_all(&self) {
+    fn recv(&mut self, comm: &Comm, src: usize) -> Vec<f64> {
+        self.assert_member(comm);
+        let src_world = comm.world_rank(src);
+        let comm_id = comm.id();
+        loop {
+            if let Some(data) = self.pending.pop(src_world, comm_id) {
+                self.ledger.current().words_received += data.len() as u64;
+                return data;
+            }
+            let pkt = self
+                .receiver
+                .recv()
+                .expect("transport closed while waiting for a message");
+            assert!(
+                !pkt.poison,
+                "rank {} aborting: peer rank {} panicked mid-run",
+                self.world_rank, pkt.from
+            );
+            self.pending.push(pkt.from, pkt.comm_id, pkt.payload);
+        }
+    }
+
+    fn poison_all(&self) {
         for (dest, sender) in self.wiring.senders.iter().enumerate() {
             if dest == self.world_rank {
                 continue;
@@ -187,46 +169,7 @@ impl Endpoint {
         }
     }
 
-    /// Receives the next message from local rank `src` on `comm`
-    /// (blocking), charging its length to the current phase.
-    pub fn recv(&mut self, comm: &Comm, src: usize) -> Vec<f64> {
-        self.assert_member(comm);
-        let src_world = comm.world_rank(src);
-        let key = (src_world, comm.id());
-        loop {
-            if let Some(queue) = self.pending.get_mut(&key) {
-                if let Some(data) = queue.pop_front() {
-                    self.ledger.current().words_received += data.len() as u64;
-                    return data;
-                }
-            }
-            let pkt = self
-                .receiver
-                .recv()
-                .expect("transport closed while waiting for a message");
-            assert!(
-                !pkt.poison,
-                "rank {} aborting: peer rank {} panicked mid-run",
-                self.world_rank, pkt.from
-            );
-            self.pending
-                .entry((pkt.from, pkt.comm_id))
-                .or_default()
-                .push_back(pkt.payload);
-        }
-    }
-
-    /// Simultaneous exchange: send to `dest`, then receive from `src`
-    /// (both local indices in `comm`). The unbounded mailboxes make the
-    /// send non-blocking, so this cannot deadlock.
-    pub fn sendrecv(&mut self, comm: &Comm, dest: usize, data: &[f64], src: usize) -> Vec<f64> {
-        self.send(comm, dest, data);
-        self.recv(comm, src)
-    }
-
-    /// Consumes the endpoint, asserting quiescence (no undelivered
-    /// messages), and returns its ledger.
-    pub fn finish(mut self) -> TrafficLedger {
+    fn finish(mut self) -> TrafficLedger {
         while let Ok(pkt) = self.receiver.try_recv() {
             // A poison from a dying peer after this rank already finished
             // its program is not a protocol violation of *this* rank; the
@@ -234,12 +177,9 @@ impl Endpoint {
             if pkt.poison {
                 continue;
             }
-            self.pending
-                .entry((pkt.from, pkt.comm_id))
-                .or_default()
-                .push_back(pkt.payload);
+            self.pending.push(pkt.from, pkt.comm_id, pkt.payload);
         }
-        let leftover: usize = self.pending.values().map(|q| q.len()).sum();
+        let leftover = self.pending.len();
         assert_eq!(
             leftover, 0,
             "rank {} finished with {} unconsumed message(s)",

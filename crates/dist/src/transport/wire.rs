@@ -1,0 +1,518 @@
+//! The binary wire format of the TCP transport, plus the control frames
+//! the rendezvous handshake and the multi-process launcher use.
+//!
+//! A frame is length-prefixed so a reader can never misparse a stream
+//! position, and carries exactly what a transport packet carries:
+//!
+//! ```text
+//! ┌────────────┬───────────┬──────────────┬───────────┬──────────────────┐
+//! │ len: u32   │ from: u32 │ comm_id: u64 │ flags: u8 │ payload: n × f64 │
+//! │ (LE, bytes │ (sender   │ (netsim Comm │ 0 = data  │ (LE words)       │
+//! │ after the  │ world     │ id, or a     │ 1 = poison│                  │
+//! │ prefix)    │ rank)     │ CTRL_* id)   │ 2 = fin   │                  │
+//! └────────────┴───────────┴──────────────┴───────────┴──────────────────┘
+//! ```
+//!
+//! `len` must equal `13 + 8n` for some `n <= MAX_PAYLOAD_WORDS`; anything
+//! else is rejected ([`WireError::Truncated`] / [`WireError::Oversized`] /
+//! [`WireError::BadLength`]) rather than trusted — a garbled length prefix
+//! must not make a reader allocate gigabytes or read off the rails.
+//!
+//! Control frames reuse the format with reserved `comm_id`s from the top
+//! of the id space ([`CTRL_BASE`] and above) that the FNV-hashed netsim
+//! communicator ids never use in practice; the transport asserts the
+//! invariant on every data send.
+//!
+//! ```
+//! use mttkrp_dist::transport::wire::{decode, encode, Frame};
+//!
+//! let frame = Frame::data(3, 42, vec![1.0, 2.0]);
+//! let bytes = encode(&frame);
+//! assert_eq!(decode(&bytes).unwrap(), frame);
+//! ```
+
+use mttkrp_netsim::schedule::{Phase, PhaseTraffic};
+use std::io::{Read, Write};
+
+/// Largest admissible payload, in words: 2^27 `f64`s = 1 GiB. Far above
+/// any collective block this runtime ships, and low enough that a corrupt
+/// length prefix fails fast instead of OOM-ing the receiver.
+pub const MAX_PAYLOAD_WORDS: usize = 1 << 27;
+
+/// Fixed body bytes before the payload: from (4) + comm_id (8) + flags (1).
+const HEADER_BODY_BYTES: usize = 13;
+
+/// Start of the reserved control-id space. Data frames must carry a
+/// communicator id *below* this; the FNV-64 communicator ids effectively
+/// never land in the top 16 values.
+pub const CTRL_BASE: u64 = u64::MAX - 15;
+/// Rendezvous hello: dialer announces its world rank; payload is its own
+/// listener port (one word) toward rank 0, empty toward other peers.
+pub const CTRL_HELLO: u64 = u64::MAX;
+/// Rendezvous address table from rank 0: payload words `2i` and `2i + 1`
+/// are world rank `i`'s IPv4 address (as a `u32`, the source address rank
+/// 0 observed on `i`'s HELLO) and its listener port; both entries for
+/// rank 0 itself are zero placeholders.
+pub const CTRL_TABLE: u64 = u64::MAX - 1;
+/// Orderly goodbye: the sender's rank program finished; nothing follows.
+pub const CTRL_FIN: u64 = u64::MAX - 2;
+/// Launcher control: a spawned rank 0 reports its rendezvous port.
+pub const CTRL_READY: u64 = u64::MAX - 3;
+/// Launcher control: a rank reports its output chunk
+/// (`[tag, r0, r1, c0, c1, data...]`, see [`encode_chunk`]).
+pub const CTRL_CHUNK: u64 = u64::MAX - 4;
+/// Launcher control: a rank reports its measured ledger
+/// (`[tag, mode, sent, received, messages]` per phase, see
+/// [`encode_ledger`]).
+pub const CTRL_LEDGER: u64 = u64::MAX - 5;
+
+/// One wire message: the exact content of a transport packet.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Frame {
+    /// Sender world rank.
+    pub from: u32,
+    /// Communicator id (a netsim [`mttkrp_netsim::Comm::id`]) or a
+    /// reserved `CTRL_*` id.
+    pub comm_id: u64,
+    /// Poison flag: the sender panicked; receivers must abort.
+    pub poison: bool,
+    /// Payload words.
+    pub payload: Vec<f64>,
+}
+
+impl Frame {
+    /// A data frame.
+    pub fn data(from: usize, comm_id: u64, payload: Vec<f64>) -> Frame {
+        Frame {
+            from: from as u32,
+            comm_id,
+            poison: false,
+            payload,
+        }
+    }
+
+    /// A poison frame: `from` panicked and every blocked peer must abort.
+    pub fn poison(from: usize) -> Frame {
+        Frame {
+            from: from as u32,
+            comm_id: 0,
+            poison: true,
+            payload: Vec::new(),
+        }
+    }
+
+    /// An orderly-goodbye frame: `from` finished its rank program.
+    pub fn fin(from: usize) -> Frame {
+        Frame {
+            from: from as u32,
+            comm_id: CTRL_FIN,
+            poison: false,
+            payload: Vec::new(),
+        }
+    }
+}
+
+/// Why a byte sequence is not a frame.
+#[derive(Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// The bytes end before the length prefix says they should.
+    Truncated {
+        /// Bytes the prefix promised (after itself).
+        expected: usize,
+        /// Bytes actually present (after the prefix).
+        got: usize,
+    },
+    /// The length prefix admits no `13 + 8n` body (too short, or the
+    /// payload is not whole words).
+    BadLength(u32),
+    /// The payload would exceed [`MAX_PAYLOAD_WORDS`].
+    Oversized {
+        /// Payload words the prefix implies.
+        words: usize,
+    },
+    /// The flags byte is none of data/poison/fin.
+    BadFlags(u8),
+    /// The underlying reader failed (connection reset, EOF mid-frame, ...).
+    Io(std::io::ErrorKind),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated { expected, got } => {
+                write!(
+                    f,
+                    "truncated frame: length prefix promises {expected} bytes, got {got}"
+                )
+            }
+            WireError::BadLength(len) => write!(f, "impossible frame length {len}"),
+            WireError::Oversized { words } => write!(
+                f,
+                "oversized frame: {words} payload words exceeds the {MAX_PAYLOAD_WORDS}-word limit"
+            ),
+            WireError::BadFlags(b) => write!(f, "unknown flags byte {b:#04x}"),
+            WireError::Io(kind) => write!(f, "i/o error reading frame: {kind}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+const FLAG_DATA: u8 = 0;
+const FLAG_POISON: u8 = 1;
+const FLAG_FIN: u8 = 2;
+
+fn flags_of(frame: &Frame) -> u8 {
+    if frame.poison {
+        FLAG_POISON
+    } else if frame.comm_id == CTRL_FIN {
+        FLAG_FIN
+    } else {
+        FLAG_DATA
+    }
+}
+
+/// Encodes a frame, length prefix included.
+///
+/// # Panics
+/// Panics if the payload exceeds [`MAX_PAYLOAD_WORDS`] — encoding it
+/// anyway would either wrap the `u32` length prefix (desynchronizing the
+/// stream) or make every receiver reject the frame as a connection-level
+/// failure, both of which blame the wrong side.
+pub fn encode(frame: &Frame) -> Vec<u8> {
+    assert!(
+        frame.payload.len() <= MAX_PAYLOAD_WORDS,
+        "frame payload of {} words exceeds the {MAX_PAYLOAD_WORDS}-word wire limit",
+        frame.payload.len()
+    );
+    let body_len = HEADER_BODY_BYTES + 8 * frame.payload.len();
+    let mut out = Vec::with_capacity(4 + body_len);
+    out.extend_from_slice(&(body_len as u32).to_le_bytes());
+    out.extend_from_slice(&frame.from.to_le_bytes());
+    out.extend_from_slice(&frame.comm_id.to_le_bytes());
+    out.push(flags_of(frame));
+    for w in &frame.payload {
+        out.extend_from_slice(&w.to_le_bytes());
+    }
+    out
+}
+
+/// Validates a length prefix: the payload word count it implies, if any.
+fn payload_words(len: u32) -> Result<usize, WireError> {
+    let len = len as usize;
+    if len < HEADER_BODY_BYTES || !(len - HEADER_BODY_BYTES).is_multiple_of(8) {
+        return Err(WireError::BadLength(len as u32));
+    }
+    let words = (len - HEADER_BODY_BYTES) / 8;
+    if words > MAX_PAYLOAD_WORDS {
+        return Err(WireError::Oversized { words });
+    }
+    Ok(words)
+}
+
+/// Decodes one frame from `bytes` (which must contain exactly one frame,
+/// length prefix included). Rejects truncated and oversized inputs.
+pub fn decode(bytes: &[u8]) -> Result<Frame, WireError> {
+    if bytes.len() < 4 {
+        return Err(WireError::Truncated {
+            expected: 4,
+            got: bytes.len(),
+        });
+    }
+    let len = u32::from_le_bytes(bytes[..4].try_into().expect("4 bytes"));
+    let words = payload_words(len)?;
+    let body = &bytes[4..];
+    if body.len() < len as usize {
+        return Err(WireError::Truncated {
+            expected: len as usize,
+            got: body.len(),
+        });
+    }
+    let from = u32::from_le_bytes(body[..4].try_into().expect("4 bytes"));
+    let comm_id = u64::from_le_bytes(body[4..12].try_into().expect("8 bytes"));
+    let flags = body[12];
+    if flags > FLAG_FIN {
+        return Err(WireError::BadFlags(flags));
+    }
+    let mut payload = Vec::with_capacity(words);
+    for i in 0..words {
+        let at = HEADER_BODY_BYTES + 8 * i;
+        payload.push(f64::from_le_bytes(
+            body[at..at + 8].try_into().expect("8 bytes"),
+        ));
+    }
+    Ok(Frame {
+        from,
+        comm_id,
+        poison: flags == FLAG_POISON,
+        payload,
+    })
+}
+
+/// Writes one frame to `w` (buffered by the caller or not — one `write_all`
+/// per frame).
+pub fn write_frame(w: &mut impl Write, frame: &Frame) -> std::io::Result<()> {
+    w.write_all(&encode(frame))
+}
+
+/// Writes a data frame without building a `Frame` first (spares the
+/// payload copy on the transport's hot send path).
+///
+/// # Panics
+/// Panics if the payload exceeds [`MAX_PAYLOAD_WORDS`] (see [`encode`]).
+pub fn write_data_frame(
+    w: &mut impl Write,
+    from: usize,
+    comm_id: u64,
+    payload: &[f64],
+) -> std::io::Result<()> {
+    assert!(
+        payload.len() <= MAX_PAYLOAD_WORDS,
+        "frame payload of {} words exceeds the {MAX_PAYLOAD_WORDS}-word wire limit",
+        payload.len()
+    );
+    let body_len = HEADER_BODY_BYTES + 8 * payload.len();
+    let mut out = Vec::with_capacity(4 + body_len);
+    out.extend_from_slice(&(body_len as u32).to_le_bytes());
+    out.extend_from_slice(&(from as u32).to_le_bytes());
+    out.extend_from_slice(&comm_id.to_le_bytes());
+    out.push(FLAG_DATA);
+    for word in payload {
+        out.extend_from_slice(&word.to_le_bytes());
+    }
+    w.write_all(&out)
+}
+
+/// Reads one frame from `r`, blocking until it is complete. An EOF before
+/// the first prefix byte is reported as `Io(UnexpectedEof)` like any other
+/// short read — the TCP reader threads treat every error as "peer gone".
+pub fn read_frame(r: &mut impl Read) -> Result<Frame, WireError> {
+    let mut prefix = [0u8; 4];
+    r.read_exact(&mut prefix)
+        .map_err(|e| WireError::Io(e.kind()))?;
+    let len = u32::from_le_bytes(prefix);
+    payload_words(len)?;
+    let mut body = vec![0u8; len as usize];
+    r.read_exact(&mut body)
+        .map_err(|e| WireError::Io(e.kind()))?;
+    let mut framed = Vec::with_capacity(4 + body.len());
+    framed.extend_from_slice(&prefix);
+    framed.extend_from_slice(&body);
+    decode(&framed)
+}
+
+// ---------------------------------------------------------------------------
+// Launcher payload encodings (chunks and ledgers as words)
+// ---------------------------------------------------------------------------
+
+/// Encodes a measured ledger as frame payload words: five words per
+/// collective, `[phase_tag, mode, words_sent, words_received,
+/// messages_sent]`, with tags 0 = tensor all-gather, 1 = factor
+/// all-gather, 2 = output reduce-scatter. All quantities are exact in
+/// `f64` (word counts are far below 2^53).
+pub fn encode_ledger(phases: &[PhaseTraffic]) -> Vec<f64> {
+    let mut out = Vec::with_capacity(5 * phases.len());
+    for t in phases {
+        let (tag, mode) = match t.phase {
+            Phase::TensorAllGather => (0.0, 0.0),
+            Phase::FactorAllGather { mode } => (1.0, mode as f64),
+            Phase::OutputReduceScatter => (2.0, 0.0),
+        };
+        out.extend_from_slice(&[
+            tag,
+            mode,
+            t.words_sent as f64,
+            t.words_received as f64,
+            t.messages_sent as f64,
+        ]);
+    }
+    out
+}
+
+/// Decodes [`encode_ledger`] output.
+pub fn decode_ledger(words: &[f64]) -> Result<Vec<PhaseTraffic>, WireError> {
+    if !words.len().is_multiple_of(5) {
+        return Err(WireError::BadLength(words.len() as u32));
+    }
+    words
+        .chunks_exact(5)
+        .map(|c| {
+            let phase = match c[0] as u64 {
+                0 => Phase::TensorAllGather,
+                1 => Phase::FactorAllGather {
+                    mode: c[1] as usize,
+                },
+                2 => Phase::OutputReduceScatter,
+                other => return Err(WireError::BadFlags(other as u8)),
+            };
+            Ok(PhaseTraffic {
+                phase,
+                words_sent: c[2] as u64,
+                words_received: c[3] as u64,
+                messages_sent: c[4] as u64,
+            })
+        })
+        .collect()
+}
+
+/// Encodes an output chunk as frame payload words:
+/// `[tag, r0, r1, c0, c1, data...]` with tag 0 for a row chunk (full
+/// width; `c0 = c1 = 0` ignored) and 1 for a block chunk.
+pub fn encode_chunk(chunk: &crate::runtime::OutputChunk) -> Vec<f64> {
+    use crate::runtime::OutputChunk;
+    match chunk {
+        OutputChunk::Row((r0, r1, data)) => {
+            let mut out = vec![0.0, *r0 as f64, *r1 as f64, 0.0, 0.0];
+            out.extend_from_slice(data);
+            out
+        }
+        OutputChunk::Block((r0, r1, c0, c1, data)) => {
+            let mut out = vec![1.0, *r0 as f64, *r1 as f64, *c0 as f64, *c1 as f64];
+            out.extend_from_slice(data);
+            out
+        }
+    }
+}
+
+/// Decodes [`encode_chunk`] output.
+pub fn decode_chunk(words: &[f64]) -> Result<crate::runtime::OutputChunk, WireError> {
+    use crate::runtime::OutputChunk;
+    if words.len() < 5 {
+        return Err(WireError::BadLength(words.len() as u32));
+    }
+    let (r0, r1, c0, c1) = (
+        words[1] as usize,
+        words[2] as usize,
+        words[3] as usize,
+        words[4] as usize,
+    );
+    let data = words[5..].to_vec();
+    match words[0] as u64 {
+        0 => Ok(OutputChunk::Row((r0, r1, data))),
+        1 => Ok(OutputChunk::Block((r0, r1, c0, c1, data))),
+        other => Err(WireError::BadFlags(other as u8)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_data_poison_fin() {
+        for frame in [
+            Frame::data(7, 0xDEAD_BEEF, vec![1.5, -2.25, 0.0]),
+            Frame::data(0, 3, Vec::new()),
+            Frame::poison(2),
+            Frame::fin(5),
+        ] {
+            let bytes = encode(&frame);
+            assert_eq!(decode(&bytes).unwrap(), frame, "{frame:?}");
+        }
+    }
+
+    #[test]
+    fn truncated_frames_are_rejected() {
+        let bytes = encode(&Frame::data(1, 9, vec![3.0, 4.0]));
+        for cut in 0..bytes.len() {
+            let err = decode(&bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(err, WireError::Truncated { .. }),
+                "cut at {cut}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_and_impossible_lengths_are_rejected() {
+        // A length prefix promising more words than the cap.
+        let huge = ((HEADER_BODY_BYTES + 8 * (MAX_PAYLOAD_WORDS + 1)) as u32).to_le_bytes();
+        let mut bytes = huge.to_vec();
+        bytes.extend_from_slice(&[0u8; 64]);
+        assert!(matches!(
+            decode(&bytes).unwrap_err(),
+            WireError::Oversized { .. }
+        ));
+        // A length that cannot hold the fixed header.
+        let tiny = 5u32.to_le_bytes();
+        assert!(matches!(
+            decode(&tiny).unwrap_err(),
+            WireError::BadLength(5)
+        ));
+        // A length with a fractional payload word.
+        let frac = ((HEADER_BODY_BYTES + 3) as u32).to_le_bytes();
+        assert!(matches!(
+            decode(&frac).unwrap_err(),
+            WireError::BadLength(_)
+        ));
+    }
+
+    #[test]
+    fn bad_flags_are_rejected() {
+        let mut bytes = encode(&Frame::data(1, 9, vec![]));
+        *bytes.last_mut().unwrap() = 9; // flags byte of an empty-payload frame
+        assert_eq!(decode(&bytes).unwrap_err(), WireError::BadFlags(9));
+    }
+
+    #[test]
+    fn stream_read_write_roundtrip() {
+        let frames = [
+            Frame::data(0, 11, vec![1.0]),
+            Frame::data(1, 12, vec![2.0, 3.0]),
+            Frame::fin(0),
+        ];
+        let mut buf = Vec::new();
+        for f in &frames {
+            write_frame(&mut buf, f).unwrap();
+        }
+        let mut cursor = std::io::Cursor::new(buf);
+        for f in &frames {
+            assert_eq!(&read_frame(&mut cursor).unwrap(), f);
+        }
+        assert!(matches!(
+            read_frame(&mut cursor).unwrap_err(),
+            WireError::Io(std::io::ErrorKind::UnexpectedEof)
+        ));
+    }
+
+    #[test]
+    fn ledger_words_roundtrip() {
+        let phases = vec![
+            PhaseTraffic {
+                phase: Phase::TensorAllGather,
+                words_sent: 10,
+                words_received: 12,
+                messages_sent: 3,
+            },
+            PhaseTraffic {
+                phase: Phase::FactorAllGather { mode: 2 },
+                words_sent: 7,
+                words_received: 7,
+                messages_sent: 1,
+            },
+            PhaseTraffic {
+                phase: Phase::OutputReduceScatter,
+                words_sent: 0,
+                words_received: 0,
+                messages_sent: 0,
+            },
+        ];
+        assert_eq!(decode_ledger(&encode_ledger(&phases)).unwrap(), phases);
+        assert!(decode_ledger(&[1.0, 2.0]).is_err());
+        assert!(decode_ledger(&[9.0, 0.0, 0.0, 0.0, 0.0]).is_err());
+    }
+
+    #[test]
+    fn chunk_words_roundtrip() {
+        use crate::runtime::OutputChunk;
+        for chunk in [
+            OutputChunk::Row((2, 4, vec![1.0, 2.0, 3.0, 4.0])),
+            OutputChunk::Block((0, 1, 2, 4, vec![5.0, 6.0])),
+            OutputChunk::Row((0, 0, Vec::new())),
+        ] {
+            assert_eq!(decode_chunk(&encode_chunk(&chunk)).unwrap(), chunk);
+        }
+        assert!(decode_chunk(&[0.0, 1.0]).is_err());
+        assert!(decode_chunk(&[7.0, 0.0, 0.0, 0.0, 0.0]).is_err());
+    }
+}

@@ -1,5 +1,6 @@
-//! Property tests for the sharded runtime: across random shapes, rank
-//! counts `P ∈ {1, 2, 4, 8}`, and grid factorizations,
+//! Property tests for the sharded runtime, generic over the transport:
+//! across random shapes, rank counts `P ∈ {1, 2, 4, 8}`, and grid
+//! factorizations — over in-process channels *and* loopback TCP sockets —
 //!
 //! 1. `DistBackend` matches the sequential oracle to 1e-10 (and the
 //!    simulator bitwise — same shards, same ring order, same kernel);
@@ -7,7 +8,9 @@
 //!    schedule prediction, collective by collective.
 
 use mttkrp_core::{par, Problem};
-use mttkrp_dist::{mttkrp_dist_general, mttkrp_dist_stationary, DistBackend};
+use mttkrp_dist::{
+    mttkrp_dist_general_on, mttkrp_dist_stationary_on, DistBackend, DistRun, TransportKind,
+};
 use mttkrp_exec::{Backend, MachineSpec, Planner, SimBackend};
 use mttkrp_netsim::schedule;
 use mttkrp_tensor::{mttkrp_reference, DenseTensor, Matrix, Shape};
@@ -37,6 +40,94 @@ fn pick_grid(mut exp: u32, order: usize, selector: u64) -> Vec<usize> {
     grid
 }
 
+/// The whole-backend property, shared by both transports: oracle within
+/// 1e-10 always; for parallel plans, bitwise identity with the simulator
+/// and per-collective schedule word-exactness.
+fn backend_matches_oracle_and_sim(
+    kind: TransportKind,
+    dim_sel: &[usize],
+    r: usize,
+    seed: u64,
+    ranks_exp: u32,
+    mode_frac: f64,
+) {
+    // Dims are multiples of 2 up to 8 so that dividing grids exist for
+    // most rank counts; when none does, plan_executable falls back to
+    // a sequential plan, which the backend must also handle.
+    let dims: Vec<usize> = dim_sel.iter().map(|&s| 2 * s).collect();
+    let mode = ((dims.len() - 1) as f64 * mode_frac) as usize;
+    let ranks = 1usize << ranks_exp; // P ∈ {1, 2, 4, 8}
+    let (x, factors) = build(&dims, r, seed);
+    let refs: Vec<&Matrix> = factors.iter().collect();
+    let problem = Problem::from_shape(x.shape(), r);
+
+    let plan =
+        Planner::new(MachineSpec::cluster(ranks, 1, 1 << 14)).plan_executable(&problem, mode);
+    let backend = DistBackend::with_transport(kind);
+    let out = backend.run_instrumented(&plan, &x, &refs);
+
+    // 1e-10 of the sequential oracle, always.
+    let oracle = mttkrp_reference(&x, &refs, mode);
+    assert!(
+        out.report.output.max_abs_diff(&oracle) < 1e-10,
+        "{kind:?}, P = {ranks}, dims {dims:?}, mode {mode}: diff {}",
+        out.report.output.max_abs_diff(&oracle)
+    );
+
+    if !plan.algorithm.is_sequential() {
+        // Bitwise identical to the simulator replaying the same plan.
+        let sim = SimBackend::new().execute(&plan, &x, &refs);
+        assert!(out.report.output.data() == sim.output.data());
+
+        // Measured traffic == netsim prediction, collective by
+        // collective, on every rank.
+        let predicted = DistBackend::predicted_schedule(&plan).unwrap();
+        assert_eq!(out.ledgers.len(), predicted.num_ranks());
+        for (me, ledger) in out.ledgers.iter().enumerate() {
+            assert!(
+                ledger.matches(&predicted.ranks[me].phases),
+                "{kind:?} rank {me}:\n{}",
+                ledger.diff_table(&predicted.ranks[me].phases)
+            );
+        }
+    }
+}
+
+/// The Algorithm 3 sweep body, shared by both transports: bitwise output
+/// identity against the netsim run and `ledger == schedule` per
+/// collective on a random factorization of `P` over the modes.
+fn stationary_sweep(
+    kind: TransportKind,
+    mults: &[usize],
+    r: usize,
+    seed: u64,
+    ranks_exp: u32,
+    selector: u64,
+    mode_frac: f64,
+) {
+    let grid = pick_grid(ranks_exp, mults.len(), selector);
+    let dims: Vec<usize> = grid.iter().zip(mults).map(|(&g, &m)| g * m).collect();
+    let mode = ((dims.len() - 1) as f64 * mode_frac) as usize;
+    let (x, factors) = build(&dims, r, seed);
+    let refs: Vec<&Matrix> = factors.iter().collect();
+
+    let dist: DistRun = mttkrp_dist_stationary_on(kind, &x, &refs, mode, &grid);
+    let sim = par::mttkrp_stationary(&x, &refs, mode, &grid);
+    assert!(dist.output.data() == sim.output.data());
+    assert_eq!(&dist.stats, &sim.stats);
+
+    let predicted = schedule::alg3_schedule(&dims, r, mode, &grid);
+    for (me, ledger) in dist.ledgers.iter().enumerate() {
+        assert!(
+            ledger.matches(&predicted.ranks[me].phases),
+            "{kind:?} rank {me}:\n{}",
+            ledger.diff_table(&predicted.ranks[me].phases)
+        );
+    }
+    let oracle = mttkrp_reference(&x, &refs, mode);
+    assert!(dist.output.max_abs_diff(&oracle) < 1e-10);
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 
@@ -48,42 +139,22 @@ proptest! {
         ranks_exp in 0u32..4,
         mode_frac in 0.0f64..1.0,
     ) {
-        // Dims are multiples of 2 up to 8 so that dividing grids exist for
-        // most rank counts; when none does, plan_executable falls back to
-        // a sequential plan, which the backend must also handle.
-        let dims: Vec<usize> = dim_sel.iter().map(|&s| 2 * s).collect();
-        let mode = ((dims.len() - 1) as f64 * mode_frac) as usize;
-        let ranks = 1usize << ranks_exp; // P ∈ {1, 2, 4, 8}
-        let (x, factors) = build(&dims, r, seed);
-        let refs: Vec<&Matrix> = factors.iter().collect();
-        let problem = Problem::from_shape(x.shape(), r);
-
-        let plan = Planner::new(MachineSpec::cluster(ranks, 1, 1 << 14))
-            .plan_executable(&problem, mode);
-        let backend = DistBackend::new();
-        let out = backend.run_instrumented(&plan, &x, &refs);
-
-        // 1e-10 of the sequential oracle, always.
-        let oracle = mttkrp_reference(&x, &refs, mode);
-        prop_assert!(
-            out.report.output.max_abs_diff(&oracle) < 1e-10,
-            "P = {ranks}, dims {dims:?}, mode {mode}: diff {}",
-            out.report.output.max_abs_diff(&oracle)
+        backend_matches_oracle_and_sim(
+            TransportKind::Channel, &dim_sel, r, seed, ranks_exp, mode_frac,
         );
+    }
 
-        if !plan.algorithm.is_sequential() {
-            // Bitwise identical to the simulator replaying the same plan.
-            let sim = SimBackend::new().execute(&plan, &x, &refs);
-            prop_assert!(out.report.output.data() == sim.output.data());
-
-            // Measured traffic == netsim prediction, collective by
-            // collective, on every rank.
-            let predicted = DistBackend::predicted_schedule(&plan).unwrap();
-            prop_assert_eq!(out.ledgers.len(), predicted.num_ranks());
-            for (me, ledger) in out.ledgers.iter().enumerate() {
-                prop_assert_eq!(ledger.phases(), &predicted.ranks[me].phases[..]);
-            }
-        }
+    #[test]
+    fn dist_backend_matches_oracle_and_sim_over_tcp(
+        dim_sel in prop::collection::vec(1usize..5, 3..=4),
+        r in 1usize..7,
+        seed in 0u64..1000,
+        ranks_exp in 0u32..4,
+        mode_frac in 0.0f64..1.0,
+    ) {
+        backend_matches_oracle_and_sim(
+            TransportKind::Tcp, &dim_sel, r, seed, ranks_exp, mode_frac,
+        );
     }
 
     #[test]
@@ -95,25 +166,23 @@ proptest! {
         selector in 0u64..10_000,
         mode_frac in 0.0f64..1.0,
     ) {
-        // Random factorization of P = 2^ranks_exp over the modes, dims
-        // built as multiples of the grid so the distribution divides.
-        let grid = pick_grid(ranks_exp, mults.len(), selector);
-        let dims: Vec<usize> = grid.iter().zip(&mults).map(|(&g, &m)| g * m).collect();
-        let mode = ((dims.len() - 1) as f64 * mode_frac) as usize;
-        let (x, factors) = build(&dims, r, seed);
-        let refs: Vec<&Matrix> = factors.iter().collect();
+        stationary_sweep(
+            TransportKind::Channel, &mults, r, seed, ranks_exp, selector, mode_frac,
+        );
+    }
 
-        let dist = mttkrp_dist_stationary(&x, &refs, mode, &grid);
-        let sim = par::mttkrp_stationary(&x, &refs, mode, &grid);
-        prop_assert!(dist.output.data() == sim.output.data());
-        prop_assert_eq!(&dist.stats, &sim.stats);
-
-        let predicted = schedule::alg3_schedule(&dims, r, mode, &grid);
-        for (me, ledger) in dist.ledgers.iter().enumerate() {
-            prop_assert_eq!(ledger.phases(), &predicted.ranks[me].phases[..]);
-        }
-        let oracle = mttkrp_reference(&x, &refs, mode);
-        prop_assert!(dist.output.max_abs_diff(&oracle) < 1e-10);
+    #[test]
+    fn stationary_matches_schedule_on_random_grids_over_tcp(
+        mults in prop::collection::vec(1usize..4, 3..=3),
+        r in 1usize..5,
+        seed in 0u64..1000,
+        ranks_exp in 0u32..4,
+        selector in 0u64..10_000,
+        mode_frac in 0.0f64..1.0,
+    ) {
+        stationary_sweep(
+            TransportKind::Tcp, &mults, r, seed, ranks_exp, selector, mode_frac,
+        );
     }
 
     #[test]
@@ -134,51 +203,61 @@ proptest! {
         let (x, factors) = build(&dims, r, seed);
         let refs: Vec<&Matrix> = factors.iter().collect();
 
-        let dist = mttkrp_dist_general(&x, &refs, mode, p0, &grid);
+        // Alternate fabrics across cases: Algorithm 4's four-collective
+        // schedule runs the TCP codec on half the sweep at no extra cost.
+        let kind = if seed % 2 == 0 { TransportKind::Channel } else { TransportKind::Tcp };
+        let dist = mttkrp_dist_general_on(kind, &x, &refs, mode, p0, &grid);
         let sim = par::mttkrp_general(&x, &refs, mode, p0, &grid);
         prop_assert!(dist.output.data() == sim.output.data());
         prop_assert_eq!(&dist.stats, &sim.stats);
 
         let predicted = schedule::alg4_schedule(&dims, r, mode, p0, &grid);
         for (me, ledger) in dist.ledgers.iter().enumerate() {
-            prop_assert_eq!(ledger.phases(), &predicted.ranks[me].phases[..]);
+            prop_assert!(
+                ledger.matches(&predicted.ranks[me].phases),
+                "{kind:?} rank {me}:\n{}",
+                ledger.diff_table(&predicted.ranks[me].phases)
+            );
         }
         let oracle = mttkrp_reference(&x, &refs, mode);
         prop_assert!(dist.output.max_abs_diff(&oracle) < 1e-10);
     }
 }
 
-/// The acceptance configuration, pinned as a plain test: a >= 4-rank dist
-/// run is bit-identical to the single-node executor's result for the same
-/// plan, and its per-rank traffic equals the netsim prediction.
+/// The acceptance configuration, pinned as a plain test — once per
+/// transport: a >= 4-rank dist run is bit-identical to the single-node
+/// executor's result for the same plan, and its per-rank traffic equals
+/// the netsim prediction.
 #[test]
 fn four_rank_run_is_bit_identical_and_word_exact() {
-    let (x, factors) = build(&[16, 16, 16], 8, 42);
-    let refs: Vec<&Matrix> = factors.iter().collect();
-    let problem = Problem::from_shape(x.shape(), 8);
-    let machine = MachineSpec::cluster(4, 1, 1 << 16);
-    let plan = Planner::new(machine.clone()).plan_executable(&problem, 0);
-    assert!(!plan.algorithm.is_sequential(), "expected a parallel plan");
+    for kind in [TransportKind::Channel, TransportKind::Tcp] {
+        let (x, factors) = build(&[16, 16, 16], 8, 42);
+        let refs: Vec<&Matrix> = factors.iter().collect();
+        let problem = Problem::from_shape(x.shape(), 8);
+        let machine = MachineSpec::cluster(4, 1, 1 << 16);
+        let plan = Planner::new(machine.clone()).plan_executable(&problem, 0);
+        assert!(!plan.algorithm.is_sequential(), "expected a parallel plan");
 
-    // Single-node execution of the same plan (what plan_and_execute runs).
-    let (single_plan, single) = mttkrp_exec::plan_and_execute(&machine, &x, &refs, 0);
-    assert_eq!(single_plan.algorithm, plan.algorithm);
+        // Single-node execution of the same plan (what plan_and_execute runs).
+        let (single_plan, single) = mttkrp_exec::plan_and_execute(&machine, &x, &refs, 0);
+        assert_eq!(single_plan.algorithm, plan.algorithm);
 
-    let out = DistBackend::new().run_instrumented(&plan, &x, &refs);
-    assert_eq!(
-        out.report.output.data(),
-        single.output.data(),
-        "dist output must be bit-identical to the single-node executor"
-    );
-
-    let predicted = DistBackend::predicted_schedule(&plan).unwrap();
-    assert!(predicted.num_ranks() >= 4);
-    for (me, ledger) in out.ledgers.iter().enumerate() {
+        let out = DistBackend::with_transport(kind).run_instrumented(&plan, &x, &refs);
         assert_eq!(
-            ledger.phases(),
-            &predicted.ranks[me].phases[..],
-            "rank {me} traffic deviates from the netsim schedule"
+            out.report.output.data(),
+            single.output.data(),
+            "{kind:?}: dist output must be bit-identical to the single-node executor"
         );
-        assert_eq!(ledger.totals(), predicted.ranks[me].totals());
+
+        let predicted = DistBackend::predicted_schedule(&plan).unwrap();
+        assert!(predicted.num_ranks() >= 4);
+        for (me, ledger) in out.ledgers.iter().enumerate() {
+            assert!(
+                ledger.matches(&predicted.ranks[me].phases),
+                "{kind:?}: rank {me} traffic deviates from the netsim schedule:\n{}",
+                ledger.diff_table(&predicted.ranks[me].phases)
+            );
+            assert_eq!(ledger.totals(), predicted.ranks[me].totals());
+        }
     }
 }

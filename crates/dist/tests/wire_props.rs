@@ -1,0 +1,88 @@
+//! Property tests for the TCP transport's wire codec: every frame the
+//! transport can produce survives an encode/decode roundtrip byte-exactly,
+//! and malformed inputs (truncations, oversized or impossible length
+//! prefixes) are rejected instead of trusted.
+
+use mttkrp_dist::transport::wire::{
+    decode, encode, read_frame, Frame, WireError, CTRL_BASE, MAX_PAYLOAD_WORDS,
+};
+use proptest::prelude::*;
+
+/// Deterministic payload of `len` words derived from `seed` (cheaper than
+/// sampling 4096 words per case, same coverage of bit patterns).
+fn payload(len: usize, seed: u64) -> Vec<f64> {
+    let mut state = seed | 1;
+    (0..len)
+        .map(|_| {
+            // xorshift64* — exercises sign, exponent, and mantissa bits.
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            f64::from_bits(state.wrapping_mul(0x2545F4914F6CDD1D))
+        })
+        .map(|w| if w.is_nan() { 0.5 } else { w })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn roundtrip_over_random_packets(
+        from in 0usize..1024,
+        comm_seed in 0u64..u64::MAX / 2,
+        poison in any::<bool>(),
+        len in 0usize..=4096,
+        seed in 0u64..u64::MAX,
+    ) {
+        let comm_id = comm_seed % CTRL_BASE; // data ids stay out of the control range
+        let frame = Frame {
+            from: from as u32,
+            comm_id,
+            poison,
+            payload: if poison { Vec::new() } else { payload(len, seed) },
+        };
+        let bytes = encode(&frame);
+        let back = decode(&bytes).expect("encoded frames must decode");
+        // Byte-exact payloads (bit patterns, not float equality).
+        prop_assert_eq!(back.from, frame.from);
+        prop_assert_eq!(back.comm_id, frame.comm_id);
+        prop_assert_eq!(back.poison, frame.poison);
+        prop_assert_eq!(back.payload.len(), frame.payload.len());
+        for (a, b) in back.payload.iter().zip(&frame.payload) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // And the stream reader agrees with the slice decoder.
+        let mut cursor = std::io::Cursor::new(bytes);
+        prop_assert_eq!(read_frame(&mut cursor).unwrap(), back);
+    }
+
+    #[test]
+    fn every_truncation_is_rejected(
+        len in 0usize..=64,
+        seed in 0u64..u64::MAX,
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let frame = Frame::data(3, 42, payload(len, seed));
+        let bytes = encode(&frame);
+        // Cut strictly inside the frame: decode must fail, never panic,
+        // never return a frame.
+        let cut = ((bytes.len() - 1) as f64 * cut_frac) as usize;
+        let err = decode(&bytes[..cut]).expect_err("truncated frame accepted");
+        prop_assert!(matches!(err, WireError::Truncated { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn oversized_length_prefixes_are_rejected(
+        excess_words in 1usize..1024,
+        junk in 0u8..255,
+    ) {
+        // A prefix promising more payload than the cap, followed by junk:
+        // the decoder must refuse before allocating or reading it.
+        let body = 13 + 8 * (MAX_PAYLOAD_WORDS + excess_words);
+        let mut bytes = (body as u32).to_le_bytes().to_vec();
+        bytes.extend(std::iter::repeat_n(junk, 32));
+        let err = decode(&bytes).expect_err("oversized frame accepted");
+        prop_assert!(matches!(err, WireError::Oversized { .. }), "{err:?}");
+    }
+}

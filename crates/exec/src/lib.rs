@@ -62,7 +62,7 @@ pub mod sim;
 pub use backend::{Backend, ExecCost, ExecReport};
 pub use cache::{CacheStats, PlanCache, PlanKey, ProblemKey};
 pub use executor::{execute, plan_and_execute, Executor};
-pub use machine::{MachineSpec, DEFAULT_CACHE_WORDS};
+pub use machine::{MachineSpec, TransportSpec, DEFAULT_CACHE_WORDS};
 pub use native::{mttkrp_native, native_grain, native_tile, NativeBackend, ParGrain};
 pub use plan::{Algorithm, Candidate, Plan};
 pub use planner::Planner;

@@ -4,6 +4,35 @@
 /// (16 MiB of `f64`), a typical shared last-level cache slice.
 pub const DEFAULT_CACHE_WORDS: usize = 1 << 21;
 
+/// How the ranks of a distributed machine exchange words.
+///
+/// The paper's cost models count words, not wire time, so the planner's
+/// decisions are transport-independent — but the machine description names
+/// the transport so a `Plan::explain` says where its words will physically
+/// travel, and so a distributed executor (the `mttkrp-dist` runtime) knows
+/// which fabric to wire up. The schedule contract is the same either way:
+/// measured traffic must equal the netsim prediction collective by
+/// collective on both transports.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum TransportSpec {
+    /// Ranks are threads in one process exchanging owned buffers over
+    /// in-process channels (the default).
+    #[default]
+    InProcess,
+    /// Ranks exchange length-prefixed binary frames over TCP sockets
+    /// (loopback or a real network).
+    Tcp,
+}
+
+impl std::fmt::Display for TransportSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransportSpec::InProcess => write!(f, "in-process channels"),
+            TransportSpec::Tcp => write!(f, "tcp sockets"),
+        }
+    }
+}
+
 /// A description of the execution target, in the vocabulary of the paper's
 /// two machine models:
 ///
@@ -13,7 +42,9 @@ pub const DEFAULT_CACHE_WORDS: usize = 1 << 21;
 ///   `ranks == 1` the planner compares the *sequential* algorithms
 ///   (Algorithms 1/2, matmul baseline); with `ranks > 1` it compares the
 ///   *parallel* ones (Algorithms 3/4, CARMA baseline);
-/// - `threads` is the shared-memory parallelism the native backend may use.
+/// - `threads` is the shared-memory parallelism the native backend may use;
+/// - `transport` names the fabric the ranks exchange words over (it never
+///   changes the planner's choice — word counts are transport-independent).
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct MachineSpec {
     /// Shared-memory threads available to the native backend.
@@ -22,6 +53,8 @@ pub struct MachineSpec {
     pub fast_memory_words: usize,
     /// Distributed ranks `P` to plan for (1 = sequential planning).
     pub ranks: usize,
+    /// The fabric the ranks exchange words over.
+    pub transport: TransportSpec,
 }
 
 impl MachineSpec {
@@ -39,6 +72,7 @@ impl MachineSpec {
             threads: MachineSpec::detect_threads(),
             fast_memory_words: DEFAULT_CACHE_WORDS,
             ranks: 1,
+            transport: TransportSpec::InProcess,
         }
     }
 
@@ -48,6 +82,7 @@ impl MachineSpec {
             threads: 1,
             fast_memory_words: m,
             ranks: 1,
+            transport: TransportSpec::InProcess,
         }
     }
 
@@ -59,6 +94,7 @@ impl MachineSpec {
             threads,
             fast_memory_words: cache_words,
             ranks: 1,
+            transport: TransportSpec::InProcess,
         }
     }
 
@@ -71,6 +107,7 @@ impl MachineSpec {
             threads: 1,
             fast_memory_words: DEFAULT_CACHE_WORDS,
             ranks,
+            transport: TransportSpec::InProcess,
         }
     }
 
@@ -89,7 +126,22 @@ impl MachineSpec {
             threads,
             fast_memory_words: cache_words.max(1),
             ranks,
+            transport: TransportSpec::InProcess,
         }
+    }
+
+    /// The same machine with its ranks wired over `transport`.
+    ///
+    /// ```
+    /// use mttkrp_exec::{MachineSpec, TransportSpec};
+    ///
+    /// let m = MachineSpec::cluster(4, 1, 1 << 16).with_transport(TransportSpec::Tcp);
+    /// assert_eq!(m.transport, TransportSpec::Tcp);
+    /// assert_eq!(m.ranks, 4); // everything else is unchanged
+    /// ```
+    pub fn with_transport(mut self, transport: TransportSpec) -> MachineSpec {
+        self.transport = transport;
+        self
     }
 }
 
@@ -118,5 +170,16 @@ mod tests {
         assert_eq!(MachineSpec::distributed(16).ranks, 16);
         let cluster = MachineSpec::cluster(4, 2, 1 << 12);
         assert_eq!((cluster.ranks, cluster.threads), (4, 2));
+    }
+
+    #[test]
+    fn transport_defaults_in_process_and_is_hash_relevant() {
+        use std::collections::HashSet;
+        let base = MachineSpec::cluster(4, 1, 1 << 12);
+        assert_eq!(base.transport, TransportSpec::InProcess);
+        let tcp = base.clone().with_transport(TransportSpec::Tcp);
+        assert_ne!(base, tcp);
+        let set: HashSet<MachineSpec> = [base, tcp].into_iter().collect();
+        assert_eq!(set.len(), 2);
     }
 }

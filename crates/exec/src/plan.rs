@@ -209,6 +209,7 @@ impl Plan {
         ));
         if let Some(dist) = self.distribution() {
             s.push_str(&format!("\ndistribution: {dist}"));
+            s.push_str(&format!("\ntransport: {}", self.machine.transport));
         }
         if let Some(note) = &self.note {
             s.push_str(&format!("\nnote: {note}"));
@@ -280,8 +281,16 @@ mod tests {
         assert!(d.contains("2x1x1"), "{d}");
         assert!(d.contains("Algorithm 4"), "{d}");
         assert!(plan.explain().contains("distribution: 4 ranks"));
+        assert!(plan.explain().contains("transport: in-process channels"));
+
+        plan.machine = plan
+            .machine
+            .clone()
+            .with_transport(crate::TransportSpec::Tcp);
+        assert!(plan.explain().contains("transport: tcp sockets"));
 
         plan.algorithm = Algorithm::SeqUnblocked { memory: 64 };
         assert!(plan.distribution().is_none());
+        assert!(!plan.explain().contains("transport:"));
     }
 }

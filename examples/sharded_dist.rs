@@ -6,13 +6,15 @@
 //! instrumented transport, and the example cross-checks the measured
 //! per-rank traffic against the netsim-predicted schedule — collective by
 //! collective — and the output against the single-node executor, bit for
-//! bit.
+//! bit. The same run then repeats over loopback TCP sockets (the
+//! machine's `TransportSpec::Tcp`): identical rank programs, identical
+//! bits, identical ledgers — only the fabric changes.
 //!
 //! Run with: `cargo run --release --example sharded_dist`
 
 use mttkrp_core::Problem;
 use mttkrp_dist::DistBackend;
-use mttkrp_exec::{plan_and_execute, MachineSpec, Planner};
+use mttkrp_exec::{plan_and_execute, MachineSpec, Planner, TransportSpec};
 use mttkrp_tensor::{DenseTensor, Matrix, Shape};
 
 fn main() {
@@ -58,4 +60,19 @@ fn main() {
         "dist output must be bit-identical to the single-node executor"
     );
     println!("\ndist output bit-identical to single-node execution; schedule word-exact");
+
+    // Same plan, same rank programs — over real loopback TCP sockets.
+    let tcp_machine = machine.with_transport(TransportSpec::Tcp);
+    let tcp_plan = Planner::new(tcp_machine).plan_executable(&problem, mode);
+    let tcp = DistBackend::new().run_instrumented(&tcp_plan, &x, &refs);
+    assert_eq!(
+        tcp.report.output.data(),
+        out.report.output.data(),
+        "tcp output must be bit-identical to the channel run"
+    );
+    assert_eq!(
+        tcp.ledgers, out.ledgers,
+        "tcp ledgers must equal channel ledgers"
+    );
+    println!("tcp loopback run bit-identical to channels, ledgers equal word for word");
 }

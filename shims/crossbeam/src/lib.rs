@@ -84,6 +84,25 @@ pub mod channel {
         Disconnected,
     }
 
+    /// Timed receive that ran out of time, or found the channel empty and
+    /// disconnected.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        Timeout,
+        Disconnected,
+    }
+
+    impl fmt::Display for RecvTimeoutError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                RecvTimeoutError::Timeout => write!(f, "timed out waiting on receive operation"),
+                RecvTimeoutError::Disconnected => {
+                    write!(f, "receiving on an empty, disconnected channel")
+                }
+            }
+        }
+    }
+
     impl<T> Sender<T> {
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
             if self.inner.receivers.load(Ordering::Acquire) == 0 {
@@ -140,6 +159,32 @@ pub mod channel {
             }
         }
 
+        pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = std::time::Instant::now() + timeout;
+            let mut queue = self.inner.queue.lock().expect("channel mutex poisoned");
+            loop {
+                if let Some(v) = queue.pop_front() {
+                    return Ok(v);
+                }
+                if self.inner.senders.load(Ordering::Acquire) == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = std::time::Instant::now();
+                let Some(remaining) = deadline
+                    .checked_duration_since(now)
+                    .filter(|d| !d.is_zero())
+                else {
+                    return Err(RecvTimeoutError::Timeout);
+                };
+                let (guard, _timed_out) = self
+                    .inner
+                    .ready
+                    .wait_timeout(queue, remaining)
+                    .expect("channel mutex poisoned");
+                queue = guard;
+            }
+        }
+
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
             let mut queue = self.inner.queue.lock().expect("channel mutex poisoned");
             match queue.pop_front() {
@@ -191,6 +236,23 @@ pub mod channel {
             let (s2, r2) = unbounded::<i32>();
             drop(r2);
             assert!(s2.send(5).is_err());
+        }
+
+        #[test]
+        fn recv_timeout_times_out_then_delivers() {
+            use std::time::Duration;
+            let (s, r) = unbounded();
+            assert_eq!(
+                r.recv_timeout(Duration::from_millis(10)),
+                Err(RecvTimeoutError::Timeout)
+            );
+            s.send(7u64).unwrap();
+            assert_eq!(r.recv_timeout(Duration::from_millis(10)), Ok(7));
+            drop(s);
+            assert_eq!(
+                r.recv_timeout(Duration::from_millis(10)),
+                Err(RecvTimeoutError::Disconnected)
+            );
         }
 
         #[test]

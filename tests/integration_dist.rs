@@ -109,7 +109,8 @@ fn dist_backend_handles_sequential_fallback() {
 }
 
 /// `Plan::explain` names the distribution for cluster plans, so "4 ranks,
-/// 2x2x1 grid, Algorithm N" is visible before anything executes.
+/// 2x2x1 grid, Algorithm N" is visible before anything executes — and the
+/// transport the machine wires those ranks with.
 #[test]
 fn cluster_plan_explains_its_distribution() {
     let problem = Problem::new(&[64, 64, 64], 64);
@@ -118,4 +119,36 @@ fn cluster_plan_explains_its_distribution() {
     assert!(!plan.algorithm.is_sequential());
     assert!(text.contains("distribution: 8 ranks"), "{text}");
     assert!(text.contains("grid"), "{text}");
+    assert!(text.contains("transport: in-process channels"), "{text}");
+}
+
+/// The acceptance criterion over the wire: a TCP-machine plan executes the
+/// identical rank programs over loopback sockets, and both gates (bitwise
+/// output, schedule word-exactness) hold exactly as they do over channels.
+#[test]
+fn tcp_machine_is_bit_identical_and_word_exact() {
+    use mttkrp_exec::TransportSpec;
+    let (x, factors) = setup(&[16, 16, 16], 8, 8);
+    let refs: Vec<&Matrix> = factors.iter().collect();
+    let problem = Problem::from_shape(x.shape(), 8);
+    let machine = MachineSpec::cluster(4, 1, 1 << 16).with_transport(TransportSpec::Tcp);
+    let plan = Planner::new(machine.clone()).plan_executable(&problem, 0);
+    assert!(!plan.algorithm.is_sequential());
+    assert!(plan.explain().contains("transport: tcp sockets"));
+
+    let out = DistBackend::new().run_instrumented(&plan, &x, &refs);
+    let (_, single) = plan_and_execute(&machine, &x, &refs, 0);
+    assert_eq!(
+        out.report.output.data(),
+        single.output.data(),
+        "tcp run differs from the single-node executor"
+    );
+    let predicted = DistBackend::predicted_schedule(&plan).unwrap();
+    for (me, ledger) in out.ledgers.iter().enumerate() {
+        assert!(
+            ledger.matches(&predicted.ranks[me].phases),
+            "rank {me} deviates from the schedule over tcp:\n{}",
+            ledger.diff_table(&predicted.ranks[me].phases)
+        );
+    }
 }
