@@ -1,0 +1,432 @@
+//! The CP-ALS driver: sweep → per-mode planned MTTKRP → Gram-Hadamard →
+//! SPD solve (with ridge fallback) → column normalization → fit.
+
+use crate::config::{AlsConfig, BackendChoice};
+use crate::report::{AlsRun, AlsSweep};
+use mttkrp_core::Problem;
+use mttkrp_dist::DistBackend;
+use mttkrp_exec::{
+    Backend, ExecReport, MachineSpec, NativeBackend, Plan, PlanCache, Planner, SimBackend,
+};
+use mttkrp_tensor::{solve_spd_ridge, DenseTensor, KruskalTensor, Matrix};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// The three execution targets, built once per run so backend setup (the
+/// native rayon pool in particular) is amortized across all sweeps. The
+/// native pool spawns real worker threads, so it is built lazily — a
+/// `Sim`/`Dist` run (e.g. every dist-backed `Factorize` request on a
+/// serve worker) never pays for a pool it won't use.
+struct Backends {
+    machine: MachineSpec,
+    native: std::cell::OnceCell<NativeBackend>,
+    sim: SimBackend,
+    dist: DistBackend,
+}
+
+impl Backends {
+    fn for_machine(machine: &MachineSpec) -> Backends {
+        Backends {
+            machine: machine.clone(),
+            native: std::cell::OnceCell::new(),
+            sim: SimBackend::new(),
+            dist: DistBackend::new(),
+        }
+    }
+
+    fn native(&self) -> &NativeBackend {
+        self.native.get_or_init(|| {
+            NativeBackend::new(self.machine.threads, self.machine.fast_memory_words)
+        })
+    }
+
+    fn execute(
+        &self,
+        choice: BackendChoice,
+        plan: &Plan,
+        x: &DenseTensor,
+        factors: &[&Matrix],
+    ) -> ExecReport {
+        let backend: &dyn Backend = match choice {
+            BackendChoice::Native => self.native(),
+            BackendChoice::Sim => &self.sim,
+            BackendChoice::Dist => &self.dist,
+            // The plan's natural target, as `plan_and_execute` picks it.
+            BackendChoice::Auto if plan.algorithm.is_sequential() => self.native(),
+            BackendChoice::Auto => &self.sim,
+        };
+        backend.execute(plan, x, factors)
+    }
+}
+
+/// Validates a CP-ALS input tensor and returns its squared Frobenius
+/// norm — the single source of truth for "can this tensor be factorized",
+/// shared by the engine and by `mttkrp-serve`'s `FactorizeRequest` (which
+/// wants to reject bad inputs on the caller's thread, before a server
+/// worker ever sees them).
+///
+/// # Panics
+/// Panics if the tensor has fewer than two modes, contains non-finite
+/// values (a NaN passes a plain `!= 0.0` zero-check, and would otherwise
+/// surface as a confusing solve failure sweeps later), has a norm that
+/// overflows, or is identically zero.
+pub fn validate_input(x: &DenseTensor) -> f64 {
+    assert!(
+        x.order() >= 2,
+        "CP-ALS needs a tensor with at least two modes"
+    );
+    let norm_sq: f64 = x.data().iter().map(|&v| v * v).sum();
+    assert!(
+        norm_sq.is_finite(),
+        "cannot fit a CP model to a tensor with non-finite values (or a norm overflow)"
+    );
+    assert!(norm_sq > 0.0, "cannot fit a CP model to the zero tensor");
+    norm_sq
+}
+
+/// Fits a CP model to `x` per `config`, with a private plan cache.
+///
+/// Convenience over [`cp_als_with_cache`]; a serving layer that wants plan
+/// reuse *across* factorizations (the `mttkrp-serve` `Factorize` request)
+/// passes its shared cache to that entry point instead.
+///
+/// # Panics
+/// Panics if `x` is the zero tensor or contains non-finite values, or if
+/// the machine is malformed (zero threads).
+pub fn cp_als(x: &DenseTensor, config: &AlsConfig) -> AlsRun {
+    let cache = PlanCache::new((2 * x.order()).max(8));
+    cp_als_with_cache(x, config, &cache)
+}
+
+/// Fits a CP model to `x` per `config`, resolving every per-mode MTTKRP
+/// plan through `cache`.
+///
+/// Each sweep updates every factor in turn: the mode-`n` MTTKRP `B⁽ⁿ⁾` is
+/// computed by [`Planner::plan_cached`](mttkrp_exec::Planner::plan_cached)
+/// plus the configured backend, the normal equations
+/// `A⁽ⁿ⁾ · (⊛_{m≠n} A⁽ᵐ⁾ᵀA⁽ᵐ⁾) = B⁽ⁿ⁾` are solved by Cholesky with the
+/// [`solve_spd_ridge`] fallback, and the new factor is column-normalized
+/// into the model weights. The fit is read off the *last* mode's MTTKRP
+/// via `‖X − M‖² = ‖X‖² − 2⟨X,M⟩ + ‖M‖²` (where `⟨X,M⟩ = Σᵢ Bᵢ·(Aᵢ∘λ)`),
+/// so tracking convergence costs no extra pass over the tensor.
+///
+/// The run is bitwise deterministic given the backend's MTTKRP outputs:
+/// everything downstream of the kernel is sequential arithmetic. Two runs
+/// whose backends produce identical MTTKRP bits (e.g. `Sim` and `Dist`,
+/// whose equality the `mttkrp-dist` suite asserts structurally) therefore
+/// produce bitwise-identical factor matrices.
+pub fn cp_als_with_cache(x: &DenseTensor, config: &AlsConfig, cache: &PlanCache) -> AlsRun {
+    let r = config.rank;
+    assert!(r >= 1, "CP rank must be at least 1");
+    assert!(config.max_sweeps >= 1, "need at least one sweep");
+    let shape = x.shape().clone();
+    let order = shape.order();
+    let norm_x_sq = validate_input(x);
+    let norm_x = norm_x_sq.sqrt();
+
+    let problem = Problem::from_shape(&shape, r);
+    let planner = Planner::new(config.machine.clone());
+    let backends = Backends::for_machine(&config.machine);
+
+    // Deterministic seeded init: unit-norm random factors.
+    let mut factors: Vec<Matrix> = (0..order)
+        .map(|k| {
+            let mut f = Matrix::random(shape.dim(k), r, config.seed.wrapping_add(k as u64));
+            f.normalize_cols();
+            f
+        })
+        .collect();
+    let mut grams: Vec<Matrix> = factors.iter().map(Matrix::gram).collect();
+    let mut weights = vec![1.0f64; r];
+
+    let mut plans: Vec<Option<Arc<Plan>>> = vec![None; order];
+    let mut backend_names: Vec<&'static str> = vec![""; order];
+    let mut trace: Vec<AlsSweep> = Vec::new();
+    let mut prev_fit = f64::NEG_INFINITY;
+    let mut converged = false;
+
+    for sweep in 0..config.max_sweeps {
+        let sweep_start = Instant::now();
+        let (mut hits, mut misses) = (0usize, 0usize);
+        let mut mode_times = Vec::with_capacity(order);
+        let mut last_b: Option<Matrix> = None;
+
+        for n in 0..order {
+            let t0 = Instant::now();
+            let (plan, hit) = planner.plan_cached_with_status(&problem, n, cache);
+            if hit {
+                hits += 1;
+            } else {
+                misses += 1;
+            }
+            let refs: Vec<&Matrix> = factors.iter().collect();
+            let report = backends.execute(config.backend, &plan, x, &refs);
+            backend_names[n] = report.backend;
+            if plans[n].is_none() {
+                plans[n] = Some(plan);
+            }
+            let b = report.output;
+
+            // V = Hadamard product of the other modes' Grams.
+            let mut v = Matrix::from_fn(r, r, |_, _| 1.0);
+            for (k, g) in grams.iter().enumerate() {
+                if k != n {
+                    v = v.hadamard(g);
+                }
+            }
+            // A^(n) V = B  <=>  V A^(n)^T = B^T (V symmetric); a
+            // rank-deficient V falls back to the ridge-regularized system.
+            let mut a_new = solve_spd_ridge(&v, &b.transpose(), config.ridge)
+                .expect("CP-ALS normal equations unsolvable even with the ridge safeguard")
+                .transpose();
+            weights = a_new.normalize_cols();
+            for (j, w) in weights.iter().enumerate() {
+                if *w == 0.0 {
+                    // Reseed a collapsed column to the first basis vector so
+                    // the Gram stays nonsingular-ish; its weight remains 0.
+                    a_new[(0, j)] = 1.0;
+                }
+            }
+            grams[n] = a_new.gram();
+            factors[n] = a_new;
+            if n == order - 1 {
+                last_b = Some(b);
+            }
+            mode_times.push(t0.elapsed());
+        }
+
+        // Fit via the normal-equations identity, with <X, M> read off the
+        // last mode's MTTKRP (computed against the final values of every
+        // other factor) — no extra pass over the tensor.
+        let b = last_b.expect("at least one mode updated");
+        let a_last = &factors[order - 1];
+        let mut inner = 0.0;
+        for i in 0..a_last.rows() {
+            let (br, ar) = (b.row(i), a_last.row(i));
+            for c in 0..r {
+                inner += br[c] * ar[c] * weights[c];
+            }
+        }
+        let mut vall = Matrix::from_fn(r, r, |_, _| 1.0);
+        for g in &grams {
+            vall = vall.hadamard(g);
+        }
+        let mut model_norm_sq = 0.0;
+        for a in 0..r {
+            for bb in 0..r {
+                model_norm_sq += weights[a] * vall[(a, bb)] * weights[bb];
+            }
+        }
+        let resid_sq = norm_x_sq - 2.0 * inner + model_norm_sq;
+        // A numerically exploded sweep (overflowed factors) makes this NaN;
+        // clamping NaN would read as resid 0 => fit 1.0, turning garbage
+        // into a "perfect" converged model. Fail loudly instead.
+        assert!(
+            resid_sq.is_finite(),
+            "CP-ALS sweep {} produced a non-finite residual (factors overflowed); \
+             the model is numerically invalid",
+            sweep + 1
+        );
+        let resid_sq = resid_sq.max(0.0);
+        let fit = 1.0 - resid_sq.sqrt() / norm_x;
+
+        trace.push(AlsSweep {
+            sweep: sweep + 1,
+            fit,
+            delta_fit: (sweep > 0).then_some(fit - prev_fit),
+            cache_hits: hits,
+            cache_misses: misses,
+            mode_times,
+            elapsed: sweep_start.elapsed(),
+        });
+
+        if (fit - prev_fit).abs() < config.tol {
+            converged = true;
+            break;
+        }
+        prev_fit = fit;
+    }
+
+    let mut model = KruskalTensor::from_factors(factors);
+    model.weights = weights;
+    AlsRun {
+        model,
+        trace,
+        converged,
+        plans: plans
+            .into_iter()
+            .map(|p| p.expect("every mode was planned at least once"))
+            .collect(),
+        backend_names,
+        config: config.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mttkrp_exec::TransportSpec;
+    use mttkrp_tensor::Shape;
+
+    fn seq_config(rank: usize) -> AlsConfig {
+        AlsConfig::new(rank)
+            .with_machine(MachineSpec::shared(2, 1 << 12))
+            .with_backend(BackendChoice::Native)
+    }
+
+    #[test]
+    fn recovers_exact_low_rank_tensor() {
+        let truth = KruskalTensor::random(&Shape::new(&[6, 5, 4]), 2, 42);
+        let x = truth.full();
+        let run = cp_als(
+            &x,
+            &seq_config(2).with_sweeps(400).with_tol(1e-12).with_seed(7),
+        );
+        assert!(run.fit() > 0.9999, "fit = {}", run.fit());
+        // Cross-check the identity-based fit against a materialized one.
+        let direct = run.model.fit_to(&x);
+        assert!((direct - run.fit()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fit_is_monotone_nondecreasing() {
+        let x = DenseTensor::random(Shape::new(&[5, 6, 4]), 3);
+        let run = cp_als(
+            &x,
+            &seq_config(3).with_sweeps(25).with_tol(0.0).with_seed(1),
+        );
+        for w in run.fit_history().windows(2) {
+            assert!(w[1] >= w[0] - 1e-10, "fit decreased: {w:?}");
+        }
+    }
+
+    #[test]
+    fn plan_cache_misses_equal_mode_count_across_all_sweeps() {
+        let x = KruskalTensor::random(&Shape::new(&[6, 6, 6, 4]), 2, 9).full();
+        let run = cp_als(&x, &seq_config(2).with_sweeps(12).with_tol(0.0));
+        assert_eq!(run.sweeps(), 12);
+        assert_eq!(run.cache_misses(), 4, "one candidate sweep per mode, ever");
+        assert_eq!(run.cache_hits(), 4 * 11);
+        assert_eq!(run.trace[0].cache_misses, 4);
+        assert!(run.trace[1..].iter().all(|s| s.cache_misses == 0));
+    }
+
+    #[test]
+    fn shared_cache_amortizes_across_runs() {
+        let cache = PlanCache::new(16);
+        let x = KruskalTensor::random(&Shape::new(&[6, 5, 4]), 2, 3).full();
+        let cfg = seq_config(2).with_sweeps(5).with_tol(0.0);
+        let first = cp_als_with_cache(&x, &cfg, &cache);
+        let second = cp_als_with_cache(&x, &cfg, &cache);
+        assert_eq!(first.cache_misses(), 3);
+        assert_eq!(second.cache_misses(), 0, "second run reuses every plan");
+        // Same config + same cache semantics => bitwise identical models.
+        for (a, b) in first.model.factors.iter().zip(&second.model.factors) {
+            assert_eq!(a.data(), b.data());
+        }
+    }
+
+    #[test]
+    fn sim_and_dist_backends_are_bitwise_identical_on_distributed_plans() {
+        // The real cross-fabric gate: every per-mode MTTKRP runs the
+        // paper's distributed schedule (8x8x8 divides evenly over P = 8),
+        // once on the word-exact simulator and once on the sharded
+        // multi-rank runtime. Their bitwise equality is structural, and
+        // the engine preserves it through every sweep.
+        let x = KruskalTensor::random(&Shape::new(&[8, 8, 8]), 4, 11).full();
+        let machine = MachineSpec::cluster(8, 1, 1 << 16);
+        let base = AlsConfig::new(4)
+            .with_machine(machine)
+            .with_sweeps(6)
+            .with_tol(0.0);
+        let sim = cp_als(&x, &base.clone().with_backend(BackendChoice::Sim));
+        let dist = cp_als(&x, &base.with_backend(BackendChoice::Dist));
+        for plan in &dist.plans {
+            assert!(
+                !plan.algorithm.is_sequential(),
+                "gate needs distributed plans"
+            );
+        }
+        assert_eq!(dist.backend_names, vec!["dist"; 3]);
+        assert_eq!(sim.backend_names, vec!["sim"; 3]);
+        for (a, b) in sim.model.factors.iter().zip(&dist.model.factors) {
+            assert_eq!(a.data(), b.data());
+        }
+        assert_eq!(sim.model.weights, dist.model.weights);
+        assert_eq!(sim.fit_history(), dist.fit_history());
+    }
+
+    #[test]
+    fn dist_tcp_transport_matches_dist_channel_bitwise() {
+        let x = KruskalTensor::random(&Shape::new(&[8, 8, 8]), 2, 5).full();
+        let base = AlsConfig::new(2)
+            .with_sweeps(3)
+            .with_tol(0.0)
+            .with_backend(BackendChoice::Dist);
+        let chan = cp_als(
+            &x,
+            &base
+                .clone()
+                .with_machine(MachineSpec::cluster(4, 1, 1 << 16)),
+        );
+        let tcp = cp_als(
+            &x,
+            &base.with_machine(
+                MachineSpec::cluster(4, 1, 1 << 16).with_transport(TransportSpec::Tcp),
+            ),
+        );
+        for (a, b) in chan.model.factors.iter().zip(&tcp.model.factors) {
+            assert_eq!(a.data(), b.data());
+        }
+    }
+
+    #[test]
+    fn ridge_keeps_rank_deficient_sweeps_alive() {
+        // Rank 3 on a rank-1 tensor: extra components collapse and the
+        // Gram-Hadamard goes singular; the ridge fallback must keep the
+        // run finite and the fit high.
+        let x = KruskalTensor::random(&Shape::new(&[5, 4, 3]), 1, 8).full();
+        let run = cp_als(&x, &seq_config(3).with_sweeps(60).with_tol(1e-12));
+        assert!(run.fit() > 0.999, "fit = {}", run.fit());
+        assert!(run
+            .model
+            .factors
+            .iter()
+            .all(|f| f.data().iter().all(|v| v.is_finite())));
+    }
+
+    #[test]
+    fn explain_and_json_report_the_run() {
+        let x = KruskalTensor::random(&Shape::new(&[6, 5, 4]), 2, 2).full();
+        let run = cp_als(&x, &seq_config(2).with_sweeps(15).with_tol(0.0));
+        let text = run.explain();
+        assert!(text.contains("mode 0:"), "{text}");
+        assert!(text.contains("sweep"), "{text}");
+        assert!(text.contains("plan cache"), "{text}");
+        let json = run.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"fit_trajectory\":["));
+        assert!(json.contains("\"misses\":3"));
+        assert!(json.contains("\"backend\":\"native\""));
+        // The executed fabrics are recorded per mode, not just the
+        // configured choice (which could be "auto").
+        assert!(json.contains("\"mode_backends\":[\"native\",\"native\",\"native\"]"));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero tensor")]
+    fn zero_tensor_rejected() {
+        let x = DenseTensor::zeros(Shape::new(&[3, 3]));
+        let _ = cp_als(&x, &AlsConfig::new(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn non_finite_tensor_rejected() {
+        // A NaN entry passes a plain `!= 0.0` zero-check but would
+        // otherwise surface as a confusing solve failure sweeps later.
+        let mut x = DenseTensor::random(Shape::new(&[3, 3, 3]), 1);
+        x.data_mut()[5] = f64::NAN;
+        let _ = cp_als(&x, &AlsConfig::new(1));
+    }
+}

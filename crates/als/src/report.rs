@@ -1,0 +1,222 @@
+//! What a CP-ALS run reports: the fitted model, a per-sweep trace, and
+//! explainable / machine-readable summaries.
+
+use crate::config::AlsConfig;
+use mttkrp_exec::Plan;
+use mttkrp_tensor::KruskalTensor;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// One sweep's worth of trace: fit, fit improvement, plan-cache traffic,
+/// and timing.
+#[derive(Clone, Debug)]
+pub struct AlsSweep {
+    /// 1-based sweep number.
+    pub sweep: usize,
+    /// Relative fit `1 - |X - M|_F / |X|_F` after this sweep.
+    pub fit: f64,
+    /// Fit change versus the previous sweep (`None` on the first sweep).
+    pub delta_fit: Option<f64>,
+    /// Plan-cache hits among this sweep's `N` mode lookups.
+    pub cache_hits: usize,
+    /// Plan-cache misses among this sweep's `N` mode lookups.
+    pub cache_misses: usize,
+    /// Wall time of each mode update (plan lookup + MTTKRP + solve), in
+    /// mode order.
+    pub mode_times: Vec<Duration>,
+    /// Wall time of the whole sweep.
+    pub elapsed: Duration,
+}
+
+/// The result of a CP-ALS run: the fitted model plus everything needed to
+/// answer "what happened, and why was it executed this way?".
+#[derive(Debug)]
+pub struct AlsRun {
+    /// The fitted CP model (unit-norm factor columns, weights in
+    /// `lambda`).
+    pub model: KruskalTensor,
+    /// Per-sweep trace, in sweep order (never empty).
+    pub trace: Vec<AlsSweep>,
+    /// Whether the fit tolerance was met before the sweep budget ran out.
+    pub converged: bool,
+    /// The per-mode plans the MTTKRPs ran under (index = mode). Planned at
+    /// most once per mode — later sweeps reuse them through the
+    /// [`PlanCache`](mttkrp_exec::PlanCache).
+    pub plans: Vec<Arc<Plan>>,
+    /// The backend that executed each mode's MTTKRP (index = mode), e.g.
+    /// `"native"`, `"sim"`, `"dist"`.
+    pub backend_names: Vec<&'static str>,
+    /// The configuration the run was made with.
+    pub config: AlsConfig,
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+impl AlsRun {
+    /// Final relative fit `1 - |X - M|_F / |X|_F`.
+    pub fn fit(&self) -> f64 {
+        self.trace.last().expect("trace is never empty").fit
+    }
+
+    /// Number of sweeps performed.
+    pub fn sweeps(&self) -> usize {
+        self.trace.len()
+    }
+
+    /// The fit after each sweep, in sweep order.
+    pub fn fit_history(&self) -> Vec<f64> {
+        self.trace.iter().map(|s| s.fit).collect()
+    }
+
+    /// Plan-cache hits accumulated by this run's mode lookups.
+    pub fn cache_hits(&self) -> usize {
+        self.trace.iter().map(|s| s.cache_hits).sum()
+    }
+
+    /// Plan-cache misses accumulated by this run's mode lookups. With a
+    /// fresh cache this equals the number of modes `N` — one candidate
+    /// sweep per mode, ever — which is the amortization the engine exists
+    /// to provide (asserted by `mttkrp_cli cp-als --gate`).
+    pub fn cache_misses(&self) -> usize {
+        self.trace.iter().map(|s| s.cache_misses).sum()
+    }
+
+    /// This run's plan-cache hit rate (`0.0` when nothing was looked up).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.cache_hits() + self.cache_misses();
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits() as f64 / total as f64
+        }
+    }
+
+    /// Multi-line report: configuration, the per-mode plans (with the
+    /// backend that ran them), the sweep trace, and the cache ledger.
+    pub fn explain(&self) -> String {
+        let m = &self.config.machine;
+        let mut s = format!(
+            "CP-ALS run: dims {:?}, R = {}, backend {}, machine {} thread(s) / {} rank(s), \
+             transport {}\n",
+            self.model.shape().dims(),
+            self.config.rank,
+            self.config.backend,
+            m.threads,
+            m.ranks,
+            m.transport,
+        );
+        s.push_str("mode plans (planned once, reused from the cache every later sweep):\n");
+        for (n, plan) in self.plans.iter().enumerate() {
+            s.push_str(&format!(
+                "  mode {n}: {} [{}]\n",
+                plan.algorithm.label(),
+                self.backend_names[n]
+            ));
+        }
+        s.push_str("sweeps (fit, delta, plan-cache hits/misses, time):\n");
+        let total = self.trace.len();
+        for (i, sw) in self.trace.iter().enumerate() {
+            if total > 10 && i >= 6 && i + 3 < total {
+                if i == 6 {
+                    s.push_str(&format!("  ... ({} sweeps elided)\n", total - 9));
+                }
+                continue;
+            }
+            let delta = match sw.delta_fit {
+                Some(d) => format!("{d:+.3e}"),
+                None => "--".to_string(),
+            };
+            s.push_str(&format!(
+                "  sweep {:>3}: fit {:.6}  delta {:<10}  {} hit / {} miss  {:.3} ms\n",
+                sw.sweep,
+                sw.fit,
+                delta,
+                sw.cache_hits,
+                sw.cache_misses,
+                sw.elapsed.as_secs_f64() * 1e3
+            ));
+        }
+        s.push_str(&format!(
+            "stopped: {} after {} sweep(s), final fit {:.6} (tol {:.1e})\n",
+            if self.converged {
+                "converged"
+            } else {
+                "sweep budget exhausted"
+            },
+            self.sweeps(),
+            self.fit(),
+            self.config.tol
+        ));
+        s.push_str(&format!(
+            "plan cache (this run): {} hit(s) / {} miss(es) ({:.1}% hit rate)",
+            self.cache_hits(),
+            self.cache_misses(),
+            100.0 * self.hit_rate()
+        ));
+        s
+    }
+
+    /// The run as one machine-readable JSON object: fit trajectory, cache
+    /// hit rate, per-sweep times — the stats a bench trajectory tracks
+    /// across PRs (`BENCH_*.json`).
+    pub fn to_json(&self) -> String {
+        let dims = self
+            .model
+            .shape()
+            .dims()
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join(",");
+        let fits = self
+            .trace
+            .iter()
+            .map(|s| json_f64(s.fit))
+            .collect::<Vec<_>>()
+            .join(",");
+        let secs = self
+            .trace
+            .iter()
+            .map(|s| json_f64(s.elapsed.as_secs_f64()))
+            .collect::<Vec<_>>()
+            .join(",");
+        let plans = self
+            .plans
+            .iter()
+            .map(|p| format!("\"{}\"", p.algorithm.label()))
+            .collect::<Vec<_>>()
+            .join(",");
+        // `backend` is the *configured* choice (`auto` resolves per plan);
+        // `mode_backends` records which backend actually executed each
+        // mode, so the recorded timings are attributable.
+        let mode_backends = self
+            .backend_names
+            .iter()
+            .map(|b| format!("\"{b}\""))
+            .collect::<Vec<_>>()
+            .join(",");
+        format!(
+            "{{\"dims\":[{dims}],\"rank\":{},\"backend\":\"{}\",\
+             \"mode_backends\":[{mode_backends}],\"ranks\":{},\"threads\":{},\
+             \"sweeps\":{},\"converged\":{},\"fit\":{},\"fit_trajectory\":[{fits}],\
+             \"sweep_secs\":[{secs}],\"cache\":{{\"hits\":{},\"misses\":{},\"hit_rate\":{}}},\
+             \"mode_plans\":[{plans}]}}",
+            self.config.rank,
+            self.config.backend,
+            self.config.machine.ranks,
+            self.config.machine.threads,
+            self.sweeps(),
+            self.converged,
+            json_f64(self.fit()),
+            self.cache_hits(),
+            self.cache_misses(),
+            json_f64(self.hit_rate()),
+        )
+    }
+}

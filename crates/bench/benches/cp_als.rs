@@ -1,0 +1,60 @@
+//! Criterion benchmark for the CP-ALS engine: full plan-cached sweeps on
+//! the native backend, and the engine's per-sweep overhead versus raw
+//! MTTKRP calls.
+//!
+//! Run with `cargo bench -p mttkrp-bench --bench cp_als`. The engine's
+//! added cost over `N` bare kernel launches per sweep is the Gram-Hadamard
+//! solve (R x R Cholesky) plus one cache lookup per mode — both are meant
+//! to vanish next to the kernel at serving sizes, which this bench makes
+//! visible.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mttkrp_als::{cp_als, AlsConfig, BackendChoice};
+use mttkrp_exec::{MachineSpec, NativeBackend};
+use mttkrp_tensor::{KruskalTensor, Matrix, Shape};
+
+const DIMS: [usize; 3] = [32, 32, 32];
+const RANK: usize = 8;
+const SWEEPS: usize = 5;
+
+fn bench_engine_sweeps(c: &mut Criterion) {
+    let x = KruskalTensor::random(&Shape::new(&DIMS), RANK, 3).full();
+    let mut group = c.benchmark_group("cp_als_32x32x32_r8_5sweeps");
+    for threads in [1usize, 4] {
+        let config = AlsConfig::new(RANK)
+            .with_machine(MachineSpec::shared(threads, 1 << 16))
+            .with_backend(BackendChoice::Native)
+            .with_sweeps(SWEEPS)
+            .with_tol(0.0)
+            .with_seed(7);
+        group.bench_with_input(BenchmarkId::new("threads", threads), &threads, |b, _| {
+            b.iter(|| cp_als(&x, &config))
+        });
+    }
+    group.finish();
+}
+
+fn bench_raw_mttkrp_floor(c: &mut Criterion) {
+    // The kernel-only floor of one engine run: N modes x SWEEPS bare
+    // MTTKRPs with no planning, solving, or normalization.
+    let x = KruskalTensor::random(&Shape::new(&DIMS), RANK, 3).full();
+    let factors: Vec<Matrix> = DIMS
+        .iter()
+        .enumerate()
+        .map(|(k, &d)| Matrix::random(d, RANK, 7 + k as u64))
+        .collect();
+    let refs: Vec<&Matrix> = factors.iter().collect();
+    let backend = NativeBackend::new(4, 1 << 16);
+    c.bench_function("raw_mttkrp_floor_15_kernels", |b| {
+        b.iter(|| {
+            for _ in 0..SWEEPS {
+                for n in 0..DIMS.len() {
+                    criterion::black_box(backend.run(&x, &refs, n));
+                }
+            }
+        })
+    });
+}
+
+criterion_group!(benches, bench_engine_sweeps, bench_raw_mttkrp_floor);
+criterion_main!(benches);

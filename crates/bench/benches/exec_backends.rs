@@ -12,7 +12,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mttkrp_bench::setup_problem;
 use mttkrp_core::Problem;
-use mttkrp_exec::{MachineSpec, NativeBackend, Planner};
+use mttkrp_exec::{mttkrp_native, native_grain, native_tile, MachineSpec, NativeBackend, Planner};
+use mttkrp_exec::{ParGrain, DEFAULT_CACHE_WORDS};
 use mttkrp_tensor::Matrix;
 
 fn bench_native_scaling(c: &mut Criterion) {
@@ -37,6 +38,40 @@ fn bench_native_scaling(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_flat_range_tiling(c: &mut Criterion) {
+    // A large *tall-skinny* tensor (16384 x 128 x 2): the last mode cannot
+    // feed a multi-thread pool, so the kernel takes the flat-range path,
+    // and the 16384 x 32 mode-0 factor (4 MiB) is far past
+    // FLAT_BLOCK_MIN_FACTOR_WORDS. Tile 1 is the untiled streaming
+    // baseline (the pre-tiling behavior: the full mode-0 factor is
+    // re-streamed for every run); the planned tile walks runs in b-edge
+    // bands that keep a b x R factor block and the band's Hadamard rows
+    // resident — the delta between the two rows is the win of blocking
+    // the flat path.
+    let dims = [16384usize, 128, 2];
+    let rank = 32;
+    let (x, factors) = setup_problem(&dims, rank, 9);
+    let refs: Vec<&Matrix> = factors.iter().collect();
+    let threads = 4;
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .unwrap();
+    assert!(matches!(
+        native_grain(dims[2], x.num_entries(), threads),
+        ParGrain::FlatRanges { .. }
+    ));
+    let planned = native_tile(DEFAULT_CACHE_WORDS, dims.len(), rank);
+
+    let mut group = c.benchmark_group("native_flat_16384x128x2_r32");
+    for (label, tile) in [("tile_1_streamed", 1usize), ("tile_planned", planned)] {
+        group.bench_with_input(BenchmarkId::new(label, tile), &tile, |b, &tile| {
+            b.iter(|| mttkrp_native(&x, &refs, 0, tile, &pool))
+        });
+    }
+    group.finish();
+}
+
 fn bench_planner(c: &mut Criterion) {
     // Planning is pure model evaluation; it must be cheap enough to run per
     // request. Figure 4 scale, P = 2^20.
@@ -45,5 +80,10 @@ fn bench_planner(c: &mut Criterion) {
     c.bench_function("planner_fig4_p2e20", |b| b.iter(|| planner.plan(&p, 0)));
 }
 
-criterion_group!(benches, bench_native_scaling, bench_planner);
+criterion_group!(
+    benches,
+    bench_native_scaling,
+    bench_flat_range_tiling,
+    bench_planner
+);
 criterion_main!(benches);

@@ -29,9 +29,21 @@
 //!                              schedule
 //!   serve --bench [--requests N] [--shapes K] [--workers W]
 //!         [--batch B] [--cache C] [--threads T] [--memory M] [--procs P]
+//!         [--json]
 //!                              replay a synthetic mixed-shape workload
 //!                              through the batch serving layer and print
-//!                              its stats table
+//!                              its stats table (--json emits one
+//!                              machine-readable object on stdout)
+//!   cp-als [--sweeps S] [--tol T] [--backend auto|native|sim|dist]
+//!          [--ranks P] [--transport channel|tcp] [--threads T]
+//!          [--memory M] [--gate] [--json]
+//!                              CP-ALS-factorize a synthetic rank-R tensor
+//!                              through the plan-cached mttkrp-als engine;
+//!                              --gate self-checks fit >= 0.999, bitwise
+//!                              native-vs-dist identity (and sim-vs-dist on
+//!                              a --ranks P cluster), and plan-cache misses
+//!                              == N modes across all sweeps, exiting
+//!                              nonzero on violation
 //! ```
 //!
 //! Example: `cargo run --release -p mttkrp-bench --bin mttkrp_cli -- \
@@ -41,6 +53,19 @@ use mttkrp_bench::setup_problem;
 use mttkrp_core::{bounds, model, par, seq, Problem};
 use mttkrp_tensor::{mttkrp_reference, Matrix};
 use std::process::ExitCode;
+
+/// Prints one line of human narration: to stdout normally, to stderr when
+/// the subcommand is emitting a machine-readable JSON object on stdout
+/// (`--json`). First argument is the json flag.
+macro_rules! say {
+    ($json:expr, $($t:tt)*) => {
+        if $json {
+            eprintln!($($t)*)
+        } else {
+            println!($($t)*)
+        }
+    };
+}
 
 #[derive(Default, Debug)]
 struct Args {
@@ -72,6 +97,11 @@ struct Args {
     workers: Option<usize>,
     batch: Option<usize>,
     cache: Option<usize>,
+    // `cp-als` options (`--json` is shared with `serve --bench`).
+    sweeps: Option<usize>,
+    tol: Option<f64>,
+    gate: bool,
+    json: bool,
 }
 
 fn parse_dims(s: &str) -> Result<Vec<usize>, String> {
@@ -144,6 +174,12 @@ fn parse(argv: &[String]) -> Result<Args, String> {
             }
             "--batch" => args.batch = Some(next("--batch")?.parse().map_err(|e| format!("{e}"))?),
             "--cache" => args.cache = Some(next("--cache")?.parse().map_err(|e| format!("{e}"))?),
+            "--sweeps" => {
+                args.sweeps = Some(next("--sweeps")?.parse().map_err(|e| format!("{e}"))?)
+            }
+            "--tol" => args.tol = Some(next("--tol")?.parse().map_err(|e| format!("{e}"))?),
+            "--gate" => args.gate = true,
+            "--json" => args.json = true,
             "--help" | "-h" => return Err("help".to_string()),
             other if !other.starts_with('-') && args.algorithm.is_none() => {
                 args.algorithm = Some(other.to_string());
@@ -151,15 +187,14 @@ fn parse(argv: &[String]) -> Result<Args, String> {
             other => return Err(format!("unrecognized argument '{other}'")),
         }
     }
-    // `serve` generates its own mixed-shape workload; --dims (if given) only
-    // seeds the base shape, so it may be omitted.
-    if args.algorithm.as_deref() == Some("serve") {
-        if args.dims.is_empty() {
-            args.dims = vec![16, 16, 16];
-        }
-        if args.dims.len() < 2 {
-            return Err("serve needs --dims with at least two modes when given".into());
-        }
+    // `serve` generates its own mixed-shape workload and `cp-als` its own
+    // synthetic rank-R tensor; --dims (if given) only seeds the base shape,
+    // so it may be omitted for either.
+    if matches!(args.algorithm.as_deref(), Some("serve") | Some("cp-als")) && args.dims.is_empty() {
+        args.dims = match args.algorithm.as_deref() {
+            Some("cp-als") => vec![12, 10, 8],
+            _ => vec![16, 16, 16],
+        };
     }
     if args.dims.len() < 2 {
         return Err("need --dims with at least two modes (e.g. --dims 16x16x16)".into());
@@ -171,10 +206,27 @@ fn parse(argv: &[String]) -> Result<Args, String> {
             args.dims.len()
         ));
     }
-    if args.algorithm.is_none() {
+    let Some(alg) = args.algorithm.as_deref() else {
         return Err(
-            "no algorithm given (alg1|alg2|seqmm|alg3|alg4|parmm|bounds|exec|dist|serve)".into(),
+            "no algorithm given (alg1|alg2|seqmm|alg3|alg4|parmm|bounds|exec|dist|serve|cp-als)"
+                .into(),
         );
+    };
+    // Flags are parsed globally but only some subcommands honor them;
+    // reject half-applying combinations instead of silently ignoring them.
+    if args.json && !matches!(alg, "serve" | "cp-als") {
+        return Err(format!(
+            "--json is only supported by the serve and cp-als subcommands, not '{alg}'"
+        ));
+    }
+    for (flag, given) in [
+        ("--gate", args.gate),
+        ("--sweeps", args.sweeps.is_some()),
+        ("--tol", args.tol.is_some()),
+    ] {
+        if given && alg != "cp-als" {
+            return Err(format!("{flag} is a cp-als flag, not valid for '{alg}'"));
+        }
     }
     Ok(args)
 }
@@ -197,9 +249,19 @@ fn usage() {
          \n                               TCP) with a self-gating\
          \n                               schedule/bitwise check\
          \n  serve --bench [--requests N] [--shapes K] [--workers W] [--batch B]\
-         \n        [--cache C] [--threads T] [--memory M] [--procs P]\
+         \n        [--cache C] [--threads T] [--memory M] [--procs P] [--json]\
          \n                               replay a synthetic workload through the\
-         \n                               plan-cached batch serving layer"
+         \n                               plan-cached batch serving layer\
+         \n  cp-als [--sweeps S] [--tol T] [--backend auto|native|sim|dist]\
+         \n         [--ranks P] [--transport channel|tcp] [--threads T]\
+         \n         [--memory M] [--gate] [--json]\
+         \n                               CP-ALS factorization of a synthetic\
+         \n                               rank-R tensor through the plan-cached\
+         \n                               engine; --gate self-checks fit >= 0.999,\
+         \n                               bitwise native-vs-dist identity, and\
+         \n                               plan-cache misses == N modes, exiting\
+         \n                               nonzero on violation; --json emits\
+         \n                               machine-readable stats"
     );
 }
 
@@ -221,18 +283,24 @@ fn main() -> ExitCode {
         args.rank as u64,
     );
     let n = args.mode;
-    println!(
-        "problem: dims {:?}, R = {}, mode n = {n}, I = {}, seed {}",
-        args.dims,
-        args.rank,
-        problem.tensor_entries(),
-        args.seed
-    );
+    if !args.json {
+        println!(
+            "problem: dims {:?}, R = {}, mode n = {n}, I = {}, seed {}",
+            args.dims,
+            args.rank,
+            problem.tensor_entries(),
+            args.seed
+        );
+    }
 
     let alg = args.algorithm.as_deref().unwrap();
-    // `serve` builds its own mixed-shape workload from the base dims.
+    // `serve` builds its own mixed-shape workload from the base dims, and
+    // `cp-als` its own synthetic rank-R Kruskal tensor.
     if alg == "serve" {
         return run_serve(&args);
+    }
+    if alg == "cp-als" {
+        return run_cp_als(&args);
     }
     // `bounds` is formula-only: never materialize the (possibly huge) tensor.
     let materialized = if alg == "bounds" {
@@ -721,6 +789,293 @@ fn run_dist_rank(
     }
 }
 
+/// The `cp-als` subcommand: fit a synthetic rank-R Kruskal tensor with the
+/// plan-cached CP-ALS engine (`mttkrp-als`) on the chosen backend.
+///
+/// With `--gate`, the run self-checks the engine's acceptance criteria and
+/// exits nonzero on any violation:
+///
+/// 1. fit >= 0.999 on the synthetic rank-R data;
+/// 2. factor matrices bitwise identical between the native and dist
+///    backends on the same single-thread machine, *and* between the
+///    word-exact simulator and the sharded dist runtime on a distributed
+///    `--ranks P` machine — where every per-mode MTTKRP of every sweep
+///    runs the paper's real communication schedule;
+/// 3. plan-cache misses == the number of modes, across *all* sweeps, for
+///    every run — the cache amortization is structural, not incidental.
+fn run_cp_als(args: &Args) -> ExitCode {
+    use mttkrp_als::{cp_als, AlsConfig, AlsRun, BackendChoice};
+    use mttkrp_exec::{MachineSpec, Planner, TransportSpec};
+    use mttkrp_tensor::{KruskalTensor, Shape};
+
+    fn bitwise_equal(a: &AlsRun, b: &AlsRun) -> bool {
+        a.model.weights == b.model.weights
+            && a.model
+                .factors
+                .iter()
+                .zip(&b.model.factors)
+                .all(|(x, y)| x.data() == y.data())
+    }
+
+    fn summary(run: &AlsRun) -> String {
+        format!(
+            "fit {:.6} after {} sweep(s){}; plans {}; cache {} miss / {} hit",
+            run.fit(),
+            run.sweeps(),
+            if run.converged { " (converged)" } else { "" },
+            run.plans
+                .iter()
+                .map(|p| p.algorithm.label())
+                .collect::<Vec<_>>()
+                .join(", "),
+            run.cache_misses(),
+            run.cache_hits(),
+        )
+    }
+
+    let transport = match args.transport.as_deref() {
+        None | Some("channel") => TransportSpec::InProcess,
+        Some("tcp") => TransportSpec::Tcp,
+        Some(other) => {
+            eprintln!("error: unknown transport '{other}' (channel|tcp)");
+            return ExitCode::from(2);
+        }
+    };
+    for (flag, zero) in [
+        ("--threads", args.threads == Some(0)),
+        ("--sweeps", args.sweeps == Some(0)),
+    ] {
+        if zero {
+            eprintln!("error: {flag} must be at least 1");
+            return ExitCode::from(2);
+        }
+    }
+    let memory = args.memory.unwrap_or(mttkrp_exec::DEFAULT_CACHE_WORDS);
+    let sweeps = args.sweeps.unwrap_or(200);
+    let tol = args.tol.unwrap_or(1e-10);
+    let rank = args.rank;
+    let order = args.dims.len();
+
+    // Synthetic rank-R ground truth. The ALS initialization uses a
+    // different seed stream than the truth factors, so recovery is earned
+    // by the sweeps, not inherited from the init.
+    let shape = Shape::new(&args.dims);
+    let truth = KruskalTensor::random(&shape, rank, args.seed);
+    let x = truth.full();
+    let base = AlsConfig::new(rank)
+        .with_sweeps(sweeps)
+        .with_tol(tol)
+        .with_seed(args.seed.wrapping_add(1000));
+    say!(
+        args.json,
+        "cp-als: dims {:?}, R = {rank}, data seed {}, init seed {}, up to {sweeps} sweep(s), \
+         tol {tol:.1e}",
+        args.dims,
+        args.seed,
+        args.seed.wrapping_add(1000)
+    );
+
+    if !args.gate {
+        let ranks = args.ranks.or(args.procs).unwrap_or(1);
+        let machine = if ranks > 1 {
+            MachineSpec::cluster(ranks, args.threads.unwrap_or(1), memory).with_transport(transport)
+        } else {
+            MachineSpec::shared(args.threads.unwrap_or(1), memory)
+        };
+        let backend = match args.backend.as_deref() {
+            None | Some("auto") => BackendChoice::Auto,
+            Some("native") => BackendChoice::Native,
+            Some("sim") => BackendChoice::Sim,
+            Some("dist") => BackendChoice::Dist,
+            Some(other) => {
+                eprintln!("error: unknown backend '{other}' (auto|native|sim|dist)");
+                return ExitCode::from(2);
+            }
+        };
+        let run = cp_als(&x, &base.with_machine(machine).with_backend(backend));
+        say!(args.json, "{}", run.explain());
+        if args.json {
+            println!("{}", run.to_json());
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    // ---- --gate: the self-checking configuration matrix ----
+    let ranks = match args.ranks.or(args.procs) {
+        None => 8,
+        Some(p) if p >= 2 => p,
+        Some(_) => {
+            eprintln!("error: --gate needs --ranks of at least 2 for the cluster leg");
+            return ExitCode::from(2);
+        }
+    };
+    // The gate runs a fixed backend matrix; flags that would vary it are
+    // acknowledged, not silently swallowed (the `exec` precedent).
+    if args.backend.is_some() {
+        say!(
+            args.json,
+            "note: --gate runs its fixed native/dist/sim/dist backend matrix; --backend is ignored"
+        );
+    }
+    if args.threads.is_some() {
+        say!(
+            args.json,
+            "note: --gate pins every leg to 1 thread (bitwise determinism); --threads is ignored"
+        );
+    }
+    // One thread for the sequential legs: the native and dist backends
+    // then execute the *identical* deterministic kernel, so the bitwise
+    // comparison is exact by right, not by luck.
+    let seq_machine = MachineSpec::shared(1, memory);
+    let cluster = MachineSpec::cluster(ranks, 1, memory).with_transport(transport);
+
+    // Pre-flight: the cluster leg must get genuinely distributed plans for
+    // every mode — a sequential fallback would bypass the dist runtime and
+    // make the cross-fabric comparison vacuous.
+    for n in 0..order {
+        let plan = Planner::new(cluster.clone()).plan_executable(&problem_of(args), n);
+        if plan.algorithm.is_sequential() {
+            eprintln!(
+                "error: mode {n} admits no even data distribution over P = {ranks} ranks; \
+                 choose --dims/--ranks with a dividing grid (the gate must exercise the \
+                 dist runtime, not its sequential fallback)"
+            );
+            return ExitCode::from(2);
+        }
+    }
+
+    let mut failures: Vec<String> = Vec::new();
+
+    // Gate 1: fit on the synthetic rank-R data, native backend.
+    let native = cp_als(
+        &x,
+        &base
+            .clone()
+            .with_machine(seq_machine.clone())
+            .with_backend(BackendChoice::Native),
+    );
+    say!(args.json, "[native       ] {}", summary(&native));
+    if native.fit() < 0.999 {
+        failures.push(format!("native fit {:.6} < 0.999", native.fit()));
+    }
+
+    // Gate 2a: dist backend on the same machine — bitwise-identical model.
+    let dist_seq = cp_als(
+        &x,
+        &base
+            .clone()
+            .with_machine(seq_machine)
+            .with_backend(BackendChoice::Dist),
+    );
+    say!(args.json, "[dist/seq     ] {}", summary(&dist_seq));
+    let seq_bitwise = bitwise_equal(&native, &dist_seq);
+    say!(
+        args.json,
+        "bitwise check        native vs dist factors: {}",
+        if seq_bitwise { "identical" } else { "DIFFER" }
+    );
+    if !seq_bitwise {
+        failures.push("native and dist factors differ on the sequential machine".into());
+    }
+
+    // Gate 2b: the cluster leg — every per-mode MTTKRP of every sweep runs
+    // the distributed schedule, once on the word-exact simulator and once
+    // on the sharded multi-rank runtime. Bitwise equality here is the
+    // structural contract the mttkrp-dist suite establishes, carried
+    // through the whole factorization.
+    let sim_cluster = cp_als(
+        &x,
+        &base
+            .clone()
+            .with_machine(cluster.clone())
+            .with_backend(BackendChoice::Sim),
+    );
+    say!(args.json, "[sim/cluster  ] {}", summary(&sim_cluster));
+    let dist_cluster = cp_als(
+        &x,
+        &base
+            .clone()
+            .with_machine(cluster)
+            .with_backend(BackendChoice::Dist),
+    );
+    say!(args.json, "[dist/cluster ] {}", summary(&dist_cluster));
+    let cluster_bitwise = bitwise_equal(&sim_cluster, &dist_cluster);
+    say!(
+        args.json,
+        "bitwise check        sim vs dist factors over P = {ranks} rank(s): {}",
+        if cluster_bitwise {
+            "identical"
+        } else {
+            "DIFFER"
+        }
+    );
+    if !cluster_bitwise {
+        failures.push(format!(
+            "sim and dist factors differ on the P = {ranks} cluster"
+        ));
+    }
+    if dist_cluster.fit() < 0.999 {
+        failures.push(format!(
+            "dist cluster fit {:.6} < 0.999",
+            dist_cluster.fit()
+        ));
+    }
+
+    // Gate 3: plan-cache misses == N modes across all sweeps, every run.
+    let runs = [
+        ("native", &native),
+        ("dist/seq", &dist_seq),
+        ("sim/cluster", &sim_cluster),
+        ("dist/cluster", &dist_cluster),
+    ];
+    for (label, run) in runs {
+        let expected_hits = order * (run.sweeps() - 1);
+        if run.cache_misses() != order || run.cache_hits() != expected_hits {
+            failures.push(format!(
+                "{label}: plan cache {} miss / {} hit, expected {order} / {expected_hits} \
+                 (one candidate sweep per mode, ever)",
+                run.cache_misses(),
+                run.cache_hits()
+            ));
+        }
+    }
+    say!(
+        args.json,
+        "cache check          misses == {order} modes on all {} runs",
+        runs.len()
+    );
+
+    if args.json {
+        println!(
+            "{{\"gate\":{{\"fit_ok\":{},\"bitwise_seq_ok\":{seq_bitwise},\
+             \"bitwise_cluster_ok\":{cluster_bitwise},\"cluster_fit_ok\":{},\
+             \"failures\":{}}},\"native\":{},\"dist_cluster\":{}}}",
+            native.fit() >= 0.999,
+            dist_cluster.fit() >= 0.999,
+            failures.len(),
+            native.to_json(),
+            dist_cluster.to_json()
+        );
+    }
+    if failures.is_empty() {
+        say!(args.json, "cp-als gate          all checks passed");
+        ExitCode::SUCCESS
+    } else {
+        for f in &failures {
+            eprintln!("error: cp-als gate: {f}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
+/// The planning [`Problem`] of the CLI's synthetic tensor.
+fn problem_of(args: &Args) -> Problem {
+    Problem::new(
+        &args.dims.iter().map(|&d| d as u64).collect::<Vec<u64>>(),
+        args.rank as u64,
+    )
+}
+
 /// The `serve --bench` subcommand: replay a synthetic mixed-shape workload
 /// through the plan-cached batch serving layer and print its stats table.
 ///
@@ -798,10 +1153,14 @@ fn run_serve(args: &Args) -> ExitCode {
             (Arc::new(x), Arc::new(factors))
         })
         .collect();
-    println!(
+    say!(
+        args.json,
         "serve bench: {total} requests over {shapes} shapes (base dims {:?}, R = {}), \
          {workers} worker(s), machine {} thread(s) / {} rank(s)",
-        args.dims, args.rank, machine.threads, machine.ranks
+        args.dims,
+        args.rank,
+        machine.threads,
+        machine.ranks
     );
 
     let server = Server::start(ServerConfig {
@@ -844,14 +1203,16 @@ fn run_serve(args: &Args) -> ExitCode {
     }
 
     let stats = server.shutdown();
-    println!("\n{stats}");
-    println!(
+    say!(args.json, "\n{stats}");
+    say!(
+        args.json,
         "throughput           {:.0} requests/s ({} requests in {:.3} s)",
         total as f64 / elapsed.as_secs_f64(),
         total,
         elapsed.as_secs_f64()
     );
-    println!(
+    say!(
+        args.json,
         "replay check         batched outputs {} unbatched plan_and_execute",
         if identical {
             "bit-identical to"
@@ -861,6 +1222,22 @@ fn run_serve(args: &Args) -> ExitCode {
     );
 
     let hit_rate = stats.cache.hit_rate();
+    if args.json {
+        println!(
+            "{{\"requests\":{total},\"shapes\":{shapes},\"workers\":{workers},\
+             \"elapsed_secs\":{},\"throughput_rps\":{},\"batches\":{},\
+             \"mean_batch\":{},\"largest_batch\":{},\"cache\":{{\"hits\":{},\
+             \"misses\":{},\"hit_rate\":{}}},\"identical\":{identical}}}",
+            elapsed.as_secs_f64(),
+            total as f64 / elapsed.as_secs_f64(),
+            stats.batches,
+            stats.mean_batch_size(),
+            stats.largest_batch,
+            stats.cache.hits,
+            stats.cache.misses,
+            hit_rate
+        );
+    }
     if !identical {
         eprintln!("error: served results differ from direct execution");
         return ExitCode::FAILURE;

@@ -22,6 +22,13 @@
 //! data is split into `~4 x threads` contiguous chunks of entries —
 //! shape-independent, so the pool is always fed — and each chunk is
 //! accumulated into a per-thread output matrix, summed in the reduction.
+//! The flat path gets the same `b`-edge cache treatment as the slab path
+//! once the mode-0 factor outgrows a per-core cache
+//! ([`FLAT_BLOCK_MIN_FACTOR_WORDS`]): whole mode-0 runs are walked in
+//! `tile x tile` bands (cached Hadamard rows, one `b x R` block of
+//! `A^(1)` resident across a band of runs), so large skinny tensors no
+//! longer re-stream the mode-0 factor per run; small factors keep the
+//! perfectly sequential streamed walk.
 
 use crate::backend::{Backend, ExecCost, ExecReport};
 use crate::machine::DEFAULT_CACHE_WORDS;
@@ -84,6 +91,25 @@ pub fn native_grain(i_last: usize, entries: usize, threads: usize) -> ParGrain {
             count: i_last.div_ceil(depth),
         }
     }
+}
+
+/// The mode-0 factor footprint (in words) above which the flat-range path
+/// switches from run-by-run streaming to the blocked (`b`-edge) walk.
+///
+/// Streaming keeps one output row and re-reads `A^(1)` top to bottom for
+/// every run: when `I_0 x R` fits a per-core cache that costs nothing
+/// (and the perfectly sequential tensor walk prefetches best), but once
+/// the factor spills, every run re-streams it from memory — `R` times the
+/// tensor's own traffic. Half a MiB (2^16 words) is a conservative
+/// per-core-L2-sized threshold for "it spilled": below it blocking is
+/// noise-to-slightly-negative, above it measured wins are 20%+ and grow
+/// with `I_0` (see the `native_flat` group of the `exec_backends` bench).
+pub const FLAT_BLOCK_MIN_FACTOR_WORDS: usize = 1 << 16;
+
+/// Whether the blocked flat walk is worth it for a mode-0 extent of `i0`
+/// at rank `r` (see [`FLAT_BLOCK_MIN_FACTOR_WORDS`]).
+fn flat_blocking_pays(i0: usize, r: usize) -> bool {
+    i0.saturating_mul(r) >= FLAT_BLOCK_MIN_FACTOR_WORDS
 }
 
 /// The per-slab kernel parameters shared by every worker: the operands,
@@ -186,10 +212,104 @@ impl SlabKernel<'_> {
 
     /// Accumulates the MTTKRP contribution of the flat entry range
     /// `[lo, hi)` of the tensor's colex data into `out`, a row-major
-    /// `I_n x r` buffer. Work is streamed in mode-0 runs: the Hadamard
-    /// product over modes `1..N` is computed once per run and reused for
-    /// all `I_0` entries of the run.
+    /// `I_n x r` buffer.
+    ///
+    /// With `tile <= 1` the range is streamed run by run
+    /// ([`Self::accumulate_flat_streamed`]); otherwise the complete mode-0
+    /// runs inside the range are walked in `b`-edge blocks
+    /// ([`Self::accumulate_flat_blocked`]) — the same cache treatment the
+    /// slab path gets — with any partial head/tail run streamed as before.
     fn accumulate_flat(&self, lo: usize, hi: usize, out: &mut [f64]) {
+        let i0 = self.x.shape().dim(0);
+        if self.tile <= 1 || !flat_blocking_pays(i0, self.r) {
+            return self.accumulate_flat_streamed(lo, hi, out);
+        }
+        // Split the range into a partial head run, whole runs, and a
+        // partial tail run; only whole runs go through the blocked walk.
+        let head_end = lo.next_multiple_of(i0).min(hi);
+        let tail_start = (hi / i0 * i0).max(head_end);
+        self.accumulate_flat_streamed(lo, head_end, out);
+        self.accumulate_flat_blocked(head_end / i0, tail_start / i0, out);
+        self.accumulate_flat_streamed(tail_start, hi, out);
+    }
+
+    /// Blocked (`b`-edge) walk over the whole mode-0 runs with *rest*
+    /// indices (the colex linearization of modes `1..N`) in `[rlo, rhi)`.
+    ///
+    /// The run space is tiled on both axes: `tile` runs share one residency
+    /// of each `tile x r` block of `A^(1)` (and, for `n == 0`, of the
+    /// output), and the Hadamard row of every run in the band is computed
+    /// once and cached — so a large skinny tensor stops re-streaming the
+    /// full `I_1 x R` factor from memory for every run. Residency is
+    /// `2*b*R` words, within the budget of the plan's Eq. (11)-style tile
+    /// (`b^N + N*b*R <= M` with `N >= 2`).
+    fn accumulate_flat_blocked(&self, rlo: usize, rhi: usize, out: &mut [f64]) {
+        let (x, factors, n, r) = (self.x, self.factors, self.n, self.r);
+        let shape = x.shape();
+        let order = shape.order();
+        let i0 = shape.dim(0);
+        let data = x.data();
+        let tile = self.tile;
+        let f0 = factors[0];
+
+        let mut idx = vec![0usize; order];
+        // Per-band caches: one Hadamard row and (for n != 0) one output row
+        // index per run in the band.
+        let mut wband = vec![0.0f64; tile * r];
+        let mut rows = vec![0usize; tile];
+
+        let mut band = rlo;
+        while band < rhi {
+            let bandw = tile.min(rhi - band);
+            for t in 0..bandw {
+                shape.delinearize_into((band + t) * i0, &mut idx);
+                let w = &mut wband[t * r..(t + 1) * r];
+                w.iter_mut().for_each(|v| *v = 1.0);
+                for (k, f) in factors.iter().enumerate().skip(1) {
+                    if k == n {
+                        continue;
+                    }
+                    for (wv, &a) in w.iter_mut().zip(f.row(idx[k])) {
+                        *wv *= a;
+                    }
+                }
+                rows[t] = if n == 0 { 0 } else { idx[n] };
+            }
+            let mut b0 = 0;
+            while b0 < i0 {
+                let b1 = (b0 + tile).min(i0);
+                for t in 0..bandw {
+                    let base = (band + t) * i0;
+                    let w = &wband[t * r..(t + 1) * r];
+                    if n == 0 {
+                        for (i, &xv) in data[base + b0..base + b1].iter().enumerate() {
+                            let o = (b0 + i) * r;
+                            for (ov, &wv) in out[o..o + r].iter_mut().zip(w) {
+                                *ov += xv * wv;
+                            }
+                        }
+                    } else {
+                        let o = rows[t] * r;
+                        let orow = &mut out[o..o + r];
+                        for (i, &xv) in data[base + b0..base + b1].iter().enumerate() {
+                            let a0 = f0.row(b0 + i);
+                            for c in 0..r {
+                                orow[c] += xv * a0[c] * w[c];
+                            }
+                        }
+                    }
+                }
+                b0 = b1;
+            }
+            band += bandw;
+        }
+    }
+
+    /// Streams the flat entry range `[lo, hi)` in mode-0 runs: the Hadamard
+    /// product over modes `1..N` is computed once per run and reused for
+    /// all `I_0` entries of the run. The untiled baseline of the flat path
+    /// (and the handler for partial runs at blocked-range boundaries).
+    fn accumulate_flat_streamed(&self, lo: usize, hi: usize, out: &mut [f64]) {
         let (x, factors, n, r) = (self.x, self.factors, self.n, self.r);
         let shape = x.shape();
         let order = shape.order();
@@ -498,6 +618,74 @@ mod tests {
             let got = be.run(&x, &refs, n);
             let want = mttkrp_reference(&x, &refs, n);
             assert!(got.max_abs_diff(&want) < 1e-12, "mode {n}");
+        }
+    }
+
+    #[test]
+    fn flat_streamed_walk_matches_oracle_below_the_blocking_threshold() {
+        // Small mode-0 factors stay on the streamed path whatever the
+        // tile; it must agree with the oracle on skinny last modes that
+        // force flat ranges, for every output mode.
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(8)
+            .build()
+            .unwrap();
+        for dims in [&[37, 11, 2][..], &[64, 9, 3], &[13, 7, 2, 2]] {
+            let (x, factors) = setup(dims, 5, 21);
+            let refs: Vec<&Matrix> = factors.iter().collect();
+            assert!(matches!(
+                native_grain(dims[dims.len() - 1], x.num_entries(), 8),
+                ParGrain::FlatRanges { .. }
+            ));
+            assert!(!flat_blocking_pays(dims[0], 5));
+            for n in 0..dims.len() {
+                let want = mttkrp_reference(&x, &refs, n);
+                for tile in [1, 16, 1024] {
+                    let got = mttkrp_native(&x, &refs, n, tile, &pool);
+                    assert!(
+                        got.max_abs_diff(&want) < 1e-12,
+                        "dims {dims:?}, mode {n}, tile {tile}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn flat_blocked_walk_matches_streamed_walk_and_oracle() {
+        // Tall-skinny shapes above the blocking threshold take the b-edge
+        // banded walk (tile > 1); it must agree with the untiled streamed
+        // baseline (tile = 1) and the oracle for every output mode. Chunk
+        // boundaries from split_range land mid-run, so the partial
+        // head/tail handling is exercised too.
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(8)
+            .build()
+            .unwrap();
+        for dims in [&[16384, 6, 2][..], &[16384, 3, 2, 2]] {
+            let r = 4;
+            assert!(flat_blocking_pays(dims[0], r));
+            let (x, factors) = setup(dims, r, 22);
+            let refs: Vec<&Matrix> = factors.iter().collect();
+            assert!(matches!(
+                native_grain(dims[dims.len() - 1], x.num_entries(), 8),
+                ParGrain::FlatRanges { .. }
+            ));
+            for n in 0..dims.len() {
+                let want = mttkrp_reference(&x, &refs, n);
+                let streamed = mttkrp_native(&x, &refs, n, 1, &pool);
+                assert!(
+                    streamed.max_abs_diff(&want) < 1e-10,
+                    "streamed dims {dims:?}, mode {n}"
+                );
+                for tile in [2, 61, 127] {
+                    let blocked = mttkrp_native(&x, &refs, n, tile, &pool);
+                    assert!(
+                        blocked.max_abs_diff(&want) < 1e-10,
+                        "dims {dims:?}, mode {n}, tile {tile}"
+                    );
+                }
+            }
         }
     }
 

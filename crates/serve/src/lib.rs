@@ -21,9 +21,18 @@
 //!    [`Server::stats`] snapshot, and graceful shutdown that drains and
 //!    answers every accepted request.
 //!
+//! The server speaks two request types: single MTTKRPs
+//! ([`MttkrpRequest`], batched by shape) and whole CP-ALS factorizations
+//! ([`FactorizeRequest`], executed by the `mttkrp-als` engine on the same
+//! worker pool). Both resolve plans through the one shared [`PlanCache`],
+//! so a repeated shape is planned exactly once no matter which request
+//! type carries it.
+//!
 //! Batching never changes results: a served response's output is
 //! bit-identical to a direct [`mttkrp_exec::plan_and_execute`] call with
-//! the same operands and machine (enforced by the crate's tests).
+//! the same operands and machine, and a served factorization is
+//! bit-identical to [`mttkrp_als::cp_als_with_cache`] (enforced by the
+//! crate's tests).
 //!
 //! ## Quickstart
 //!
@@ -58,6 +67,10 @@ pub mod request;
 pub mod server;
 
 pub use mttkrp_exec::{CacheStats, PlanCache, PlanKey, ProblemKey};
-pub use queue::{Batch, BatchKey, BatchQueue, Pending, ResponseHandle, Submitter};
-pub use request::{MttkrpRequest, MttkrpResponse, RequestTiming};
+pub use queue::{
+    Batch, BatchKey, BatchQueue, Pending, PendingFactorize, ResponseHandle, Submitter, Work,
+};
+pub use request::{
+    FactorizeRequest, FactorizeResponse, MttkrpRequest, MttkrpResponse, RequestTiming,
+};
 pub use server::{Server, ServerConfig, ServerStats};

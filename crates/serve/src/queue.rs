@@ -1,13 +1,14 @@
 //! The batching queue: accepts requests on a channel and coalesces
-//! same-shape requests into batches.
+//! same-shape MTTKRP requests into batches, passing whole-factorization
+//! requests through as their own units of work.
 
-use crate::request::{MttkrpRequest, MttkrpResponse};
+use crate::request::{FactorizeRequest, FactorizeResponse, MttkrpRequest, MttkrpResponse};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use mttkrp_exec::{MachineSpec, ProblemKey};
 use std::time::Instant;
 
-/// What makes two requests batchable: the same planning problem (shape,
-/// rank, mode) on the same machine. One batch shares one plan.
+/// What makes two MTTKRP requests batchable: the same planning problem
+/// (shape, rank, mode) on the same machine. One batch shares one plan.
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct BatchKey {
     /// Shape-level identity of the requests (dims, rank, mode).
@@ -16,8 +17,8 @@ pub struct BatchKey {
     pub machine: MachineSpec,
 }
 
-/// A request in flight: the request itself, its reply channel, and when it
-/// was submitted (for queue-latency accounting).
+/// An MTTKRP request in flight: the request itself, its reply channel, and
+/// when it was submitted (for queue-latency accounting).
 #[derive(Debug)]
 pub struct Pending {
     /// The request as submitted.
@@ -28,7 +29,18 @@ pub struct Pending {
     pub(crate) submitted: Instant,
 }
 
-/// A group of same-shape requests that will execute under one shared plan.
+/// A whole-factorization request in flight.
+#[derive(Debug)]
+pub struct PendingFactorize {
+    /// The request as submitted; its [`AlsConfig`](mttkrp_als::AlsConfig)
+    /// names the machine and backend the factorization runs on.
+    pub request: FactorizeRequest,
+    pub(crate) reply: Sender<FactorizeResponse>,
+    pub(crate) submitted: Instant,
+}
+
+/// A group of same-shape MTTKRP requests that will execute under one
+/// shared plan.
 #[derive(Debug)]
 pub struct Batch {
     /// The shape/machine identity every member shares.
@@ -49,17 +61,38 @@ impl Batch {
     }
 }
 
+/// One unit of work the queue hands to the serving engine: either a
+/// coalesced same-shape MTTKRP batch, or one whole CP-ALS factorization
+/// (factorizations are never coalesced — each is already `N` MTTKRPs per
+/// sweep and amortizes planning through the server's shared
+/// [`PlanCache`](mttkrp_exec::PlanCache)).
+#[derive(Debug)]
+pub enum Work {
+    /// Same-shape MTTKRP requests sharing one plan.
+    Batch(Batch),
+    /// A whole CP-ALS factorization.
+    Factorize(PendingFactorize),
+}
+
+/// What the queue hands a submitter internally: either request kind.
+#[derive(Debug)]
+enum Item {
+    Mttkrp(Pending),
+    Factorize(PendingFactorize),
+}
+
 /// The submission side of a [`BatchQueue`]: cheap to clone, safe to use
 /// from many threads.
 #[derive(Clone)]
 pub struct Submitter {
-    tx: Sender<Pending>,
+    tx: Sender<Item>,
     default_machine: MachineSpec,
 }
 
 impl Submitter {
-    /// Submits a request and returns a handle on which its response will
-    /// arrive. Returns `None` if the queue has already been torn down.
+    /// Submits an MTTKRP request and returns a handle on which its
+    /// response will arrive. Returns `None` if the queue has already been
+    /// torn down.
     pub fn submit(&self, request: MttkrpRequest) -> Option<ResponseHandle> {
         let (reply, rx) = unbounded();
         let machine = request
@@ -72,53 +105,75 @@ impl Submitter {
             reply,
             submitted: Instant::now(),
         };
-        match self.tx.send(pending) {
+        match self.tx.send(Item::Mttkrp(pending)) {
+            Ok(()) => Some(ResponseHandle { rx }),
+            Err(_) => None,
+        }
+    }
+
+    /// Submits a whole-factorization request; the [`FactorizeResponse`]
+    /// arrives on the returned handle. Returns `None` if the queue has
+    /// already been torn down.
+    pub fn submit_factorize(
+        &self,
+        request: FactorizeRequest,
+    ) -> Option<ResponseHandle<FactorizeResponse>> {
+        let (reply, rx) = unbounded();
+        let pending = PendingFactorize {
+            request,
+            reply,
+            submitted: Instant::now(),
+        };
+        match self.tx.send(Item::Factorize(pending)) {
             Ok(()) => Some(ResponseHandle { rx }),
             Err(_) => None,
         }
     }
 }
 
-/// Where a submitted request's response arrives.
+/// Where a submitted request's response arrives ([`MttkrpResponse`] by
+/// default; [`FactorizeResponse`] for factorization requests).
 #[derive(Debug)]
-pub struct ResponseHandle {
-    rx: Receiver<MttkrpResponse>,
+pub struct ResponseHandle<T = MttkrpResponse> {
+    rx: Receiver<T>,
 }
 
-impl ResponseHandle {
+impl<T> ResponseHandle<T> {
     /// Blocks until the response arrives.
     ///
     /// # Panics
     /// Panics if the serving side was torn down without answering — which
     /// graceful shutdown never does; every accepted request is answered.
-    pub fn wait(self) -> MttkrpResponse {
+    pub fn wait(self) -> T {
         self.rx
             .recv()
             .expect("serving side dropped an accepted request without answering")
     }
 
     /// Non-blocking poll: the response if it has already arrived.
-    pub fn try_wait(&self) -> Option<MttkrpResponse> {
+    pub fn try_wait(&self) -> Option<T> {
         self.rx.try_recv().ok()
     }
 }
 
-/// Coalesces requests arriving on a channel into same-shape [`Batch`]es.
+/// Coalesces requests arriving on a channel into units of [`Work`]:
+/// same-shape MTTKRP [`Batch`]es, and pass-through factorizations.
 ///
 /// The queue is the server's batching policy in isolation — no threads, no
 /// executors — which is what makes it unit-testable: push requests through
-/// a [`Submitter`], pull [`Batch`]es out, and inspect the grouping.
+/// a [`Submitter`], pull [`Work`] out, and inspect the grouping.
 /// [`crate::Server`] runs one of these on its batcher thread.
 ///
-/// Batching is *opportunistic*: [`BatchQueue::next_batches`] blocks for the
-/// first request, then drains whatever else is already queued, groups by
-/// [`BatchKey`] preserving arrival order, and splits groups larger than
-/// `max_batch`. Under light load batches have size 1 (no added latency);
-/// under bursts same-shape requests share one plan lookup and one executor.
+/// Batching is *opportunistic*: [`BatchQueue::next_work`] blocks for the
+/// first request, then drains whatever else is already queued, groups
+/// MTTKRPs by [`BatchKey`] preserving arrival order, and splits groups
+/// larger than `max_batch`. Under light load batches have size 1 (no added
+/// latency); under bursts same-shape requests share one plan lookup and
+/// one executor.
 ///
 /// ```
 /// use mttkrp_exec::MachineSpec;
-/// use mttkrp_serve::{BatchQueue, MttkrpRequest};
+/// use mttkrp_serve::{BatchQueue, MttkrpRequest, Work};
 /// use mttkrp_tensor::{DenseTensor, Matrix, Shape};
 /// use std::sync::Arc;
 ///
@@ -135,19 +190,24 @@ impl ResponseHandle {
 /// submitter.submit(MttkrpRequest::new(flat, flat_f, 0));
 /// submitter.submit(MttkrpRequest::new(cube, cube_f, 0));
 ///
-/// let batches = queue.next_batches().unwrap();
-/// assert_eq!(batches.len(), 2); // cube requests coalesced, flat alone
-/// assert_eq!(batches[0].len(), 2);
-/// assert_eq!(batches[1].len(), 1);
+/// let work = queue.next_work().unwrap();
+/// assert_eq!(work.len(), 2); // cube requests coalesced, flat alone
+/// match (&work[0], &work[1]) {
+///     (Work::Batch(cubes), Work::Batch(flats)) => {
+///         assert_eq!(cubes.len(), 2);
+///         assert_eq!(flats.len(), 1);
+///     }
+///     other => panic!("expected two MTTKRP batches, got {other:?}"),
+/// }
 /// ```
 pub struct BatchQueue {
-    rx: Receiver<Pending>,
+    rx: Receiver<Item>,
     max_batch: usize,
 }
 
 impl BatchQueue {
-    /// A queue whose requests default to `default_machine`, emitting
-    /// batches of at most `max_batch` requests.
+    /// A queue whose MTTKRP requests default to `default_machine`,
+    /// emitting batches of at most `max_batch` requests.
     ///
     /// # Panics
     /// Panics if `max_batch` is zero.
@@ -164,10 +224,11 @@ impl BatchQueue {
     }
 
     /// Blocks for the next request, drains everything else already queued,
-    /// and returns the coalesced batches (first-arrival order). Returns
-    /// `None` when every [`Submitter`] is gone and the queue is drained —
-    /// the shutdown signal.
-    pub fn next_batches(&self) -> Option<Vec<Batch>> {
+    /// and returns the coalesced work (first-arrival order; factorizations
+    /// keep their arrival position). Returns `None` when every
+    /// [`Submitter`] is gone and the queue is drained — the shutdown
+    /// signal.
+    pub fn next_work(&self) -> Option<Vec<Work>> {
         let first = self.rx.recv().ok()?;
         let mut pending = vec![first];
         while let Ok(p) = self.rx.try_recv() {
@@ -176,31 +237,40 @@ impl BatchQueue {
         Some(self.coalesce(pending))
     }
 
-    fn coalesce(&self, pending: Vec<Pending>) -> Vec<Batch> {
-        let mut batches: Vec<Batch> = Vec::new();
-        for p in pending {
+    fn coalesce(&self, pending: Vec<Item>) -> Vec<Work> {
+        let mut work: Vec<Work> = Vec::new();
+        for item in pending {
+            let p = match item {
+                Item::Factorize(p) => {
+                    work.push(Work::Factorize(p));
+                    continue;
+                }
+                Item::Mttkrp(p) => p,
+            };
             let key = BatchKey {
                 problem: ProblemKey::new(&p.request.problem(), p.request.mode),
                 machine: p.machine.clone(),
             };
-            match batches
-                .iter_mut()
-                .find(|b| b.key == key && b.len() < self.max_batch)
-            {
+            let open = work.iter_mut().find_map(|w| match w {
+                Work::Batch(b) if b.key == key && b.len() < self.max_batch => Some(b),
+                _ => None,
+            });
+            match open {
                 Some(batch) => batch.requests.push(p),
-                None => batches.push(Batch {
+                None => work.push(Work::Batch(Batch {
                     key,
                     requests: vec![p],
-                }),
+                })),
             }
         }
-        batches
+        work
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mttkrp_als::AlsConfig;
     use mttkrp_tensor::{DenseTensor, Matrix, Shape};
     use std::sync::Arc;
 
@@ -211,9 +281,18 @@ mod tests {
             dims.iter()
                 .enumerate()
                 .map(|(k, &d)| Matrix::random(d, r, seed + k as u64))
-                .collect::<Vec<_>>(),
+                .collect::<Vec<Matrix>>(),
         );
         MttkrpRequest::new(x, factors, mode)
+    }
+
+    fn batches(work: Vec<Work>) -> Vec<Batch> {
+        work.into_iter()
+            .map(|w| match w {
+                Work::Batch(b) => b,
+                other => panic!("expected a batch, got {other:?}"),
+            })
+            .collect()
     }
 
     #[test]
@@ -223,7 +302,7 @@ mod tests {
         s.submit(request(&[4, 4, 4], 2, 1, 2)).unwrap(); // different mode
         s.submit(request(&[4, 4, 4], 2, 0, 3)).unwrap(); // coalesces with #1
         s.submit(request(&[4, 4, 4], 3, 0, 4)).unwrap(); // different rank
-        let batches = q.next_batches().unwrap();
+        let batches = batches(q.next_work().unwrap());
         assert_eq!(batches.len(), 3);
         assert_eq!(batches[0].len(), 2);
         assert_eq!(batches[0].key.problem.mode, 0);
@@ -237,8 +316,8 @@ mod tests {
         s.submit(request(&[4, 4, 4], 2, 0, 1)).unwrap();
         s.submit(request(&[4, 4, 4], 2, 0, 2).with_machine(MachineSpec::sequential(1024)))
             .unwrap();
-        let batches = q.next_batches().unwrap();
-        assert_eq!(batches.len(), 2, "machine is part of the batch key");
+        let work = q.next_work().unwrap();
+        assert_eq!(work.len(), 2, "machine is part of the batch key");
     }
 
     #[test]
@@ -247,9 +326,25 @@ mod tests {
         for seed in 0..5 {
             s.submit(request(&[4, 4, 4], 2, 0, seed)).unwrap();
         }
-        let batches = q.next_batches().unwrap();
-        let sizes: Vec<usize> = batches.iter().map(Batch::len).collect();
+        let sizes: Vec<usize> = batches(q.next_work().unwrap())
+            .iter()
+            .map(Batch::len)
+            .collect();
         assert_eq!(sizes, vec![2, 2, 1]);
+    }
+
+    #[test]
+    fn factorizations_pass_through_in_arrival_order() {
+        let (s, q) = BatchQueue::new(MachineSpec::sequential(256), 32);
+        let x = Arc::new(DenseTensor::random(Shape::new(&[4, 4, 4]), 5));
+        s.submit(request(&[4, 4, 4], 2, 0, 1)).unwrap();
+        s.submit_factorize(FactorizeRequest::new(x, AlsConfig::new(2)))
+            .unwrap();
+        s.submit(request(&[4, 4, 4], 2, 0, 2)).unwrap(); // joins batch #1
+        let work = q.next_work().unwrap();
+        assert_eq!(work.len(), 2);
+        assert!(matches!(&work[0], Work::Batch(b) if b.len() == 2));
+        assert!(matches!(&work[1], Work::Factorize(_)));
     }
 
     #[test]
@@ -257,7 +352,7 @@ mod tests {
         let (s, q) = BatchQueue::new(MachineSpec::sequential(256), 8);
         s.submit(request(&[4, 4], 2, 0, 1)).unwrap();
         drop(s);
-        assert_eq!(q.next_batches().map(|b| b.len()), Some(1));
-        assert!(q.next_batches().is_none());
+        assert_eq!(q.next_work().map(|b| b.len()), Some(1));
+        assert!(q.next_work().is_none());
     }
 }

@@ -1,5 +1,8 @@
-//! Request and response types for the serving layer.
+//! Request and response types for the serving layer: single MTTKRPs
+//! ([`MttkrpRequest`]) and whole CP-ALS factorizations
+//! ([`FactorizeRequest`]).
 
+use mttkrp_als::{AlsConfig, AlsRun};
 use mttkrp_core::Problem;
 use mttkrp_exec::{ExecReport, MachineSpec, Plan};
 use mttkrp_tensor::{validate_operands, DenseTensor, Matrix};
@@ -85,6 +88,54 @@ pub struct MttkrpResponse {
     pub timing: RequestTiming,
 }
 
+/// One whole CP-ALS factorization to compute: a tensor plus the
+/// [`AlsConfig`] describing rank, stopping policy, machine, and backend.
+///
+/// Unlike [`MttkrpRequest`] (whose machine defaults to the server's),
+/// a factorization's machine lives inside its `config` — the config *is*
+/// the complete description of the run. The server executes it with
+/// [`mttkrp_als::cp_als_with_cache`] against the server's shared
+/// [`PlanCache`](mttkrp_exec::PlanCache), so repeated factorizations of
+/// the same shape skip the planner's candidate sweep entirely.
+#[derive(Clone, Debug)]
+pub struct FactorizeRequest {
+    /// The dense input tensor `X`.
+    pub tensor: Arc<DenseTensor>,
+    /// How to factorize it (rank, sweeps, tolerance, machine, backend).
+    pub config: AlsConfig,
+}
+
+impl FactorizeRequest {
+    /// A factorization request.
+    ///
+    /// # Panics
+    /// Panics if the tensor has fewer than two modes, contains non-finite
+    /// values, or is identically zero (CP-ALS cannot fit the zero tensor) —
+    /// the engine's own [`mttkrp_als::validate_input`] runs here, on the
+    /// caller's thread, so the server's workers never see a request that
+    /// would panic mid-run.
+    pub fn new(tensor: Arc<DenseTensor>, config: AlsConfig) -> FactorizeRequest {
+        mttkrp_als::validate_input(&tensor);
+        FactorizeRequest { tensor, config }
+    }
+
+    /// The planning-level [`Problem`] each of this factorization's
+    /// per-mode MTTKRPs poses.
+    pub fn problem(&self) -> Problem {
+        Problem::from_shape(self.tensor.shape(), self.config.rank)
+    }
+}
+
+/// What the server returns for one factorization request.
+#[derive(Debug)]
+pub struct FactorizeResponse {
+    /// The full CP-ALS run: fitted model, per-sweep trace, per-mode plans,
+    /// and the [`AlsRun::explain`] / [`AlsRun::to_json`] reports.
+    pub run: AlsRun,
+    /// Latency breakdown (`exec` covers the whole factorization).
+    pub timing: RequestTiming,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -116,5 +167,29 @@ mod tests {
         let (x, _) = operands(&[4, 5, 6], 3);
         let (_, wrong) = operands(&[4, 5], 3);
         let _ = MttkrpRequest::new(x, wrong, 0);
+    }
+
+    #[test]
+    fn factorize_problem_reflects_config_rank() {
+        let (x, _) = operands(&[4, 5, 6], 3);
+        let req = FactorizeRequest::new(x, AlsConfig::new(2));
+        assert_eq!(req.problem(), Problem::new(&[4, 5, 6], 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero tensor")]
+    fn factorize_rejects_the_zero_tensor() {
+        let x = Arc::new(DenseTensor::zeros(Shape::new(&[3, 3, 3])));
+        let _ = FactorizeRequest::new(x, AlsConfig::new(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn factorize_rejects_non_finite_tensors_on_the_caller_thread() {
+        // A NaN would otherwise pass the zero-check (NaN != 0.0 is true)
+        // and panic a server *worker* sweeps later, poisoning shutdown.
+        let mut x = DenseTensor::random(Shape::new(&[3, 3, 3]), 1);
+        x.data_mut()[0] = f64::NAN;
+        let _ = FactorizeRequest::new(Arc::new(x), AlsConfig::new(1));
     }
 }

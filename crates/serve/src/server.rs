@@ -1,8 +1,10 @@
 //! The serving engine: a batcher thread, a worker pool, a shared plan
 //! cache, and a stats ledger.
 
-use crate::queue::{BatchQueue, Pending, ResponseHandle, Submitter};
-use crate::request::{MttkrpRequest, MttkrpResponse, RequestTiming};
+use crate::queue::{BatchQueue, Pending, PendingFactorize, ResponseHandle, Submitter, Work};
+use crate::request::{
+    FactorizeRequest, FactorizeResponse, MttkrpRequest, MttkrpResponse, RequestTiming,
+};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use mttkrp_exec::{CacheStats, Executor, MachineSpec, Plan, PlanCache, Planner};
 use mttkrp_tensor::Matrix;
@@ -43,6 +45,8 @@ impl Default for ServerConfig {
 struct Counters {
     submitted: AtomicU64,
     served: AtomicU64,
+    factorizations_submitted: AtomicU64,
+    factorizations_served: AtomicU64,
     batches: AtomicU64,
     largest_batch: AtomicU64,
     backend_runs: Mutex<HashMap<&'static str, u64>>,
@@ -51,10 +55,14 @@ struct Counters {
 /// A point-in-time snapshot of everything a [`Server`] has done.
 #[derive(Clone, Debug)]
 pub struct ServerStats {
-    /// Requests accepted by [`Server::submit`].
+    /// MTTKRP requests accepted by [`Server::submit`].
     pub requests_submitted: u64,
-    /// Requests fully executed and answered.
+    /// MTTKRP requests fully executed and answered.
     pub requests_served: u64,
+    /// Factorization requests accepted by [`Server::submit_factorize`].
+    pub factorizations_submitted: u64,
+    /// Factorizations fully executed and answered.
+    pub factorizations_served: u64,
     /// Batches dispatched to the worker pool.
     pub batches: u64,
     /// Size of the largest batch formed so far.
@@ -82,6 +90,13 @@ impl std::fmt::Display for ServerStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(f, "requests submitted   {}", self.requests_submitted)?;
         writeln!(f, "requests served      {}", self.requests_served)?;
+        if self.factorizations_submitted > 0 {
+            writeln!(
+                f,
+                "factorizations       {} submitted, {} served",
+                self.factorizations_submitted, self.factorizations_served
+            )?;
+        }
         writeln!(
             f,
             "batches formed       {} (mean size {:.2}, largest {})",
@@ -113,16 +128,30 @@ struct DispatchedBatch {
     requests: Vec<Pending>,
 }
 
+/// What the batcher hands the worker pool: a plan-resolved MTTKRP batch,
+/// or a whole factorization (whose per-mode plans the worker resolves
+/// through the shared cache as it sweeps).
+enum Dispatch {
+    Batch(DispatchedBatch),
+    Factorize(PendingFactorize),
+}
+
 /// A long-lived MTTKRP service: submit requests, get
-/// [`MttkrpResponse`]s back.
+/// [`MttkrpResponse`]s back — and, since the `mttkrp-als` engine landed,
+/// whole CP-ALS factorizations ([`Server::submit_factorize`], answered
+/// with [`FactorizeResponse`]s) alongside the single MTTKRPs.
 ///
 /// Internally: a [`BatchQueue`] coalesces same-shape requests, one batcher
 /// thread resolves each batch's plan through a shared [`PlanCache`]
 /// (repeated shapes skip the planner's candidate sweep), and a pool of
 /// worker threads runs each batch on the plan's natural
 /// [`Executor`] — native hardware for sequential plans, the word-exact
-/// simulator for distributed ones. Results are *identical* to calling
-/// [`mttkrp_exec::plan_and_execute`] per request; batching changes where
+/// simulator for distributed ones. Factorizations ride the same queue and
+/// worker pool and resolve their `N`-per-sweep MTTKRP plans through the
+/// same shared cache, so a repeated shape is planned once whether it
+/// arrives as a single kernel or a whole factorization. Results are
+/// *identical* to calling [`mttkrp_exec::plan_and_execute`] (or
+/// [`mttkrp_als::cp_als_with_cache`]) per request; batching changes where
 /// the work runs and what it costs to plan, never the numbers.
 ///
 /// Shutdown is graceful: [`Server::shutdown`] (or drop) stops accepting
@@ -147,7 +176,7 @@ impl Server {
         let (submitter, queue) = BatchQueue::new(config.machine.clone(), config.max_batch);
         let cache = Arc::new(PlanCache::new(config.cache_capacity));
         let counters = Arc::new(Counters::default());
-        let (batch_tx, batch_rx) = unbounded::<DispatchedBatch>();
+        let (batch_tx, batch_rx) = unbounded::<Dispatch>();
 
         let batcher = {
             let cache = Arc::clone(&cache);
@@ -157,8 +186,9 @@ impl Server {
         let workers = (0..config.workers)
             .map(|_| {
                 let rx = batch_rx.clone();
+                let cache = Arc::clone(&cache);
                 let counters = Arc::clone(&counters);
-                std::thread::spawn(move || run_worker(rx, counters))
+                std::thread::spawn(move || run_worker(rx, cache, counters))
             })
             .collect();
         drop(batch_rx);
@@ -191,6 +221,27 @@ impl Server {
         self.submit(request).wait()
     }
 
+    /// Submits a whole CP-ALS factorization; its [`FactorizeResponse`]
+    /// arrives on the returned handle. The run resolves its per-mode
+    /// MTTKRP plans through the server's shared plan cache, so repeated
+    /// factorizations of the same shape skip the planner's candidate
+    /// sweep entirely.
+    pub fn submit_factorize(&self, request: FactorizeRequest) -> ResponseHandle<FactorizeResponse> {
+        self.counters
+            .factorizations_submitted
+            .fetch_add(1, Ordering::Relaxed);
+        self.submitter
+            .as_ref()
+            .expect("server already shut down")
+            .submit_factorize(request)
+            .expect("serving threads are alive while the server exists")
+    }
+
+    /// Submit-and-wait convenience for factorizations.
+    pub fn call_factorize(&self, request: FactorizeRequest) -> FactorizeResponse {
+        self.submit_factorize(request).wait()
+    }
+
     /// The shared plan cache (e.g. to warm it up before a burst).
     pub fn cache(&self) -> &PlanCache {
         &self.cache
@@ -211,6 +262,11 @@ impl Server {
         ServerStats {
             requests_submitted: self.counters.submitted.load(Ordering::Relaxed),
             requests_served: self.counters.served.load(Ordering::Relaxed),
+            factorizations_submitted: self
+                .counters
+                .factorizations_submitted
+                .load(Ordering::Relaxed),
+            factorizations_served: self.counters.factorizations_served.load(Ordering::Relaxed),
             batches: self.counters.batches.load(Ordering::Relaxed),
             largest_batch: self.counters.largest_batch.load(Ordering::Relaxed),
             cache: self.cache.stats(),
@@ -251,12 +307,24 @@ impl Drop for Server {
 
 fn run_batcher(
     queue: BatchQueue,
-    batch_tx: Sender<DispatchedBatch>,
+    batch_tx: Sender<Dispatch>,
     cache: Arc<PlanCache>,
     counters: Arc<Counters>,
 ) {
-    while let Some(batches) = queue.next_batches() {
-        for batch in batches {
+    while let Some(work) = queue.next_work() {
+        for unit in work {
+            let batch = match unit {
+                Work::Factorize(pending) => {
+                    // A factorization's per-mode plans are resolved by the
+                    // worker as it sweeps (through the same shared cache);
+                    // there is nothing to pre-plan here.
+                    if batch_tx.send(Dispatch::Factorize(pending)).is_err() {
+                        return; // workers are gone; nothing left to answer
+                    }
+                    continue;
+                }
+                Work::Batch(batch) => batch,
+            };
             let problem = batch.key.problem.problem();
             let mode = batch.key.problem.mode;
             let planner = Planner::new(batch.key.machine.clone());
@@ -266,11 +334,11 @@ fn run_batcher(
                 .largest_batch
                 .fetch_max(batch.requests.len() as u64, Ordering::Relaxed);
             if batch_tx
-                .send(DispatchedBatch {
+                .send(Dispatch::Batch(DispatchedBatch {
                     plan,
                     cache_hit,
                     requests: batch.requests,
-                })
+                }))
                 .is_err()
             {
                 return; // workers are gone; nothing left to answer
@@ -279,8 +347,15 @@ fn run_batcher(
     }
 }
 
-fn run_worker(rx: Receiver<DispatchedBatch>, counters: Arc<Counters>) {
-    while let Ok(batch) = rx.recv() {
+fn run_worker(rx: Receiver<Dispatch>, cache: Arc<PlanCache>, counters: Arc<Counters>) {
+    while let Ok(dispatch) = rx.recv() {
+        let batch = match dispatch {
+            Dispatch::Factorize(pending) => {
+                run_factorization(pending, &cache, &counters);
+                continue;
+            }
+            Dispatch::Batch(batch) => batch,
+        };
         // One executor per batch: plan reuse also amortizes backend setup
         // (e.g. the native backend's thread pool) across the whole batch.
         let executor = Executor::for_plan(&batch.plan);
@@ -310,4 +385,21 @@ fn run_worker(rx: Receiver<DispatchedBatch>, counters: Arc<Counters>) {
             });
         }
     }
+}
+
+/// Runs one whole CP-ALS factorization on a worker thread, resolving every
+/// per-mode MTTKRP plan through the server's shared cache.
+fn run_factorization(pending: PendingFactorize, cache: &PlanCache, counters: &Counters) {
+    let queued = pending.submitted.elapsed();
+    let start = Instant::now();
+    let run =
+        mttkrp_als::cp_als_with_cache(&pending.request.tensor, &pending.request.config, cache);
+    let exec = start.elapsed();
+    counters
+        .factorizations_served
+        .fetch_add(1, Ordering::Relaxed);
+    let _ = pending.reply.send(FactorizeResponse {
+        run,
+        timing: RequestTiming { queued, exec },
+    });
 }

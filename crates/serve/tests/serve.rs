@@ -1,9 +1,11 @@
 //! Integration tests for the serving layer: batching must never change
 //! results, the plan cache must account honestly, and shutdown must drain.
 
-use mttkrp_exec::{plan_and_execute, MachineSpec};
-use mttkrp_serve::{MttkrpRequest, Server, ServerConfig};
-use mttkrp_tensor::{DenseTensor, Matrix, Shape};
+use mttkrp_als::{cp_als_with_cache, AlsConfig, BackendChoice};
+use mttkrp_exec::plan_and_execute;
+use mttkrp_exec::{MachineSpec, PlanCache};
+use mttkrp_serve::{FactorizeRequest, MttkrpRequest, Server, ServerConfig};
+use mttkrp_tensor::{DenseTensor, KruskalTensor, Matrix, Shape};
 use std::sync::Arc;
 
 fn operands(dims: &[usize], r: usize, seed: u64) -> (Arc<DenseTensor>, Arc<Vec<Matrix>>) {
@@ -184,6 +186,112 @@ fn machine_override_is_honored() {
     assert_eq!(distributed.wait().report.backend, "sim");
     let stats = server.shutdown();
     assert_eq!(stats.cache.misses, 2, "two machines, two plans");
+}
+
+/// A served factorization is bit-identical to a direct engine run with
+/// the same config and an equivalent cache — serving changes where the
+/// sweeps run, never the numbers.
+#[test]
+fn served_factorization_matches_direct_engine_run() {
+    let server = Server::start(ServerConfig {
+        machine: MachineSpec::shared(1, 1 << 12),
+        workers: 2,
+        cache_capacity: 16,
+        max_batch: 8,
+    });
+    let x = Arc::new(KruskalTensor::random(&Shape::new(&[8, 7, 6]), 2, 31).full());
+    let config = AlsConfig::new(2)
+        .with_machine(MachineSpec::shared(1, 1 << 12))
+        .with_backend(BackendChoice::Native)
+        .with_sweeps(20)
+        .with_tol(1e-10);
+
+    let response = server.call_factorize(FactorizeRequest::new(x.clone(), config.clone()));
+    let direct = cp_als_with_cache(&x, &config, &PlanCache::new(8));
+    for (a, b) in response.run.model.factors.iter().zip(&direct.model.factors) {
+        assert_eq!(a.data(), b.data(), "served factors differ from direct run");
+    }
+    assert_eq!(response.run.model.weights, direct.model.weights);
+    assert_eq!(response.run.fit_history(), direct.fit_history());
+    assert!(response.timing.exec > std::time::Duration::ZERO);
+
+    let stats = server.shutdown();
+    assert_eq!(stats.factorizations_submitted, 1);
+    assert_eq!(stats.factorizations_served, 1);
+    assert_eq!(stats.requests_served, 0, "no single MTTKRPs were submitted");
+}
+
+/// Factorizations share the server's plan cache: the second same-shape
+/// factorization (and any same-shape single MTTKRP) skips the planner's
+/// candidate sweep entirely.
+#[test]
+fn factorizations_share_the_plan_cache_across_requests() {
+    let machine = MachineSpec::shared(1, 1 << 12);
+    let server = Server::start(ServerConfig {
+        machine: machine.clone(),
+        workers: 1,
+        cache_capacity: 16,
+        max_batch: 8,
+    });
+    let x = Arc::new(KruskalTensor::random(&Shape::new(&[6, 6, 6]), 2, 32).full());
+    let config = AlsConfig::new(2)
+        .with_machine(machine.clone())
+        .with_backend(BackendChoice::Native)
+        .with_sweeps(6)
+        .with_tol(0.0);
+
+    let first = server.call_factorize(FactorizeRequest::new(x.clone(), config.clone()));
+    assert_eq!(first.run.cache_misses(), 3, "one planner sweep per mode");
+    let second = server.call_factorize(FactorizeRequest::new(x.clone(), config.clone()));
+    assert_eq!(second.run.cache_misses(), 0, "plans reused across requests");
+    assert_eq!(second.run.cache_hits(), 3 * 6);
+
+    // A single MTTKRP of the same shape/rank/machine also hits the shared
+    // cache: the factorization already planned mode 0.
+    let factors = Arc::new(
+        (0..3)
+            .map(|k| Matrix::random(6, 2, 40 + k as u64))
+            .collect::<Vec<Matrix>>(),
+    );
+    let response = server.call(MttkrpRequest::new(x.clone(), factors, 0));
+    assert!(
+        response.cache_hit,
+        "factorization warmed the cache for MTTKRPs"
+    );
+
+    let stats = server.shutdown();
+    assert_eq!(stats.factorizations_served, 2);
+    assert_eq!(stats.cache.misses, 3, "three modes, planned once, ever");
+}
+
+/// Graceful shutdown drains queued factorizations just like MTTKRPs.
+#[test]
+fn shutdown_drains_in_flight_factorizations() {
+    let server = Server::start(ServerConfig {
+        machine: MachineSpec::shared(1, 1 << 10),
+        workers: 2,
+        cache_capacity: 8,
+        max_batch: 8,
+    });
+    let x = Arc::new(KruskalTensor::random(&Shape::new(&[6, 5, 4]), 2, 33).full());
+    let config = AlsConfig::new(2)
+        .with_machine(MachineSpec::shared(1, 1 << 10))
+        .with_backend(BackendChoice::Native)
+        .with_sweeps(4)
+        .with_tol(0.0);
+    let handles: Vec<_> = (0..6)
+        .map(|_| server.submit_factorize(FactorizeRequest::new(x.clone(), config.clone())))
+        .collect();
+    let stats = server.shutdown();
+    assert_eq!(stats.factorizations_submitted, 6);
+    assert_eq!(
+        stats.factorizations_served, 6,
+        "shutdown must answer everything"
+    );
+    for h in handles {
+        let response = h.wait();
+        assert_eq!(response.run.sweeps(), 4);
+    }
 }
 
 /// Timing and batch metadata on responses are populated sanely.

@@ -36,7 +36,9 @@ pub mod ttm;
 pub use dense::DenseTensor;
 pub use khatri_rao::{gram_hadamard, khatri_rao, khatri_rao_colex};
 pub use kruskal::KruskalTensor;
-pub use linalg::{cholesky, leading_eigvecs, solve_spd, solve_spd_right, sym_eig, LinalgError};
+pub use linalg::{
+    cholesky, leading_eigvecs, solve_spd, solve_spd_ridge, solve_spd_right, sym_eig, LinalgError,
+};
 pub use matricize::{fold, matricize};
 pub use matrix::Matrix;
 pub use oracle::{mttkrp_reference, mttkrp_via_matmul, validate_operands};

@@ -105,30 +105,40 @@ pub fn solve_spd(a: &Matrix, b: &Matrix) -> Result<Matrix, LinalgError> {
     Ok(x)
 }
 
+/// Solves `A X = B` for `A` that is SPD *or* positive semi-definite: tries
+/// the plain Cholesky solve first, and on a positive-definiteness failure
+/// retries once with the ridge-regularized system `(A + eps*I) X = B` —
+/// the standard CP-ALS safeguard for rank-deficient Gram-Hadamard matrices.
+///
+/// With `eps <= 0.0` no retry is attempted and the original error is
+/// returned, so callers can opt out of the fallback explicitly.
+pub fn solve_spd_ridge(a: &Matrix, b: &Matrix, eps: f64) -> Result<Matrix, LinalgError> {
+    match solve_spd(a, b) {
+        Err(LinalgError::NotPositiveDefinite(_)) if eps > 0.0 => {
+            let mut a2 = a.clone();
+            for i in 0..a2.rows() {
+                a2[(i, i)] += eps;
+            }
+            solve_spd(&a2, b)
+        }
+        other => other,
+    }
+}
+
 /// Solves `X A = B` for `X` (`B` is `m x n`, `A` is `n x n` SPD), the shape
 /// that appears in the CP-ALS update `A^(n) = MTTKRP / V`.
 ///
-/// If `A` is singular (positive semi-definite), a small ridge
-/// (`eps * trace/n`) is added, which is the standard CP-ALS safeguard.
+/// If `A` is singular (positive semi-definite), the [`solve_spd_ridge`]
+/// fallback retries with a small trace-scaled ridge (`1e-12 * trace/n`).
 pub fn solve_spd_right(b: &Matrix, a: &Matrix) -> Result<Matrix, LinalgError> {
     assert_eq!(a.rows(), a.cols(), "A must be square");
     assert_eq!(b.cols(), a.rows(), "dimension mismatch in solve_spd_right");
+    let n = a.rows();
+    let trace: f64 = (0..n).map(|i| a[(i, i)]).sum();
+    let ridge = 1e-12 * (trace / n as f64).max(1e-300);
     // X A = B  <=>  A X^T = B^T (A symmetric).
-    match solve_spd(a, &b.transpose()) {
-        Ok(xt) => Ok(xt.transpose()),
-        Err(LinalgError::NotPositiveDefinite(_)) => {
-            let n = a.rows();
-            let trace: f64 = (0..n).map(|i| a[(i, i)]).sum();
-            let ridge = 1e-12 * (trace / n as f64).max(1e-300);
-            let mut a2 = a.clone();
-            for i in 0..n {
-                a2[(i, i)] += ridge;
-            }
-            let xt = solve_spd(&a2, &b.transpose())?;
-            Ok(xt.transpose())
-        }
-        Err(e) => Err(e),
-    }
+    let xt = solve_spd_ridge(a, &b.transpose(), ridge)?;
+    Ok(xt.transpose())
 }
 
 /// Symmetric eigendecomposition by the cyclic Jacobi method.
@@ -328,6 +338,52 @@ mod tests {
                 assert!((au[(i, j)] - vals[j] * u[(i, j)]).abs() < 1e-8 * (1.0 + vals[j].abs()));
             }
         }
+    }
+
+    #[test]
+    fn solve_spd_ridge_matches_plain_solve_on_spd_input() {
+        // On an SPD system the ridge path is never taken: the result is the
+        // plain Cholesky solve, bit for bit.
+        let a = spd(5, 12);
+        let b = Matrix::random(5, 3, 13);
+        let plain = solve_spd(&a, &b).unwrap();
+        let ridged = solve_spd_ridge(&a, &b, 1e-6).unwrap();
+        assert_eq!(plain.data(), ridged.data());
+    }
+
+    #[test]
+    fn solve_spd_ridge_recovers_semidefinite_system() {
+        // Rank-1 (positive semi-definite) A: plain Cholesky fails, the
+        // ridge retry produces a finite X with X solving the perturbed
+        // system, hence A X ~= B for consistent B.
+        let v = Matrix::from_rows_vec(3, 1, vec![1.0, -2.0, 0.5]);
+        let a = v.matmul(&v.transpose()); // 3x3 rank-1
+        let x_true = Matrix::random(3, 2, 14);
+        let b = a.matmul(&x_true);
+        assert!(solve_spd(&a, &b).is_err(), "test needs a semidefinite A");
+        let x = solve_spd_ridge(&a, &b, 1e-10).unwrap();
+        assert!(x.data().iter().all(|v| v.is_finite()));
+        assert!(a.matmul(&x).max_abs_diff(&b) < 1e-5);
+    }
+
+    #[test]
+    fn solve_spd_ridge_with_zero_eps_propagates_the_error() {
+        let v = Matrix::from_rows_vec(2, 1, vec![1.0, 2.0]);
+        let a = v.matmul(&v.transpose());
+        let b = Matrix::random(2, 1, 15);
+        assert!(matches!(
+            solve_spd_ridge(&a, &b, 0.0),
+            Err(LinalgError::NotPositiveDefinite(_))
+        ));
+    }
+
+    #[test]
+    fn solve_spd_ridge_cannot_rescue_an_indefinite_matrix() {
+        // An eigenvalue far below -eps stays negative after the ridge.
+        let mut a = Matrix::identity(3);
+        a[(2, 2)] = -5.0;
+        let b = Matrix::random(3, 1, 16);
+        assert!(solve_spd_ridge(&a, &b, 1e-8).is_err());
     }
 
     #[test]

@@ -11,10 +11,13 @@
 //! - [`core`] — the paper's bounds, algorithms, and cost models;
 //! - [`exec`] — the execution subsystem: cost-model-driven planner plus
 //!   simulator and native (rayon) backends;
+//! - [`als`] — the CP-ALS factorization engine driving the planner and
+//!   every backend (N plan-cached MTTKRPs per sweep);
 //! - [`serve`] — plan-cached, request-batching serving layer over the
-//!   executor;
+//!   executor (single MTTKRPs and whole factorizations);
 //! - [`bench`](mod@bench) — benchmark helpers and the CLI driver.
 
+pub use mttkrp_als as als;
 pub use mttkrp_bench as bench;
 pub use mttkrp_core as core;
 pub use mttkrp_exec as exec;
