@@ -55,7 +55,7 @@ impl Backends {
             BackendChoice::Auto if plan.algorithm.is_sequential() => self.native(),
             BackendChoice::Auto => &self.sim,
         };
-        backend.execute(plan, x, factors)
+        mttkrp_exec::execute_observed(backend, plan, x, factors)
     }
 }
 
@@ -145,22 +145,49 @@ pub fn cp_als_with_cache(x: &DenseTensor, config: &AlsConfig, cache: &PlanCache)
     let mut prev_fit = f64::NEG_INFINITY;
     let mut converged = false;
 
+    // Root span of the factorization: sweeps nest under it, mode updates
+    // under those, planner/kernel spans under the modes. Declared before
+    // the loop so it closes after the last sweep.
+    let mut factorize_span = mttkrp_obs::span("factorize");
+    if factorize_span.is_active() {
+        factorize_span.record("rank", r);
+        factorize_span.record("modes", order);
+        factorize_span.record("max_sweeps", config.max_sweeps);
+    }
+
     for sweep in 0..config.max_sweeps {
+        let mut sweep_span = mttkrp_obs::span("sweep").with("sweep", sweep + 1);
         let sweep_start = Instant::now();
         let (mut hits, mut misses) = (0usize, 0usize);
         let mut mode_times = Vec::with_capacity(order);
+        let mut mode_plan_times = Vec::with_capacity(order);
+        let mut mode_exec_times = Vec::with_capacity(order);
         let mut last_b: Option<Matrix> = None;
 
         for n in 0..order {
+            let mut mode_span = mttkrp_obs::span("mode").with("mode", n);
             let t0 = Instant::now();
             let (plan, hit) = planner.plan_cached_with_status(&problem, n, cache);
+            let plan_time = t0.elapsed();
             if hit {
                 hits += 1;
             } else {
                 misses += 1;
             }
             let refs: Vec<&Matrix> = factors.iter().collect();
+            let t1 = Instant::now();
             let report = backends.execute(config.backend, &plan, x, &refs);
+            let exec_time = t1.elapsed();
+            if mode_span.is_active() {
+                // The span itself closes after the solve, so its duration is
+                // the whole mode update; these fields carry the split.
+                mode_span.record("cache_hit", hit);
+                mode_span.record("plan_us", plan_time.as_micros() as u64);
+                mode_span.record("exec_us", exec_time.as_micros() as u64);
+                mode_span.record("backend", report.backend);
+            }
+            mode_plan_times.push(plan_time);
+            mode_exec_times.push(exec_time);
             backend_names[n] = report.backend;
             if plans[n].is_none() {
                 plans[n] = Some(plan);
@@ -230,13 +257,24 @@ pub fn cp_als_with_cache(x: &DenseTensor, config: &AlsConfig, cache: &PlanCache)
         let resid_sq = resid_sq.max(0.0);
         let fit = 1.0 - resid_sq.sqrt() / norm_x;
 
+        let delta_fit = (sweep > 0).then_some(fit - prev_fit);
+        if sweep_span.is_active() {
+            sweep_span.record("fit", fit);
+            if let Some(d) = delta_fit {
+                sweep_span.record("delta_fit", d);
+            }
+            sweep_span.record("cache_hits", hits);
+            sweep_span.record("cache_misses", misses);
+        }
         trace.push(AlsSweep {
             sweep: sweep + 1,
             fit,
-            delta_fit: (sweep > 0).then_some(fit - prev_fit),
+            delta_fit,
             cache_hits: hits,
             cache_misses: misses,
             mode_times,
+            mode_plan_times,
+            mode_exec_times,
             elapsed: sweep_start.elapsed(),
         });
 
@@ -246,6 +284,14 @@ pub fn cp_als_with_cache(x: &DenseTensor, config: &AlsConfig, cache: &PlanCache)
         }
         prev_fit = fit;
     }
+
+    if factorize_span.is_active() {
+        factorize_span.record("sweeps", trace.len());
+        factorize_span.record("converged", converged);
+        factorize_span.record("fit", trace.last().map(|s| s.fit).unwrap_or(f64::NAN));
+    }
+    mttkrp_obs::counter_add("als.factorizations", 1);
+    drop(factorize_span);
 
     let mut model = KruskalTensor::from_factors(factors);
     model.weights = weights;

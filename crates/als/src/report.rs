@@ -24,6 +24,14 @@ pub struct AlsSweep {
     /// Wall time of each mode update (plan lookup + MTTKRP + solve), in
     /// mode order.
     pub mode_times: Vec<Duration>,
+    /// Time each mode spent in the planner (cache lookup plus, on a miss,
+    /// the candidate sweep), in mode order. Together with
+    /// [`AlsSweep::mode_exec_times`] this splits [`AlsSweep::mode_times`]
+    /// into plan-vs-execute — the timing blind spot a single per-mode
+    /// number had.
+    pub mode_plan_times: Vec<Duration>,
+    /// Time each mode spent executing the MTTKRP kernel, in mode order.
+    pub mode_exec_times: Vec<Duration>,
     /// Wall time of the whole sweep.
     pub elapsed: Duration,
 }
@@ -186,6 +194,22 @@ impl AlsRun {
             .map(|s| json_f64(s.elapsed.as_secs_f64()))
             .collect::<Vec<_>>()
             .join(",");
+        let sum_secs =
+            |times: &[Duration]| json_f64(times.iter().map(Duration::as_secs_f64).sum::<f64>());
+        // Aligned with `sweep_secs`: per sweep, the seconds spent planning
+        // vs executing MTTKRPs (the remainder of a sweep is solve/fit).
+        let plan_secs = self
+            .trace
+            .iter()
+            .map(|s| sum_secs(&s.mode_plan_times))
+            .collect::<Vec<_>>()
+            .join(",");
+        let exec_secs = self
+            .trace
+            .iter()
+            .map(|s| sum_secs(&s.mode_exec_times))
+            .collect::<Vec<_>>()
+            .join(",");
         let plans = self
             .plans
             .iter()
@@ -205,7 +229,8 @@ impl AlsRun {
             "{{\"dims\":[{dims}],\"rank\":{},\"backend\":\"{}\",\
              \"mode_backends\":[{mode_backends}],\"ranks\":{},\"threads\":{},\
              \"sweeps\":{},\"converged\":{},\"fit\":{},\"fit_trajectory\":[{fits}],\
-             \"sweep_secs\":[{secs}],\"cache\":{{\"hits\":{},\"misses\":{},\"hit_rate\":{}}},\
+             \"sweep_secs\":[{secs}],\"plan_secs\":[{plan_secs}],\"exec_secs\":[{exec_secs}],\
+             \"cache\":{{\"hits\":{},\"misses\":{},\"hit_rate\":{}}},\
              \"mode_plans\":[{plans}]}}",
             self.config.rank,
             self.config.backend,

@@ -34,7 +34,7 @@
 //!                              through the batch serving layer and print
 //!                              its stats table (--json emits one
 //!                              machine-readable object on stdout)
-//!   cp-als [--sweeps S] [--tol T] [--backend auto|native|sim|dist]
+//!   cp-als [--sweeps S] [--tol T] [--backend auto|native|sim|dist|dist-tcp]
 //!          [--ranks P] [--transport channel|tcp] [--threads T]
 //!          [--memory M] [--gate] [--json]
 //!                              CP-ALS-factorize a synthetic rank-R tensor
@@ -44,7 +44,21 @@
 //!                              a --ranks P cluster), and plan-cache misses
 //!                              == N modes across all sweeps, exiting
 //!                              nonzero on violation
+//!   report FILE.jsonl [--gate] [--tol T]
+//!                              pretty-print a trace captured with --trace:
+//!                              the span tree with self/total times, the top
+//!                              metrics, and the modeled-vs-measured drift
+//!                              table; --gate exits nonzero when any
+//!                              collective's measured words drift from the
+//!                              paper-model prediction beyond --tol
+//!                              (default 1%)
 //! ```
+//!
+//! Every live subcommand also takes `--trace FILE.jsonl` (capture the run's
+//! spans and metrics through `mttkrp-obs` and write them as JSONL) and
+//! `--metrics` (print the human summary after the run). A traced run that
+//! recorded modeled-vs-measured collective pairs applies the drift gate on
+//! exit.
 //!
 //! Example: `cargo run --release -p mttkrp-bench --bin mttkrp_cli -- \
 //!            --dims 16x16x16 --rank 8 --mode 0 alg3 --grid 2x2x2`
@@ -102,6 +116,11 @@ struct Args {
     tol: Option<f64>,
     gate: bool,
     json: bool,
+    // Observability: capture the run through `mttkrp-obs`.
+    trace: Option<String>,
+    metrics: bool,
+    // The `report` subcommand's trace-file positional.
+    input: Option<String>,
 }
 
 fn parse_dims(s: &str) -> Result<Vec<usize>, String> {
@@ -180,17 +199,30 @@ fn parse(argv: &[String]) -> Result<Args, String> {
             "--tol" => args.tol = Some(next("--tol")?.parse().map_err(|e| format!("{e}"))?),
             "--gate" => args.gate = true,
             "--json" => args.json = true,
+            "--trace" => args.trace = Some(next("--trace")?),
+            "--metrics" => args.metrics = true,
             "--help" | "-h" => return Err("help".to_string()),
             other if !other.starts_with('-') && args.algorithm.is_none() => {
                 args.algorithm = Some(other.to_string());
             }
+            other
+                if !other.starts_with('-')
+                    && args.algorithm.as_deref() == Some("report")
+                    && args.input.is_none() =>
+            {
+                args.input = Some(other.to_string());
+            }
             other => return Err(format!("unrecognized argument '{other}'")),
         }
     }
-    // `serve` generates its own mixed-shape workload and `cp-als` its own
-    // synthetic rank-R tensor; --dims (if given) only seeds the base shape,
-    // so it may be omitted for either.
-    if matches!(args.algorithm.as_deref(), Some("serve") | Some("cp-als")) && args.dims.is_empty() {
+    // `serve` generates its own mixed-shape workload, `cp-als` its own
+    // synthetic rank-R tensor, and `report` reads a trace file; --dims (if
+    // given) only seeds the base shape, so it may be omitted for any of them.
+    if matches!(
+        args.algorithm.as_deref(),
+        Some("serve") | Some("cp-als") | Some("report")
+    ) && args.dims.is_empty()
+    {
         args.dims = match args.algorithm.as_deref() {
             Some("cp-als") => vec![12, 10, 8],
             _ => vec![16, 16, 16],
@@ -207,10 +239,9 @@ fn parse(argv: &[String]) -> Result<Args, String> {
         ));
     }
     let Some(alg) = args.algorithm.as_deref() else {
-        return Err(
-            "no algorithm given (alg1|alg2|seqmm|alg3|alg4|parmm|bounds|exec|dist|serve|cp-als)"
-                .into(),
-        );
+        return Err("no algorithm given \
+             (alg1|alg2|seqmm|alg3|alg4|parmm|bounds|exec|dist|serve|cp-als|report)"
+            .into());
     };
     // Flags are parsed globally but only some subcommands honor them;
     // reject half-applying combinations instead of silently ignoring them.
@@ -219,14 +250,22 @@ fn parse(argv: &[String]) -> Result<Args, String> {
             "--json is only supported by the serve and cp-als subcommands, not '{alg}'"
         ));
     }
-    for (flag, given) in [
-        ("--gate", args.gate),
-        ("--sweeps", args.sweeps.is_some()),
-        ("--tol", args.tol.is_some()),
-    ] {
-        if given && alg != "cp-als" {
-            return Err(format!("{flag} is a cp-als flag, not valid for '{alg}'"));
+    for (flag, given) in [("--gate", args.gate), ("--tol", args.tol.is_some())] {
+        if given && !matches!(alg, "cp-als" | "report") {
+            return Err(format!(
+                "{flag} is a cp-als/report flag, not valid for '{alg}'"
+            ));
         }
+    }
+    if args.sweeps.is_some() && alg != "cp-als" {
+        return Err(format!("--sweeps is a cp-als flag, not valid for '{alg}'"));
+    }
+    // `report` replays a finished trace and `dist-rank` is a spawned child
+    // whose events belong to the launcher; neither captures its own.
+    if (args.trace.is_some() || args.metrics) && matches!(alg, "report" | "dist-rank") {
+        return Err(format!(
+            "--trace/--metrics instrument a live run, not valid for '{alg}'"
+        ));
     }
     Ok(args)
 }
@@ -252,7 +291,7 @@ fn usage() {
          \n        [--cache C] [--threads T] [--memory M] [--procs P] [--json]\
          \n                               replay a synthetic workload through the\
          \n                               plan-cached batch serving layer\
-         \n  cp-als [--sweeps S] [--tol T] [--backend auto|native|sim|dist]\
+         \n  cp-als [--sweeps S] [--tol T] [--backend auto|native|sim|dist|dist-tcp]\
          \n         [--ranks P] [--transport channel|tcp] [--threads T]\
          \n         [--memory M] [--gate] [--json]\
          \n                               CP-ALS factorization of a synthetic\
@@ -261,7 +300,16 @@ fn usage() {
          \n                               bitwise native-vs-dist identity, and\
          \n                               plan-cache misses == N modes, exiting\
          \n                               nonzero on violation; --json emits\
-         \n                               machine-readable stats"
+         \n                               machine-readable stats\
+         \n  report FILE.jsonl [--gate] [--tol T]\
+         \n                               pretty-print a --trace capture: span\
+         \n                               tree, top metrics, and the drift table;\
+         \n                               --gate exits nonzero on modeled-vs-\
+         \n                               measured drift beyond --tol (default 1%)\
+         \n\
+         \nevery live subcommand also takes:\
+         \n  --trace FILE.jsonl           capture spans + metrics as JSONL\
+         \n  --metrics                    print the human summary after the run"
     );
 }
 
@@ -277,7 +325,85 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    if args.algorithm.as_deref() == Some("report") {
+        return run_report(&args);
+    }
 
+    // --trace / --metrics: capture the whole run through mttkrp-obs, under
+    // one root "request" span, and post-process the recording on exit.
+    let cap = (args.trace.is_some() || args.metrics).then(mttkrp_obs::capture);
+    let code = {
+        let mut root = mttkrp_obs::span("request");
+        if root.is_active() {
+            root.record("kind", args.algorithm.clone().unwrap_or_default());
+            root.record(
+                "dims",
+                args.dims
+                    .iter()
+                    .map(|d| d.to_string())
+                    .collect::<Vec<_>>()
+                    .join("x"),
+            );
+            root.record("rank", args.rank);
+        }
+        run(&args)
+    };
+    match cap {
+        Some(cap) => finish_capture(cap.finish(), &args, code),
+        None => code,
+    }
+}
+
+/// Writes/prints a finished capture and applies the drift gate: when the
+/// run recorded modeled-vs-measured collective pairs, any drift beyond 1%
+/// turns a successful exit into a failure.
+fn finish_capture(rec: mttkrp_obs::Recording, args: &Args, code: ExitCode) -> ExitCode {
+    let mut code = code;
+    if let Some(path) = &args.trace {
+        if let Err(e) = rec.write_jsonl(std::path::Path::new(path)) {
+            eprintln!("error: cannot write trace to {path}: {e}");
+            code = ExitCode::FAILURE;
+        } else {
+            say!(
+                args.json,
+                "trace                {} span(s), {} metric(s) -> {path}",
+                rec.spans.len(),
+                rec.metrics.len()
+            );
+        }
+    }
+    if args.metrics {
+        say!(args.json, "{}", rec.summary());
+    }
+    let drift = mttkrp_obs::DriftReport::from_spans(&rec.nodes(), DRIFT_TOLERANCE);
+    if let Some(worst) = drift.worst() {
+        // One verdict line on success; the full pair table (from `report`)
+        // is for the failure path and offline analysis.
+        say!(
+            args.json,
+            "drift gate           {} modeled/measured pair(s), worst rel err {:.5} \
+             (tolerance {DRIFT_TOLERANCE}) -> {}",
+            drift.len(),
+            worst.rel_error(),
+            if drift.ok() { "OK" } else { "FAIL" }
+        );
+        if !drift.ok() {
+            eprint!("{}", drift.table());
+            eprintln!("error: measured collective traffic drifts from the paper's model");
+            code = ExitCode::FAILURE;
+        }
+    }
+    code
+}
+
+/// Relative drift between a collective's modeled and measured word counts
+/// that the gate tolerates. The transports are word-exact by construction
+/// (the dist suite asserts equality), so any drift is a model regression.
+const DRIFT_TOLERANCE: f64 = 0.01;
+
+/// Dispatches a parsed command line (everything except `report`, which
+/// never runs a problem).
+fn run(args: &Args) -> ExitCode {
     let problem = Problem::new(
         &args.dims.iter().map(|&d| d as u64).collect::<Vec<u64>>(),
         args.rank as u64,
@@ -297,10 +423,10 @@ fn main() -> ExitCode {
     // `serve` builds its own mixed-shape workload from the base dims, and
     // `cp-als` its own synthetic rank-R Kruskal tensor.
     if alg == "serve" {
-        return run_serve(&args);
+        return run_serve(args);
     }
     if alg == "cp-als" {
-        return run_cp_als(&args);
+        return run_cp_als(args);
     }
     // `bounds` is formula-only: never materialize the (possibly huge) tensor.
     let materialized = if alg == "bounds" {
@@ -320,7 +446,7 @@ fn main() -> ExitCode {
         Some((x, f)) => (x, f),
         None => {
             // `bounds` path: handled below without operands.
-            return run_bounds_only(&args, &problem);
+            return run_bounds_only(args, &problem);
         }
     };
     let refs: Vec<&Matrix> = factors.iter().collect();
@@ -431,9 +557,9 @@ fn main() -> ExitCode {
                 run.output.max_abs_diff(&oracle)
             );
         }
-        "exec" => return run_exec(&args, &problem, x, &refs),
-        "dist" => return run_dist(&args, &problem, x, &refs),
-        "dist-rank" => return run_dist_rank(&args, &problem, x, &refs),
+        "exec" => return run_exec(args, &problem, x, &refs),
+        "dist" => return run_dist(args, &problem, x, &refs),
+        "dist-rank" => return run_dist_rank(args, &problem, x, &refs),
         other => {
             eprintln!("error: unknown algorithm '{other}'");
             usage();
@@ -544,7 +670,7 @@ fn run_dist(
     refs: &[&Matrix],
 ) -> ExitCode {
     use mttkrp_bench::dist_tcp::{self, LaunchSpec};
-    use mttkrp_dist::{DistBackend, DistReport};
+    use mttkrp_dist::{record_collectives, DistBackend, DistReport};
     use mttkrp_exec::{
         plan_and_execute, ExecCost, ExecReport, MachineSpec, Planner, TransportSpec,
     };
@@ -612,6 +738,10 @@ fn run_dist(
         println!("[dist] spawning {ranks} rank process(es) on localhost (tcp transport)");
         match dist_tcp::launch(&exe, &spec, &plan) {
             Ok(outcome) => {
+                // The in-process arm records its collective spans inside
+                // run_instrumented; the launcher arm gets its ledgers back
+                // over the report socket, so record them here.
+                record_collectives(&plan, &outcome.ledgers);
                 let stats: Vec<_> = outcome.ledgers.iter().map(|l| l.totals()).collect();
                 let cost = ExecCost::ParComm {
                     max_recv_words: stats.iter().map(|s| s.words_received).max().unwrap_or(0),
@@ -833,7 +963,7 @@ fn run_cp_als(args: &Args) -> ExitCode {
         )
     }
 
-    let transport = match args.transport.as_deref() {
+    let mut transport = match args.transport.as_deref() {
         None | Some("channel") => TransportSpec::InProcess,
         Some("tcp") => TransportSpec::Tcp,
         Some(other) => {
@@ -876,21 +1006,27 @@ fn run_cp_als(args: &Args) -> ExitCode {
     );
 
     if !args.gate {
-        let ranks = args.ranks.or(args.procs).unwrap_or(1);
-        let machine = if ranks > 1 {
-            MachineSpec::cluster(ranks, args.threads.unwrap_or(1), memory).with_transport(transport)
-        } else {
-            MachineSpec::shared(args.threads.unwrap_or(1), memory)
-        };
         let backend = match args.backend.as_deref() {
             None | Some("auto") => BackendChoice::Auto,
             Some("native") => BackendChoice::Native,
             Some("sim") => BackendChoice::Sim,
             Some("dist") => BackendChoice::Dist,
+            // Shorthand for the full-stack traced run: the dist backend
+            // with every collective's words moving over real TCP sockets.
+            Some("dist-tcp") => {
+                transport = TransportSpec::Tcp;
+                BackendChoice::Dist
+            }
             Some(other) => {
-                eprintln!("error: unknown backend '{other}' (auto|native|sim|dist)");
+                eprintln!("error: unknown backend '{other}' (auto|native|sim|dist|dist-tcp)");
                 return ExitCode::from(2);
             }
+        };
+        let ranks = args.ranks.or(args.procs).unwrap_or(1);
+        let machine = if ranks > 1 {
+            MachineSpec::cluster(ranks, args.threads.unwrap_or(1), memory).with_transport(transport)
+        } else {
+            MachineSpec::shared(args.threads.unwrap_or(1), memory)
         };
         let run = cp_als(&x, &base.with_machine(machine).with_backend(backend));
         say!(args.json, "{}", run.explain());
@@ -1066,6 +1202,60 @@ fn run_cp_als(args: &Args) -> ExitCode {
         }
         ExitCode::FAILURE
     }
+}
+
+/// The `report` subcommand: pretty-print a JSONL trace captured with
+/// `--trace` — the span tree (with per-node total and self times), the top
+/// metrics, and the modeled-vs-measured drift table. With `--gate`, exits
+/// nonzero when any collective's measured words drift from the paper-model
+/// prediction beyond `--tol` (default [`DRIFT_TOLERANCE`]); a schema-invalid
+/// trace always fails.
+fn run_report(args: &Args) -> ExitCode {
+    let Some(path) = args.input.as_deref() else {
+        eprintln!("error: report needs a trace file (mttkrp_cli report trace.jsonl [--gate])");
+        return ExitCode::from(2);
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    // Validate first: every line must match the event schema, so a gate run
+    // can trust what it is about to aggregate.
+    if let Err(e) = mttkrp_obs::validate(&text) {
+        eprintln!("error: {path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    let trace = match mttkrp_obs::parse_trace(&text) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "trace {path}: {} span(s), {} metric(s)\n",
+        trace.spans.len(),
+        trace.metrics.len()
+    );
+    print!("{}", mttkrp_obs::tree_summary(&trace.spans));
+    println!();
+    print!("{}", mttkrp_obs::metrics_summary(&trace.metrics, 12));
+    let drift =
+        mttkrp_obs::DriftReport::from_spans(&trace.spans, args.tol.unwrap_or(DRIFT_TOLERANCE));
+    if drift.is_empty() {
+        println!("\ndrift gate: no modeled/measured collective pairs in this trace");
+    } else {
+        println!();
+        print!("{}", drift.table());
+    }
+    if args.gate && !drift.ok() {
+        eprintln!("error: measured collective traffic drifts from the paper's model");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
 }
 
 /// The planning [`Problem`] of the CLI's synthetic tensor.

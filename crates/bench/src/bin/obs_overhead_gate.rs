@@ -1,0 +1,80 @@
+//! CI gate for mttkrp-obs's core promise: with tracing compiled in but
+//! **disabled** (the default for every run that doesn't pass `--trace`),
+//! the instrumented execution path costs nothing measurable.
+//!
+//! The instrumented path is `execute_observed` — the span-opening,
+//! field-recording wrapper every layer routes kernels through — whose
+//! disabled branch is a single relaxed atomic load. This binary times it
+//! against a raw `Backend::execute` on the acceptance configuration
+//! (64x64x64, R = 32) and exits nonzero if the instrumented path is more
+//! than `MAX_SLOWDOWN` slower.
+//!
+//! Measurement follows `speedup_gate`'s best-of-`TRIALS` wall clock (best,
+//! not mean, to shrug off scheduler noise on shared CI runners) with one
+//! refinement: the two paths are timed *interleaved*, raw/observed pair by
+//! pair, so a frequency or scheduler drift mid-run penalizes both sides
+//! equally instead of whichever happened to go second. A complementary
+//! allocation-exact check lives in `crates/obs/tests/zero_overhead.rs`;
+//! this gate covers the wall-clock side on a real kernel.
+
+use mttkrp_bench::setup_problem;
+use mttkrp_core::Problem;
+use mttkrp_exec::{execute_observed, Backend, MachineSpec, NativeBackend, Planner};
+use mttkrp_tensor::Matrix;
+use std::process::ExitCode;
+use std::time::Instant;
+
+const TRIALS: usize = 15;
+/// Instrumented-but-disabled may be at most 10% slower than raw. The true
+/// overhead is one atomic load per kernel (sub-nanosecond against a
+/// millisecond-scale MTTKRP); the headroom absorbs timer jitter.
+const MAX_SLOWDOWN: f64 = 1.10;
+
+fn timed(mut run: impl FnMut()) -> f64 {
+    let start = Instant::now();
+    run();
+    start.elapsed().as_secs_f64()
+}
+
+fn main() -> ExitCode {
+    assert!(
+        !mttkrp_obs::enabled(),
+        "tracing must be disabled for the overhead measurement"
+    );
+    let (x, factors) = setup_problem(&[64, 64, 64], 32, 7);
+    let refs: Vec<&Matrix> = factors.iter().collect();
+    let machine = MachineSpec::shared(1, mttkrp_exec::DEFAULT_CACHE_WORDS);
+    let problem = Problem::new(&[64, 64, 64], 32);
+    let plan = Planner::new(machine).plan_executable(&problem, 0);
+    let backend = NativeBackend::new(1, mttkrp_exec::DEFAULT_CACHE_WORDS);
+
+    // Warm up both paths, then time them interleaved.
+    std::hint::black_box(backend.execute(&plan, &x, &refs));
+    std::hint::black_box(execute_observed(&backend, &plan, &x, &refs));
+    let mut raw = f64::INFINITY;
+    let mut observed = f64::INFINITY;
+    for _ in 0..TRIALS {
+        raw = raw.min(timed(|| {
+            std::hint::black_box(backend.execute(&plan, &x, &refs));
+        }));
+        observed = observed.min(timed(|| {
+            std::hint::black_box(execute_observed(&backend, &plan, &x, &refs));
+        }));
+    }
+    let ratio = observed / raw;
+    println!(
+        "obs_overhead_64x64x64_r32: raw {:.3} ms, observed(disabled) {:.3} ms -> ratio {ratio:.3} \
+         (gate: <= {MAX_SLOWDOWN})",
+        raw * 1e3,
+        observed * 1e3
+    );
+    if ratio > MAX_SLOWDOWN {
+        eprintln!(
+            "error: disabled-tracing execution path is {:.1}% slower than raw (allowed {:.0}%)",
+            (ratio - 1.0) * 100.0,
+            (MAX_SLOWDOWN - 1.0) * 100.0
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -131,6 +131,7 @@ impl DistBackend {
             total_words: run.summary.total_words,
             ranks: run.stats.len(),
         };
+        record_collectives(plan, &run.ledgers);
         DistReport {
             report: ExecReport {
                 output: run.output,
@@ -138,6 +139,48 @@ impl DistBackend {
                 cost,
             },
             ledgers: run.ledgers,
+        }
+    }
+}
+
+/// Emits one `collective` span per (rank, phase) of a finished distributed
+/// run, tagging each with the words the transport *measured* and the words
+/// [`DistBackend::predicted_schedule`] — the paper's Eq. 12/14/18 cost
+/// model — says the rank should have moved. These spans are what
+/// `mttkrp_obs::DriftReport::from_spans` pairs up for the drift gate.
+///
+/// The spans are emitted after the rank threads have joined (the ledgers
+/// only exist then), so they carry no duration; they nest under whatever
+/// span the calling thread has open — the `kernel` span, in the normal
+/// [`Backend::execute`] path. Free when tracing is disabled.
+pub fn record_collectives(plan: &Plan, ledgers: &[TrafficLedger]) {
+    if !mttkrp_obs::enabled() || ledgers.is_empty() {
+        return;
+    }
+    let predicted = DistBackend::predicted_schedule(plan);
+    for (rank, ledger) in ledgers.iter().enumerate() {
+        let modeled: &[schedule::PhaseTraffic] = predicted
+            .as_ref()
+            .and_then(|p| p.ranks.get(rank))
+            .map(|r| r.phases.as_slice())
+            .unwrap_or(&[]);
+        for (i, measured) in ledger.phases().iter().enumerate() {
+            let mut span = mttkrp_obs::span("collective");
+            if span.is_active() {
+                span.record("phase", measured.phase.to_string());
+                span.record("rank", rank);
+                span.record("measured_sent", measured.words_sent);
+                span.record("measured_recv", measured.words_received);
+                span.record("messages", measured.messages_sent);
+                if let Some(m) = modeled.get(i) {
+                    span.record("modeled_sent", m.words_sent);
+                    span.record("modeled_recv", m.words_received);
+                }
+            }
+            mttkrp_obs::counter_add("dist.words_measured", measured.words_sent);
+            if let Some(m) = modeled.get(i) {
+                mttkrp_obs::counter_add("dist.words_modeled", m.words_sent);
+            }
         }
     }
 }

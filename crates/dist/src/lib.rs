@@ -73,7 +73,9 @@ pub mod layout;
 pub mod runtime;
 pub mod transport;
 
-pub use backend::{assemble_plan_output, run_plan_rank, DistBackend, DistReport};
+pub use backend::{
+    assemble_plan_output, record_collectives, run_plan_rank, DistBackend, DistReport,
+};
 pub use runtime::{
     mttkrp_dist_general, mttkrp_dist_general_on, mttkrp_dist_matmul, mttkrp_dist_matmul_on,
     mttkrp_dist_stationary, mttkrp_dist_stationary_on, run_spmd, DistRun, OutputChunk,

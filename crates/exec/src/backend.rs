@@ -83,3 +83,58 @@ pub trait Backend {
     /// ignored, as everywhere in the workspace.
     fn execute(&self, plan: &Plan, x: &DenseTensor, factors: &[&Matrix]) -> ExecReport;
 }
+
+/// Runs `plan` on `backend` inside a `kernel` span carrying the modeled
+/// cost and the cost the backend actually measured. This is *the* traced
+/// execution entry point: [`crate::Executor`], the ALS engine, and the
+/// serving layer all route kernel runs through it, so every backend's
+/// executions land in one trace with one schema.
+///
+/// When tracing is disabled this is a direct call to `backend.execute` —
+/// one atomic load of overhead, no allocation (asserted by the
+/// `obs_overhead_gate` binary in `mttkrp-bench`).
+pub fn execute_observed(
+    backend: &dyn Backend,
+    plan: &Plan,
+    x: &DenseTensor,
+    factors: &[&Matrix],
+) -> ExecReport {
+    if !mttkrp_obs::enabled() {
+        return backend.execute(plan, x, factors);
+    }
+    // Open the span before executing so that spans the backend emits while
+    // running (e.g. the dist layer's per-collective spans) nest under it.
+    let mut span = mttkrp_obs::span("kernel")
+        .with("backend", backend.name())
+        .with("mode", plan.mode)
+        .with("algorithm", plan.algorithm.label())
+        .with("modeled_words", plan.predicted_cost);
+    let report = backend.execute(plan, x, factors);
+    match &report.cost {
+        ExecCost::SeqIo {
+            loads,
+            stores,
+            peak_fast,
+        } => {
+            span.record("measured_words", loads + stores);
+            span.record("peak_fast_words", *peak_fast);
+        }
+        ExecCost::ParComm {
+            max_recv_words,
+            max_sent_words,
+            total_words,
+            ranks,
+        } => {
+            span.record("measured_words", *max_recv_words);
+            span.record("max_sent_words", *max_sent_words);
+            span.record("total_words", *total_words);
+            span.record("ranks", *ranks);
+        }
+        ExecCost::Native { elapsed, threads } => {
+            span.record("elapsed_us", elapsed.as_micros() as u64);
+            span.record("threads", *threads);
+        }
+    }
+    mttkrp_obs::counter_add("exec.kernel_runs", 1);
+    report
+}

@@ -170,10 +170,12 @@ impl PlanCache {
                 entry.stamp = clock;
                 let plan = Arc::clone(&entry.plan);
                 inner.hits += 1;
+                mttkrp_obs::counter_add("exec.plan_cache.hits", 1);
                 Some(plan)
             }
             None => {
                 inner.misses += 1;
+                mttkrp_obs::counter_add("exec.plan_cache.misses", 1);
                 None
             }
         }
@@ -195,6 +197,7 @@ impl PlanCache {
             {
                 inner.map.remove(&lru);
                 inner.evictions += 1;
+                mttkrp_obs::counter_add("exec.plan_cache.evictions", 1);
             }
         }
         inner.map.insert(key, Entry { plan, stamp: clock });

@@ -66,7 +66,7 @@ impl Executor {
             actual, plan.problem,
             "operands do not match the planned problem"
         );
-        self.backend.execute(plan, x, factors)
+        crate::backend::execute_observed(self.backend.as_ref(), plan, x, factors)
     }
 }
 

@@ -59,7 +59,7 @@ pub mod plan;
 pub mod planner;
 pub mod sim;
 
-pub use backend::{Backend, ExecCost, ExecReport};
+pub use backend::{execute_observed, Backend, ExecCost, ExecReport};
 pub use cache::{CacheStats, PlanCache, PlanKey, ProblemKey};
 pub use executor::{execute, plan_and_execute, Executor};
 pub use machine::{MachineSpec, TransportSpec, DEFAULT_CACHE_WORDS};

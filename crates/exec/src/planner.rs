@@ -144,6 +144,13 @@ impl Planner {
     /// distributed at all and the planner falls back to a *sequential*
     /// plan (`ranks = 1`), which every backend can execute.
     pub fn plan_executable(&self, problem: &Problem, mode: usize) -> Plan {
+        let mut span = mttkrp_obs::span("planner");
+        let plan = self.plan_executable_inner(problem, mode);
+        record_planner_span(&mut span, &plan, None);
+        plan
+    }
+
+    fn plan_executable_inner(&self, problem: &Problem, mode: usize) -> Plan {
         let plan = self.plan(problem, mode);
         if self.machine.ranks <= 1 {
             return plan;
@@ -268,13 +275,39 @@ impl Planner {
         mode: usize,
         cache: &PlanCache,
     ) -> (Arc<Plan>, bool) {
+        let mut span = mttkrp_obs::span("planner");
         let key = PlanKey::new(problem, mode, &self.machine);
         if let Some(plan) = cache.get(&key) {
+            record_planner_span(&mut span, &plan, Some(true));
             return (plan, true);
         }
-        let plan = Arc::new(self.plan_executable(problem, mode));
+        let plan = Arc::new(self.plan_executable_inner(problem, mode));
         cache.insert(key, Arc::clone(&plan));
+        record_planner_span(&mut span, &plan, Some(false));
         (plan, false)
+    }
+}
+
+/// Fills the `planner` span for a finished planning decision — which
+/// algorithm won, how many candidates were weighed, the modeled cost, and
+/// (for cached lookups) whether the plan came out of the cache — and bumps
+/// the computed-plans counter. Free when tracing is disabled.
+fn record_planner_span(span: &mut mttkrp_obs::Span, plan: &Plan, cache_hit: Option<bool>) {
+    if span.is_active() {
+        span.record("mode", plan.mode);
+        span.record("algorithm", plan.algorithm.label());
+        span.record("candidates", plan.candidates.len());
+        span.record("modeled_words", plan.predicted_cost);
+        span.record("ranks", plan.machine.ranks);
+        if let Some(hit) = cache_hit {
+            span.record("cache_hit", hit);
+        }
+        if plan.note.is_some() {
+            span.record("fallback", true);
+        }
+    }
+    if cache_hit != Some(true) {
+        mttkrp_obs::counter_add("exec.plans_computed", 1);
     }
 }
 

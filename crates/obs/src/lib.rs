@@ -1,0 +1,330 @@
+//! # mttkrp-obs
+//!
+//! One tracing + metrics spine for the whole MTTKRP workspace, from the
+//! kernel to the serving layer — with no external dependencies (the
+//! workspace builds offline, so no `tracing`/`prometheus`; this crate *is*
+//! the core they would provide).
+//!
+//! Three pieces:
+//!
+//! 1. **Spans** ([`span()`], [`Span`]) — RAII wall-time intervals with ids,
+//!    parents (a thread-local stack), and typed key/value fields. The
+//!    planner, every kernel execution, each distributed collective, each
+//!    serve request, and each CP-ALS sweep emit one.
+//! 2. **Metrics** ([`MetricsRegistry`]) — counters, gauges, and log2-bucket
+//!    histograms behind atomics. A registry can be owned (the serve layer
+//!    keeps one per server) and every global helper ([`counter_add`],
+//!    [`gauge_add`], [`histogram_record`]) also feeds the active capture.
+//! 3. **Export** ([`Recording`], [`validate`]) — JSONL (one self-describing
+//!    object per line) plus a human summary (span tree with self/total
+//!    times, top metrics), and a [`DriftReport`] comparing the paper's
+//!    *modeled* communication words (Eqs. 12/14/18 via `netsim`) against
+//!    the words the transport *measured* — the model-vs-reality tripwire.
+//!
+//! ## The disabled fast path
+//!
+//! Tracing is **off by default**. Every emission helper first does one
+//! relaxed atomic load and returns: no allocation, no locking, no clock
+//! read. The `obs_overhead_gate` binary in `mttkrp-bench` asserts that a
+//! kernel run with this crate compiled in but disabled is within noise of
+//! a raw run, and a test in this crate asserts the disabled hot path
+//! allocates nothing at all.
+//!
+//! ## Capturing
+//!
+//! ```
+//! let cap = mttkrp_obs::capture();
+//! {
+//!     let _root = mttkrp_obs::span("request").with("kind", "demo");
+//!     let _child = mttkrp_obs::span("kernel");
+//!     mttkrp_obs::counter_add("demo.runs", 1);
+//! }
+//! let rec = cap.finish();
+//! assert_eq!(rec.spans.len(), 2);
+//! assert_eq!(rec.spans[1].parent, None);           // "request" is the root
+//! assert_eq!(rec.spans[0].parent, Some(rec.spans[1].id)); // "kernel" nests
+//! for line in rec.to_jsonl().lines() {
+//!     mttkrp_obs::validate_line(line).unwrap();    // every line is schema-valid
+//! }
+//! ```
+//!
+//! [`capture`] installs a fresh global collector and returns a guard;
+//! guards serialize (a process has one capture at a time), so concurrent
+//! tests queue instead of corrupting each other's recordings.
+
+#![deny(missing_docs)]
+
+pub mod drift;
+pub mod export;
+pub mod json;
+pub mod metrics;
+pub mod span;
+
+pub use drift::{DriftRecord, DriftReport};
+pub use export::{metrics_summary, parse_trace, tree_summary, Recording, SpanNode, Trace};
+pub use metrics::{HistogramSnapshot, MetricSnapshot, MetricValue, MetricsRegistry};
+pub use span::{FieldValue, Span, SpanRecord};
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock};
+use std::time::Instant;
+
+/// Re-exported line validators (see [`export`]).
+pub use export::{validate, validate_line};
+
+// ---------------------------------------------------------------------------
+// Global capture state
+// ---------------------------------------------------------------------------
+
+/// The one-word gate every hot-path helper checks first. Relaxed is enough:
+/// a capture that races with an emission may miss that one event, which is
+/// exactly the semantics of "tracing was not yet on".
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// The active collector, installed by [`capture`].
+static COLLECTOR: RwLock<Option<Arc<Collector>>> = RwLock::new(None);
+
+/// Serializes captures: one recording at a time per process, so tests that
+/// trace can run under the default multi-threaded harness without
+/// interleaving each other's events.
+static CAPTURE_LOCK: Mutex<()> = Mutex::new(());
+
+/// Whether a capture is active. The disabled branch is the hot path: one
+/// relaxed atomic load, nothing else.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+pub(crate) struct Collector {
+    epoch: Instant,
+    next_id: AtomicU64,
+    spans: Mutex<Vec<SpanRecord>>,
+    metrics: MetricsRegistry,
+}
+
+impl Collector {
+    fn new() -> Collector {
+        Collector {
+            epoch: Instant::now(),
+            next_id: AtomicU64::new(1),
+            spans: Mutex::new(Vec::new()),
+            metrics: MetricsRegistry::new(),
+        }
+    }
+
+    pub(crate) fn next_id(&self) -> u64 {
+        self.next_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    pub(crate) fn micros_since_epoch(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    pub(crate) fn push_span(&self, record: SpanRecord) {
+        self.spans
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(record);
+    }
+
+    pub(crate) fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    fn snapshot(&self) -> Recording {
+        let spans = self.spans.lock().unwrap_or_else(|e| e.into_inner()).clone();
+        Recording {
+            spans,
+            metrics: self.metrics.snapshot(),
+        }
+    }
+}
+
+pub(crate) fn current_collector() -> Option<Arc<Collector>> {
+    COLLECTOR
+        .read()
+        .unwrap_or_else(|e| e.into_inner())
+        .as_ref()
+        .cloned()
+}
+
+/// A live capture: tracing is enabled while this guard exists. Obtain one
+/// with [`capture`]; turn it into the recorded data with
+/// [`Capture::finish`] (or just drop it to discard the recording).
+pub struct Capture {
+    collector: Arc<Collector>,
+    _serial: MutexGuard<'static, ()>,
+}
+
+/// Starts capturing: installs a fresh collector, enables every emission
+/// helper, and returns the guard that owns the recording.
+///
+/// Captures serialize process-wide — a second concurrent `capture()` blocks
+/// until the first guard drops — so traced tests compose under the default
+/// parallel test harness.
+pub fn capture() -> Capture {
+    let serial = CAPTURE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let collector = Arc::new(Collector::new());
+    *COLLECTOR.write().unwrap_or_else(|e| e.into_inner()) = Some(Arc::clone(&collector));
+    ENABLED.store(true, Ordering::SeqCst);
+    Capture {
+        collector,
+        _serial: serial,
+    }
+}
+
+fn uninstall() {
+    ENABLED.store(false, Ordering::SeqCst);
+    *COLLECTOR.write().unwrap_or_else(|e| e.into_inner()) = None;
+}
+
+impl Capture {
+    /// Stops capturing and returns everything recorded: spans in completion
+    /// order plus a snapshot of every metric.
+    pub fn finish(self) -> Recording {
+        uninstall();
+        self.collector.snapshot()
+    }
+}
+
+impl Drop for Capture {
+    fn drop(&mut self) {
+        uninstall();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Emission helpers (the instrumentation surface the other crates call)
+// ---------------------------------------------------------------------------
+
+/// Opens a span named `name`, parented under the current thread's innermost
+/// open span. Returns a no-op guard (allocating nothing) when tracing is
+/// disabled — check [`Span::is_active`] before computing expensive field
+/// values.
+#[inline]
+pub fn span(name: &'static str) -> Span {
+    if !enabled() {
+        return Span::noop();
+    }
+    match current_collector() {
+        Some(collector) => Span::enter(collector, name),
+        None => Span::noop(),
+    }
+}
+
+/// Adds `v` to the capture's counter `name`. No-op (one atomic load) when
+/// tracing is disabled.
+#[inline]
+pub fn counter_add(name: &str, v: u64) {
+    if !enabled() {
+        return;
+    }
+    if let Some(c) = current_collector() {
+        c.metrics().counter_add(name, v);
+    }
+}
+
+/// Adds `delta` (possibly negative) to the capture's gauge `name`. No-op
+/// when tracing is disabled.
+#[inline]
+pub fn gauge_add(name: &str, delta: i64) {
+    if !enabled() {
+        return;
+    }
+    if let Some(c) = current_collector() {
+        c.metrics().gauge_add(name, delta);
+    }
+}
+
+/// Records `v` into the capture's histogram `name`. No-op when tracing is
+/// disabled.
+#[inline]
+pub fn histogram_record(name: &str, v: u64) {
+    if !enabled() {
+        return;
+    }
+    if let Some(c) = current_collector() {
+        c.metrics().histogram_record(name, v);
+    }
+}
+
+/// Records a duration (as integer microseconds) into histogram `name`.
+#[inline]
+pub fn histogram_record_duration(name: &str, d: std::time::Duration) {
+    if !enabled() {
+        return;
+    }
+    histogram_record(name, d.as_micros() as u64);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_by_default_and_spans_are_inert() {
+        assert!(!enabled());
+        let s = span("nothing");
+        assert!(!s.is_active());
+        counter_add("nothing.count", 1);
+        let rec = capture().finish();
+        assert!(rec.spans.is_empty());
+        assert!(rec.metrics.is_empty());
+    }
+
+    #[test]
+    fn capture_records_spans_and_metrics() {
+        let cap = capture();
+        assert!(enabled());
+        {
+            let _root = span("request").with("kind", "test");
+            {
+                let mut child = span("kernel");
+                child.record("mode", 2u64);
+                counter_add("runs", 3);
+                histogram_record("lat_us", 7);
+            }
+            gauge_add("depth", 5);
+            gauge_add("depth", -2);
+        }
+        let rec = cap.finish();
+        assert!(!enabled());
+        // Spans complete child-first.
+        assert_eq!(rec.spans[0].name, "kernel");
+        assert_eq!(rec.spans[1].name, "request");
+        assert_eq!(rec.spans[0].parent, Some(rec.spans[1].id));
+        assert_eq!(rec.spans[1].parent, None);
+        let names: Vec<_> = rec.metrics.iter().map(|m| m.name.as_str()).collect();
+        assert_eq!(names, ["depth", "lat_us", "runs"]); // sorted
+    }
+
+    #[test]
+    fn sequential_captures_are_isolated() {
+        let first = {
+            let cap = capture();
+            counter_add("x", 1);
+            cap.finish()
+        };
+        let second = {
+            let cap = capture();
+            {
+                let _s = span("fresh");
+            }
+            cap.finish()
+        };
+        assert_eq!(first.metrics.len(), 1);
+        assert!(first.spans.is_empty());
+        assert!(second.metrics.is_empty());
+        assert_eq!(second.spans.len(), 1);
+    }
+
+    #[test]
+    fn dropped_capture_disables_tracing() {
+        {
+            let _cap = capture();
+            assert!(enabled());
+        }
+        assert!(!enabled());
+    }
+}

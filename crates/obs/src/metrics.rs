@@ -1,0 +1,480 @@
+//! Counters, gauges, and log2-bucket histograms behind atomics.
+//!
+//! A [`MetricsRegistry`] can be owned directly (the serve layer keeps one
+//! per server and derives its public stats snapshot from it) or reached
+//! through the global capture helpers ([`crate::counter_add`] and friends).
+//! All update paths are lock-free after the first touch of a name: the
+//! registry map takes a read lock to find the metric's `Arc`, and every
+//! mutation from there is a single atomic RMW.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// Log2 bucket count: bucket 0 holds the value 0, bucket `k >= 1` holds
+/// values in `[2^(k-1), 2^k - 1]`, up to `k = 64`.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+fn bucket_of(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros() as usize
+    }
+}
+
+struct Histogram {
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+}
+
+impl Histogram {
+    fn new() -> Histogram {
+        Histogram {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    fn record(&self, v: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+        self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> HistogramSnapshot {
+        let count = self.count.load(Ordering::Relaxed);
+        HistogramSnapshot {
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            min: if count == 0 {
+                0
+            } else {
+                self.min.load(Ordering::Relaxed)
+            },
+            max: self.max.load(Ordering::Relaxed),
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+        }
+    }
+}
+
+enum Metric {
+    Counter(AtomicU64),
+    Gauge(AtomicI64),
+    // Boxed: the bucket array dwarfs the atomics, and most entries are
+    // counters — keep their allocations small.
+    Histogram(Box<Histogram>),
+}
+
+/// A point-in-time copy of one histogram: totals plus the full log2 bucket
+/// array, so snapshots from different sources (threads, ranks, runs) can be
+/// [merged](HistogramSnapshot::merge) exactly.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Number of recorded values.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: u64,
+    /// Smallest recorded value (`0` when empty).
+    pub min: u64,
+    /// Largest recorded value (`0` when empty).
+    pub max: u64,
+    /// Log2 bucket counts (length [`HISTOGRAM_BUCKETS`]).
+    pub buckets: Vec<u64>,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> HistogramSnapshot {
+        HistogramSnapshot::empty()
+    }
+}
+
+impl HistogramSnapshot {
+    /// A snapshot with nothing recorded.
+    pub fn empty() -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: 0,
+            sum: 0,
+            min: 0,
+            max: 0,
+            buckets: vec![0; HISTOGRAM_BUCKETS],
+        }
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Mean recorded value (`0.0` when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Folds `other` into `self`: counts and sums add, min/max combine,
+    /// buckets add element-wise. Merging snapshots is exact — the merged
+    /// result equals the snapshot one histogram would have produced had it
+    /// seen both value streams (the property the test suite asserts).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        if other.count == 0 {
+            return;
+        }
+        self.min = if self.count == 0 {
+            other.min
+        } else {
+            self.min.min(other.min)
+        };
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+        for (b, o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
+        }
+    }
+
+    /// Approximate quantile `q` in `[0, 1]`: the upper bound of the first
+    /// bucket whose cumulative count reaches `q * count`, clamped to the
+    /// observed `[min, max]`. Exact for values that are powers of two minus
+    /// one; otherwise correct to within the bucket's factor-of-two width.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (idx, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                let upper = if idx == 0 {
+                    0
+                } else if idx >= 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << idx) - 1
+                };
+                return upper.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+}
+
+/// One named metric in a snapshot.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MetricSnapshot {
+    /// Dotted metric name, e.g. `serve.request_exec_us`.
+    pub name: String,
+    /// The value at snapshot time.
+    pub value: MetricValue,
+}
+
+/// The value of one snapshot entry.
+#[derive(Clone, Debug, PartialEq)]
+pub enum MetricValue {
+    /// Monotone counter.
+    Counter(u64),
+    /// Up/down gauge.
+    Gauge(i64),
+    /// Distribution.
+    Histogram(HistogramSnapshot),
+}
+
+/// A named collection of counters, gauges, and histograms.
+///
+/// Names are dotted strings; the first update under a name fixes its kind,
+/// and later updates of a different kind are ignored (observability must
+/// never panic the program it observes).
+///
+/// ```
+/// use mttkrp_obs::{MetricsRegistry, MetricValue};
+///
+/// let reg = MetricsRegistry::new();
+/// reg.counter_add("serve.requests", 2);
+/// reg.gauge_add("serve.queue_depth", 3);
+/// reg.gauge_add("serve.queue_depth", -1);
+/// reg.histogram_record("serve.exec_us", 120);
+///
+/// assert_eq!(reg.counter_value("serve.requests"), 2);
+/// assert_eq!(reg.gauge_value("serve.queue_depth"), 2);
+/// assert_eq!(reg.histogram("serve.exec_us").count, 1);
+/// assert_eq!(reg.snapshot().len(), 3);
+/// ```
+#[derive(Default)]
+pub struct MetricsRegistry {
+    inner: RwLock<HashMap<String, Arc<Metric>>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry {
+            inner: RwLock::new(HashMap::new()),
+        }
+    }
+
+    fn metric(&self, name: &str, make: impl FnOnce() -> Metric) -> Arc<Metric> {
+        if let Some(m) = self
+            .inner
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(name)
+        {
+            return Arc::clone(m);
+        }
+        let mut map = self.inner.write().unwrap_or_else(|e| e.into_inner());
+        Arc::clone(
+            map.entry(name.to_string())
+                .or_insert_with(|| Arc::new(make())),
+        )
+    }
+
+    /// Adds `v` to counter `name` (created at zero on first touch).
+    pub fn counter_add(&self, name: &str, v: u64) {
+        if let Metric::Counter(c) = &*self.metric(name, || Metric::Counter(AtomicU64::new(0))) {
+            c.fetch_add(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Raises counter `name` to at least `v` (`fetch_max`) — for
+    /// high-watermark counters like a largest-batch size.
+    pub fn counter_max(&self, name: &str, v: u64) {
+        if let Metric::Counter(c) = &*self.metric(name, || Metric::Counter(AtomicU64::new(0))) {
+            c.fetch_max(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds `delta` (possibly negative) to gauge `name`.
+    pub fn gauge_add(&self, name: &str, delta: i64) {
+        if let Metric::Gauge(g) = &*self.metric(name, || Metric::Gauge(AtomicI64::new(0))) {
+            g.fetch_add(delta, Ordering::Relaxed);
+        }
+    }
+
+    /// Records `v` into histogram `name`.
+    pub fn histogram_record(&self, name: &str, v: u64) {
+        if let Metric::Histogram(h) =
+            &*self.metric(name, || Metric::Histogram(Box::new(Histogram::new())))
+        {
+            h.record(v);
+        }
+    }
+
+    /// Current value of counter `name` (`0` if absent or not a counter).
+    pub fn counter_value(&self, name: &str) -> u64 {
+        match self
+            .inner
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(name)
+            .map(Arc::clone)
+        {
+            Some(m) => match &*m {
+                Metric::Counter(c) => c.load(Ordering::Relaxed),
+                _ => 0,
+            },
+            None => 0,
+        }
+    }
+
+    /// Current value of gauge `name` (`0` if absent or not a gauge).
+    pub fn gauge_value(&self, name: &str) -> i64 {
+        match self
+            .inner
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(name)
+            .map(Arc::clone)
+        {
+            Some(m) => match &*m {
+                Metric::Gauge(g) => g.load(Ordering::Relaxed),
+                _ => 0,
+            },
+            None => 0,
+        }
+    }
+
+    /// Snapshot of histogram `name` (empty if absent or not a histogram).
+    pub fn histogram(&self, name: &str) -> HistogramSnapshot {
+        match self
+            .inner
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(name)
+            .map(Arc::clone)
+        {
+            Some(m) => match &*m {
+                Metric::Histogram(h) => h.snapshot(),
+                _ => HistogramSnapshot::empty(),
+            },
+            None => HistogramSnapshot::empty(),
+        }
+    }
+
+    /// A snapshot of every metric, sorted by name.
+    pub fn snapshot(&self) -> Vec<MetricSnapshot> {
+        let map = self.inner.read().unwrap_or_else(|e| e.into_inner());
+        let mut out: Vec<MetricSnapshot> = map
+            .iter()
+            .map(|(name, m)| MetricSnapshot {
+                name: name.clone(),
+                value: match &**m {
+                    Metric::Counter(c) => MetricValue::Counter(c.load(Ordering::Relaxed)),
+                    Metric::Gauge(g) => MetricValue::Gauge(g.load(Ordering::Relaxed)),
+                    Metric::Histogram(h) => MetricValue::Histogram(h.snapshot()),
+                },
+            })
+            .collect();
+        out.sort_by(|a, b| a.name.cmp(&b.name));
+        out
+    }
+}
+
+impl std::fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricsRegistry")
+            .field("metrics", &self.snapshot().len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(1023), 10);
+        assert_eq!(bucket_of(1024), 11);
+        assert_eq!(bucket_of(u64::MAX), 64);
+    }
+
+    #[test]
+    fn counters_gauges_histograms_coexist() {
+        let reg = MetricsRegistry::new();
+        reg.counter_add("c", 5);
+        reg.counter_add("c", 2);
+        reg.counter_max("c.max", 4);
+        reg.counter_max("c.max", 2);
+        reg.gauge_add("g", -3);
+        for v in [1u64, 2, 3, 1000] {
+            reg.histogram_record("h", v);
+        }
+        assert_eq!(reg.counter_value("c"), 7);
+        assert_eq!(reg.counter_value("c.max"), 4);
+        assert_eq!(reg.gauge_value("g"), -3);
+        let h = reg.histogram("h");
+        assert_eq!((h.count, h.sum, h.min, h.max), (4, 1006, 1, 1000));
+        assert!((h.mean() - 251.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kind_mismatch_is_ignored_not_fatal() {
+        let reg = MetricsRegistry::new();
+        reg.counter_add("x", 1);
+        reg.gauge_add("x", 5); // wrong kind: ignored
+        reg.histogram_record("x", 9); // wrong kind: ignored
+        assert_eq!(reg.counter_value("x"), 1);
+        assert_eq!(reg.gauge_value("x"), 0);
+        assert!(reg.histogram("x").is_empty());
+    }
+
+    #[test]
+    fn merge_equals_single_stream() {
+        // The merge of per-thread snapshots must equal the snapshot of one
+        // histogram that saw every value.
+        let values: Vec<Vec<u64>> = vec![
+            vec![0, 1, 5, 900, 17],
+            vec![2, 2, 2, u64::MAX / 3],
+            vec![],
+            vec![1 << 40, 3],
+        ];
+        let whole = MetricsRegistry::new();
+        let mut merged = HistogramSnapshot::empty();
+        for stream in &values {
+            let part = MetricsRegistry::new();
+            for &v in stream {
+                whole.histogram_record("h", v);
+                part.histogram_record("h", v);
+            }
+            merged.merge(&part.histogram("h"));
+        }
+        assert_eq!(merged, whole.histogram("h"));
+    }
+
+    #[test]
+    fn merge_is_commutative() {
+        let a0 = {
+            let r = MetricsRegistry::new();
+            r.histogram_record("h", 4);
+            r.histogram_record("h", 99);
+            r.histogram("h")
+        };
+        let b0 = {
+            let r = MetricsRegistry::new();
+            r.histogram_record("h", 0);
+            r.histogram("h")
+        };
+        let mut ab = a0.clone();
+        ab.merge(&b0);
+        let mut ba = b0.clone();
+        ba.merge(&a0);
+        assert_eq!(ab, ba);
+        assert_eq!((ab.count, ab.min, ab.max), (3, 0, 99));
+    }
+
+    #[test]
+    fn quantiles_track_the_distribution() {
+        let reg = MetricsRegistry::new();
+        for v in 1..=1000u64 {
+            reg.histogram_record("h", v);
+        }
+        let h = reg.histogram("h");
+        let p50 = h.quantile(0.5);
+        let p99 = h.quantile(0.99);
+        // Log2 buckets: correct to within a factor of two.
+        assert!((500..=1000).contains(&p50), "p50 = {p50}");
+        assert!((990..=1000).contains(&p99), "p99 = {p99}");
+        assert_eq!(h.quantile(0.0), h.min);
+        assert_eq!(h.quantile(1.0), 1000);
+        assert_eq!(HistogramSnapshot::empty().quantile(0.5), 0);
+    }
+
+    #[test]
+    fn concurrent_updates_lose_nothing() {
+        let reg = Arc::new(MetricsRegistry::new());
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let reg = Arc::clone(&reg);
+                scope.spawn(move || {
+                    for i in 0..1000u64 {
+                        reg.counter_add("n", 1);
+                        reg.histogram_record("h", i);
+                    }
+                });
+            }
+        });
+        assert_eq!(reg.counter_value("n"), 8000);
+        assert_eq!(reg.histogram("h").count, 8000);
+    }
+}

@@ -7,10 +7,9 @@ use crate::request::{
 };
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use mttkrp_exec::{CacheStats, Executor, MachineSpec, Plan, PlanCache, Planner};
+use mttkrp_obs::{HistogramSnapshot, MetricsRegistry};
 use mttkrp_tensor::Matrix;
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
 
@@ -40,16 +39,41 @@ impl Default for ServerConfig {
     }
 }
 
-/// Shared mutable counters, written by the batcher and the workers.
-#[derive(Default)]
-struct Counters {
-    submitted: AtomicU64,
-    served: AtomicU64,
-    factorizations_submitted: AtomicU64,
-    factorizations_served: AtomicU64,
-    batches: AtomicU64,
-    largest_batch: AtomicU64,
-    backend_runs: Mutex<HashMap<&'static str, u64>>,
+/// Metric names the server writes. One source of truth: the bespoke
+/// `Counters` struct of atomics this module used to carry is gone — every
+/// number now lives in the server's [`MetricsRegistry`], and
+/// [`Server::stats`] is a thin read-only view over it.
+mod metric {
+    pub const REQUESTS_SUBMITTED: &str = "serve.requests_submitted";
+    pub const REQUESTS_SERVED: &str = "serve.requests_served";
+    pub const FACTORIZATIONS_SUBMITTED: &str = "serve.factorizations_submitted";
+    pub const FACTORIZATIONS_SERVED: &str = "serve.factorizations_served";
+    pub const BATCHES: &str = "serve.batches";
+    pub const LARGEST_BATCH: &str = "serve.largest_batch";
+    pub const QUEUE_DEPTH: &str = "serve.queue_depth";
+    pub const BATCH_SIZE: &str = "serve.batch_size";
+    pub const REQUEST_QUEUED_US: &str = "serve.request_queued_us";
+    pub const REQUEST_EXEC_US: &str = "serve.request_exec_us";
+    pub const BACKEND_RUNS_PREFIX: &str = "serve.backend_runs.";
+}
+
+/// Bumps a counter in the server's registry and mirrors it into the active
+/// trace capture, if one is on.
+fn counter_add(metrics: &MetricsRegistry, name: &str, v: u64) {
+    metrics.counter_add(name, v);
+    mttkrp_obs::counter_add(name, v);
+}
+
+/// Moves a gauge in the server's registry and the active capture.
+fn gauge_add(metrics: &MetricsRegistry, name: &str, delta: i64) {
+    metrics.gauge_add(name, delta);
+    mttkrp_obs::gauge_add(name, delta);
+}
+
+/// Records into a histogram in the server's registry and the active capture.
+fn histogram_record(metrics: &MetricsRegistry, name: &str, v: u64) {
+    metrics.histogram_record(name, v);
+    mttkrp_obs::histogram_record(name, v);
 }
 
 /// A point-in-time snapshot of everything a [`Server`] has done.
@@ -71,6 +95,10 @@ pub struct ServerStats {
     pub cache: CacheStats,
     /// Executions per backend name (e.g. `native`, `sim`), sorted by name.
     pub backend_runs: Vec<(String, u64)>,
+    /// Requests currently in flight (submitted but not yet answered).
+    pub queue_depth: i64,
+    /// Distribution of per-request execution latency, in microseconds.
+    pub exec_us: HistogramSnapshot,
     /// Worker threads the server runs.
     pub workers: usize,
 }
@@ -117,6 +145,17 @@ impl std::fmt::Display for ServerStats {
         for (backend, runs) in &self.backend_runs {
             writeln!(f, "backend {backend:<12} {runs} run(s)")?;
         }
+        if !self.exec_us.is_empty() {
+            writeln!(
+                f,
+                "exec latency         mean {:.0} us, p50 {:.0} us, p99 {:.0} us, max {} us",
+                self.exec_us.mean(),
+                self.exec_us.quantile(0.5),
+                self.exec_us.quantile(0.99),
+                self.exec_us.max
+            )?;
+        }
+        writeln!(f, "queue depth          {}", self.queue_depth)?;
         write!(f, "workers              {}", self.workers)
     }
 }
@@ -162,7 +201,7 @@ pub struct Server {
     batcher: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
     cache: Arc<PlanCache>,
-    counters: Arc<Counters>,
+    metrics: Arc<MetricsRegistry>,
     config: ServerConfig,
 }
 
@@ -175,20 +214,20 @@ impl Server {
         assert!(config.workers >= 1, "need at least one worker");
         let (submitter, queue) = BatchQueue::new(config.machine.clone(), config.max_batch);
         let cache = Arc::new(PlanCache::new(config.cache_capacity));
-        let counters = Arc::new(Counters::default());
+        let metrics = Arc::new(MetricsRegistry::new());
         let (batch_tx, batch_rx) = unbounded::<Dispatch>();
 
         let batcher = {
             let cache = Arc::clone(&cache);
-            let counters = Arc::clone(&counters);
-            std::thread::spawn(move || run_batcher(queue, batch_tx, cache, counters))
+            let metrics = Arc::clone(&metrics);
+            std::thread::spawn(move || run_batcher(queue, batch_tx, cache, metrics))
         };
         let workers = (0..config.workers)
             .map(|_| {
                 let rx = batch_rx.clone();
                 let cache = Arc::clone(&cache);
-                let counters = Arc::clone(&counters);
-                std::thread::spawn(move || run_worker(rx, cache, counters))
+                let metrics = Arc::clone(&metrics);
+                std::thread::spawn(move || run_worker(rx, cache, metrics))
             })
             .collect();
         drop(batch_rx);
@@ -198,7 +237,7 @@ impl Server {
             batcher: Some(batcher),
             workers,
             cache,
-            counters,
+            metrics,
             config,
         }
     }
@@ -208,7 +247,8 @@ impl Server {
         // Count before handing off: the pipeline can serve the request
         // before this thread resumes, and a stats() snapshot must never
         // show served > submitted.
-        self.counters.submitted.fetch_add(1, Ordering::Relaxed);
+        counter_add(&self.metrics, metric::REQUESTS_SUBMITTED, 1);
+        gauge_add(&self.metrics, metric::QUEUE_DEPTH, 1);
         self.submitter
             .as_ref()
             .expect("server already shut down")
@@ -227,9 +267,8 @@ impl Server {
     /// factorizations of the same shape skip the planner's candidate
     /// sweep entirely.
     pub fn submit_factorize(&self, request: FactorizeRequest) -> ResponseHandle<FactorizeResponse> {
-        self.counters
-            .factorizations_submitted
-            .fetch_add(1, Ordering::Relaxed);
+        counter_add(&self.metrics, metric::FACTORIZATIONS_SUBMITTED, 1);
+        gauge_add(&self.metrics, metric::QUEUE_DEPTH, 1);
         self.submitter
             .as_ref()
             .expect("server already shut down")
@@ -247,30 +286,41 @@ impl Server {
         &self.cache
     }
 
-    /// Point-in-time snapshot of the server's accounting.
+    /// The server's metrics registry: every counter, gauge, and histogram
+    /// the serving pipeline writes, by name (`serve.*`).
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// Point-in-time snapshot of the server's accounting — a thin view
+    /// over [`Server::metrics`] (plus the plan cache's own ledger).
     pub fn stats(&self) -> ServerStats {
-        let runs = self
-            .counters
-            .backend_runs
-            .lock()
-            .expect("backend-run map poisoned");
-        let mut backend_runs: Vec<(String, u64)> = runs
-            .iter()
-            .map(|(name, count)| (name.to_string(), *count))
-            .collect();
-        backend_runs.sort();
+        let m = &self.metrics;
+        let backend_runs: Vec<(String, u64)> = m
+            .snapshot()
+            .into_iter()
+            .filter_map(|snap| {
+                let name = snap
+                    .name
+                    .strip_prefix(metric::BACKEND_RUNS_PREFIX)?
+                    .to_string();
+                match snap.value {
+                    mttkrp_obs::MetricValue::Counter(runs) => Some((name, runs)),
+                    _ => None,
+                }
+            })
+            .collect(); // snapshot() is name-sorted, so this stays sorted
         ServerStats {
-            requests_submitted: self.counters.submitted.load(Ordering::Relaxed),
-            requests_served: self.counters.served.load(Ordering::Relaxed),
-            factorizations_submitted: self
-                .counters
-                .factorizations_submitted
-                .load(Ordering::Relaxed),
-            factorizations_served: self.counters.factorizations_served.load(Ordering::Relaxed),
-            batches: self.counters.batches.load(Ordering::Relaxed),
-            largest_batch: self.counters.largest_batch.load(Ordering::Relaxed),
+            requests_submitted: m.counter_value(metric::REQUESTS_SUBMITTED),
+            requests_served: m.counter_value(metric::REQUESTS_SERVED),
+            factorizations_submitted: m.counter_value(metric::FACTORIZATIONS_SUBMITTED),
+            factorizations_served: m.counter_value(metric::FACTORIZATIONS_SERVED),
+            batches: m.counter_value(metric::BATCHES),
+            largest_batch: m.counter_value(metric::LARGEST_BATCH),
             cache: self.cache.stats(),
             backend_runs,
+            queue_depth: m.gauge_value(metric::QUEUE_DEPTH),
+            exec_us: m.histogram(metric::REQUEST_EXEC_US),
             workers: self.config.workers,
         }
     }
@@ -309,7 +359,7 @@ fn run_batcher(
     queue: BatchQueue,
     batch_tx: Sender<Dispatch>,
     cache: Arc<PlanCache>,
-    counters: Arc<Counters>,
+    metrics: Arc<MetricsRegistry>,
 ) {
     while let Some(work) = queue.next_work() {
         for unit in work {
@@ -329,10 +379,9 @@ fn run_batcher(
             let mode = batch.key.problem.mode;
             let planner = Planner::new(batch.key.machine.clone());
             let (plan, cache_hit) = planner.plan_cached_with_status(&problem, mode, &cache);
-            counters.batches.fetch_add(1, Ordering::Relaxed);
-            counters
-                .largest_batch
-                .fetch_max(batch.requests.len() as u64, Ordering::Relaxed);
+            counter_add(&metrics, metric::BATCHES, 1);
+            metrics.counter_max(metric::LARGEST_BATCH, batch.requests.len() as u64);
+            histogram_record(&metrics, metric::BATCH_SIZE, batch.requests.len() as u64);
             if batch_tx
                 .send(Dispatch::Batch(DispatchedBatch {
                     plan,
@@ -347,11 +396,11 @@ fn run_batcher(
     }
 }
 
-fn run_worker(rx: Receiver<Dispatch>, cache: Arc<PlanCache>, counters: Arc<Counters>) {
+fn run_worker(rx: Receiver<Dispatch>, cache: Arc<PlanCache>, metrics: Arc<MetricsRegistry>) {
     while let Ok(dispatch) = rx.recv() {
         let batch = match dispatch {
             Dispatch::Factorize(pending) => {
-                run_factorization(pending, &cache, &counters);
+                run_factorization(pending, &cache, &metrics);
                 continue;
             }
             Dispatch::Batch(batch) => batch,
@@ -361,19 +410,33 @@ fn run_worker(rx: Receiver<Dispatch>, cache: Arc<PlanCache>, counters: Arc<Count
         let executor = Executor::for_plan(&batch.plan);
         let batch_size = batch.requests.len();
         for pending in batch.requests {
+            let mut span = mttkrp_obs::span("request");
+            if span.is_active() {
+                span.record("kind", "mttkrp");
+                span.record("batch_size", batch_size);
+                span.record("cache_hit", batch.cache_hit);
+            }
             let refs: Vec<&Matrix> = pending.request.factors.iter().collect();
             let queued = pending.submitted.elapsed();
             let start = Instant::now();
             let report =
                 executor.execute(&batch.plan, &pending.request.tensor, &refs, batch.plan.mode);
             let exec = start.elapsed();
-            counters.served.fetch_add(1, Ordering::Relaxed);
-            *counters
-                .backend_runs
-                .lock()
-                .expect("backend-run map poisoned")
-                .entry(report.backend)
-                .or_insert(0) += 1;
+            if span.is_active() {
+                span.record("queued_us", queued.as_micros() as u64);
+                span.record("backend", report.backend);
+            }
+            drop(span);
+            counter_add(&metrics, metric::REQUESTS_SERVED, 1);
+            gauge_add(&metrics, metric::QUEUE_DEPTH, -1);
+            histogram_record(
+                &metrics,
+                metric::REQUEST_QUEUED_US,
+                queued.as_micros() as u64,
+            );
+            histogram_record(&metrics, metric::REQUEST_EXEC_US, exec.as_micros() as u64);
+            let backend_metric = format!("{}{}", metric::BACKEND_RUNS_PREFIX, report.backend);
+            counter_add(&metrics, &backend_metric, 1);
             // The submitter may have dropped its handle; that only means
             // nobody is listening, not that the work was wasted.
             let _ = pending.reply.send(MttkrpResponse {
@@ -388,16 +451,29 @@ fn run_worker(rx: Receiver<Dispatch>, cache: Arc<PlanCache>, counters: Arc<Count
 }
 
 /// Runs one whole CP-ALS factorization on a worker thread, resolving every
-/// per-mode MTTKRP plan through the server's shared cache.
-fn run_factorization(pending: PendingFactorize, cache: &PlanCache, counters: &Counters) {
+/// per-mode MTTKRP plan through the server's shared cache. Under tracing
+/// the engine's `factorize` span (and everything below it) nests under the
+/// `request` span opened here.
+fn run_factorization(pending: PendingFactorize, cache: &PlanCache, metrics: &MetricsRegistry) {
     let queued = pending.submitted.elapsed();
+    let mut span = mttkrp_obs::span("request");
+    if span.is_active() {
+        span.record("kind", "factorize");
+        span.record("queued_us", queued.as_micros() as u64);
+    }
     let start = Instant::now();
     let run =
         mttkrp_als::cp_als_with_cache(&pending.request.tensor, &pending.request.config, cache);
     let exec = start.elapsed();
-    counters
-        .factorizations_served
-        .fetch_add(1, Ordering::Relaxed);
+    drop(span);
+    counter_add(metrics, metric::FACTORIZATIONS_SERVED, 1);
+    gauge_add(metrics, metric::QUEUE_DEPTH, -1);
+    histogram_record(
+        metrics,
+        metric::REQUEST_QUEUED_US,
+        queued.as_micros() as u64,
+    );
+    histogram_record(metrics, metric::REQUEST_EXEC_US, exec.as_micros() as u64);
     let _ = pending.reply.send(FactorizeResponse {
         run,
         timing: RequestTiming { queued, exec },
