@@ -9,8 +9,38 @@ use mttkrp_exec::{
     Backend, ExecReport, MachineSpec, NativeBackend, Plan, PlanCache, Planner, SimBackend,
 };
 use mttkrp_tensor::{solve_spd_ridge, DenseTensor, KruskalTensor, Matrix};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
+
+/// A cooperative cancellation handle for a running factorization, checked
+/// at every sweep boundary. Clones share one flag: a serving layer hands
+/// one clone to the engine and keeps another to fire when the client
+/// cancels (or vanishes).
+///
+/// Cancellation is cooperative and sweep-granular: the engine never stops
+/// mid-sweep, so a cancelled run still returns a well-formed [`AlsRun`]
+/// (non-empty trace, normalized model) with
+/// [`cancelled`](AlsRun::cancelled) set.
+#[derive(Clone, Debug, Default)]
+pub struct CancelFlag(Arc<AtomicBool>);
+
+impl CancelFlag {
+    /// A fresh, un-fired flag.
+    pub fn new() -> CancelFlag {
+        CancelFlag::default()
+    }
+
+    /// Fires the flag: the run stops after the sweep now in progress.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Release);
+    }
+
+    /// Whether [`CancelFlag::cancel`] has been called on any clone.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Acquire)
+    }
+}
 
 /// The three execution targets, built once per run so backend setup (the
 /// native rayon pool in particular) is amortized across all sweeps. The
@@ -116,6 +146,27 @@ pub fn cp_als(x: &DenseTensor, config: &AlsConfig) -> AlsRun {
 /// whose equality the `mttkrp-dist` suite asserts structurally) therefore
 /// produce bitwise-identical factor matrices.
 pub fn cp_als_with_cache(x: &DenseTensor, config: &AlsConfig, cache: &PlanCache) -> AlsRun {
+    cp_als_with_hooks(x, config, cache, &mut |_| {}, &CancelFlag::new())
+}
+
+/// [`cp_als_with_cache`] with streaming hooks: `on_sweep` fires on the
+/// engine's thread after every completed sweep (its argument is the
+/// [`AlsSweep`] just appended to the trace, final sweep included), and
+/// `cancel` is checked at each sweep boundary — a fired flag ends the run
+/// before the *next* sweep starts, with [`AlsRun::cancelled`] set.
+///
+/// This is the seam `mttkrp-serve`'s streaming `Factorize` rides: sweeps
+/// become wire frames as they complete, and a client's cancel frame (or a
+/// vanished connection) frees the worker within one sweep. The hooks
+/// change when the run *stops*, never what it computes: up to the sweep it
+/// ran last, a hooked run is bitwise identical to an unhooked one.
+pub fn cp_als_with_hooks(
+    x: &DenseTensor,
+    config: &AlsConfig,
+    cache: &PlanCache,
+    on_sweep: &mut dyn FnMut(&AlsSweep),
+    cancel: &CancelFlag,
+) -> AlsRun {
     let r = config.rank;
     assert!(r >= 1, "CP rank must be at least 1");
     assert!(config.max_sweeps >= 1, "need at least one sweep");
@@ -144,6 +195,7 @@ pub fn cp_als_with_cache(x: &DenseTensor, config: &AlsConfig, cache: &PlanCache)
     let mut trace: Vec<AlsSweep> = Vec::new();
     let mut prev_fit = f64::NEG_INFINITY;
     let mut converged = false;
+    let mut cancelled = false;
 
     // Root span of the factorization: sweeps nest under it, mode updates
     // under those, planner/kernel spans under the modes. Declared before
@@ -277,9 +329,20 @@ pub fn cp_als_with_cache(x: &DenseTensor, config: &AlsConfig, cache: &PlanCache)
             mode_exec_times,
             elapsed: sweep_start.elapsed(),
         });
+        // Stream the sweep before deciding whether to stop: the final
+        // sweep (converged, cancelled, or budget-exhausted) is delivered
+        // like any other.
+        on_sweep(trace.last().expect("just pushed"));
 
         if (fit - prev_fit).abs() < config.tol {
             converged = true;
+            break;
+        }
+        // A flag fired before the first sweep still runs one sweep: the
+        // trace is never empty and the model is always a real (if early)
+        // ALS iterate.
+        if cancel.is_cancelled() {
+            cancelled = true;
             break;
         }
         prev_fit = fit;
@@ -288,6 +351,7 @@ pub fn cp_als_with_cache(x: &DenseTensor, config: &AlsConfig, cache: &PlanCache)
     if factorize_span.is_active() {
         factorize_span.record("sweeps", trace.len());
         factorize_span.record("converged", converged);
+        factorize_span.record("cancelled", cancelled);
         factorize_span.record("fit", trace.last().map(|s| s.fit).unwrap_or(f64::NAN));
     }
     mttkrp_obs::counter_add("als.factorizations", 1);
@@ -299,6 +363,7 @@ pub fn cp_als_with_cache(x: &DenseTensor, config: &AlsConfig, cache: &PlanCache)
         model,
         trace,
         converged,
+        cancelled,
         plans: plans
             .into_iter()
             .map(|p| p.expect("every mode was planned at least once"))
@@ -457,6 +522,90 @@ mod tests {
         // The executed fabrics are recorded per mode, not just the
         // configured choice (which could be "auto").
         assert!(json.contains("\"mode_backends\":[\"native\",\"native\",\"native\"]"));
+    }
+
+    #[test]
+    fn sweep_hook_sees_every_sweep_in_order_and_changes_nothing() {
+        let x = KruskalTensor::random(&Shape::new(&[6, 5, 4]), 2, 12).full();
+        let cfg = seq_config(2).with_sweeps(7).with_tol(0.0);
+        let cache = PlanCache::new(8);
+        let mut seen = Vec::new();
+        let hooked = cp_als_with_hooks(
+            &x,
+            &cfg,
+            &cache,
+            &mut |s| seen.push((s.sweep, s.fit)),
+            &CancelFlag::new(),
+        );
+        assert_eq!(seen.len(), 7, "one callback per sweep, final included");
+        assert!(seen.windows(2).all(|w| w[1].0 == w[0].0 + 1));
+        assert_eq!(
+            seen.iter().map(|&(_, f)| f).collect::<Vec<_>>(),
+            hooked.fit_history()
+        );
+        assert!(!hooked.cancelled);
+        // Hooks never change the numbers.
+        let plain = cp_als_with_cache(&x, &cfg, &PlanCache::new(8));
+        for (a, b) in hooked.model.factors.iter().zip(&plain.model.factors) {
+            assert_eq!(a.data(), b.data());
+        }
+    }
+
+    #[test]
+    fn cancel_stops_at_the_next_sweep_boundary() {
+        let x = KruskalTensor::random(&Shape::new(&[6, 5, 4]), 2, 13).full();
+        // tol = 0.0 never converges (|delta| < 0.0 is always false), so
+        // only the cancel can end this run before the huge budget.
+        let cfg = seq_config(2).with_sweeps(100_000).with_tol(0.0);
+        let flag = CancelFlag::new();
+        let inner = flag.clone();
+        let run = cp_als_with_hooks(
+            &x,
+            &cfg,
+            &PlanCache::new(8),
+            &mut |s| {
+                if s.sweep == 3 {
+                    inner.cancel();
+                }
+            },
+            &flag,
+        );
+        assert!(run.cancelled);
+        assert!(!run.converged);
+        assert_eq!(run.sweeps(), 3, "cancel lands at the sweep boundary");
+        assert!(run.explain().contains("cancelled"), "{}", run.explain());
+        assert!(run.to_json().contains("\"cancelled\":true"));
+        // A pre-fired flag still produces one real sweep.
+        let fired = CancelFlag::new();
+        fired.cancel();
+        let early = cp_als_with_hooks(&x, &cfg, &PlanCache::new(8), &mut |_| {}, &fired);
+        assert!(early.cancelled);
+        assert_eq!(early.sweeps(), 1, "trace is never empty");
+    }
+
+    #[test]
+    fn convergence_wins_over_a_cancel_fired_the_same_sweep() {
+        let x = KruskalTensor::random(&Shape::new(&[5, 4, 3]), 1, 14).full();
+        // A huge tolerance converges on sweep 2 (the first with a delta);
+        // the hook fires the cancel on that very sweep. Convergence is
+        // checked first, so the run reports converged, not cancelled.
+        let cfg = seq_config(1).with_sweeps(50).with_tol(1e9);
+        let flag = CancelFlag::new();
+        let inner = flag.clone();
+        let run = cp_als_with_hooks(
+            &x,
+            &cfg,
+            &PlanCache::new(8),
+            &mut |s| {
+                if s.sweep == 2 {
+                    inner.cancel();
+                }
+            },
+            &flag,
+        );
+        assert_eq!(run.sweeps(), 2);
+        assert!(run.converged);
+        assert!(!run.cancelled, "a converged run is never 'cancelled'");
     }
 
     #[test]

@@ -56,5 +56,5 @@ pub mod engine;
 pub mod report;
 
 pub use config::{AlsConfig, BackendChoice};
-pub use engine::{cp_als, cp_als_with_cache, validate_input};
+pub use engine::{cp_als, cp_als_with_cache, cp_als_with_hooks, validate_input, CancelFlag};
 pub use report::{AlsRun, AlsSweep};

@@ -47,6 +47,10 @@ pub struct AlsRun {
     pub trace: Vec<AlsSweep>,
     /// Whether the fit tolerance was met before the sweep budget ran out.
     pub converged: bool,
+    /// Whether a [`CancelFlag`](crate::CancelFlag) ended the run early (at
+    /// a sweep boundary, before convergence). A converged run is never
+    /// `cancelled`, even if the flag also fired.
+    pub cancelled: bool,
     /// The per-mode plans the MTTKRPs ran under (index = mode). Planned at
     /// most once per mode — later sweeps reuse them through the
     /// [`PlanCache`](mttkrp_exec::PlanCache).
@@ -154,6 +158,8 @@ impl AlsRun {
             "stopped: {} after {} sweep(s), final fit {:.6} (tol {:.1e})\n",
             if self.converged {
                 "converged"
+            } else if self.cancelled {
+                "cancelled"
             } else {
                 "sweep budget exhausted"
             },
@@ -228,7 +234,7 @@ impl AlsRun {
         format!(
             "{{\"dims\":[{dims}],\"rank\":{},\"backend\":\"{}\",\
              \"mode_backends\":[{mode_backends}],\"ranks\":{},\"threads\":{},\
-             \"sweeps\":{},\"converged\":{},\"fit\":{},\"fit_trajectory\":[{fits}],\
+             \"sweeps\":{},\"converged\":{},\"cancelled\":{},\"fit\":{},\"fit_trajectory\":[{fits}],\
              \"sweep_secs\":[{secs}],\"plan_secs\":[{plan_secs}],\"exec_secs\":[{exec_secs}],\
              \"cache\":{{\"hits\":{},\"misses\":{},\"hit_rate\":{}}},\
              \"mode_plans\":[{plans}]}}",
@@ -238,6 +244,7 @@ impl AlsRun {
             self.config.machine.threads,
             self.sweeps(),
             self.converged,
+            self.cancelled,
             json_f64(self.fit()),
             self.cache_hits(),
             self.cache_misses(),

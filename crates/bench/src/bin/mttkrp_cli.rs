@@ -34,6 +34,18 @@
 //!                              through the batch serving layer and print
 //!                              its stats table (--json emits one
 //!                              machine-readable object on stdout)
+//!   serve --bench --socket [--clients C] [--cap K] [--retry-ms MS]
+//!         [--bind ADDR]        the same replay through the real TCP front
+//!                              door: C concurrent client connections with
+//!                              retry-on-shed, per-client latency stats, and
+//!                              a bitwise replay check of every socket
+//!                              response against in-process execution
+//!   listen [--bind ADDR] [--cap K] [--retry-ms MS] [--workers W]
+//!          [--batch B] [--cache C] [--threads T] [--memory M]
+//!                              a long-lived network front door: prints
+//!                              `listening on <addr>` on stdout, serves
+//!                              MTTKRP and (streaming) Factorize requests
+//!                              until stdin closes, then drains gracefully
 //!   cp-als [--sweeps S] [--tol T] [--backend auto|native|sim|dist|dist-tcp]
 //!          [--ranks P] [--transport channel|tcp] [--threads T]
 //!          [--memory M] [--gate] [--json]
@@ -111,6 +123,12 @@ struct Args {
     workers: Option<usize>,
     batch: Option<usize>,
     cache: Option<usize>,
+    // `serve --bench --socket` / `listen` options (the network front door).
+    socket: bool,
+    clients: Option<usize>,
+    bind: Option<String>,
+    cap: Option<usize>,
+    retry_ms: Option<u64>,
     // `cp-als` options (`--json` is shared with `serve --bench`).
     sweeps: Option<usize>,
     tol: Option<f64>,
@@ -197,6 +215,15 @@ fn parse(argv: &[String]) -> Result<Args, String> {
                 args.sweeps = Some(next("--sweeps")?.parse().map_err(|e| format!("{e}"))?)
             }
             "--tol" => args.tol = Some(next("--tol")?.parse().map_err(|e| format!("{e}"))?),
+            "--socket" => args.socket = true,
+            "--clients" => {
+                args.clients = Some(next("--clients")?.parse().map_err(|e| format!("{e}"))?)
+            }
+            "--bind" => args.bind = Some(next("--bind")?),
+            "--cap" => args.cap = Some(next("--cap")?.parse().map_err(|e| format!("{e}"))?),
+            "--retry-ms" => {
+                args.retry_ms = Some(next("--retry-ms")?.parse().map_err(|e| format!("{e}"))?)
+            }
             "--gate" => args.gate = true,
             "--json" => args.json = true,
             "--trace" => args.trace = Some(next("--trace")?),
@@ -220,7 +247,7 @@ fn parse(argv: &[String]) -> Result<Args, String> {
     // given) only seeds the base shape, so it may be omitted for any of them.
     if matches!(
         args.algorithm.as_deref(),
-        Some("serve") | Some("cp-als") | Some("report")
+        Some("serve") | Some("listen") | Some("cp-als") | Some("report")
     ) && args.dims.is_empty()
     {
         args.dims = match args.algorithm.as_deref() {
@@ -240,9 +267,29 @@ fn parse(argv: &[String]) -> Result<Args, String> {
     }
     let Some(alg) = args.algorithm.as_deref() else {
         return Err("no algorithm given \
-             (alg1|alg2|seqmm|alg3|alg4|parmm|bounds|exec|dist|serve|cp-als|report)"
+             (alg1|alg2|seqmm|alg3|alg4|parmm|bounds|exec|dist|serve|listen|cp-als|report)"
             .into());
     };
+    // The socket front-door flags only mean something to the subcommands
+    // that open sockets.
+    if args.socket && alg != "serve" {
+        return Err(format!("--socket is a serve flag, not valid for '{alg}'"));
+    }
+    if args.clients.is_some() && !(alg == "serve" && args.socket) {
+        return Err("--clients requires `serve --bench --socket`".into());
+    }
+    for (flag, given) in [
+        ("--bind", args.bind.is_some()),
+        ("--cap", args.cap.is_some()),
+        ("--retry-ms", args.retry_ms.is_some()),
+    ] {
+        if given && !(alg == "listen" || (alg == "serve" && args.socket)) {
+            return Err(format!(
+                "{flag} configures the network front door (listen, or serve --bench --socket), \
+                 not valid for '{alg}'"
+            ));
+        }
+    }
     // Flags are parsed globally but only some subcommands honor them;
     // reject half-applying combinations instead of silently ignoring them.
     if args.json && !matches!(alg, "serve" | "cp-als") {
@@ -291,6 +338,15 @@ fn usage() {
          \n        [--cache C] [--threads T] [--memory M] [--procs P] [--json]\
          \n                               replay a synthetic workload through the\
          \n                               plan-cached batch serving layer\
+         \n  serve --bench --socket [--clients C] [--cap K] [--retry-ms MS]\
+         \n        [--bind ADDR]          the same replay through the real TCP\
+         \n                               front door: concurrent clients, retry-\
+         \n                               on-shed, bitwise replay check\
+         \n  listen [--bind ADDR] [--cap K] [--retry-ms MS] [--workers W]\
+         \n         [--batch B] [--cache C] [--threads T] [--memory M]\
+         \n                               long-lived network front door; prints\
+         \n                               `listening on <addr>`, serves until\
+         \n                               stdin closes, then drains gracefully\
          \n  cp-als [--sweeps S] [--tol T] [--backend auto|native|sim|dist|dist-tcp]\
          \n         [--ranks P] [--transport channel|tcp] [--threads T]\
          \n         [--memory M] [--gate] [--json]\
@@ -404,6 +460,11 @@ const DRIFT_TOLERANCE: f64 = 0.01;
 /// Dispatches a parsed command line (everything except `report`, which
 /// never runs a problem).
 fn run(args: &Args) -> ExitCode {
+    // `listen` speaks to launchers: its first stdout line is the bound
+    // address, so it dispatches before any narration.
+    if args.algorithm.as_deref() == Some("listen") {
+        return run_listen(args);
+    }
     let problem = Problem::new(
         &args.dims.iter().map(|&d| d as u64).collect::<Vec<u64>>(),
         args.rank as u64,
@@ -1282,10 +1343,13 @@ fn run_serve(args: &Args) -> ExitCode {
 
     if !args.bench {
         eprintln!(
-            "error: only the --bench replay is implemented; a network transport in \
-             front of the batch queue is tracked in ROADMAP.md"
+            "error: serve runs the --bench replay (in-process, or over real \
+             sockets with --socket); a long-lived network server is `listen`"
         );
         return ExitCode::from(2);
+    }
+    if args.socket {
+        return run_serve_socket(args);
     }
     for (flag, value) in [
         ("--threads", args.threads),
@@ -1436,6 +1500,416 @@ fn run_serve(args: &Args) -> ExitCode {
         eprintln!(
             "error: plan-cache hit rate {:.1}% is below the 90% serving target",
             100.0 * hit_rate
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+/// The `listen` subcommand: a long-lived network front door over the
+/// serving engine. The first stdout line is `listening on <addr>` (so a
+/// launcher wrapping the process can learn the bound port); it serves
+/// until stdin reaches EOF, then drains gracefully — in-flight requests
+/// answered, new ones shed with retry-after — and prints the final stats.
+fn run_listen(args: &Args) -> ExitCode {
+    use mttkrp_exec::MachineSpec;
+    use mttkrp_serve::net::listener::metric as net_metric;
+    use mttkrp_serve::{NetConfig, NetServer, ServerConfig};
+    use std::io::{Read, Write};
+
+    for (flag, value) in [
+        ("--threads", args.threads),
+        ("--workers", args.workers),
+        ("--batch", args.batch),
+        ("--cache", args.cache),
+        ("--cap", args.cap),
+    ] {
+        if value == Some(0) {
+            eprintln!("error: {flag} must be at least 1");
+            return ExitCode::from(2);
+        }
+    }
+    let machine = MachineSpec {
+        threads: args.threads.unwrap_or_else(MachineSpec::detect_threads),
+        fast_memory_words: args.memory.unwrap_or(mttkrp_exec::DEFAULT_CACHE_WORDS),
+        ranks: args.procs.unwrap_or(1),
+        transport: mttkrp_exec::TransportSpec::InProcess,
+    };
+    let server = match NetServer::start(NetConfig {
+        bind: args
+            .bind
+            .clone()
+            .unwrap_or_else(|| "127.0.0.1:0".to_string()),
+        server: ServerConfig {
+            machine,
+            workers: args.workers.unwrap_or(2),
+            cache_capacity: args.cache.unwrap_or(128),
+            max_batch: args.batch.unwrap_or(32),
+        },
+        max_in_flight: args.cap.unwrap_or(64),
+        retry_after_ms: args.retry_ms.unwrap_or(50),
+    }) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("error: bind failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("listening on {}", server.addr());
+    let _ = std::io::stdout().flush();
+    eprintln!("serving until stdin closes (EOF drains in-flight work and exits)");
+
+    // Park until the launcher closes stdin (or this process is orphaned).
+    let mut sink = [0u8; 256];
+    let mut stdin = std::io::stdin();
+    loop {
+        match stdin.read(&mut sink) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+    }
+
+    let connections = server.metrics().counter_value(net_metric::CONNECTIONS);
+    let socket_requests = server.metrics().counter_value(net_metric::REQUESTS);
+    let sheds = server.metrics().counter_value(net_metric::SHED);
+    let stats = server.shutdown();
+    println!("{stats}");
+    println!("connections          {connections}");
+    println!("socket requests      {socket_requests}");
+    println!("requests shed        {sheds}");
+    ExitCode::SUCCESS
+}
+
+/// `serve --bench --socket`: the mixed-shape replay of `run_serve`, but
+/// through the real TCP front door — N concurrent client connections
+/// (each also carrying one factorization), retry-on-shed, per-client
+/// latency stats, and a bitwise replay check of every socket response
+/// against in-process execution on the same engine. Exits nonzero on any
+/// byte mismatch, a shed-rate breach, a stuck connection, or a storm
+/// request that missed the warmed plan cache.
+fn run_serve_socket(args: &Args) -> ExitCode {
+    use mttkrp_exec::MachineSpec;
+    use mttkrp_serve::net::listener::metric as net_metric;
+    use mttkrp_serve::net::protocol::FactorizeSpec;
+    use mttkrp_serve::{
+        Client, ClientError, FactorizeRequest, MttkrpRequest, NetConfig, NetServer, ServerConfig,
+    };
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    for (flag, value) in [
+        ("--threads", args.threads),
+        ("--requests", args.requests),
+        ("--shapes", args.shapes),
+        ("--workers", args.workers),
+        ("--batch", args.batch),
+        ("--cache", args.cache),
+        ("--clients", args.clients),
+        ("--cap", args.cap),
+    ] {
+        if value == Some(0) {
+            eprintln!("error: {flag} must be at least 1");
+            return ExitCode::from(2);
+        }
+    }
+    let machine = MachineSpec {
+        threads: args.threads.unwrap_or_else(MachineSpec::detect_threads),
+        fast_memory_words: args.memory.unwrap_or(mttkrp_exec::DEFAULT_CACHE_WORDS),
+        ranks: args.procs.unwrap_or(1),
+        transport: mttkrp_exec::TransportSpec::InProcess,
+    };
+    let total = args.requests.unwrap_or(400);
+    let shapes = args.shapes.unwrap_or(4);
+    let workers = args.workers.unwrap_or(2);
+    let clients = args.clients.unwrap_or(8);
+    let cap = args.cap.unwrap_or(64);
+    let order = args.dims.len();
+    // The warmup plans every (shape, mode) key — all `order` modes per
+    // shape, because each warmup factorization sweeps them all — so the
+    // cache must hold the whole working set.
+    let cache_capacity = args.cache.unwrap_or_else(|| 64.max(shapes * order));
+    if cache_capacity < shapes * order {
+        eprintln!(
+            "error: --cache {cache_capacity} cannot hold {shapes} shapes x {order} modes; \
+             the warmed-cache gate needs --cache >= {}",
+            shapes * order
+        );
+        return ExitCode::from(2);
+    }
+    if total < clients {
+        eprintln!("error: --requests {total} is fewer than --clients {clients}");
+        return ExitCode::from(2);
+    }
+
+    let workload: Vec<(Arc<mttkrp_tensor::DenseTensor>, Arc<Vec<Matrix>>)> = (0..shapes)
+        .map(|s| {
+            let mut dims = args.dims.clone();
+            dims[0] += 2 * s;
+            let (x, factors) = setup_problem(&dims, args.rank, args.seed + s as u64);
+            (Arc::new(x), Arc::new(factors))
+        })
+        .collect();
+    let spec = FactorizeSpec {
+        rank: args.rank,
+        max_sweeps: 4,
+        tol: 1e-12,
+        seed: args.seed,
+        ridge: 1e-9,
+    };
+    say!(
+        args.json,
+        "serve bench (socket): {total} MTTKRPs + {clients} factorizations over {shapes} \
+         shapes (base dims {:?}, R = {}), {clients} client connections, in-flight cap \
+         {cap}, {workers} worker(s)",
+        args.dims,
+        args.rank
+    );
+
+    let server = match NetServer::start(NetConfig {
+        bind: args
+            .bind
+            .clone()
+            .unwrap_or_else(|| "127.0.0.1:0".to_string()),
+        server: ServerConfig {
+            machine: machine.clone(),
+            workers,
+            cache_capacity,
+            max_batch: args.batch.unwrap_or(32),
+        },
+        max_in_flight: cap,
+        retry_after_ms: args.retry_ms.unwrap_or(5),
+    }) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("error: bind failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let addr = server.addr();
+
+    // Warmup + expected bytes, in-process on the SAME engine: after this,
+    // every (shape, mode) plan key is resident, so the storm must miss
+    // the cache exactly zero times — and every socket response has an
+    // in-process oracle to be bit-identical to.
+    let bits = |w: &[f64]| w.iter().map(|v| v.to_bits()).collect::<Vec<u64>>();
+    let mut expected_mttkrp: Vec<Vec<u64>> = Vec::with_capacity(shapes);
+    let mut expected_model: Vec<Vec<u64>> = Vec::with_capacity(shapes);
+    for (x, f) in &workload {
+        let response =
+            server
+                .server()
+                .call(MttkrpRequest::new(Arc::clone(x), Arc::clone(f), args.mode));
+        expected_mttkrp.push(bits(response.report.output.data()));
+        let run = server
+            .server()
+            .call_factorize(FactorizeRequest::new(
+                Arc::clone(x),
+                spec.into_config(&machine),
+            ))
+            .run;
+        let mut model_bits = bits(&run.model.weights);
+        for factor in &run.model.factors {
+            model_bits.extend(bits(factor.data()));
+        }
+        expected_model.push(model_bits);
+    }
+    let expected_mttkrp = Arc::new(expected_mttkrp);
+    let expected_model = Arc::new(expected_model);
+    let warmup_misses = server.stats().cache.misses;
+
+    let start = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|c| {
+            let expected_mttkrp = Arc::clone(&expected_mttkrp);
+            let expected_model = Arc::clone(&expected_model);
+            let workload = workload.clone();
+            let mode = args.mode;
+            let my_requests = total / clients + usize::from(c < total % clients);
+            std::thread::spawn(move || {
+                let mut served = 0u64;
+                let mut sheds = 0u64;
+                let mut mismatches = 0u64;
+                let mut sum_us = 0u128;
+                let mut max_us = 0u128;
+                let shed_wait = |sheds: &mut u64, after: Duration| {
+                    *sheds += 1;
+                    assert!(
+                        *sheds < 100_000,
+                        "client {c}: livelocked on retry-after sheds"
+                    );
+                    std::thread::sleep(after);
+                };
+                let mut client = loop {
+                    match Client::connect(addr) {
+                        Ok(client) => break client,
+                        Err(ClientError::RetryAfter(after)) => shed_wait(&mut sheds, after),
+                        Err(e) => panic!("client {c}: connect failed: {e}"),
+                    }
+                };
+                for i in 0..my_requests {
+                    let s = (c + i) % shapes;
+                    let (x, f) = &workload[s];
+                    let t0 = Instant::now();
+                    loop {
+                        match client.mttkrp(x, f.as_slice(), mode) {
+                            Ok(remote) => {
+                                let us = t0.elapsed().as_micros();
+                                sum_us += us;
+                                max_us = max_us.max(us);
+                                if bits(remote.output.data()) != expected_mttkrp[s] {
+                                    mismatches += 1;
+                                }
+                                served += 1;
+                                break;
+                            }
+                            Err(ClientError::RetryAfter(after)) => shed_wait(&mut sheds, after),
+                            Err(e) => panic!("client {c}: mttkrp failed: {e}"),
+                        }
+                    }
+                }
+                // One factorization per client rides along: the workload
+                // is mixed, not MTTKRP-only.
+                let s = c % shapes;
+                let run = loop {
+                    match client.factorize(&workload[s].0, &spec) {
+                        Ok(run) => break run,
+                        Err(ClientError::RetryAfter(after)) => shed_wait(&mut sheds, after),
+                        Err(e) => panic!("client {c}: factorize failed: {e}"),
+                    }
+                };
+                let mut model_bits = bits(&run.model.weights);
+                for factor in &run.model.factors {
+                    model_bits.extend(bits(factor.data()));
+                }
+                if model_bits != expected_model[s] {
+                    mismatches += 1;
+                }
+                (served, sheds, mismatches, sum_us, max_us)
+            })
+        })
+        .collect();
+
+    let mut per_client = Vec::with_capacity(clients);
+    let (mut served, mut sheds, mut mismatches) = (0u64, 0u64, 0u64);
+    for handle in handles {
+        let (s, r, m, sum_us, max_us) = handle.join().expect("bench client panicked");
+        per_client.push((s, r, sum_us, max_us));
+        served += s;
+        sheds += r;
+        mismatches += m;
+    }
+    let elapsed = start.elapsed();
+
+    // Zero stuck connections after the storm: every client dropped its
+    // socket, so the gauges must return to zero on their own.
+    let drain_deadline = Instant::now() + Duration::from_secs(30);
+    while server.metrics().gauge_value(net_metric::OPEN_CONNECTIONS) != 0
+        || server.metrics().gauge_value(net_metric::IN_FLIGHT) != 0
+    {
+        if Instant::now() > drain_deadline {
+            eprintln!("error: connections stuck open after the storm drained");
+            return ExitCode::FAILURE;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let storm_misses = server.stats().cache.misses - warmup_misses;
+    let stats = server.shutdown();
+
+    say!(args.json, "\n{stats}");
+    say!(
+        args.json,
+        "\nper-client:  served    sheds  mean_ms   max_ms"
+    );
+    for (c, (s, r, sum_us, max_us)) in per_client.iter().enumerate() {
+        say!(
+            args.json,
+            "  client {c:>3}  {s:>6}  {r:>7}  {:>7.2}  {:>7.2}",
+            if *s > 0 {
+                *sum_us as f64 / *s as f64 / 1000.0
+            } else {
+                0.0
+            },
+            *max_us as f64 / 1000.0
+        );
+    }
+    let shed_rate = sheds as f64 / (sheds + served + clients as u64) as f64;
+    say!(
+        args.json,
+        "\nthroughput           {:.0} requests/s ({served} MTTKRPs + {clients} \
+         factorizations in {:.3} s)",
+        served as f64 / elapsed.as_secs_f64(),
+        elapsed.as_secs_f64()
+    );
+    say!(
+        args.json,
+        "sheds                {sheds} retry-after frames ({:.1}% of attempts)",
+        100.0 * shed_rate
+    );
+    say!(
+        args.json,
+        "replay check         socket responses {} in-process execution \
+         ({mismatches} mismatching)",
+        if mismatches == 0 {
+            "bit-identical to"
+        } else {
+            "DIFFER from"
+        }
+    );
+    say!(
+        args.json,
+        "warmed-cache check   {storm_misses} plan-cache misses during the storm \
+         (warmup planned every key)"
+    );
+
+    if args.json {
+        let per: Vec<String> = per_client
+            .iter()
+            .enumerate()
+            .map(|(c, (s, r, sum_us, max_us))| {
+                format!(
+                    "{{\"client\":{c},\"served\":{s},\"sheds\":{r},\"mean_us\":{},\
+                     \"max_us\":{max_us}}}",
+                    if *s > 0 { *sum_us / *s as u128 } else { 0 }
+                )
+            })
+            .collect();
+        println!(
+            "{{\"socket\":true,\"clients\":{clients},\"requests\":{total},\
+             \"served\":{served},\"factorizations\":{clients},\"sheds\":{sheds},\
+             \"shed_rate\":{shed_rate},\"elapsed_secs\":{},\"throughput_rps\":{},\
+             \"storm_cache_misses\":{storm_misses},\"cache\":{{\"hits\":{},\
+             \"misses\":{},\"hit_rate\":{}}},\"identical\":{},\
+             \"per_client\":[{}]}}",
+            elapsed.as_secs_f64(),
+            served as f64 / elapsed.as_secs_f64(),
+            stats.cache.hits,
+            stats.cache.misses,
+            stats.cache.hit_rate(),
+            mismatches == 0,
+            per.join(",")
+        );
+    }
+
+    if mismatches > 0 {
+        eprintln!("error: {mismatches} socket responses differ from in-process execution");
+        return ExitCode::FAILURE;
+    }
+    if served != total as u64 {
+        eprintln!("error: served {served} of {total} requests");
+        return ExitCode::FAILURE;
+    }
+    if storm_misses != 0 {
+        eprintln!(
+            "error: {storm_misses} plan-cache misses during the storm; the warmup \
+             planned every (shape, mode) key, so the storm should hit every time"
+        );
+        return ExitCode::FAILURE;
+    }
+    if shed_rate > 0.5 {
+        eprintln!(
+            "error: shed rate {:.1}% exceeds the 50% livelock threshold \
+             (cap {cap} too small for {clients} clients?)",
+            100.0 * shed_rate
         );
         return ExitCode::FAILURE;
     }

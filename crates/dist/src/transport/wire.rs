@@ -66,6 +66,32 @@ pub const CTRL_CHUNK: u64 = u64::MAX - 4;
 /// [`encode_ledger`]).
 pub const CTRL_LEDGER: u64 = u64::MAX - 5;
 
+// --- Serving front door (`mttkrp-serve`'s net module) -----------------------
+// The listener speaks the same framing as the rank transport; these ids tag
+// request/response traffic between a serving client and the socket listener.
+// The payload encodings live next to their consumers in
+// `mttkrp-serve/src/net/protocol.rs`; the ids are reserved here so the
+// control-id space has one owner.
+
+/// Serve: a client's single-MTTKRP request (`from` carries the client's
+/// request tag, echoed on the reply).
+pub const CTRL_MTTKRP_REQ: u64 = u64::MAX - 6;
+/// Serve: a client's CP-ALS factorization request.
+pub const CTRL_FACTORIZE_REQ: u64 = u64::MAX - 7;
+/// Serve: the reply to a [`CTRL_MTTKRP_REQ`].
+pub const CTRL_MTTKRP_RESP: u64 = u64::MAX - 8;
+/// Serve: the final reply to a [`CTRL_FACTORIZE_REQ`].
+pub const CTRL_FACTORIZE_RESP: u64 = u64::MAX - 9;
+/// Serve: one streamed per-sweep progress update of a factorization.
+pub const CTRL_SWEEP: u64 = u64::MAX - 10;
+/// Serve: a client cancels an in-flight factorization by tag.
+pub const CTRL_CANCEL: u64 = u64::MAX - 11;
+/// Serve: a typed error reply (payload is [`encode_text`] words).
+pub const CTRL_ERROR: u64 = u64::MAX - 12;
+/// Serve: load shed — the server is at its admission cap (or draining);
+/// payload is `[retry_after_ms]`.
+pub const CTRL_RETRY_AFTER: u64 = u64::MAX - 13;
+
 /// One wire message: the exact content of a transport packet.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Frame {
@@ -394,6 +420,49 @@ pub fn decode_chunk(words: &[f64]) -> Result<crate::runtime::OutputChunk, WireEr
     }
 }
 
+// ---------------------------------------------------------------------------
+// Text payloads (typed error frames)
+// ---------------------------------------------------------------------------
+
+/// Packs UTF-8 text into frame payload words: word 0 is the byte length,
+/// the rest carry the raw bytes eight per word (zero-padded tail). Bytes
+/// roundtrip exactly because every word is moved with
+/// `to_le_bytes`/`from_le_bytes` — no float arithmetic touches them.
+pub fn encode_text(text: &str) -> Vec<f64> {
+    let bytes = text.as_bytes();
+    let mut out = Vec::with_capacity(1 + bytes.len().div_ceil(8));
+    out.push(bytes.len() as f64);
+    for chunk in bytes.chunks(8) {
+        let mut word = [0u8; 8];
+        word[..chunk.len()].copy_from_slice(chunk);
+        out.push(f64::from_le_bytes(word));
+    }
+    out
+}
+
+/// Decodes [`encode_text`] output. The length header must agree with the
+/// word count; invalid UTF-8 decodes lossily (text frames are diagnostics,
+/// and a garbled message beats a dropped one).
+pub fn decode_text(words: &[f64]) -> Result<String, WireError> {
+    let Some((&len_word, rest)) = words.split_first() else {
+        return Err(WireError::BadLength(0));
+    };
+    let max_bytes = (8 * MAX_PAYLOAD_WORDS) as f64;
+    if !len_word.is_finite() || len_word.fract() != 0.0 || !(0.0..=max_bytes).contains(&len_word) {
+        return Err(WireError::BadLength(words.len() as u32));
+    }
+    let len = len_word as usize;
+    if rest.len() != len.div_ceil(8) {
+        return Err(WireError::BadLength(words.len() as u32));
+    }
+    let mut bytes = Vec::with_capacity(8 * rest.len());
+    for w in rest {
+        bytes.extend_from_slice(&w.to_le_bytes());
+    }
+    bytes.truncate(len);
+    Ok(String::from_utf8_lossy(&bytes).into_owned())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -500,6 +569,51 @@ mod tests {
         assert_eq!(decode_ledger(&encode_ledger(&phases)).unwrap(), phases);
         assert!(decode_ledger(&[1.0, 2.0]).is_err());
         assert!(decode_ledger(&[9.0, 0.0, 0.0, 0.0, 0.0]).is_err());
+    }
+
+    #[test]
+    fn text_words_roundtrip() {
+        for text in [
+            "",
+            "x",
+            "exactly8",
+            "a typed error message, über-long ⚠",
+            "nine.bytes",
+        ] {
+            assert_eq!(decode_text(&encode_text(text)).unwrap(), text, "{text:?}");
+        }
+        // Header/word-count disagreements are rejected, not trusted.
+        assert!(decode_text(&[]).is_err());
+        assert!(decode_text(&[3.0]).is_err(), "missing byte words");
+        assert!(decode_text(&[9.0, 0.0]).is_err(), "too few byte words");
+        assert!(
+            decode_text(&[1.0, 0.0, 0.0]).is_err(),
+            "too many byte words"
+        );
+        assert!(decode_text(&[-1.0]).is_err());
+        assert!(decode_text(&[0.5, 0.0]).is_err());
+        assert!(decode_text(&[f64::NAN, 0.0]).is_err());
+        // Invalid UTF-8 decodes lossily rather than erroring.
+        let mut words = vec![2.0];
+        words.push(f64::from_le_bytes([0xFF, 0xFE, 0, 0, 0, 0, 0, 0]));
+        assert_eq!(decode_text(&words).unwrap(), "\u{FFFD}\u{FFFD}");
+    }
+
+    #[test]
+    fn serve_ctrl_ids_stay_in_the_reserved_space() {
+        for id in [
+            CTRL_MTTKRP_REQ,
+            CTRL_FACTORIZE_REQ,
+            CTRL_MTTKRP_RESP,
+            CTRL_FACTORIZE_RESP,
+            CTRL_SWEEP,
+            CTRL_CANCEL,
+            CTRL_ERROR,
+            CTRL_RETRY_AFTER,
+        ] {
+            assert!(id >= CTRL_BASE, "{id:#x} escapes the control-id space");
+            assert_ne!(id, CTRL_FIN, "serve ids must not alias FIN semantics");
+        }
     }
 
     #[test]

@@ -62,13 +62,16 @@
 
 #![deny(missing_docs)]
 
+pub mod net;
 pub mod queue;
 pub mod request;
 pub mod server;
 
 pub use mttkrp_exec::{CacheStats, PlanCache, PlanKey, ProblemKey};
+pub use net::{Client, ClientError, NetConfig, NetServer, StreamControl};
 pub use queue::{
-    Batch, BatchKey, BatchQueue, Pending, PendingFactorize, ResponseHandle, Submitter, Work,
+    Batch, BatchKey, BatchQueue, FactorizeHooks, Pending, PendingFactorize, ResponseHandle,
+    Submitter, Work,
 };
 pub use request::{
     FactorizeRequest, FactorizeResponse, MttkrpRequest, MttkrpResponse, RequestTiming,

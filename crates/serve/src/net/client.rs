@@ -1,0 +1,249 @@
+//! A blocking socket client for the network front door.
+//!
+//! One request in flight at a time, framed exactly like the server
+//! expects (see [`protocol`](mod@crate::net::protocol)). The interesting
+//! call is [`Client::factorize_streaming`]: the closure sees every
+//! per-sweep progress frame and can return [`StreamControl::Cancel`] to
+//! stop the run at the next sweep boundary — the server frees its worker
+//! and still sends the (partial) fitted model back.
+
+use crate::net::protocol::{
+    self, FactorizeSpec, ProtocolError, RemoteFactorize, RemoteMttkrp, SweepUpdate,
+};
+use mttkrp_dist::transport::wire::{self, Frame, WireError};
+use mttkrp_tensor::{DenseTensor, Matrix};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// How long a client waits on a read before giving up. Generous: a
+/// factorization sweep on a large tensor can take a while between frames.
+const READ_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// What a streaming factorize closure wants next.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StreamControl {
+    /// Keep sweeping.
+    Continue,
+    /// Send a cancel frame; the run stops at the next sweep boundary and
+    /// the partial model comes back with `cancelled = true`.
+    Cancel,
+}
+
+/// Everything that can go wrong on the client side of the wire.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The socket itself failed (connect, read timeout, reset, ...).
+    Io(std::io::Error),
+    /// A frame failed to decode at the codec layer.
+    Wire(WireError),
+    /// A frame decoded but violated the request/response protocol.
+    Protocol(ProtocolError),
+    /// The server answered with a typed error frame (its message).
+    Server(String),
+    /// The server shed the request; retry after the advised delay.
+    RetryAfter(Duration),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "socket error: {e}"),
+            ClientError::Wire(e) => write!(f, "wire error: {e}"),
+            ClientError::Protocol(e) => write!(f, "protocol error: {e}"),
+            ClientError::Server(msg) => write!(f, "server error: {msg}"),
+            ClientError::RetryAfter(after) => {
+                write!(
+                    f,
+                    "server at capacity: retry after {} ms",
+                    after.as_millis()
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> ClientError {
+        ClientError::Io(e)
+    }
+}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> ClientError {
+        ClientError::Wire(e)
+    }
+}
+
+impl From<ProtocolError> for ClientError {
+    fn from(e: ProtocolError) -> ClientError {
+        ClientError::Protocol(e)
+    }
+}
+
+/// A connected front-door client. One request in flight at a time;
+/// every reply is tag-checked against the request that asked for it.
+/// Dropping the client sends a best-effort FIN so the server's reader
+/// sees an orderly goodbye.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+    next_tag: u32,
+}
+
+impl Client {
+    /// Connects and handshakes. Fails with [`ClientError::RetryAfter`]
+    /// if the server is draining, or [`ClientError::Server`] on a
+    /// protocol-version mismatch.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
+        let mut stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        stream.set_read_timeout(Some(READ_TIMEOUT))?;
+        wire::write_frame(&mut stream, &protocol::encode_hello()).map_err(ClientError::Io)?;
+        let frame = wire::read_frame(&mut stream)?;
+        match frame.comm_id {
+            wire::CTRL_RETRY_AFTER => {
+                let ms = protocol::decode_retry_after(&frame)?;
+                Err(ClientError::RetryAfter(Duration::from_millis(ms)))
+            }
+            wire::CTRL_ERROR => Err(ClientError::Server(protocol::decode_error(&frame)?)),
+            _ => {
+                let version = protocol::decode_hello(&frame)?;
+                if version != protocol::PROTOCOL_VERSION {
+                    return Err(ClientError::Protocol(ProtocolError::Malformed(format!(
+                        "server speaks protocol version {version}, this client speaks {}",
+                        protocol::PROTOCOL_VERSION
+                    ))));
+                }
+                Ok(Client {
+                    stream,
+                    next_tag: 1,
+                })
+            }
+        }
+    }
+
+    /// Overrides the default 60 s read timeout (`None` blocks forever).
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> Result<(), ClientError> {
+        self.stream.set_read_timeout(timeout)?;
+        Ok(())
+    }
+
+    /// One MTTKRP round trip. The returned matrix is bit-identical to an
+    /// in-process [`Server::call`](crate::Server::call) with the same
+    /// operands.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factors` is empty (there is no rank to encode).
+    pub fn mttkrp(
+        &mut self,
+        tensor: &DenseTensor,
+        factors: &[Matrix],
+        mode: usize,
+    ) -> Result<RemoteMttkrp, ClientError> {
+        let tag = self.fresh_tag();
+        let request = protocol::encode_mttkrp_request(tag, tensor, factors, mode);
+        wire::write_frame(&mut self.stream, &request).map_err(ClientError::Io)?;
+        let frame = self.read_reply(tag)?;
+        if frame.comm_id != wire::CTRL_MTTKRP_RESP {
+            return Err(ClientError::Protocol(ProtocolError::Unexpected {
+                expected: "an MTTKRP response frame",
+                got: frame.comm_id,
+            }));
+        }
+        Ok(protocol::decode_mttkrp_response(&frame)?)
+    }
+
+    /// One whole CP-ALS factorization round trip (no streaming: the only
+    /// reply is the final fitted model).
+    pub fn factorize(
+        &mut self,
+        tensor: &DenseTensor,
+        spec: &FactorizeSpec,
+    ) -> Result<RemoteFactorize, ClientError> {
+        self.run_factorize(tensor, spec, false, |_| StreamControl::Continue)
+    }
+
+    /// A streaming factorization: `on_sweep` sees one [`SweepUpdate`] per
+    /// completed ALS sweep, in order, and may return
+    /// [`StreamControl::Cancel`] to stop the run at the next sweep
+    /// boundary. The final reply arrives either way (with
+    /// [`RemoteFactorize::cancelled`] set when the cancel won).
+    pub fn factorize_streaming(
+        &mut self,
+        tensor: &DenseTensor,
+        spec: &FactorizeSpec,
+        on_sweep: impl FnMut(&SweepUpdate) -> StreamControl,
+    ) -> Result<RemoteFactorize, ClientError> {
+        self.run_factorize(tensor, spec, true, on_sweep)
+    }
+
+    fn run_factorize(
+        &mut self,
+        tensor: &DenseTensor,
+        spec: &FactorizeSpec,
+        stream: bool,
+        mut on_sweep: impl FnMut(&SweepUpdate) -> StreamControl,
+    ) -> Result<RemoteFactorize, ClientError> {
+        let tag = self.fresh_tag();
+        let request = protocol::encode_factorize_request(tag, tensor, spec, stream);
+        wire::write_frame(&mut self.stream, &request).map_err(ClientError::Io)?;
+        let mut cancel_sent = false;
+        loop {
+            let frame = self.read_reply(tag)?;
+            match frame.comm_id {
+                wire::CTRL_SWEEP => {
+                    let update = protocol::decode_sweep(&frame)?;
+                    if on_sweep(&update) == StreamControl::Cancel && !cancel_sent {
+                        wire::write_frame(&mut self.stream, &protocol::encode_cancel(tag))
+                            .map_err(ClientError::Io)?;
+                        cancel_sent = true;
+                    }
+                }
+                wire::CTRL_FACTORIZE_RESP => {
+                    return Ok(protocol::decode_factorize_response(&frame)?);
+                }
+                other => {
+                    return Err(ClientError::Protocol(ProtocolError::Unexpected {
+                        expected: "a sweep or factorize response frame",
+                        got: other,
+                    }));
+                }
+            }
+        }
+    }
+
+    /// Reads one reply frame, translating the protocol-wide kinds
+    /// (typed error, retry-after) and rejecting replies tagged for a
+    /// different request.
+    fn read_reply(&mut self, tag: u32) -> Result<Frame, ClientError> {
+        let frame = wire::read_frame(&mut self.stream)?;
+        match frame.comm_id {
+            wire::CTRL_ERROR => Err(ClientError::Server(protocol::decode_error(&frame)?)),
+            wire::CTRL_RETRY_AFTER => {
+                let ms = protocol::decode_retry_after(&frame)?;
+                Err(ClientError::RetryAfter(Duration::from_millis(ms)))
+            }
+            _ if frame.from != tag => Err(ClientError::Protocol(ProtocolError::Malformed(
+                format!("reply tagged {} for request tagged {tag}", frame.from),
+            ))),
+            _ => Ok(frame),
+        }
+    }
+
+    fn fresh_tag(&mut self) -> u32 {
+        let tag = self.next_tag;
+        self.next_tag = self.next_tag.wrapping_add(1).max(1);
+        tag
+    }
+}
+
+impl Drop for Client {
+    /// Best-effort FIN so the server sees an orderly goodbye instead of
+    /// a vanished peer.
+    fn drop(&mut self) {
+        let _ = wire::write_frame(&mut self.stream, &Frame::fin(0));
+    }
+}

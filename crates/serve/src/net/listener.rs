@@ -1,0 +1,512 @@
+//! The socket listener: accepts connections, decodes request frames,
+//! enforces bounded admission, and multiplexes tagged replies back.
+//!
+//! ## Admission / backpressure state machine
+//!
+//! Every decoded request passes through exactly one of three gates:
+//!
+//! ```text
+//!              ┌── draining? ──────────► retry-after frame (shed)
+//! request ──►──┤
+//!              ├── in_flight == cap? ──► retry-after frame (shed)
+//!              │
+//!              └── else ───────────────► permit acquired, submitted
+//!                                        (permit released when the
+//!                                         reply frame is written)
+//! ```
+//!
+//! Nothing queues beyond the cap: the `Server`'s internal queue depth is
+//! bounded by `max_in_flight`, and a client told to retry knows *when*
+//! ([`NetConfig::retry_after_ms`]). Sheds and in-flight occupancy land on
+//! the server's [`MetricsRegistry`] (`serve.net.*`).
+//!
+//! ## Shutdown
+//!
+//! [`NetServer::shutdown`] drains: the draining flag flips (new requests
+//! and new connections shed with retry-after), in-flight requests finish
+//! and their replies are written, then sockets close, handler threads
+//! join, and the inner [`Server`] performs its own graceful drain.
+
+use crate::net::protocol::{self, ProtocolError};
+use crate::queue::FactorizeHooks;
+use crate::server::{counter_add, gauge_add};
+use crate::{Server, ServerConfig, ServerStats};
+use mttkrp_als::CancelFlag;
+use mttkrp_dist::transport::wire::{self, Frame, WireError};
+use mttkrp_exec::MachineSpec;
+use mttkrp_obs::MetricsRegistry;
+use std::collections::HashMap;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+
+/// Metric names the front door writes into the server's registry.
+pub mod metric {
+    /// Connections accepted over the listener's lifetime.
+    pub const CONNECTIONS: &str = "serve.net.connections";
+    /// Currently open connections (gauge).
+    pub const OPEN_CONNECTIONS: &str = "serve.net.open_connections";
+    /// Requests admitted past the in-flight cap.
+    pub const REQUESTS: &str = "serve.net.requests";
+    /// Requests shed with a retry-after frame (cap reached, or draining).
+    pub const SHED: &str = "serve.net.shed";
+    /// Admitted requests not yet answered (gauge; bounded by the cap).
+    pub const IN_FLIGHT: &str = "serve.net.in_flight";
+    /// Malformed or out-of-place frames answered with a typed error.
+    pub const PROTOCOL_ERRORS: &str = "serve.net.protocol_errors";
+    /// Per-sweep progress frames streamed to factorize clients.
+    pub const SWEEPS_STREAMED: &str = "serve.net.sweeps_streamed";
+}
+
+/// How a [`NetServer`] is sized.
+#[derive(Clone, Debug)]
+pub struct NetConfig {
+    /// Address to bind (`"127.0.0.1:0"` picks a free port; see
+    /// [`NetServer::addr`] for what was bound).
+    pub bind: String,
+    /// The inner serving engine's sizing.
+    pub server: ServerConfig,
+    /// Admission cap: at most this many requests in flight at once;
+    /// request `cap + 1` is shed with a retry-after frame.
+    pub max_in_flight: usize,
+    /// The advisory delay, in milliseconds, shed clients are told to wait.
+    pub retry_after_ms: u64,
+}
+
+impl Default for NetConfig {
+    /// Loopback on a free port, the default [`ServerConfig`], 64 requests
+    /// in flight, 50 ms retry hint.
+    fn default() -> NetConfig {
+        NetConfig {
+            bind: "127.0.0.1:0".to_string(),
+            server: ServerConfig::default(),
+            max_in_flight: 64,
+            retry_after_ms: 50,
+        }
+    }
+}
+
+/// Locks without propagating poisoning: the front door never trusts a
+/// peer enough to let one failed thread wedge every other connection.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// The bounded-admission ledger: a counted semaphore whose permits are
+/// released when a reply frame has been handed to the socket, plus a
+/// condvar so shutdown can wait for zero occupancy.
+struct Admission {
+    cap: usize,
+    in_flight: Mutex<usize>,
+    idle: Condvar,
+    metrics: Arc<MetricsRegistry>,
+}
+
+impl Admission {
+    fn try_acquire(self: &Arc<Admission>) -> Option<Permit> {
+        let mut n = lock(&self.in_flight);
+        if *n >= self.cap {
+            return None;
+        }
+        *n += 1;
+        gauge_add(&self.metrics, metric::IN_FLIGHT, 1);
+        Some(Permit {
+            admission: Arc::clone(self),
+        })
+    }
+
+    /// Blocks until no permits are outstanding.
+    fn wait_idle(&self) {
+        let mut n = lock(&self.in_flight);
+        while *n > 0 {
+            n = self
+                .idle
+                .wait(n)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+}
+
+/// One admitted request's slot; dropping it (after the reply is written)
+/// frees the slot and wakes a draining shutdown.
+struct Permit {
+    admission: Arc<Admission>,
+}
+
+impl Drop for Permit {
+    fn drop(&mut self) {
+        let mut n = lock(&self.admission.in_flight);
+        *n -= 1;
+        gauge_add(&self.admission.metrics, metric::IN_FLIGHT, -1);
+        if *n == 0 {
+            self.admission.idle.notify_all();
+        }
+    }
+}
+
+/// State every connection handler shares with the listener.
+struct Shared {
+    admission: Arc<Admission>,
+    draining: AtomicBool,
+    machine: MachineSpec,
+    retry_after_ms: u64,
+    metrics: Arc<MetricsRegistry>,
+    /// Open connections by id, so shutdown can unblock their readers.
+    conns: Mutex<HashMap<u64, TcpStream>>,
+    next_conn_id: AtomicU64,
+    handlers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// A TCP front door over a [`Server`]: accepts many concurrent
+/// connections speaking the [`protocol`](mod@crate::net::protocol) framing,
+/// answers MTTKRP and (optionally streaming) Factorize requests
+/// bit-identically to the in-process API, sheds load beyond
+/// [`NetConfig::max_in_flight`] with retry-after frames, and drains
+/// gracefully on [`NetServer::shutdown`].
+pub struct NetServer {
+    server: Option<Arc<Server>>,
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    acceptor: Option<JoinHandle<()>>,
+    stop_accept: Arc<AtomicBool>,
+}
+
+impl NetServer {
+    /// Binds the listener and starts the inner [`Server`] plus the accept
+    /// thread. Returns an error only if the bind itself fails.
+    pub fn start(config: NetConfig) -> std::io::Result<NetServer> {
+        assert!(
+            config.max_in_flight >= 1,
+            "need at least one in-flight slot"
+        );
+        let listener = TcpListener::bind(&config.bind)?;
+        let addr = listener.local_addr()?;
+        let server = Arc::new(Server::start(config.server.clone()));
+        let metrics = server.metrics_handle();
+        let shared = Arc::new(Shared {
+            admission: Arc::new(Admission {
+                cap: config.max_in_flight,
+                in_flight: Mutex::new(0),
+                idle: Condvar::new(),
+                metrics: Arc::clone(&metrics),
+            }),
+            draining: AtomicBool::new(false),
+            machine: config.server.machine.clone(),
+            retry_after_ms: config.retry_after_ms,
+            metrics,
+            conns: Mutex::new(HashMap::new()),
+            next_conn_id: AtomicU64::new(0),
+            handlers: Mutex::new(Vec::new()),
+        });
+        let stop_accept = Arc::new(AtomicBool::new(false));
+        let acceptor = {
+            let server = Arc::clone(&server);
+            let shared = Arc::clone(&shared);
+            let stop = Arc::clone(&stop_accept);
+            std::thread::spawn(move || run_acceptor(listener, server, shared, stop))
+        };
+        Ok(NetServer {
+            server: Some(server),
+            shared,
+            addr,
+            acceptor: Some(acceptor),
+            stop_accept,
+        })
+    }
+
+    /// The address actually bound (resolves a `:0` port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The inner serving engine (its cache, metrics, and stats are the
+    /// front door's too — `serve.net.*` metrics live in the same
+    /// registry).
+    pub fn server(&self) -> &Server {
+        self.server.as_ref().expect("net server already shut down")
+    }
+
+    /// Point-in-time snapshot of the inner server's accounting.
+    pub fn stats(&self) -> ServerStats {
+        self.server().stats()
+    }
+
+    /// The shared metrics registry (`serve.*` and `serve.net.*`).
+    pub fn metrics(&self) -> &MetricsRegistry {
+        self.server().metrics()
+    }
+
+    /// Graceful drain: new requests and connections shed with
+    /// retry-after, every admitted request is answered and its reply
+    /// written, then sockets close, threads join, and the inner server
+    /// shuts down. Returns the final stats.
+    pub fn shutdown(mut self) -> ServerStats {
+        self.drain();
+        let server = self
+            .server
+            .take()
+            .expect("drain leaves the server in place");
+        let stats = server.stats();
+        // Handlers are joined, so this is the last handle; dropping it
+        // performs the inner server's own graceful drain (a no-op by now).
+        drop(server);
+        stats
+    }
+
+    fn drain(&mut self) {
+        if self.acceptor.is_none() {
+            return;
+        }
+        // 1. Shed everything new; 2. wait for the last reply to be
+        // written; 3. stop accepting (a self-connect unblocks `accept`);
+        // 4. unblock every connection's reader and join the handlers.
+        self.shared.draining.store(true, Ordering::Release);
+        self.shared.admission.wait_idle();
+        self.stop_accept.store(true, Ordering::Release);
+        let _ = TcpStream::connect(self.addr);
+        if let Some(a) = self.acceptor.take() {
+            a.join().expect("acceptor thread panicked");
+        }
+        for (_, conn) in lock(&self.shared.conns).drain() {
+            let _ = conn.shutdown(Shutdown::Both);
+        }
+        let handlers: Vec<JoinHandle<()>> = lock(&self.shared.handlers).drain(..).collect();
+        for h in handlers {
+            h.join().expect("connection handler panicked");
+        }
+    }
+}
+
+impl Drop for NetServer {
+    /// Dropping a running front door performs the same graceful drain as
+    /// [`NetServer::shutdown`].
+    fn drop(&mut self) {
+        self.drain();
+    }
+}
+
+fn run_acceptor(
+    listener: TcpListener,
+    server: Arc<Server>,
+    shared: Arc<Shared>,
+    stop: Arc<AtomicBool>,
+) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if stop.load(Ordering::Acquire) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if stop.load(Ordering::Acquire) {
+            return; // the self-connect (or a last-instant client)
+        }
+        counter_add(&shared.metrics, metric::CONNECTIONS, 1);
+        let id = shared.next_conn_id.fetch_add(1, Ordering::Relaxed);
+        if let Ok(clone) = stream.try_clone() {
+            lock(&shared.conns).insert(id, clone);
+        }
+        let handler = {
+            let server = Arc::clone(&server);
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || handle_connection(id, stream, server, shared))
+        };
+        lock(&shared.handlers).push(handler);
+    }
+}
+
+/// Writes one frame, serialized against the connection's other writers
+/// (streamed sweeps, concurrent replies). Write failures mean the peer is
+/// gone; the reader will notice on its own.
+fn send(writer: &Arc<Mutex<TcpStream>>, frame: &Frame) {
+    let mut w = lock(writer);
+    let _ = wire::write_frame(&mut *w, frame);
+}
+
+/// Sheds or admits one decoded request: a permit, or `None` after a
+/// retry-after frame has been sent.
+fn admit(shared: &Shared, tag: u32, writer: &Arc<Mutex<TcpStream>>) -> Option<Permit> {
+    if !shared.draining.load(Ordering::Acquire) {
+        if let Some(permit) = shared.admission.try_acquire() {
+            counter_add(&shared.metrics, metric::REQUESTS, 1);
+            return Some(permit);
+        }
+    }
+    counter_add(&shared.metrics, metric::SHED, 1);
+    send(
+        writer,
+        &protocol::encode_retry_after(tag, shared.retry_after_ms),
+    );
+    None
+}
+
+/// Answers a malformed payload with a typed error, keeping the connection
+/// (the frame itself was well-formed, so the stream is still in sync).
+fn reject(shared: &Shared, writer: &Arc<Mutex<TcpStream>>, tag: u32, error: &ProtocolError) {
+    counter_add(&shared.metrics, metric::PROTOCOL_ERRORS, 1);
+    send(writer, &protocol::encode_error(tag, &error.to_string()));
+}
+
+fn handle_connection(id: u64, mut reader: TcpStream, server: Arc<Server>, shared: Arc<Shared>) {
+    let mut span = mttkrp_obs::span("net.connection");
+    if span.is_active() {
+        span.record("conn", id);
+    }
+    gauge_add(&shared.metrics, metric::OPEN_CONNECTIONS, 1);
+    let mut requests = 0u64;
+    if let Ok(writer) = reader.try_clone() {
+        let writer = Arc::new(Mutex::new(writer));
+        requests = serve_frames(&mut reader, &writer, &server, &shared);
+    }
+    if span.is_active() {
+        span.record("requests", requests);
+    }
+    gauge_add(&shared.metrics, metric::OPEN_CONNECTIONS, -1);
+    lock(&shared.conns).remove(&id);
+}
+
+/// The connection's read loop: handshake, then requests until the peer
+/// says FIN, vanishes, or desynchronizes the stream. Returns how many
+/// requests were admitted.
+fn serve_frames(
+    reader: &mut TcpStream,
+    writer: &Arc<Mutex<TcpStream>>,
+    server: &Arc<Server>,
+    shared: &Arc<Shared>,
+) -> u64 {
+    // In-flight factorizations by tag, so a cancel frame — or the peer
+    // vanishing — can stop their runs at the next sweep boundary.
+    let inflight: Arc<Mutex<HashMap<u32, CancelFlag>>> = Arc::default();
+    let mut requests = 0u64;
+
+    // Handshake: exactly one hello, answered with ours (or a retry-after
+    // when the server is draining — the client should come back later).
+    match wire::read_frame(reader) {
+        Ok(frame) => match protocol::decode_hello(&frame) {
+            Ok(protocol::PROTOCOL_VERSION) => {
+                if shared.draining.load(Ordering::Acquire) {
+                    counter_add(&shared.metrics, metric::SHED, 1);
+                    send(
+                        writer,
+                        &protocol::encode_retry_after(0, shared.retry_after_ms),
+                    );
+                    return 0;
+                }
+                send(writer, &protocol::encode_hello());
+            }
+            Ok(version) => {
+                reject(
+                    shared,
+                    writer,
+                    frame.from,
+                    &ProtocolError::Malformed(format!(
+                        "unsupported protocol version {version} (this server speaks {})",
+                        protocol::PROTOCOL_VERSION
+                    )),
+                );
+                return 0;
+            }
+            Err(e) => {
+                reject(shared, writer, frame.from, &e);
+                return 0;
+            }
+        },
+        Err(_) => return 0, // never said hello; nothing to answer
+    }
+
+    loop {
+        let frame = match wire::read_frame(reader) {
+            Ok(frame) => frame,
+            Err(WireError::Io(_)) => break, // peer gone (EOF, reset, ...)
+            Err(e) => {
+                // Garbage framing: the stream position can no longer be
+                // trusted. A typed error is the best-effort goodbye.
+                reject(shared, writer, 0, &ProtocolError::Wire(e));
+                break;
+            }
+        };
+        let tag = frame.from;
+        match frame.comm_id {
+            wire::CTRL_FIN => break, // orderly goodbye
+            wire::CTRL_CANCEL => {
+                if let Some(flag) = lock(&inflight).get(&tag) {
+                    flag.cancel();
+                }
+            }
+            wire::CTRL_MTTKRP_REQ => match protocol::decode_mttkrp_request(&frame) {
+                Err(e) => reject(shared, writer, tag, &e),
+                Ok(request) => {
+                    if let Some(permit) = admit(shared, tag, writer) {
+                        requests += 1;
+                        let handle = server.submit(request);
+                        let writer = Arc::clone(writer);
+                        std::thread::spawn(move || {
+                            let response = handle.wait();
+                            send(&writer, &protocol::encode_mttkrp_response(tag, &response));
+                            drop(permit); // reply written: slot free
+                        });
+                    }
+                }
+            },
+            wire::CTRL_FACTORIZE_REQ => {
+                match protocol::decode_factorize_request(&frame, &shared.machine) {
+                    Err(e) => reject(shared, writer, tag, &e),
+                    Ok((request, stream_sweeps)) => {
+                        if let Some(permit) = admit(shared, tag, writer) {
+                            requests += 1;
+                            let mut hooks = FactorizeHooks::default();
+                            lock(&inflight).insert(tag, hooks.cancel.clone());
+                            if stream_sweeps {
+                                let writer = Arc::clone(writer);
+                                let metrics = Arc::clone(&shared.metrics);
+                                hooks.on_sweep = Some(Box::new(move |sweep| {
+                                    counter_add(&metrics, metric::SWEEPS_STREAMED, 1);
+                                    send(&writer, &protocol::encode_sweep(tag, sweep));
+                                }));
+                            }
+                            let handle = server.submit_factorize_streaming(request, hooks);
+                            let writer = Arc::clone(writer);
+                            let inflight = Arc::clone(&inflight);
+                            std::thread::spawn(move || {
+                                let response = handle.wait();
+                                send(
+                                    &writer,
+                                    &protocol::encode_factorize_response(tag, &response.run),
+                                );
+                                lock(&inflight).remove(&tag);
+                                drop(permit); // reply written: slot free
+                            });
+                        }
+                    }
+                }
+            }
+            other => {
+                // HELLO replay, a response kind aimed at the server, an
+                // unknown control id, a poison frame: typed error, then
+                // hang up — the peer does not speak the protocol.
+                reject(
+                    shared,
+                    writer,
+                    tag,
+                    &ProtocolError::Unexpected {
+                        expected: "a request, cancel, or FIN frame",
+                        got: other,
+                    },
+                );
+                break;
+            }
+        }
+    }
+
+    // Reader done (FIN, EOF, reset, or desync): any factorization still
+    // running for this connection has no audience — cancel it so the
+    // worker is freed at its next sweep boundary.
+    for flag in lock(&inflight).values() {
+        flag.cancel();
+    }
+    requests
+}

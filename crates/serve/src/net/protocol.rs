@@ -1,0 +1,612 @@
+//! Payload encodings of the serving protocol: how requests, responses,
+//! streamed sweeps, errors, and retry-after signals map onto
+//! [`mod@mttkrp_dist::transport::wire`] frames.
+//!
+//! ## Frame table
+//!
+//! | frame kind            | `comm_id`             | payload words |
+//! |-----------------------|-----------------------|---------------|
+//! | hello (both ways)     | [`wire::CTRL_HELLO`]  | `[version]` |
+//! | MTTKRP request        | [`wire::CTRL_MTTKRP_REQ`] | `[mode, order, dims.., rank, X.., A0.., A1.., ..]` |
+//! | MTTKRP response       | [`wire::CTRL_MTTKRP_RESP`] | `[rows, cols, cache_hit, batch_size, B..]` |
+//! | Factorize request     | [`wire::CTRL_FACTORIZE_REQ`] | `[order, dims.., rank, max_sweeps, tol, seed, ridge, stream, X..]` |
+//! | streamed sweep        | [`wire::CTRL_SWEEP`]  | `[sweep, fit, delta_fit or NaN]` |
+//! | Factorize response    | [`wire::CTRL_FACTORIZE_RESP`] | `[converged, cancelled, sweeps, fit, rank, order, dims.., λ.., A0.., ..]` |
+//! | cancel                | [`wire::CTRL_CANCEL`] | `[]` |
+//! | typed error           | [`wire::CTRL_ERROR`]  | [`wire::encode_text`] words |
+//! | retry-after           | [`wire::CTRL_RETRY_AFTER`] | `[retry_after_ms]` |
+//!
+//! Every frame's `from` field carries the client-chosen **request tag**
+//! (echoed verbatim on replies), which is what lets one connection keep
+//! several requests in flight and match streamed sweeps to the right run.
+//!
+//! All counts and dimensions travel as exact small integers in `f64`
+//! (word counts here are far below 2^53); tensor and factor data travel
+//! as raw `f64` words, bit-preserved end to end by the codec's
+//! `to_le_bytes`/`from_le_bytes`. Decoders trust nothing: every length is
+//! cross-checked against the actual word count, every integer is
+//! validated as finite, integral, and nonnegative, and malformed payloads come back
+//! as [`ProtocolError`] — never a panic on the server.
+
+use crate::request::{FactorizeRequest, MttkrpRequest, MttkrpResponse};
+use mttkrp_als::{AlsConfig, AlsSweep};
+use mttkrp_dist::transport::wire::{self, Frame, WireError};
+use mttkrp_exec::MachineSpec;
+use mttkrp_tensor::{DenseTensor, KruskalTensor, Matrix, Shape};
+use std::sync::Arc;
+
+/// Version word both sides exchange in their hello frames. Bumped on any
+/// incompatible payload change; a mismatch is a typed error, not a
+/// misparse.
+pub const PROTOCOL_VERSION: u64 = 1;
+
+/// Why a well-framed payload is not a valid protocol message.
+#[derive(Debug, PartialEq)]
+pub enum ProtocolError {
+    /// The frame layer itself rejected the bytes.
+    Wire(WireError),
+    /// The payload does not decode as the kind its `comm_id` claims.
+    Malformed(String),
+    /// A frame kind that is not legal at this point of the exchange.
+    Unexpected {
+        /// What the receiver was prepared to handle.
+        expected: &'static str,
+        /// The offending frame's `comm_id`.
+        got: u64,
+    },
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtocolError::Wire(e) => write!(f, "wire error: {e}"),
+            ProtocolError::Malformed(why) => write!(f, "malformed payload: {why}"),
+            ProtocolError::Unexpected { expected, got } => {
+                write!(f, "unexpected frame kind {got:#x} (expected {expected})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+impl From<WireError> for ProtocolError {
+    fn from(e: WireError) -> ProtocolError {
+        ProtocolError::Wire(e)
+    }
+}
+
+/// A streamed per-sweep progress update, as a client sees it.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SweepUpdate {
+    /// 1-based sweep number.
+    pub sweep: usize,
+    /// Relative fit after this sweep.
+    pub fit: f64,
+    /// Fit change versus the previous sweep (`None` on the first).
+    pub delta_fit: Option<f64>,
+}
+
+/// A served MTTKRP result, as a client sees it. The `output` bits equal
+/// the in-process [`MttkrpResponse`]'s output exactly.
+#[derive(Clone, Debug)]
+pub struct RemoteMttkrp {
+    /// The MTTKRP output matrix `B`.
+    pub output: Matrix,
+    /// Whether the server found the plan in its cache.
+    pub cache_hit: bool,
+    /// How many requests shared the batch this one rode in.
+    pub batch_size: usize,
+}
+
+/// A served factorization result, as a client sees it. Factor and weight
+/// bits equal the in-process
+/// [`FactorizeResponse`](crate::FactorizeResponse)'s model exactly.
+#[derive(Clone, Debug)]
+pub struct RemoteFactorize {
+    /// The fitted CP model (unit-norm factor columns, weights in
+    /// `weights`).
+    pub model: KruskalTensor,
+    /// Whether the fit tolerance was met within the sweep budget.
+    pub converged: bool,
+    /// Whether a cancel (frame or vanished client) ended the run early.
+    pub cancelled: bool,
+    /// Sweeps actually performed.
+    pub sweeps: usize,
+    /// Final relative fit.
+    pub fit: f64,
+}
+
+/// The client-side factorization knobs that travel on the wire. The
+/// machine and backend are deliberately *not* here: where a run executes
+/// is the server's policy (its configured [`MachineSpec`]), exactly as an
+/// MTTKRP request without an override is planned for the server's default
+/// machine.
+#[derive(Clone, Copy, Debug)]
+pub struct FactorizeSpec {
+    /// CP rank `R`.
+    pub rank: usize,
+    /// Sweep budget.
+    pub max_sweeps: usize,
+    /// Fit-delta stopping tolerance.
+    pub tol: f64,
+    /// Seed of the deterministic initial factors.
+    pub seed: u64,
+    /// Ridge safeguard for rank-deficient sweeps.
+    pub ridge: f64,
+}
+
+impl FactorizeSpec {
+    /// The on-wire spec of an [`AlsConfig`] (drops machine and backend —
+    /// server policy).
+    pub fn of(config: &AlsConfig) -> FactorizeSpec {
+        FactorizeSpec {
+            rank: config.rank,
+            max_sweeps: config.max_sweeps,
+            tol: config.tol,
+            seed: config.seed,
+            ridge: config.ridge,
+        }
+    }
+
+    /// Materializes the spec into an [`AlsConfig`] planned for `machine`
+    /// (the server's default) with the `Auto` backend.
+    pub fn into_config(self, machine: &MachineSpec) -> AlsConfig {
+        let mut config = AlsConfig::new(self.rank)
+            .with_sweeps(self.max_sweeps)
+            .with_tol(self.tol)
+            .with_seed(self.seed)
+            .with_machine(machine.clone());
+        config.ridge = self.ridge;
+        config
+    }
+}
+
+/// Reads one payload word at a time with honest out-of-bounds errors — no
+/// index arithmetic a malformed length can knock off the rails.
+struct Cursor<'a> {
+    words: &'a [f64],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(words: &'a [f64]) -> Cursor<'a> {
+        Cursor { words, at: 0 }
+    }
+
+    fn take(&mut self, what: &str) -> Result<f64, ProtocolError> {
+        let w = self
+            .words
+            .get(self.at)
+            .copied()
+            .ok_or_else(|| ProtocolError::Malformed(format!("payload ends before {what}")))?;
+        self.at += 1;
+        Ok(w)
+    }
+
+    /// A small nonnegative integer (`<= 2^53`, exactly representable).
+    fn take_int(&mut self, what: &str) -> Result<u64, ProtocolError> {
+        let w = self.take(what)?;
+        if !w.is_finite() || w < 0.0 || w.fract() != 0.0 || w > (1u64 << 53) as f64 {
+            return Err(ProtocolError::Malformed(format!(
+                "{what} is not a small nonnegative integer: {w}"
+            )));
+        }
+        Ok(w as u64)
+    }
+
+    fn take_usize(&mut self, what: &str) -> Result<usize, ProtocolError> {
+        Ok(self.take_int(what)? as usize)
+    }
+
+    fn take_finite(&mut self, what: &str) -> Result<f64, ProtocolError> {
+        let w = self.take(what)?;
+        if !w.is_finite() {
+            return Err(ProtocolError::Malformed(format!(
+                "{what} is not finite: {w}"
+            )));
+        }
+        Ok(w)
+    }
+
+    fn take_bool(&mut self, what: &str) -> Result<bool, ProtocolError> {
+        match self.take_int(what)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(ProtocolError::Malformed(format!(
+                "{what} is not a 0/1 flag: {other}"
+            ))),
+        }
+    }
+
+    fn take_slice(&mut self, n: usize, what: &str) -> Result<&'a [f64], ProtocolError> {
+        let end = self.at.checked_add(n).filter(|&e| e <= self.words.len());
+        let Some(end) = end else {
+            return Err(ProtocolError::Malformed(format!(
+                "payload too short for {what}: need {n} more words, have {}",
+                self.words.len() - self.at
+            )));
+        };
+        let s = &self.words[self.at..end];
+        self.at = end;
+        Ok(s)
+    }
+
+    fn finish(self, kind: &str) -> Result<(), ProtocolError> {
+        if self.at == self.words.len() {
+            Ok(())
+        } else {
+            Err(ProtocolError::Malformed(format!(
+                "{kind} payload has {} trailing word(s)",
+                self.words.len() - self.at
+            )))
+        }
+    }
+}
+
+/// Decodes `[order, dims...]` and cross-checks the element count the dims
+/// imply against what could possibly remain in the payload.
+fn take_dims(c: &mut Cursor<'_>) -> Result<(Vec<usize>, usize), ProtocolError> {
+    let order = c.take_usize("order")?;
+    if !(2..=16).contains(&order) {
+        return Err(ProtocolError::Malformed(format!(
+            "tensor order {order} outside the supported 2..=16"
+        )));
+    }
+    let mut dims = Vec::with_capacity(order);
+    let mut elements = 1usize;
+    for k in 0..order {
+        let d = c.take_usize("dimension")?;
+        if d == 0 {
+            return Err(ProtocolError::Malformed(format!("dimension {k} is zero")));
+        }
+        elements = elements
+            .checked_mul(d)
+            .filter(|&e| e <= wire::MAX_PAYLOAD_WORDS)
+            .ok_or_else(|| {
+                ProtocolError::Malformed("tensor element count exceeds the wire limit".into())
+            })?;
+        dims.push(d);
+    }
+    Ok((dims, elements))
+}
+
+// ---------------------------------------------------------------------------
+// Hello / cancel / error / retry-after
+// ---------------------------------------------------------------------------
+
+/// The hello either side opens with: `[PROTOCOL_VERSION]`.
+pub fn encode_hello() -> Frame {
+    Frame::data(0, wire::CTRL_HELLO, vec![PROTOCOL_VERSION as f64])
+}
+
+/// Decodes a hello; returns the peer's protocol version.
+pub fn decode_hello(frame: &Frame) -> Result<u64, ProtocolError> {
+    expect_kind(frame, wire::CTRL_HELLO, "hello")?;
+    let mut c = Cursor::new(&frame.payload);
+    let version = c.take_int("protocol version")?;
+    c.finish("hello")?;
+    Ok(version)
+}
+
+/// A cancel for the in-flight request tagged `tag`.
+pub fn encode_cancel(tag: u32) -> Frame {
+    Frame::data(tag as usize, wire::CTRL_CANCEL, Vec::new())
+}
+
+/// A typed error reply for `tag`.
+pub fn encode_error(tag: u32, message: &str) -> Frame {
+    Frame::data(tag as usize, wire::CTRL_ERROR, wire::encode_text(message))
+}
+
+/// Decodes a typed error's message.
+pub fn decode_error(frame: &Frame) -> Result<String, ProtocolError> {
+    expect_kind(frame, wire::CTRL_ERROR, "error")?;
+    Ok(wire::decode_text(&frame.payload)?)
+}
+
+/// A load-shed reply for `tag`: try again in `retry_after_ms`.
+pub fn encode_retry_after(tag: u32, retry_after_ms: u64) -> Frame {
+    Frame::data(
+        tag as usize,
+        wire::CTRL_RETRY_AFTER,
+        vec![retry_after_ms as f64],
+    )
+}
+
+/// Decodes a retry-after's advisory delay, in milliseconds.
+pub fn decode_retry_after(frame: &Frame) -> Result<u64, ProtocolError> {
+    expect_kind(frame, wire::CTRL_RETRY_AFTER, "retry-after")?;
+    let mut c = Cursor::new(&frame.payload);
+    let ms = c.take_int("retry_after_ms")?;
+    c.finish("retry-after")?;
+    Ok(ms)
+}
+
+fn expect_kind(frame: &Frame, kind: u64, name: &'static str) -> Result<(), ProtocolError> {
+    if frame.comm_id == kind && !frame.poison {
+        Ok(())
+    } else {
+        Err(ProtocolError::Unexpected {
+            expected: name,
+            got: frame.comm_id,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// MTTKRP request / response
+// ---------------------------------------------------------------------------
+
+/// Encodes an MTTKRP request:
+/// `[mode, order, dims.., rank, X (row-major).., factors (row-major, per mode)..]`.
+pub fn encode_mttkrp_request(
+    tag: u32,
+    tensor: &DenseTensor,
+    factors: &[Matrix],
+    mode: usize,
+) -> Frame {
+    let rank = factors[0].cols();
+    let mut p = Vec::with_capacity(
+        3 + tensor.order()
+            + tensor.data().len()
+            + factors.iter().map(|f| f.data().len()).sum::<usize>(),
+    );
+    p.push(mode as f64);
+    p.push(tensor.order() as f64);
+    p.extend(tensor.shape().dims().iter().map(|&d| d as f64));
+    p.push(rank as f64);
+    p.extend_from_slice(tensor.data());
+    for f in factors {
+        p.extend_from_slice(f.data());
+    }
+    Frame::data(tag as usize, wire::CTRL_MTTKRP_REQ, p)
+}
+
+/// Decodes an MTTKRP request into the server's request type. Structural
+/// validation (dims/rank/mode consistency, exact payload length) happens
+/// here, so construction cannot panic a server thread.
+pub fn decode_mttkrp_request(frame: &Frame) -> Result<MttkrpRequest, ProtocolError> {
+    expect_kind(frame, wire::CTRL_MTTKRP_REQ, "mttkrp request")?;
+    let mut c = Cursor::new(&frame.payload);
+    let mode = c.take_usize("mode")?;
+    let (dims, elements) = take_dims(&mut c)?;
+    let rank = c.take_usize("rank")?;
+    if rank == 0 {
+        return Err(ProtocolError::Malformed("rank is zero".into()));
+    }
+    if mode >= dims.len() {
+        return Err(ProtocolError::Malformed(format!(
+            "mode {mode} out of range for a {}-mode tensor",
+            dims.len()
+        )));
+    }
+    if dims.iter().any(|&d| d.checked_mul(rank).is_none()) {
+        return Err(ProtocolError::Malformed("factor size overflows".into()));
+    }
+    let x = c.take_slice(elements, "tensor data")?.to_vec();
+    let mut factors = Vec::with_capacity(dims.len());
+    for &d in &dims {
+        let data = c.take_slice(d * rank, "factor data")?.to_vec();
+        factors.push(Matrix::from_rows_vec(d, rank, data));
+    }
+    c.finish("mttkrp request")?;
+    let tensor = DenseTensor::from_vec(Shape::new(&dims), x);
+    Ok(MttkrpRequest::new(
+        Arc::new(tensor),
+        Arc::new(factors),
+        mode,
+    ))
+}
+
+/// Encodes an MTTKRP response: `[rows, cols, cache_hit, batch_size, B..]`.
+pub fn encode_mttkrp_response(tag: u32, response: &MttkrpResponse) -> Frame {
+    let b = &response.report.output;
+    let mut p = Vec::with_capacity(4 + b.data().len());
+    p.push(b.rows() as f64);
+    p.push(b.cols() as f64);
+    p.push(response.cache_hit as u8 as f64);
+    p.push(response.batch_size as f64);
+    p.extend_from_slice(b.data());
+    Frame::data(tag as usize, wire::CTRL_MTTKRP_RESP, p)
+}
+
+/// Decodes an MTTKRP response.
+pub fn decode_mttkrp_response(frame: &Frame) -> Result<RemoteMttkrp, ProtocolError> {
+    expect_kind(frame, wire::CTRL_MTTKRP_RESP, "mttkrp response")?;
+    let mut c = Cursor::new(&frame.payload);
+    let rows = c.take_usize("rows")?;
+    let cols = c.take_usize("cols")?;
+    let cache_hit = c.take_bool("cache_hit")?;
+    let batch_size = c.take_usize("batch_size")?;
+    let n = rows
+        .checked_mul(cols)
+        .filter(|&n| n <= wire::MAX_PAYLOAD_WORDS)
+        .ok_or_else(|| ProtocolError::Malformed("output size overflows".into()))?;
+    let data = c.take_slice(n, "output data")?.to_vec();
+    c.finish("mttkrp response")?;
+    Ok(RemoteMttkrp {
+        output: Matrix::from_rows_vec(rows, cols, data),
+        cache_hit,
+        batch_size,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Factorize request / sweep / response
+// ---------------------------------------------------------------------------
+
+/// Encodes a factorization request:
+/// `[order, dims.., rank, max_sweeps, tol, seed, ridge, stream, X..]`.
+/// `stream` asks the server to send one [`SweepUpdate`] frame per sweep.
+pub fn encode_factorize_request(
+    tag: u32,
+    tensor: &DenseTensor,
+    spec: &FactorizeSpec,
+    stream: bool,
+) -> Frame {
+    let mut p = Vec::with_capacity(7 + tensor.order() + tensor.data().len());
+    p.push(tensor.order() as f64);
+    p.extend(tensor.shape().dims().iter().map(|&d| d as f64));
+    p.push(spec.rank as f64);
+    p.push(spec.max_sweeps as f64);
+    p.push(spec.tol);
+    p.push(spec.seed as f64);
+    p.push(spec.ridge);
+    p.push(stream as u8 as f64);
+    p.extend_from_slice(tensor.data());
+    Frame::data(tag as usize, wire::CTRL_FACTORIZE_REQ, p)
+}
+
+/// Decodes a factorization request against the server's default
+/// `machine`. Returns the request plus whether the client asked for
+/// streamed sweeps. Every input the engine would panic on (zero/non-finite
+/// tensor, zero rank or sweeps) is rejected here as a typed error instead.
+pub fn decode_factorize_request(
+    frame: &Frame,
+    machine: &MachineSpec,
+) -> Result<(FactorizeRequest, bool), ProtocolError> {
+    expect_kind(frame, wire::CTRL_FACTORIZE_REQ, "factorize request")?;
+    let mut c = Cursor::new(&frame.payload);
+    let (dims, elements) = take_dims(&mut c)?;
+    let rank = c.take_usize("rank")?;
+    let max_sweeps = c.take_usize("max_sweeps")?;
+    let tol = c.take_finite("tol")?;
+    let seed = c.take_int("seed")?;
+    let ridge = c.take_finite("ridge")?;
+    let stream = c.take_bool("stream flag")?;
+    if rank == 0 {
+        return Err(ProtocolError::Malformed("rank is zero".into()));
+    }
+    if max_sweeps == 0 {
+        return Err(ProtocolError::Malformed("max_sweeps is zero".into()));
+    }
+    if tol < 0.0 || ridge < 0.0 {
+        return Err(ProtocolError::Malformed(
+            "tol/ridge must be nonnegative".into(),
+        ));
+    }
+    // The fitted model (rank columns per mode, plus weights) must itself
+    // fit in one reply frame — and this bound is what keeps a hostile
+    // `rank` from making the server allocate unbounded factor matrices.
+    let response_words = rank
+        .checked_mul(dims.iter().sum::<usize>() + 1)
+        .and_then(|n| n.checked_add(6 + dims.len()))
+        .filter(|&n| n <= wire::MAX_PAYLOAD_WORDS);
+    if response_words.is_none() {
+        return Err(ProtocolError::Malformed(
+            "fitted model would exceed the wire frame limit".into(),
+        ));
+    }
+    let x = c.take_slice(elements, "tensor data")?.to_vec();
+    c.finish("factorize request")?;
+    let norm_sq: f64 = x.iter().map(|&v| v * v).sum();
+    if !norm_sq.is_finite() {
+        return Err(ProtocolError::Malformed(
+            "tensor has non-finite values (or a norm overflow)".into(),
+        ));
+    }
+    if norm_sq == 0.0 {
+        return Err(ProtocolError::Malformed(
+            "cannot fit a CP model to the zero tensor".into(),
+        ));
+    }
+    let spec = FactorizeSpec {
+        rank,
+        max_sweeps,
+        tol,
+        seed,
+        ridge,
+    };
+    let tensor = DenseTensor::from_vec(Shape::new(&dims), x);
+    let request = FactorizeRequest::new(Arc::new(tensor), spec.into_config(machine));
+    Ok((request, stream))
+}
+
+/// Encodes one streamed sweep: `[sweep, fit, delta_fit or NaN]`. `NaN`
+/// marks the first sweep's missing delta and survives the wire exactly
+/// (bit-preserved, never compared).
+pub fn encode_sweep(tag: u32, sweep: &AlsSweep) -> Frame {
+    Frame::data(
+        tag as usize,
+        wire::CTRL_SWEEP,
+        vec![
+            sweep.sweep as f64,
+            sweep.fit,
+            sweep.delta_fit.unwrap_or(f64::NAN),
+        ],
+    )
+}
+
+/// Decodes a streamed sweep.
+pub fn decode_sweep(frame: &Frame) -> Result<SweepUpdate, ProtocolError> {
+    expect_kind(frame, wire::CTRL_SWEEP, "sweep")?;
+    let mut c = Cursor::new(&frame.payload);
+    let sweep = c.take_usize("sweep number")?;
+    let fit = c.take("fit")?;
+    let delta = c.take("delta_fit")?;
+    c.finish("sweep")?;
+    Ok(SweepUpdate {
+        sweep,
+        fit,
+        delta_fit: (!delta.is_nan()).then_some(delta),
+    })
+}
+
+/// Encodes the final factorization reply:
+/// `[converged, cancelled, sweeps, fit, rank, order, dims.., weights..,
+/// factors (row-major, per mode)..]`.
+pub fn encode_factorize_response(tag: u32, run: &mttkrp_als::AlsRun) -> Frame {
+    let model = &run.model;
+    let dims = model.shape().dims().to_vec();
+    let rank = model.weights.len();
+    let mut p = Vec::with_capacity(
+        6 + dims.len() + rank + model.factors.iter().map(|f| f.data().len()).sum::<usize>(),
+    );
+    p.push(run.converged as u8 as f64);
+    p.push(run.cancelled as u8 as f64);
+    p.push(run.sweeps() as f64);
+    p.push(run.fit());
+    p.push(rank as f64);
+    p.push(dims.len() as f64);
+    p.extend(dims.iter().map(|&d| d as f64));
+    p.extend_from_slice(&model.weights);
+    for f in &model.factors {
+        p.extend_from_slice(f.data());
+    }
+    Frame::data(tag as usize, wire::CTRL_FACTORIZE_RESP, p)
+}
+
+/// Decodes the final factorization reply.
+pub fn decode_factorize_response(frame: &Frame) -> Result<RemoteFactorize, ProtocolError> {
+    expect_kind(frame, wire::CTRL_FACTORIZE_RESP, "factorize response")?;
+    let mut c = Cursor::new(&frame.payload);
+    let converged = c.take_bool("converged")?;
+    let cancelled = c.take_bool("cancelled")?;
+    let sweeps = c.take_usize("sweeps")?;
+    let fit = c.take("fit")?;
+    let rank = c.take_usize("rank")?;
+    if rank == 0 {
+        return Err(ProtocolError::Malformed("rank is zero".into()));
+    }
+    let (dims, _) = take_dims(&mut c)?;
+    if dims.iter().any(|&d| d.checked_mul(rank).is_none()) {
+        return Err(ProtocolError::Malformed("factor size overflows".into()));
+    }
+    let weights = c.take_slice(rank, "weights")?.to_vec();
+    let mut factors = Vec::with_capacity(dims.len());
+    for &d in &dims {
+        let data = c.take_slice(d * rank, "factor data")?.to_vec();
+        factors.push(Matrix::from_rows_vec(d, rank, data));
+    }
+    c.finish("factorize response")?;
+    let mut model = KruskalTensor::from_factors(factors);
+    model.weights = weights;
+    Ok(RemoteFactorize {
+        model,
+        converged,
+        cancelled,
+        sweeps,
+        fit,
+    })
+}

@@ -4,8 +4,36 @@
 
 use crate::request::{FactorizeRequest, FactorizeResponse, MttkrpRequest, MttkrpResponse};
 use crossbeam::channel::{unbounded, Receiver, Sender};
+use mttkrp_als::{AlsSweep, CancelFlag};
 use mttkrp_exec::{MachineSpec, ProblemKey};
 use std::time::Instant;
+
+/// A boxed per-sweep callback, invoked on the worker thread.
+pub type SweepCallback = Box<dyn FnMut(&AlsSweep) + Send>;
+
+/// Streaming hooks riding a queued factorization: an optional per-sweep
+/// callback (invoked on the worker thread as each
+/// [`AlsSweep`] completes) and a [`CancelFlag`]
+/// the submitter keeps a clone of. This is how `mttkrp-serve`'s network
+/// front door streams fit deltas to a socket client and frees the worker
+/// when the client cancels or vanishes — entirely without the worker pool
+/// knowing about sockets.
+#[derive(Default)]
+pub struct FactorizeHooks {
+    /// Called after every completed sweep, final sweep included.
+    pub on_sweep: Option<SweepCallback>,
+    /// Fired to stop the run at the next sweep boundary.
+    pub cancel: CancelFlag,
+}
+
+impl std::fmt::Debug for FactorizeHooks {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FactorizeHooks")
+            .field("on_sweep", &self.on_sweep.as_ref().map(|_| "FnMut"))
+            .field("cancelled", &self.cancel.is_cancelled())
+            .finish()
+    }
+}
 
 /// What makes two MTTKRP requests batchable: the same planning problem
 /// (shape, rank, mode) on the same machine. One batch shares one plan.
@@ -35,6 +63,8 @@ pub struct PendingFactorize {
     /// The request as submitted; its [`AlsConfig`](mttkrp_als::AlsConfig)
     /// names the machine and backend the factorization runs on.
     pub request: FactorizeRequest,
+    /// Streaming hooks (no-ops for plain `submit_factorize` calls).
+    pub hooks: FactorizeHooks,
     pub(crate) reply: Sender<FactorizeResponse>,
     pub(crate) submitted: Instant,
 }
@@ -118,9 +148,22 @@ impl Submitter {
         &self,
         request: FactorizeRequest,
     ) -> Option<ResponseHandle<FactorizeResponse>> {
+        self.submit_factorize_with_hooks(request, FactorizeHooks::default())
+    }
+
+    /// [`Submitter::submit_factorize`] with streaming hooks attached: the
+    /// per-sweep callback runs on the worker thread as the run progresses,
+    /// and firing (a clone of) `hooks.cancel` stops the run at the next
+    /// sweep boundary. Returns `None` if the queue has been torn down.
+    pub fn submit_factorize_with_hooks(
+        &self,
+        request: FactorizeRequest,
+        hooks: FactorizeHooks,
+    ) -> Option<ResponseHandle<FactorizeResponse>> {
         let (reply, rx) = unbounded();
         let pending = PendingFactorize {
             request,
+            hooks,
             reply,
             submitted: Instant::now(),
         };

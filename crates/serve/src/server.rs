@@ -1,7 +1,9 @@
 //! The serving engine: a batcher thread, a worker pool, a shared plan
 //! cache, and a stats ledger.
 
-use crate::queue::{BatchQueue, Pending, PendingFactorize, ResponseHandle, Submitter, Work};
+use crate::queue::{
+    BatchQueue, FactorizeHooks, Pending, PendingFactorize, ResponseHandle, Submitter, Work,
+};
 use crate::request::{
     FactorizeRequest, FactorizeResponse, MttkrpRequest, MttkrpResponse, RequestTiming,
 };
@@ -48,6 +50,7 @@ mod metric {
     pub const REQUESTS_SERVED: &str = "serve.requests_served";
     pub const FACTORIZATIONS_SUBMITTED: &str = "serve.factorizations_submitted";
     pub const FACTORIZATIONS_SERVED: &str = "serve.factorizations_served";
+    pub const FACTORIZATIONS_CANCELLED: &str = "serve.factorizations_cancelled";
     pub const BATCHES: &str = "serve.batches";
     pub const LARGEST_BATCH: &str = "serve.largest_batch";
     pub const QUEUE_DEPTH: &str = "serve.queue_depth";
@@ -59,19 +62,19 @@ mod metric {
 
 /// Bumps a counter in the server's registry and mirrors it into the active
 /// trace capture, if one is on.
-fn counter_add(metrics: &MetricsRegistry, name: &str, v: u64) {
+pub(crate) fn counter_add(metrics: &MetricsRegistry, name: &str, v: u64) {
     metrics.counter_add(name, v);
     mttkrp_obs::counter_add(name, v);
 }
 
 /// Moves a gauge in the server's registry and the active capture.
-fn gauge_add(metrics: &MetricsRegistry, name: &str, delta: i64) {
+pub(crate) fn gauge_add(metrics: &MetricsRegistry, name: &str, delta: i64) {
     metrics.gauge_add(name, delta);
     mttkrp_obs::gauge_add(name, delta);
 }
 
 /// Records into a histogram in the server's registry and the active capture.
-fn histogram_record(metrics: &MetricsRegistry, name: &str, v: u64) {
+pub(crate) fn histogram_record(metrics: &MetricsRegistry, name: &str, v: u64) {
     metrics.histogram_record(name, v);
     mttkrp_obs::histogram_record(name, v);
 }
@@ -281,6 +284,30 @@ impl Server {
         self.submit_factorize(request).wait()
     }
 
+    /// [`Server::submit_factorize`] with streaming hooks: `hooks.on_sweep`
+    /// fires on the worker thread after every completed [`AlsSweep`]
+    /// (final sweep included), and firing a clone of `hooks.cancel` stops
+    /// the run at the next sweep boundary, freeing the worker. The
+    /// response still arrives on the returned handle either way, with
+    /// [`AlsRun::cancelled`](mttkrp_als::AlsRun::cancelled) set when the
+    /// cancel won. This is the in-process seam under the network front
+    /// door's streaming `Factorize` ([`crate::net`]).
+    ///
+    /// [`AlsSweep`]: mttkrp_als::AlsSweep
+    pub fn submit_factorize_streaming(
+        &self,
+        request: FactorizeRequest,
+        hooks: FactorizeHooks,
+    ) -> ResponseHandle<FactorizeResponse> {
+        counter_add(&self.metrics, metric::FACTORIZATIONS_SUBMITTED, 1);
+        gauge_add(&self.metrics, metric::QUEUE_DEPTH, 1);
+        self.submitter
+            .as_ref()
+            .expect("server already shut down")
+            .submit_factorize_with_hooks(request, hooks)
+            .expect("serving threads are alive while the server exists")
+    }
+
     /// The shared plan cache (e.g. to warm it up before a burst).
     pub fn cache(&self) -> &PlanCache {
         &self.cache
@@ -290,6 +317,12 @@ impl Server {
     /// the serving pipeline writes, by name (`serve.*`).
     pub fn metrics(&self) -> &MetricsRegistry {
         &self.metrics
+    }
+
+    /// An owning handle on the registry, for threads that outlive a
+    /// borrow of the server (the net module's admission permits).
+    pub(crate) fn metrics_handle(&self) -> Arc<MetricsRegistry> {
+        Arc::clone(&self.metrics)
     }
 
     /// Point-in-time snapshot of the server's accounting — a thin view
@@ -461,11 +494,30 @@ fn run_factorization(pending: PendingFactorize, cache: &PlanCache, metrics: &Met
         span.record("kind", "factorize");
         span.record("queued_us", queued.as_micros() as u64);
     }
+    let FactorizeHooks {
+        mut on_sweep,
+        cancel,
+    } = pending.hooks;
     let start = Instant::now();
-    let run =
-        mttkrp_als::cp_als_with_cache(&pending.request.tensor, &pending.request.config, cache);
+    let run = mttkrp_als::cp_als_with_hooks(
+        &pending.request.tensor,
+        &pending.request.config,
+        cache,
+        &mut |sweep| {
+            if let Some(cb) = on_sweep.as_mut() {
+                cb(sweep)
+            }
+        },
+        &cancel,
+    );
     let exec = start.elapsed();
+    if span.is_active() {
+        span.record("cancelled", run.cancelled);
+    }
     drop(span);
+    if run.cancelled {
+        counter_add(metrics, metric::FACTORIZATIONS_CANCELLED, 1);
+    }
     counter_add(metrics, metric::FACTORIZATIONS_SERVED, 1);
     gauge_add(metrics, metric::QUEUE_DEPTH, -1);
     histogram_record(

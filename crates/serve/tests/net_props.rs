@@ -1,0 +1,446 @@
+//! Protocol fuzz/property tests for the network front door.
+//!
+//! Two layers:
+//!
+//! 1. **Roundtrips.** Every payload encoding (`protocol::encode_* /
+//!    decode_*`) survives encode→decode with bit-exact floats, across
+//!    randomized shapes, ranks, specs, and text.
+//! 2. **Adversarial streams.** A live [`NetServer`] fed truncated frames,
+//!    oversized length prefixes, garbage bytes, hello replays, requests
+//!    before hello, unknown frame kinds, and mid-request disconnects must
+//!    answer with a typed error or drop the connection — never panic, and
+//!    never wedge: the server still serves a fresh client and shuts down
+//!    cleanly afterwards.
+
+use mttkrp_als::{AlsConfig, AlsSweep};
+use mttkrp_dist::transport::wire::{self, Frame};
+use mttkrp_exec::MachineSpec;
+use mttkrp_serve::net::protocol::{self, FactorizeSpec, ProtocolError};
+use mttkrp_serve::{NetConfig, NetServer, ServerConfig};
+use mttkrp_tensor::{DenseTensor, Matrix, Shape};
+use proptest::prelude::*;
+use std::io::Write;
+use std::net::TcpStream;
+use std::time::Duration;
+
+fn machine() -> MachineSpec {
+    MachineSpec::shared(1, 1 << 12)
+}
+
+fn operands(dims: &[usize], rank: usize, seed: u64) -> (DenseTensor, Vec<Matrix>) {
+    let x = DenseTensor::random(Shape::new(dims), seed);
+    let factors = dims
+        .iter()
+        .enumerate()
+        .map(|(k, &d)| Matrix::random(d, rank, seed.wrapping_add(k as u64 + 1)))
+        .collect();
+    (x, factors)
+}
+
+fn bits(a: &[f64]) -> Vec<u64> {
+    a.iter().map(|w| w.to_bits()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn mttkrp_request_roundtrips_bit_exactly(
+        dims in prop::collection::vec(2usize..6, 2..=4),
+        rank in 1usize..5,
+        seed in 0u64..1000,
+        tag in 1u32..10_000,
+    ) {
+        let (x, factors) = operands(&dims, rank, seed);
+        for mode in 0..dims.len() {
+            let frame = protocol::encode_mttkrp_request(tag, &x, &factors, mode);
+            prop_assert_eq!(frame.from, tag);
+            let req = protocol::decode_mttkrp_request(&frame).unwrap();
+            prop_assert_eq!(req.mode, mode);
+            prop_assert_eq!(req.tensor.shape().dims(), &dims[..]);
+            prop_assert_eq!(bits(req.tensor.data()), bits(x.data()));
+            prop_assert_eq!(req.factors.len(), factors.len());
+            for (got, want) in req.factors.iter().zip(&factors) {
+                prop_assert_eq!(got.rows(), want.rows());
+                prop_assert_eq!(got.cols(), want.cols());
+                prop_assert_eq!(bits(got.data()), bits(want.data()));
+            }
+        }
+    }
+
+    #[test]
+    fn factorize_request_roundtrips_bit_exactly(
+        dims in prop::collection::vec(2usize..6, 2..=4),
+        rank in 1usize..5,
+        max_sweeps in 1usize..100,
+        tol_exp in 1i32..12,
+        seed in 0u64..1000,
+        stream in any::<bool>(),
+        tag in 1u32..10_000,
+    ) {
+        let x = DenseTensor::random(Shape::new(&dims), seed);
+        let spec = FactorizeSpec {
+            rank,
+            max_sweeps,
+            tol: 10f64.powi(-tol_exp),
+            seed,
+            ridge: 1e-9,
+        };
+        let frame = protocol::encode_factorize_request(tag, &x, &spec, stream);
+        let (req, got_stream) = protocol::decode_factorize_request(&frame, &machine()).unwrap();
+        prop_assert_eq!(got_stream, stream);
+        prop_assert_eq!(req.tensor.shape().dims(), &dims[..]);
+        prop_assert_eq!(bits(req.tensor.data()), bits(x.data()));
+        prop_assert_eq!(req.config.rank, rank);
+        prop_assert_eq!(req.config.max_sweeps, max_sweeps);
+        prop_assert_eq!(req.config.tol.to_bits(), spec.tol.to_bits());
+        prop_assert_eq!(req.config.seed, seed);
+        prop_assert_eq!(req.config.ridge.to_bits(), spec.ridge.to_bits());
+    }
+
+    #[test]
+    fn factorize_response_roundtrips_bit_exactly(
+        dims in prop::collection::vec(2usize..6, 3..=3),
+        rank in 1usize..4,
+        seed in 0u64..100,
+        tag in 1u32..10_000,
+    ) {
+        // A real (tiny) run, so the encoded model is a genuine AlsRun.
+        let x = DenseTensor::random(Shape::new(&dims), seed);
+        let config = AlsConfig::new(rank).with_sweeps(3).with_machine(machine());
+        let run = mttkrp_als::cp_als(&x, &config);
+        let frame = protocol::encode_factorize_response(tag, &run);
+        let remote = protocol::decode_factorize_response(&frame).unwrap();
+        prop_assert_eq!(remote.converged, run.converged);
+        prop_assert_eq!(remote.cancelled, run.cancelled);
+        prop_assert_eq!(remote.sweeps, run.sweeps());
+        prop_assert_eq!(remote.fit.to_bits(), run.fit().to_bits());
+        prop_assert_eq!(bits(&remote.model.weights), bits(&run.model.weights));
+        for (got, want) in remote.model.factors.iter().zip(&run.model.factors) {
+            prop_assert_eq!(bits(got.data()), bits(want.data()));
+        }
+    }
+
+    #[test]
+    fn sweep_error_retry_and_hello_roundtrip(
+        sweep_no in 1usize..1_000_000,
+        fit in -1.0f64..1.0,
+        delta in -1.0f64..1.0,
+        first in any::<bool>(),
+        ms in 0u64..100_000,
+        tag in 1u32..10_000,
+        text_seed in 0usize..4,
+    ) {
+        let sweep = AlsSweep {
+            sweep: sweep_no,
+            fit,
+            delta_fit: (!first).then_some(delta),
+            cache_hits: 0,
+            cache_misses: 0,
+            mode_times: Vec::new(),
+            mode_plan_times: Vec::new(),
+            mode_exec_times: Vec::new(),
+            elapsed: Duration::ZERO,
+        };
+        let update = protocol::decode_sweep(&protocol::encode_sweep(tag, &sweep)).unwrap();
+        prop_assert_eq!(update.sweep, sweep_no);
+        prop_assert_eq!(update.fit.to_bits(), fit.to_bits());
+        prop_assert_eq!(update.delta_fit.is_none(), first);
+        if let Some(d) = update.delta_fit {
+            prop_assert_eq!(d.to_bits(), delta.to_bits());
+        }
+
+        let messages = ["", "plain ascii", "snowman ☃ and π", "trailing\nnewline\n"];
+        let msg = messages[text_seed];
+        let err = protocol::decode_error(&protocol::encode_error(tag, msg)).unwrap();
+        prop_assert_eq!(err, msg);
+
+        let got_ms =
+            protocol::decode_retry_after(&protocol::encode_retry_after(tag, ms)).unwrap();
+        prop_assert_eq!(got_ms, ms);
+
+        let version = protocol::decode_hello(&protocol::encode_hello()).unwrap();
+        prop_assert_eq!(version, protocol::PROTOCOL_VERSION);
+    }
+
+    #[test]
+    fn corrupted_request_payloads_never_panic_the_decoders(
+        dims in prop::collection::vec(2usize..6, 2..=4),
+        rank in 1usize..5,
+        seed in 0u64..1000,
+        cut_frac in 0.0f64..1.0,
+        smash_at_frac in 0.0f64..1.0,
+        smash_to in any::<u64>(),
+    ) {
+        let (x, factors) = operands(&dims, rank, seed);
+        let good = protocol::encode_mttkrp_request(1, &x, &factors, 0);
+
+        // Truncated payload: decode must reject, not slice out of bounds.
+        let cut = (good.payload.len() as f64 * cut_frac) as usize;
+        if cut < good.payload.len() {
+            let truncated = Frame {
+                payload: good.payload[..cut].to_vec(),
+                ..good.clone()
+            };
+            prop_assert!(protocol::decode_mttkrp_request(&truncated).is_err());
+        }
+
+        // One word smashed to an arbitrary bit pattern: decode either
+        // succeeds (the word was tensor/factor data — any f64 is data) or
+        // rejects; it never panics.
+        let mut smashed = good.clone();
+        let at = ((smashed.payload.len() - 1) as f64 * smash_at_frac) as usize;
+        smashed.payload[at] = f64::from_bits(smash_to);
+        let _ = protocol::decode_mttkrp_request(&smashed);
+        let _ = protocol::decode_factorize_request(&Frame {
+            comm_id: wire::CTRL_FACTORIZE_REQ,
+            ..smashed
+        }, &machine());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Adversarial streams against a live server
+// ---------------------------------------------------------------------------
+
+fn tiny_server() -> NetServer {
+    NetServer::start(NetConfig {
+        server: ServerConfig {
+            machine: machine(),
+            workers: 1,
+            ..ServerConfig::default()
+        },
+        ..NetConfig::default()
+    })
+    .expect("bind loopback")
+}
+
+/// Raw socket that has completed the hello handshake.
+fn raw_hello(server: &NetServer) -> TcpStream {
+    let mut s = TcpStream::connect(server.addr()).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    wire::write_frame(&mut s, &protocol::encode_hello()).unwrap();
+    let reply = wire::read_frame(&mut s).unwrap();
+    assert_eq!(
+        protocol::decode_hello(&reply).unwrap(),
+        protocol::PROTOCOL_VERSION
+    );
+    s
+}
+
+/// After any amount of abuse, the server must still serve a fresh client
+/// bit-correctly and shut down cleanly.
+fn assert_still_alive(server: NetServer) {
+    let mut client = mttkrp_serve::Client::connect(server.addr()).unwrap();
+    let (x, factors) = operands(&[4, 5, 6], 3, 7);
+    let remote = client.mttkrp(&x, &factors, 1).unwrap();
+    let refs: Vec<&Matrix> = factors.iter().collect();
+    let (_, direct) = mttkrp_exec::plan_and_execute(&machine(), &x, &refs, 1);
+    assert_eq!(bits(remote.output.data()), bits(direct.output.data()));
+    drop(client);
+    server.shutdown();
+}
+
+#[test]
+fn garbage_bytes_drop_the_connection_not_the_server() {
+    let server = tiny_server();
+    for seed in 0u64..8 {
+        let mut s = raw_hello(&server);
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let garbage: Vec<u8> = (0..257)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                state as u8
+            })
+            .collect();
+        s.write_all(&garbage).unwrap();
+        // Whatever comes back (a typed error, or nothing), the stream ends.
+        drain_to_eof(s);
+    }
+    assert_still_alive(server);
+}
+
+#[test]
+fn oversized_length_prefix_is_refused_without_allocation() {
+    let server = tiny_server();
+    let mut s = raw_hello(&server);
+    // A length prefix promising ~8 GiB: the codec must refuse up front.
+    let body = 13u64 + 8 * (wire::MAX_PAYLOAD_WORDS as u64 * 8);
+    s.write_all(&(body.min(u32::MAX as u64) as u32).to_le_bytes())
+        .unwrap();
+    s.write_all(&[0u8; 64]).unwrap();
+    drain_to_eof(s);
+    assert_still_alive(server);
+}
+
+#[test]
+fn truncated_frame_then_disconnect_is_harmless() {
+    let server = tiny_server();
+    let (x, factors) = operands(&[4, 4, 4], 2, 3);
+    for cut in [1usize, 4, 13, 40] {
+        let mut s = raw_hello(&server);
+        let bytes = wire::encode(&protocol::encode_mttkrp_request(9, &x, &factors, 0));
+        s.write_all(&bytes[..cut.min(bytes.len() - 1)]).unwrap();
+        drop(s); // vanish mid-frame
+    }
+    assert_still_alive(server);
+}
+
+#[test]
+fn hello_replay_gets_a_typed_error_and_a_hangup() {
+    let server = tiny_server();
+    let mut s = raw_hello(&server);
+    wire::write_frame(&mut s, &protocol::encode_hello()).unwrap();
+    let reply = wire::read_frame(&mut s).unwrap();
+    assert_eq!(
+        reply.comm_id,
+        wire::CTRL_ERROR,
+        "hello replay must be a typed error"
+    );
+    drain_to_eof(s);
+    assert_still_alive(server);
+}
+
+#[test]
+fn a_request_before_hello_is_rejected() {
+    let server = tiny_server();
+    let mut s = TcpStream::connect(server.addr()).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    let (x, factors) = operands(&[4, 4, 4], 2, 3);
+    wire::write_frame(&mut s, &protocol::encode_mttkrp_request(5, &x, &factors, 0)).unwrap();
+    let reply = wire::read_frame(&mut s).unwrap();
+    assert_eq!(reply.comm_id, wire::CTRL_ERROR);
+    drain_to_eof(s);
+    assert_still_alive(server);
+}
+
+#[test]
+fn unknown_frame_kinds_and_poison_get_typed_errors() {
+    let server = tiny_server();
+    // An unknown control id.
+    let mut s = raw_hello(&server);
+    wire::write_frame(&mut s, &Frame::data(3, wire::CTRL_BASE, vec![1.0])).unwrap();
+    let reply = wire::read_frame(&mut s).unwrap();
+    assert_eq!(reply.comm_id, wire::CTRL_ERROR);
+    drain_to_eof(s);
+    // A poison frame aimed at the front door.
+    let mut s = raw_hello(&server);
+    wire::write_frame(&mut s, &Frame::poison(3)).unwrap();
+    let reply = wire::read_frame(&mut s).unwrap();
+    assert_eq!(reply.comm_id, wire::CTRL_ERROR);
+    drain_to_eof(s);
+    assert_still_alive(server);
+}
+
+#[test]
+fn a_malformed_payload_keeps_the_connection_usable() {
+    let server = tiny_server();
+    let mut s = raw_hello(&server);
+    // Well-framed but structurally nonsense: mode out of range.
+    let (x, factors) = operands(&[4, 4, 4], 2, 3);
+    let mut bad = protocol::encode_mttkrp_request(7, &x, &factors, 0);
+    bad.payload[0] = 99.0; // mode 99 of a 3-mode tensor
+    wire::write_frame(&mut s, &bad).unwrap();
+    let reply = wire::read_frame(&mut s).unwrap();
+    assert_eq!(reply.comm_id, wire::CTRL_ERROR);
+    assert_eq!(
+        reply.from, 7,
+        "the error is tagged for the offending request"
+    );
+    // The frame itself was well-formed, so the stream is still in sync:
+    // the same socket must serve a valid request afterwards.
+    wire::write_frame(&mut s, &protocol::encode_mttkrp_request(8, &x, &factors, 1)).unwrap();
+    let reply = wire::read_frame(&mut s).unwrap();
+    assert_eq!(reply.comm_id, wire::CTRL_MTTKRP_RESP);
+    assert_eq!(reply.from, 8);
+    drop(s);
+    assert_still_alive(server);
+}
+
+#[test]
+fn an_abusive_factorize_rank_is_a_typed_error_not_an_allocation() {
+    let server = tiny_server();
+    let mut s = raw_hello(&server);
+    let x = DenseTensor::random(Shape::new(&[4, 4, 4]), 1);
+    let spec = FactorizeSpec {
+        rank: 1 << 40, // the fitted model could never fit a reply frame
+        max_sweeps: 1,
+        tol: 1e-8,
+        seed: 0,
+        ridge: 1e-9,
+    };
+    wire::write_frame(
+        &mut s,
+        &protocol::encode_factorize_request(2, &x, &spec, false),
+    )
+    .unwrap();
+    let reply = wire::read_frame(&mut s).unwrap();
+    assert_eq!(reply.comm_id, wire::CTRL_ERROR);
+    let msg = protocol::decode_error(&reply).unwrap();
+    assert!(msg.contains("wire frame limit"), "{msg}");
+    drop(s);
+    assert_still_alive(server);
+}
+
+#[test]
+fn version_mismatch_is_a_typed_error() {
+    let server = tiny_server();
+    let mut s = TcpStream::connect(server.addr()).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    wire::write_frame(
+        &mut s,
+        &Frame::data(
+            0,
+            wire::CTRL_HELLO,
+            vec![protocol::PROTOCOL_VERSION as f64 + 1.0],
+        ),
+    )
+    .unwrap();
+    let reply = wire::read_frame(&mut s).unwrap();
+    assert_eq!(reply.comm_id, wire::CTRL_ERROR);
+    let msg = protocol::decode_error(&reply).unwrap();
+    assert!(msg.contains("version"), "{msg}");
+    drain_to_eof(s);
+    assert_still_alive(server);
+}
+
+/// Protocol errors are observable: the counter moves when a peer
+/// misbehaves.
+#[test]
+fn protocol_errors_are_counted() {
+    let server = tiny_server();
+    let before = server
+        .metrics()
+        .counter_value(mttkrp_serve::net::listener::metric::PROTOCOL_ERRORS);
+    let mut s = raw_hello(&server);
+    wire::write_frame(&mut s, &Frame::poison(1)).unwrap();
+    let _ = wire::read_frame(&mut s);
+    drain_to_eof(s);
+    let after = server
+        .metrics()
+        .counter_value(mttkrp_serve::net::listener::metric::PROTOCOL_ERRORS);
+    assert_eq!(after, before + 1);
+    assert_still_alive(server);
+}
+
+/// Reads until the server hangs up, proving it terminated the stream.
+fn drain_to_eof(mut s: TcpStream) {
+    loop {
+        match wire::read_frame(&mut s) {
+            Ok(_) => continue,
+            Err(_) => return,
+        }
+    }
+}
+
+/// `ProtocolError` kinds a client can match on survive formatting.
+#[test]
+fn protocol_error_display_is_stable() {
+    let e = ProtocolError::Unexpected {
+        expected: "a request",
+        got: wire::CTRL_FIN,
+    };
+    assert!(e.to_string().contains("unexpected frame kind"));
+}

@@ -1,0 +1,224 @@
+//! Socket soak: many concurrent clients hammer one front door with mixed
+//! MTTKRP and Factorize shapes, and every byte that comes back must be
+//! **bit-identical** to an in-process call on the same engine.
+//!
+//! Also asserted after the storm: the plan cache was actually shared
+//! (hits across clients repeating the same shapes), no connection is
+//! stuck (open-connections and in-flight gauges return to zero), and the
+//! drain answers everything (`stats.requests_served` accounts for every
+//! admitted request).
+//!
+//! Sized for CI by default; scale it up with `NET_SOAK_CLIENTS` (the
+//! `mttkrp_cli serve --bench --socket` bench mode is the hundreds-of-
+//! clients version of this test).
+
+use mttkrp_als::AlsConfig;
+use mttkrp_serve::net::listener::metric;
+use mttkrp_serve::net::protocol::FactorizeSpec;
+use mttkrp_serve::{
+    Client, ClientError, FactorizeRequest, MttkrpRequest, NetConfig, NetServer, ServerConfig,
+    StreamControl,
+};
+use mttkrp_tensor::{DenseTensor, Matrix, Shape};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const WATCHDOG: Duration = Duration::from_secs(60);
+
+/// The mixed shape pool. Every client works the whole pool, so every
+/// shape is requested by every client — maximum cache contention.
+const POOL: &[(&[usize], usize)] = &[
+    (&[6, 7, 8], 3),
+    (&[5, 5, 5], 2),
+    (&[9, 4, 3], 4),
+    (&[4, 6, 5, 3], 2),
+];
+
+fn clients() -> usize {
+    std::env::var("NET_SOAK_CLIENTS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(16)
+}
+
+fn operands(pool_idx: usize) -> (Arc<DenseTensor>, Arc<Vec<Matrix>>) {
+    let (dims, rank) = POOL[pool_idx];
+    let x = Arc::new(DenseTensor::random(Shape::new(dims), pool_idx as u64 + 1));
+    let factors = Arc::new(
+        dims.iter()
+            .enumerate()
+            .map(|(k, &d)| Matrix::random(d, rank, (pool_idx * 10 + k) as u64))
+            .collect::<Vec<_>>(),
+    );
+    (x, factors)
+}
+
+fn spec(pool_idx: usize) -> FactorizeSpec {
+    let (_, rank) = POOL[pool_idx];
+    FactorizeSpec::of(
+        &AlsConfig::new(rank)
+            .with_sweeps(4)
+            .with_tol(1e-12) // effectively "run all 4 sweeps"
+            .with_seed(pool_idx as u64),
+    )
+}
+
+fn bits(a: &[f64]) -> Vec<u64> {
+    a.iter().map(|w| w.to_bits()).collect()
+}
+
+/// Retries through shed responses; anything else is a failure.
+fn with_retries<T>(what: &str, mut attempt: impl FnMut() -> Result<T, ClientError>) -> T {
+    for _ in 0..200 {
+        match attempt() {
+            Ok(v) => return v,
+            Err(ClientError::RetryAfter(after)) => std::thread::sleep(after),
+            Err(e) => panic!("{what} failed: {e}"),
+        }
+    }
+    panic!("{what}: shed 200 times in a row — the cap never drained");
+}
+
+#[test]
+fn soak_bit_identical_under_concurrency() {
+    let machine = mttkrp_exec::MachineSpec::shared(2, 1 << 12);
+    let server = NetServer::start(NetConfig {
+        server: ServerConfig {
+            machine: machine.clone(),
+            workers: 4,
+            ..ServerConfig::default()
+        },
+        max_in_flight: 8, // small enough that the storm actually sheds
+        retry_after_ms: 5,
+        ..NetConfig::default()
+    })
+    .expect("bind loopback");
+    let addr = server.addr();
+
+    // Expected bytes, computed in-process on the SAME engine: one MTTKRP
+    // output per (shape, mode) and one fitted model per shape.
+    struct ExpectedModel {
+        weights: Vec<u64>,
+        factors: Vec<Vec<u64>>,
+        sweeps: usize,
+        fit: u64,
+    }
+    let mut expected_mttkrp: Vec<Vec<Vec<u64>>> = Vec::new();
+    let mut expected_model: Vec<ExpectedModel> = Vec::new();
+    for (pool_idx, (dims, _)) in POOL.iter().enumerate() {
+        let (x, factors) = operands(pool_idx);
+        let per_mode = (0..dims.len())
+            .map(|mode| {
+                let resp = server.server().call(MttkrpRequest::new(
+                    Arc::clone(&x),
+                    Arc::clone(&factors),
+                    mode,
+                ));
+                bits(resp.report.output.data())
+            })
+            .collect();
+        expected_mttkrp.push(per_mode);
+        let config = spec(pool_idx).into_config(&machine);
+        let run = server
+            .server()
+            .call_factorize(FactorizeRequest::new(Arc::clone(&x), config))
+            .run;
+        expected_model.push(ExpectedModel {
+            weights: bits(&run.model.weights),
+            factors: run.model.factors.iter().map(|f| bits(f.data())).collect(),
+            sweeps: run.sweeps(),
+            fit: run.fit().to_bits(),
+        });
+    }
+    let expected_mttkrp = Arc::new(expected_mttkrp);
+    let expected_model = Arc::new(expected_model);
+
+    let workers: Vec<_> = (0..clients())
+        .map(|c| {
+            let expected_mttkrp = Arc::clone(&expected_mttkrp);
+            let expected_model = Arc::clone(&expected_model);
+            std::thread::spawn(move || {
+                let mut client = with_retries("connect", || Client::connect(addr));
+                let mut served = 0u64;
+                for round in 0..2 {
+                    for pool_idx in 0..POOL.len() {
+                        let (x, factors) = operands(pool_idx);
+                        // Every mode of every shape, twice.
+                        for mode in 0..POOL[pool_idx].0.len() {
+                            let remote =
+                                with_retries("mttkrp", || client.mttkrp(&x, &factors, mode));
+                            assert_eq!(
+                                bits(remote.output.data()),
+                                expected_mttkrp[pool_idx][mode],
+                                "client {c}: socket MTTKRP diverged from in-process \
+                                 (shape {pool_idx}, mode {mode})"
+                            );
+                            served += 1;
+                        }
+                        // One factorization per shape per round; odd rounds
+                        // stream and check the sweep feed's bookkeeping.
+                        let want = &expected_model[pool_idx];
+                        let run = if round % 2 == 0 {
+                            with_retries("factorize", || client.factorize(&x, &spec(pool_idx)))
+                        } else {
+                            let mut updates = 0usize;
+                            let run = with_retries("streaming factorize", || {
+                                updates = 0;
+                                client.factorize_streaming(&x, &spec(pool_idx), |u| {
+                                    updates += 1;
+                                    assert_eq!(u.sweep, updates, "sweeps stream in order");
+                                    StreamControl::Continue
+                                })
+                            });
+                            assert_eq!(updates, run.sweeps, "one frame per sweep");
+                            run
+                        };
+                        assert_eq!(run.sweeps, want.sweeps);
+                        assert_eq!(run.fit.to_bits(), want.fit);
+                        assert_eq!(bits(&run.model.weights), want.weights);
+                        for (got, exp) in run.model.factors.iter().zip(&want.factors) {
+                            assert_eq!(
+                                bits(got.data()),
+                                *exp,
+                                "client {c}: socket factorize diverged from in-process \
+                                 (shape {pool_idx})"
+                            );
+                        }
+                    }
+                }
+                served
+            })
+        })
+        .collect();
+
+    let mut socket_mttkrps = 0u64;
+    for w in workers {
+        socket_mttkrps += w.join().expect("soak client panicked");
+    }
+
+    // Zero stuck connections, zero stuck slots.
+    let start = Instant::now();
+    while server.metrics().gauge_value(metric::OPEN_CONNECTIONS) != 0
+        || server.metrics().gauge_value(metric::IN_FLIGHT) != 0
+    {
+        assert!(
+            start.elapsed() < WATCHDOG,
+            "connections stuck after the storm"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    let stats = server.shutdown();
+    // Every admitted request was answered: the in-process warmup plus all
+    // socket MTTKRPs...
+    let warmup_mttkrps: u64 = POOL.iter().map(|(dims, _)| dims.len() as u64).sum();
+    assert_eq!(stats.requests_served, warmup_mttkrps + socket_mttkrps);
+    assert_eq!(stats.requests_submitted, stats.requests_served);
+    // ...and the shapes repeated across clients, so the shared plan cache
+    // carried real weight.
+    assert!(
+        stats.cache.hits > stats.cache.misses,
+        "a soak of repeated shapes must be cache-dominated: {:?}",
+        stats.cache
+    );
+}
