@@ -10,7 +10,7 @@ use mttkrp_exec::{
 };
 use mttkrp_tensor::{solve_spd_ridge, DenseTensor, KruskalTensor, Matrix};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 use std::time::Instant;
 
 /// A cooperative cancellation handle for a running factorization, checked
@@ -40,6 +40,38 @@ impl CancelFlag {
     pub fn is_cancelled(&self) -> bool {
         self.0.load(Ordering::Acquire)
     }
+}
+
+/// A process-wide replacement executor for [`BackendChoice::Dist`] runs.
+/// `None` (the default) means the in-process [`DistBackend`] simulated
+/// fabric; a host can install e.g. a multi-process TCP launcher so every
+/// dist-backed sweep runs as real rank processes.
+static DIST_EXECUTOR: RwLock<Option<Arc<dyn Backend + Send + Sync>>> = RwLock::new(None);
+
+/// Installs `backend` as the process-wide executor for every
+/// [`BackendChoice::Dist`] MTTKRP the engine runs (any thread, any run),
+/// replacing the in-process [`DistBackend`] fabric. The bench crate's
+/// `mttkrp_cli listen --dist-exec proc` uses this to put a real
+/// multi-process TCP launcher behind served factorizations; `Auto`,
+/// `Native`, and `Sim` runs are unaffected.
+pub fn install_dist_executor(backend: Arc<dyn Backend + Send + Sync>) {
+    *DIST_EXECUTOR
+        .write()
+        .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(backend);
+}
+
+/// Removes an installed dist executor, restoring the in-process fabric.
+pub fn clear_dist_executor() {
+    *DIST_EXECUTOR
+        .write()
+        .unwrap_or_else(std::sync::PoisonError::into_inner) = None;
+}
+
+fn dist_executor() -> Option<Arc<dyn Backend + Send + Sync>> {
+    DIST_EXECUTOR
+        .read()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .clone()
 }
 
 /// The three execution targets, built once per run so backend setup (the
@@ -77,6 +109,14 @@ impl Backends {
         x: &DenseTensor,
         factors: &[&Matrix],
     ) -> ExecReport {
+        // An installed executor owns genuinely distributed plans only; a
+        // sequential fallback plan (a mode that doesn't shard evenly)
+        // stays on the in-process fabric, which knows how to run it.
+        if choice == BackendChoice::Dist && !plan.algorithm.is_sequential() {
+            if let Some(executor) = dist_executor() {
+                return mttkrp_exec::execute_observed(executor.as_ref(), plan, x, factors);
+            }
+        }
         let backend: &dyn Backend = match choice {
             BackendChoice::Native => self.native(),
             BackendChoice::Sim => &self.sim,

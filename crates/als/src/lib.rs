@@ -56,5 +56,8 @@ pub mod engine;
 pub mod report;
 
 pub use config::{AlsConfig, BackendChoice};
-pub use engine::{cp_als, cp_als_with_cache, cp_als_with_hooks, validate_input, CancelFlag};
+pub use engine::{
+    clear_dist_executor, cp_als, cp_als_with_cache, cp_als_with_hooks, install_dist_executor,
+    validate_input, CancelFlag,
+};
 pub use report::{AlsRun, AlsSweep};

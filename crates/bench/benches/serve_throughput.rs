@@ -49,6 +49,7 @@ fn bench_served(c: &mut Criterion) {
         workers: 2,
         cache_capacity: 16,
         max_batch: REQUESTS,
+        ..ServerConfig::default()
     });
     c.bench_function("served_batched_x32", |b| {
         b.iter(|| {

@@ -64,7 +64,24 @@
 //!                              collective's measured words drift from the
 //!                              paper-model prediction beyond --tol
 //!                              (default 1%)
+//!   report --merge A.jsonl B.jsonl ...
+//!                              stitch per-process trace files (a socket
+//!                              client, the server, its rank children) into
+//!                              one span tree keyed by trace id, re-parented
+//!                              at each recorded adoption point, then print
+//!                              and (with --gate) drift-check the merged tree
+//!   stats ADDR [--watch SECS] [--json]
+//!                              scrape a live front door's metrics registry
+//!                              and health over STATS/HEALTH frames —
+//!                              answered inline by the server, never shed,
+//!                              never counted against the admission cap
 //! ```
+//!
+//! Ops-plane extras: `listen --dist-exec proc [--ranks P]
+//! [--rank-trace-dir DIR]` puts one real OS process per rank behind every
+//! served factorization (each launch ships the request's trace context to
+//! its ranks), and `cp-als --connect ADDR` sends the factorization to a
+//! live front door with this process's trace context on the request frame.
 //!
 //! Every live subcommand also takes `--trace FILE.jsonl` (capture the run's
 //! spans and metrics through `mttkrp-obs` and write them as JSONL) and
@@ -137,8 +154,15 @@ struct Args {
     // Observability: capture the run through `mttkrp-obs`.
     trace: Option<String>,
     metrics: bool,
-    // The `report` subcommand's trace-file positional.
-    input: Option<String>,
+    // Ops plane: `stats --watch`, `report --merge`, and the listen-side
+    // multi-process dist executor.
+    watch: Option<u64>,
+    merge: bool,
+    dist_exec: Option<String>,
+    rank_trace_dir: Option<String>,
+    // Positionals after the subcommand: `report`'s trace file(s), or
+    // `stats`' server address.
+    inputs: Vec<String>,
 }
 
 fn parse_dims(s: &str) -> Result<Vec<usize>, String> {
@@ -228,26 +252,30 @@ fn parse(argv: &[String]) -> Result<Args, String> {
             "--json" => args.json = true,
             "--trace" => args.trace = Some(next("--trace")?),
             "--metrics" => args.metrics = true,
+            "--watch" => args.watch = Some(next("--watch")?.parse().map_err(|e| format!("{e}"))?),
+            "--merge" => args.merge = true,
+            "--dist-exec" => args.dist_exec = Some(next("--dist-exec")?),
+            "--rank-trace-dir" => args.rank_trace_dir = Some(next("--rank-trace-dir")?),
             "--help" | "-h" => return Err("help".to_string()),
             other if !other.starts_with('-') && args.algorithm.is_none() => {
                 args.algorithm = Some(other.to_string());
             }
             other
                 if !other.starts_with('-')
-                    && args.algorithm.as_deref() == Some("report")
-                    && args.input.is_none() =>
+                    && matches!(args.algorithm.as_deref(), Some("report") | Some("stats")) =>
             {
-                args.input = Some(other.to_string());
+                args.inputs.push(other.to_string());
             }
             other => return Err(format!("unrecognized argument '{other}'")),
         }
     }
     // `serve` generates its own mixed-shape workload, `cp-als` its own
-    // synthetic rank-R tensor, and `report` reads a trace file; --dims (if
-    // given) only seeds the base shape, so it may be omitted for any of them.
+    // synthetic rank-R tensor, and `report`/`stats` read a trace file or a
+    // live server; --dims (if given) only seeds the base shape, so it may
+    // be omitted for any of them.
     if matches!(
         args.algorithm.as_deref(),
-        Some("serve") | Some("listen") | Some("cp-als") | Some("report")
+        Some("serve") | Some("listen") | Some("cp-als") | Some("report") | Some("stats")
     ) && args.dims.is_empty()
     {
         args.dims = match args.algorithm.as_deref() {
@@ -267,7 +295,7 @@ fn parse(argv: &[String]) -> Result<Args, String> {
     }
     let Some(alg) = args.algorithm.as_deref() else {
         return Err("no algorithm given \
-             (alg1|alg2|seqmm|alg3|alg4|parmm|bounds|exec|dist|serve|listen|cp-als|report)"
+             (alg1|alg2|seqmm|alg3|alg4|parmm|bounds|exec|dist|serve|listen|cp-als|report|stats)"
             .into());
     };
     // The socket front-door flags only mean something to the subcommands
@@ -292,9 +320,9 @@ fn parse(argv: &[String]) -> Result<Args, String> {
     }
     // Flags are parsed globally but only some subcommands honor them;
     // reject half-applying combinations instead of silently ignoring them.
-    if args.json && !matches!(alg, "serve" | "cp-als") {
+    if args.json && !matches!(alg, "serve" | "cp-als" | "stats") {
         return Err(format!(
-            "--json is only supported by the serve and cp-als subcommands, not '{alg}'"
+            "--json is only supported by the serve, cp-als, and stats subcommands, not '{alg}'"
         ));
     }
     for (flag, given) in [("--gate", args.gate), ("--tol", args.tol.is_some())] {
@@ -307,12 +335,33 @@ fn parse(argv: &[String]) -> Result<Args, String> {
     if args.sweeps.is_some() && alg != "cp-als" {
         return Err(format!("--sweeps is a cp-als flag, not valid for '{alg}'"));
     }
-    // `report` replays a finished trace and `dist-rank` is a spawned child
-    // whose events belong to the launcher; neither captures its own.
-    if (args.trace.is_some() || args.metrics) && matches!(alg, "report" | "dist-rank") {
+    if args.watch.is_some() && alg != "stats" {
+        return Err(format!("--watch is a stats flag, not valid for '{alg}'"));
+    }
+    if args.merge && alg != "report" {
+        return Err(format!("--merge is a report flag, not valid for '{alg}'"));
+    }
+    if args.dist_exec.is_some() && alg != "listen" {
+        return Err(format!(
+            "--dist-exec is a listen flag, not valid for '{alg}'"
+        ));
+    }
+    if args.rank_trace_dir.is_some() && !matches!(alg, "listen" | "dist") {
+        return Err(format!(
+            "--rank-trace-dir is a listen/dist flag, not valid for '{alg}'"
+        ));
+    }
+    // `report` replays a finished trace and `stats` scrapes a live server;
+    // neither runs anything to capture. A `dist-rank` child MAY take
+    // --trace (the launcher passes it for cross-process merging) but has
+    // no summary of its own to print.
+    if (args.trace.is_some() || args.metrics) && matches!(alg, "report" | "stats") {
         return Err(format!(
             "--trace/--metrics instrument a live run, not valid for '{alg}'"
         ));
+    }
+    if args.metrics && alg == "dist-rank" {
+        return Err("--metrics is a launcher-side flag, not valid for 'dist-rank'".into());
     }
     Ok(args)
 }
@@ -362,6 +411,20 @@ fn usage() {
          \n                               tree, top metrics, and the drift table;\
          \n                               --gate exits nonzero on modeled-vs-\
          \n                               measured drift beyond --tol (default 1%)\
+         \n  report --merge A.jsonl B.jsonl ...\
+         \n                               stitch per-process traces (client,\
+         \n                               server, rank children) into one tree\
+         \n                               keyed by trace id, then report/gate it\
+         \n  stats ADDR [--watch SECS] [--json]\
+         \n                               scrape a live front door's metrics and\
+         \n                               health over STATS/HEALTH frames (never\
+         \n                               shed, never counted against the cap)\
+         \n\
+         \nops-plane extras: `listen --dist-exec proc [--ranks P]\
+         \n  [--rank-trace-dir DIR]` puts one real OS process per rank behind\
+         \n  every served factorization; `cp-als --connect ADDR` sends the\
+         \n  factorization to a live front door with this process's trace\
+         \n  context on the request frame\
          \n\
          \nevery live subcommand also takes:\
          \n  --trace FILE.jsonl           capture spans + metrics as JSONL\
@@ -384,6 +447,22 @@ fn main() -> ExitCode {
     if args.algorithm.as_deref() == Some("report") {
         return run_report(&args);
     }
+    if args.algorithm.as_deref() == Some("stats") {
+        return run_stats(&args);
+    }
+
+    // Fault path of the flight recorder: the ring retains the last span
+    // closes even with capture off, so a panicking run can explain its
+    // recent past on stderr before dying.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        default_hook(info);
+        let records = mttkrp_obs::flight_snapshot();
+        if !records.is_empty() {
+            eprintln!("--- flight recorder ({} span close(s)) ---", records.len());
+            eprint!("{}", mttkrp_obs::flight_to_jsonl(&records));
+        }
+    }));
 
     // --trace / --metrics: capture the whole run through mttkrp-obs, under
     // one root "request" span, and post-process the recording on exit.
@@ -795,9 +874,13 @@ fn run_dist(
             stall_ms: args
                 .stall_ms
                 .unwrap_or(if args.kill_rank.is_some() { 10_000 } else { 0 }),
+            // `launch` falls back to the CLI's own live context (the root
+            // `request` span under --trace), so rank spans nest under it.
+            ctx: None,
+            rank_trace_dir: args.rank_trace_dir.clone().map(Into::into),
         };
         println!("[dist] spawning {ranks} rank process(es) on localhost (tcp transport)");
-        match dist_tcp::launch(&exe, &spec, &plan) {
+        match dist_tcp::launch(&exe, &spec, &plan, None) {
             Ok(outcome) => {
                 // The in-process arm records its collective spans inside
                 // run_instrumented; the launcher arm gets its ledgers back
@@ -1066,6 +1149,66 @@ fn run_cp_als(args: &Args) -> ExitCode {
         args.seed.wrapping_add(1000)
     );
 
+    // --connect: send the factorization to a live front door instead of
+    // running in-process. The request frame carries this process's trace
+    // context, so the server's span tree — and its rank processes, when
+    // the server runs --dist-exec proc — parents under our root span in a
+    // `report --merge` of the per-process trace files.
+    if let Some(addr) = args.connect.as_deref() {
+        if args.gate {
+            eprintln!("error: --gate runs its in-process backend matrix; it cannot use --connect");
+            return ExitCode::from(2);
+        }
+        if args.backend.is_some() {
+            say!(
+                args.json,
+                "note: the server picks the execution backend; --backend is ignored over --connect"
+            );
+        }
+        let spec = mttkrp_serve::net::protocol::FactorizeSpec {
+            rank,
+            max_sweeps: sweeps,
+            tol,
+            seed: args.seed.wrapping_add(1000),
+            ridge: base.ridge,
+        };
+        let mut client = match mttkrp_serve::Client::connect(addr) {
+            Ok(client) => client,
+            Err(e) => {
+                eprintln!("error: cannot connect to {addr}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let run = match client.factorize(&x, &spec) {
+            Ok(run) => run,
+            Err(e) => {
+                eprintln!("error: remote factorize at {addr}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        say!(
+            args.json,
+            "[remote @{addr}] fit {:.6} after {} sweep(s){}{}",
+            run.fit,
+            run.sweeps,
+            if run.converged { " (converged)" } else { "" },
+            if run.cancelled { " (cancelled)" } else { "" }
+        );
+        if args.json {
+            println!(
+                "{{\"remote\":true,\"addr\":\"{addr}\",\"fit\":{},\"sweeps\":{},\
+                 \"converged\":{},\"cancelled\":{}}}",
+                run.fit, run.sweeps, run.converged, run.cancelled
+            );
+        }
+        return if run.fit.is_finite() {
+            ExitCode::SUCCESS
+        } else {
+            eprintln!("error: remote factorization returned a non-finite fit");
+            ExitCode::FAILURE
+        };
+    }
+
     if !args.gate {
         let backend = match args.backend.as_deref() {
             None | Some("auto") => BackendChoice::Auto,
@@ -1272,32 +1415,54 @@ fn run_cp_als(args: &Args) -> ExitCode {
 /// prediction beyond `--tol` (default [`DRIFT_TOLERANCE`]); a schema-invalid
 /// trace always fails.
 fn run_report(args: &Args) -> ExitCode {
-    let Some(path) = args.input.as_deref() else {
-        eprintln!("error: report needs a trace file (mttkrp_cli report trace.jsonl [--gate])");
+    if args.inputs.is_empty() {
+        eprintln!(
+            "error: report needs a trace file \
+             (mttkrp_cli report trace.jsonl [--gate], or report --merge a.jsonl b.jsonl ...)"
+        );
         return ExitCode::from(2);
-    };
-    let text = match std::fs::read_to_string(path) {
-        Ok(t) => t,
-        Err(e) => {
-            eprintln!("error: cannot read {path}: {e}");
-            return ExitCode::from(2);
-        }
-    };
-    // Validate first: every line must match the event schema, so a gate run
-    // can trust what it is about to aggregate.
-    if let Err(e) = mttkrp_obs::validate(&text) {
-        eprintln!("error: {path}: {e}");
-        return ExitCode::FAILURE;
     }
-    let trace = match mttkrp_obs::parse_trace(&text) {
-        Ok(t) => t,
-        Err(e) => {
+    if args.inputs.len() > 1 && !args.merge {
+        eprintln!(
+            "error: report got {} trace files; stitch them with --merge",
+            args.inputs.len()
+        );
+        return ExitCode::from(2);
+    }
+    let mut texts = Vec::with_capacity(args.inputs.len());
+    for path in &args.inputs {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: cannot read {path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        // Validate first: every line must match the event schema, so a
+        // gate run can trust what it is about to aggregate.
+        if let Err(e) = mttkrp_obs::validate(&text) {
             eprintln!("error: {path}: {e}");
             return ExitCode::FAILURE;
         }
+        texts.push(text);
+    }
+    // One file parses directly; several stitch into a single tree — ids
+    // rebased per process, roots re-parented by their recorded remote
+    // (trace id, span) adoption point.
+    let trace = match mttkrp_obs::merge_traces(&texts) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: {}: {e}", args.inputs.join(", "));
+            return ExitCode::FAILURE;
+        }
+    };
+    let label = if args.merge {
+        format!("merged {} file(s)", args.inputs.len())
+    } else {
+        args.inputs[0].clone()
     };
     println!(
-        "trace {path}: {} span(s), {} metric(s)\n",
+        "trace {label}: {} span(s), {} metric(s)\n",
         trace.spans.len(),
         trace.metrics.len()
     );
@@ -1315,6 +1480,74 @@ fn run_report(args: &Args) -> ExitCode {
     if args.gate && !drift.ok() {
         eprintln!("error: measured collective traffic drifts from the paper's model");
         return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+/// The `stats` subcommand: scrape a live front door over `HEALTH` and
+/// `STATS` frames — answered inline by the connection reader, never shed,
+/// never counted against the admission cap — and print health plus the
+/// full metrics registry. `--watch SECS` re-scrapes on an interval until
+/// interrupted; `--json` emits one machine-readable object per scrape.
+fn run_stats(args: &Args) -> ExitCode {
+    use mttkrp_serve::Client;
+
+    let Some(addr) = args.inputs.first() else {
+        eprintln!("error: stats needs a server address (mttkrp_cli stats 127.0.0.1:PORT)");
+        return ExitCode::from(2);
+    };
+    if args.watch == Some(0) {
+        eprintln!("error: --watch must be at least 1 second");
+        return ExitCode::from(2);
+    }
+    let mut client = match Client::connect(addr.as_str()) {
+        Ok(client) => client,
+        Err(e) => {
+            eprintln!("error: cannot connect to {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    loop {
+        let (health, metrics) = match client.health().and_then(|h| Ok((h, client.stats()?))) {
+            Ok(scrape) => scrape,
+            Err(e) => {
+                eprintln!("error: scraping {addr}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if args.json {
+            let jsonl = mttkrp_obs::metrics_to_jsonl(&metrics);
+            println!(
+                "{{\"health\":{{\"uptime_ms\":{},\"open_connections\":{},\
+                 \"in_flight\":{},\"draining\":{},\"admission_cap\":{}}},\
+                 \"metrics\":[{}]}}",
+                health.uptime_ms,
+                health.open_connections,
+                health.in_flight,
+                health.draining,
+                health.admission_cap,
+                jsonl.lines().collect::<Vec<_>>().join(",")
+            );
+        } else {
+            println!(
+                "{addr}: up {:.1} s, {} connection(s) open, {}/{} in flight{}",
+                health.uptime_ms as f64 / 1000.0,
+                health.open_connections,
+                health.in_flight,
+                health.admission_cap,
+                if health.draining { ", DRAINING" } else { "" }
+            );
+            print!("{}", mttkrp_obs::metrics_summary(&metrics, metrics.len()));
+        }
+        match args.watch {
+            Some(secs) => {
+                std::thread::sleep(std::time::Duration::from_secs(secs));
+                if !args.json {
+                    println!();
+                }
+            }
+            None => break,
+        }
     }
     ExitCode::SUCCESS
 }
@@ -1422,6 +1655,7 @@ fn run_serve(args: &Args) -> ExitCode {
         workers,
         cache_capacity,
         max_batch: args.batch.unwrap_or(32),
+        backend: mttkrp_als::BackendChoice::Auto,
     });
 
     // Submit in waves of 5 requests per shape: large enough that same-shape
@@ -1529,12 +1763,58 @@ fn run_listen(args: &Args) -> ExitCode {
             return ExitCode::from(2);
         }
     }
-    let machine = MachineSpec {
-        threads: args.threads.unwrap_or_else(MachineSpec::detect_threads),
-        fast_memory_words: args.memory.unwrap_or(mttkrp_exec::DEFAULT_CACHE_WORDS),
-        ranks: args.procs.unwrap_or(1),
-        transport: mttkrp_exec::TransportSpec::InProcess,
+    // --dist-exec proc: put the real multi-process TCP launcher behind
+    // every wire factorization — the machine becomes a P-rank cluster so
+    // the planner produces distributed plans, served factorizations are
+    // pinned to the dist backend, and the als engine's Dist arm is
+    // rerouted to a ProcBackend spawning one OS process per rank per
+    // MTTKRP (each launch carries the request's trace context).
+    let dist_proc = match args.dist_exec.as_deref() {
+        None => false,
+        Some("proc") => true,
+        Some(other) => {
+            eprintln!("error: unknown dist executor '{other}' (proc)");
+            return ExitCode::from(2);
+        }
     };
+    let machine = if dist_proc {
+        MachineSpec::cluster(
+            args.ranks.or(args.procs).unwrap_or(4),
+            args.threads.unwrap_or(1),
+            args.memory.unwrap_or(mttkrp_exec::DEFAULT_CACHE_WORDS),
+        )
+        .with_transport(mttkrp_exec::TransportSpec::Tcp)
+    } else {
+        MachineSpec {
+            threads: args.threads.unwrap_or_else(MachineSpec::detect_threads),
+            fast_memory_words: args.memory.unwrap_or(mttkrp_exec::DEFAULT_CACHE_WORDS),
+            ranks: args.procs.unwrap_or(1),
+            transport: mttkrp_exec::TransportSpec::InProcess,
+        }
+    };
+    if dist_proc {
+        let exe = match std::env::current_exe() {
+            Ok(exe) => exe,
+            Err(e) => {
+                eprintln!("error: cannot locate my own binary to spawn ranks: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let mut backend = mttkrp_bench::proc_backend::ProcBackend::new(
+            exe,
+            machine.ranks,
+            machine.threads,
+            machine.fast_memory_words,
+        );
+        if let Some(dir) = &args.rank_trace_dir {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("error: cannot create --rank-trace-dir {dir}: {e}");
+                return ExitCode::FAILURE;
+            }
+            backend = backend.with_rank_trace_dir(dir.into());
+        }
+        mttkrp_als::install_dist_executor(std::sync::Arc::new(backend));
+    }
     let server = match NetServer::start(NetConfig {
         bind: args
             .bind
@@ -1545,6 +1825,11 @@ fn run_listen(args: &Args) -> ExitCode {
             workers: args.workers.unwrap_or(2),
             cache_capacity: args.cache.unwrap_or(128),
             max_batch: args.batch.unwrap_or(32),
+            backend: if dist_proc {
+                mttkrp_als::BackendChoice::Dist
+            } else {
+                mttkrp_als::BackendChoice::Auto
+            },
         },
         max_in_flight: args.cap.unwrap_or(64),
         retry_after_ms: args.retry_ms.unwrap_or(50),
@@ -1675,6 +1960,7 @@ fn run_serve_socket(args: &Args) -> ExitCode {
             workers,
             cache_capacity,
             max_batch: args.batch.unwrap_or(32),
+            backend: mttkrp_als::BackendChoice::Auto,
         },
         max_in_flight: cap,
         retry_after_ms: args.retry_ms.unwrap_or(5),

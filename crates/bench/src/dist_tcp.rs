@@ -4,19 +4,27 @@
 //!
 //! ```text
 //! launcher ──spawn──► rank 0 ──READY(port)──► launcher ──spawn──► ranks 1..P
-//!                        ▲                                            │
+//!    │                   ▲                        │                    │
+//!    └──LAUNCH(trace ctx, operands?)──► every rank│──READY(empty)─────┘
 //!                        └────────── rendezvous + full mesh ──────────┘
 //!                     (rank programs run; every word over TCP)
 //! every rank ──CHUNK + LEDGER──► launcher: assemble, self-gate, exit code
 //! ```
 //!
 //! The control connection reuses the transport's own wire codec
-//! ([`mod@mttkrp_dist::transport::wire`]): a `READY` frame announces rank 0's
-//! rendezvous port, and after the run each rank reports its output chunk
-//! and measured [`TrafficLedger`] as `CHUNK`/`LEDGER` frames. The
-//! launcher assembles the chunks with the runtime's own assembler and
-//! hands everything back for the usual self-gates (bitwise output,
-//! schedule word-exactness).
+//! ([`mod@mttkrp_dist::transport::wire`]): every rank dials the launcher
+//! and announces itself with a `READY` frame *before* joining the mesh
+//! (rank 0's carries its rendezvous port), and the launcher answers each
+//! with one `LAUNCH` frame — the go signal. A traced launch rides the
+//! codec's optional trace header on that frame, so every rank process
+//! adopts the launcher's [`TraceContext`] and its spans land in the same
+//! cross-process tree as the caller's; the payload optionally ships the
+//! exact operand bytes (so a served tensor is factorized bit-identically
+//! instead of regenerated from a seed). After the run each rank reports
+//! its output chunk and measured [`TrafficLedger`] as `CHUNK`/`LEDGER`
+//! frames. The launcher assembles the chunks with the runtime's own
+//! assembler and hands everything back for the usual self-gates (bitwise
+//! output, schedule word-exactness).
 //!
 //! Fault injection for the test suite: [`LaunchSpec::kill_rank`] makes
 //! the launcher SIGKILL one child right after the mesh is up, while that
@@ -30,9 +38,11 @@ use mttkrp_dist::{
     assemble_plan_output, run_plan_rank, OutputChunk, TcpConfig, TcpTransport, TrafficLedger,
 };
 use mttkrp_exec::Plan;
+use mttkrp_obs::TraceContext;
 use mttkrp_tensor::{DenseTensor, Matrix};
 use std::io::Read;
 use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::process::{Child, Command, Stdio};
 use std::time::{Duration, Instant};
 
@@ -62,6 +72,13 @@ pub struct LaunchSpec {
     /// Fault injection: the killed rank stalls this long before its first
     /// collective, so its peers are blocked on it when the kill lands.
     pub stall_ms: u64,
+    /// Trace context shipped to every rank on its `LAUNCH` frame, so rank
+    /// spans join the caller's cross-process tree. `None` launches
+    /// untraced.
+    pub ctx: Option<TraceContext>,
+    /// When set, each rank is spawned with `--trace <dir>/rank<me>.jsonl`
+    /// so its span tree lands on disk for `report --merge`.
+    pub rank_trace_dir: Option<PathBuf>,
 }
 
 /// What a completed multi-process run reports back.
@@ -77,12 +94,18 @@ pub struct LaunchOutcome {
 /// `mttkrp_cli` binary itself, re-invoked with the hidden `dist-rank`
 /// subcommand) and collects every rank's chunk and ledger.
 ///
+/// `operands` ships the exact tensor and factors to every rank on its
+/// `LAUNCH` frame; `None` has each rank regenerate them from
+/// `spec.seed`, which is the word-exact same problem for benchmark runs
+/// but cannot represent a caller-supplied tensor.
+///
 /// Returns `Err` with the original failure's stderr if any child exits
 /// nonzero or goes silent past the timeout — never hangs.
 pub fn launch(
     exe: &std::path::Path,
     spec: &LaunchSpec,
     plan: &Plan,
+    operands: Option<(&DenseTensor, &[&Matrix])>,
 ) -> Result<LaunchOutcome, String> {
     assert!(
         !plan.algorithm.is_sequential(),
@@ -103,6 +126,25 @@ pub fn launch(
         .map_err(|e| e.to_string())?
         .to_string();
 
+    // The go signal every rank waits on before joining the mesh: the
+    // trace context rides the frame header, shipped operands (if any)
+    // ride the payload behind a has-operands flag word.
+    let launch_payload: Vec<f64> = match operands {
+        Some((x, factors)) => {
+            let mut payload = vec![1.0];
+            payload.extend(wire::encode_operands(x, factors));
+            payload
+        }
+        None => vec![0.0],
+    };
+    let launch_frame =
+        Frame::data(0, wire::CTRL_LAUNCH, launch_payload).with_trace(spec.ctx.or_else(|| {
+            // An untraced spec still inherits the launcher's live context
+            // (if any), so `dist --transport tcp --trace ...` runs nest
+            // their ranks under the CLI's root span for free.
+            mttkrp_obs::current_context()
+        }));
+
     // Rank 0 first: it must bind the rendezvous and tell us where.
     let mut children: Vec<Option<Child>> = (0..spec.ranks).map(|_| None).collect();
     children[0] = Some(spawn_rank(exe, spec, 0, "127.0.0.1:0", &report_addr)?);
@@ -114,6 +156,8 @@ pub fn launch(
         return Err("rank 0 spoke out of protocol (expected READY)".to_string());
     }
     let rendezvous = format!("127.0.0.1:{}", ready.payload[0] as u16);
+    wire::write_frame(&mut &conn0, &launch_frame)
+        .map_err(|e| format!("sending rank 0's LAUNCH frame: {e}"))?;
 
     // The rest of the world dials the announced rendezvous.
     for (me, child) in children.iter_mut().enumerate().skip(1) {
@@ -122,6 +166,8 @@ pub fn launch(
 
     // Result collection runs concurrently with the children so large
     // chunks can't wedge in socket buffers: one reader per connection.
+    // Each remaining rank announces READY and is answered with the
+    // LAUNCH go-frame before its reader takes over the connection.
     let (tx, rx) =
         std::sync::mpsc::channel::<Result<(usize, OutputChunk, TrafficLedger), String>>();
     let mut readers = Vec::new();
@@ -132,7 +178,17 @@ pub fn launch(
         let mut handles = Vec::new();
         for _ in 0..remaining {
             match accept_with_deadline(&report_listener, deadline) {
-                Ok(conn) => handles.push(spawn_report_reader(conn, deadline, accept_tx.clone())),
+                Ok(conn) => {
+                    let launched = read_frame_deadline(&conn, deadline)
+                        .ok()
+                        .filter(|ready| ready.comm_id == wire::CTRL_READY)
+                        .is_some()
+                        && wire::write_frame(&mut &conn, &launch_frame).is_ok();
+                    if !launched {
+                        continue; // the exit-status sweep reports the death
+                    }
+                    handles.push(spawn_report_reader(conn, deadline, accept_tx.clone()));
+                }
                 Err(_) => break, // children died; the exit-status check reports it
             }
         }
@@ -200,10 +256,12 @@ pub fn launch(
     })
 }
 
-/// Runs one rank inside a spawned child process: joins the TCP machine,
-/// drives the rank program, and reports the chunk and ledger back to the
-/// launcher. Returns an error string (for stderr + nonzero exit) on any
-/// failure, including a peer dying mid-run.
+/// Runs one rank inside a spawned child process: announces READY on the
+/// launcher's report connection, waits for the `LAUNCH` go-frame (adopting
+/// its trace context and any shipped operands), joins the TCP machine,
+/// drives the rank program, and reports the chunk and ledger back.
+/// Returns an error string (for stderr + nonzero exit) on any failure,
+/// including a peer dying mid-run.
 #[allow(clippy::too_many_arguments)]
 pub fn run_child_rank(
     plan: &Plan,
@@ -216,34 +274,70 @@ pub fn run_child_rank(
     stall_ms: u64,
     timeout: Duration,
 ) -> Result<(), String> {
-    // Join the machine (rank 0 binds an ephemeral rendezvous and reports
-    // it; everyone else dials the launcher-provided address).
-    let (ep, report_stream) = if world_rank == 0 {
-        let listener =
-            TcpListener::bind("127.0.0.1:0").map_err(|e| format!("binding rendezvous: {e}"))?;
-        let port = listener.local_addr().map_err(|e| e.to_string())?.port();
-        let report_stream =
-            TcpStream::connect(report).map_err(|e| format!("dialing the launcher: {e}"))?;
-        wire::write_frame(
-            &mut &report_stream,
-            &Frame::data(0, wire::CTRL_READY, vec![port as f64]),
-        )
-        .map_err(|e| format!("reporting the rendezvous port: {e}"))?;
-        let ep = TcpTransport::host_on(listener, ranks, timeout)
-            .map_err(|e| format!("serving the rendezvous: {e}"))?;
-        (ep, report_stream)
+    let deadline = Instant::now() + timeout;
+
+    // Dial the launcher and announce readiness *before* joining the mesh:
+    // rank 0 names its freshly bound rendezvous port, everyone else just
+    // says hello. The reply is the LAUNCH go-frame.
+    let listener = if world_rank == 0 {
+        Some(TcpListener::bind("127.0.0.1:0").map_err(|e| format!("binding rendezvous: {e}"))?)
     } else {
-        let config = TcpConfig {
-            world_rank,
-            ranks,
-            rendezvous: connect.to_string(),
-            timeout,
-        };
-        let ep = TcpTransport::connect(&config)
-            .map_err(|e| format!("joining the rendezvous at {connect}: {e}"))?;
-        let report_stream =
-            TcpStream::connect(report).map_err(|e| format!("dialing the launcher: {e}"))?;
-        (ep, report_stream)
+        None
+    };
+    let ready_payload = match &listener {
+        Some(listener) => {
+            vec![listener.local_addr().map_err(|e| e.to_string())?.port() as f64]
+        }
+        None => Vec::new(),
+    };
+    let report_stream =
+        TcpStream::connect(report).map_err(|e| format!("dialing the launcher: {e}"))?;
+    wire::write_frame(
+        &mut &report_stream,
+        &Frame::data(world_rank, wire::CTRL_READY, ready_payload),
+    )
+    .map_err(|e| format!("announcing READY to the launcher: {e}"))?;
+    let go = read_frame_deadline(&report_stream, deadline)
+        .map_err(|e| format!("waiting for the LAUNCH frame: {e}"))?;
+    if go.comm_id != wire::CTRL_LAUNCH || go.payload.is_empty() {
+        return Err("launcher spoke out of protocol (expected LAUNCH)".to_string());
+    }
+    if let Some(ctx) = go.trace {
+        // Joins the launcher's cross-process trace: this process's whole
+        // span tree records the remote trace id, and `report --merge`
+        // re-parents it under the launching span. No-op when capture is
+        // off in this process.
+        mttkrp_obs::adopt_remote_context(ctx);
+    }
+    let shipped: Option<(DenseTensor, Vec<Matrix>)> = if go.payload[0] == 1.0 {
+        Some(
+            wire::decode_operands(&go.payload[1..])
+                .map_err(|e| format!("decoding shipped operands: {e}"))?,
+        )
+    } else {
+        None
+    };
+    let (x, factor_refs): (&DenseTensor, Vec<&Matrix>) = match &shipped {
+        Some((sx, sf)) => (sx, sf.iter().collect()),
+        None => (x, factors.to_vec()),
+    };
+    let factors: &[&Matrix] = &factor_refs;
+
+    // Join the machine (rank 0 serves the rendezvous it announced;
+    // everyone else dials the launcher-provided address).
+    let ep = match listener {
+        Some(listener) => TcpTransport::host_on(listener, ranks, timeout)
+            .map_err(|e| format!("serving the rendezvous: {e}"))?,
+        None => {
+            let config = TcpConfig {
+                world_rank,
+                ranks,
+                rendezvous: connect.to_string(),
+                timeout,
+            };
+            TcpTransport::connect(&config)
+                .map_err(|e| format!("joining the rendezvous at {connect}: {e}"))?
+        }
     };
 
     if stall_ms > 0 {
@@ -256,6 +350,9 @@ pub fn run_child_rank(
     // failure panics inside; catch it so the process exits with a
     // diagnostic instead of an abort trace.
     let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let mut span = mttkrp_obs::span("rank");
+        span.record("world_rank", world_rank as u64);
+        span.record("ranks", ranks as u64);
         run_plan_rank(plan, x, factors, ep)
     }));
     let (chunk, ledger) = match run {
@@ -330,6 +427,9 @@ fn spawn_rank(
         .stderr(Stdio::piped());
     if spec.kill_rank == Some(me) && spec.stall_ms > 0 {
         cmd.arg("--stall-ms").arg(spec.stall_ms.to_string());
+    }
+    if let Some(dir) = &spec.rank_trace_dir {
+        cmd.arg("--trace").arg(dir.join(format!("rank{me}.jsonl")));
     }
     cmd.spawn()
         .map_err(|e| format!("spawning rank {me} ({}): {e}", exe.display()))

@@ -2,6 +2,7 @@
 //! regenerator binaries.
 
 pub mod dist_tcp;
+pub mod proc_backend;
 
 use mttkrp_tensor::{DenseTensor, Matrix, Shape};
 

@@ -1,0 +1,239 @@
+//! The whole ops plane, end to end, across six OS processes: a traced
+//! client sends a factorization to a `listen` front door running with
+//! `--dist-exec proc`, so every MTTKRP of every sweep launches four real
+//! rank processes; each process writes its own `--trace` JSONL, and
+//! `report --merge --gate` stitches them into ONE tree under ONE trace id
+//! and replays the drift gate over the merged capture.
+//!
+//! This is the acceptance test for cross-process trace propagation: the
+//! client's root `request` span must end up as the ancestor of the
+//! server's worker span AND of every rank process's `rank` span.
+
+use std::io::{BufRead, BufReader};
+use std::net::SocketAddr;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+const CLI: &str = env!("CARGO_BIN_EXE_mttkrp_cli");
+const DEADLINE: Duration = Duration::from_secs(120);
+const RANKS: usize = 4;
+
+/// A scratch directory unique to this test process AND test fn (the
+/// harness runs test fns concurrently in one process).
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mttkrp_ops_e2e_{}_{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(dir.join("ranks")).expect("creating the scratch dir");
+    dir
+}
+
+/// Spawns the traced listener with one real OS process per rank behind
+/// every factorization, and parses the bound address from stdout. The
+/// child's stdin stays piped and OPEN — dropping it is the drain signal.
+fn spawn_listener(dir: &Path) -> (Child, SocketAddr) {
+    let mut child = Command::new(CLI)
+        .args(["--rank", "4", "listen", "--bind", "127.0.0.1:0"])
+        .args(["--dist-exec", "proc", "--ranks", &RANKS.to_string()])
+        .arg("--rank-trace-dir")
+        .arg(dir.join("ranks"))
+        .arg("--trace")
+        .arg(dir.join("server.jsonl"))
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawning mttkrp_cli listen --dist-exec proc");
+    let mut first = String::new();
+    BufReader::new(child.stdout.as_mut().expect("piped stdout"))
+        .read_line(&mut first)
+        .expect("reading the listener's first line");
+    let addr = first
+        .trim()
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected first line: {first:?}"))
+        .parse()
+        .expect("parsing the bound address");
+    (child, addr)
+}
+
+/// stdin EOF drains the listener; it must exit 0 (which is also when it
+/// writes its `--trace` file) within the deadline.
+fn drain_and_reap(mut child: Child) {
+    drop(child.stdin.take());
+    let start = Instant::now();
+    loop {
+        match child.try_wait().expect("waiting on the listener") {
+            Some(status) => {
+                assert!(status.success(), "listener exited {status}");
+                return;
+            }
+            None => {
+                assert!(
+                    start.elapsed() < DEADLINE,
+                    "listener still running {DEADLINE:?} after stdin EOF"
+                );
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        }
+    }
+}
+
+#[test]
+fn traced_factorization_merges_into_one_cross_process_tree() {
+    let dir = scratch("merge");
+    let (listener, addr) = spawn_listener(&dir);
+
+    // The traced client, as its own OS process: `--connect` routes the
+    // factorization over the socket with this process's trace context on
+    // the request frame. 16x16x16 shards evenly over 4 ranks.
+    let client = Command::new(CLI)
+        .args(["--dims", "16x16x16", "--rank", "4"])
+        .args(["cp-als", "--connect", &addr.to_string()])
+        .args(["--sweeps", "2"])
+        .arg("--trace")
+        .arg(dir.join("client.jsonl"))
+        .stdin(Stdio::null())
+        .output()
+        .expect("running the traced client");
+    let stdout = String::from_utf8_lossy(&client.stdout);
+    let stderr = String::from_utf8_lossy(&client.stderr);
+    assert!(
+        client.status.success(),
+        "traced client failed\nstdout:\n{stdout}\nstderr:\n{stderr}"
+    );
+    assert!(
+        stdout.contains("[remote @"),
+        "client did not report a remote factorization: {stdout}"
+    );
+
+    drain_and_reap(listener);
+
+    // Every per-process capture must exist: client, server, and one file
+    // per rank (successive launches reuse the paths; the last launch of
+    // the request wins, still under the same trace id).
+    let mut files = vec![dir.join("client.jsonl"), dir.join("server.jsonl")];
+    for me in 0..RANKS {
+        files.push(dir.join("ranks").join(format!("rank{me}.jsonl")));
+    }
+    let texts: Vec<String> = files
+        .iter()
+        .map(|f| {
+            let text = std::fs::read_to_string(f)
+                .unwrap_or_else(|e| panic!("reading {}: {e}", f.display()));
+            assert!(!text.trim().is_empty(), "{} is empty", f.display());
+            text
+        })
+        .collect();
+
+    // The merged capture: the client's trace id is THE trace id — every
+    // rank process adopted it wholesale (their metas carry it plus the
+    // remote anchor), and the server's request span joined it span-level
+    // via its `remote_trace` field (the server capture keeps its own
+    // process id, since one server serves many clients' traces).
+    let merged = mttkrp_obs::merge_traces(&texts).expect("merging the six captures");
+    assert_eq!(merged.segments.len(), files.len());
+    let client_trace = merged.segments[0].trace.clone();
+    assert_eq!(client_trace.len(), 32, "client capture carries a trace id");
+    for seg in &merged.segments[2..] {
+        assert_eq!(
+            seg.trace, client_trace,
+            "every rank process adopted the client's trace id"
+        );
+    }
+    assert!(
+        merged.spans.iter().any(|s| s.name == "request"
+            && s.fields.iter().any(|(k, v)| k == "remote_trace"
+                && matches!(v, mttkrp_obs::FieldValue::Str(t) if *t == client_trace))),
+        "the server's request span adopted the client's trace id"
+    );
+
+    let parent_of: std::collections::HashMap<u64, Option<u64>> =
+        merged.spans.iter().map(|s| (s.id, s.parent)).collect();
+    let root_of = |mut id: u64| -> u64 {
+        while let Some(Some(p)) = parent_of.get(&id) {
+            id = *p;
+        }
+        id
+    };
+    let client_root = merged
+        .spans
+        .iter()
+        .find(|s| s.parent.is_none() && s.name == "request")
+        .expect("the client's root request span survives the merge");
+    let rank_spans: Vec<_> = merged.spans.iter().filter(|s| s.name == "rank").collect();
+    assert_eq!(
+        rank_spans.len(),
+        RANKS,
+        "one rank span per rank process (last launch per file)"
+    );
+    for span in rank_spans {
+        assert_eq!(
+            root_of(span.id),
+            client_root.id,
+            "rank span {} is not under the client's root request span",
+            span.id
+        );
+        assert!(
+            span.fields.iter().any(|(k, _)| k == "world_rank"),
+            "rank span carries its world_rank field"
+        );
+    }
+
+    // And the CLI-side replay: `report --merge ... --gate` over the same
+    // files must pass the drift gate (modeled-vs-measured over the merged
+    // capture, collectives included).
+    let report = Command::new(CLI)
+        .arg("report")
+        .arg("--merge")
+        .args(&files)
+        .arg("--gate")
+        .stdin(Stdio::null())
+        .output()
+        .expect("running report --merge --gate");
+    let stdout = String::from_utf8_lossy(&report.stdout);
+    let stderr = String::from_utf8_lossy(&report.stderr);
+    assert!(
+        report.status.success(),
+        "report --merge --gate failed\nstdout:\n{stdout}\nstderr:\n{stderr}"
+    );
+    assert!(stdout.contains("merged 6 file(s)"), "{stdout}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The ops frames against a real child process: `stats` scrapes a live
+/// listener (human and `--json`) without ever being admitted, and the
+/// flight recorder answers over the wire.
+#[test]
+fn stats_cli_scrapes_a_live_listener() {
+    let dir = scratch("stats");
+    let (listener, addr) = spawn_listener(&dir);
+
+    let stats = Command::new(CLI)
+        .args(["stats", &addr.to_string()])
+        .stdin(Stdio::null())
+        .output()
+        .expect("running mttkrp_cli stats");
+    let stdout = String::from_utf8_lossy(&stats.stdout);
+    assert!(stats.status.success(), "stats failed: {stdout}");
+    assert!(stdout.contains("up "), "no health line: {stdout}");
+
+    let json = Command::new(CLI)
+        .args(["stats", &addr.to_string(), "--json"])
+        .stdin(Stdio::null())
+        .output()
+        .expect("running mttkrp_cli stats --json");
+    let stdout = String::from_utf8_lossy(&json.stdout);
+    assert!(json.status.success(), "stats --json failed: {stdout}");
+    assert!(stdout.contains("\"health\":{"), "{stdout}");
+    assert!(stdout.contains("\"uptime_ms\":"), "{stdout}");
+    assert!(stdout.contains("\"metrics\":["), "{stdout}");
+    assert!(
+        stdout.contains("\"serve.net.scrapes\""),
+        "the scrape itself must be counted: {stdout}"
+    );
+
+    drain_and_reap(listener);
+    let _ = std::fs::remove_dir_all(&dir);
+}

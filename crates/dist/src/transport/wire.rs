@@ -10,6 +10,7 @@
 //! │ (LE, bytes │ (sender   │ (netsim Comm │ 0 = data  │ (LE words)       │
 //! │ after the  │ world     │ id, or a     │ 1 = poison│                  │
 //! │ prefix)    │ rank)     │ CTRL_* id)   │ 2 = fin   │                  │
+//! │            │           │              │ 4 = traced│                  │
 //! └────────────┴───────────┴──────────────┴───────────┴──────────────────┘
 //! ```
 //!
@@ -17,6 +18,15 @@
 //! else is rejected ([`WireError::Truncated`] / [`WireError::Oversized`] /
 //! [`WireError::BadLength`]) rather than trusted — a garbled length prefix
 //! must not make a reader allocate gigabytes or read off the rails.
+//!
+//! A **traced** frame (flags = 4) is a data frame whose first four payload
+//! words are a [`TraceContext`] header — `trace_hi`, `trace_lo`, `proc`,
+//! `parent_span`, each a `u64` bit-cast into the word lanes (the codec
+//! moves words with `to_le_bytes`/`from_le_bytes`, so the cast is exact).
+//! [`decode`] strips the header into [`Frame::trace`]; untraced frames
+//! decode with `trace = None`. This is how a client's root span becomes
+//! the parent of the server's tree, and the launcher's span the parent of
+//! every rank's — one mechanism on both codecs.
 //!
 //! Control frames reuse the format with reserved `comm_id`s from the top
 //! of the id space ([`CTRL_BASE`] and above) that the FNV-hashed netsim
@@ -32,6 +42,8 @@
 //! ```
 
 use mttkrp_netsim::schedule::{Phase, PhaseTraffic};
+use mttkrp_obs::TraceContext;
+use mttkrp_tensor::{DenseTensor, Matrix, Shape};
 use std::io::{Read, Write};
 
 /// Largest admissible payload, in words: 2^27 `f64`s = 1 GiB. Far above
@@ -44,8 +56,8 @@ const HEADER_BODY_BYTES: usize = 13;
 
 /// Start of the reserved control-id space. Data frames must carry a
 /// communicator id *below* this; the FNV-64 communicator ids effectively
-/// never land in the top 16 values.
-pub const CTRL_BASE: u64 = u64::MAX - 15;
+/// never land in the top 32 values.
+pub const CTRL_BASE: u64 = u64::MAX - 31;
 /// Rendezvous hello: dialer announces its world rank; payload is its own
 /// listener port (one word) toward rank 0, empty toward other peers.
 pub const CTRL_HELLO: u64 = u64::MAX;
@@ -92,6 +104,27 @@ pub const CTRL_ERROR: u64 = u64::MAX - 12;
 /// payload is `[retry_after_ms]`.
 pub const CTRL_RETRY_AFTER: u64 = u64::MAX - 13;
 
+// --- Ops plane ---------------------------------------------------------------
+// Live telemetry scrapes on the serve socket, and the launcher's one
+// downstream frame to each rank child. Scrape frames are answered by the
+// listener *before* admission control — a scrape can't be shed by load.
+
+/// Serve: a metrics scrape; the reply (same id) carries the listener's
+/// whole `MetricsRegistry` snapshot as JSONL text words.
+pub const CTRL_STATS: u64 = u64::MAX - 14;
+/// Serve: a health probe; the reply (same id) is
+/// `[uptime_ms, open_connections, in_flight, draining, admission_cap]`.
+pub const CTRL_HEALTH: u64 = u64::MAX - 15;
+/// Serve: a flight-recorder dump; the reply (same id) carries the ring
+/// contents as JSONL text words (see `mttkrp_obs::flight_to_jsonl`).
+pub const CTRL_TRACE_DUMP: u64 = u64::MAX - 16;
+/// Launcher → rank child: the one downstream frame on the report
+/// connection, sent after the child's READY. Payload is
+/// `[has_operands, ...operands]` (see [`encode_operands`]); the frame's
+/// trace header (flags = 4) carries the launcher's context for the child
+/// to adopt.
+pub const CTRL_LAUNCH: u64 = u64::MAX - 17;
+
 /// One wire message: the exact content of a transport packet.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Frame {
@@ -102,7 +135,10 @@ pub struct Frame {
     pub comm_id: u64,
     /// Poison flag: the sender panicked; receivers must abort.
     pub poison: bool,
-    /// Payload words.
+    /// The trace-context header, when the sender attached one (only data
+    /// frames carry it; poison/fin never do).
+    pub trace: Option<TraceContext>,
+    /// Payload words (trace header already stripped).
     pub payload: Vec<f64>,
 }
 
@@ -113,6 +149,7 @@ impl Frame {
             from: from as u32,
             comm_id,
             poison: false,
+            trace: None,
             payload,
         }
     }
@@ -123,6 +160,7 @@ impl Frame {
             from: from as u32,
             comm_id: 0,
             poison: true,
+            trace: None,
             payload: Vec::new(),
         }
     }
@@ -133,8 +171,17 @@ impl Frame {
             from: from as u32,
             comm_id: CTRL_FIN,
             poison: false,
+            trace: None,
             payload: Vec::new(),
         }
+    }
+
+    /// Attaches a trace-context header (builder-style; `None` leaves the
+    /// frame untraced, so call sites can pass
+    /// `mttkrp_obs::current_context()` straight through).
+    pub fn with_trace(mut self, trace: Option<TraceContext>) -> Frame {
+        self.trace = trace;
+        self
     }
 }
 
@@ -187,15 +234,40 @@ impl std::error::Error for WireError {}
 const FLAG_DATA: u8 = 0;
 const FLAG_POISON: u8 = 1;
 const FLAG_FIN: u8 = 2;
+/// A data frame whose first [`TRACE_HEADER_WORDS`] payload words are a
+/// bit-cast [`TraceContext`].
+const FLAG_TRACED: u8 = 4;
+
+/// Payload words a trace header occupies on the wire.
+pub const TRACE_HEADER_WORDS: usize = 4;
 
 fn flags_of(frame: &Frame) -> u8 {
-    if frame.poison {
+    let base = if frame.poison {
         FLAG_POISON
     } else if frame.comm_id == CTRL_FIN {
         FLAG_FIN
     } else {
         FLAG_DATA
+    };
+    // FIN frames never carry context: they are connection teardown, not
+    // work, and keeping them headerless lets pre-trace peers drain them.
+    if frame.trace.is_some() && base != FLAG_FIN {
+        base | FLAG_TRACED
+    } else {
+        base
     }
+}
+
+/// Encoded size of `frame` on the wire, length prefix included — what
+/// [`encode`] would produce, without producing it (the listener's byte
+/// accounting).
+pub fn frame_wire_bytes(frame: &Frame) -> usize {
+    let header = if flags_of(frame) & FLAG_TRACED != 0 {
+        TRACE_HEADER_WORDS
+    } else {
+        0
+    };
+    4 + HEADER_BODY_BYTES + 8 * (frame.payload.len() + header)
 }
 
 /// Encodes a frame, length prefix included.
@@ -206,17 +278,28 @@ fn flags_of(frame: &Frame) -> u8 {
 /// stream) or make every receiver reject the frame as a connection-level
 /// failure, both of which blame the wrong side.
 pub fn encode(frame: &Frame) -> Vec<u8> {
+    let flags = flags_of(frame);
+    let header_words = if flags & FLAG_TRACED != 0 {
+        TRACE_HEADER_WORDS
+    } else {
+        0
+    };
+    let total_words = frame.payload.len() + header_words;
     assert!(
-        frame.payload.len() <= MAX_PAYLOAD_WORDS,
-        "frame payload of {} words exceeds the {MAX_PAYLOAD_WORDS}-word wire limit",
-        frame.payload.len()
+        total_words <= MAX_PAYLOAD_WORDS,
+        "frame payload of {total_words} words exceeds the {MAX_PAYLOAD_WORDS}-word wire limit",
     );
-    let body_len = HEADER_BODY_BYTES + 8 * frame.payload.len();
+    let body_len = HEADER_BODY_BYTES + 8 * total_words;
     let mut out = Vec::with_capacity(4 + body_len);
     out.extend_from_slice(&(body_len as u32).to_le_bytes());
     out.extend_from_slice(&frame.from.to_le_bytes());
     out.extend_from_slice(&frame.comm_id.to_le_bytes());
-    out.push(flags_of(frame));
+    out.push(flags);
+    if flags & FLAG_TRACED != 0 {
+        for word in frame.trace.expect("traced flag implies trace").to_words() {
+            out.extend_from_slice(&word.to_le_bytes());
+        }
+    }
     for w in &frame.payload {
         out.extend_from_slice(&w.to_le_bytes());
     }
@@ -257,11 +340,26 @@ pub fn decode(bytes: &[u8]) -> Result<Frame, WireError> {
     let from = u32::from_le_bytes(body[..4].try_into().expect("4 bytes"));
     let comm_id = u64::from_le_bytes(body[4..12].try_into().expect("8 bytes"));
     let flags = body[12];
-    if flags > FLAG_FIN {
+    let base = flags & !FLAG_TRACED;
+    if !matches!(base, FLAG_DATA | FLAG_POISON | FLAG_FIN) || (flags == FLAG_FIN | FLAG_TRACED) {
         return Err(WireError::BadFlags(flags));
     }
-    let mut payload = Vec::with_capacity(words);
-    for i in 0..words {
+    let mut trace = None;
+    let mut first_word = 0;
+    if flags & FLAG_TRACED != 0 {
+        if words < TRACE_HEADER_WORDS {
+            return Err(WireError::BadLength(len));
+        }
+        let mut header = [0u64; TRACE_HEADER_WORDS];
+        for (i, slot) in header.iter_mut().enumerate() {
+            let at = HEADER_BODY_BYTES + 8 * i;
+            *slot = u64::from_le_bytes(body[at..at + 8].try_into().expect("8 bytes"));
+        }
+        trace = Some(TraceContext::from_words(header));
+        first_word = TRACE_HEADER_WORDS;
+    }
+    let mut payload = Vec::with_capacity(words - first_word);
+    for i in first_word..words {
         let at = HEADER_BODY_BYTES + 8 * i;
         payload.push(f64::from_le_bytes(
             body[at..at + 8].try_into().expect("8 bytes"),
@@ -270,7 +368,8 @@ pub fn decode(bytes: &[u8]) -> Result<Frame, WireError> {
     Ok(Frame {
         from,
         comm_id,
-        poison: flags == FLAG_POISON,
+        poison: base == FLAG_POISON,
+        trace,
         payload,
     })
 }
@@ -421,6 +520,77 @@ pub fn decode_chunk(words: &[f64]) -> Result<crate::runtime::OutputChunk, WireEr
 }
 
 // ---------------------------------------------------------------------------
+// Operand shipping (launcher → rank children)
+// ---------------------------------------------------------------------------
+
+/// Encodes MTTKRP operands as payload words:
+/// `[order, dims..., rank, X data..., factor_0 data..., ..., factor_{order-1} data...]`
+/// with factor `k` being `dims[k] × rank` row-major. Every value is moved
+/// verbatim (dims/rank are exact small integers, data words are `f64`
+/// already), so a shipped operand set is bit-identical on arrival — which
+/// is what lets a rank child compute the same answer the launcher's
+/// in-process engine would.
+///
+/// # Panics
+/// Panics if `factors` doesn't match the tensor (one factor per mode, each
+/// `dims[k] × rank`); the launcher controls both sides.
+pub fn encode_operands(x: &DenseTensor, factors: &[&Matrix]) -> Vec<f64> {
+    let dims = x.shape().dims();
+    assert_eq!(factors.len(), dims.len(), "one factor per mode");
+    let rank = factors.first().map(|f| f.cols()).unwrap_or(0);
+    let mut out = Vec::with_capacity(2 + dims.len() + x.data().len());
+    out.push(dims.len() as f64);
+    out.extend(dims.iter().map(|&d| d as f64));
+    out.push(rank as f64);
+    out.extend_from_slice(x.data());
+    for (k, f) in factors.iter().enumerate() {
+        assert_eq!((f.rows(), f.cols()), (dims[k], rank), "factor {k} shape");
+        out.extend_from_slice(f.data());
+    }
+    out
+}
+
+/// Decodes [`encode_operands`] output. Every length is validated against
+/// the declared shape before anything is built.
+pub fn decode_operands(words: &[f64]) -> Result<(DenseTensor, Vec<Matrix>), WireError> {
+    let bad = || WireError::BadLength(words.len() as u32);
+    let int = |w: f64| -> Result<usize, WireError> {
+        if w.is_finite() && w.fract() == 0.0 && (0.0..=(1u64 << 32) as f64).contains(&w) {
+            Ok(w as usize)
+        } else {
+            Err(bad())
+        }
+    };
+    let order = int(*words.first().ok_or_else(bad)?)?;
+    if words.len() < 2 + order {
+        return Err(bad());
+    }
+    let dims: Vec<usize> = words[1..1 + order]
+        .iter()
+        .map(|&w| int(w))
+        .collect::<Result<_, _>>()?;
+    let rank = int(words[1 + order])?;
+    let x_len: usize = dims.iter().product();
+    let factors_len: usize = dims.iter().map(|&d| d * rank).sum();
+    let mut at = 2 + order;
+    if words.len() != at + x_len + factors_len {
+        return Err(bad());
+    }
+    let x = DenseTensor::from_vec(Shape::new(&dims), words[at..at + x_len].to_vec());
+    at += x_len;
+    let mut factors = Vec::with_capacity(order);
+    for &d in &dims {
+        factors.push(Matrix::from_rows_vec(
+            d,
+            rank,
+            words[at..at + d * rank].to_vec(),
+        ));
+        at += d * rank;
+    }
+    Ok((x, factors))
+}
+
+// ---------------------------------------------------------------------------
 // Text payloads (typed error frames)
 // ---------------------------------------------------------------------------
 
@@ -477,6 +647,7 @@ mod tests {
         ] {
             let bytes = encode(&frame);
             assert_eq!(decode(&bytes).unwrap(), frame, "{frame:?}");
+            assert_eq!(frame_wire_bytes(&frame), bytes.len(), "{frame:?}");
         }
     }
 
@@ -610,10 +781,99 @@ mod tests {
             CTRL_CANCEL,
             CTRL_ERROR,
             CTRL_RETRY_AFTER,
+            CTRL_STATS,
+            CTRL_HEALTH,
+            CTRL_TRACE_DUMP,
+            CTRL_LAUNCH,
         ] {
             assert!(id >= CTRL_BASE, "{id:#x} escapes the control-id space");
             assert_ne!(id, CTRL_FIN, "serve ids must not alias FIN semantics");
         }
+    }
+
+    #[test]
+    fn traced_frames_roundtrip_bit_exactly() {
+        let ctx = TraceContext {
+            trace_hi: 0xDEAD_BEEF_0102_0304,
+            trace_lo: u64::MAX,
+            proc: 1,
+            parent_span: 42,
+        };
+        for frame in [
+            Frame::data(3, 7, vec![1.5, -2.0]).with_trace(Some(ctx)),
+            Frame::data(0, CTRL_STATS, Vec::new()).with_trace(Some(ctx)),
+            Frame::poison(1).with_trace(Some(ctx)),
+        ] {
+            let bytes = encode(&frame);
+            let back = decode(&bytes).unwrap();
+            assert_eq!(back, frame, "{frame:?}");
+            assert_eq!(back.trace, Some(ctx));
+            assert_eq!(frame_wire_bytes(&frame), bytes.len(), "{frame:?}");
+        }
+        // A FIN never carries a header (flags_of maps FIN before TRACED).
+        let fin = Frame::fin(0).with_trace(Some(ctx));
+        assert_eq!(decode(&encode(&fin)).unwrap().trace, None);
+        // Streams carry the header too.
+        let mut buf = Vec::new();
+        write_frame(
+            &mut buf,
+            &Frame::data(2, 9, vec![4.0]).with_trace(Some(ctx)),
+        )
+        .unwrap();
+        let mut cursor = std::io::Cursor::new(buf);
+        assert_eq!(read_frame(&mut cursor).unwrap().trace, Some(ctx));
+    }
+
+    #[test]
+    fn traced_frame_too_short_for_header_is_rejected() {
+        // A traced frame whose length admits fewer than TRACE_HEADER_WORDS
+        // payload words cannot hold the context.
+        for words in 0..TRACE_HEADER_WORDS {
+            let len = (HEADER_BODY_BYTES + 8 * words) as u32;
+            let mut bytes = len.to_le_bytes().to_vec();
+            bytes.extend_from_slice(&0u32.to_le_bytes()); // from
+            bytes.extend_from_slice(&7u64.to_le_bytes()); // comm id
+            bytes.push(4); // FLAG_TRACED
+            bytes.extend(std::iter::repeat_n(0u8, 8 * words)); // payload
+            assert!(
+                matches!(decode(&bytes).unwrap_err(), WireError::BadLength(_)),
+                "{words} payload words"
+            );
+        }
+    }
+
+    #[test]
+    fn operands_roundtrip_and_reject_bad_lengths() {
+        let dims = [3usize, 4, 2];
+        let x = DenseTensor::from_vec(
+            Shape::new(&dims),
+            (0..24).map(|i| i as f64 * 0.5 - 3.0).collect(),
+        );
+        let factors: Vec<Matrix> = dims
+            .iter()
+            .map(|&d| Matrix::from_rows_vec(d, 2, (0..d * 2).map(|i| i as f64 + 0.25).collect()))
+            .collect();
+        let refs: Vec<&Matrix> = factors.iter().collect();
+        let words = encode_operands(&x, &refs);
+        let (x2, f2) = decode_operands(&words).unwrap();
+        assert_eq!(x2.shape().dims(), &dims);
+        assert_eq!(x2.data(), x.data());
+        assert_eq!(f2.len(), 3);
+        for (a, b) in f2.iter().zip(&factors) {
+            assert_eq!((a.rows(), a.cols()), (b.rows(), b.cols()));
+            assert_eq!(a.data(), b.data());
+        }
+        // Truncated and padded payloads are rejected.
+        assert!(decode_operands(&words[..words.len() - 1]).is_err());
+        let mut padded = words.clone();
+        padded.push(0.0);
+        assert!(decode_operands(&padded).is_err());
+        assert!(decode_operands(&[]).is_err());
+        assert!(decode_operands(&[f64::NAN]).is_err());
+        assert!(
+            decode_operands(&[2.5, 1.0, 1.0]).is_err(),
+            "fractional order"
+        );
     }
 
     #[test]

@@ -41,6 +41,7 @@ proptest! {
             comm_id,
             poison,
             payload: if poison { Vec::new() } else { payload(len, seed) },
+            trace: None,
         };
         let bytes = encode(&frame);
         let back = decode(&bytes).expect("encoded frames must decode");

@@ -6,7 +6,8 @@
 //! One self-describing object per line, discriminated by `"type"`:
 //!
 //! ```text
-//! {"type":"meta","version":1,"spans":N,"metrics":N}
+//! {"type":"meta","version":1,"spans":N,"metrics":N,
+//!  "proc":H16,"trace":H32,["remote_proc":H16,"remote_span":N]}
 //! {"type":"span","id":N,"parent":N|null,"name":S,"thread":N,
 //!  "start_us":N,"dur_us":N,"fields":{...}}
 //! {"type":"counter","name":S,"value":N}
@@ -16,12 +17,26 @@
 //! ```
 //!
 //! Field values are JSON numbers/booleans/strings; a non-finite float is
-//! written as `null`. [`validate_line`] checks exactly this shape and is
-//! what CI runs over every emitted line.
+//! written as `null`. `H16`/`H32` are 16/32-digit hex *strings*: process
+//! and trace ids use all 64/128 bits, which JSON's f64 numbers cannot
+//! carry exactly. [`validate_line`] checks exactly this shape and is what
+//! CI runs over every emitted line.
+//!
+//! ## Concatenated multi-process traces
+//!
+//! [`parse_trace`] accepts several JSONL streams concatenated into one
+//! text (what `mttkrp_cli report --merge` feeds it): every `meta` line
+//! starts a new *segment* with its own span-id namespace. Ids are
+//! re-based per segment (duplicate raw ids across processes are expected,
+//! not a schema error), and the segments are stitched into one tree:
+//! a segment whose meta carries `remote_proc`/`remote_span` hangs its
+//! roots under that span, and any span with `remote_proc`/`remote_span`
+//! *fields* (a serve request span) is re-parented the same way.
 
 use crate::json::{self, JsonValue};
 use crate::metrics::{HistogramSnapshot, MetricSnapshot, MetricValue, HISTOGRAM_BUCKETS};
 use crate::span::{FieldValue, SpanRecord};
+use crate::TraceContext;
 use std::collections::{BTreeMap, HashMap};
 
 /// Everything one capture recorded: spans in completion order plus a final
@@ -32,6 +47,14 @@ pub struct Recording {
     pub spans: Vec<SpanRecord>,
     /// Final metric values, sorted by name.
     pub metrics: Vec<MetricSnapshot>,
+    /// The recording process's id ([`crate::proc_id`]; 0 in hand-built
+    /// recordings).
+    pub proc: u64,
+    /// The 128-bit trace id (hi, lo) this capture belongs to.
+    pub trace: (u64, u64),
+    /// The remote parent adopted via [`crate::adopt_remote_context`], if
+    /// any: this recording's roots belong under that (proc, span).
+    pub remote: Option<TraceContext>,
 }
 
 impl Recording {
@@ -39,10 +62,20 @@ impl Recording {
     /// metrics). Every produced line passes [`validate_line`].
     pub fn to_jsonl(&self) -> String {
         let mut out = String::new();
+        let remote = match &self.remote {
+            Some(r) => format!(
+                ",\"remote_proc\":\"{:016x}\",\"remote_span\":{}",
+                r.proc, r.parent_span
+            ),
+            None => String::new(),
+        };
         out.push_str(&format!(
-            "{{\"type\":\"meta\",\"version\":1,\"spans\":{},\"metrics\":{}}}\n",
+            "{{\"type\":\"meta\",\"version\":1,\"spans\":{},\"metrics\":{},\"proc\":\"{:016x}\",\"trace\":\"{:016x}{:016x}\"{remote}}}\n",
             self.spans.len(),
-            self.metrics.len()
+            self.metrics.len(),
+            self.proc,
+            self.trace.0,
+            self.trace.1,
         ));
         for s in &self.spans {
             out.push_str(&span_line(s));
@@ -156,13 +189,46 @@ impl SpanNode {
     }
 }
 
+/// Identity of one per-process segment of a (possibly concatenated) JSONL
+/// trace — one entry per `meta` line seen by [`parse_trace`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TraceSegment {
+    /// The segment's process id (0 for traces written before the ops
+    /// plane, which carried no identity).
+    pub proc: u64,
+    /// The 128-bit trace id as 32 hex digits (empty when absent).
+    pub trace: String,
+    /// The remote `(proc, span)` this segment's roots hang under, if its
+    /// meta line adopted one.
+    pub remote: Option<(u64, u64)>,
+    /// How many spans the segment contributed.
+    pub spans: usize,
+}
+
 /// A trace re-read from JSONL: the file-side mirror of a [`Recording`].
+/// For concatenated multi-process input, span ids have been re-based and
+/// cross-process parent links resolved (see the module docs).
 #[derive(Clone, Debug, Default)]
 pub struct Trace {
-    /// Spans, in file order.
+    /// Spans, in file order, with ids unique across all segments.
     pub spans: Vec<SpanNode>,
-    /// Metrics, in file order.
+    /// Metrics, in file order (concatenated input: all segments' metrics).
     pub metrics: Vec<MetricSnapshot>,
+    /// One entry per `meta` line (empty for meta-less fragments).
+    pub segments: Vec<TraceSegment>,
+}
+
+impl Trace {
+    /// The distinct 32-hex trace ids across segments, in first-seen order.
+    pub fn trace_ids(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = Vec::new();
+        for seg in &self.segments {
+            if !seg.trace.is_empty() && !out.contains(&seg.trace.as_str()) {
+                out.push(&seg.trace);
+            }
+        }
+        out
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -209,6 +275,18 @@ fn span_line(s: &SpanRecord) -> String {
         s.dur_us,
         fields.join(",")
     )
+}
+
+/// Serializes metric snapshots as schema-valid JSONL (one
+/// counter/gauge/histogram object per line) — the `STATS` scrape payload.
+/// Parse back with [`parse_trace`].
+pub fn metrics_to_jsonl(metrics: &[MetricSnapshot]) -> String {
+    let mut out = String::new();
+    for m in metrics {
+        out.push_str(&metric_line(m));
+        out.push('\n');
+    }
+    out
 }
 
 fn metric_line(m: &MetricSnapshot) -> String {
@@ -262,6 +340,27 @@ pub fn validate_line(line: &str) -> Result<(), String> {
     match need_str(&v, "type")? {
         "meta" => {
             need_u64(&v, "version")?;
+            // Identity fields are optional (pre-ops-plane traces lack
+            // them) but must be well-formed hex strings when present.
+            for (key, digits) in [("proc", 16), ("trace", 32)] {
+                if let Some(value) = v.get(key) {
+                    let s = value
+                        .as_str()
+                        .ok_or_else(|| format!("\"{key}\" must be a hex string"))?;
+                    if s.len() != digits || !s.bytes().all(|b| b.is_ascii_hexdigit()) {
+                        return Err(format!("\"{key}\" must be {digits} hex digits"));
+                    }
+                }
+            }
+            if let Some(value) = v.get("remote_proc") {
+                let s = value
+                    .as_str()
+                    .ok_or("\"remote_proc\" must be a hex string")?;
+                if s.len() != 16 || !s.bytes().all(|b| b.is_ascii_hexdigit()) {
+                    return Err("\"remote_proc\" must be 16 hex digits".to_string());
+                }
+                need_u64(&v, "remote_span")?;
+            }
             Ok(())
         }
         "span" => {
@@ -368,9 +467,28 @@ fn field_from_json(v: &JsonValue) -> FieldValue {
 }
 
 /// Parses a JSONL trace (as written by [`Recording::to_jsonl`]) back into
-/// spans and metrics. Validates each line along the way.
+/// spans and metrics, validating each line along the way.
+///
+/// Accepts *concatenated* multi-process streams: every `meta` line opens a
+/// new segment whose span ids are re-based to stay unique, and remote
+/// parent declarations (meta `remote_proc`/`remote_span`, or the same pair
+/// as span fields) are resolved into real parent links — so the result is
+/// one well-formed tree even when the raw files reuse ids.
 pub fn parse_trace(text: &str) -> Result<Trace, String> {
+    struct Seg {
+        meta: Option<TraceSegment>,
+        base: u64,
+        span_start: usize,
+    }
     let mut trace = Trace::default();
+    let mut segs: Vec<Seg> = vec![Seg {
+        meta: None,
+        base: 0,
+        span_start: 0,
+    }];
+    // Highest raw id (or parent reference) seen in the current segment:
+    // the next segment's ids are shifted past it.
+    let mut max_raw: u64 = 0;
     for (i, line) in text.lines().enumerate() {
         if line.trim().is_empty() {
             continue;
@@ -379,7 +497,37 @@ pub fn parse_trace(text: &str) -> Result<Trace, String> {
         validate_line(line).map_err(fail)?;
         let v = json::parse(line).map_err(fail)?;
         match v.get("type").and_then(|t| t.as_str()) {
+            Some("meta") => {
+                let hex = |key: &str| {
+                    v.get(key)
+                        .and_then(|s| s.as_str())
+                        .and_then(|s| u64::from_str_radix(s, 16).ok())
+                };
+                let base = segs.last().unwrap().base + max_raw;
+                max_raw = 0;
+                let remote = hex("remote_proc").map(|p| {
+                    (
+                        p,
+                        v.get("remote_span").and_then(|s| s.as_u64()).unwrap_or(0),
+                    )
+                });
+                segs.push(Seg {
+                    meta: Some(TraceSegment {
+                        proc: hex("proc").unwrap_or(0),
+                        trace: v
+                            .get("trace")
+                            .and_then(|s| s.as_str())
+                            .unwrap_or("")
+                            .to_string(),
+                        remote,
+                        spans: 0,
+                    }),
+                    base,
+                    span_start: trace.spans.len(),
+                });
+            }
             Some("span") => {
+                let base = segs.last().unwrap().base;
                 let fields = v
                     .get("fields")
                     .and_then(|f| f.as_object())
@@ -387,9 +535,12 @@ pub fn parse_trace(text: &str) -> Result<Trace, String> {
                     .iter()
                     .map(|(k, fv)| (k.clone(), field_from_json(fv)))
                     .collect();
+                let raw_id = need_u64(&v, "id").map_err(fail)?;
+                let raw_parent = v.get("parent").and_then(|p| p.as_u64());
+                max_raw = max_raw.max(raw_id).max(raw_parent.unwrap_or(0));
                 trace.spans.push(SpanNode {
-                    id: need_u64(&v, "id").map_err(fail)?,
-                    parent: v.get("parent").and_then(|p| p.as_u64()),
+                    id: raw_id + base,
+                    parent: raw_parent.map(|p| p + base),
                     name: need_str(&v, "name").map_err(fail)?.to_string(),
                     thread: need_u64(&v, "thread").map_err(fail)?,
                     start_us: need_u64(&v, "start_us").map_err(fail)?,
@@ -426,10 +577,83 @@ pub fn parse_trace(text: &str) -> Result<Trace, String> {
                     }),
                 });
             }
-            _ => {} // meta
+            _ => {}
+        }
+    }
+    // Where does each process's id namespace start? First segment claiming
+    // a proc id wins (collisions across 64 random bits are negligible).
+    let mut proc_base: HashMap<u64, u64> = HashMap::new();
+    for seg in &segs {
+        if let Some(meta) = &seg.meta {
+            if meta.proc != 0 {
+                proc_base.entry(meta.proc).or_insert(seg.base);
+            }
+        }
+    }
+    // Segment-level stitching: a segment that adopted a remote context
+    // hangs all its roots under the remote span.
+    let total = trace.spans.len();
+    for (si, seg) in segs.iter().enumerate() {
+        let end = segs.get(si + 1).map(|s| s.span_start).unwrap_or(total);
+        let Some((rproc, rspan)) = seg.meta.as_ref().and_then(|m| m.remote) else {
+            continue;
+        };
+        if rspan == 0 {
+            continue;
+        }
+        if let Some(&tbase) = proc_base.get(&rproc) {
+            for s in &mut trace.spans[seg.span_start..end] {
+                if s.parent.is_none() {
+                    s.parent = Some(rspan + tbase);
+                }
+            }
+        }
+    }
+    // Span-level stitching: a span carrying remote_proc/remote_span fields
+    // (a serve request span) re-parents under that remote span.
+    let mut relinks = Vec::new();
+    for (idx, s) in trace.spans.iter().enumerate() {
+        let (Some(rproc), Some(rspan)) = (s.field_str("remote_proc"), s.field_u64("remote_span"))
+        else {
+            continue;
+        };
+        if rspan == 0 {
+            continue;
+        }
+        if let Ok(p) = u64::from_str_radix(rproc, 16) {
+            if let Some(&tbase) = proc_base.get(&p) {
+                relinks.push((idx, rspan + tbase));
+            }
+        }
+    }
+    for (idx, parent) in relinks {
+        trace.spans[idx].parent = Some(parent);
+    }
+    // Record the per-meta segments (span counts from the recorded starts).
+    let starts: Vec<usize> = segs.iter().map(|s| s.span_start).collect();
+    for (si, seg) in segs.into_iter().enumerate() {
+        if let Some(mut meta) = seg.meta {
+            let end = starts.get(si + 1).copied().unwrap_or(total);
+            meta.spans = end - seg.span_start;
+            trace.segments.push(meta);
         }
     }
     Ok(trace)
+}
+
+/// Stitches several per-process JSONL streams (client, server, rank
+/// children) into one parsed trace: concatenation plus the segment-aware
+/// [`parse_trace`]. The result is one span tree per trace id, with remote
+/// parent links resolved across processes.
+pub fn merge_traces<S: AsRef<str>>(texts: &[S]) -> Result<Trace, String> {
+    let mut joined = String::new();
+    for t in texts {
+        joined.push_str(t.as_ref());
+        if !joined.ends_with('\n') {
+            joined.push('\n');
+        }
+    }
+    parse_trace(&joined)
 }
 
 // ---------------------------------------------------------------------------
@@ -629,6 +853,89 @@ mod tests {
         assert!(sweep_row.contains(" 3 "), "{tree}");
         // The sweep row is indented under request.
         assert!(tree.find("request").unwrap() < tree.find("  sweep").unwrap());
+    }
+
+    #[test]
+    fn merge_stitches_processes_and_rebases_duplicate_ids() {
+        let trace_id = "00112233445566778899aabbccddeeff";
+        // Three processes, all reusing raw span ids 1/2: a client root, a
+        // server whose request span carries remote fields pointing at the
+        // client, and a rank child whose meta adopted the server's context.
+        let client = format!(
+            "{{\"type\":\"meta\",\"version\":1,\"spans\":1,\"metrics\":0,\"proc\":\"00000000000000aa\",\"trace\":\"{trace_id}\"}}\n\
+             {{\"type\":\"span\",\"id\":1,\"parent\":null,\"name\":\"request\",\"thread\":1,\"start_us\":0,\"dur_us\":100,\"fields\":{{}}}}\n"
+        );
+        let server = format!(
+            "{{\"type\":\"meta\",\"version\":1,\"spans\":2,\"metrics\":0,\"proc\":\"00000000000000bb\",\"trace\":\"5555555555555555aaaaaaaaaaaaaaaa\"}}\n\
+             {{\"type\":\"span\",\"id\":2,\"parent\":1,\"name\":\"kernel\",\"thread\":1,\"start_us\":2,\"dur_us\":10,\"fields\":{{}}}}\n\
+             {{\"type\":\"span\",\"id\":1,\"parent\":null,\"name\":\"request\",\"thread\":1,\"start_us\":1,\"dur_us\":50,\"fields\":{{\"remote_trace\":\"{trace_id}\",\"remote_proc\":\"00000000000000aa\",\"remote_span\":1}}}}\n"
+        );
+        let rank = format!(
+            "{{\"type\":\"meta\",\"version\":1,\"spans\":1,\"metrics\":0,\"proc\":\"00000000000000cc\",\"trace\":\"{trace_id}\",\"remote_proc\":\"00000000000000bb\",\"remote_span\":2}}\n\
+             {{\"type\":\"span\",\"id\":1,\"parent\":null,\"name\":\"rank\",\"thread\":1,\"start_us\":3,\"dur_us\":5,\"fields\":{{\"rank\":0}}}}\n"
+        );
+        let merged = merge_traces(&[client, server, rank]).unwrap();
+        assert_eq!(merged.spans.len(), 4);
+        assert_eq!(merged.segments.len(), 3);
+        // Duplicate raw ids across processes are not an error and come out
+        // globally unique.
+        let mut ids: Vec<u64> = merged.spans.iter().map(|s| s.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 4, "rebased ids must be unique");
+        // Walk each leaf up: everything reaches the client root.
+        let by_id: HashMap<u64, &SpanNode> = merged.spans.iter().map(|s| (s.id, s)).collect();
+        let client_root = merged
+            .spans
+            .iter()
+            .find(|s| s.name == "request" && s.field("remote_proc").is_none())
+            .unwrap();
+        let rank_span = merged.spans.iter().find(|s| s.name == "rank").unwrap();
+        let mut cur = rank_span;
+        let mut hops = 0;
+        while let Some(p) = cur.parent {
+            cur = by_id[&p];
+            hops += 1;
+            assert!(hops < 10);
+        }
+        assert_eq!(cur.id, client_root.id, "rank chain reaches the client root");
+        // The server request span itself re-parented under the client.
+        let server_req = merged
+            .spans
+            .iter()
+            .find(|s| s.name == "request" && s.field("remote_proc").is_some())
+            .unwrap();
+        assert_eq!(server_req.parent, Some(client_root.id));
+        assert_eq!(merged.trace_ids()[0], trace_id);
+    }
+
+    #[test]
+    fn adopted_capture_emits_remote_meta_that_merges_back() {
+        use crate::TraceContext;
+        let upstream = TraceContext {
+            trace_hi: 0x1111_2222_3333_4444,
+            trace_lo: 0x5555_6666_7777_8888,
+            proc: 0xabcd,
+            parent_span: 7,
+        };
+        let cap = capture();
+        crate::adopt_remote_context(upstream);
+        {
+            let _s = span("rank");
+        }
+        let rec = cap.finish();
+        assert_eq!(rec.remote, Some(upstream));
+        assert_eq!(rec.trace, (upstream.trace_hi, upstream.trace_lo));
+        let jsonl = rec.to_jsonl();
+        assert!(
+            jsonl.contains("\"remote_proc\":\"000000000000abcd\""),
+            "{jsonl}"
+        );
+        let trace = parse_trace(&jsonl).unwrap();
+        assert_eq!(trace.segments[0].remote, Some((0xabcd, 7)));
+        assert_eq!(trace.segments[0].trace, upstream.trace_hex());
+        // No segment owns proc 0xabcd here, so the root stays a root.
+        assert_eq!(trace.spans[0].parent, None);
     }
 
     #[test]

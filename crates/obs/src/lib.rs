@@ -56,21 +56,132 @@
 
 pub mod drift;
 pub mod export;
+pub mod flight;
 pub mod json;
 pub mod metrics;
 pub mod span;
 
 pub use drift::{DriftRecord, DriftReport};
-pub use export::{metrics_summary, parse_trace, tree_summary, Recording, SpanNode, Trace};
+pub use export::{
+    merge_traces, metrics_summary, metrics_to_jsonl, parse_trace, tree_summary, Recording,
+    SpanNode, Trace,
+};
+pub use flight::{
+    flight_from_jsonl, flight_snapshot, flight_to_jsonl, FlightRecord, FLIGHT_CAPACITY,
+};
 pub use metrics::{HistogramSnapshot, MetricSnapshot, MetricValue, MetricsRegistry};
-pub use span::{FieldValue, Span, SpanRecord};
+pub use span::{current_span_id, FieldValue, Span, SpanRecord};
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard, RwLock};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, RwLock};
 use std::time::Instant;
 
 /// Re-exported line validators (see [`export`]).
 pub use export::{validate, validate_line};
+
+// ---------------------------------------------------------------------------
+// Cross-process trace identity
+// ---------------------------------------------------------------------------
+
+/// The identity a span tree carries across a process boundary: a 128-bit
+/// trace id, the sending process's id, and the id of the span the remote
+/// tree should hang under. Serialized as four u64 header words on both wire
+/// codecs (see the dist `wire` module) and as a hex string on the CLI
+/// (`--trace-context`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceContext {
+    /// High 64 bits of the 128-bit trace id.
+    pub trace_hi: u64,
+    /// Low 64 bits of the 128-bit trace id.
+    pub trace_lo: u64,
+    /// The sending process's id (see [`proc_id`]): span ids are only unique
+    /// per process, so `parent_span` means nothing without this.
+    pub proc: u64,
+    /// The span (in the sending process's id namespace) the receiver's
+    /// tree parents under. `0` when the sender had no open span.
+    pub parent_span: u64,
+}
+
+impl TraceContext {
+    /// The four wire words, in header order.
+    pub fn to_words(self) -> [u64; 4] {
+        [self.trace_hi, self.trace_lo, self.proc, self.parent_span]
+    }
+
+    /// Rebuilds a context from [`TraceContext::to_words`].
+    pub fn from_words(w: [u64; 4]) -> TraceContext {
+        TraceContext {
+            trace_hi: w[0],
+            trace_lo: w[1],
+            proc: w[2],
+            parent_span: w[3],
+        }
+    }
+
+    /// The 128-bit trace id as 32 hex digits.
+    pub fn trace_hex(&self) -> String {
+        format!("{:016x}{:016x}", self.trace_hi, self.trace_lo)
+    }
+
+    /// Parses the [`std::fmt::Display`] form
+    /// (`<32-hex trace>/<16-hex proc>/<decimal parent-span>`).
+    pub fn parse(s: &str) -> Result<TraceContext, String> {
+        let parts: Vec<&str> = s.split('/').collect();
+        if parts.len() != 3 || parts[0].len() != 32 {
+            return Err(format!(
+                "bad trace context {s:?}: want <32-hex-trace>/<16-hex-proc>/<parent-span>"
+            ));
+        }
+        let hex =
+            |h: &str| u64::from_str_radix(h, 16).map_err(|e| format!("bad hex in {s:?}: {e}"));
+        Ok(TraceContext {
+            trace_hi: hex(&parts[0][..16])?,
+            trace_lo: hex(&parts[0][16..])?,
+            proc: hex(parts[1])?,
+            parent_span: parts[2]
+                .parse()
+                .map_err(|e| format!("bad parent span in {s:?}: {e}"))?,
+        })
+    }
+}
+
+impl std::fmt::Display for TraceContext {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}/{:016x}/{}",
+            self.trace_hex(),
+            self.proc,
+            self.parent_span
+        )
+    }
+}
+
+/// This process's trace identity: a random-looking nonzero u64, stable for
+/// the process lifetime. Span ids are only unique within one capture of one
+/// process; the (proc, span-id) pair is what crosses the wire.
+pub fn proc_id() -> u64 {
+    static PROC_ID: OnceLock<u64> = OnceLock::new();
+    *PROC_ID.get_or_init(|| mix64(0x70726f63 /* "proc" */))
+}
+
+/// A SplitMix64-style mixer over process id + wall clock + a salt — enough
+/// entropy to make cross-process id collisions negligible without a PRNG
+/// dependency.
+fn mix64(salt: u64) -> u64 {
+    let pid = std::process::id() as u64;
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0);
+    let mut x = pid
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(nanos)
+        .wrapping_add(salt);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    (x ^ (x >> 31)) | 1 // nonzero
+}
 
 // ---------------------------------------------------------------------------
 // Global capture state
@@ -101,16 +212,31 @@ pub(crate) struct Collector {
     next_id: AtomicU64,
     spans: Mutex<Vec<SpanRecord>>,
     metrics: MetricsRegistry,
+    /// The 128-bit trace id this capture mints (replaced when a remote
+    /// context is adopted: then this process is part of the caller's trace).
+    trace: Mutex<(u64, u64)>,
+    /// The remote parent adopted for the whole capture, if any.
+    remote: Mutex<Option<TraceContext>>,
 }
 
 impl Collector {
     fn new() -> Collector {
+        // A per-capture salt so back-to-back captures on a coarse clock
+        // still mint distinct trace ids.
+        static CAPTURE_SALT: AtomicU64 = AtomicU64::new(0);
+        let salt = CAPTURE_SALT.fetch_add(2, Ordering::Relaxed);
         Collector {
             epoch: Instant::now(),
             next_id: AtomicU64::new(1),
             spans: Mutex::new(Vec::new()),
             metrics: MetricsRegistry::new(),
+            trace: Mutex::new((mix64(salt ^ 0x7472), mix64(salt.wrapping_add(1) ^ 0x6c6f))),
+            remote: Mutex::new(None),
         }
+    }
+
+    pub(crate) fn trace(&self) -> (u64, u64) {
+        *self.trace.lock().unwrap_or_else(|e| e.into_inner())
     }
 
     pub(crate) fn next_id(&self) -> u64 {
@@ -137,6 +263,9 @@ impl Collector {
         Recording {
             spans,
             metrics: self.metrics.snapshot(),
+            proc: proc_id(),
+            trace: self.trace(),
+            remote: *self.remote.lock().unwrap_or_else(|e| e.into_inner()),
         }
     }
 }
@@ -205,11 +334,52 @@ impl Drop for Capture {
 #[inline]
 pub fn span(name: &'static str) -> Span {
     if !enabled() {
-        return Span::noop();
+        return Span::noop(name);
     }
     match current_collector() {
         Some(collector) => Span::enter(collector, name),
-        None => Span::noop(),
+        None => Span::noop(name),
+    }
+}
+
+/// The context an outgoing request should carry: the active trace id (the
+/// capture's own, or the adopted/thread-local remote one), this process's
+/// id, and the innermost open span on this thread as the parent. `None`
+/// when tracing is disabled — callers simply send an untraced frame.
+pub fn current_context() -> Option<TraceContext> {
+    if !enabled() {
+        return None;
+    }
+    let collector = current_collector()?;
+    let (trace_hi, trace_lo) = span::current_trace_override()
+        .or_else(|| {
+            collector
+                .remote
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .map(|r| (r.trace_hi, r.trace_lo))
+        })
+        .unwrap_or_else(|| collector.trace());
+    Some(TraceContext {
+        trace_hi,
+        trace_lo,
+        proc: proc_id(),
+        parent_span: span::current_span_id().unwrap_or(0),
+    })
+}
+
+/// Joins the active capture to a remote trace: the capture's meta line
+/// records the remote (proc, span) pair and the whole recording switches to
+/// the remote trace id, so [`merge_traces`] parents this process's root
+/// spans under the remote span. Used by rank child processes, which receive
+/// their context once at launch. No-op when tracing is disabled.
+pub fn adopt_remote_context(ctx: TraceContext) {
+    if !enabled() {
+        return;
+    }
+    if let Some(collector) = current_collector() {
+        *collector.trace.lock().unwrap_or_else(|e| e.into_inner()) = (ctx.trace_hi, ctx.trace_lo);
+        *collector.remote.lock().unwrap_or_else(|e| e.into_inner()) = Some(ctx);
     }
 }
 
@@ -326,5 +496,71 @@ mod tests {
             assert!(enabled());
         }
         assert!(!enabled());
+    }
+
+    #[test]
+    fn trace_context_display_roundtrips() {
+        let ctx = TraceContext {
+            trace_hi: 0xdead_beef_0000_0001,
+            trace_lo: 2,
+            proc: proc_id(),
+            parent_span: 42,
+        };
+        assert_eq!(TraceContext::parse(&ctx.to_string()).unwrap(), ctx);
+        assert_eq!(TraceContext::from_words(ctx.to_words()), ctx);
+        assert!(TraceContext::parse("nope").is_err());
+        assert!(TraceContext::parse("abc/def/1").is_err());
+    }
+
+    #[test]
+    fn current_context_tracks_span_stack_and_adoption() {
+        assert_eq!(current_context(), None, "no context when disabled");
+        let cap = capture();
+        let outside = current_context().unwrap();
+        assert_eq!(outside.parent_span, 0, "no open span yet");
+        assert_eq!(outside.proc, proc_id());
+        let (root_ctx, adopted_ctx) = {
+            let root = span("request");
+            let root_id = root.id().unwrap();
+            let ctx = current_context().unwrap();
+            assert_eq!(ctx.parent_span, root_id);
+            assert_eq!(
+                (ctx.trace_hi, ctx.trace_lo),
+                (outside.trace_hi, outside.trace_lo)
+            );
+            // Adopting a remote context switches this thread's trace id.
+            let mut inner = span("net.request");
+            inner.adopt(TraceContext {
+                trace_hi: 0xaaaa,
+                trace_lo: 0xbbbb,
+                proc: 0xcccc,
+                parent_span: 9,
+            });
+            let adopted = current_context().unwrap();
+            assert_eq!((adopted.trace_hi, adopted.trace_lo), (0xaaaa, 0xbbbb));
+            assert_eq!(adopted.parent_span, inner.id().unwrap());
+            drop(inner);
+            // The override dies with the adopting span.
+            let restored = current_context().unwrap();
+            assert_eq!(
+                (restored.trace_hi, restored.trace_lo),
+                (outside.trace_hi, outside.trace_lo)
+            );
+            (ctx, adopted)
+        };
+        let rec = cap.finish();
+        let req = rec.spans.iter().find(|s| s.name == "net.request").unwrap();
+        assert_eq!(req.id, adopted_ctx.parent_span);
+        assert!(req
+            .fields
+            .iter()
+            .any(|(k, v)| *k == "remote_span" && *v == FieldValue::U64(9)));
+        assert_eq!(
+            rec.spans
+                .iter()
+                .filter(|s| s.id == root_ctx.parent_span)
+                .count(),
+            1
+        );
     }
 }

@@ -5,7 +5,7 @@
 //! span with no enclosing one produce a root — which is exactly how the
 //! serve layer models "one root span per request".
 
-use crate::Collector;
+use crate::{flight, Collector, TraceContext};
 use std::cell::{Cell, RefCell};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -96,6 +96,10 @@ thread_local! {
     static THREAD_ORDINAL: Cell<u64> = const { Cell::new(0) };
     /// Ids of this thread's open spans, innermost last.
     static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+    /// Trace-id override installed by [`Span::adopt`]: spans (and outgoing
+    /// contexts) on this thread belong to the adopted remote trace until
+    /// the adopting span closes.
+    static CURRENT_TRACE: Cell<Option<(u64, u64)>> = const { Cell::new(None) };
 }
 
 fn thread_ordinal() -> u64 {
@@ -109,6 +113,17 @@ fn thread_ordinal() -> u64 {
     })
 }
 
+/// The innermost open span id on this thread (the parent a new span or an
+/// outgoing [`TraceContext`] would get), if any.
+pub fn current_span_id() -> Option<u64> {
+    SPAN_STACK.with(|s| s.borrow().last().copied())
+}
+
+/// The trace-id override installed by [`Span::adopt`] on this thread.
+pub(crate) fn current_trace_override() -> Option<(u64, u64)> {
+    CURRENT_TRACE.with(|c| c.get())
+}
+
 struct ActiveSpan {
     collector: Arc<Collector>,
     id: u64,
@@ -117,18 +132,28 @@ struct ActiveSpan {
     start: Instant,
     start_us: u64,
     fields: Vec<(&'static str, FieldValue)>,
+    /// `Some(previous)` when this span installed a trace override via
+    /// [`Span::adopt`]; restored on drop.
+    trace_restore: Option<Option<(u64, u64)>>,
 }
 
 /// An open span: closes (and records itself) on drop. Obtained from
-/// [`crate::span()`]; inert — allocating and recording nothing — when tracing
-/// is disabled.
+/// [`crate::span()`]. When tracing is disabled the span is inert —
+/// allocating and recording nothing — except that its close still deposits
+/// one fixed-size event into the always-on flight recorder
+/// (see [`crate::flight_snapshot`]).
 pub struct Span {
     inner: Option<ActiveSpan>,
+    /// Set when inert: just enough to feed the flight recorder on drop.
+    flight: Option<(&'static str, Instant)>,
 }
 
 impl Span {
-    pub(crate) fn noop() -> Span {
-        Span { inner: None }
+    pub(crate) fn noop(name: &'static str) -> Span {
+        Span {
+            inner: None,
+            flight: Some((name, Instant::now())),
+        }
     }
 
     pub(crate) fn enter(collector: Arc<Collector>, name: &'static str) -> Span {
@@ -149,7 +174,9 @@ impl Span {
                 start: Instant::now(),
                 start_us,
                 fields: Vec::new(),
+                trace_restore: None,
             }),
+            flight: None,
         }
     }
 
@@ -176,11 +203,42 @@ impl Span {
         self.record(key, value);
         self
     }
+
+    /// Adopts a remote parent: records the remote trace/proc/span as fields
+    /// (`remote_trace`/`remote_proc` as hex strings — they do not fit JSON's
+    /// f64 numbers exactly — and `remote_span` as an id), and switches this
+    /// thread onto the remote trace id until this span closes. The trace
+    /// merger ([`crate::merge_traces`]) re-parents this span under the
+    /// remote span. No-op when inert.
+    pub fn adopt(&mut self, ctx: TraceContext) {
+        let Some(active) = self.inner.as_mut() else {
+            return;
+        };
+        active.fields.push((
+            "remote_trace",
+            FieldValue::Str(format!("{:016x}{:016x}", ctx.trace_hi, ctx.trace_lo)),
+        ));
+        active
+            .fields
+            .push(("remote_proc", FieldValue::Str(format!("{:016x}", ctx.proc))));
+        active
+            .fields
+            .push(("remote_span", FieldValue::U64(ctx.parent_span)));
+        let prev = CURRENT_TRACE.with(|c| c.replace(Some((ctx.trace_hi, ctx.trace_lo))));
+        if active.trace_restore.is_none() {
+            active.trace_restore = Some(prev);
+        }
+    }
 }
 
 impl Drop for Span {
     fn drop(&mut self) {
         let Some(active) = self.inner.take() else {
+            // Inert span: the only close-time work is the flight deposit.
+            if let Some((name, start)) = self.flight.take() {
+                let dur_us = start.elapsed().as_micros() as u64;
+                flight::push(name, thread_ordinal(), flight::process_micros(), dur_us);
+            }
             return;
         };
         let dur_us = active.start.elapsed().as_micros() as u64;
@@ -194,11 +252,16 @@ impl Drop for Span {
                 stack.remove(pos);
             }
         });
+        if let Some(prev) = active.trace_restore {
+            CURRENT_TRACE.with(|c| c.set(prev));
+        }
+        let thread = thread_ordinal();
+        flight::push(active.name, thread, flight::process_micros(), dur_us);
         active.collector.push_span(SpanRecord {
             id: active.id,
             parent: active.parent,
             name: active.name,
-            thread: thread_ordinal(),
+            thread,
             start_us: active.start_us,
             dur_us,
             fields: active.fields,

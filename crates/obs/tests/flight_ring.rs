@@ -1,0 +1,57 @@
+//! The flight recorder's core promise, asserted in a process of its own:
+//! with full capture **off**, span closes still land in the ring, the ring
+//! retains exactly the last N, and a later capture doesn't perturb the
+//! sequence numbering.
+
+use mttkrp_obs::{flight_snapshot, span, FLIGHT_CAPACITY};
+
+#[test]
+fn ring_retains_the_last_n_closes_without_a_capture() {
+    assert!(!mttkrp_obs::enabled(), "this test owns the process");
+
+    // Fewer than capacity: everything is retained, in close order.
+    for _ in 0..5 {
+        let _s = span("warm");
+    }
+    let snap = flight_snapshot();
+    assert_eq!(snap.iter().filter(|r| r.name == "warm").count(), 5);
+    for pair in snap.windows(2) {
+        assert_eq!(pair[1].seq, pair[0].seq + 1, "gapless seqs");
+    }
+
+    // Overfill: only the newest FLIGHT_CAPACITY survive.
+    for _ in 0..(2 * FLIGHT_CAPACITY) {
+        let _s = span("flood");
+    }
+    let snap = flight_snapshot();
+    assert_eq!(snap.len(), FLIGHT_CAPACITY);
+    assert!(
+        snap.iter().all(|r| r.name == "flood"),
+        "the warmup closes were overwritten"
+    );
+    let last_seq = snap.last().unwrap().seq;
+    assert_eq!(
+        snap.first().unwrap().seq,
+        last_seq - (FLIGHT_CAPACITY as u64 - 1),
+        "exactly the trailing window"
+    );
+
+    // Nested spans close inner-first; the ring sees that order.
+    {
+        let _outer = span("outer");
+        let _inner = span("inner");
+    }
+    let snap = flight_snapshot();
+    let tail: Vec<&str> = snap.iter().rev().take(2).map(|r| r.name.as_str()).collect();
+    assert_eq!(tail, ["outer", "inner"], "outer closed last");
+
+    // A capture running afterwards keeps feeding the same ring.
+    let cap = mttkrp_obs::capture();
+    {
+        let _s = span("captured");
+    }
+    drop(cap);
+    let snap = flight_snapshot();
+    assert_eq!(snap.last().unwrap().name, "captured");
+    assert_eq!(snap.last().unwrap().seq, last_seq + 3);
+}

@@ -8,9 +8,10 @@
 //! and still sends the (partial) fitted model back.
 
 use crate::net::protocol::{
-    self, FactorizeSpec, ProtocolError, RemoteFactorize, RemoteMttkrp, SweepUpdate,
+    self, FactorizeSpec, HealthSnapshot, ProtocolError, RemoteFactorize, RemoteMttkrp, SweepUpdate,
 };
 use mttkrp_dist::transport::wire::{self, Frame, WireError};
+use mttkrp_obs::{FlightRecord, MetricSnapshot};
 use mttkrp_tensor::{DenseTensor, Matrix};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
@@ -144,7 +145,8 @@ impl Client {
         mode: usize,
     ) -> Result<RemoteMttkrp, ClientError> {
         let tag = self.fresh_tag();
-        let request = protocol::encode_mttkrp_request(tag, tensor, factors, mode);
+        let request = protocol::encode_mttkrp_request(tag, tensor, factors, mode)
+            .with_trace(mttkrp_obs::current_context());
         wire::write_frame(&mut self.stream, &request).map_err(ClientError::Io)?;
         let frame = self.read_reply(tag)?;
         if frame.comm_id != wire::CTRL_MTTKRP_RESP {
@@ -188,7 +190,8 @@ impl Client {
         mut on_sweep: impl FnMut(&SweepUpdate) -> StreamControl,
     ) -> Result<RemoteFactorize, ClientError> {
         let tag = self.fresh_tag();
-        let request = protocol::encode_factorize_request(tag, tensor, spec, stream);
+        let request = protocol::encode_factorize_request(tag, tensor, spec, stream)
+            .with_trace(mttkrp_obs::current_context());
         wire::write_frame(&mut self.stream, &request).map_err(ClientError::Io)?;
         let mut cancel_sent = false;
         loop {
@@ -213,6 +216,54 @@ impl Client {
                 }
             }
         }
+    }
+
+    /// Scrapes the server's metrics registry over a `STATS` frame.
+    /// Answered inline by the connection's reader — never shed, never
+    /// counted against the admission cap.
+    pub fn stats(&mut self) -> Result<Vec<MetricSnapshot>, ClientError> {
+        let tag = self.fresh_tag();
+        wire::write_frame(&mut self.stream, &protocol::encode_stats_request(tag))
+            .map_err(ClientError::Io)?;
+        let frame = self.expect_reply(tag, wire::CTRL_STATS, "a stats response frame")?;
+        Ok(protocol::decode_stats_response(&frame)?)
+    }
+
+    /// Probes liveness over a `HEALTH` frame: uptime, open connections,
+    /// in-flight occupancy, draining flag, admission cap.
+    pub fn health(&mut self) -> Result<HealthSnapshot, ClientError> {
+        let tag = self.fresh_tag();
+        wire::write_frame(&mut self.stream, &protocol::encode_health_request(tag))
+            .map_err(ClientError::Io)?;
+        let frame = self.expect_reply(tag, wire::CTRL_HEALTH, "a health response frame")?;
+        Ok(protocol::decode_health_response(&frame)?)
+    }
+
+    /// Dumps the server's flight recorder (the last
+    /// [`mttkrp_obs::FLIGHT_CAPACITY`] span closes, capture on or off)
+    /// over a `TRACE_DUMP` frame.
+    pub fn trace_dump(&mut self) -> Result<Vec<FlightRecord>, ClientError> {
+        let tag = self.fresh_tag();
+        wire::write_frame(&mut self.stream, &protocol::encode_trace_dump_request(tag))
+            .map_err(ClientError::Io)?;
+        let frame = self.expect_reply(tag, wire::CTRL_TRACE_DUMP, "a trace dump response frame")?;
+        Ok(protocol::decode_trace_dump_response(&frame)?)
+    }
+
+    fn expect_reply(
+        &mut self,
+        tag: u32,
+        kind: u64,
+        expected: &'static str,
+    ) -> Result<Frame, ClientError> {
+        let frame = self.read_reply(tag)?;
+        if frame.comm_id != kind {
+            return Err(ClientError::Protocol(ProtocolError::Unexpected {
+                expected,
+                got: frame.comm_id,
+            }));
+        }
+        Ok(frame)
     }
 
     /// Reads one reply frame, translating the protocol-wide kinds

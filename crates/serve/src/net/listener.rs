@@ -40,6 +40,7 @@ use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// Metric names the front door writes into the server's registry.
 pub mod metric {
@@ -57,6 +58,16 @@ pub mod metric {
     pub const PROTOCOL_ERRORS: &str = "serve.net.protocol_errors";
     /// Per-sweep progress frames streamed to factorize clients.
     pub const SWEEPS_STREAMED: &str = "serve.net.sweeps_streamed";
+    /// Admission decisions taken (always equals `REQUESTS + SHED`; the
+    /// scrape lock makes the identity hold at *every* `STATS` snapshot,
+    /// not just at drain).
+    pub const REQUEST_ATTEMPTS: &str = "serve.net.request_attempts";
+    /// Ops-plane scrapes (`STATS`/`HEALTH`/`TRACE_DUMP`) answered.
+    pub const SCRAPES: &str = "serve.net.scrapes";
+    /// Bytes read off sockets (whole decoded frames).
+    pub const BYTES_IN: &str = "serve.net.bytes_in";
+    /// Bytes written to sockets (whole encoded frames).
+    pub const BYTES_OUT: &str = "serve.net.bytes_out";
 }
 
 /// How a [`NetServer`] is sized.
@@ -156,6 +167,26 @@ struct Shared {
     conns: Mutex<HashMap<u64, TcpStream>>,
     next_conn_id: AtomicU64,
     handlers: Mutex<Vec<JoinHandle<()>>>,
+    /// When the listener started (the `HEALTH` uptime epoch).
+    started: Instant,
+    /// Serializes admission-counter updates against `STATS` snapshots, so
+    /// a scrape can never observe `attempts != admissions + sheds`
+    /// mid-update.
+    scrape_lock: Mutex<()>,
+    /// Backend override for factorizations arriving over the wire
+    /// ([`crate::ServerConfig::backend`]); `Auto` leaves requests as
+    /// decoded.
+    backend: mttkrp_als::BackendChoice,
+}
+
+/// One connection's write half: the socket, serialized, plus this
+/// connection's outbound byte tally (the registry-level
+/// [`metric::BYTES_OUT`] is bumped too; the per-connection tally lands on
+/// the `net.connection` span at close).
+struct ConnWriter {
+    stream: Mutex<TcpStream>,
+    bytes_out: AtomicU64,
+    metrics: Arc<MetricsRegistry>,
 }
 
 /// A TCP front door over a [`Server`]: accepts many concurrent
@@ -198,6 +229,9 @@ impl NetServer {
             conns: Mutex::new(HashMap::new()),
             next_conn_id: AtomicU64::new(0),
             handlers: Mutex::new(Vec::new()),
+            started: Instant::now(),
+            scrape_lock: Mutex::new(()),
+            backend: config.server.backend,
         });
         let stop_accept = Arc::new(AtomicBool::new(false));
         let acceptor = {
@@ -322,31 +356,46 @@ fn run_acceptor(
 /// Writes one frame, serialized against the connection's other writers
 /// (streamed sweeps, concurrent replies). Write failures mean the peer is
 /// gone; the reader will notice on its own.
-fn send(writer: &Arc<Mutex<TcpStream>>, frame: &Frame) {
-    let mut w = lock(writer);
-    let _ = wire::write_frame(&mut *w, frame);
+fn send(writer: &Arc<ConnWriter>, frame: &Frame) {
+    let mut w = lock(&writer.stream);
+    if wire::write_frame(&mut *w, frame).is_ok() {
+        let n = wire::frame_wire_bytes(frame) as u64;
+        writer.bytes_out.fetch_add(n, Ordering::Relaxed);
+        counter_add(&writer.metrics, metric::BYTES_OUT, n);
+    }
 }
 
 /// Sheds or admits one decoded request: a permit, or `None` after a
-/// retry-after frame has been sent.
-fn admit(shared: &Shared, tag: u32, writer: &Arc<Mutex<TcpStream>>) -> Option<Permit> {
-    if !shared.draining.load(Ordering::Acquire) {
-        if let Some(permit) = shared.admission.try_acquire() {
+/// retry-after frame has been sent. Counter updates happen under the
+/// scrape lock, as one unit, so `attempts == admissions + sheds` at every
+/// `STATS` snapshot.
+fn admit(shared: &Shared, tag: u32, writer: &Arc<ConnWriter>) -> Option<Permit> {
+    let admitted = if shared.draining.load(Ordering::Acquire) {
+        None
+    } else {
+        shared.admission.try_acquire()
+    };
+    {
+        let _sync = lock(&shared.scrape_lock);
+        counter_add(&shared.metrics, metric::REQUEST_ATTEMPTS, 1);
+        if admitted.is_some() {
             counter_add(&shared.metrics, metric::REQUESTS, 1);
-            return Some(permit);
+        } else {
+            counter_add(&shared.metrics, metric::SHED, 1);
         }
     }
-    counter_add(&shared.metrics, metric::SHED, 1);
-    send(
-        writer,
-        &protocol::encode_retry_after(tag, shared.retry_after_ms),
-    );
-    None
+    if admitted.is_none() {
+        send(
+            writer,
+            &protocol::encode_retry_after(tag, shared.retry_after_ms),
+        );
+    }
+    admitted
 }
 
 /// Answers a malformed payload with a typed error, keeping the connection
 /// (the frame itself was well-formed, so the stream is still in sync).
-fn reject(shared: &Shared, writer: &Arc<Mutex<TcpStream>>, tag: u32, error: &ProtocolError) {
+fn reject(shared: &Shared, writer: &Arc<ConnWriter>, tag: u32, error: &ProtocolError) {
     counter_add(&shared.metrics, metric::PROTOCOL_ERRORS, 1);
     send(writer, &protocol::encode_error(tag, &error.to_string()));
 }
@@ -358,12 +407,21 @@ fn handle_connection(id: u64, mut reader: TcpStream, server: Arc<Server>, shared
     }
     gauge_add(&shared.metrics, metric::OPEN_CONNECTIONS, 1);
     let mut requests = 0u64;
+    let mut bytes_in = 0u64;
+    let mut bytes_out = 0u64;
     if let Ok(writer) = reader.try_clone() {
-        let writer = Arc::new(Mutex::new(writer));
-        requests = serve_frames(&mut reader, &writer, &server, &shared);
+        let writer = Arc::new(ConnWriter {
+            stream: Mutex::new(writer),
+            bytes_out: AtomicU64::new(0),
+            metrics: Arc::clone(&shared.metrics),
+        });
+        (requests, bytes_in) = serve_frames(&mut reader, &writer, &server, &shared);
+        bytes_out = writer.bytes_out.load(Ordering::Relaxed);
     }
     if span.is_active() {
         span.record("requests", requests);
+        span.record("bytes_in", bytes_in);
+        span.record("bytes_out", bytes_out);
     }
     gauge_add(&shared.metrics, metric::OPEN_CONNECTIONS, -1);
     lock(&shared.conns).remove(&id);
@@ -371,51 +429,61 @@ fn handle_connection(id: u64, mut reader: TcpStream, server: Arc<Server>, shared
 
 /// The connection's read loop: handshake, then requests until the peer
 /// says FIN, vanishes, or desynchronizes the stream. Returns how many
-/// requests were admitted.
+/// requests were admitted and how many bytes were read.
 fn serve_frames(
     reader: &mut TcpStream,
-    writer: &Arc<Mutex<TcpStream>>,
+    writer: &Arc<ConnWriter>,
     server: &Arc<Server>,
     shared: &Arc<Shared>,
-) -> u64 {
+) -> (u64, u64) {
     // In-flight factorizations by tag, so a cancel frame — or the peer
     // vanishing — can stop their runs at the next sweep boundary.
     let inflight: Arc<Mutex<HashMap<u32, CancelFlag>>> = Arc::default();
     let mut requests = 0u64;
+    let mut bytes_in = 0u64;
 
     // Handshake: exactly one hello, answered with ours (or a retry-after
     // when the server is draining — the client should come back later).
     match wire::read_frame(reader) {
-        Ok(frame) => match protocol::decode_hello(&frame) {
-            Ok(protocol::PROTOCOL_VERSION) => {
-                if shared.draining.load(Ordering::Acquire) {
-                    counter_add(&shared.metrics, metric::SHED, 1);
-                    send(
-                        writer,
-                        &protocol::encode_retry_after(0, shared.retry_after_ms),
-                    );
-                    return 0;
+        Ok(frame) => {
+            let n = wire::frame_wire_bytes(&frame) as u64;
+            bytes_in += n;
+            counter_add(&shared.metrics, metric::BYTES_IN, n);
+            match protocol::decode_hello(&frame) {
+                Ok(protocol::PROTOCOL_VERSION) => {
+                    if shared.draining.load(Ordering::Acquire) {
+                        {
+                            let _sync = lock(&shared.scrape_lock);
+                            counter_add(&shared.metrics, metric::REQUEST_ATTEMPTS, 1);
+                            counter_add(&shared.metrics, metric::SHED, 1);
+                        }
+                        send(
+                            writer,
+                            &protocol::encode_retry_after(0, shared.retry_after_ms),
+                        );
+                        return (0, bytes_in);
+                    }
+                    send(writer, &protocol::encode_hello());
                 }
-                send(writer, &protocol::encode_hello());
+                Ok(version) => {
+                    reject(
+                        shared,
+                        writer,
+                        frame.from,
+                        &ProtocolError::Malformed(format!(
+                            "unsupported protocol version {version} (this server speaks {})",
+                            protocol::PROTOCOL_VERSION
+                        )),
+                    );
+                    return (0, bytes_in);
+                }
+                Err(e) => {
+                    reject(shared, writer, frame.from, &e);
+                    return (0, bytes_in);
+                }
             }
-            Ok(version) => {
-                reject(
-                    shared,
-                    writer,
-                    frame.from,
-                    &ProtocolError::Malformed(format!(
-                        "unsupported protocol version {version} (this server speaks {})",
-                        protocol::PROTOCOL_VERSION
-                    )),
-                );
-                return 0;
-            }
-            Err(e) => {
-                reject(shared, writer, frame.from, &e);
-                return 0;
-            }
-        },
-        Err(_) => return 0, // never said hello; nothing to answer
+        }
+        Err(_) => return (0, 0), // never said hello; nothing to answer
     }
 
     loop {
@@ -429,6 +497,9 @@ fn serve_frames(
                 break;
             }
         };
+        let n = wire::frame_wire_bytes(&frame) as u64;
+        bytes_in += n;
+        counter_add(&shared.metrics, metric::BYTES_IN, n);
         let tag = frame.from;
         match frame.comm_id {
             wire::CTRL_FIN => break, // orderly goodbye
@@ -437,12 +508,39 @@ fn serve_frames(
                     flag.cancel();
                 }
             }
+            // Ops-plane scrapes: answered inline by this reader, never
+            // admitted — a scrape cannot be shed and cannot displace work.
+            wire::CTRL_STATS => {
+                let text = {
+                    let _sync = lock(&shared.scrape_lock);
+                    counter_add(&shared.metrics, metric::SCRAPES, 1);
+                    mttkrp_obs::metrics_to_jsonl(&shared.metrics.snapshot())
+                };
+                send(writer, &protocol::encode_stats_response(tag, &text));
+            }
+            wire::CTRL_HEALTH => {
+                counter_add(&shared.metrics, metric::SCRAPES, 1);
+                let health = protocol::HealthSnapshot {
+                    uptime_ms: shared.started.elapsed().as_millis() as u64,
+                    open_connections: shared.metrics.gauge_value(metric::OPEN_CONNECTIONS).max(0)
+                        as u64,
+                    in_flight: *lock(&shared.admission.in_flight) as u64,
+                    draining: shared.draining.load(Ordering::Acquire),
+                    admission_cap: shared.admission.cap as u64,
+                };
+                send(writer, &protocol::encode_health_response(tag, &health));
+            }
+            wire::CTRL_TRACE_DUMP => {
+                counter_add(&shared.metrics, metric::SCRAPES, 1);
+                let text = mttkrp_obs::flight_to_jsonl(&mttkrp_obs::flight_snapshot());
+                send(writer, &protocol::encode_trace_dump_response(tag, &text));
+            }
             wire::CTRL_MTTKRP_REQ => match protocol::decode_mttkrp_request(&frame) {
                 Err(e) => reject(shared, writer, tag, &e),
                 Ok(request) => {
                     if let Some(permit) = admit(shared, tag, writer) {
                         requests += 1;
-                        let handle = server.submit(request);
+                        let handle = server.submit(request.with_context(frame.trace));
                         let writer = Arc::clone(writer);
                         std::thread::spawn(move || {
                             let response = handle.wait();
@@ -455,9 +553,14 @@ fn serve_frames(
             wire::CTRL_FACTORIZE_REQ => {
                 match protocol::decode_factorize_request(&frame, &shared.machine) {
                     Err(e) => reject(shared, writer, tag, &e),
-                    Ok((request, stream_sweeps)) => {
+                    Ok((mut request, stream_sweeps)) => {
                         if let Some(permit) = admit(shared, tag, writer) {
                             requests += 1;
+                            request.ctx = frame.trace;
+                            // Where a wire run executes is server policy.
+                            if shared.backend != mttkrp_als::BackendChoice::Auto {
+                                request.config.backend = shared.backend;
+                            }
                             let mut hooks = FactorizeHooks::default();
                             lock(&inflight).insert(tag, hooks.cancel.clone());
                             if stream_sweeps {
@@ -508,5 +611,5 @@ fn serve_frames(
     for flag in lock(&inflight).values() {
         flag.cancel();
     }
-    requests
+    (requests, bytes_in)
 }

@@ -51,7 +51,8 @@ pub mod protocol;
 pub use client::{Client, ClientError, StreamControl};
 pub use listener::{NetConfig, NetServer};
 pub use protocol::{
-    FactorizeSpec, ProtocolError, RemoteFactorize, RemoteMttkrp, SweepUpdate, PROTOCOL_VERSION,
+    FactorizeSpec, HealthSnapshot, ProtocolError, RemoteFactorize, RemoteMttkrp, SweepUpdate,
+    PROTOCOL_VERSION,
 };
 
 #[allow(unused_imports)] // rustdoc links

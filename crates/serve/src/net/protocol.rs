@@ -15,6 +15,13 @@
 //! | cancel                | [`wire::CTRL_CANCEL`] | `[]` |
 //! | typed error           | [`wire::CTRL_ERROR`]  | [`wire::encode_text`] words |
 //! | retry-after           | [`wire::CTRL_RETRY_AFTER`] | `[retry_after_ms]` |
+//! | stats scrape          | [`wire::CTRL_STATS`]  | request `[]`; reply [`wire::encode_text`] of metrics JSONL |
+//! | health probe          | [`wire::CTRL_HEALTH`] | request `[]`; reply `[uptime_ms, open_connections, in_flight, draining, admission_cap]` |
+//! | flight-recorder dump  | [`wire::CTRL_TRACE_DUMP`] | request `[]`; reply [`wire::encode_text`] of flight JSONL |
+//!
+//! The three **ops-plane** kinds (stats, health, trace dump) are answered
+//! inline by the connection's reader without taking an admission permit:
+//! a scrape can never be shed, and a scrape can never displace work.
 //!
 //! Every frame's `from` field carries the client-chosen **request tag**
 //! (echoed verbatim on replies), which is what lets one connection keep
@@ -321,6 +328,112 @@ pub fn decode_retry_after(frame: &Frame) -> Result<u64, ProtocolError> {
     let ms = c.take_int("retry_after_ms")?;
     c.finish("retry-after")?;
     Ok(ms)
+}
+
+// ---------------------------------------------------------------------------
+// Ops plane: stats / health / trace dump
+// ---------------------------------------------------------------------------
+
+/// A point-in-time liveness snapshot, as a `HEALTH` reply carries it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HealthSnapshot {
+    /// Milliseconds since the listener started.
+    pub uptime_ms: u64,
+    /// Currently open connections.
+    pub open_connections: u64,
+    /// Admitted requests not yet answered.
+    pub in_flight: u64,
+    /// Whether the server is draining (shedding all new work).
+    pub draining: bool,
+    /// The admission cap `in_flight` is bounded by.
+    pub admission_cap: u64,
+}
+
+/// A stats scrape request: `[]` under [`wire::CTRL_STATS`].
+pub fn encode_stats_request(tag: u32) -> Frame {
+    Frame::data(tag as usize, wire::CTRL_STATS, Vec::new())
+}
+
+/// A stats reply: the registry snapshot as metrics JSONL
+/// ([`mttkrp_obs::metrics_to_jsonl`]) in [`wire::encode_text`] words.
+pub fn encode_stats_response(tag: u32, metrics_jsonl: &str) -> Frame {
+    Frame::data(
+        tag as usize,
+        wire::CTRL_STATS,
+        wire::encode_text(metrics_jsonl),
+    )
+}
+
+/// Decodes a stats reply back into metric snapshots.
+pub fn decode_stats_response(
+    frame: &Frame,
+) -> Result<Vec<mttkrp_obs::MetricSnapshot>, ProtocolError> {
+    expect_kind(frame, wire::CTRL_STATS, "stats response")?;
+    let text = wire::decode_text(&frame.payload)?;
+    let trace = mttkrp_obs::parse_trace(&text)
+        .map_err(|e| ProtocolError::Malformed(format!("stats payload: {e}")))?;
+    Ok(trace.metrics)
+}
+
+/// A health probe request: `[]` under [`wire::CTRL_HEALTH`].
+pub fn encode_health_request(tag: u32) -> Frame {
+    Frame::data(tag as usize, wire::CTRL_HEALTH, Vec::new())
+}
+
+/// A health reply:
+/// `[uptime_ms, open_connections, in_flight, draining, admission_cap]`.
+pub fn encode_health_response(tag: u32, health: &HealthSnapshot) -> Frame {
+    Frame::data(
+        tag as usize,
+        wire::CTRL_HEALTH,
+        vec![
+            health.uptime_ms as f64,
+            health.open_connections as f64,
+            health.in_flight as f64,
+            health.draining as u8 as f64,
+            health.admission_cap as f64,
+        ],
+    )
+}
+
+/// Decodes a health reply.
+pub fn decode_health_response(frame: &Frame) -> Result<HealthSnapshot, ProtocolError> {
+    expect_kind(frame, wire::CTRL_HEALTH, "health response")?;
+    let mut c = Cursor::new(&frame.payload);
+    let health = HealthSnapshot {
+        uptime_ms: c.take_int("uptime_ms")?,
+        open_connections: c.take_int("open_connections")?,
+        in_flight: c.take_int("in_flight")?,
+        draining: c.take_bool("draining")?,
+        admission_cap: c.take_int("admission_cap")?,
+    };
+    c.finish("health response")?;
+    Ok(health)
+}
+
+/// A flight-recorder dump request: `[]` under [`wire::CTRL_TRACE_DUMP`].
+pub fn encode_trace_dump_request(tag: u32) -> Frame {
+    Frame::data(tag as usize, wire::CTRL_TRACE_DUMP, Vec::new())
+}
+
+/// A flight dump reply: the ring as flight JSONL
+/// ([`mttkrp_obs::flight_to_jsonl`]) in [`wire::encode_text`] words.
+pub fn encode_trace_dump_response(tag: u32, flight_jsonl: &str) -> Frame {
+    Frame::data(
+        tag as usize,
+        wire::CTRL_TRACE_DUMP,
+        wire::encode_text(flight_jsonl),
+    )
+}
+
+/// Decodes a flight dump reply back into flight records.
+pub fn decode_trace_dump_response(
+    frame: &Frame,
+) -> Result<Vec<mttkrp_obs::FlightRecord>, ProtocolError> {
+    expect_kind(frame, wire::CTRL_TRACE_DUMP, "trace dump response")?;
+    let text = wire::decode_text(&frame.payload)?;
+    mttkrp_obs::flight_from_jsonl(&text)
+        .map_err(|e| ProtocolError::Malformed(format!("flight payload: {e}")))
 }
 
 fn expect_kind(frame: &Frame, kind: u64, name: &'static str) -> Result<(), ProtocolError> {

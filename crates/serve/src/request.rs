@@ -5,6 +5,7 @@
 use mttkrp_als::{AlsConfig, AlsRun};
 use mttkrp_core::Problem;
 use mttkrp_exec::{ExecReport, MachineSpec, Plan};
+use mttkrp_obs::TraceContext;
 use mttkrp_tensor::{validate_operands, DenseTensor, Matrix};
 use std::sync::Arc;
 use std::time::Duration;
@@ -28,6 +29,10 @@ pub struct MttkrpRequest {
     pub mode: usize,
     /// Machine to plan for; `None` means the server's default machine.
     pub machine: Option<MachineSpec>,
+    /// Remote trace context to adopt: set (from the frame's trace header)
+    /// when a traced client submitted this over the wire, so the server's
+    /// `request` span joins the client's trace instead of starting one.
+    pub ctx: Option<TraceContext>,
 }
 
 impl MttkrpRequest {
@@ -46,6 +51,7 @@ impl MttkrpRequest {
             factors,
             mode,
             machine: None,
+            ctx: None,
         }
     }
 
@@ -53,6 +59,12 @@ impl MttkrpRequest {
     /// server's default.
     pub fn with_machine(mut self, machine: MachineSpec) -> MttkrpRequest {
         self.machine = Some(machine);
+        self
+    }
+
+    /// The same request carrying a remote trace context to adopt.
+    pub fn with_context(mut self, ctx: Option<TraceContext>) -> MttkrpRequest {
+        self.ctx = ctx;
         self
     }
 
@@ -103,6 +115,8 @@ pub struct FactorizeRequest {
     pub tensor: Arc<DenseTensor>,
     /// How to factorize it (rank, sweeps, tolerance, machine, backend).
     pub config: AlsConfig,
+    /// Remote trace context to adopt (see [`MttkrpRequest::ctx`]).
+    pub ctx: Option<TraceContext>,
 }
 
 impl FactorizeRequest {
@@ -116,7 +130,17 @@ impl FactorizeRequest {
     /// would panic mid-run.
     pub fn new(tensor: Arc<DenseTensor>, config: AlsConfig) -> FactorizeRequest {
         mttkrp_als::validate_input(&tensor);
-        FactorizeRequest { tensor, config }
+        FactorizeRequest {
+            tensor,
+            config,
+            ctx: None,
+        }
+    }
+
+    /// The same request carrying a remote trace context to adopt.
+    pub fn with_context(mut self, ctx: Option<TraceContext>) -> FactorizeRequest {
+        self.ctx = ctx;
+        self
     }
 
     /// The planning-level [`Problem`] each of this factorization's

@@ -26,17 +26,24 @@ pub struct ServerConfig {
     pub cache_capacity: usize,
     /// Largest batch the queue will form.
     pub max_batch: usize,
+    /// Backend override applied to factorizations that arrive over the
+    /// network front door (which cannot name a backend on the wire —
+    /// where a run executes is server policy). `Auto` (the default)
+    /// leaves each request's own choice untouched, so in-process callers
+    /// never see this.
+    pub backend: mttkrp_als::BackendChoice,
 }
 
 impl Default for ServerConfig {
     /// Detected host machine, two workers, 128 cached plans, batches of up
-    /// to 32 requests.
+    /// to 32 requests, no backend override.
     fn default() -> ServerConfig {
         ServerConfig {
             machine: MachineSpec::detect(),
             workers: 2,
             cache_capacity: 128,
             max_batch: 32,
+            backend: mttkrp_als::BackendChoice::Auto,
         }
     }
 }
@@ -104,6 +111,13 @@ pub struct ServerStats {
     pub exec_us: HistogramSnapshot,
     /// Worker threads the server runs.
     pub workers: usize,
+    /// Ops-plane scrapes (`STATS`/`HEALTH`/`TRACE_DUMP` frames) answered
+    /// by the network front door. Zero for an in-process server.
+    pub scrapes: u64,
+    /// Bytes read off sockets by the front door (whole frames).
+    pub bytes_in: u64,
+    /// Bytes written to sockets by the front door (whole frames).
+    pub bytes_out: u64,
 }
 
 impl ServerStats {
@@ -156,6 +170,13 @@ impl std::fmt::Display for ServerStats {
                 self.exec_us.quantile(0.5),
                 self.exec_us.quantile(0.99),
                 self.exec_us.max
+            )?;
+        }
+        if self.scrapes > 0 || self.bytes_in > 0 || self.bytes_out > 0 {
+            writeln!(
+                f,
+                "net ops plane        {} scrape(s), {} B in, {} B out",
+                self.scrapes, self.bytes_in, self.bytes_out
             )?;
         }
         writeln!(f, "queue depth          {}", self.queue_depth)?;
@@ -355,6 +376,9 @@ impl Server {
             queue_depth: m.gauge_value(metric::QUEUE_DEPTH),
             exec_us: m.histogram(metric::REQUEST_EXEC_US),
             workers: self.config.workers,
+            scrapes: m.counter_value(crate::net::listener::metric::SCRAPES),
+            bytes_in: m.counter_value(crate::net::listener::metric::BYTES_IN),
+            bytes_out: m.counter_value(crate::net::listener::metric::BYTES_OUT),
         }
     }
 
@@ -448,6 +472,9 @@ fn run_worker(rx: Receiver<Dispatch>, cache: Arc<PlanCache>, metrics: Arc<Metric
                 span.record("kind", "mttkrp");
                 span.record("batch_size", batch_size);
                 span.record("cache_hit", batch.cache_hit);
+                if let Some(ctx) = pending.request.ctx {
+                    span.adopt(ctx);
+                }
             }
             let refs: Vec<&Matrix> = pending.request.factors.iter().collect();
             let queued = pending.submitted.elapsed();
@@ -493,6 +520,9 @@ fn run_factorization(pending: PendingFactorize, cache: &PlanCache, metrics: &Met
     if span.is_active() {
         span.record("kind", "factorize");
         span.record("queued_us", queued.as_micros() as u64);
+        if let Some(ctx) = pending.request.ctx {
+            span.adopt(ctx);
+        }
     }
     let FactorizeHooks {
         mut on_sweep,

@@ -222,3 +222,159 @@ fn soak_bit_identical_under_concurrency() {
         stats.cache
     );
 }
+
+/// Reads one counter out of a wire STATS snapshot by its dotted name.
+fn counter(snapshot: &[mttkrp_obs::MetricSnapshot], name: &str) -> u64 {
+    snapshot
+        .iter()
+        .find(|m| m.name == name)
+        .map(|m| match &m.value {
+            mttkrp_obs::MetricValue::Counter(v) => *v,
+            other => panic!("{name} is not a counter: {other:?}"),
+        })
+        .unwrap_or(0)
+}
+
+/// The ops plane under load: a scraper hammers `STATS` while a storm of
+/// request clients sheds against a tiny admission cap. At *every* scrape:
+///
+/// 1. every counter is monotone versus the previous scrape (the wire
+///    snapshot never goes backwards), and
+/// 2. `admissions + sheds == attempts` holds exactly — the listener
+///    snapshots under the same lock it bumps the admission counters
+///    under, so a scrape can never observe a half-applied decision.
+///
+/// At drain, the last wire snapshot must agree with the in-process
+/// `stats()` accessor, and a `TRACE_DUMP` must return the flight ring
+/// (capture is off — the recorder runs anyway).
+#[test]
+fn scrapes_under_load_are_consistent() {
+    let server = NetServer::start(NetConfig {
+        server: ServerConfig {
+            machine: mttkrp_exec::MachineSpec::shared(1, 1 << 12),
+            workers: 2,
+            ..ServerConfig::default()
+        },
+        max_in_flight: 2, // tiny: the storm must shed
+        retry_after_ms: 1,
+        ..NetConfig::default()
+    })
+    .expect("bind loopback");
+    let addr = server.addr();
+
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let storm: Vec<_> = (0..6)
+        .map(|_| {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let (x, factors) = operands(0);
+                let mut client = with_retries("connect", || Client::connect(addr));
+                let mut served = 0u64;
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    with_retries("mttkrp", || client.mttkrp(&x, &factors, 0));
+                    served += 1;
+                }
+                served
+            })
+        })
+        .collect();
+
+    // The scraper: a dedicated connection, scraping as fast as it can
+    // while the storm runs. Scrapes are answered inline by the reader —
+    // with the cap at 2 and six clients shedding constantly, a scrape
+    // that went through admission would shed too, and this test would
+    // livelock instead of passing.
+    let mut scraper = with_retries("connect scraper", || Client::connect(addr));
+    let mut scrapes = 0u64;
+    let mut last: Option<Vec<(String, u64)>> = None;
+    let deadline = Instant::now() + Duration::from_secs(3);
+    let mut final_snapshot = Vec::new();
+    while Instant::now() < deadline {
+        let snapshot = scraper.stats().expect("scrape under load");
+        let attempts = counter(&snapshot, metric::REQUEST_ATTEMPTS);
+        let admitted = counter(&snapshot, metric::REQUESTS);
+        let shed = counter(&snapshot, metric::SHED);
+        assert_eq!(
+            admitted + shed,
+            attempts,
+            "scrape {scrapes}: the admission identity must hold at every scrape point"
+        );
+        let counters: Vec<(String, u64)> = snapshot
+            .iter()
+            .filter_map(|m| match &m.value {
+                mttkrp_obs::MetricValue::Counter(v) => Some((m.name.clone(), *v)),
+                _ => None,
+            })
+            .collect();
+        if let Some(last) = &last {
+            for (name, value) in last {
+                let now = counters
+                    .iter()
+                    .find(|(n, _)| n == name)
+                    .map(|(_, v)| *v)
+                    .unwrap_or(0);
+                assert!(
+                    now >= *value,
+                    "scrape {scrapes}: counter {name} went backwards ({value} -> {now})"
+                );
+            }
+        }
+        last = Some(counters);
+        scrapes += 1;
+        final_snapshot = snapshot;
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    let mut served = 0u64;
+    for w in storm {
+        served += w.join().expect("storm client panicked");
+    }
+    assert!(served > 0, "the storm must actually serve requests");
+    assert!(scrapes >= 10, "got only {scrapes} scrapes in 3 s");
+    assert!(
+        counter(&final_snapshot, metric::SHED) > 0,
+        "a 6-client storm against a cap of 2 must shed"
+    );
+
+    // Drain: the wire snapshot and the in-process accessor must agree.
+    // One more scrape after the storm (nothing in flight), then stats().
+    let snapshot = scraper.stats().expect("scrape at drain");
+    let stats = server.stats();
+    assert_eq!(counter(&snapshot, metric::REQUESTS), served);
+    assert_eq!(
+        counter(&snapshot, metric::REQUEST_ATTEMPTS),
+        counter(&snapshot, metric::REQUESTS) + counter(&snapshot, metric::SHED)
+    );
+    assert_eq!(stats.requests_served, served);
+    assert_eq!(stats.scrapes, counter(&snapshot, metric::SCRAPES));
+    assert_eq!(stats.scrapes, scrapes + 1);
+    // The snapshot was taken before its own response went out, so the
+    // live byte tallies are at least the scraped ones — and nonzero.
+    let (bytes_in, bytes_out) = (
+        counter(&snapshot, metric::BYTES_IN),
+        counter(&snapshot, metric::BYTES_OUT),
+    );
+    assert!(bytes_in > 0 && bytes_out > 0);
+    assert!(stats.bytes_in >= bytes_in && stats.bytes_out >= bytes_out);
+
+    // The flight recorder answers over the wire with capture off: the
+    // server just closed thousands of spans (noop spans don't ring, but
+    // request worker spans do), and the ring holds the most recent ones.
+    let dump = scraper.trace_dump().expect("trace dump at drain");
+    assert!(
+        !dump.is_empty(),
+        "the flight ring must retain span closes with capture off"
+    );
+    let mut seqs: Vec<u64> = dump.iter().map(|r| r.seq).collect();
+    let sorted = {
+        let mut s = seqs.clone();
+        s.sort_unstable();
+        s
+    };
+    assert_eq!(seqs, sorted, "flight dump is oldest-to-newest");
+    seqs.dedup();
+    assert_eq!(seqs.len(), dump.len(), "flight seq numbers are unique");
+
+    drop(scraper);
+    server.shutdown();
+}

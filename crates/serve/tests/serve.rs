@@ -32,6 +32,7 @@ fn batched_results_bit_identical_to_unbatched() {
         workers: 3,
         cache_capacity: 16,
         max_batch: 8,
+        backend: mttkrp_als::BackendChoice::Auto,
     });
 
     // A mixed-shape workload: three shapes, several requests each, distinct
@@ -78,6 +79,7 @@ fn distributed_requests_served_on_sim_backend() {
         workers: 2,
         cache_capacity: 8,
         max_batch: 8,
+        backend: mttkrp_als::BackendChoice::Auto,
     });
     let (x, f) = operands(&[8, 8, 8], 4, 42);
     let response = server.call(MttkrpRequest::new(x.clone(), f.clone(), 1));
@@ -100,6 +102,7 @@ fn repeated_shapes_hit_the_plan_cache() {
         workers: 2,
         cache_capacity: 16,
         max_batch: 4,
+        backend: mttkrp_als::BackendChoice::Auto,
     });
     let workload = [operands(&[6, 6, 6], 3, 1), operands(&[4, 8, 2], 2, 2)];
     // Closed loop (wait for each response before submitting the next): every
@@ -133,6 +136,7 @@ fn shutdown_drains_in_flight_requests() {
         workers: 2,
         cache_capacity: 8,
         max_batch: 16,
+        backend: mttkrp_als::BackendChoice::Auto,
     });
     let (x, f) = operands(&[10, 10, 10], 4, 9);
     let handles: Vec<_> = (0..24)
@@ -160,6 +164,7 @@ fn drop_is_graceful() {
         workers: 1,
         cache_capacity: 4,
         max_batch: 8,
+        backend: mttkrp_als::BackendChoice::Auto,
     });
     let (x, f) = operands(&[6, 6], 2, 5);
     let handle = server.submit(MttkrpRequest::new(x, f, 0));
@@ -176,6 +181,7 @@ fn machine_override_is_honored() {
         workers: 2,
         cache_capacity: 8,
         max_batch: 8,
+        backend: mttkrp_als::BackendChoice::Auto,
     });
     let (x, f) = operands(&[8, 8, 8], 4, 3);
     let sequential = server.submit(MttkrpRequest::new(x.clone(), f.clone(), 0));
@@ -198,6 +204,7 @@ fn served_factorization_matches_direct_engine_run() {
         workers: 2,
         cache_capacity: 16,
         max_batch: 8,
+        backend: mttkrp_als::BackendChoice::Auto,
     });
     let x = Arc::new(KruskalTensor::random(&Shape::new(&[8, 7, 6]), 2, 31).full());
     let config = AlsConfig::new(2)
@@ -232,6 +239,7 @@ fn factorizations_share_the_plan_cache_across_requests() {
         workers: 1,
         cache_capacity: 16,
         max_batch: 8,
+        backend: mttkrp_als::BackendChoice::Auto,
     });
     let x = Arc::new(KruskalTensor::random(&Shape::new(&[6, 6, 6]), 2, 32).full());
     let config = AlsConfig::new(2)
@@ -272,6 +280,7 @@ fn shutdown_drains_in_flight_factorizations() {
         workers: 2,
         cache_capacity: 8,
         max_batch: 8,
+        backend: mttkrp_als::BackendChoice::Auto,
     });
     let x = Arc::new(KruskalTensor::random(&Shape::new(&[6, 5, 4]), 2, 33).full());
     let config = AlsConfig::new(2)
@@ -302,6 +311,7 @@ fn response_metadata_is_sane() {
         workers: 1,
         cache_capacity: 4,
         max_batch: 8,
+        backend: mttkrp_als::BackendChoice::Auto,
     });
     let (x, f) = operands(&[6, 6, 6], 3, 8);
     let response = server.call(MttkrpRequest::new(x, f, 2));

@@ -31,6 +31,7 @@ fn main() {
         workers: 2,
         cache_capacity: 32,
         max_batch: 16,
+        ..ServerConfig::default()
     });
 
     // Two request shapes; 20 requests each, interleaved, distinct data.

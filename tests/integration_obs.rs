@@ -16,6 +16,7 @@ fn server(workers: usize) -> Server {
         workers,
         cache_capacity: 16,
         max_batch: 8,
+        ..ServerConfig::default()
     })
 }
 
