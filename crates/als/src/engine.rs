@@ -6,7 +6,7 @@ use crate::report::{AlsRun, AlsSweep};
 use mttkrp_core::Problem;
 use mttkrp_dist::DistBackend;
 use mttkrp_exec::{
-    Backend, ExecReport, MachineSpec, NativeBackend, Plan, PlanCache, Planner, SimBackend,
+    Backend, ExecReport, MachineSpec, NativeBackend, Plan, PlanCache, PlanKey, Planner, SimBackend,
 };
 use mttkrp_tensor::{solve_spd_ridge, DenseTensor, KruskalTensor, Matrix};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -270,6 +270,14 @@ pub fn cp_als_with_hooks(
             let t1 = Instant::now();
             let report = backends.execute(config.backend, &plan, x, &refs);
             let exec_time = t1.elapsed();
+            // Close the cost-model loop: the measured wall-time of the
+            // plan that actually ran becomes evidence the planner weighs
+            // against its analytic prior on later lookups of this key.
+            cache.record_measurement(
+                &PlanKey::for_plan(&plan),
+                &plan.algorithm.label(),
+                exec_time.as_secs_f64(),
+            );
             if mode_span.is_active() {
                 // The span itself closes after the solve, so its duration is
                 // the whole mode update; these fields carry the split.

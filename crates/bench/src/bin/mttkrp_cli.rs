@@ -42,10 +42,21 @@
 //!                              response against in-process execution
 //!   listen [--bind ADDR] [--cap K] [--retry-ms MS] [--workers W]
 //!          [--batch B] [--cache C] [--threads T] [--memory M]
-//!                              a long-lived network front door: prints
+//!          [--cache-file F]    a long-lived network front door: prints
 //!                              `listening on <addr>` on stdout, serves
 //!                              MTTKRP and (streaming) Factorize requests
-//!                              until stdin closes, then drains gracefully
+//!                              until stdin closes, then drains gracefully;
+//!                              --cache-file warm-starts the plan cache from
+//!                              a saved/autotuned JSONL file and saves it
+//!                              back on shutdown
+//!   autotune [--shapes K] [--trials T] [--band B] [--cache-file F]
+//!            [--threads T] [--memory M] [--cache C] [--json]
+//!                              offline self-tuning sweep: plan K serve-style
+//!                              shapes across every mode, wall-time each
+//!                              near-tie candidate T times, feed the timings
+//!                              back through the plan cache, and print the
+//!                              before/after plan-choice diff; --cache-file
+//!                              writes the tuned cache for warm restarts
 //!   cp-als [--sweeps S] [--tol T] [--backend auto|native|sim|dist|dist-tcp]
 //!          [--ranks P] [--transport channel|tcp] [--threads T]
 //!          [--memory M] [--gate] [--json]
@@ -151,6 +162,11 @@ struct Args {
     tol: Option<f64>,
     gate: bool,
     json: bool,
+    // Self-tuning planner: `listen --cache-file` warm restarts and the
+    // `autotune` offline sweep.
+    cache_file: Option<String>,
+    trials: Option<usize>,
+    band: Option<f64>,
     // Observability: capture the run through `mttkrp-obs`.
     trace: Option<String>,
     metrics: bool,
@@ -250,6 +266,11 @@ fn parse(argv: &[String]) -> Result<Args, String> {
             }
             "--gate" => args.gate = true,
             "--json" => args.json = true,
+            "--cache-file" => args.cache_file = Some(next("--cache-file")?),
+            "--trials" => {
+                args.trials = Some(next("--trials")?.parse().map_err(|e| format!("{e}"))?)
+            }
+            "--band" => args.band = Some(next("--band")?.parse().map_err(|e| format!("{e}"))?),
             "--trace" => args.trace = Some(next("--trace")?),
             "--metrics" => args.metrics = true,
             "--watch" => args.watch = Some(next("--watch")?.parse().map_err(|e| format!("{e}"))?),
@@ -275,7 +296,12 @@ fn parse(argv: &[String]) -> Result<Args, String> {
     // be omitted for any of them.
     if matches!(
         args.algorithm.as_deref(),
-        Some("serve") | Some("listen") | Some("cp-als") | Some("report") | Some("stats")
+        Some("serve")
+            | Some("listen")
+            | Some("cp-als")
+            | Some("report")
+            | Some("stats")
+            | Some("autotune")
     ) && args.dims.is_empty()
     {
         args.dims = match args.algorithm.as_deref() {
@@ -295,7 +321,8 @@ fn parse(argv: &[String]) -> Result<Args, String> {
     }
     let Some(alg) = args.algorithm.as_deref() else {
         return Err("no algorithm given \
-             (alg1|alg2|seqmm|alg3|alg4|parmm|bounds|exec|dist|serve|listen|cp-als|report|stats)"
+             (alg1|alg2|seqmm|alg3|alg4|parmm|bounds|exec|dist|serve|listen|autotune|\
+             cp-als|report|stats)"
             .into());
     };
     // The socket front-door flags only mean something to the subcommands
@@ -320,10 +347,24 @@ fn parse(argv: &[String]) -> Result<Args, String> {
     }
     // Flags are parsed globally but only some subcommands honor them;
     // reject half-applying combinations instead of silently ignoring them.
-    if args.json && !matches!(alg, "serve" | "cp-als" | "stats") {
+    if args.json && !matches!(alg, "serve" | "cp-als" | "stats" | "autotune") {
         return Err(format!(
-            "--json is only supported by the serve, cp-als, and stats subcommands, not '{alg}'"
+            "--json is only supported by the serve, cp-als, stats, and autotune \
+             subcommands, not '{alg}'"
         ));
+    }
+    if args.cache_file.is_some() && !matches!(alg, "listen" | "autotune") {
+        return Err(format!(
+            "--cache-file persists the plan cache (listen, autotune), not valid for '{alg}'"
+        ));
+    }
+    for (flag, given) in [
+        ("--trials", args.trials.is_some()),
+        ("--band", args.band.is_some()),
+    ] {
+        if given && alg != "autotune" {
+            return Err(format!("{flag} is an autotune flag, not valid for '{alg}'"));
+        }
     }
     for (flag, given) in [("--gate", args.gate), ("--tol", args.tol.is_some())] {
         if given && !matches!(alg, "cp-als" | "report") {
@@ -393,9 +434,21 @@ fn usage() {
          \n                               on-shed, bitwise replay check\
          \n  listen [--bind ADDR] [--cap K] [--retry-ms MS] [--workers W]\
          \n         [--batch B] [--cache C] [--threads T] [--memory M]\
-         \n                               long-lived network front door; prints\
+         \n         [--cache-file F]      long-lived network front door; prints\
          \n                               `listening on <addr>`, serves until\
-         \n                               stdin closes, then drains gracefully\
+         \n                               stdin closes, then drains gracefully;\
+         \n                               --cache-file warm-starts the plan cache\
+         \n                               from a saved (or autotuned) JSONL file\
+         \n                               and saves it back on shutdown\
+         \n  autotune [--shapes K] [--trials T] [--band B] [--cache-file F]\
+         \n           [--threads T] [--memory M] [--cache C] [--json]\
+         \n                               offline self-tuning sweep: plan K shapes\
+         \n                               (every mode), wall-time each near-tie\
+         \n                               candidate T times, feed the measurements\
+         \n                               back through the plan cache, and print\
+         \n                               the before/after plan-choice diff;\
+         \n                               --cache-file writes the tuned cache for\
+         \n                               `listen --cache-file` to restart warm\
          \n  cp-als [--sweeps S] [--tol T] [--backend auto|native|sim|dist|dist-tcp]\
          \n         [--ranks P] [--transport channel|tcp] [--threads T]\
          \n         [--memory M] [--gate] [--json]\
@@ -567,6 +620,9 @@ fn run(args: &Args) -> ExitCode {
     }
     if alg == "cp-als" {
         return run_cp_als(args);
+    }
+    if alg == "autotune" {
+        return run_autotune(args);
     }
     // `bounds` is formula-only: never materialize the (possibly huge) tensor.
     let materialized = if alg == "bounds" {
@@ -1723,21 +1779,33 @@ fn run_serve(args: &Args) -> ExitCode {
             stats.largest_batch,
             stats.cache.hits,
             stats.cache.misses,
-            hit_rate
+            json_hit_rate(hit_rate)
         );
     }
     if !identical {
         eprintln!("error: served results differ from direct execution");
         return ExitCode::FAILURE;
     }
-    if hit_rate <= 0.9 {
+    if !hit_rate.is_some_and(|r| r > 0.9) {
         eprintln!(
-            "error: plan-cache hit rate {:.1}% is below the 90% serving target",
-            100.0 * hit_rate
+            "error: plan-cache hit rate {} is below the 90% serving target",
+            match hit_rate {
+                Some(r) => format!("{:.1}%", 100.0 * r),
+                None => "(no lookups)".to_string(),
+            }
         );
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
+}
+
+/// Renders an optional hit rate for a JSON field: the rate itself, or
+/// `null` when the cache never saw a lookup (0/0 is not 0%).
+fn json_hit_rate(rate: Option<f64>) -> String {
+    match rate {
+        Some(r) => format!("{r}"),
+        None => "null".to_string(),
+    }
 }
 
 /// The `listen` subcommand: a long-lived network front door over the
@@ -1840,6 +1908,23 @@ fn run_listen(args: &Args) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // Warm-start the plan cache before announcing the address, so the very
+    // first request a launcher sends can already hit. A missing file is not
+    // an error — it just means a cold start (the file is written on
+    // shutdown either way).
+    if let Some(path) = &args.cache_file {
+        if std::path::Path::new(path).exists() {
+            match server.server().cache().load_from(path) {
+                Ok(n) => eprintln!("plan cache warmed with {n} entr(ies) from {path}"),
+                Err(e) => {
+                    eprintln!("error: cannot load --cache-file {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else {
+            eprintln!("plan cache cold: {path} does not exist yet (saved on shutdown)");
+        }
+    }
     println!("listening on {}", server.addr());
     let _ = std::io::stdout().flush();
     eprintln!("serving until stdin closes (EOF drains in-flight work and exits)");
@@ -1857,11 +1942,268 @@ fn run_listen(args: &Args) -> ExitCode {
     let connections = server.metrics().counter_value(net_metric::CONNECTIONS);
     let socket_requests = server.metrics().counter_value(net_metric::REQUESTS);
     let sheds = server.metrics().counter_value(net_metric::SHED);
+    // Persist what this process learned (plans + measured profiles) before
+    // the server is torn down, so the next `listen --cache-file` starts
+    // exactly as warm as this one ended.
+    if let Some(path) = &args.cache_file {
+        match server.server().cache().save(path) {
+            Ok(n) => eprintln!("plan cache saved: {n} entr(ies) -> {path}"),
+            Err(e) => {
+                eprintln!("error: cannot save --cache-file {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     let stats = server.shutdown();
     println!("{stats}");
     println!("connections          {connections}");
     println!("socket requests      {socket_requests}");
     println!("requests shed        {sheds}");
+    ExitCode::SUCCESS
+}
+
+/// The `autotune` subcommand: an offline self-tuning sweep. Plans the same
+/// serve-style shape family a front door would see (the base dims with the
+/// first mode stretched, every output mode), wall-times each executable
+/// near-tie candidate `--trials` times on the plan's natural backend,
+/// feeds the timings back through [`mttkrp_exec::PlanCache`], and re-plans
+/// so the planner weighs the evidence against its analytic prior. Prints
+/// the before/after plan-choice diff (with `Plan::explain` for every
+/// re-ranked plan), self-checks that adversarial out-of-band evidence can
+/// never override the model, and — with `--cache-file` — writes the tuned
+/// cache so `listen --cache-file` restarts warm with zero planner sweeps.
+fn run_autotune(args: &Args) -> ExitCode {
+    use mttkrp_exec::{
+        Executor, MachineSpec, PlanCache, PlanKey, Planner, DEFAULT_NEAR_TIE_BAND,
+        MIN_EVIDENCE_RUNS,
+    };
+    use std::time::Instant;
+
+    for (flag, value) in [
+        ("--threads", args.threads),
+        ("--shapes", args.shapes),
+        ("--trials", args.trials),
+        ("--cache", args.cache),
+    ] {
+        if value == Some(0) {
+            eprintln!("error: {flag} must be at least 1");
+            return ExitCode::from(2);
+        }
+    }
+    if args.procs.is_some_and(|p| p > 1) {
+        eprintln!(
+            "error: autotune wall-times candidates, and distributed plans run on the \
+             word-exact simulator whose wall time is meaningless; tune sequential \
+             machines only (drop --procs)"
+        );
+        return ExitCode::from(2);
+    }
+    let band = args.band.unwrap_or(DEFAULT_NEAR_TIE_BAND);
+    if !band.is_finite() || band < 0.0 {
+        eprintln!("error: --band must be a finite non-negative fraction (e.g. 0.15)");
+        return ExitCode::from(2);
+    }
+    let machine = MachineSpec {
+        threads: args.threads.unwrap_or_else(MachineSpec::detect_threads),
+        fast_memory_words: args.memory.unwrap_or(mttkrp_exec::DEFAULT_CACHE_WORDS),
+        ranks: 1,
+        transport: mttkrp_exec::TransportSpec::InProcess,
+    };
+    let shapes = args.shapes.unwrap_or(4);
+    let trials = args.trials.unwrap_or(3).max(MIN_EVIDENCE_RUNS as usize);
+    let planner = Planner::new(machine.clone()).with_near_tie_band(band);
+    let cache = PlanCache::new(
+        args.cache
+            .unwrap_or_else(|| 64.max(shapes * args.dims.len())),
+    );
+
+    say!(
+        args.json,
+        "autotune: {shapes} shape(s) x {} mode(s), {trials} trial(s) per candidate, \
+         near-tie band +-{:.0}%, machine {} thread(s) / {} fast words",
+        args.dims.len(),
+        100.0 * band,
+        machine.threads,
+        machine.fast_memory_words
+    );
+
+    // The same shape family `serve`/`listen` workloads use: stretch the
+    // first mode so every shape is a distinct planning problem. Keys in
+    // the tuned cache match a front door started with the same --threads
+    // and --memory, which is what makes warm restarts replay with zero
+    // planner sweeps.
+    let mut rows: Vec<String> = Vec::new();
+    let mut flipped_total = 0usize;
+    for s in 0..shapes {
+        let mut dims = args.dims.clone();
+        dims[0] += 2 * s;
+        let problem = Problem::new(
+            &dims.iter().map(|&d| d as u64).collect::<Vec<u64>>(),
+            args.rank as u64,
+        );
+        if problem.tensor_entries() > (1u128 << 26) {
+            eprintln!(
+                "error: refusing to materialize {} tensor entries for an autotune run",
+                problem.tensor_entries()
+            );
+            return ExitCode::from(2);
+        }
+        let (x, factors) = setup_problem(&dims, args.rank, args.seed + s as u64);
+        let refs: Vec<&Matrix> = factors.iter().collect();
+        for mode in 0..dims.len() {
+            let before = planner.plan_cached(&problem, mode, &cache);
+            let key = PlanKey::for_plan(&before);
+            let ties = planner.near_tie_candidates(&before);
+            let mut measured = 0usize;
+            for cand in &ties {
+                // Distributed candidates execute on the simulator; their
+                // wall time measures the simulator, not the plan. A
+                // 1-rank machine offers none, but keep the guard honest.
+                if !cand.algorithm.is_sequential() {
+                    continue;
+                }
+                let mut probe = (*before).clone();
+                probe.algorithm = cand.algorithm.clone();
+                probe.predicted_cost = cand.modeled_cost;
+                let exec = Executor::for_plan(&probe);
+                for _ in 0..trials {
+                    let t = Instant::now();
+                    let _ = exec.execute(&probe, &x, &refs, mode);
+                    cache.record_measurement(
+                        &key,
+                        &cand.algorithm.label(),
+                        t.elapsed().as_secs_f64(),
+                    );
+                }
+                measured += 1;
+            }
+            let after = planner.plan_cached(&problem, mode, &cache);
+            let flipped = after.algorithm != before.algorithm;
+            flipped_total += flipped as usize;
+            let ewma_us = cache
+                .profiles(&key)
+                .get(&after.algorithm.label())
+                .map(|p| p.ewma_secs * 1e6);
+            say!(
+                args.json,
+                "  dims {dims:?} mode {mode}: analytic {} ({:.4e} words), {measured} \
+                 candidate(s) measured -> {} ({}){}",
+                before.algorithm.label(),
+                before.predicted_cost,
+                after.algorithm.label(),
+                match ewma_us {
+                    Some(us) => format!("ewma {us:.1} us"),
+                    None => "unmeasured".to_string(),
+                },
+                if flipped { "  [RE-RANKED]" } else { "" }
+            );
+            if flipped && !args.json {
+                for line in after.explain().lines() {
+                    println!("    | {line}");
+                }
+            }
+            rows.push(format!(
+                "{{\"dims\":[{}],\"mode\":{mode},\"analytic\":\"{}\",\
+                 \"analytic_cost\":{},\"tuned\":\"{}\",\"tuned_ewma_us\":{},\
+                 \"candidates_measured\":{measured},\"flipped\":{flipped}}}",
+                dims.iter()
+                    .map(|d| d.to_string())
+                    .collect::<Vec<_>>()
+                    .join(","),
+                before.algorithm.label(),
+                before.predicted_cost,
+                after.algorithm.label(),
+                match ewma_us {
+                    Some(us) => format!("{us}"),
+                    None => "null".to_string(),
+                },
+            ));
+        }
+    }
+
+    // Adversarial self-check on a scratch cache (never the tuned one): with
+    // a zero-width band every non-winner is out of band, so even absurdly
+    // good fabricated timings for it must not override the analytic model.
+    let strict = Planner::new(machine.clone()).with_near_tie_band(0.0);
+    let scratch = PlanCache::new(4);
+    let dims = args.dims.clone();
+    let problem = Problem::new(
+        &dims.iter().map(|&d| d as u64).collect::<Vec<u64>>(),
+        args.rank as u64,
+    );
+    let prior = strict.plan_cached(&problem, args.mode, &scratch);
+    let key = PlanKey::for_plan(&prior);
+    let guard_ok = match prior
+        .candidates
+        .iter()
+        .find(|c| c.algorithm != prior.algorithm)
+    {
+        Some(loser) => {
+            for _ in 0..trials.max(MIN_EVIDENCE_RUNS as usize) {
+                scratch.record_measurement(&key, &loser.algorithm.label(), 1e-9);
+            }
+            let replanned = strict.plan_cached(&problem, args.mode, &scratch);
+            replanned.algorithm == prior.algorithm
+        }
+        // A one-candidate plan has nothing out of band to promote.
+        None => true,
+    };
+    say!(
+        args.json,
+        "adversarial guard    out-of-band evidence {} the analytic model",
+        if guard_ok {
+            "cannot override"
+        } else {
+            "OVERRODE"
+        }
+    );
+
+    let mut saved = None;
+    if let Some(path) = &args.cache_file {
+        match cache.save(path) {
+            Ok(n) => {
+                saved = Some(n);
+                say!(args.json, "tuned cache saved    {n} entr(ies) -> {path}");
+            }
+            Err(e) => {
+                eprintln!("error: cannot save --cache-file {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let stats = cache.stats();
+    say!(
+        args.json,
+        "plan choices         {flipped_total} of {} re-ranked by measured evidence; \
+         {} measurement(s), {} re-rank(s)",
+        rows.len(),
+        stats.measurements,
+        stats.reranks
+    );
+    if args.json {
+        println!(
+            "{{\"shapes\":{shapes},\"modes\":{},\"trials\":{trials},\"band\":{band},\
+             \"plans\":[{}],\"flipped\":{flipped_total},\"measurements\":{},\
+             \"reranks\":{},\"cache_entries\":{},\"guard_ok\":{guard_ok},\
+             \"cache_file\":{}}}",
+            args.dims.len(),
+            rows.join(","),
+            stats.measurements,
+            stats.reranks,
+            stats.len,
+            match (&args.cache_file, saved) {
+                (Some(path), Some(_)) => format!("\"{path}\""),
+                _ => "null".to_string(),
+            },
+        );
+    }
+    if !guard_ok {
+        eprintln!(
+            "error: fabricated out-of-band measurements overrode the analytic model; \
+             the near-tie band is not being enforced"
+        );
+        return ExitCode::FAILURE;
+    }
     ExitCode::SUCCESS
 }
 
@@ -2170,7 +2512,7 @@ fn run_serve_socket(args: &Args) -> ExitCode {
             served as f64 / elapsed.as_secs_f64(),
             stats.cache.hits,
             stats.cache.misses,
-            stats.cache.hit_rate(),
+            json_hit_rate(stats.cache.hit_rate()),
             mismatches == 0,
             per.join(",")
         );

@@ -1,0 +1,208 @@
+//! Integration tests for the self-tuning planner loop: the plan cache's
+//! measured-evidence feedback, its concurrency discipline, its LRU
+//! eviction order, and its persistence format.
+//!
+//! 1. Adversarial property: fabricated measurements for candidates
+//!    *outside* the near-tie band can never flip the analytic winner, no
+//!    matter how good they look — the model stays in charge beyond the
+//!    band.
+//! 2. Persistence property: saving a cache (plans + profiles) and loading
+//!    it into a fresh cache reproduces the exact same re-rank decision the
+//!    original would have made.
+//! 3. Two racing planners converge on one shared resident `Arc` and the
+//!    ledger books exactly one hit and one miss — the loser's miss is
+//!    reclassified, never double-counted.
+//! 4. The cache's eviction order agrees op-for-op with a naive Vec-based
+//!    reference LRU across random get/insert interleavings.
+
+use mttkrp_core::Problem;
+use mttkrp_exec::{MachineSpec, Plan, PlanCache, PlanKey, Planner, MIN_EVIDENCE_RUNS};
+use proptest::prelude::*;
+use std::sync::{Arc, Barrier};
+use std::thread;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn out_of_band_measurements_never_flip_the_analytic_winner(
+        dims in prop::collection::vec(4u64..40, 3..=4),
+        r in 1u64..8,
+        mem_exp in 6u32..20,
+        band in 0.0f64..0.5,
+        fast in 1e-9f64..1e-6,
+    ) {
+        let problem = Problem::new(&dims, r);
+        let planner = Planner::new(MachineSpec::shared(2, 1usize << mem_exp))
+            .with_near_tie_band(band);
+        let cache = PlanCache::new(8);
+        let before = planner.plan_cached(&problem, 0, &cache);
+        let key = PlanKey::for_plan(&before);
+
+        // Give the analytic winner real (slow) evidence first, so a flip
+        // is possible in principle — the planner refuses to re-rank while
+        // its incumbent is unmeasured.
+        for _ in 0..MIN_EVIDENCE_RUNS + 1 {
+            cache.record_measurement(&key, &before.algorithm.label(), 1e-3);
+        }
+        // Then feed fabulous evidence to every candidate strictly outside
+        // the band (with float headroom so a boundary candidate is never
+        // misclassified by this test).
+        let cutoff = before.predicted_cost * (1.0 + band) * (1.0 + 1e-9);
+        let mut fed = 0usize;
+        for c in &before.candidates {
+            if c.algorithm != before.algorithm && c.modeled_cost > cutoff {
+                for _ in 0..MIN_EVIDENCE_RUNS + 1 {
+                    cache.record_measurement(&key, &c.algorithm.label(), fast);
+                }
+                fed += 1;
+            }
+        }
+        let after = planner.plan_cached(&problem, 0, &cache);
+        prop_assert_eq!(
+            &after.algorithm,
+            &before.algorithm,
+            "adversarial evidence for {} out-of-band candidate(s) flipped the plan \
+             (band {band}, dims {:?})",
+            fed,
+            dims
+        );
+        prop_assert!(after.analytic_algorithm.is_none());
+    }
+
+    #[test]
+    fn persisted_measurements_reach_identical_rerank_decisions(
+        dims in prop::collection::vec(4u64..40, 3..=3),
+        r in 1u64..8,
+        mem_exp in 6u32..20,
+        band in 0.0f64..2.0,
+        times in prop::collection::vec(1e-6f64..1e-2, 2..12),
+    ) {
+        let problem = Problem::new(&dims, r);
+        let planner = Planner::new(MachineSpec::shared(2, 1usize << mem_exp))
+            .with_near_tie_band(band);
+        let original = PlanCache::new(8);
+        let plan = planner.plan_cached(&problem, 0, &original);
+        let key = PlanKey::for_plan(&plan);
+        // Spread the sampled timings round-robin over the candidates so
+        // the profiles carry uneven evidence.
+        for (i, t) in times.iter().enumerate() {
+            let cand = &plan.candidates[i % plan.candidates.len()];
+            original.record_measurement(&key, &cand.algorithm.label(), *t);
+        }
+
+        let restored = PlanCache::new(8);
+        let loaded = restored.load_jsonl(&original.to_jsonl());
+        prop_assert_eq!(loaded, Ok(1));
+
+        // Both caches are stale (one from measuring, one from loading), so
+        // both planner lookups weigh the evidence afresh — and must agree.
+        let a = planner.plan_cached(&problem, 0, &original);
+        let b = planner.plan_cached(&problem, 0, &restored);
+        prop_assert_eq!(&a.algorithm, &b.algorithm);
+        prop_assert_eq!(&a.analytic_algorithm, &b.analytic_algorithm);
+        // The persisted profiles must be bit-identical, not just close:
+        // the format round-trips every f64 exactly.
+        let pa = original.profiles(&key);
+        let pb = restored.profiles(&key);
+        prop_assert_eq!(pa.len(), pb.len());
+        for (id, p) in &pa {
+            let q = &pb[id];
+            prop_assert_eq!(p.count, q.count);
+            prop_assert_eq!(p.mean_secs.to_bits(), q.mean_secs.to_bits());
+            prop_assert_eq!(p.min_secs.to_bits(), q.min_secs.to_bits());
+            prop_assert_eq!(p.ewma_secs.to_bits(), q.ewma_secs.to_bits());
+        }
+    }
+
+    #[test]
+    fn eviction_order_matches_a_reference_lru(
+        cap in 1usize..6,
+        ops in prop::collection::vec((0usize..8, any::<bool>()), 1..80),
+    ) {
+        let machine = MachineSpec::shared(2, 1usize << 12);
+        let planner = Planner::new(machine.clone());
+        let universe: Vec<(PlanKey, Arc<Plan>)> = (0..8u64)
+            .map(|i| {
+                let problem = Problem::new(&[8 + i, 8, 8], 4);
+                let plan = Arc::new(planner.plan_executable(&problem, 0));
+                (PlanKey::new(&problem, 0, &machine), plan)
+            })
+            .collect();
+        let cache = PlanCache::new(cap);
+        // Reference model: most-recently-used at the back of the Vec.
+        let mut model: Vec<usize> = Vec::new();
+        for &(i, is_get) in &ops {
+            let (key, plan) = &universe[i];
+            if is_get {
+                let hit = cache.get(key).is_some();
+                let model_hit = model.contains(&i);
+                prop_assert_eq!(hit, model_hit, "get({i}) hit/miss diverged");
+                if model_hit {
+                    model.retain(|&k| k != i);
+                    model.push(i);
+                }
+            } else {
+                cache.insert(key.clone(), Arc::clone(plan));
+                if model.contains(&i) {
+                    // First-wins reinsert: resident plan kept, recency
+                    // refreshed.
+                    model.retain(|&k| k != i);
+                } else if model.len() == cap {
+                    model.remove(0);
+                }
+                model.push(i);
+            }
+            // The resident set (never the order alone) is what eviction
+            // gets wrong first; compare it in full after every op.
+            prop_assert_eq!(cache.len(), model.len());
+            for (j, (k, _)) in universe.iter().enumerate() {
+                prop_assert_eq!(
+                    cache.contains(k),
+                    model.contains(&j),
+                    "resident set diverged at key {j}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn racing_planners_share_one_resident_plan_and_one_miss() {
+    // The race window is tiny, so run it many times: any schedule must
+    // end with both threads holding the same Arc and a (1 hit, 1 miss)
+    // ledger — whether the loser lost at lookup or at insert.
+    for round in 0..64u64 {
+        let cache = Arc::new(PlanCache::new(8));
+        let problem = Problem::new(&[16 + round % 3, 16, 16], 4);
+        let barrier = Arc::new(Barrier::new(2));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let cache = Arc::clone(&cache);
+                let barrier = Arc::clone(&barrier);
+                let problem = problem.clone();
+                thread::spawn(move || {
+                    let planner = Planner::new(MachineSpec::shared(2, 1 << 12));
+                    barrier.wait();
+                    planner.plan_cached(&problem, 0, &cache)
+                })
+            })
+            .collect();
+        let plans: Vec<Arc<Plan>> = handles
+            .into_iter()
+            .map(|h| h.join().expect("planner thread panicked"))
+            .collect();
+        assert!(
+            Arc::ptr_eq(&plans[0], &plans[1]),
+            "racing planners must converge on the one resident plan"
+        );
+        let stats = cache.stats();
+        assert_eq!(
+            (stats.hits, stats.misses),
+            (1, 1),
+            "round {round}: the losing racer's miss must be reclassified as a hit, \
+             never double-counted"
+        );
+        assert_eq!(stats.len, 1);
+    }
+}

@@ -514,7 +514,26 @@ fn serve_frames(
                 let text = {
                     let _sync = lock(&shared.scrape_lock);
                     counter_add(&shared.metrics, metric::SCRAPES, 1);
-                    mttkrp_obs::metrics_to_jsonl(&shared.metrics.snapshot())
+                    let mut text = mttkrp_obs::metrics_to_jsonl(&shared.metrics.snapshot());
+                    // The plan cache keeps its own ledger (it is shared
+                    // exec-layer state, not a serve.* metric); mirror it
+                    // into the scrape so a remote client can see hit/miss
+                    // behavior — e.g. CI asserting a warm-started server
+                    // replays its shape list without a single miss.
+                    let cache = server.cache().stats();
+                    for (name, value) in [
+                        ("exec.plan_cache.hits", cache.hits),
+                        ("exec.plan_cache.misses", cache.misses),
+                        ("exec.plan_cache.evictions", cache.evictions),
+                        ("exec.plan_cache.measurements", cache.measurements),
+                        ("exec.plan_cache.reranks", cache.reranks),
+                        ("exec.plan_cache.resident", cache.len as u64),
+                    ] {
+                        text.push_str(&format!(
+                            "{{\"type\":\"counter\",\"name\":\"{name}\",\"value\":{value}}}\n"
+                        ));
+                    }
+                    text
                 };
                 send(writer, &protocol::encode_stats_response(tag, &text));
             }

@@ -123,7 +123,7 @@ fn repeated_shapes_hit_the_plan_cache() {
     );
     assert_eq!(stats.cache.hits, 18);
     assert_eq!(stats.cache.hits + stats.cache.misses, stats.batches);
-    assert!(stats.cache.hit_rate() > 0.85);
+    assert!(stats.cache.hit_rate().is_some_and(|r| r > 0.85));
     assert_eq!(cache_hits, 18, "per-response flags agree with the ledger");
 }
 
