@@ -278,6 +278,14 @@ pub fn cp_als_with_hooks(
                 &plan.algorithm.label(),
                 exec_time.as_secs_f64(),
             );
+            // Per-algorithm kernel latency for the history/SLO layer: the
+            // same breakdown the serve worker records, captured here so
+            // in-process CP-ALS runs (bench, CLI) are sliced too.
+            mttkrp_obs::histogram_record_labeled(
+                "als.mode_exec_us.alg",
+                &plan.algorithm.label(),
+                exec_time.as_micros() as u64,
+            );
             if mode_span.is_active() {
                 // The span itself closes after the solve, so its duration is
                 // the whole mode update; these fields carry the split.

@@ -86,6 +86,20 @@
 //!                              and health over STATS/HEALTH frames —
 //!                              answered inline by the server, never shed,
 //!                              never counted against the admission cap
+//!   top ADDR [--watch SECS] [--json]
+//!                              live dashboard over the STATS_HISTORY frame:
+//!                              request/shed rates, queue depth, per-shape
+//!                              p50/p99 latency with sparkline trends, and
+//!                              SLO error-budget burn from the server's
+//!                              time-series ring; --watch repaints every
+//!                              SECS seconds, --json emits one machine-
+//!                              readable snapshot of the whole ring
+//!   bench-compare BASELINE.json CURRENT.json [--tol F]
+//!                              perf-regression gate: compare two bench
+//!                              --json outputs metric by metric (latencies
+//!                              must not grow, throughput must not shrink,
+//!                              by more than the fractional tolerance;
+//!                              default 0.5) and exit nonzero on regression
 //! ```
 //!
 //! Ops-plane extras: `listen --dist-exec proc [--ranks P]
@@ -283,7 +297,10 @@ fn parse(argv: &[String]) -> Result<Args, String> {
             }
             other
                 if !other.starts_with('-')
-                    && matches!(args.algorithm.as_deref(), Some("report") | Some("stats")) =>
+                    && matches!(
+                        args.algorithm.as_deref(),
+                        Some("report") | Some("stats") | Some("top") | Some("bench-compare")
+                    ) =>
             {
                 args.inputs.push(other.to_string());
             }
@@ -291,9 +308,9 @@ fn parse(argv: &[String]) -> Result<Args, String> {
         }
     }
     // `serve` generates its own mixed-shape workload, `cp-als` its own
-    // synthetic rank-R tensor, and `report`/`stats` read a trace file or a
-    // live server; --dims (if given) only seeds the base shape, so it may
-    // be omitted for any of them.
+    // synthetic rank-R tensor, and `report`/`stats`/`top`/`bench-compare`
+    // read a trace file, a live server, or bench JSON; --dims (if given)
+    // only seeds the base shape, so it may be omitted for any of them.
     if matches!(
         args.algorithm.as_deref(),
         Some("serve")
@@ -301,6 +318,8 @@ fn parse(argv: &[String]) -> Result<Args, String> {
             | Some("cp-als")
             | Some("report")
             | Some("stats")
+            | Some("top")
+            | Some("bench-compare")
             | Some("autotune")
     ) && args.dims.is_empty()
     {
@@ -322,7 +341,7 @@ fn parse(argv: &[String]) -> Result<Args, String> {
     let Some(alg) = args.algorithm.as_deref() else {
         return Err("no algorithm given \
              (alg1|alg2|seqmm|alg3|alg4|parmm|bounds|exec|dist|serve|listen|autotune|\
-             cp-als|report|stats)"
+             cp-als|report|stats|top|bench-compare)"
             .into());
     };
     // The socket front-door flags only mean something to the subcommands
@@ -347,9 +366,9 @@ fn parse(argv: &[String]) -> Result<Args, String> {
     }
     // Flags are parsed globally but only some subcommands honor them;
     // reject half-applying combinations instead of silently ignoring them.
-    if args.json && !matches!(alg, "serve" | "cp-als" | "stats" | "autotune") {
+    if args.json && !matches!(alg, "serve" | "cp-als" | "stats" | "top" | "autotune") {
         return Err(format!(
-            "--json is only supported by the serve, cp-als, stats, and autotune \
+            "--json is only supported by the serve, cp-als, stats, top, and autotune \
              subcommands, not '{alg}'"
         ));
     }
@@ -366,18 +385,23 @@ fn parse(argv: &[String]) -> Result<Args, String> {
             return Err(format!("{flag} is an autotune flag, not valid for '{alg}'"));
         }
     }
-    for (flag, given) in [("--gate", args.gate), ("--tol", args.tol.is_some())] {
-        if given && !matches!(alg, "cp-als" | "report") {
-            return Err(format!(
-                "{flag} is a cp-als/report flag, not valid for '{alg}'"
-            ));
-        }
+    if args.gate && !matches!(alg, "cp-als" | "report") {
+        return Err(format!(
+            "--gate is a cp-als/report flag, not valid for '{alg}'"
+        ));
+    }
+    if args.tol.is_some() && !matches!(alg, "cp-als" | "report" | "bench-compare") {
+        return Err(format!(
+            "--tol is a cp-als/report/bench-compare flag, not valid for '{alg}'"
+        ));
     }
     if args.sweeps.is_some() && alg != "cp-als" {
         return Err(format!("--sweeps is a cp-als flag, not valid for '{alg}'"));
     }
-    if args.watch.is_some() && alg != "stats" {
-        return Err(format!("--watch is a stats flag, not valid for '{alg}'"));
+    if args.watch.is_some() && !matches!(alg, "stats" | "top") {
+        return Err(format!(
+            "--watch is a stats/top flag, not valid for '{alg}'"
+        ));
     }
     if args.merge && alg != "report" {
         return Err(format!("--merge is a report flag, not valid for '{alg}'"));
@@ -392,11 +416,13 @@ fn parse(argv: &[String]) -> Result<Args, String> {
             "--rank-trace-dir is a listen/dist flag, not valid for '{alg}'"
         ));
     }
-    // `report` replays a finished trace and `stats` scrapes a live server;
-    // neither runs anything to capture. A `dist-rank` child MAY take
-    // --trace (the launcher passes it for cross-process merging) but has
-    // no summary of its own to print.
-    if (args.trace.is_some() || args.metrics) && matches!(alg, "report" | "stats") {
+    // `report`/`bench-compare` replay finished artifacts and `stats`/`top`
+    // scrape a live server; none of them runs anything to capture. A
+    // `dist-rank` child MAY take --trace (the launcher passes it for
+    // cross-process merging) but has no summary of its own to print.
+    if (args.trace.is_some() || args.metrics)
+        && matches!(alg, "report" | "stats" | "top" | "bench-compare")
+    {
         return Err(format!(
             "--trace/--metrics instrument a live run, not valid for '{alg}'"
         ));
@@ -472,6 +498,17 @@ fn usage() {
          \n                               scrape a live front door's metrics and\
          \n                               health over STATS/HEALTH frames (never\
          \n                               shed, never counted against the cap)\
+         \n  top ADDR [--watch SECS] [--json]\
+         \n                               live dashboard over STATS_HISTORY:\
+         \n                               request/shed rates, queue depth, per-\
+         \n                               shape p50/p99 sparkline trends, and SLO\
+         \n                               error-budget burn from the server's\
+         \n                               time-series ring\
+         \n  bench-compare BASE.json CUR.json [--tol F]\
+         \n                               perf-regression gate between two bench\
+         \n                               --json outputs: latencies must not grow\
+         \n                               and throughput must not shrink by more\
+         \n                               than the tolerance (default 0.5)\
          \n\
          \nops-plane extras: `listen --dist-exec proc [--ranks P]\
          \n  [--rank-trace-dir DIR]` puts one real OS process per rank behind\
@@ -502,6 +539,12 @@ fn main() -> ExitCode {
     }
     if args.algorithm.as_deref() == Some("stats") {
         return run_stats(&args);
+    }
+    if args.algorithm.as_deref() == Some("top") {
+        return run_top(&args);
+    }
+    if args.algorithm.as_deref() == Some("bench-compare") {
+        return run_bench_compare(&args);
     }
 
     // Fault path of the flight recorder: the ring retains the last span
@@ -1608,6 +1651,566 @@ fn run_stats(args: &Args) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Registry names `top` reads off the scraped history. They travel as
+/// JSONL through the `STATS_HISTORY` frame, so they are a wire contract,
+/// not a private implementation detail of the server.
+const TOP_QUEUE_DEPTH: &str = "serve.queue_depth";
+/// Labeled exec-latency family (`serve.exec_us.shape{dims:rank:mode}`).
+const TOP_EXEC_BY_SHAPE: &str = "serve.exec_us.shape";
+/// Prefix of the SLO gauges the server's ticker publishes each window.
+const TOP_SLO_PREFIX: &str = "obs.slo.";
+/// How many trailing windows feed the rate figures and the sparklines.
+const TOP_TREND_WINDOWS: usize = 32;
+
+/// Eight-level sparkline glyphs, lowest to highest.
+const SPARK: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+/// One glyph per value, scaled so the largest value in the slice is the
+/// tallest bar (all-zero input renders as a flat baseline).
+fn sparkline(values: &[u64]) -> String {
+    let max = values.iter().copied().max().unwrap_or(0);
+    values
+        .iter()
+        .map(|&v| {
+            if max == 0 {
+                SPARK[0]
+            } else {
+                SPARK[((v as f64 / max as f64) * 7.0).round() as usize]
+            }
+        })
+        .collect()
+}
+
+/// One dashboard row: a shape family's latency distribution over the whole
+/// ring, plus its per-window p99 trend over the trailing windows.
+struct ShapeRow {
+    label: String,
+    count: u64,
+    p50_us: u64,
+    p99_us: u64,
+    trend_p99_us: Vec<u64>,
+}
+
+/// Aggregates the ring's `serve.exec_us.shape{...}` windows into one row
+/// per shape label: whole-ring p50/p99 plus the per-window p99 trail.
+fn shape_rows(windows: &[mttkrp_obs::WindowSnapshot]) -> Vec<ShapeRow> {
+    let mut merged: std::collections::BTreeMap<String, mttkrp_obs::HistogramSnapshot> =
+        std::collections::BTreeMap::new();
+    for w in windows {
+        for (name, h) in &w.histograms {
+            if let Some((family, label)) = mttkrp_obs::split_labeled_name(name) {
+                if family == TOP_EXEC_BY_SHAPE {
+                    merged.entry(label.to_string()).or_default().merge(h);
+                }
+            }
+        }
+    }
+    let trail = &windows[windows.len().saturating_sub(TOP_TREND_WINDOWS)..];
+    merged
+        .into_iter()
+        .map(|(label, h)| {
+            let name = format!("{TOP_EXEC_BY_SHAPE}{{{label}}}");
+            let trend_p99_us = trail
+                .iter()
+                .map(|w| w.histogram(&name).map_or(0, |wh| wh.quantile(0.99)))
+                .collect();
+            ShapeRow {
+                count: h.count,
+                p50_us: h.quantile(0.5),
+                p99_us: h.quantile(0.99),
+                trend_p99_us,
+                label,
+            }
+        })
+        .collect()
+}
+
+/// One objective's budget state, reassembled from the `obs.slo.<name>.*`
+/// gauges in the newest window.
+struct SloRow {
+    name: String,
+    budget_remaining_ppm: i64,
+    breached: bool,
+    /// `(lookback windows, burn rate in ppm)`, shortest look-back first.
+    burn_ppm: Vec<(u64, i64)>,
+}
+
+/// Parses the `obs.slo.*` gauges of the newest window back into one row
+/// per objective.
+fn slo_rows(latest: &mttkrp_obs::WindowSnapshot) -> Vec<SloRow> {
+    let mut rows: std::collections::BTreeMap<String, SloRow> = std::collections::BTreeMap::new();
+    for (name, value) in &latest.gauges {
+        let Some(rest) = name.strip_prefix(TOP_SLO_PREFIX) else {
+            continue;
+        };
+        let Some((slo, field)) = rest.split_once('.') else {
+            continue;
+        };
+        let row = rows.entry(slo.to_string()).or_insert_with(|| SloRow {
+            name: slo.to_string(),
+            budget_remaining_ppm: 0,
+            breached: false,
+            burn_ppm: Vec::new(),
+        });
+        if field == "budget_remaining_ppm" {
+            row.budget_remaining_ppm = *value;
+        } else if field == "breached" {
+            row.breached = *value != 0;
+        } else if let Some(lb) = field.strip_prefix("burn_ppm.") {
+            if let Ok(lb) = lb.parse::<u64>() {
+                row.burn_ppm.push((lb, *value));
+            }
+        }
+    }
+    let mut rows: Vec<SloRow> = rows.into_values().collect();
+    for row in &mut rows {
+        row.burn_ppm.sort_unstable();
+    }
+    rows
+}
+
+/// Events per second of one counter over the trailing windows.
+fn trailing_rate(windows: &[mttkrp_obs::WindowSnapshot], counter: &str) -> f64 {
+    let trail = &windows[windows.len().saturating_sub(TOP_TREND_WINDOWS)..];
+    let dur_us: u64 = trail.iter().map(|w| w.dur_us).sum();
+    if dur_us == 0 {
+        return 0.0;
+    }
+    let events: u64 = trail.iter().map(|w| w.counter(counter)).sum();
+    events as f64 * 1e6 / dur_us as f64
+}
+
+/// The `top` subcommand: a live dashboard over the `STATS_HISTORY` frame.
+/// Each paint scrapes the server's whole time-series ring (answered inline
+/// by the connection reader — never shed) and renders request/shed rates,
+/// queue depth, per-shape p50/p99 latency with per-window p99 sparklines,
+/// and SLO error-budget state. `--watch SECS` repaints on an interval;
+/// `--json` emits one machine-readable snapshot per scrape (the CI
+/// artifact format).
+fn run_top(args: &Args) -> ExitCode {
+    use mttkrp_serve::Client;
+
+    let Some(addr) = args.inputs.first() else {
+        eprintln!("error: top needs a server address (mttkrp_cli top 127.0.0.1:PORT)");
+        return ExitCode::from(2);
+    };
+    if args.watch == Some(0) {
+        eprintln!("error: --watch must be at least 1 second");
+        return ExitCode::from(2);
+    }
+    let mut client = match Client::connect(addr.as_str()) {
+        Ok(client) => client,
+        Err(e) => {
+            eprintln!("error: cannot connect to {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut first = true;
+    loop {
+        let (health, windows) = match client
+            .health()
+            .and_then(|h| Ok((h, client.stats_history()?)))
+        {
+            Ok(scrape) => scrape,
+            Err(e) => {
+                eprintln!("error: scraping {addr}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let shapes = shape_rows(&windows);
+        let slos = windows.last().map(slo_rows).unwrap_or_default();
+        if args.json {
+            println!("{}", top_json(&health, &windows, &shapes, &slos));
+        } else {
+            if args.watch.is_some() && !first {
+                // Repaint in place: clear the terminal and home the cursor.
+                print!("\x1b[2J\x1b[H");
+            }
+            print!("{}", top_dashboard(addr, &health, &windows, &shapes, &slos));
+        }
+        first = false;
+        match args.watch {
+            Some(secs) => std::thread::sleep(std::time::Duration::from_secs(secs)),
+            None => break,
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// The human `top` paint.
+fn top_dashboard(
+    addr: &str,
+    health: &mttkrp_serve::net::protocol::HealthSnapshot,
+    windows: &[mttkrp_obs::WindowSnapshot],
+    shapes: &[ShapeRow],
+    slos: &[SloRow],
+) -> String {
+    use mttkrp_serve::net::listener::metric as net_metric;
+    use std::fmt::Write as _;
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{addr}: up {:.1} s, {} connection(s) open, {}/{} in flight{}",
+        health.uptime_ms as f64 / 1000.0,
+        health.open_connections,
+        health.in_flight,
+        health.admission_cap,
+        if health.draining { ", DRAINING" } else { "" }
+    );
+    let span_us: u64 = windows.iter().map(|w| w.dur_us).sum();
+    let queue_depth = windows
+        .last()
+        .and_then(|w| w.gauge(TOP_QUEUE_DEPTH))
+        .unwrap_or(0);
+    let _ = writeln!(
+        out,
+        "history: {} window(s) spanning {:.1} s; queue depth {queue_depth}",
+        windows.len(),
+        span_us as f64 / 1e6,
+    );
+    let _ = writeln!(
+        out,
+        "rates (trailing {} window(s)): {:.1} request/s, {:.1} shed/s",
+        windows.len().min(TOP_TREND_WINDOWS),
+        trailing_rate(windows, net_metric::REQUESTS),
+        trailing_rate(windows, net_metric::SHED),
+    );
+    if shapes.is_empty() {
+        let _ = writeln!(out, "\nno per-shape latency recorded yet");
+    } else {
+        let label_w = shapes
+            .iter()
+            .map(|s| s.label.len())
+            .max()
+            .unwrap_or(0)
+            .max("shape".len());
+        let _ = writeln!(
+            out,
+            "\n{:<label_w$}  {:>8}  {:>8}  {:>8}  p99 trend",
+            "shape", "count", "p50 us", "p99 us"
+        );
+        for s in shapes {
+            let _ = writeln!(
+                out,
+                "{:<label_w$}  {:>8}  {:>8}  {:>8}  {}",
+                s.label,
+                s.count,
+                s.p50_us,
+                s.p99_us,
+                sparkline(&s.trend_p99_us)
+            );
+        }
+    }
+    if !slos.is_empty() {
+        let name_w = slos
+            .iter()
+            .map(|s| s.name.len())
+            .max()
+            .unwrap_or(0)
+            .max("slo".len());
+        let _ = writeln!(
+            out,
+            "\n{:<name_w$}  {:>10}  {:>9}  burn rate per look-back",
+            "slo", "budget", "state"
+        );
+        for s in slos {
+            let burns = s
+                .burn_ppm
+                .iter()
+                .map(|(lb, ppm)| format!("{lb}w:{:.2}", *ppm as f64 / 1e6))
+                .collect::<Vec<_>>()
+                .join("  ");
+            let _ = writeln!(
+                out,
+                "{:<name_w$}  {:>9.1}%  {:>9}  {burns}",
+                s.name,
+                s.budget_remaining_ppm as f64 / 1e4,
+                if s.breached { "BREACHED" } else { "ok" },
+            );
+        }
+    }
+    out
+}
+
+/// The machine-readable `top` snapshot: health, rates, the per-shape and
+/// SLO aggregates, plus one compact summary object per ring window.
+fn top_json(
+    health: &mttkrp_serve::net::protocol::HealthSnapshot,
+    windows: &[mttkrp_obs::WindowSnapshot],
+    shapes: &[ShapeRow],
+    slos: &[SloRow],
+) -> String {
+    use mttkrp_serve::net::listener::metric as net_metric;
+
+    let shape_objs = shapes
+        .iter()
+        .map(|s| {
+            format!(
+                "{{\"label\":\"{}\",\"count\":{},\"p50_us\":{},\"p99_us\":{},\
+                 \"trend_p99_us\":[{}]}}",
+                s.label,
+                s.count,
+                s.p50_us,
+                s.p99_us,
+                s.trend_p99_us
+                    .iter()
+                    .map(|v| v.to_string())
+                    .collect::<Vec<_>>()
+                    .join(",")
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+    let slo_objs = slos
+        .iter()
+        .map(|s| {
+            let burns = s
+                .burn_ppm
+                .iter()
+                .map(|(lb, ppm)| format!("{{\"lookback\":{lb},\"burn_ppm\":{ppm}}}"))
+                .collect::<Vec<_>>()
+                .join(",");
+            format!(
+                "{{\"name\":\"{}\",\"budget_remaining_ppm\":{},\"breached\":{},\
+                 \"burn\":[{burns}]}}",
+                s.name, s.budget_remaining_ppm, s.breached
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+    let window_objs = windows
+        .iter()
+        .map(|w| {
+            format!(
+                "{{\"seq\":{},\"start_us\":{},\"dur_us\":{},\"requests\":{},\
+                 \"sheds\":{},\"queue_depth\":{}}}",
+                w.seq,
+                w.start_us,
+                w.dur_us,
+                w.counter(net_metric::REQUESTS),
+                w.counter(net_metric::SHED),
+                w.gauge(TOP_QUEUE_DEPTH).unwrap_or(0)
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+    format!(
+        "{{\"health\":{{\"uptime_ms\":{},\"open_connections\":{},\"in_flight\":{},\
+         \"draining\":{},\"admission_cap\":{}}},\
+         \"requests_per_sec\":{},\"sheds_per_sec\":{},\
+         \"shapes\":[{shape_objs}],\"slos\":[{slo_objs}],\"windows\":[{window_objs}]}}",
+        health.uptime_ms,
+        health.open_connections,
+        health.in_flight,
+        health.draining,
+        health.admission_cap,
+        trailing_rate(windows, net_metric::REQUESTS),
+        trailing_rate(windows, net_metric::SHED),
+    )
+}
+
+/// Which way a bench metric is allowed to move, keyed on the leaf name of
+/// its flattened dot-path (array indices stripped): `Some(true)` = lower
+/// is better (latency-like), `Some(false)` = higher is better
+/// (throughput-like), `None` = informational, never gated.
+fn metric_direction(path: &str) -> Option<bool> {
+    let leaf = path.rsplit('.').next().unwrap_or(path);
+    let leaf = leaf.split('[').next().unwrap_or(leaf);
+    const LOWER_BETTER: &[&str] = &[
+        "_us",
+        "_secs",
+        "_ms",
+        "elapsed",
+        "p50",
+        "p99",
+        "misses",
+        "sheds",
+        "shed_rate",
+        "errors",
+        "drift",
+    ];
+    const HIGHER_BETTER: &[&str] = &["throughput", "rps", "hit_rate", "fit", "fits"];
+    if LOWER_BETTER.iter().any(|s| leaf.ends_with(s)) {
+        return Some(true);
+    }
+    if HIGHER_BETTER.iter().any(|s| leaf.ends_with(s)) {
+        return Some(false);
+    }
+    None
+}
+
+/// Flattens a parsed JSON value into `(dot.path[i], number)` pairs; only
+/// numeric leaves survive (strings, bools, and nulls carry no gateable
+/// measurement).
+fn flatten_json(prefix: &str, value: &mttkrp_obs::json::JsonValue, out: &mut Vec<(String, f64)>) {
+    use mttkrp_obs::json::JsonValue;
+    match value {
+        JsonValue::Number(n) => out.push((prefix.to_string(), *n)),
+        JsonValue::Array(items) => {
+            for (i, item) in items.iter().enumerate() {
+                flatten_json(&format!("{prefix}[{i}]"), item, out);
+            }
+        }
+        JsonValue::Object(fields) => {
+            for (key, field) in fields {
+                let path = if prefix.is_empty() {
+                    key.clone()
+                } else {
+                    format!("{prefix}.{key}")
+                };
+                flatten_json(&path, field, out);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// One gated metric's verdict in a baseline comparison.
+struct CompareRow {
+    path: String,
+    base: f64,
+    current: f64,
+    lower_better: bool,
+    regressed: bool,
+}
+
+/// Compares every gateable metric present in both files, and counts how
+/// many numeric paths the files share at all (so a caller can tell "wrong
+/// files" apart from "nothing to gate"). A lower-is-better metric
+/// regresses when `current > base * (1 + tol)`; a higher-is-better metric
+/// when `current < base / (1 + tol)`. Skipped as ungateable: metrics
+/// missing from either side (a changed bench schema is not a perf
+/// regression), zero/negative baselines (nothing meaningful to be
+/// relative to), and array elements (per-sweep / per-client samples are
+/// individually too noisy to gate — their aggregates are scalar fields).
+fn compare_benches(
+    base: &mttkrp_obs::json::JsonValue,
+    current: &mttkrp_obs::json::JsonValue,
+    tol: f64,
+) -> (Vec<CompareRow>, usize) {
+    let mut base_flat = Vec::new();
+    flatten_json("", base, &mut base_flat);
+    let mut cur_flat = Vec::new();
+    flatten_json("", current, &mut cur_flat);
+    let cur_by_path: std::collections::HashMap<&str, f64> =
+        cur_flat.iter().map(|(p, v)| (p.as_str(), *v)).collect();
+    let shared = base_flat
+        .iter()
+        .filter(|(p, _)| cur_by_path.contains_key(p.as_str()))
+        .count();
+    let rows = base_flat
+        .into_iter()
+        .filter_map(|(path, base)| {
+            let current = *cur_by_path.get(path.as_str())?;
+            if path.contains('[') || base <= 0.0 {
+                return None;
+            }
+            let lower_better = metric_direction(&path)?;
+            let regressed = if lower_better {
+                current > base * (1.0 + tol)
+            } else {
+                current < base / (1.0 + tol)
+            };
+            Some(CompareRow {
+                path,
+                base,
+                current,
+                lower_better,
+                regressed,
+            })
+        })
+        .collect();
+    (rows, shared)
+}
+
+/// The `bench-compare` subcommand: the perf-regression baseline gate.
+/// Reads two bench `--json` outputs (a committed baseline and a fresh
+/// run), compares every recognized metric with [`compare_benches`], prints
+/// the verdict table, and exits nonzero when anything regressed beyond
+/// `--tol` (default 0.5, i.e. 50% head-room for machine noise).
+fn run_bench_compare(args: &Args) -> ExitCode {
+    if args.inputs.len() != 2 {
+        eprintln!(
+            "error: bench-compare needs exactly two files \
+             (mttkrp_cli bench-compare BASELINE.json CURRENT.json [--tol F])"
+        );
+        return ExitCode::from(2);
+    }
+    let tol = args.tol.unwrap_or(0.5);
+    if !tol.is_finite() || tol <= 0.0 {
+        eprintln!("error: --tol must be a positive fraction, got {tol}");
+        return ExitCode::from(2);
+    }
+    let mut parsed = Vec::with_capacity(2);
+    for path in &args.inputs {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: cannot read {path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        match mttkrp_obs::json::parse(&text) {
+            Ok(v) => parsed.push(v),
+            Err(e) => {
+                eprintln!("error: {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let (rows, shared) = compare_benches(&parsed[0], &parsed[1], tol);
+    if shared == 0 {
+        eprintln!(
+            "error: no numeric metrics shared between {} and {} — wrong files?",
+            args.inputs[0], args.inputs[1]
+        );
+        return ExitCode::FAILURE;
+    }
+    if rows.is_empty() {
+        // e.g. a bench whose only measurements are per-element arrays:
+        // the files match, there is just nothing direction-classified.
+        println!("{shared} shared metric(s), none direction-classified; nothing to gate");
+        return ExitCode::SUCCESS;
+    }
+    let path_w = rows
+        .iter()
+        .map(|r| r.path.len())
+        .max()
+        .unwrap_or(0)
+        .max("metric".len());
+    println!(
+        "{:<path_w$}  {:>14}  {:>14}  {:>8}  {:>6}  verdict",
+        "metric", "baseline", "current", "change", "want"
+    );
+    for r in &rows {
+        println!(
+            "{:<path_w$}  {:>14.4}  {:>14.4}  {:>+7.1}%  {:>6}  {}",
+            r.path,
+            r.base,
+            r.current,
+            (r.current / r.base - 1.0) * 100.0,
+            if r.lower_better { "low" } else { "high" },
+            if r.regressed { "REGRESSED" } else { "ok" },
+        );
+    }
+    let regressed: Vec<&CompareRow> = rows.iter().filter(|r| r.regressed).collect();
+    println!(
+        "\n{} metric(s) compared at tolerance {tol}, {} regression(s)",
+        rows.len(),
+        regressed.len()
+    );
+    if !regressed.is_empty() {
+        eprintln!(
+            "error: {} metric(s) regressed beyond tolerance {tol} vs {}",
+            regressed.len(),
+            args.inputs[0]
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
 /// The planning [`Problem`] of the CLI's synthetic tensor.
 fn problem_of(args: &Args) -> Problem {
     Problem::new(
@@ -1901,6 +2504,7 @@ fn run_listen(args: &Args) -> ExitCode {
         },
         max_in_flight: args.cap.unwrap_or(64),
         retry_after_ms: args.retry_ms.unwrap_or(50),
+        ..NetConfig::default()
     }) {
         Ok(server) => server,
         Err(e) => {
@@ -2306,6 +2910,7 @@ fn run_serve_socket(args: &Args) -> ExitCode {
         },
         max_in_flight: cap,
         retry_after_ms: args.retry_ms.unwrap_or(5),
+        ..NetConfig::default()
     }) {
         Ok(server) => server,
         Err(e) => {
@@ -2578,4 +3183,124 @@ fn run_bounds_only(args: &Args, problem: &Problem) -> ExitCode {
         return ExitCode::from(2);
     }
     ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mttkrp_obs::json::parse;
+
+    #[test]
+    fn flatten_walks_objects_arrays_and_skips_non_numbers() {
+        let v =
+            parse(r#"{"a":1,"b":{"c_us":2.5,"skip":"text"},"fits":[0.9,0.95],"ok":true,"n":null}"#)
+                .unwrap();
+        let mut flat = Vec::new();
+        flatten_json("", &v, &mut flat);
+        flat.sort_by(|x, y| x.0.cmp(&y.0));
+        assert_eq!(
+            flat,
+            vec![
+                ("a".to_string(), 1.0),
+                ("b.c_us".to_string(), 2.5),
+                ("fits[0]".to_string(), 0.9),
+                ("fits[1]".to_string(), 0.95),
+            ]
+        );
+    }
+
+    #[test]
+    fn direction_classifies_latency_throughput_and_informational() {
+        // Lower is better: latency, loss, and drift shaped names.
+        for path in [
+            "elapsed_secs",
+            "per_client[0].mean_us",
+            "cache.misses",
+            "shed_rate",
+            "gate.drift",
+            "shapes[1].p99",
+        ] {
+            assert_eq!(metric_direction(path), Some(true), "{path}");
+        }
+        // Higher is better: throughput and quality shaped names.
+        for path in ["throughput_rps", "cache.hit_rate", "native.fit", "fits[3]"] {
+            assert_eq!(metric_direction(path), Some(false), "{path}");
+        }
+        // Informational: config echoes and counts are never gated.
+        for path in ["requests", "workers", "seed", "cache_entries"] {
+            assert_eq!(metric_direction(path), None, "{path}");
+        }
+    }
+
+    #[test]
+    fn compare_flags_regressions_in_both_directions_only() {
+        let base = parse(r#"{"elapsed_secs":1.0,"throughput_rps":100.0,"workers":4}"#).unwrap();
+        let ok = parse(r#"{"elapsed_secs":1.4,"throughput_rps":70.0,"workers":8}"#).unwrap();
+        let (rows, shared) = compare_benches(&base, &ok, 0.5);
+        // `workers` is informational, so exactly the two gated metrics.
+        assert_eq!(shared, 3);
+        assert_eq!(rows.len(), 2);
+        assert!(rows.iter().all(|r| !r.regressed), "within 50% head-room");
+
+        let slow = parse(r#"{"elapsed_secs":1.6,"throughput_rps":100.0,"workers":4}"#).unwrap();
+        let (rows, _) = compare_benches(&base, &slow, 0.5);
+        let bad: Vec<&str> = rows
+            .iter()
+            .filter(|r| r.regressed)
+            .map(|r| r.path.as_str())
+            .collect();
+        assert_eq!(bad, vec!["elapsed_secs"], "latency grew past 1.5x");
+
+        let starved = parse(r#"{"elapsed_secs":1.0,"throughput_rps":60.0,"workers":4}"#).unwrap();
+        let (rows, _) = compare_benches(&base, &starved, 0.5);
+        let bad: Vec<&str> = rows
+            .iter()
+            .filter(|r| r.regressed)
+            .map(|r| r.path.as_str())
+            .collect();
+        assert_eq!(bad, vec!["throughput_rps"], "throughput fell below 1/1.5x");
+    }
+
+    #[test]
+    fn compare_skips_missing_paths_zero_baselines_and_array_elements() {
+        let base =
+            parse(r#"{"elapsed_secs":1.0,"gone_us":5.0,"sheds":0,"sweep_secs":[0.1]}"#).unwrap();
+        let cur =
+            parse(r#"{"elapsed_secs":1.0,"new_us":9.0,"sheds":1000,"sweep_secs":[9.9]}"#).unwrap();
+        let (rows, shared) = compare_benches(&base, &cur, 0.5);
+        // `gone_us`/`new_us` are one-sided, `sheds` has a zero baseline,
+        // and `sweep_secs[0]` is a per-element sample: none of them can be
+        // gated, so only `elapsed_secs` is compared.
+        assert_eq!(shared, 3, "elapsed_secs, sheds, sweep_secs[0]");
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].path, "elapsed_secs");
+        assert!(!rows[0].regressed);
+    }
+
+    #[test]
+    fn sparkline_scales_to_the_slice_maximum() {
+        assert_eq!(sparkline(&[0, 0, 0]), "▁▁▁");
+        let line = sparkline(&[0, 50, 100]);
+        assert_eq!(line.chars().count(), 3);
+        assert_eq!(line.chars().next(), Some('▁'));
+        assert_eq!(line.chars().last(), Some('█'));
+    }
+
+    #[test]
+    fn slo_rows_reassemble_published_gauges() {
+        let reg = mttkrp_obs::MetricsRegistry::new();
+        reg.gauge_set("obs.slo.exec.budget_remaining_ppm", 873_000);
+        reg.gauge_set("obs.slo.exec.breached", 0);
+        reg.gauge_set("obs.slo.exec.burn_ppm.8", 120_000);
+        reg.gauge_set("obs.slo.exec.burn_ppm.120", 90_000);
+        reg.gauge_set("unrelated.gauge", 7);
+        let ring = mttkrp_obs::TimeSeriesRing::new(4);
+        let window = ring.sample(&reg);
+        let rows = slo_rows(&window);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].name, "exec");
+        assert_eq!(rows[0].budget_remaining_ppm, 873_000);
+        assert!(!rows[0].breached);
+        assert_eq!(rows[0].burn_ppm, vec![(8, 120_000), (120, 90_000)]);
+    }
 }

@@ -59,7 +59,9 @@ pub mod export;
 pub mod flight;
 pub mod json;
 pub mod metrics;
+pub mod slo;
 pub mod span;
+pub mod timeseries;
 
 pub use drift::{DriftRecord, DriftReport};
 pub use export::{
@@ -69,8 +71,13 @@ pub use export::{
 pub use flight::{
     flight_from_jsonl, flight_snapshot, flight_to_jsonl, FlightRecord, FLIGHT_CAPACITY,
 };
-pub use metrics::{HistogramSnapshot, MetricSnapshot, MetricValue, MetricsRegistry};
+pub use metrics::{
+    split_labeled_name, HistogramSnapshot, MetricSnapshot, MetricValue, MetricsRegistry,
+    MAX_LABELS_PER_FAMILY, OVERFLOW_LABEL,
+};
+pub use slo::{ObjectiveStatus, SloReport, SloSpec};
 pub use span::{current_span_id, FieldValue, Span, SpanRecord};
+pub use timeseries::{TimeSeriesRing, WindowSnapshot};
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, OnceLock, RwLock};
@@ -407,6 +414,18 @@ pub fn gauge_add(name: &str, delta: i64) {
     }
 }
 
+/// Sets the capture's gauge `name` to the absolute value `v`
+/// ([`MetricsRegistry::gauge_set`]). No-op when tracing is disabled.
+#[inline]
+pub fn gauge_set(name: &str, v: i64) {
+    if !enabled() {
+        return;
+    }
+    if let Some(c) = current_collector() {
+        c.metrics().gauge_set(name, v);
+    }
+}
+
 /// Records `v` into the capture's histogram `name`. No-op when tracing is
 /// disabled.
 #[inline]
@@ -426,6 +445,20 @@ pub fn histogram_record_duration(name: &str, d: std::time::Duration) {
         return;
     }
     histogram_record(name, d.as_micros() as u64);
+}
+
+/// Records `v` into the capture's labeled histogram family
+/// ([`MetricsRegistry::histogram_record_labeled`]): the composed metric
+/// is `family{label}`, bounded at [`MAX_LABELS_PER_FAMILY`] labels per
+/// family. No-op when tracing is disabled.
+#[inline]
+pub fn histogram_record_labeled(family: &str, label: &str, v: u64) {
+    if !enabled() {
+        return;
+    }
+    if let Some(c) = current_collector() {
+        c.metrics().histogram_record_labeled(family, label, v);
+    }
 }
 
 #[cfg(test)]

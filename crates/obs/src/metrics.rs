@@ -15,6 +15,25 @@ use std::sync::{Arc, RwLock};
 /// values in `[2^(k-1), 2^k - 1]`, up to `k = 64`.
 pub const HISTOGRAM_BUCKETS: usize = 65;
 
+/// Most distinct labels one histogram family
+/// ([`MetricsRegistry::histogram_record_labeled`]) will hold before new
+/// labels collapse into the [`OVERFLOW_LABEL`] member. Generous for the
+/// real label sources (shape families, plan algorithms) while keeping a
+/// scrape's size — and the registry's memory — bounded.
+pub const MAX_LABELS_PER_FAMILY: usize = 32;
+
+/// The overflow member's label: values for labels past the
+/// [`MAX_LABELS_PER_FAMILY`] bound land in `family{other}`.
+pub const OVERFLOW_LABEL: &str = "other";
+
+/// Splits a composed labeled-metric name (`family{label}`) back into
+/// `(family, label)`; `None` for plain unlabeled names.
+pub fn split_labeled_name(name: &str) -> Option<(&str, &str)> {
+    let open = name.find('{')?;
+    let label = name[open + 1..].strip_suffix('}')?;
+    Some((&name[..open], label))
+}
+
 fn bucket_of(v: u64) -> usize {
     if v == 0 {
         0
@@ -148,11 +167,49 @@ impl HistogramSnapshot {
         }
     }
 
-    /// Approximate quantile `q` in `[0, 1]`: the upper bound of the first
-    /// bucket whose cumulative count reaches `q * count`, clamped to the
-    /// observed `[min, max]`. Exact for values that are powers of two minus
-    /// one; otherwise correct to within the bucket's factor-of-two width.
+    /// Approximate quantile `q` in `[0, 1]`, with linear interpolation
+    /// *inside* the target bucket: the cumulative count locates the first
+    /// bucket that reaches `q * count`, and the target's position among
+    /// that bucket's members picks a proportional point in the bucket's
+    /// `[2^(k-1), 2^k - 1]` value range, clamped to the observed
+    /// `[min, max]`. A log2 bucket spans a factor of two, so the old
+    /// upper-bound answer ([`HistogramSnapshot::quantile_upper_bound`])
+    /// overstated latency by up to 2x; interpolation assumes values are
+    /// uniform within the bucket, which halves the worst-case error
+    /// without any extra storage.
     pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (idx, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if seen + c >= target {
+                let (lo, hi) = bucket_bounds(idx);
+                // The target is the `rank`-th of this bucket's `c` members
+                // (1-based). Interpolate at the midpoint of its uniform
+                // sub-interval so a single-member bucket answers the
+                // bucket's middle, not its floor or ceiling.
+                let rank = target - seen;
+                let width = (hi - lo) as f64;
+                let frac = (rank as f64 - 0.5) / c as f64;
+                let v = lo + (width * frac).round() as u64;
+                return v.clamp(self.min, self.max);
+            }
+            seen += c;
+        }
+        self.max
+    }
+
+    /// The pre-interpolation quantile: the *upper bound* of the first
+    /// bucket whose cumulative count reaches `q * count`, clamped to the
+    /// observed `[min, max]`. Kept as the conservative ("never
+    /// understate") answer; [`HistogramSnapshot::quantile`] interpolates
+    /// within the bucket instead.
+    pub fn quantile_upper_bound(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
         }
@@ -161,17 +218,21 @@ impl HistogramSnapshot {
         for (idx, &c) in self.buckets.iter().enumerate() {
             seen += c;
             if seen >= target {
-                let upper = if idx == 0 {
-                    0
-                } else if idx >= 64 {
-                    u64::MAX
-                } else {
-                    (1u64 << idx) - 1
-                };
-                return upper.clamp(self.min, self.max);
+                return bucket_bounds(idx).1.clamp(self.min, self.max);
             }
         }
         self.max
+    }
+}
+
+/// The inclusive `[lo, hi]` value range of log2 bucket `idx`.
+fn bucket_bounds(idx: usize) -> (u64, u64) {
+    if idx == 0 {
+        (0, 0)
+    } else if idx >= 64 {
+        (1u64 << 63, u64::MAX)
+    } else {
+        (1u64 << (idx - 1), (1u64 << idx) - 1)
     }
 }
 
@@ -266,11 +327,63 @@ impl MetricsRegistry {
         }
     }
 
+    /// Sets gauge `name` to the absolute value `v` — a single atomic
+    /// store, unlike the read-then-`gauge_add` dance callers used to fake
+    /// it with, which races against concurrent movers. This is what level
+    /// publishers (SLO budget gauges, a queue-depth ticker) want.
+    pub fn gauge_set(&self, name: &str, v: i64) {
+        if let Metric::Gauge(g) = &*self.metric(name, || Metric::Gauge(AtomicI64::new(0))) {
+            g.store(v, Ordering::Relaxed);
+        }
+    }
+
     /// Records `v` into histogram `name`.
     pub fn histogram_record(&self, name: &str, v: u64) {
         if let Metric::Histogram(h) =
             &*self.metric(name, || Metric::Histogram(Box::new(Histogram::new())))
         {
+            h.record(v);
+        }
+    }
+
+    /// Records `v` into the labeled histogram family `family` under
+    /// `label` — the composed metric name is `family{label}` (e.g.
+    /// `serve.exec_us{16x16x16:r8:m0}`), so per-shape / per-algorithm
+    /// latency breakdowns ride the existing snapshot, merge, and JSONL
+    /// machinery unchanged.
+    ///
+    /// Cardinality is bounded: a family holds at most
+    /// [`MAX_LABELS_PER_FAMILY`] distinct labels; past that, new labels
+    /// collapse into the `family{other}` overflow member so a hostile or
+    /// high-entropy label stream cannot grow the registry without bound.
+    pub fn histogram_record_labeled(&self, family: &str, label: &str, v: u64) {
+        let name = format!("{family}{{{label}}}");
+        let exists = self
+            .inner
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .contains_key(&name);
+        if exists {
+            self.histogram_record(&name, v);
+            return;
+        }
+        // First sighting of this label: admit it only while the family is
+        // under its cardinality bound (counted under the write lock so
+        // racing first-sightings cannot both sneak past the cap).
+        let mut map = self.inner.write().unwrap_or_else(|e| e.into_inner());
+        let prefix = format!("{family}{{");
+        let members = map.keys().filter(|k| k.starts_with(&prefix)).count();
+        let admitted = if members < MAX_LABELS_PER_FAMILY || map.contains_key(&name) {
+            name
+        } else {
+            format!("{family}{{{OVERFLOW_LABEL}}}")
+        };
+        let metric = Arc::clone(
+            map.entry(admitted)
+                .or_insert_with(|| Metric::Histogram(Box::new(Histogram::new())).into()),
+        );
+        drop(map);
+        if let Metric::Histogram(h) = &*metric {
             h.record(v);
         }
     }
@@ -458,6 +571,78 @@ mod tests {
         assert_eq!(h.quantile(0.0), h.min);
         assert_eq!(h.quantile(1.0), 1000);
         assert_eq!(HistogramSnapshot::empty().quantile(0.5), 0);
+    }
+
+    #[test]
+    fn quantile_interpolates_within_the_bucket() {
+        // 1000 uniform values land p50 at ~500, deep inside the 512-wide
+        // [512, 1023] bucket where the upper-bound answer said 1000.
+        let reg = MetricsRegistry::new();
+        for v in 1..=1000u64 {
+            reg.histogram_record("h", v);
+        }
+        let h = reg.histogram("h");
+        // Pinned: the old behavior answers the bucket's upper bound...
+        assert_eq!(h.quantile_upper_bound(0.5), 511);
+        assert_eq!(h.quantile_upper_bound(0.99), 1000); // 1023 clamped to max
+                                                        // ...the interpolated behavior answers near the true quantile.
+        assert_eq!(h.quantile(0.5), 500);
+        assert!(
+            (995..=1000).contains(&h.quantile(0.99)),
+            "{}",
+            h.quantile(0.99)
+        );
+        // The conservative answer never understates the interpolated one.
+        for q in [0.0, 0.1, 0.5, 0.9, 0.99, 1.0] {
+            assert!(h.quantile(q) <= h.quantile_upper_bound(q), "q={q}");
+        }
+        // A single repeated value is answered exactly by both.
+        let one = MetricsRegistry::new();
+        for _ in 0..10 {
+            one.histogram_record("h", 300);
+        }
+        assert_eq!(one.histogram("h").quantile(0.5), 300);
+        assert_eq!(one.histogram("h").quantile_upper_bound(0.5), 300);
+        assert_eq!(HistogramSnapshot::empty().quantile_upper_bound(0.9), 0);
+    }
+
+    #[test]
+    fn gauge_set_is_absolute() {
+        let reg = MetricsRegistry::new();
+        reg.gauge_add("g", 7);
+        reg.gauge_set("g", -2);
+        assert_eq!(reg.gauge_value("g"), -2);
+        reg.gauge_set("g", 41);
+        reg.gauge_add("g", 1);
+        assert_eq!(reg.gauge_value("g"), 42);
+        // Kind mismatch stays non-fatal.
+        reg.counter_add("c", 1);
+        reg.gauge_set("c", 99);
+        assert_eq!(reg.counter_value("c"), 1);
+    }
+
+    #[test]
+    fn labeled_families_compose_names_and_bound_cardinality() {
+        let reg = MetricsRegistry::new();
+        reg.histogram_record_labeled("lat", "a:r8", 10);
+        reg.histogram_record_labeled("lat", "a:r8", 20);
+        reg.histogram_record_labeled("lat", "b:r4", 5);
+        assert_eq!(reg.histogram("lat{a:r8}").count, 2);
+        assert_eq!(reg.histogram("lat{b:r4}").count, 1);
+        assert_eq!(split_labeled_name("lat{a:r8}"), Some(("lat", "a:r8")));
+        assert_eq!(split_labeled_name("lat"), None);
+        // Past the cardinality bound, new labels collapse into `other`.
+        let reg = MetricsRegistry::new();
+        for i in 0..MAX_LABELS_PER_FAMILY + 10 {
+            reg.histogram_record_labeled("lat", &format!("shape{i}"), i as u64);
+        }
+        let labeled = reg
+            .snapshot()
+            .into_iter()
+            .filter(|m| m.name.starts_with("lat{"))
+            .count();
+        assert_eq!(labeled, MAX_LABELS_PER_FAMILY + 1); // cap + overflow member
+        assert_eq!(reg.histogram(&format!("lat{{{OVERFLOW_LABEL}}}")).count, 10);
     }
 
     #[test]

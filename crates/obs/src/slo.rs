@@ -1,0 +1,420 @@
+//! Service-level objectives over the history ring: declarative latency
+//! targets, error-budget accounting, and multi-window **burn rates**.
+//!
+//! A spec like "p99 of `serve.request_exec_us` under 50 ms, target
+//! 99%" defines an error budget of `1 − target` (here 1%): the fraction
+//! of requests allowed to exceed the threshold. Evaluation merges a
+//! look-back span of ring windows ([`crate::timeseries::merge_windows`])
+//! into one distribution and computes
+//!
+//! ```text
+//! bad_fraction = bad_events / total_events
+//! burn_rate    = bad_fraction / (1 − target)
+//! ```
+//!
+//! A burn rate of 1.0 means the service is consuming budget exactly as
+//! fast as the target allows; 10.0 means ten times too fast. Each spec
+//! is evaluated over *several* look-backs (short + long) and only flags a
+//! breach when **every** look-back burns above 1.0 — the classic
+//! multi-window guard against paging on a single noisy window.
+//!
+//! Bad events are counted from histogram buckets with per-bucket linear
+//! apportioning (a bucket straddling the threshold contributes the
+//! fraction of its value range above it). That rule is *linear in bucket
+//! counts*, which makes the budget math exactly conservative under
+//! window merges: the bad-event count of a merged span equals the sum of
+//! the per-window counts, no matter how the span is partitioned — pinned
+//! by a property test below.
+
+use crate::metrics::{split_labeled_name, HistogramSnapshot, MetricsRegistry};
+use crate::timeseries::{merge_windows, WindowSnapshot};
+
+/// One declarative objective: "at least `target` of `metric` events stay
+/// at or under `threshold_us`, judged over each of `lookbacks` windows".
+#[derive(Clone, Debug, PartialEq)]
+pub struct SloSpec {
+    /// Short identifier, used in `obs.slo.<name>.*` gauge names.
+    pub name: String,
+    /// Histogram to judge — a plain name (`serve.request_exec_us`) or a
+    /// labeled family, which aggregates every `metric{label}` member.
+    pub metric: String,
+    /// Latency threshold in microseconds; events above it are "bad".
+    pub threshold_us: u64,
+    /// Fraction of events that must be good, e.g. `0.99`. The error
+    /// budget is `1 − target`.
+    pub target: f64,
+    /// Look-back spans in ring windows, shortest first (e.g. `[6, 30]`).
+    /// A breach requires every span to burn above 1.0.
+    pub lookbacks: Vec<usize>,
+}
+
+impl SloSpec {
+    /// A two-window (short + long look-back) latency objective.
+    pub fn latency(
+        name: &str,
+        metric: &str,
+        threshold_us: u64,
+        target: f64,
+        short: usize,
+        long: usize,
+    ) -> SloSpec {
+        SloSpec {
+            name: name.to_string(),
+            metric: metric.to_string(),
+            threshold_us,
+            target: target.clamp(0.0, 1.0),
+            lookbacks: vec![short, long],
+        }
+    }
+
+    /// The error budget `1 − target` (floored at a tiny positive value so
+    /// a `target` of 1.0 yields huge-but-finite burn rates).
+    pub fn budget(&self) -> f64 {
+        (1.0 - self.target).max(1e-9)
+    }
+}
+
+/// One look-back span's burn accounting for one spec.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ObjectiveStatus {
+    /// How many ring windows this span merged.
+    pub lookback: usize,
+    /// Events observed in the span.
+    pub total: u64,
+    /// Events (linearly apportioned) above the threshold.
+    pub bad: f64,
+    /// `bad / total` (0 when the span is empty).
+    pub bad_fraction: f64,
+    /// `bad_fraction / budget`; 1.0 = consuming budget exactly at the
+    /// allowed rate.
+    pub burn_rate: f64,
+    /// `1 − burn_rate`, clamped to `[-1, 1]` for reporting: the share of
+    /// this span's budget still unspent (negative = overspent).
+    pub budget_remaining: f64,
+}
+
+/// One spec's evaluation across all its look-backs.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SloStatus {
+    /// The spec's `name`.
+    pub name: String,
+    /// The judged histogram (or family).
+    pub metric: String,
+    /// Threshold in microseconds.
+    pub threshold_us: u64,
+    /// The spec's target fraction.
+    pub target: f64,
+    /// Per-look-back burn accounting, same order as the spec.
+    pub windows: Vec<ObjectiveStatus>,
+    /// True when every non-empty look-back burns above 1.0 (and at least
+    /// one saw traffic).
+    pub breached: bool,
+}
+
+/// All specs evaluated against one history snapshot.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SloReport {
+    /// One entry per spec, same order as evaluated.
+    pub objectives: Vec<SloStatus>,
+}
+
+impl SloReport {
+    /// Whether any objective breached.
+    pub fn any_breached(&self) -> bool {
+        self.objectives.iter().any(|o| o.breached)
+    }
+
+    /// The worst (smallest) `budget_remaining` across every objective and
+    /// look-back, or 1.0 when nothing has traffic — the single number
+    /// `top` paints as "SLO budget".
+    pub fn worst_budget_remaining(&self) -> f64 {
+        self.objectives
+            .iter()
+            .flat_map(|o| o.windows.iter())
+            .filter(|w| w.total > 0)
+            .map(|w| w.budget_remaining)
+            .fold(1.0, f64::min)
+    }
+
+    /// Publishes the report as `obs.slo.*` gauges (parts-per-million, so
+    /// the integer gauge schema carries the fractions):
+    /// `obs.slo.<name>.burn_ppm.<lookback>`,
+    /// `obs.slo.<name>.budget_remaining_ppm` (worst look-back), and
+    /// `obs.slo.<name>.breached`.
+    pub fn publish(&self, registry: &MetricsRegistry) {
+        for o in &self.objectives {
+            let mut worst = 1.0f64;
+            for w in &o.windows {
+                registry.gauge_set(
+                    &format!("obs.slo.{}.burn_ppm.{}", o.name, w.lookback),
+                    to_ppm(w.burn_rate),
+                );
+                if w.total > 0 {
+                    worst = worst.min(w.budget_remaining);
+                }
+            }
+            registry.gauge_set(
+                &format!("obs.slo.{}.budget_remaining_ppm", o.name),
+                to_ppm(worst),
+            );
+            registry.gauge_set(
+                &format!("obs.slo.{}.breached", o.name),
+                i64::from(o.breached),
+            );
+        }
+    }
+}
+
+fn to_ppm(v: f64) -> i64 {
+    (v.clamp(-1000.0, 1000.0) * 1e6).round() as i64
+}
+
+/// Events in `h` strictly above `threshold`, apportioning each straddling
+/// bucket by the fraction of its value range above the threshold. Linear
+/// in bucket counts, hence exactly additive under snapshot merges.
+pub fn bad_events(h: &HistogramSnapshot, threshold: u64) -> f64 {
+    let mut bad = 0.0f64;
+    for (idx, &count) in h.buckets.iter().enumerate() {
+        if count == 0 {
+            continue;
+        }
+        let (lo, hi) = if idx == 0 {
+            (0u64, 0u64)
+        } else if idx >= 64 {
+            (1u64 << 63, u64::MAX)
+        } else {
+            (1u64 << (idx - 1), (1u64 << idx) - 1)
+        };
+        if hi <= threshold {
+            continue;
+        }
+        if lo > threshold {
+            bad += count as f64;
+            continue;
+        }
+        // lo <= threshold < hi: the integers (threshold, hi] are bad.
+        let width = (hi - lo) as f64 + 1.0;
+        let above = (hi - threshold) as f64;
+        bad += count as f64 * (above / width);
+    }
+    bad
+}
+
+/// Sums `metric` (and, when it is a family, every `metric{label}`
+/// member) out of one merged window.
+fn family_histogram(window: &WindowSnapshot, metric: &str) -> HistogramSnapshot {
+    let mut out = HistogramSnapshot::default();
+    for (name, h) in &window.histograms {
+        let matches =
+            name == metric || split_labeled_name(name).is_some_and(|(family, _)| family == metric);
+        if matches {
+            out.merge(h);
+        }
+    }
+    out
+}
+
+/// Evaluates every spec against the ring's resident windows (oldest
+/// first, as [`crate::timeseries::TimeSeriesRing::windows`] returns
+/// them). A look-back of `n` judges the newest `n` windows.
+pub fn evaluate(specs: &[SloSpec], windows: &[WindowSnapshot]) -> SloReport {
+    let mut report = SloReport::default();
+    for spec in specs {
+        let budget = spec.budget();
+        let mut statuses = Vec::with_capacity(spec.lookbacks.len());
+        for &lookback in &spec.lookbacks {
+            let span_start = windows.len().saturating_sub(lookback.max(1));
+            let merged = merge_windows(&windows[span_start..]);
+            let h = family_histogram(&merged, &spec.metric);
+            let total = h.count;
+            let bad = bad_events(&h, spec.threshold_us);
+            let bad_fraction = if total == 0 { 0.0 } else { bad / total as f64 };
+            let burn_rate = bad_fraction / budget;
+            statuses.push(ObjectiveStatus {
+                lookback,
+                total,
+                bad,
+                bad_fraction,
+                burn_rate,
+                budget_remaining: (1.0 - burn_rate).clamp(-1.0, 1.0),
+            });
+        }
+        let saw_traffic = statuses.iter().any(|s| s.total > 0);
+        let breached = saw_traffic
+            && statuses.iter().all(|s| s.total == 0 || s.burn_rate > 1.0)
+            && statuses.iter().any(|s| s.total > 0 && s.burn_rate > 1.0);
+        report.objectives.push(SloStatus {
+            name: spec.name.clone(),
+            metric: spec.metric.clone(),
+            threshold_us: spec.threshold_us,
+            target: spec.target,
+            windows: statuses,
+            breached,
+        });
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricsRegistry;
+    use crate::timeseries::TimeSeriesRing;
+
+    fn hist(values: &[u64]) -> HistogramSnapshot {
+        let reg = MetricsRegistry::new();
+        for &v in values {
+            reg.histogram_record("h", v);
+        }
+        reg.histogram("h")
+    }
+
+    #[test]
+    fn bad_events_counts_whole_buckets_and_apportions_straddlers() {
+        // 2048 is the upper bound of bucket [1024, 2047]'s neighbor:
+        // everything at 4096 is fully above a 2048 threshold.
+        let h = hist(&[100, 100, 4096, 4096, 4096]);
+        assert_eq!(bad_events(&h, 2048), 3.0);
+        // Threshold inside the [64,127] bucket: 100 lands there; the
+        // fraction above 100 is (127-100)/64 of each event.
+        let h = hist(&[100; 64]);
+        let expect = 64.0 * (27.0 / 64.0);
+        assert!((bad_events(&h, 100) - expect).abs() < 1e-9);
+        // Nothing is above u64::MAX; everything is above 0 except 0s.
+        assert_eq!(bad_events(&hist(&[5, 9]), u64::MAX), 0.0);
+        assert_eq!(bad_events(&hist(&[0, 0, 7]), 0), 1.0);
+    }
+
+    #[test]
+    fn burn_rate_flags_only_multi_window_breaches() {
+        let reg = MetricsRegistry::new();
+        let ring = TimeSeriesRing::new(16);
+        // Three healthy windows, then one terrible one.
+        for _ in 0..3 {
+            for _ in 0..100 {
+                reg.histogram_record("exec", 10);
+            }
+            ring.sample(&reg);
+        }
+        for _ in 0..100 {
+            reg.histogram_record("exec", 10_000);
+        }
+        ring.sample(&reg);
+
+        let spec = SloSpec::latency("exec_p99", "exec", 1000, 0.99, 1, 4);
+        let report = evaluate(std::slice::from_ref(&spec), &ring.windows());
+        let o = &report.objectives[0];
+        // Short window: 100% bad, burn 100x. Long window: 25% bad,
+        // burn 25x. Both above 1.0 → breach.
+        assert!(o.windows[0].burn_rate > 50.0, "{:?}", o.windows[0]);
+        assert!(o.windows[1].burn_rate > 10.0, "{:?}", o.windows[1]);
+        assert!(o.breached);
+        assert!(report.any_breached());
+        assert!(report.worst_budget_remaining() < 0.0);
+
+        // Only the long window burning (bad traffic aged out of the
+        // short one) must NOT breach.
+        for _ in 0..100 {
+            reg.histogram_record("exec", 10);
+        }
+        ring.sample(&reg);
+        let report = evaluate(&[spec], &ring.windows());
+        let o = &report.objectives[0];
+        assert!(o.windows[0].burn_rate < 1.0);
+        assert!(o.windows[1].burn_rate > 1.0);
+        assert!(!o.breached);
+    }
+
+    #[test]
+    fn labeled_families_aggregate_into_one_objective() {
+        let reg = MetricsRegistry::new();
+        let ring = TimeSeriesRing::new(4);
+        reg.histogram_record_labeled("exec", "small", 10);
+        reg.histogram_record_labeled("exec", "large", 90_000);
+        ring.sample(&reg);
+        let spec = SloSpec::latency("exec", "exec", 1000, 0.5, 1, 1);
+        let report = evaluate(&[spec], &ring.windows());
+        let w = &report.objectives[0].windows[0];
+        assert_eq!(w.total, 2, "both family members counted");
+        assert!((w.bad - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn publish_surfaces_ppm_gauges() {
+        let reg = MetricsRegistry::new();
+        let ring = TimeSeriesRing::new(4);
+        for _ in 0..100 {
+            reg.histogram_record("exec", 10);
+        }
+        ring.sample(&reg);
+        let spec = SloSpec::latency("exec_p99", "exec", 1000, 0.99, 1, 4);
+        evaluate(&[spec], &ring.windows()).publish(&reg);
+        assert_eq!(reg.gauge_value("obs.slo.exec_p99.breached"), 0);
+        assert_eq!(
+            reg.gauge_value("obs.slo.exec_p99.budget_remaining_ppm"),
+            1_000_000
+        );
+        assert_eq!(reg.gauge_value("obs.slo.exec_p99.burn_ppm.1"), 0);
+    }
+
+    /// Property: bad-event counting is exactly additive under arbitrary
+    /// window merges, so the error budget is conserved no matter how a
+    /// history span is partitioned. Deterministic LCG, many random
+    /// partitions and thresholds.
+    #[test]
+    fn burn_math_conserves_budget_across_arbitrary_merges() {
+        let mut state = 0x2545F491_4F6CDD1Du64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _trial in 0..50 {
+            // Random windowed traffic over one histogram.
+            let n_windows = (next() % 9 + 2) as usize;
+            let windows: Vec<HistogramSnapshot> = (0..n_windows)
+                .map(|_| {
+                    let reg = MetricsRegistry::new();
+                    for _ in 0..(next() % 200) {
+                        reg.histogram_record("h", next() % 1_000_000);
+                    }
+                    reg.histogram("h")
+                })
+                .collect();
+            // The whole span merged at once.
+            let mut whole = HistogramSnapshot::default();
+            for w in &windows {
+                whole.merge(w);
+            }
+            // A random coarser partition of the same span, each part
+            // merged, bad events summed part by part.
+            let threshold = next() % 2_000_000;
+            let mut sum_by_window = 0.0f64;
+            let mut sum_by_partition = 0.0f64;
+            let mut part = HistogramSnapshot::default();
+            for (i, w) in windows.iter().enumerate() {
+                sum_by_window += bad_events(w, threshold);
+                part.merge(w);
+                let cut_here = next() % 2 == 0 || i == n_windows - 1;
+                if cut_here {
+                    sum_by_partition += bad_events(&part, threshold);
+                    part = HistogramSnapshot::default();
+                }
+            }
+            let direct = bad_events(&whole, threshold);
+            let tol = 1e-9 * direct.max(1.0);
+            assert!(
+                (sum_by_window - direct).abs() <= tol,
+                "per-window sum {sum_by_window} != whole-span {direct}"
+            );
+            assert!(
+                (sum_by_partition - direct).abs() <= tol,
+                "partition sum {sum_by_partition} != whole-span {direct}"
+            );
+            // Totals conserve too, so bad_fraction and burn rate agree.
+            let total: u64 = windows.iter().map(|w| w.count).sum();
+            assert_eq!(total, whole.count);
+        }
+    }
+}

@@ -1,0 +1,577 @@
+//! Time-series history: a fixed-capacity, allocation-bounded ring of
+//! periodic [`MetricsRegistry`] **delta** windows.
+//!
+//! A registry snapshot is cumulative — great for "how many ever", useless
+//! for "what is my p99 *right now* vs five minutes ago". The
+//! [`TimeSeriesRing`] closes that gap: a lightweight ticker calls
+//! [`TimeSeriesRing::sample`] every interval, and each call produces one
+//! [`WindowSnapshot`] holding what happened *since the previous sample*:
+//!
+//! - **counters** as per-window deltas (divide by `dur_us` for a rate),
+//! - **gauges** as the level at window close,
+//! - **histograms** as per-window bucket deltas — exactly mergeable
+//!   ([`HistogramSnapshot::merge`]), so any span of windows can be
+//!   collapsed into one distribution without revisiting raw values.
+//!
+//! The ring holds at most its capacity of windows; older windows are
+//! dropped (and counted in [`TimeSeriesRing::dropped`]), so a long-lived
+//! server's history memory is bounded no matter how long it runs. Window
+//! sequence numbers are monotone and contiguous, which is what lets a
+//! scraper prove it lost nothing at wrap.
+//!
+//! ## JSONL
+//!
+//! [`history_to_jsonl`] serializes a window span in the *existing* trace
+//! schema — each window opens with three marker gauges
+//! (`obs.window.seq`, `obs.window.start_us`, `obs.window.dur_us`)
+//! followed by its metric lines — so history payloads pass
+//! [`crate::validate`] and re-parse through [`crate::parse_trace`]
+//! unchanged; [`windows_from_jsonl`] splits the parsed metric stream back
+//! into windows at the markers. (The `obs.window.*` names are reserved
+//! for these markers; don't use them as real metrics.)
+
+use crate::metrics::{HistogramSnapshot, MetricSnapshot, MetricValue, MetricsRegistry};
+use std::collections::{HashMap, VecDeque};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Marker gauge carrying a window's sequence number in history JSONL.
+pub const WINDOW_SEQ: &str = "obs.window.seq";
+/// Marker gauge carrying a window's open time (µs since ring creation).
+pub const WINDOW_START_US: &str = "obs.window.start_us";
+/// Marker gauge carrying a window's length in microseconds.
+pub const WINDOW_DUR_US: &str = "obs.window.dur_us";
+
+/// What one sampling interval recorded: counter deltas, gauge levels, and
+/// per-window histogram deltas, plus when the window ran.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct WindowSnapshot {
+    /// Monotone window number (contiguous across the ring's life, so a
+    /// gap proves windows were dropped at wrap).
+    pub seq: u64,
+    /// Microseconds from ring creation to this window's open (the
+    /// previous sample, or ring creation for window 0).
+    pub start_us: u64,
+    /// Window length in microseconds.
+    pub dur_us: u64,
+    /// Counter deltas this window, sorted by name (zero deltas omitted).
+    pub counters: Vec<(String, u64)>,
+    /// Gauge levels at window close, sorted by name.
+    pub gauges: Vec<(String, i64)>,
+    /// Per-window histogram deltas, sorted by name (empty deltas
+    /// omitted). Each is exactly mergeable across windows.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl WindowSnapshot {
+    /// The counter's delta this window (`0` when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |(_, v)| *v)
+    }
+
+    /// The gauge's level at window close (`None` when absent).
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// The histogram's per-window delta (`None` when absent).
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h)
+    }
+}
+
+struct RingState {
+    windows: VecDeque<WindowSnapshot>,
+    /// Cumulative values at the previous sample, by name — what turns the
+    /// next cumulative snapshot into a delta.
+    last: HashMap<String, MetricValue>,
+    next_seq: u64,
+    last_sample_us: u64,
+    dropped: u64,
+}
+
+/// The history ring: see the [module docs](self).
+///
+/// All methods take `&self` (one internal mutex); the ring is shared
+/// between a sampling ticker and scrapers behind an `Arc`. Registry
+/// *writers* never touch the ring's lock — they only touch the registry's
+/// atomics — so sampling cannot stall the request path.
+pub struct TimeSeriesRing {
+    capacity: usize,
+    epoch: Instant,
+    inner: Mutex<RingState>,
+}
+
+impl std::fmt::Debug for TimeSeriesRing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TimeSeriesRing")
+            .field("capacity", &self.capacity)
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+impl TimeSeriesRing {
+    /// An empty ring holding at most `capacity` windows.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero (a ring that can hold nothing).
+    pub fn new(capacity: usize) -> TimeSeriesRing {
+        assert!(capacity >= 1, "a history ring needs at least one slot");
+        TimeSeriesRing {
+            capacity,
+            epoch: Instant::now(),
+            inner: Mutex::new(RingState {
+                windows: VecDeque::with_capacity(capacity),
+                last: HashMap::new(),
+                next_seq: 0,
+                last_sample_us: 0,
+                dropped: 0,
+            }),
+        }
+    }
+
+    /// Closes one window: snapshots `registry`, turns it into deltas
+    /// against the previous sample, and appends the window (dropping the
+    /// oldest at capacity). Returns a copy of the appended window.
+    pub fn sample(&self, registry: &MetricsRegistry) -> WindowSnapshot {
+        let snapshot = registry.snapshot();
+        let now_us = self.epoch.elapsed().as_micros() as u64;
+        let mut state = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let mut window = WindowSnapshot {
+            seq: state.next_seq,
+            start_us: state.last_sample_us,
+            dur_us: now_us.saturating_sub(state.last_sample_us),
+            ..WindowSnapshot::default()
+        };
+        for m in snapshot {
+            match &m.value {
+                MetricValue::Counter(cur) => {
+                    let prev = match state.last.get(&m.name) {
+                        Some(MetricValue::Counter(p)) => *p,
+                        _ => 0,
+                    };
+                    let delta = cur.saturating_sub(prev);
+                    if delta > 0 {
+                        window.counters.push((m.name.clone(), delta));
+                    }
+                }
+                MetricValue::Gauge(level) => {
+                    window.gauges.push((m.name.clone(), *level));
+                }
+                MetricValue::Histogram(cur) => {
+                    let delta = match state.last.get(&m.name) {
+                        Some(MetricValue::Histogram(prev)) => histogram_delta(prev, cur),
+                        _ => cur.clone(),
+                    };
+                    if !delta.is_empty() {
+                        window.histograms.push((m.name.clone(), delta));
+                    }
+                }
+            }
+            state.last.insert(m.name.clone(), m.value);
+        }
+        state.next_seq += 1;
+        state.last_sample_us = now_us;
+        if state.windows.len() == self.capacity {
+            state.windows.pop_front();
+            state.dropped += 1;
+        }
+        state.windows.push_back(window.clone());
+        window
+    }
+
+    /// The resident windows, oldest first.
+    pub fn windows(&self) -> Vec<WindowSnapshot> {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .windows
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Resident window count (at most the capacity).
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .windows
+            .len()
+    }
+
+    /// Whether no window has been sampled yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The fixed capacity this ring was built with.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Windows dropped at wrap over the ring's lifetime.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).dropped
+    }
+
+    /// The resident history as schema-valid JSONL
+    /// ([`history_to_jsonl`]) — the `STATS_HISTORY` scrape payload.
+    pub fn to_jsonl(&self) -> String {
+        history_to_jsonl(&self.windows())
+    }
+}
+
+/// The exact per-window difference of two cumulative snapshots of the
+/// same histogram: counts, sums, and buckets subtract; the window's
+/// min/max are recovered from its lowest/highest non-empty delta bucket
+/// (tightened by the cumulative min/max when they fall inside it).
+fn histogram_delta(prev: &HistogramSnapshot, cur: &HistogramSnapshot) -> HistogramSnapshot {
+    let buckets: Vec<u64> = cur
+        .buckets
+        .iter()
+        .zip(&prev.buckets)
+        .map(|(c, p)| c.saturating_sub(*p))
+        .collect();
+    let lowest = buckets.iter().position(|&b| b > 0);
+    let highest = buckets.iter().rposition(|&b| b > 0);
+    let (min, max) = match (lowest, highest) {
+        (Some(lo), Some(hi)) => {
+            let lo_bounds = bucket_range(lo);
+            let hi_bounds = bucket_range(hi);
+            (
+                cur.min.clamp(lo_bounds.0, lo_bounds.1),
+                cur.max.clamp(hi_bounds.0, hi_bounds.1),
+            )
+        }
+        _ => (0, 0),
+    };
+    HistogramSnapshot {
+        count: cur.count.saturating_sub(prev.count),
+        sum: cur.sum.saturating_sub(prev.sum),
+        min,
+        max,
+        buckets,
+    }
+}
+
+/// The inclusive value range of log2 bucket `idx` (bucket 0 holds 0).
+fn bucket_range(idx: usize) -> (u64, u64) {
+    if idx == 0 {
+        (0, 0)
+    } else if idx >= 64 {
+        (1u64 << 63, u64::MAX)
+    } else {
+        (1u64 << (idx - 1), (1u64 << idx) - 1)
+    }
+}
+
+/// Serializes windows as trace-schema JSONL: per window, the three
+/// `obs.window.*` marker gauges, then counter/gauge/histogram lines.
+/// Every produced line passes [`crate::validate_line`].
+pub fn history_to_jsonl(windows: &[WindowSnapshot]) -> String {
+    let mut out = String::new();
+    for w in windows {
+        let mut metrics: Vec<MetricSnapshot> = vec![
+            MetricSnapshot {
+                name: WINDOW_SEQ.to_string(),
+                value: MetricValue::Gauge(w.seq as i64),
+            },
+            MetricSnapshot {
+                name: WINDOW_START_US.to_string(),
+                value: MetricValue::Gauge(w.start_us as i64),
+            },
+            MetricSnapshot {
+                name: WINDOW_DUR_US.to_string(),
+                value: MetricValue::Gauge(w.dur_us as i64),
+            },
+        ];
+        for (name, v) in &w.counters {
+            metrics.push(MetricSnapshot {
+                name: name.clone(),
+                value: MetricValue::Counter(*v),
+            });
+        }
+        for (name, v) in &w.gauges {
+            metrics.push(MetricSnapshot {
+                name: name.clone(),
+                value: MetricValue::Gauge(*v),
+            });
+        }
+        for (name, h) in &w.histograms {
+            metrics.push(MetricSnapshot {
+                name: name.clone(),
+                value: MetricValue::Histogram(h.clone()),
+            });
+        }
+        out.push_str(&crate::export::metrics_to_jsonl(&metrics));
+    }
+    out
+}
+
+/// Parses history JSONL (as written by [`history_to_jsonl`]) back into
+/// windows: the text re-parses through [`crate::parse_trace`] (so every
+/// line is schema-checked), and the metric stream is split into windows
+/// at the `obs.window.seq` markers.
+pub fn windows_from_jsonl(text: &str) -> Result<Vec<WindowSnapshot>, String> {
+    let trace = crate::parse_trace(text)?;
+    windows_from_metrics(&trace.metrics)
+}
+
+/// Splits an already-parsed metric stream (e.g. from a decoded
+/// `STATS_HISTORY` frame) into windows at the `obs.window.seq` markers.
+pub fn windows_from_metrics(metrics: &[MetricSnapshot]) -> Result<Vec<WindowSnapshot>, String> {
+    let mut out: Vec<WindowSnapshot> = Vec::new();
+    for m in metrics {
+        if m.name == WINDOW_SEQ {
+            let seq = match m.value {
+                MetricValue::Gauge(v) if v >= 0 => v as u64,
+                _ => return Err(format!("bad {WINDOW_SEQ} marker")),
+            };
+            out.push(WindowSnapshot {
+                seq,
+                ..WindowSnapshot::default()
+            });
+            continue;
+        }
+        let Some(window) = out.last_mut() else {
+            return Err(format!("metric {:?} before the first {WINDOW_SEQ}", m.name));
+        };
+        match (&m.name[..], &m.value) {
+            (WINDOW_START_US, MetricValue::Gauge(v)) => window.start_us = (*v).max(0) as u64,
+            (WINDOW_DUR_US, MetricValue::Gauge(v)) => window.dur_us = (*v).max(0) as u64,
+            (_, MetricValue::Counter(v)) => window.counters.push((m.name.clone(), *v)),
+            (_, MetricValue::Gauge(v)) => window.gauges.push((m.name.clone(), *v)),
+            (_, MetricValue::Histogram(h)) => window.histograms.push((m.name.clone(), h.clone())),
+        }
+    }
+    for pair in out.windows(2) {
+        if pair[1].seq <= pair[0].seq {
+            return Err(format!(
+                "window sequence not monotone: {} then {}",
+                pair[0].seq, pair[1].seq
+            ));
+        }
+    }
+    Ok(out)
+}
+
+/// Collapses a span of windows into one: counter deltas add, histogram
+/// deltas merge exactly, gauges keep the last window's level, and the
+/// time range covers first open to last close. This is the "any span of
+/// history is one distribution" operation SLO evaluation builds on.
+pub fn merge_windows(windows: &[WindowSnapshot]) -> WindowSnapshot {
+    let mut out = WindowSnapshot::default();
+    let Some(first) = windows.first() else {
+        return out;
+    };
+    out.seq = windows.last().map(|w| w.seq).unwrap_or(first.seq);
+    out.start_us = first.start_us;
+    out.dur_us = windows.iter().map(|w| w.dur_us).sum();
+    let mut counters: HashMap<&str, u64> = HashMap::new();
+    let mut histograms: HashMap<&str, HistogramSnapshot> = HashMap::new();
+    for w in windows {
+        for (name, v) in &w.counters {
+            *counters.entry(name).or_default() += v;
+        }
+        for (name, h) in &w.histograms {
+            histograms.entry(name).or_default().merge(h);
+        }
+        for (name, v) in &w.gauges {
+            match out.gauges.iter_mut().find(|(n, _)| n == name) {
+                Some(slot) => slot.1 = *v,
+                None => out.gauges.push((name.clone(), *v)),
+            }
+        }
+    }
+    out.counters = counters
+        .into_iter()
+        .map(|(n, v)| (n.to_string(), v))
+        .collect();
+    out.counters.sort();
+    out.histograms = histograms
+        .into_iter()
+        .map(|(n, h)| (n.to_string(), h))
+        .collect();
+    out.histograms.sort_by(|a, b| a.0.cmp(&b.0));
+    out.gauges.sort();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn windows_carry_deltas_not_cumulative_values() {
+        let reg = MetricsRegistry::new();
+        let ring = TimeSeriesRing::new(8);
+        reg.counter_add("req", 5);
+        reg.gauge_set("depth", 3);
+        reg.histogram_record("lat", 100);
+        reg.histogram_record("lat", 200);
+        let w0 = ring.sample(&reg);
+        assert_eq!(w0.counter("req"), 5);
+        assert_eq!(w0.gauge("depth"), Some(3));
+        assert_eq!(w0.histogram("lat").unwrap().count, 2);
+
+        reg.counter_add("req", 2);
+        reg.gauge_set("depth", 1);
+        reg.histogram_record("lat", 400);
+        let w1 = ring.sample(&reg);
+        assert_eq!(w1.counter("req"), 2, "delta, not cumulative 7");
+        assert_eq!(w1.gauge("depth"), Some(1));
+        let lat = w1.histogram("lat").unwrap();
+        assert_eq!(lat.count, 1, "only this window's record");
+        assert_eq!(lat.sum, 400);
+        assert!(lat.min >= 256 && lat.max <= 511, "{lat:?}");
+
+        // A quiet window still exists (gauges only).
+        let w2 = ring.sample(&reg);
+        assert_eq!(w2.counter("req"), 0);
+        assert!(w2.histogram("lat").is_none());
+        assert_eq!(w2.seq, 2);
+    }
+
+    #[test]
+    fn merged_window_histograms_equal_the_cumulative_distribution() {
+        let reg = MetricsRegistry::new();
+        let ring = TimeSeriesRing::new(16);
+        let mut recorded = Vec::new();
+        for chunk in [vec![1u64, 7, 300], vec![42, 42], vec![], vec![9000, 3]] {
+            for &v in &chunk {
+                reg.histogram_record("lat", v);
+                recorded.push(v);
+            }
+            ring.sample(&reg);
+        }
+        let merged = merge_windows(&ring.windows());
+        let merged_lat = merged.histogram("lat").unwrap();
+        let cumulative = reg.histogram("lat");
+        assert_eq!(merged_lat.count, cumulative.count);
+        assert_eq!(merged_lat.sum, cumulative.sum);
+        assert_eq!(merged_lat.buckets, cumulative.buckets);
+    }
+
+    #[test]
+    fn wrap_drops_oldest_but_keeps_sequence_contiguous() {
+        let reg = MetricsRegistry::new();
+        let ring = TimeSeriesRing::new(4);
+        for i in 0..10 {
+            reg.counter_add("ticks", i + 1);
+            ring.sample(&reg);
+        }
+        let windows = ring.windows();
+        assert_eq!(windows.len(), 4);
+        assert_eq!(ring.dropped(), 6);
+        let seqs: Vec<u64> = windows.iter().map(|w| w.seq).collect();
+        assert_eq!(seqs, [6, 7, 8, 9], "contiguous, newest at the back");
+        // Deltas survive the wrap: window i recorded exactly i+1 ticks.
+        for w in &windows {
+            assert_eq!(w.counter("ticks"), w.seq + 1);
+        }
+    }
+
+    #[test]
+    fn history_jsonl_roundtrips_through_validate_and_parse() {
+        let reg = MetricsRegistry::new();
+        let ring = TimeSeriesRing::new(8);
+        reg.counter_add("req", 3);
+        reg.gauge_set("depth", -2);
+        reg.histogram_record_labeled("lat", "16x16x16:r8", 77);
+        ring.sample(&reg);
+        reg.counter_add("req", 1);
+        ring.sample(&reg);
+
+        let jsonl = ring.to_jsonl();
+        crate::validate(&jsonl).expect("history lines are schema-valid");
+        let parsed = windows_from_jsonl(&jsonl).unwrap();
+        let original = ring.windows();
+        assert_eq!(parsed.len(), original.len());
+        for (p, o) in parsed.iter().zip(&original) {
+            assert_eq!((p.seq, p.start_us, p.dur_us), (o.seq, o.start_us, o.dur_us));
+            assert_eq!(p.counters, o.counters);
+            assert_eq!(p.gauges, o.gauges);
+            assert_eq!(p.histograms, o.histograms);
+        }
+        assert_eq!(parsed[0].histogram("lat{16x16x16:r8}").unwrap().count, 1);
+    }
+
+    #[test]
+    fn windows_from_jsonl_rejects_torn_history() {
+        assert!(windows_from_jsonl("{\"type\":\"counter\",\"name\":\"x\",\"value\":1}").is_err());
+        let out_of_order = format!(
+            "{{\"type\":\"gauge\",\"name\":\"{WINDOW_SEQ}\",\"value\":5}}\n\
+             {{\"type\":\"gauge\",\"name\":\"{WINDOW_SEQ}\",\"value\":4}}\n"
+        );
+        assert!(windows_from_jsonl(&out_of_order).is_err());
+        assert_eq!(windows_from_jsonl("").unwrap(), vec![]);
+    }
+
+    #[test]
+    fn concurrent_writers_ticker_and_scraper_lose_no_windows() {
+        // Request threads hammer the registry while a ticker samples and
+        // a scraper reads: every window must come out monotone and the
+        // summed deltas must equal what the writers wrote.
+        let reg = Arc::new(MetricsRegistry::new());
+        let ring = Arc::new(TimeSeriesRing::new(64));
+        let writers = 4;
+        let per_writer = 2000u64;
+        std::thread::scope(|scope| {
+            for _ in 0..writers {
+                let reg = Arc::clone(&reg);
+                scope.spawn(move || {
+                    for i in 0..per_writer {
+                        reg.counter_add("req", 1);
+                        reg.histogram_record("lat", i % 1000);
+                    }
+                });
+            }
+            let ticker = {
+                let reg = Arc::clone(&reg);
+                let ring = Arc::clone(&ring);
+                scope.spawn(move || {
+                    for _ in 0..30 {
+                        ring.sample(&reg);
+                        std::thread::sleep(std::time::Duration::from_millis(1));
+                    }
+                })
+            };
+            // Scrape concurrently: every observed history must be
+            // internally monotone and contiguous.
+            let scraper = {
+                let ring = Arc::clone(&ring);
+                scope.spawn(move || {
+                    for _ in 0..20 {
+                        let windows = ring.windows();
+                        for pair in windows.windows(2) {
+                            assert_eq!(pair[1].seq, pair[0].seq + 1, "lost a window");
+                        }
+                        let jsonl = history_to_jsonl(&windows);
+                        crate::validate(&jsonl).unwrap();
+                        std::thread::sleep(std::time::Duration::from_millis(1));
+                    }
+                })
+            };
+            ticker.join().unwrap();
+            scraper.join().unwrap();
+        });
+        // One final sample closes the last partial window; the ring now
+        // accounts for every write.
+        ring.sample(&reg);
+        let merged = merge_windows(&ring.windows());
+        assert_eq!(merged.counter("req"), writers as u64 * per_writer);
+        assert_eq!(
+            merged.histogram("lat").unwrap().count,
+            writers as u64 * per_writer
+        );
+    }
+}

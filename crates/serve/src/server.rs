@@ -52,7 +52,7 @@ impl Default for ServerConfig {
 /// `Counters` struct of atomics this module used to carry is gone — every
 /// number now lives in the server's [`MetricsRegistry`], and
 /// [`Server::stats`] is a thin read-only view over it.
-mod metric {
+pub(crate) mod metric {
     pub const REQUESTS_SUBMITTED: &str = "serve.requests_submitted";
     pub const REQUESTS_SERVED: &str = "serve.requests_served";
     pub const FACTORIZATIONS_SUBMITTED: &str = "serve.factorizations_submitted";
@@ -65,6 +65,29 @@ mod metric {
     pub const REQUEST_QUEUED_US: &str = "serve.request_queued_us";
     pub const REQUEST_EXEC_US: &str = "serve.request_exec_us";
     pub const BACKEND_RUNS_PREFIX: &str = "serve.backend_runs.";
+    /// Labeled histogram family: exec latency per problem-shape family
+    /// (members look like `serve.exec_us.shape{8x8x8:r4:m0}`; cardinality
+    /// is bounded by `mttkrp_obs::MAX_LABELS_PER_FAMILY`).
+    pub const EXEC_US_BY_SHAPE: &str = "serve.exec_us.shape";
+    /// Labeled histogram family: exec latency per chosen plan algorithm.
+    pub const EXEC_US_BY_ALG: &str = "serve.exec_us.alg";
+    /// Labeled histogram family: queue latency per problem-shape family.
+    pub const QUEUED_US_BY_SHAPE: &str = "serve.queued_us.shape";
+}
+
+/// The label a problem shape files its latency under: `dims:rank:mode`,
+/// e.g. `64x64x64:r16:m1` (factorizations, which sweep every mode, use
+/// `m*`).
+pub(crate) fn shape_label(dims: &[u64], rank: u64, mode: Option<usize>) -> String {
+    let dims = dims
+        .iter()
+        .map(|d| d.to_string())
+        .collect::<Vec<_>>()
+        .join("x");
+    match mode {
+        Some(m) => format!("{dims}:r{rank}:m{m}"),
+        None => format!("{dims}:r{rank}:m*"),
+    }
 }
 
 /// Bumps a counter in the server's registry and mirrors it into the active
@@ -84,6 +107,18 @@ pub(crate) fn gauge_add(metrics: &MetricsRegistry, name: &str, delta: i64) {
 pub(crate) fn histogram_record(metrics: &MetricsRegistry, name: &str, v: u64) {
     metrics.histogram_record(name, v);
     mttkrp_obs::histogram_record(name, v);
+}
+
+/// Records into a labeled histogram family (`family{label}`) in the
+/// server's registry and the active capture.
+pub(crate) fn histogram_record_labeled(
+    metrics: &MetricsRegistry,
+    family: &str,
+    label: &str,
+    v: u64,
+) {
+    metrics.histogram_record_labeled(family, label, v);
+    mttkrp_obs::histogram_record_labeled(family, label, v);
 }
 
 /// A point-in-time snapshot of everything a [`Server`] has done.
@@ -481,6 +516,11 @@ fn run_worker(rx: Receiver<Dispatch>, cache: Arc<PlanCache>, metrics: Arc<Metric
         // its analytic prior on later lookups of this key.
         let plan_key = PlanKey::for_plan(&batch.plan);
         let plan_id = batch.plan.algorithm.label();
+        let shape = shape_label(
+            &plan_key.problem.dims,
+            plan_key.problem.rank,
+            Some(plan_key.problem.mode),
+        );
         for pending in batch.requests {
             let mut span = mttkrp_obs::span("request");
             if span.is_active() {
@@ -511,6 +551,26 @@ fn run_worker(rx: Receiver<Dispatch>, cache: Arc<PlanCache>, metrics: Arc<Metric
                 queued.as_micros() as u64,
             );
             histogram_record(&metrics, metric::REQUEST_EXEC_US, exec.as_micros() as u64);
+            // Per-shape and per-algorithm breakdowns: what the SLO layer
+            // and the `top` dashboard slice latency by.
+            histogram_record_labeled(
+                &metrics,
+                metric::EXEC_US_BY_SHAPE,
+                &shape,
+                exec.as_micros() as u64,
+            );
+            histogram_record_labeled(
+                &metrics,
+                metric::EXEC_US_BY_ALG,
+                &plan_id,
+                exec.as_micros() as u64,
+            );
+            histogram_record_labeled(
+                &metrics,
+                metric::QUEUED_US_BY_SHAPE,
+                &shape,
+                queued.as_micros() as u64,
+            );
             let backend_metric = format!("{}{}", metric::BACKEND_RUNS_PREFIX, report.backend);
             counter_add(&metrics, &backend_metric, 1);
             // The submitter may have dropped its handle; that only means
@@ -572,6 +632,35 @@ fn run_factorization(pending: PendingFactorize, cache: &PlanCache, metrics: &Met
         queued.as_micros() as u64,
     );
     histogram_record(metrics, metric::REQUEST_EXEC_US, exec.as_micros() as u64);
+    // A factorization sweeps every mode, so its shape family is `m*` and
+    // its "algorithm" is the whole CP-ALS engine.
+    let dims: Vec<u64> = pending
+        .request
+        .tensor
+        .shape()
+        .dims()
+        .iter()
+        .map(|&d| d as u64)
+        .collect();
+    let shape = shape_label(&dims, pending.request.config.rank as u64, None);
+    histogram_record_labeled(
+        metrics,
+        metric::EXEC_US_BY_SHAPE,
+        &shape,
+        exec.as_micros() as u64,
+    );
+    histogram_record_labeled(
+        metrics,
+        metric::EXEC_US_BY_ALG,
+        "cp-als",
+        exec.as_micros() as u64,
+    );
+    histogram_record_labeled(
+        metrics,
+        metric::QUEUED_US_BY_SHAPE,
+        &shape,
+        queued.as_micros() as u64,
+    );
     let _ = pending.reply.send(FactorizeResponse {
         run,
         timing: RequestTiming { queued, exec },

@@ -246,7 +246,12 @@ fn admissions_plus_sheds_account_for_every_request() {
     assert_eq!(served + shed, (n_clients * attempts_per_client) as u64);
     assert_eq!(server.metrics().counter_value(metric::REQUESTS), served);
     assert_eq!(server.metrics().counter_value(metric::SHED), shed);
-    assert_eq!(server.metrics().gauge_value(metric::IN_FLIGHT), 0);
+    // The reply is written *before* the permit drops, so a client can
+    // observe its answer a beat before the gauge decrements — wait for
+    // the slot to settle rather than racing it.
+    wait_until("in-flight to settle", || {
+        server.metrics().gauge_value(metric::IN_FLIGHT) == 0
+    });
     let stats = server.shutdown();
     assert_eq!(stats.requests_served, served);
 }

@@ -312,6 +312,13 @@ fn a_client_that_never_reads_its_reply_costs_nothing() {
         wire::write_frame(&mut s, &protocol::encode_mttkrp_request(1, &x, &factors, 0)).unwrap();
         drop(s); // gone before the reply lands
 
+        // The in-flight gauge starts at zero, so wait for the abandoned
+        // request to be *admitted* before waiting for it to drain —
+        // otherwise the follow-up request below races it for the only
+        // permit.
+        wait_until("the abandoned request to be admitted", || {
+            server.metrics().counter_value(metric::REQUESTS) == 1
+        });
         wait_until("the abandoned request to drain", || {
             server.metrics().gauge_value(metric::IN_FLIGHT) == 0
         });
